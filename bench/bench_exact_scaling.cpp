@@ -1,0 +1,96 @@
+/// \file bench_exact_scaling.cpp
+/// Experiment SCALE-X: the exponential wall behind the NP-completeness
+/// results. Measures exhaustive-search time and reports the closed-form
+/// search-space size as a counter; the contrast with SCALE-P's polynomial
+/// curves is the empirical shape of Tables 1 and 2.
+
+#include <benchmark/benchmark.h>
+
+#include "exact/branch_and_bound.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/random_instances.hpp"
+
+namespace {
+
+using namespace pipeopt;
+
+core::Problem het_instance(std::size_t n, std::size_t p, std::uint64_t seed,
+                           std::size_t modes) {
+  util::Rng rng(seed);
+  gen::ProblemShape shape;
+  shape.applications = 1;
+  shape.app.min_stages = shape.app.max_stages = n;
+  shape.processors = p;
+  shape.platform.modes = modes;
+  shape.platform_class = core::PlatformClass::FullyHeterogeneous;
+  return gen::random_problem(rng, shape);
+}
+
+void BM_ExactIntervalPeriod(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = het_instance(n, n, 3, 1);
+  exact::EnumerationOptions options;
+  options.kind = exact::MappingKind::Interval;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exact::exact_min_period(problem, exact::MappingKind::Interval));
+  }
+  state.counters["space"] = static_cast<double>(
+      exact::mapping_space_size(problem, options));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExactIntervalPeriod)->DenseRange(2, 7, 1)->Complexity();
+
+void BM_ExactOneToOneLatency(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = het_instance(n, n + 1, 5, 1);
+  exact::EnumerationOptions options;
+  options.kind = exact::MappingKind::OneToOne;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exact::exact_min_latency(problem, exact::MappingKind::OneToOne));
+  }
+  state.counters["space"] = static_cast<double>(
+      exact::mapping_space_size(problem, options));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExactOneToOneLatency)->DenseRange(2, 7, 1)->Complexity();
+
+void BM_ExactEnergyWithModes(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = het_instance(n, n, 7, 2);  // 2 modes double the space
+  exact::EnumerationOptions options;
+  options.kind = exact::MappingKind::Interval;
+  options.enumerate_modes = true;
+  const auto bounds = core::Thresholds::unconstrained(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::exact_min_energy_under_period(
+        problem, exact::MappingKind::Interval, bounds));
+  }
+  state.counters["space"] = static_cast<double>(
+      exact::mapping_space_size(problem, options));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExactEnergyWithModes)->DenseRange(2, 6, 1)->Complexity();
+
+/// Branch-and-bound on the same instances as BM_ExactIntervalPeriod: the
+/// nodes counter shows how far the bounds push the wall (the growth stays
+/// exponential — NP-hardness is not negotiable — but the base shrinks).
+void BM_BranchBoundIntervalPeriod(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = het_instance(n, n, 3, 1);
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    const auto result =
+        exact::branch_bound_min_period(problem, exact::MappingKind::Interval);
+    nodes = result ? result->stats.nodes : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BranchBoundIntervalPeriod)->DenseRange(2, 9, 1)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

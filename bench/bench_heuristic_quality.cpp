@@ -1,0 +1,162 @@
+/// \file bench_heuristic_quality.cpp
+/// Experiment HEUR: quality/runtime ladder of the polynomial heuristics on
+/// the NP-hard cells — the paper's §6 future work, quantified. For each
+/// regime the table reports median gap to the exact optimum and median
+/// runtime, at toy scale (where exact is available) and at medium scale
+/// (runtime only — exact is unreachable there, which is the point).
+
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/random_instances.hpp"
+#include "heuristics/annealing.hpp"
+#include "heuristics/interval_greedy.hpp"
+#include "heuristics/local_search.hpp"
+#include "heuristics/speed_scaling.hpp"
+#include "heuristics/tabu_search.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pipeopt;
+
+struct Ladder {
+  util::Summary greedy_gap, ls_gap, tabu_gap, sa_gap;
+  util::Summary greedy_us, ls_us, tabu_us, sa_us;
+  int instances = 0;
+};
+
+/// Period minimization on heterogeneous platforms (Table 1's hard cells).
+Ladder period_ladder(std::uint64_t seed, std::size_t stages, std::size_t procs,
+                     bool with_exact) {
+  util::Rng rng(seed);
+  Ladder ladder;
+  for (int i = 0; i < 12; ++i) {
+    gen::ProblemShape shape;
+    shape.applications = 2;
+    shape.app.min_stages = 1;
+    shape.app.max_stages = stages;
+    shape.processors = procs;
+    shape.platform.modes = 2;
+    shape.platform_class = core::PlatformClass::FullyHeterogeneous;
+    const auto problem = gen::random_problem(rng, shape);
+
+    util::Stopwatch watch;
+    const auto greedy = heuristics::greedy_interval_mapping(problem);
+    if (!greedy) continue;
+    const double greedy_value =
+        core::evaluate(problem, *greedy).max_weighted_period;
+    ladder.greedy_us.add(watch.elapsed_micros());
+
+    watch.reset();
+    const auto ls =
+        heuristics::local_search(problem, *greedy, heuristics::Goal::Period);
+    ladder.ls_us.add(watch.elapsed_micros());
+
+    watch.reset();
+    heuristics::TabuOptions tabu_options;
+    tabu_options.iterations = 200;
+    const auto tabu = heuristics::tabu_search(
+        problem, *greedy, heuristics::Goal::Period, {}, tabu_options);
+    ladder.tabu_us.add(watch.elapsed_micros());
+
+    watch.reset();
+    util::Rng walk = rng.fork();
+    heuristics::AnnealingOptions sa_options;
+    sa_options.iterations = 1200;
+    const auto sa = heuristics::simulated_annealing(
+        problem, *greedy, heuristics::Goal::Period, {}, walk, sa_options);
+    ladder.sa_us.add(watch.elapsed_micros());
+
+    double reference = std::min({greedy_value, ls.value, tabu.value, sa.value});
+    if (with_exact) {
+      const auto oracle =
+          exact::exact_min_period(problem, exact::MappingKind::Interval);
+      if (!oracle) continue;
+      reference = oracle->value;
+    }
+    ++ladder.instances;
+    ladder.greedy_gap.add(greedy_value / reference);
+    ladder.ls_gap.add(ls.value / reference);
+    ladder.tabu_gap.add(tabu.value / reference);
+    ladder.sa_gap.add(sa.value / reference);
+  }
+  return ladder;
+}
+
+void print_ladder(const char* title, const Ladder& ladder, bool with_exact) {
+  std::printf("%s (%d instances, gaps vs %s):\n", title, ladder.instances,
+              with_exact ? "exact optimum" : "best heuristic");
+  util::Table table({"heuristic", "median gap", "worst gap", "median time"});
+  const auto row = [&](const char* name, const util::Summary& gap,
+                       const util::Summary& us) {
+    table.add_row({name, util::format_double(gap.median(), 3),
+                   util::format_double(gap.max(), 3),
+                   util::format_double(us.median(), 0) + "us"});
+  };
+  row("greedy construction", ladder.greedy_gap, ladder.greedy_us);
+  row("+ local search", ladder.ls_gap, ladder.ls_us);
+  row("tabu search", ladder.tabu_gap, ladder.tabu_us);
+  row("simulated annealing", ladder.sa_gap, ladder.sa_us);
+  std::fputs(table.render("  ").c_str(), stdout);
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== HEUR: heuristic quality ladder on NP-hard cells ===\n");
+
+  // Toy scale: exact optimum available.
+  print_ladder("Period, fully heterogeneous, toy scale (n<=3, p=4)",
+               period_ladder(1001, 3, 4, true), true);
+
+  // Medium scale: exact unreachable; gaps relative to the best heuristic.
+  print_ladder("Period, fully heterogeneous, medium scale (n<=10, p=12)",
+               period_ladder(1002, 10, 12, false), false);
+
+  // Tri-criteria energy minimization (Thm 26's NP-hard regime).
+  std::puts("Tri-criteria energy (multi-modal, period+latency bounds):");
+  util::Rng rng(1003);
+  util::Summary scale_gap, ls_gap;
+  int instances = 0;
+  for (int i = 0; i < 12; ++i) {
+    gen::ProblemShape shape;
+    shape.applications = 1;
+    shape.app.min_stages = 2;
+    shape.app.max_stages = 3;
+    shape.processors = 4;
+    shape.platform.modes = 3;
+    shape.platform_class = core::PlatformClass::FullyHomogeneous;
+    const auto problem = gen::random_problem(rng, shape);
+    const auto perf =
+        exact::exact_min_period(problem, exact::MappingKind::Interval);
+    const auto lat =
+        exact::exact_min_latency(problem, exact::MappingKind::Interval);
+    if (!perf || !lat) continue;
+    const auto periods =
+        core::Thresholds::uniform(problem, perf->value * rng.uniform(1.2, 2.0));
+    const auto latencies =
+        core::Thresholds::uniform(problem, lat->value * rng.uniform(1.2, 2.0));
+    const auto oracle = exact::exact_min_energy_tricriteria(
+        problem, exact::MappingKind::Interval, periods, latencies);
+    if (!oracle) continue;
+
+    core::ConstraintSet cs;
+    cs.period = periods;
+    cs.latency = latencies;
+    const auto start = heuristics::greedy_interval_mapping(problem);
+    if (!start || !cs.satisfied_by(core::evaluate(problem, *start))) continue;
+    const auto scaled = heuristics::scale_down_speeds(problem, *start, cs);
+    const auto searched = heuristics::local_search(
+        problem, scaled.mapping, heuristics::Goal::Energy, cs);
+    ++instances;
+    scale_gap.add(scaled.energy_after / oracle->value);
+    ls_gap.add(searched.value / oracle->value);
+  }
+  std::printf("  %d instances: DVFS-scaling gap med %.3fx | +local search %.3fx\n",
+              instances, scale_gap.median(), ls_gap.median());
+  return 0;
+}

@@ -1,0 +1,105 @@
+/// \file bench_pareto_front.cpp
+/// Experiment PARETO: period/energy trade-off curves — the quantitative
+/// form of the paper's laptop/server narrative (§1) and of the §2 example's
+/// 136 -> 46 -> 10 progression. Sweeps period thresholds, solves the
+/// energy-minimization problem at each, and prints the resulting fronts.
+
+#include <cstdio>
+
+#include "algorithms/energy_interval_dp.hpp"
+#include "algorithms/interval_period_multi.hpp"
+#include "core/pareto.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/motivating_example.hpp"
+#include "gen/workloads.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pipeopt;
+
+void print_front(const char* title, const std::vector<core::ParetoPoint>& pts) {
+  const auto front = core::pareto_front(pts, /*use_latency=*/false);
+  std::printf("%s (%zu sweep points -> %zu Pareto-optimal):\n", title,
+              pts.size(), front.size());
+  util::Table table({"period <=", "min energy"});
+  for (const auto& pt : front) {
+    table.add_row({util::format_double(pt.period, 4),
+                   util::format_double(pt.energy, 2)});
+  }
+  std::fputs(table.render("  ").c_str(), stdout);
+  std::printf("  energy monotone non-increasing in period: %s\n\n",
+              core::energy_monotone_in_period(front) ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== PARETO: period/energy trade-off fronts ===\n");
+
+  // --- 1. The §2 example, exact front. ------------------------------------
+  {
+    const auto problem = gen::motivating_example();
+    std::vector<core::ParetoPoint> points;
+    for (double bound : {1.0, 1.25, 1.5, 1.75, 2.0, 3.0, 4.0, 7.0, 14.0}) {
+      const auto result = exact::exact_min_energy_under_period(
+          problem, exact::MappingKind::Interval,
+          core::Thresholds::per_app({bound, bound}));
+      if (!result) continue;
+      core::ParetoPoint pt;
+      pt.period = bound;
+      pt.energy = result->value;
+      points.push_back(pt);
+    }
+    print_front("Motivating example (exact; paper anchors 136/46/10)", points);
+  }
+
+  // --- 2. Video service on a homogeneous DVFS cluster (Theorem 21 DP). ---
+  {
+    std::vector<core::Application> streams{gen::video_transcode_app(8.0, 1.0),
+                                           gen::video_transcode_app(4.0, 1.0)};
+    const core::Platform cluster =
+        gen::homogeneous_cluster(10, 4, 2.0, 4.0, 16.0, 1.0);
+    const core::Problem problem(streams, cluster, core::CommModel::Overlap);
+    const auto fastest = algorithms::interval_min_period(problem);
+    std::vector<core::ParetoPoint> points;
+    for (double factor = 1.0; factor <= 4.01; factor += 0.25) {
+      const auto result = algorithms::interval_min_energy_under_period(
+          problem, core::Thresholds::uniform(problem, fastest->value * factor));
+      if (!result) continue;
+      core::ParetoPoint pt;
+      pt.period = fastest->value * factor;
+      pt.energy = result->value;
+      points.push_back(pt);
+    }
+    print_front("Video cluster (Theorem 21 DP, 10 nodes x 4 DVFS modes)",
+                points);
+  }
+
+  // --- 3. Overlap vs no-overlap ablation on the same sweep. ---------------
+  {
+    std::vector<core::Application> streams{gen::video_transcode_app(4.0, 1.0)};
+    const core::Platform cluster =
+        gen::homogeneous_cluster(6, 3, 2.0, 3.0, 8.0, 0.5);
+    for (const auto comm : {core::CommModel::Overlap, core::CommModel::NoOverlap}) {
+      const core::Problem problem(streams, cluster, comm);
+      const auto fastest = algorithms::interval_min_period(problem);
+      std::vector<core::ParetoPoint> points;
+      for (double factor = 1.0; factor <= 3.01; factor += 0.5) {
+        const auto result = algorithms::interval_min_energy_under_period(
+            problem,
+            core::Thresholds::uniform(problem, fastest->value * factor));
+        if (!result) continue;
+        core::ParetoPoint pt;
+        pt.period = fastest->value * factor;
+        pt.energy = result->value;
+        points.push_back(pt);
+      }
+      print_front(comm == core::CommModel::Overlap
+                      ? "Ablation: overlap model (Eq. 3)"
+                      : "Ablation: no-overlap model (Eq. 4)",
+                  points);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file bench_replication.cpp
+/// Experiment REP (extension): the §6 future-work ablation — how much does
+/// stage replication improve the period over plain interval mappings as
+/// processors are added? On bottleneck-dominated chains the unreplicated
+/// period flattens at the dominant stage's cycle-time, while replication
+/// keeps scaling (the [4] effect the paper anticipates).
+
+#include <cstdio>
+
+#include "algorithms/interval_period_multi.hpp"
+#include "core/evaluation.hpp"
+#include "gen/workloads.hpp"
+#include "replication/replicated_period.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pipeopt;
+
+  std::puts("=== REP: replication ablation (§6 future work, after [4]) ===\n");
+
+  // A bottleneck-dominated chain: video transcode (encode stage dominates).
+  std::vector<core::Application> apps{gen::video_transcode_app(4.0)};
+
+  util::Table table({"processors", "interval period", "replicated period",
+                     "speedup", "max replicas used"});
+  for (std::size_t p = 1; p <= 16; p *= 2) {
+    const core::Platform cluster =
+        gen::homogeneous_cluster(p, 1, 4.0, 1.0, 16.0, 0.0);
+    const core::Problem problem(apps, cluster, core::CommModel::Overlap);
+    const auto plain = algorithms::interval_min_period(problem);
+    const auto replicated = replication::replicated_min_period(problem);
+    if (!plain || !replicated) continue;
+    std::size_t max_r = 0;
+    for (const auto& iv : replicated->mapping.intervals()) {
+      max_r = std::max(max_r, iv.replication());
+    }
+    table.add_row({std::to_string(p), util::format_double(plain->value, 4),
+                   util::format_double(replicated->value, 4),
+                   util::format_double(plain->value / replicated->value, 2) + "x",
+                   std::to_string(max_r)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nUnreplicated mappings flatten at the dominant stage's");
+  std::puts("cycle-time; replication keeps converting processors into");
+  std::puts("throughput (at proportional energy cost).");
+
+  // Energy cost of the replication speedup at p = 8.
+  const core::Platform cluster = gen::homogeneous_cluster(8, 1, 4.0, 1.0, 16.0, 0.5);
+  const core::Problem problem(apps, cluster, core::CommModel::Overlap);
+  const auto plain = algorithms::interval_min_period(problem);
+  const auto replicated = replication::replicated_min_period(problem);
+  if (plain && replicated) {
+    const auto plain_metrics = core::evaluate(problem, plain->mapping);
+    const auto rep_metrics = replication::evaluate(problem, replicated->mapping);
+    std::printf(
+        "\nAt p=8: period %.3f -> %.3f, energy %.1f -> %.1f "
+        "(throughput/energy tradeoff: %.2fx speedup for %.2fx energy)\n",
+        plain->value, replicated->value, plain_metrics.energy,
+        rep_metrics.energy, plain->value / replicated->value,
+        rep_metrics.energy / plain_metrics.energy);
+  }
+  return 0;
+}

@@ -1,0 +1,178 @@
+/// \file bench_scaling_polynomial.cpp
+/// Experiment SCALE-P: wall-clock scaling of every polynomial algorithm the
+/// paper states, over growing instance sizes. The complexity claims of
+/// Theorems 1, 3, 12, 15/16, 18/19, 21 and 24 predict polynomial growth;
+/// google-benchmark's complexity fitting reports the observed exponents.
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/bicriteria_period_latency.hpp"
+#include "algorithms/energy_interval_dp.hpp"
+#include "algorithms/energy_matching.hpp"
+#include "algorithms/interval_period_dp.hpp"
+#include "algorithms/interval_period_multi.hpp"
+#include "algorithms/latency_algorithms.hpp"
+#include "algorithms/one_to_one_period.hpp"
+#include "algorithms/tricriteria_unimodal.hpp"
+#include "gen/random_instances.hpp"
+
+namespace {
+
+using namespace pipeopt;
+
+/// Random comm-homogeneous problem with N total stages on 2N processors.
+core::Problem one_to_one_instance(std::size_t n, std::uint64_t seed,
+                                  std::size_t modes = 1) {
+  util::Rng rng(seed);
+  gen::ProblemShape shape;
+  shape.applications = std::max<std::size_t>(1, n / 4);
+  shape.app.min_stages = 1;
+  shape.app.max_stages =
+      std::max<std::size_t>(1, 2 * n / shape.applications / 2);
+  shape.processors = 2 * n;
+  shape.platform.modes = modes;
+  shape.platform_class = core::PlatformClass::CommHomogeneous;
+  return gen::random_problem(rng, shape);
+}
+
+/// Fully homogeneous multi-application problem.
+core::Problem fully_hom_instance(std::size_t stages_per_app, std::size_t apps,
+                                 std::size_t procs, std::uint64_t seed,
+                                 std::size_t modes = 1) {
+  util::Rng rng(seed);
+  gen::ProblemShape shape;
+  shape.applications = apps;
+  shape.app.min_stages = stages_per_app;
+  shape.app.max_stages = stages_per_app;
+  shape.processors = procs;
+  shape.platform.modes = modes;
+  shape.platform_class = core::PlatformClass::FullyHomogeneous;
+  return gen::random_problem(rng, shape);
+}
+
+void BM_OneToOnePeriod(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = one_to_one_instance(n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::one_to_one_min_period(problem));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(problem.total_stages()));
+}
+BENCHMARK(BM_OneToOnePeriod)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_IntervalPeriodDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  gen::AppParams params;
+  params.min_stages = params.max_stages = n;
+  const auto app = gen::random_application(rng, params);
+  for (auto _ : state) {
+    const algorithms::IntervalPeriodDp dp(app, 2.0, 1.0,
+                                          core::CommModel::Overlap, n);
+    benchmark::DoNotOptimize(dp.min_period_by_count(n));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IntervalPeriodDp)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_IntervalPeriodMulti(benchmark::State& state) {
+  const auto apps = static_cast<std::size_t>(state.range(0));
+  const auto problem = fully_hom_instance(8, apps, 4 * apps, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::interval_min_period(problem));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IntervalPeriodMulti)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+
+void BM_IntervalLatency(benchmark::State& state) {
+  const auto apps = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(13);
+  gen::ProblemShape shape;
+  shape.applications = apps;
+  shape.processors = 2 * apps;
+  shape.platform_class = core::PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::interval_min_latency(problem));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IntervalLatency)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_LatencyUnderPeriodDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(17);
+  gen::AppParams params;
+  params.min_stages = params.max_stages = n;
+  const auto app = gen::random_application(rng, params);
+  for (auto _ : state) {
+    const algorithms::LatencyUnderPeriodDp dp(app, 2.0, 1.0,
+                                              core::CommModel::Overlap, n,
+                                              1e9);
+    benchmark::DoNotOptimize(dp.min_latency_by_count(n));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LatencyUnderPeriodDp)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity();
+
+void BM_EnergyMatching(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = one_to_one_instance(n, 23, /*modes=*/3);
+  const auto bounds = core::Thresholds::unconstrained(problem.application_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algorithms::one_to_one_min_energy_under_period(problem, bounds));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(problem.total_stages()));
+}
+BENCHMARK(BM_EnergyMatching)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_EnergyIntervalDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = fully_hom_instance(n, 1, n, 29, /*modes=*/3);
+  for (auto _ : state) {
+    const algorithms::EnergyIntervalDp dp(problem, 0, n, 1e9);
+    benchmark::DoNotOptimize(dp.min_energy_at_most(n));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EnergyIntervalDp)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_EnergyIntervalMulti(benchmark::State& state) {
+  const auto apps = static_cast<std::size_t>(state.range(0));
+  const auto problem = fully_hom_instance(6, apps, 3 * apps, 31, /*modes=*/3);
+  const auto bounds = core::Thresholds::unconstrained(apps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algorithms::interval_min_energy_under_period(problem, bounds));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EnergyIntervalMulti)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity();
+
+void BM_TricriteriaEnergyFace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = fully_hom_instance(n, 2, 2 * n, 37, /*modes=*/1);
+  const auto periods = core::Thresholds::unconstrained(2);
+  const auto latencies = core::Thresholds::unconstrained(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::interval_min_energy_tricriteria(
+        problem, periods, latencies));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TricriteriaEnergyFace)
+    ->RangeMultiplier(2)
+    ->Range(4, 32)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

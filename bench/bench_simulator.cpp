@@ -1,0 +1,115 @@
+/// \file bench_simulator.cpp
+/// Experiment SIM: simulator throughput and the overlap vs no-overlap
+/// ablation. Reports data-sets/second for growing chains and fleets, and
+/// the per-model measured periods on a reference mapping (the Eq. 3 vs
+/// Eq. 4 gap made concrete).
+
+#include <benchmark/benchmark.h>
+
+#include "core/evaluation.hpp"
+#include "gen/random_instances.hpp"
+#include "gen/workloads.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace pipeopt;
+
+/// One app split across `procs` processors on a homogeneous cluster.
+std::pair<core::Problem, core::Mapping> chain_setup(std::size_t stages,
+                                                    std::size_t procs,
+                                                    core::CommModel comm) {
+  util::Rng rng(91);
+  gen::ProblemShape shape;
+  shape.applications = 1;
+  shape.app.min_stages = shape.app.max_stages = stages;
+  shape.processors = procs;
+  shape.platform_class = core::PlatformClass::FullyHomogeneous;
+  shape.comm = comm;
+  core::Problem problem = gen::random_problem(rng, shape);
+
+  // Even split into `procs` intervals.
+  std::vector<core::IntervalAssignment> ivs;
+  const std::size_t per = stages / procs;
+  std::size_t first = 0;
+  for (std::size_t j = 0; j < procs; ++j) {
+    const std::size_t last = (j + 1 == procs) ? stages - 1 : first + per - 1;
+    ivs.push_back({0, first, last, j,
+                   problem.platform().processor(j).max_mode()});
+    first = last + 1;
+  }
+  return {std::move(problem), core::Mapping(std::move(ivs))};
+}
+
+void BM_SimulateOverlap(benchmark::State& state) {
+  const auto datasets = static_cast<std::size_t>(state.range(0));
+  const auto [problem, mapping] = chain_setup(16, 4, core::CommModel::Overlap);
+  sim::SimConfig config;
+  config.datasets = datasets;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(problem, mapping, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(datasets));
+}
+BENCHMARK(BM_SimulateOverlap)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_SimulateNoOverlap(benchmark::State& state) {
+  const auto datasets = static_cast<std::size_t>(state.range(0));
+  const auto [problem, mapping] = chain_setup(16, 4, core::CommModel::NoOverlap);
+  sim::SimConfig config;
+  config.datasets = datasets;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(problem, mapping, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(datasets));
+}
+BENCHMARK(BM_SimulateNoOverlap)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_SimulateChainLength(benchmark::State& state) {
+  const auto stages = static_cast<std::size_t>(state.range(0));
+  const auto [problem, mapping] =
+      chain_setup(stages, stages / 2, core::CommModel::Overlap);
+  sim::SimConfig config;
+  config.datasets = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(problem, mapping, config));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SimulateChainLength)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Complexity();
+
+/// The overlap/no-overlap ablation on the video workload: measured periods
+/// reported as counters (Eq. 3 max vs Eq. 4 sum).
+void BM_ModelAblationVideo(benchmark::State& state) {
+  std::vector<core::Application> apps{gen::video_transcode_app(4.0)};
+  core::Platform cluster =
+      gen::homogeneous_cluster(6, 1, 4.0, 1.0, 8.0, 0.0);
+  const bool overlap = state.range(0) == 1;
+  core::Problem problem(apps, cluster,
+                        overlap ? core::CommModel::Overlap
+                                : core::CommModel::NoOverlap);
+  std::vector<core::IntervalAssignment> ivs{{0, 0, 1, 0, 0},
+                                            {0, 2, 3, 1, 0},
+                                            {0, 4, 5, 2, 0}};
+  const core::Mapping mapping(std::move(ivs));
+  sim::SimConfig config;
+  config.datasets = 512;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(problem, mapping, config));
+  }
+  // Counters from a dedicated run outside the timing loop.
+  const auto reference = sim::simulate(problem, mapping, config);
+  state.counters["measured_period"] = reference.apps[0].steady_period;
+  state.counters["analytic_period"] =
+      core::evaluate(problem, mapping).max_weighted_period;
+}
+BENCHMARK(BM_ModelAblationVideo)->Arg(1)->Arg(0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file bench_support.hpp
+/// Shared helpers for the table-reproduction benches: per-cell instance
+/// streams for the paper's platform taxonomy, gap statistics and wall-clock
+/// medians.
+
+#include <cstdio>
+#include <string>
+
+#include "gen/random_instances.hpp"
+#include "util/stats.hpp"
+#include "util/timing.hpp"
+
+namespace pipeopt::bench {
+
+/// The four platform columns of Tables 1 and 2.
+enum class Column {
+  FullyHom,    ///< proc-hom, com-hom
+  SpecialApp,  ///< proc-het, hom pipelines, no communication
+  CommHom,     ///< proc-het, com-hom
+  FullyHet     ///< proc-het, com-het
+};
+
+inline const char* to_string(Column c) {
+  switch (c) {
+    case Column::FullyHom: return "proc-hom/com-hom";
+    case Column::SpecialApp: return "special-app";
+    case Column::CommHom: return "proc-het/com-hom";
+    case Column::FullyHet: return "com-het";
+  }
+  return "?";
+}
+
+/// Instance shape used by the cell benches.
+struct CellShape {
+  std::size_t applications = 2;
+  std::size_t min_stages = 1;
+  std::size_t max_stages = 3;
+  std::size_t processors = 6;
+  std::size_t modes = 1;
+  core::CommModel comm = core::CommModel::Overlap;
+};
+
+/// Draws one random instance for a column.
+inline core::Problem make_instance(util::Rng& rng, Column column,
+                                   const CellShape& shape) {
+  gen::ProblemShape ps;
+  ps.applications = shape.applications;
+  ps.processors = shape.processors;
+  ps.app.min_stages = shape.min_stages;
+  ps.app.max_stages = shape.max_stages;
+  ps.platform.modes = shape.modes;
+  ps.comm = shape.comm;
+  switch (column) {
+    case Column::FullyHom:
+      ps.platform_class = core::PlatformClass::FullyHomogeneous;
+      break;
+    case Column::SpecialApp:
+      ps.platform_class = core::PlatformClass::CommHomogeneous;
+      ps.special_app = true;
+      break;
+    case Column::CommHom:
+      ps.platform_class = core::PlatformClass::CommHomogeneous;
+      break;
+    case Column::FullyHet:
+      ps.platform_class = core::PlatformClass::FullyHeterogeneous;
+      break;
+  }
+  return gen::random_problem(rng, ps);
+}
+
+/// Outcome of a polynomial-vs-exact cell experiment.
+struct CellReport {
+  int optimal = 0;        ///< instances where the algorithm hit the optimum
+  int total = 0;          ///< instances compared
+  util::Summary algo_us;  ///< algorithm wall-clock (microseconds)
+  util::Summary gap;      ///< heuristic/algorithm value ÷ optimum
+
+  [[nodiscard]] std::string optimality() const {
+    return std::to_string(optimal) + "/" + std::to_string(total);
+  }
+};
+
+}  // namespace pipeopt::bench

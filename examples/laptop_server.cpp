@@ -1,0 +1,89 @@
+/// \file laptop_server.cpp
+/// The paper's two framing questions (§1), answered with the library:
+///
+///  * laptop problem — "what is the best schedule achievable using a
+///    particular energy budget?"  (minimize period subject to E <= budget)
+///  * server problem — "what is the least energy required to achieve a
+///    desired level of performance?"  (minimize E subject to T <= target)
+///
+/// Plus the full period-energy Pareto front of a DSP filter bank on a
+/// uni-modal cluster (Theorem 24 machinery) and a multi-modal comparison.
+///
+///   $ ./laptop_server
+
+#include <cstdio>
+#include <iostream>
+
+#include "algorithms/energy_interval_dp.hpp"
+#include "algorithms/interval_period_multi.hpp"
+#include "algorithms/tricriteria_unimodal.hpp"
+#include "core/pareto.hpp"
+#include "gen/workloads.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pipeopt;
+
+  // Two DSP filter banks (8 and 12 taps) on a 8-node uni-modal cluster.
+  std::vector<core::Application> apps;
+  apps.push_back(gen::dsp_filter_app(8, 0.25));
+  apps.push_back(gen::dsp_filter_app(12, 0.25));
+  const core::Platform cluster = gen::homogeneous_cluster(
+      /*p=*/8, /*modes=*/1, /*base_speed=*/2.0, /*turbo_factor=*/1.0,
+      /*bandwidth=*/8.0, /*static_energy=*/0.5);
+  const core::Problem problem(apps, cluster, core::CommModel::Overlap);
+  const double unit = cluster.processor_energy(0, 0);
+  std::printf("Uni-modal cluster: 8 nodes @ speed 2, %.2f energy each\n\n", unit);
+
+  // --- Laptop problem: sweep energy budgets. -----------------------------
+  const auto latency_free = core::Thresholds::unconstrained(2);
+  util::Table laptop({"energy budget", "processors", "best weighted period"});
+  std::vector<core::ParetoPoint> front_points;
+  for (std::size_t k = 2; k <= 8; ++k) {
+    const double budget = unit * static_cast<double>(k);
+    const auto best = algorithms::interval_min_period_tricriteria(
+        problem, latency_free, budget);
+    if (!best) continue;
+    laptop.add_row({util::format_double(budget, 2), std::to_string(k),
+                    util::format_double(best->value, 4)});
+    core::ParetoPoint pt;
+    pt.period = best->value;
+    pt.energy = core::mapping_energy(problem, best->mapping);
+    front_points.push_back(pt);
+  }
+  std::cout << "Laptop problem (fix E, minimize T):\n"
+            << laptop.render() << '\n';
+
+  // --- Server problem: sweep period targets. -----------------------------
+  const auto solo = algorithms::interval_min_period(problem);
+  util::Table server({"period target", "least energy", "processors"});
+  for (double factor : {1.0, 1.25, 1.5, 2.0, 3.0, 6.0}) {
+    const double target = solo->value * factor;
+    const auto best = algorithms::interval_min_energy_tricriteria(
+        problem, core::Thresholds::uniform(problem, target),
+        core::Thresholds::unconstrained(2));
+    if (!best) continue;
+    server.add_row({util::format_double(target, 4),
+                    util::format_double(best->value, 2),
+                    std::to_string(best->mapping.interval_count())});
+    core::ParetoPoint pt;
+    pt.period = target;
+    pt.energy = best->value;
+    front_points.push_back(pt);
+  }
+  std::cout << "Server problem (fix T, minimize E):\n"
+            << server.render() << '\n';
+
+  // --- Pareto front of both sweeps combined. ------------------------------
+  const auto front = core::pareto_front(std::move(front_points), false);
+  util::Table pareto({"period", "energy"});
+  for (const auto& pt : front) {
+    pareto.add_row({util::format_double(pt.period, 4),
+                    util::format_double(pt.energy, 2)});
+  }
+  std::cout << "Pareto-optimal (T, E) points (energy monotone: "
+            << (core::energy_monotone_in_period(front) ? "yes" : "NO")
+            << "):\n"
+            << pareto.render();
+  return 0;
+}

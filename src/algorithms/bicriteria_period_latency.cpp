@@ -1,0 +1,243 @@
+#include "algorithms/bicriteria_period_latency.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algorithms/processor_allocation.hpp"
+#include "core/evaluation.hpp"
+#include "solvers/search.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::Application;
+using core::CommModel;
+using core::Mapping;
+using core::PlatformClass;
+using core::Problem;
+using core::Thresholds;
+
+void require_fully_homogeneous(const Problem& problem, const char* what) {
+  if (problem.platform().classify() != PlatformClass::FullyHomogeneous) {
+    throw std::invalid_argument(std::string(what) +
+                                ": polynomial only on fully homogeneous "
+                                "platforms (Theorem 17 otherwise)");
+  }
+}
+
+Mapping splits_to_mapping(const Problem& problem,
+                          const std::vector<std::vector<std::size_t>>& splits) {
+  std::vector<core::IntervalAssignment> intervals;
+  std::size_t next_proc = 0;
+  const std::size_t max_mode = problem.platform().processor(0).max_mode();
+  for (std::size_t a = 0; a < splits.size(); ++a) {
+    std::size_t first = 0;
+    for (std::size_t last : splits[a]) {
+      intervals.push_back({a, first, last, next_proc++, max_mode});
+      first = last + 1;
+    }
+  }
+  return Mapping(std::move(intervals));
+}
+
+}  // namespace
+
+LatencyUnderPeriodDp::LatencyUnderPeriodDp(const Application& app, double speed,
+                                           double bandwidth, CommModel comm,
+                                           std::size_t max_procs,
+                                           double period_bound)
+    : speed_(speed),
+      bandwidth_(bandwidth),
+      comm_(comm),
+      period_bound_(period_bound),
+      n_(app.stage_count()),
+      max_q_(std::min(max_procs, app.stage_count())) {
+  if (!(speed_ > 0.0) || !(bandwidth_ > 0.0)) {
+    throw std::invalid_argument("LatencyUnderPeriodDp: speed/bandwidth must be > 0");
+  }
+  if (max_procs == 0) {
+    throw std::invalid_argument("LatencyUnderPeriodDp: needs >= 1 processor");
+  }
+  compute_prefix_.assign(n_ + 1, 0.0);
+  boundary_.assign(n_ + 1, 0.0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    compute_prefix_[k + 1] = compute_prefix_[k] + app.compute(k);
+  }
+  for (std::size_t i = 0; i <= n_; ++i) boundary_[i] = app.boundary_size(i);
+
+  latency_.assign(max_q_, std::vector<double>(n_ + 1, util::kInfinity));
+  choice_.assign(max_q_, std::vector<std::size_t>(n_ + 1, 0));
+  // Empty prefix: only the input transfer has happened.
+  const double input_comm = boundary_[0] / bandwidth_;
+  for (std::size_t q = 0; q < max_q_; ++q) latency_[q][0] = input_comm;
+
+  for (std::size_t q = 0; q < max_q_; ++q) {
+    for (std::size_t i = 1; i <= n_; ++i) {
+      double best = util::kInfinity;
+      std::size_t best_j = 0;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (q == 0 && j != 0) break;  // single interval must cover 1..i
+        const double prev = (q == 0) ? latency_[0][0] : latency_[q - 1][j];
+        if (!std::isfinite(prev)) continue;
+        if (!util::approx_le(interval_cycle(j, i - 1), period_bound_)) continue;
+        const double comp =
+            (compute_prefix_[i] - compute_prefix_[j]) / speed_;
+        const double out = boundary_[i] / bandwidth_;
+        const double value = prev + comp + out;
+        if (value < best) {
+          best = value;
+          best_j = j;
+        }
+      }
+      latency_[q][i] = best;
+      choice_[q][i] = best_j;
+    }
+  }
+}
+
+double LatencyUnderPeriodDp::interval_cycle(std::size_t first,
+                                            std::size_t last) const {
+  const double in = boundary_[first] / bandwidth_;
+  const double comp = (compute_prefix_[last + 1] - compute_prefix_[first]) / speed_;
+  const double out = boundary_[last + 1] / bandwidth_;
+  return comm_ == CommModel::Overlap ? std::max({in, comp, out})
+                                     : in + comp + out;
+}
+
+std::size_t LatencyUnderPeriodDp::clamp_q(std::size_t q) const noexcept {
+  return std::min(q, max_q_);
+}
+
+double LatencyUnderPeriodDp::min_latency_by_count(std::size_t q) const {
+  if (q == 0) return util::kInfinity;
+  return latency_[clamp_q(q) - 1][n_];
+}
+
+std::vector<std::size_t> LatencyUnderPeriodDp::optimal_splits(std::size_t q) const {
+  if (q == 0 || !std::isfinite(min_latency_by_count(q))) {
+    throw std::invalid_argument("optimal_splits: infeasible configuration");
+  }
+  std::vector<std::size_t> ends;
+  std::size_t i = n_;
+  std::size_t level = clamp_q(q) - 1;
+  while (i > 0) {
+    ends.push_back(i - 1);
+    i = choice_[level][i];
+    level = (level == 0) ? 0 : level - 1;
+  }
+  std::reverse(ends.begin(), ends.end());
+  return ends;
+}
+
+std::vector<double> period_candidates(const Application& app, double speed,
+                                      double bandwidth, CommModel comm) {
+  const std::size_t n = app.stage_count();
+  std::vector<double> candidates;
+  if (comm == CommModel::Overlap) {
+    for (std::size_t i = 0; i <= n; ++i) {
+      candidates.push_back(app.boundary_size(i) / bandwidth);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        candidates.push_back(app.total_compute(i, j) / speed);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        candidates.push_back(app.boundary_size(i) / bandwidth +
+                             app.total_compute(i, j) / speed +
+                             app.boundary_size(j + 1) / bandwidth);
+      }
+    }
+  }
+  return solvers::normalize_candidates(std::move(candidates));
+}
+
+double min_period_under_latency(const Application& app, double speed,
+                                double bandwidth, CommModel comm, std::size_t q,
+                                double latency_bound) {
+  if (q == 0) return util::kInfinity;
+  const std::vector<double> candidates =
+      period_candidates(app, speed, bandwidth, comm);
+  const auto result = solvers::min_feasible_candidate(candidates, [&](double t) {
+    const LatencyUnderPeriodDp dp(app, speed, bandwidth, comm, q, t);
+    const double latency = dp.min_latency_by_count(q);
+    // +inf latency = period bound t unachievable, infeasible even against an
+    // unconstrained (+inf) latency bound.
+    return std::isfinite(latency) && util::approx_le(latency, latency_bound);
+  });
+  return result.value_or(util::kInfinity);
+}
+
+std::optional<Solution> multi_min_latency_under_period(
+    const Problem& problem, const Thresholds& period_bounds) {
+  require_fully_homogeneous(problem, "latency-under-period");
+  const auto& platform = problem.platform();
+  const double speed = platform.processor(0).max_speed();
+  const double bw = platform.uniform_bandwidth();
+  const std::size_t p = platform.processor_count();
+
+  // One DP per application (the period bound is per-application, so the
+  // tables are independent of the allocation).
+  std::vector<LatencyUnderPeriodDp> dps;
+  dps.reserve(problem.application_count());
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    dps.emplace_back(problem.application(a), speed, bw, problem.comm_model(), p,
+                     period_bounds.bound(a));
+  }
+
+  const auto value = [&](std::size_t a, std::size_t k) {
+    return problem.application(a).weight() * dps[a].min_latency_by_count(k);
+  };
+  const auto allocation =
+      allocate_processors(problem.application_count(), p, value);
+  if (!allocation) return std::nullopt;
+
+  std::vector<std::vector<std::size_t>> splits;
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    splits.push_back(dps[a].optimal_splits(allocation->count[a]));
+  }
+  Solution solution;
+  solution.value = allocation->objective;
+  solution.mapping = splits_to_mapping(problem, splits);
+  return solution;
+}
+
+std::optional<Solution> multi_min_period_under_latency(
+    const Problem& problem, const Thresholds& latency_bounds) {
+  require_fully_homogeneous(problem, "period-under-latency");
+  const auto& platform = problem.platform();
+  const double speed = platform.processor(0).max_speed();
+  const double bw = platform.uniform_bandwidth();
+  const std::size_t p = platform.processor_count();
+
+  const auto value = [&](std::size_t a, std::size_t k) {
+    return problem.application(a).weight() *
+           min_period_under_latency(problem.application(a), speed, bw,
+                                    problem.comm_model(), k,
+                                    latency_bounds.bound(a));
+  };
+  const auto allocation =
+      allocate_processors(problem.application_count(), p, value);
+  if (!allocation) return std::nullopt;
+
+  // Rebuild each application's optimal partition at its achieved period.
+  std::vector<std::vector<std::size_t>> splits;
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const std::size_t k = allocation->count[a];
+    const double period = min_period_under_latency(
+        problem.application(a), speed, bw, problem.comm_model(), k,
+        latency_bounds.bound(a));
+    const LatencyUnderPeriodDp dp(problem.application(a), speed, bw,
+                                  problem.comm_model(), k, period);
+    splits.push_back(dp.optimal_splits(k));
+  }
+  Solution solution;
+  solution.value = allocation->objective;
+  solution.mapping = splits_to_mapping(problem, splits);
+  return solution;
+}
+
+}  // namespace pipeopt::algorithms

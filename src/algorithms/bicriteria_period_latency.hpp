@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file bicriteria_period_latency.hpp
+/// Theorems 14–16: period/latency bi-criteria optimization on fully
+/// homogeneous platforms.
+///
+/// Single application (Theorem 15): the dynamic program
+///   (L,T)(i,q) = min_{j<i, cost(j+1..i) <= T_bound}
+///                ( L(j,q-1) + Σw/s + δ^i/b )
+/// computes the minimum latency of an interval mapping whose every interval
+/// cycle-time respects the period bound, for every processor count at once.
+/// The converse (minimum period under a latency bound) binary-searches the
+/// finite candidate set of interval cycle-times, re-running the DP.
+///
+/// Several applications (Theorem 16): Algorithm 2 over the per-application
+/// DP values, with per-application thresholds.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "algorithms/one_to_one_period.hpp"  // for Solution
+#include "core/application.hpp"
+#include "core/objectives.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::algorithms {
+
+/// The (L,T)(i,q) dynamic program for one application on identical
+/// processors under a per-interval period bound.
+class LatencyUnderPeriodDp {
+ public:
+  LatencyUnderPeriodDp(const core::Application& app, double speed,
+                       double bandwidth, core::CommModel comm,
+                       std::size_t max_procs, double period_bound);
+
+  /// Minimum (unweighted) latency with at most q processors; +inf when the
+  /// period bound cannot be met with q intervals.
+  [[nodiscard]] double min_latency_by_count(std::size_t q) const;
+
+  /// Inclusive last stages of an optimal partition (throws when infeasible).
+  [[nodiscard]] std::vector<std::size_t> optimal_splits(std::size_t q) const;
+
+  [[nodiscard]] std::size_t stage_count() const noexcept { return n_; }
+
+ private:
+  [[nodiscard]] double interval_cycle(std::size_t first, std::size_t last) const;
+  [[nodiscard]] std::size_t clamp_q(std::size_t q) const noexcept;
+
+  std::vector<double> compute_prefix_;
+  std::vector<double> boundary_;
+  double speed_;
+  double bandwidth_;
+  core::CommModel comm_;
+  double period_bound_;
+  std::size_t n_;
+  std::size_t max_q_;
+  std::vector<std::vector<double>> latency_;     // [q][i]
+  std::vector<std::vector<std::size_t>> choice_; // [q][i]
+};
+
+/// Candidate period values for one application on identical processors
+/// (every achievable interval cycle-time; Theorem 15's set T).
+[[nodiscard]] std::vector<double> period_candidates(const core::Application& app,
+                                                    double speed, double bandwidth,
+                                                    core::CommModel comm);
+
+/// Minimum period achievable by application `app` with at most q processors
+/// subject to L_a <= latency_bound (unweighted); +inf when infeasible.
+[[nodiscard]] double min_period_under_latency(const core::Application& app,
+                                              double speed, double bandwidth,
+                                              core::CommModel comm, std::size_t q,
+                                              double latency_bound);
+
+/// Theorem 16 (a): minimize max_a W_a·L_a under per-application period
+/// bounds, interval mapping, fully homogeneous platform.
+[[nodiscard]] std::optional<Solution> multi_min_latency_under_period(
+    const core::Problem& problem, const core::Thresholds& period_bounds);
+
+/// Theorem 16 (b): minimize max_a W_a·T_a under per-application latency
+/// bounds.
+[[nodiscard]] std::optional<Solution> multi_min_period_under_latency(
+    const core::Problem& problem, const core::Thresholds& latency_bounds);
+
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,201 @@
+#include "algorithms/energy_interval_dp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/numeric.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::CommModel;
+using core::Mapping;
+using core::PlatformClass;
+using core::Problem;
+using core::Thresholds;
+
+void require_fully_homogeneous(const Problem& problem) {
+  if (problem.platform().classify() != PlatformClass::FullyHomogeneous) {
+    throw std::invalid_argument(
+        "interval energy minimization: polynomial only on fully homogeneous "
+        "platforms (Theorems 18/21); NP-hard otherwise (Theorem 22)");
+  }
+}
+
+}  // namespace
+
+EnergyIntervalDp::EnergyIntervalDp(const Problem& problem, std::size_t app_idx,
+                                   std::size_t max_procs, double period_bound)
+    : bandwidth_(problem.platform().uniform_bandwidth()),
+      comm_(problem.comm_model()),
+      period_bound_(period_bound),
+      n_(problem.application(app_idx).stage_count()),
+      max_k_(std::min(max_procs, problem.application(app_idx).stage_count())) {
+  require_fully_homogeneous(problem);
+  if (max_procs == 0) {
+    throw std::invalid_argument("EnergyIntervalDp: needs >= 1 processor");
+  }
+  const auto& app = problem.application(app_idx);
+  const auto& proc = problem.platform().processor(0);
+  speeds_ = proc.speeds();
+  mode_energy_.reserve(speeds_.size());
+  for (std::size_t m = 0; m < speeds_.size(); ++m) {
+    mode_energy_.push_back(problem.platform().processor_energy(0, m));
+  }
+
+  compute_prefix_.assign(n_ + 1, 0.0);
+  boundary_.assign(n_ + 1, 0.0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    compute_prefix_[k + 1] = compute_prefix_[k] + app.compute(k);
+  }
+  for (std::size_t i = 0; i <= n_; ++i) boundary_[i] = app.boundary_size(i);
+
+  // energy_[k][i]: stages 1..i in exactly k+1 intervals.
+  energy_.assign(max_k_, std::vector<double>(n_ + 1, util::kInfinity));
+  choice_.assign(max_k_, std::vector<std::size_t>(n_ + 1, 0));
+
+  for (std::size_t k = 0; k < max_k_; ++k) {
+    for (std::size_t i = 1; i <= n_; ++i) {
+      if (k == 0) {
+        energy_[0][i] = interval_energy(0, i - 1).first;
+        choice_[0][i] = 0;
+        continue;
+      }
+      double best = util::kInfinity;
+      std::size_t best_j = 0;
+      for (std::size_t j = 1; j < i; ++j) {  // k+1 intervals need j >= k
+        if (!std::isfinite(energy_[k - 1][j])) continue;
+        const double tail = interval_energy(j, i - 1).first;
+        const double value = energy_[k - 1][j] + tail;
+        if (value < best) {
+          best = value;
+          best_j = j;
+        }
+      }
+      energy_[k][i] = best;
+      choice_[k][i] = best_j;
+    }
+  }
+}
+
+std::pair<double, std::size_t> EnergyIntervalDp::interval_energy(
+    std::size_t first, std::size_t last) const {
+  const double in = boundary_[first] / bandwidth_;
+  const double out = boundary_[last + 1] / bandwidth_;
+  const double work = compute_prefix_[last + 1] - compute_prefix_[first];
+  for (std::size_t m = 0; m < speeds_.size(); ++m) {
+    const double comp = work / speeds_[m];
+    const double cycle = comm_ == CommModel::Overlap
+                             ? std::max({in, comp, out})
+                             : in + comp + out;
+    if (util::approx_le(cycle, period_bound_)) return {mode_energy_[m], m};
+  }
+  return {util::kInfinity, 0};
+}
+
+double EnergyIntervalDp::min_energy_exact(std::size_t k) const {
+  if (k == 0 || k > max_k_) return util::kInfinity;
+  return energy_[k - 1][n_];
+}
+
+double EnergyIntervalDp::min_energy_at_most(std::size_t k) const {
+  double best = util::kInfinity;
+  for (std::size_t q = 1; q <= std::min(k, max_k_); ++q) {
+    best = std::min(best, energy_[q - 1][n_]);
+  }
+  return best;
+}
+
+std::optional<EnergyIntervalDp::Plan> EnergyIntervalDp::optimal_plan(
+    std::size_t k) const {
+  // Pick the best exact count <= k.
+  std::size_t best_q = 0;
+  double best = util::kInfinity;
+  for (std::size_t q = 1; q <= std::min(k, max_k_); ++q) {
+    if (energy_[q - 1][n_] < best) {
+      best = energy_[q - 1][n_];
+      best_q = q;
+    }
+  }
+  if (best_q == 0) return std::nullopt;
+
+  Plan plan;
+  std::size_t i = n_;
+  std::size_t level = best_q - 1;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;  // (first, last)
+  while (i > 0) {
+    const std::size_t j = choice_[level][i];
+    ranges.emplace_back(j, i - 1);
+    i = j;
+    level = (level == 0) ? 0 : level - 1;
+  }
+  std::reverse(ranges.begin(), ranges.end());
+  for (const auto& [first, last] : ranges) {
+    plan.ends.push_back(last);
+    plan.modes.push_back(interval_energy(first, last).second);
+  }
+  return plan;
+}
+
+std::optional<Solution> interval_min_energy_under_period(
+    const Problem& problem, const Thresholds& period_bounds) {
+  require_fully_homogeneous(problem);
+  const std::size_t A = problem.application_count();
+  const std::size_t p = problem.platform().processor_count();
+
+  std::vector<EnergyIntervalDp> dps;
+  dps.reserve(A);
+  for (std::size_t a = 0; a < A; ++a) {
+    dps.emplace_back(problem, a, p, period_bounds.bound(a));
+  }
+
+  // Knapsack over the processor budget: G[a][k] = min energy of apps 0..a
+  // using at most k processors in total.
+  constexpr double kInf = util::kInfinity;
+  std::vector<std::vector<double>> g(A, std::vector<double>(p + 1, kInf));
+  std::vector<std::vector<std::size_t>> pick(A, std::vector<std::size_t>(p + 1, 0));
+  for (std::size_t k = 1; k <= p; ++k) {
+    g[0][k] = dps[0].min_energy_at_most(k);
+    pick[0][k] = k;
+  }
+  for (std::size_t a = 1; a < A; ++a) {
+    for (std::size_t k = a + 1; k <= p; ++k) {
+      for (std::size_t q = 1; q + a <= k; ++q) {
+        const double mine = dps[a].min_energy_at_most(q);
+        const double rest = g[a - 1][k - q];
+        if (!std::isfinite(mine) || !std::isfinite(rest)) continue;
+        if (mine + rest < g[a][k]) {
+          g[a][k] = mine + rest;
+          pick[a][k] = q;
+        }
+      }
+    }
+  }
+  if (!std::isfinite(g[A - 1][p])) return std::nullopt;
+
+  // Reconstruct per-application budgets, then each application's plan.
+  std::vector<std::size_t> budget(A, 0);
+  std::size_t k = p;
+  for (std::size_t a = A; a-- > 0;) {
+    budget[a] = pick[a][k];
+    k -= (a == 0) ? 0 : budget[a];
+  }
+
+  std::vector<core::IntervalAssignment> intervals;
+  std::size_t next_proc = 0;
+  for (std::size_t a = 0; a < A; ++a) {
+    const auto plan = dps[a].optimal_plan(budget[a]);
+    if (!plan) return std::nullopt;  // unreachable given finite g
+    std::size_t first = 0;
+    for (std::size_t j = 0; j < plan->ends.size(); ++j) {
+      intervals.push_back({a, first, plan->ends[j], next_proc++, plan->modes[j]});
+      first = plan->ends[j] + 1;
+    }
+  }
+  Solution solution;
+  solution.value = g[A - 1][p];
+  solution.mapping = Mapping(std::move(intervals));
+  return solution;
+}
+
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file energy_interval_dp.hpp
+/// Theorems 18 and 21: minimum-energy interval mappings under period
+/// thresholds on fully homogeneous (multi-modal) platforms.
+///
+/// Single application (Theorem 18): prefix dynamic program
+///   E[k][i] = min_{j<i} ( E[k-1][j] + cost1(j+1, i) )
+/// where cost1 is the energy E_stat + s^α of the *slowest* mode whose
+/// interval cycle-time meets the period bound (∞ when none does).
+///
+/// Several applications (Theorem 21): compose the per-application tables
+/// with a knapsack over the processor budget:
+///   G(a, k) = min_q ( E_a(q) + G(a-1, k-q) ).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "algorithms/one_to_one_period.hpp"  // for Solution
+#include "core/objectives.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::algorithms {
+
+/// Per-application energy DP on a fully homogeneous multi-modal platform.
+class EnergyIntervalDp {
+ public:
+  /// \param period_bound unweighted per-interval period threshold T_a.
+  EnergyIntervalDp(const core::Problem& problem, std::size_t app,
+                   std::size_t max_procs, double period_bound);
+
+  /// Minimum energy using exactly k processors; +inf when infeasible.
+  [[nodiscard]] double min_energy_exact(std::size_t k) const;
+
+  /// Minimum energy using at most k processors; +inf when infeasible.
+  [[nodiscard]] double min_energy_at_most(std::size_t k) const;
+
+  /// An optimal plan with at most k processors.
+  struct Plan {
+    std::vector<std::size_t> ends;   ///< inclusive last stage per interval
+    std::vector<std::size_t> modes;  ///< chosen mode per interval
+  };
+  [[nodiscard]] std::optional<Plan> optimal_plan(std::size_t k) const;
+
+  [[nodiscard]] std::size_t max_intervals() const noexcept { return max_k_; }
+
+ private:
+  /// Energy of the cheapest feasible mode for stages [first..last], and the
+  /// mode index; {+inf, 0} when infeasible.
+  [[nodiscard]] std::pair<double, std::size_t> interval_energy(
+      std::size_t first, std::size_t last) const;
+
+  std::vector<double> compute_prefix_;
+  std::vector<double> boundary_;
+  std::vector<double> speeds_;  ///< the common mode set
+  std::vector<double> mode_energy_;
+  double bandwidth_;
+  core::CommModel comm_;
+  double period_bound_;
+  std::size_t n_;
+  std::size_t max_k_;
+  std::vector<std::vector<double>> energy_;       // [k][i], k = exact count - 1
+  std::vector<std::vector<std::size_t>> choice_;  // [k][i]
+};
+
+/// Theorem 18 (single application) / Theorem 21 (several applications):
+/// minimum total energy of an interval mapping with per-application period
+/// bounds on a fully homogeneous platform.
+/// \throws std::invalid_argument unless the platform is fully homogeneous
+/// (Theorem 22: NP-hard otherwise).
+[[nodiscard]] std::optional<Solution> interval_min_energy_under_period(
+    const core::Problem& problem, const core::Thresholds& period_bounds);
+
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,69 @@
+#include "algorithms/energy_matching.hpp"
+
+#include <stdexcept>
+
+#include "core/evaluation.hpp"
+#include "solvers/hungarian.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::algorithms {
+
+std::optional<Solution> one_to_one_min_energy_under_period(
+    const core::Problem& problem, const core::Thresholds& period_bounds) {
+  const auto& platform = problem.platform();
+  if (!platform.has_uniform_bandwidth()) {
+    throw std::invalid_argument(
+        "one-to-one energy minimization: NP-hard on fully heterogeneous "
+        "platforms (Theorem 20); this algorithm requires uniform links");
+  }
+  if (!problem.one_to_one_applicable()) return std::nullopt;
+
+  const std::size_t n = problem.total_stages();
+  const std::size_t p = platform.processor_count();
+
+  // cost[stage][proc] = energy of the slowest feasible mode, else +inf.
+  // Also remember the chosen mode for mapping reconstruction.
+  std::vector<std::vector<double>> cost(n, std::vector<double>(p, util::kInfinity));
+  std::vector<std::vector<std::size_t>> mode_of(n, std::vector<std::size_t>(p, 0));
+
+  std::size_t row = 0;
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const auto& app = problem.application(a);
+    for (std::size_t k = 0; k < app.stage_count(); ++k, ++row) {
+      for (std::size_t u = 0; u < p; ++u) {
+        const auto& proc = platform.processor(u);
+        // Modes ascend in speed, hence in energy: the first feasible mode is
+        // the cheapest (linear scan keeps tolerance semantics identical to
+        // the evaluation path).
+        for (std::size_t m = 0; m < proc.mode_count(); ++m) {
+          const double cycle =
+              core::one_to_one_cycle_time(problem, a, k, u, proc.speed(m));
+          if (util::approx_le(cycle, period_bounds.bound(a))) {
+            cost[row][u] = platform.processor_energy(u, m);
+            mode_of[row][u] = m;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  const auto matching = solvers::solve_assignment(cost);
+  if (!matching) return std::nullopt;
+
+  std::vector<core::IntervalAssignment> intervals;
+  intervals.reserve(n);
+  row = 0;
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    for (std::size_t k = 0; k < problem.application(a).stage_count(); ++k, ++row) {
+      const std::size_t u = matching->column_of[row];
+      intervals.push_back({a, k, k, u, mode_of[row][u]});
+    }
+  }
+  Solution solution;
+  solution.value = matching->total_cost;
+  solution.mapping = core::Mapping(std::move(intervals));
+  return solution;
+}
+
+}  // namespace pipeopt::algorithms

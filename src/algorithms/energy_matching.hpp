@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file energy_matching.hpp
+/// Theorem 19: minimum-energy one-to-one mapping under per-application
+/// period thresholds on communication-homogeneous platforms, via
+/// minimum-weight bipartite matching.
+///
+/// Build the bipartite graph {stages} × {processors}; the weight of edge
+/// (stage, P_u) is the energy of the *slowest mode* of P_u that executes the
+/// stage within the application's period threshold (∞ if even the fastest
+/// mode is too slow). A minimum-weight matching covering all stages is the
+/// cheapest feasible one-to-one mapping.
+///
+/// (The paper invokes Hopcroft–Karp here, but that algorithm solves the
+/// unweighted matching problem; the minimum-weight matching this proof needs
+/// is solved by the Hungarian method — see EXPERIMENTS.md.)
+
+#include <optional>
+
+#include "algorithms/one_to_one_period.hpp"  // for Solution
+#include "core/objectives.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::algorithms {
+
+/// Minimum total energy of a one-to-one mapping with W-independent per-app
+/// period bounds T_a (unweighted bounds; fold weights via
+/// Thresholds::uniform when a single weighted bound is meant).
+/// Returns std::nullopt when infeasible (p < N or no matching).
+/// \throws std::invalid_argument on fully heterogeneous platforms
+/// (Theorem 20: NP-hard).
+[[nodiscard]] std::optional<Solution> one_to_one_min_energy_under_period(
+    const core::Problem& problem, const core::Thresholds& period_bounds);
+
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,69 @@
+#include "algorithms/greedy_assignment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "solvers/hopcroft_karp.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::algorithms {
+
+double item_cost(const GreedyItem& item, double speed,
+                 CostCombine combine) noexcept {
+  const double comp = item.compute / speed;
+  const double raw = (combine == CostCombine::Max)
+                         ? std::max({item.in_comm, comp, item.out_comm})
+                         : item.in_comm + comp + item.out_comm;
+  return item.weight * raw;
+}
+
+std::optional<GreedyAssignment> greedy_assign(const core::Platform& platform,
+                                              const std::vector<GreedyItem>& items,
+                                              double threshold,
+                                              CostCombine combine) {
+  const std::size_t n = items.size();
+  if (n > platform.processor_count()) return std::nullopt;
+
+  // Fastest N processors, then scanned slowest-first (Algorithm 1).
+  std::vector<std::size_t> procs = platform.processors_by_max_speed_desc();
+  procs.resize(n);
+  std::reverse(procs.begin(), procs.end());
+
+  GreedyAssignment result;
+  result.proc_of_item.assign(n, 0);
+  std::vector<char> taken(n, 0);
+  for (std::size_t u : procs) {
+    const double speed = platform.processor(u).max_speed();
+    // "Pick up any free stage" — the exchange argument makes any feasible
+    // choice optimal; we take the first.
+    std::size_t chosen = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      if (util::approx_le(item_cost(items[i], speed, combine), threshold)) {
+        chosen = i;
+        break;
+      }
+    }
+    if (chosen == n) return std::nullopt;  // "failure"
+    taken[chosen] = 1;
+    result.proc_of_item[chosen] = u;
+  }
+  return result;
+}
+
+bool matching_feasible(const core::Platform& platform,
+                       const std::vector<GreedyItem>& items, double threshold,
+                       CostCombine combine) {
+  solvers::BipartiteGraph graph(items.size(), platform.processor_count());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t u = 0; u < platform.processor_count(); ++u) {
+      const double speed = platform.processor(u).max_speed();
+      if (util::approx_le(item_cost(items[i], speed, combine), threshold)) {
+        graph.add_edge(i, u);
+      }
+    }
+  }
+  return solvers::has_left_perfect_matching(graph);
+}
+
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file greedy_assignment.hpp
+/// Algorithm 1 of the paper: greedy feasibility test for a prescribed
+/// threshold on communication-homogeneous platforms.
+///
+/// The abstract shape: N independent items must go to N distinct processors,
+/// one each; item i on a processor of speed s costs
+///     weight_i · combine(in_i, compute_i / s, out_i)
+/// where combine is max(...) in the overlap model and a sum in the
+/// no-overlap model (in_i/out_i are speed-independent on comm-homogeneous
+/// platforms — that is exactly why the greedy works there).
+///
+/// Keep the fastest N processors, scan them slowest-first, let each take any
+/// free item it can process within the threshold. The exchange argument of
+/// Theorem 1 shows this succeeds iff a feasible assignment exists: anything
+/// feasible on a slow processor is feasible on every faster one.
+///
+/// Instantiations: one-to-one period minimization (items = stages,
+/// Theorem 1) and interval latency minimization (items = whole applications
+/// mapped to single processors, Theorem 12).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace pipeopt::algorithms {
+
+/// How the three cost pieces combine into a cycle-time/latency.
+enum class CostCombine {
+  Max,  ///< overlap-model cycle-time (Eq. 3 shape)
+  Sum   ///< no-overlap cycle-time / latency (Eq. 4 / Eq. 5 shape)
+};
+
+/// One assignable item.
+struct GreedyItem {
+  double in_comm = 0.0;   ///< speed-independent incoming term
+  double compute = 0.0;   ///< divided by the processor speed
+  double out_comm = 0.0;  ///< speed-independent outgoing term
+  double weight = 1.0;    ///< W_a multiplier
+};
+
+/// Weighted cost of an item on a processor of the given speed.
+[[nodiscard]] double item_cost(const GreedyItem& item, double speed,
+                               CostCombine combine) noexcept;
+
+/// Result: processor index (into the platform) per item.
+struct GreedyAssignment {
+  std::vector<std::size_t> proc_of_item;
+};
+
+/// Algorithm 1. Returns the assignment when the threshold is achievable,
+/// std::nullopt otherwise. Processors run at their maximum speeds (the §4
+/// normalization). Requires items.size() <= processor count.
+[[nodiscard]] std::optional<GreedyAssignment> greedy_assign(
+    const core::Platform& platform, const std::vector<GreedyItem>& items,
+    double threshold, CostCombine combine);
+
+/// Independent feasibility oracle for the same question via a bipartite
+/// matching (Hopcroft–Karp): edge (item, processor) when the item fits
+/// within the threshold. Used by property tests to cross-check the greedy.
+[[nodiscard]] bool matching_feasible(const core::Platform& platform,
+                                     const std::vector<GreedyItem>& items,
+                                     double threshold, CostCombine combine);
+
+}  // namespace pipeopt::algorithms

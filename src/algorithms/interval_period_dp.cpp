@@ -1,0 +1,100 @@
+#include "algorithms/interval_period_dp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/numeric.hpp"
+
+namespace pipeopt::algorithms {
+
+IntervalPeriodDp::IntervalPeriodDp(const core::Application& app, double speed,
+                                   double bandwidth, core::CommModel comm,
+                                   std::size_t max_procs)
+    : weight_(app.weight()),
+      speed_(speed),
+      bandwidth_(bandwidth),
+      comm_(comm),
+      n_(app.stage_count()),
+      max_q_(std::min(max_procs, app.stage_count())) {
+  if (!(speed_ > 0.0) || !(bandwidth_ > 0.0)) {
+    throw std::invalid_argument("IntervalPeriodDp: speed/bandwidth must be > 0");
+  }
+  if (max_procs == 0) {
+    throw std::invalid_argument("IntervalPeriodDp: needs at least one processor");
+  }
+  compute_prefix_.assign(n_ + 1, 0.0);
+  boundary_.assign(n_ + 1, 0.0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    compute_prefix_[k + 1] = compute_prefix_[k] + app.compute(k);
+  }
+  for (std::size_t i = 0; i <= n_; ++i) boundary_[i] = app.boundary_size(i);
+
+  // table_[q][i]: stages 1..i (1-based; i = 0 is the empty prefix) into at
+  // most q+1 intervals.
+  table_.assign(max_q_, std::vector<double>(n_ + 1, util::kInfinity));
+  choice_.assign(max_q_, std::vector<std::size_t>(n_ + 1, 0));
+  for (std::size_t q = 0; q < max_q_; ++q) table_[q][0] = 0.0;
+
+  for (std::size_t q = 0; q < max_q_; ++q) {
+    for (std::size_t i = 1; i <= n_; ++i) {
+      if (q == 0) {
+        table_[0][i] = interval_cost(0, i - 1);
+        choice_[0][i] = 0;
+        continue;
+      }
+      double best = util::kInfinity;
+      std::size_t best_j = 0;
+      for (std::size_t j = 0; j < i; ++j) {
+        const double tail = interval_cost(j, i - 1);
+        const double value = std::max(table_[q - 1][j], tail);
+        if (value < best) {
+          best = value;
+          best_j = j;
+        }
+      }
+      table_[q][i] = best;
+      choice_[q][i] = best_j;
+    }
+  }
+}
+
+std::size_t IntervalPeriodDp::clamp_q(std::size_t q) const noexcept {
+  return std::min(q, max_q_);
+}
+
+double IntervalPeriodDp::interval_cost(std::size_t first, std::size_t last) const {
+  if (first > last || last >= n_) {
+    throw std::out_of_range("IntervalPeriodDp::interval_cost: bad range");
+  }
+  const double in = boundary_[first] / bandwidth_;
+  const double comp = (compute_prefix_[last + 1] - compute_prefix_[first]) / speed_;
+  const double out = boundary_[last + 1] / bandwidth_;
+  return comm_ == core::CommModel::Overlap ? std::max({in, comp, out})
+                                           : in + comp + out;
+}
+
+double IntervalPeriodDp::min_period_by_count(std::size_t q) const {
+  if (q == 0) return util::kInfinity;
+  return table_[clamp_q(q) - 1][n_];
+}
+
+double IntervalPeriodDp::weighted_min_period_by_count(std::size_t q) const {
+  return weight_ * min_period_by_count(q);
+}
+
+std::vector<std::size_t> IntervalPeriodDp::optimal_splits(std::size_t q) const {
+  if (q == 0) throw std::invalid_argument("optimal_splits: q must be >= 1");
+  std::vector<std::size_t> ends;
+  std::size_t i = n_;
+  std::size_t level = clamp_q(q) - 1;
+  while (i > 0) {
+    ends.push_back(i - 1);  // 0-based last stage of this interval
+    const std::size_t j = choice_[level][i];
+    i = j;
+    level = (level == 0) ? 0 : level - 1;
+  }
+  std::reverse(ends.begin(), ends.end());
+  return ends;
+}
+
+}  // namespace pipeopt::algorithms

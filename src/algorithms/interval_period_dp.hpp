@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file interval_period_dp.hpp
+/// Single-application interval period minimization on identical processors —
+/// the dynamic program behind Theorem 3 (from Benoit & Robert [4], extended
+/// to both communication models).
+///
+/// For one application on q identical processors of speed s with uniform
+/// bandwidth b, the optimal period over interval mappings is the classic
+/// chains-on-chains min-max partition:
+///   T(i, q) = min_{j < i} max( T(j, q-1), cost(j+1, i) )
+/// where cost is the interval cycle-time (Eq. 3 or Eq. 4 shape).
+///
+/// The table is computed for every q at once; `min_period_by_count(q)` is
+/// the non-increasing function f_a(q) that Algorithm 2 consumes.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::core {
+class Mapping;
+}
+
+namespace pipeopt::algorithms {
+
+/// DP over one application on identical processors.
+class IntervalPeriodDp {
+ public:
+  /// \param app    the application (δ⁰..δⁿ, w¹..wⁿ, W_a).
+  /// \param speed  common processor speed.
+  /// \param bandwidth uniform link bandwidth (also used for source/sink links).
+  /// \param comm   communication model (max vs sum interval cost).
+  /// \param max_procs table width (counts above stage count are clamped).
+  IntervalPeriodDp(const core::Application& app, double speed, double bandwidth,
+                   core::CommModel comm, std::size_t max_procs);
+
+  /// Unweighted optimal period using at most q processors (q >= 1).
+  /// Non-increasing in q; q larger than the stage count is clamped.
+  [[nodiscard]] double min_period_by_count(std::size_t q) const;
+
+  /// W_a · min_period_by_count(q).
+  [[nodiscard]] double weighted_min_period_by_count(std::size_t q) const;
+
+  /// Split points of an optimal partition into at most q intervals: returns
+  /// the (inclusive) last stage of every interval, in order.
+  [[nodiscard]] std::vector<std::size_t> optimal_splits(std::size_t q) const;
+
+  [[nodiscard]] std::size_t stage_count() const noexcept { return n_; }
+
+  /// Cycle-time of the interval [first..last] (0-based, inclusive) in this
+  /// DP's cost model — exposed for tests and the bi-criteria DP.
+  [[nodiscard]] double interval_cost(std::size_t first, std::size_t last) const;
+
+ private:
+  [[nodiscard]] std::size_t clamp_q(std::size_t q) const noexcept;
+
+  // Copied instance data (the DP outlives any Application reference).
+  std::vector<double> compute_prefix_;  ///< size n+1
+  std::vector<double> boundary_;        ///< size n+1 (δ⁰..δⁿ)
+  double weight_;
+  double speed_;
+  double bandwidth_;
+  core::CommModel comm_;
+  std::size_t n_;
+  std::size_t max_q_;
+  // table_[q][i]: optimal period of stages 1..i with at most q+1 intervals.
+  std::vector<std::vector<double>> table_;
+  // choice_[q][i]: split point j (prefix 1..j recurses) realizing table_[q][i].
+  std::vector<std::vector<std::size_t>> choice_;
+};
+
+}  // namespace pipeopt::algorithms

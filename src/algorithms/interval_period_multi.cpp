@@ -1,0 +1,89 @@
+#include "algorithms/interval_period_multi.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "algorithms/interval_period_dp.hpp"
+#include "algorithms/processor_allocation.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::Mapping;
+using core::PlatformClass;
+using core::Problem;
+
+void require_fully_homogeneous(const Problem& problem) {
+  if (problem.platform().classify() != PlatformClass::FullyHomogeneous) {
+    throw std::invalid_argument(
+        "interval period minimization: polynomial only on fully homogeneous "
+        "platforms (Theorem 3); NP-hard otherwise (Theorems 4-5)");
+  }
+}
+
+/// Builds one DP per application at the platform's (common) maximum speed.
+std::vector<std::unique_ptr<IntervalPeriodDp>> build_dps(const Problem& problem) {
+  const auto& platform = problem.platform();
+  const double speed = platform.processor(0).max_speed();
+  const double bw = platform.uniform_bandwidth();
+  std::vector<std::unique_ptr<IntervalPeriodDp>> dps;
+  dps.reserve(problem.application_count());
+  for (const auto& app : problem.applications()) {
+    dps.push_back(std::make_unique<IntervalPeriodDp>(
+        app, speed, bw, problem.comm_model(), platform.processor_count()));
+  }
+  return dps;
+}
+
+/// Turns per-application split lists into a Mapping, assigning distinct
+/// processors in index order (identical processors: any order is optimal).
+Mapping splits_to_mapping(const Problem& problem,
+                          const std::vector<std::vector<std::size_t>>& splits) {
+  std::vector<core::IntervalAssignment> intervals;
+  std::size_t next_proc = 0;
+  const std::size_t max_mode = problem.platform().processor(0).max_mode();
+  for (std::size_t a = 0; a < splits.size(); ++a) {
+    std::size_t first = 0;
+    for (std::size_t last : splits[a]) {
+      intervals.push_back({a, first, last, next_proc++, max_mode});
+      first = last + 1;
+    }
+  }
+  return Mapping(std::move(intervals));
+}
+
+}  // namespace
+
+std::optional<Solution> interval_min_period(const Problem& problem) {
+  require_fully_homogeneous(problem);
+  const auto dps = build_dps(problem);
+
+  const auto value = [&](std::size_t a, std::size_t k) {
+    return dps[a]->weighted_min_period_by_count(k);
+  };
+  const auto allocation = allocate_processors(
+      problem.application_count(), problem.platform().processor_count(), value);
+  if (!allocation) return std::nullopt;
+
+  std::vector<std::vector<std::size_t>> splits;
+  splits.reserve(problem.application_count());
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    splits.push_back(dps[a]->optimal_splits(allocation->count[a]));
+  }
+  Solution solution;
+  solution.value = allocation->objective;
+  solution.mapping = splits_to_mapping(problem, splits);
+  return solution;
+}
+
+double solo_interval_period(const Problem& problem, std::size_t app) {
+  require_fully_homogeneous(problem);
+  const auto& platform = problem.platform();
+  const IntervalPeriodDp dp(problem.application(app),
+                            platform.processor(0).max_speed(),
+                            platform.uniform_bandwidth(), problem.comm_model(),
+                            platform.processor_count());
+  return dp.min_period_by_count(platform.processor_count());
+}
+
+}  // namespace pipeopt::algorithms

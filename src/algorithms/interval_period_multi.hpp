@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file interval_period_multi.hpp
+/// Theorem 3: minimum-period interval mapping of several concurrent
+/// applications on fully homogeneous platforms, in polynomial time.
+///
+/// Per-application optimal periods by processor count come from the
+/// chains-on-chains DP (IntervalPeriodDp); Algorithm 2 distributes the p
+/// processors across applications. Works for both communication models and
+/// arbitrary weights W_a (the NP-hardness of Theorems 5–7 only kicks in with
+/// heterogeneous processors).
+
+#include <optional>
+
+#include "algorithms/one_to_one_period.hpp"  // for Solution
+#include "core/problem.hpp"
+
+namespace pipeopt::algorithms {
+
+/// Minimum max_a W_a·T_a over interval mappings on a fully homogeneous
+/// platform (processors at maximum speed).
+/// \throws std::invalid_argument unless the platform is fully homogeneous.
+[[nodiscard]] std::optional<Solution> interval_min_period(
+    const core::Problem& problem);
+
+/// Solo optimum: the best period application `app` could achieve with the
+/// whole platform to itself (used for stretch weights, §3.4).
+[[nodiscard]] double solo_interval_period(const core::Problem& problem,
+                                          std::size_t app);
+
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,138 @@
+#include "algorithms/latency_algorithms.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algorithms/greedy_assignment.hpp"
+#include "core/evaluation.hpp"
+#include "solvers/search.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::Mapping;
+using core::PlatformClass;
+using core::Problem;
+
+/// Latency items: one per application, mapped whole onto one processor.
+/// Latency is always the Sum combination (Eq. 5), independent of the model.
+std::vector<GreedyItem> app_items(const Problem& problem) {
+  const double b = problem.platform().uniform_bandwidth();
+  std::vector<GreedyItem> items;
+  items.reserve(problem.application_count());
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const auto& app = problem.application(a);
+    GreedyItem item;
+    item.in_comm = app.boundary_size(0) / b;
+    item.compute = app.total_compute();
+    item.out_comm = app.boundary_size(app.stage_count()) / b;
+    item.weight = app.weight();
+    items.push_back(item);
+  }
+  return items;
+}
+
+Mapping apps_to_mapping(const Problem& problem, const GreedyAssignment& assignment) {
+  std::vector<core::IntervalAssignment> intervals;
+  intervals.reserve(problem.application_count());
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const std::size_t proc = assignment.proc_of_item[a];
+    intervals.push_back({a, 0, problem.application(a).stage_count() - 1, proc,
+                         problem.platform().processor(proc).max_mode()});
+  }
+  return Mapping(std::move(intervals));
+}
+
+void require_comm_homogeneous(const Problem& problem) {
+  if (!problem.platform().has_uniform_bandwidth()) {
+    throw std::invalid_argument(
+        "interval latency minimization: NP-hard on fully heterogeneous "
+        "platforms (Theorem 13); this algorithm requires uniform links");
+  }
+}
+
+}  // namespace
+
+std::optional<Solution> one_to_one_min_latency_fully_hom(const Problem& problem) {
+  if (problem.platform().classify() != PlatformClass::FullyHomogeneous) {
+    throw std::invalid_argument(
+        "one-to-one latency: trivial only on fully homogeneous platforms "
+        "(Theorem 8); NP-hard with heterogeneous processors (Theorem 9)");
+  }
+  if (!problem.one_to_one_applicable()) return std::nullopt;
+
+  // All one-to-one mappings are equivalent: assign stages to processors in
+  // order, at maximum speed.
+  std::vector<core::IntervalAssignment> intervals;
+  std::size_t proc = 0;
+  const std::size_t max_mode = problem.platform().processor(0).max_mode();
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    for (std::size_t k = 0; k < problem.application(a).stage_count(); ++k) {
+      intervals.push_back({a, k, k, proc++, max_mode});
+    }
+  }
+  Solution solution;
+  solution.mapping = Mapping(std::move(intervals));
+  solution.value =
+      core::evaluate(problem, solution.mapping).max_weighted_latency;
+  return solution;
+}
+
+std::optional<Solution> interval_min_latency(const Problem& problem) {
+  require_comm_homogeneous(problem);
+  const auto& platform = problem.platform();
+  if (platform.processor_count() < problem.application_count()) {
+    return std::nullopt;
+  }
+  const std::vector<GreedyItem> items = app_items(problem);
+
+  std::vector<double> candidates;
+  candidates.reserve(items.size() * platform.processor_count());
+  for (const GreedyItem& item : items) {
+    for (std::size_t u = 0; u < platform.processor_count(); ++u) {
+      candidates.push_back(
+          item_cost(item, platform.processor(u).max_speed(), CostCombine::Sum));
+    }
+  }
+  candidates = solvers::normalize_candidates(std::move(candidates));
+
+  const auto latency = solvers::min_feasible_candidate(candidates, [&](double t) {
+    return greedy_assign(platform, items, t, CostCombine::Sum).has_value();
+  });
+  if (!latency) return std::nullopt;
+
+  const auto assignment =
+      greedy_assign(platform, items, *latency, CostCombine::Sum);
+  if (!assignment) return std::nullopt;  // unreachable
+  Solution solution;
+  solution.value = *latency;
+  solution.mapping = apps_to_mapping(problem, *assignment);
+  return solution;
+}
+
+std::optional<Mapping> interval_latency_feasible(const Problem& problem,
+                                                 double threshold) {
+  require_comm_homogeneous(problem);
+  if (problem.platform().processor_count() < problem.application_count()) {
+    return std::nullopt;
+  }
+  const auto assignment = greedy_assign(problem.platform(), app_items(problem),
+                                        threshold, CostCombine::Sum);
+  if (!assignment) return std::nullopt;
+  return apps_to_mapping(problem, *assignment);
+}
+
+double solo_interval_latency(const Problem& problem, std::size_t app) {
+  require_comm_homogeneous(problem);
+  const auto& platform = problem.platform();
+  double best_speed = 0.0;
+  for (const auto& proc : platform.processors()) {
+    best_speed = std::max(best_speed, proc.max_speed());
+  }
+  const auto& a = problem.application(app);
+  const double b = platform.uniform_bandwidth();
+  return a.boundary_size(0) / b + a.total_compute() / best_speed +
+         a.boundary_size(a.stage_count()) / b;
+}
+
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file latency_algorithms.hpp
+/// Polynomial latency-minimization algorithms.
+///
+/// * Theorem 8 — one-to-one latency on fully homogeneous platforms: all
+///   one-to-one mappings are equivalent; build any and evaluate.
+/// * Theorem 12 — interval latency on communication-homogeneous platforms:
+///   a whole application on one processor dominates any split (splitting
+///   adds communication and cannot speed up computation beyond the fastest
+///   processor), so keep the A fastest processors and assign applications
+///   one-to-one; the optimal value lies in the candidate set
+///   L = { W_a · (δ⁰/b + Σw/s_u + δⁿ/b) } and the greedy of Algorithm 1
+///   decides feasibility of each threshold.
+
+#include <optional>
+
+#include "algorithms/one_to_one_period.hpp"  // for Solution
+#include "core/problem.hpp"
+
+namespace pipeopt::algorithms {
+
+/// Theorem 8: one-to-one latency minimum on fully homogeneous platforms.
+/// Returns std::nullopt when p < N.
+/// \throws std::invalid_argument unless the platform is fully homogeneous.
+[[nodiscard]] std::optional<Solution> one_to_one_min_latency_fully_hom(
+    const core::Problem& problem);
+
+/// Theorem 12: interval latency minimum on communication-homogeneous
+/// platforms (one processor per application). Returns std::nullopt when
+/// p < A. \throws std::invalid_argument on heterogeneous links (NP-hard,
+/// Theorem 13).
+[[nodiscard]] std::optional<Solution> interval_min_latency(
+    const core::Problem& problem);
+
+/// Feasibility of max_a W_a·L_a <= threshold with one processor per
+/// application (the Theorem 12 regime).
+[[nodiscard]] std::optional<core::Mapping> interval_latency_feasible(
+    const core::Problem& problem, double threshold);
+
+/// Solo optimum: latency of application `app` alone on the platform's
+/// fastest processor (used for stretch weights).
+[[nodiscard]] double solo_interval_latency(const core::Problem& problem,
+                                           std::size_t app);
+
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,108 @@
+#include "algorithms/one_to_one_period.hpp"
+
+#include <stdexcept>
+
+#include "algorithms/greedy_assignment.hpp"
+#include "solvers/search.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::CommModel;
+using core::Mapping;
+using core::Problem;
+
+CostCombine combine_of(const Problem& problem) {
+  return problem.comm_model() == CommModel::Overlap ? CostCombine::Max
+                                                    : CostCombine::Sum;
+}
+
+/// Builds the per-stage items (in/out terms use the uniform bandwidth).
+std::vector<GreedyItem> stage_items(const Problem& problem) {
+  const double b = problem.platform().uniform_bandwidth();
+  std::vector<GreedyItem> items;
+  items.reserve(problem.total_stages());
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const auto& app = problem.application(a);
+    for (std::size_t k = 0; k < app.stage_count(); ++k) {
+      GreedyItem item;
+      item.in_comm = app.boundary_size(k) / b;
+      item.compute = app.compute(k);
+      item.out_comm = app.boundary_size(k + 1) / b;
+      item.weight = app.weight();
+      items.push_back(item);
+    }
+  }
+  return items;
+}
+
+/// Converts an item assignment back into a Mapping (items are stages in
+/// (app, stage) order; fastest modes per the §4 normalization).
+Mapping to_mapping(const Problem& problem, const GreedyAssignment& assignment) {
+  std::vector<core::IntervalAssignment> intervals;
+  intervals.reserve(problem.total_stages());
+  std::size_t item = 0;
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const auto& app = problem.application(a);
+    for (std::size_t k = 0; k < app.stage_count(); ++k, ++item) {
+      const std::size_t proc = assignment.proc_of_item[item];
+      intervals.push_back(
+          {a, k, k, proc, problem.platform().processor(proc).max_mode()});
+    }
+  }
+  return Mapping(std::move(intervals));
+}
+
+void require_comm_homogeneous(const Problem& problem) {
+  if (!problem.platform().has_uniform_bandwidth()) {
+    throw std::invalid_argument(
+        "one-to-one period minimization: NP-hard on fully heterogeneous "
+        "platforms (Theorem 2); this algorithm requires uniform links");
+  }
+}
+
+}  // namespace
+
+std::optional<Solution> one_to_one_min_period(const Problem& problem) {
+  require_comm_homogeneous(problem);
+  if (!problem.one_to_one_applicable()) return std::nullopt;
+
+  const std::vector<GreedyItem> items = stage_items(problem);
+  const CostCombine combine = combine_of(problem);
+  const auto& platform = problem.platform();
+
+  // Candidate set T: every weighted stage-on-processor cycle-time.
+  std::vector<double> candidates;
+  candidates.reserve(items.size() * platform.processor_count());
+  for (const GreedyItem& item : items) {
+    for (std::size_t u = 0; u < platform.processor_count(); ++u) {
+      candidates.push_back(
+          item_cost(item, platform.processor(u).max_speed(), combine));
+    }
+  }
+  candidates = solvers::normalize_candidates(std::move(candidates));
+
+  const auto period = solvers::min_feasible_candidate(candidates, [&](double t) {
+    return greedy_assign(platform, items, t, combine).has_value();
+  });
+  if (!period) return std::nullopt;
+
+  auto assignment = greedy_assign(platform, items, *period, combine);
+  if (!assignment) return std::nullopt;  // unreachable: *period is feasible
+  Solution solution;
+  solution.value = *period;
+  solution.mapping = to_mapping(problem, *assignment);
+  return solution;
+}
+
+std::optional<Mapping> one_to_one_period_feasible(const Problem& problem,
+                                                  double threshold) {
+  require_comm_homogeneous(problem);
+  if (!problem.one_to_one_applicable()) return std::nullopt;
+  const auto assignment = greedy_assign(problem.platform(), stage_items(problem),
+                                        threshold, combine_of(problem));
+  if (!assignment) return std::nullopt;
+  return to_mapping(problem, *assignment);
+}
+
+}  // namespace pipeopt::algorithms

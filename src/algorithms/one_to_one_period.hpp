@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file one_to_one_period.hpp
+/// Theorem 1: minimum-period one-to-one mapping on communication-homogeneous
+/// platforms, in polynomial time.
+///
+/// The optimal period belongs to the candidate set
+///   T = { W_a · combine(δ^{k-1}/b, w^k/s_u, δ^k/b) : stages (a,k), procs u }
+/// because it equals the weighted cycle-time of some processor executing some
+/// stage. Binary-search the sorted set, testing feasibility with Algorithm 1
+/// (src/algorithms/greedy_assignment.hpp). Both communication models.
+
+#include <optional>
+
+#include "core/mapping.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::algorithms {
+
+/// An optimization outcome: achieved objective value plus witness mapping.
+struct Solution {
+  double value = 0.0;
+  core::Mapping mapping;
+};
+
+/// Minimum max_a W_a·T_a over one-to-one mappings (processors at maximum
+/// speed). Returns std::nullopt when p < N (one-to-one inapplicable).
+/// \throws std::invalid_argument on fully heterogeneous platforms — the
+/// problem is NP-hard there (Theorem 2); use the exact solvers instead.
+[[nodiscard]] std::optional<Solution> one_to_one_min_period(
+    const core::Problem& problem);
+
+/// Feasibility of a one-to-one mapping with max_a W_a·T_a <= threshold.
+/// Returns the witness mapping when feasible.
+[[nodiscard]] std::optional<core::Mapping> one_to_one_period_feasible(
+    const core::Problem& problem, double threshold);
+
+}  // namespace pipeopt::algorithms

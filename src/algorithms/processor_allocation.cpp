@@ -1,0 +1,81 @@
+#include "algorithms/processor_allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/numeric.hpp"
+
+namespace pipeopt::algorithms {
+
+std::optional<AllocationResult> allocate_processors(std::size_t applications,
+                                                    std::size_t processors,
+                                                    const AllocationValueFn& f) {
+  if (applications == 0) throw std::invalid_argument("allocate_processors: A == 0");
+  if (processors < applications) return std::nullopt;  // one processor each
+
+  // Bootstrap at the minimal feasible count per application.
+  std::vector<std::size_t> count(applications, 0);
+  std::size_t used = 0;
+  for (std::size_t a = 0; a < applications; ++a) {
+    std::size_t k = 1;
+    while (k <= processors && !std::isfinite(f(a, k))) ++k;
+    if (k > processors) return std::nullopt;  // infeasible even alone
+    count[a] = k;
+    used += k;
+  }
+  if (used > processors) return std::nullopt;
+
+  std::vector<double> value(applications);
+  for (std::size_t a = 0; a < applications; ++a) value[a] = f(a, count[a]);
+
+  // Greedy: hand each remaining processor to the current bottleneck.
+  for (; used < processors; ++used) {
+    std::size_t worst = 0;
+    for (std::size_t a = 1; a < applications; ++a) {
+      if (value[a] > value[worst]) worst = a;
+    }
+    ++count[worst];
+    value[worst] = f(worst, count[worst]);
+  }
+
+  AllocationResult result;
+  result.count = std::move(count);
+  result.objective = *std::max_element(value.begin(), value.end());
+  return result;
+}
+
+std::optional<AllocationResult> minimal_counts_for_bounds(
+    std::size_t applications, std::size_t processors, const AllocationValueFn& f,
+    const std::vector<double>& bounds) {
+  if (bounds.size() != applications) {
+    throw std::invalid_argument("minimal_counts_for_bounds: arity mismatch");
+  }
+  AllocationResult result;
+  result.count.assign(applications, 0);
+  std::size_t used = 0;
+  double objective = 0.0;
+  for (std::size_t a = 0; a < applications; ++a) {
+    std::size_t k = 1;
+    double v = util::kInfinity;
+    // An infinite value means "infeasible with k processors" even against an
+    // unconstrained (+inf) bound, so finiteness is required explicitly.
+    const auto meets_bound = [&](double value) {
+      return std::isfinite(value) && util::approx_le(value, bounds[a]);
+    };
+    for (; used + k <= processors; ++k) {
+      v = f(a, k);
+      if (meets_bound(v)) break;
+    }
+    if (used + k > processors || !meets_bound(v)) {
+      return std::nullopt;
+    }
+    result.count[a] = k;
+    used += k;
+    objective = std::max(objective, v);
+  }
+  result.objective = objective;
+  return result;
+}
+
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file processor_allocation.hpp
+/// Algorithm 2 of the paper, in its general form: distribute p identical
+/// processors among A applications to minimize max_a f_a(k_a), where every
+/// f_a is non-increasing in the processor count k_a (more processors never
+/// hurt). The paper's proof is an exchange/induction argument over the
+/// greedy "give the next processor to the current arg-max" rule; it applies
+/// verbatim to any non-increasing f_a, which is how Theorems 3, 16 and 24
+/// all reuse this routine with different per-application value functions
+/// (period DP, latency-under-period DP, period-under-latency search).
+///
+/// Extension for constrained variants: f_a may be +inf while the application
+/// cannot meet its thresholds with so few processors. The greedy is then
+/// bootstrapped at k_min_a = min{k : f_a(k) < inf}; any feasible allocation
+/// has k_a >= k_min_a, so optimality is preserved.
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace pipeopt::algorithms {
+
+/// Value function: f(app, k) for k in [1, p]; must be non-increasing in k.
+/// Weights W_a are the caller's responsibility (fold them into f).
+using AllocationValueFn = std::function<double(std::size_t app, std::size_t k)>;
+
+/// Outcome of an allocation.
+struct AllocationResult {
+  std::vector<std::size_t> count;  ///< processors per application (>= 1)
+  double objective = 0.0;          ///< max_a f_a(count[a])
+};
+
+/// Algorithm 2. Returns std::nullopt when even the minimal feasible counts
+/// exceed p (or some application is infeasible with all p processors).
+/// Calls f O(A·p) times; memoize inside f if evaluations are expensive.
+[[nodiscard]] std::optional<AllocationResult> allocate_processors(
+    std::size_t applications, std::size_t processors, const AllocationValueFn& f);
+
+/// Variant that minimizes the *total* count while achieving per-application
+/// thresholds: count[a] = min{k : f_a(k) <= bound_a}. Used by the
+/// energy-minimizing face of Theorem 24 (every processor has the same
+/// energy, so fewest processors = least energy). Returns std::nullopt when
+/// some application cannot meet its bound with the processors remaining.
+[[nodiscard]] std::optional<AllocationResult> minimal_counts_for_bounds(
+    std::size_t applications, std::size_t processors, const AllocationValueFn& f,
+    const std::vector<double>& bounds);
+
+}  // namespace pipeopt::algorithms

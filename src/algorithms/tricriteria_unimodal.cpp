@@ -1,0 +1,195 @@
+#include "algorithms/tricriteria_unimodal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "algorithms/bicriteria_period_latency.hpp"
+#include "algorithms/latency_algorithms.hpp"
+#include "algorithms/processor_allocation.hpp"
+#include "core/evaluation.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::CommModel;
+using core::ConstraintSet;
+using core::Mapping;
+using core::PlatformClass;
+using core::Problem;
+using core::Thresholds;
+
+void require_uni_modal_fully_hom(const Problem& problem) {
+  if (problem.platform().classify() != PlatformClass::FullyHomogeneous ||
+      !problem.platform().is_uni_modal()) {
+    throw std::invalid_argument(
+        "tri-criteria: polynomial only on fully homogeneous uni-modal "
+        "platforms (Theorems 23-25); NP-hard with multiple modes "
+        "(Theorems 26-27)");
+  }
+}
+
+double per_processor_energy(const Problem& problem) {
+  return problem.platform().processor_energy(0, 0);
+}
+
+Mapping splits_to_mapping(const std::vector<std::vector<std::size_t>>& splits) {
+  std::vector<core::IntervalAssignment> intervals;
+  std::size_t next_proc = 0;
+  for (std::size_t a = 0; a < splits.size(); ++a) {
+    std::size_t first = 0;
+    for (std::size_t last : splits[a]) {
+      intervals.push_back({a, first, last, next_proc++, 0});  // uni-modal: mode 0
+      first = last + 1;
+    }
+  }
+  return Mapping(std::move(intervals));
+}
+
+}  // namespace
+
+std::size_t affordable_processors(const Problem& problem, double energy_budget) {
+  require_uni_modal_fully_hom(problem);
+  const double unit = per_processor_energy(problem);
+  if (!util::approx_ge(energy_budget, unit)) return 0;
+  // Relative nudge so a budget of exactly k·unit affords k processors even
+  // after floating-point division noise.
+  const auto k = static_cast<std::size_t>(
+      std::floor(energy_budget / unit * (1.0 + util::kRelTol) + util::kAbsTol));
+  return std::min(k, problem.platform().processor_count());
+}
+
+std::optional<Solution> one_to_one_tricriteria_feasible(
+    const Problem& problem, const ConstraintSet& constraints) {
+  require_uni_modal_fully_hom(problem);
+  if (!problem.one_to_one_applicable()) return std::nullopt;
+
+  std::vector<core::IntervalAssignment> intervals;
+  std::size_t proc = 0;
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    for (std::size_t k = 0; k < problem.application(a).stage_count(); ++k) {
+      intervals.push_back({a, k, k, proc++, 0});
+    }
+  }
+  Solution solution;
+  solution.mapping = Mapping(std::move(intervals));
+  const core::Metrics metrics = core::evaluate(problem, solution.mapping);
+  if (!constraints.satisfied_by(metrics)) return std::nullopt;
+  solution.value = metrics.energy;
+  return solution;
+}
+
+std::optional<Solution> interval_min_period_tricriteria(
+    const Problem& problem, const Thresholds& latency_bounds,
+    double energy_budget) {
+  require_uni_modal_fully_hom(problem);
+  const std::size_t k_max = affordable_processors(problem, energy_budget);
+  if (k_max < problem.application_count()) return std::nullopt;
+
+  const auto& platform = problem.platform();
+  const double speed = platform.processor(0).max_speed();
+  const double bw = platform.uniform_bandwidth();
+
+  const auto value = [&](std::size_t a, std::size_t k) {
+    return problem.application(a).weight() *
+           min_period_under_latency(problem.application(a), speed, bw,
+                                    problem.comm_model(), k,
+                                    latency_bounds.bound(a));
+  };
+  const auto allocation =
+      allocate_processors(problem.application_count(), k_max, value);
+  if (!allocation) return std::nullopt;
+
+  std::vector<std::vector<std::size_t>> splits;
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const std::size_t k = allocation->count[a];
+    const double period = min_period_under_latency(
+        problem.application(a), speed, bw, problem.comm_model(), k,
+        latency_bounds.bound(a));
+    const LatencyUnderPeriodDp dp(problem.application(a), speed, bw,
+                                  problem.comm_model(), k, period);
+    splits.push_back(dp.optimal_splits(k));
+  }
+  Solution solution;
+  solution.value = allocation->objective;
+  solution.mapping = splits_to_mapping(splits);
+  return solution;
+}
+
+std::optional<Solution> interval_min_latency_tricriteria(
+    const Problem& problem, const Thresholds& period_bounds,
+    double energy_budget) {
+  require_uni_modal_fully_hom(problem);
+  const std::size_t k_max = affordable_processors(problem, energy_budget);
+  if (k_max < problem.application_count()) return std::nullopt;
+
+  const auto& platform = problem.platform();
+  const double speed = platform.processor(0).max_speed();
+  const double bw = platform.uniform_bandwidth();
+
+  std::vector<LatencyUnderPeriodDp> dps;
+  dps.reserve(problem.application_count());
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    dps.emplace_back(problem.application(a), speed, bw, problem.comm_model(),
+                     k_max, period_bounds.bound(a));
+  }
+  const auto value = [&](std::size_t a, std::size_t k) {
+    return problem.application(a).weight() * dps[a].min_latency_by_count(k);
+  };
+  const auto allocation =
+      allocate_processors(problem.application_count(), k_max, value);
+  if (!allocation) return std::nullopt;
+
+  std::vector<std::vector<std::size_t>> splits;
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    splits.push_back(dps[a].optimal_splits(allocation->count[a]));
+  }
+  Solution solution;
+  solution.value = allocation->objective;
+  solution.mapping = splits_to_mapping(splits);
+  return solution;
+}
+
+std::optional<Solution> interval_min_energy_tricriteria(
+    const Problem& problem, const Thresholds& period_bounds,
+    const Thresholds& latency_bounds) {
+  require_uni_modal_fully_hom(problem);
+  const auto& platform = problem.platform();
+  const double speed = platform.processor(0).max_speed();
+  const double bw = platform.uniform_bandwidth();
+  const std::size_t p = platform.processor_count();
+
+  // Per application: fewest processors meeting both bounds; the latency
+  // under the period bound is non-increasing in k, so scan k upward.
+  std::vector<LatencyUnderPeriodDp> dps;
+  dps.reserve(problem.application_count());
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    dps.emplace_back(problem.application(a), speed, bw, problem.comm_model(), p,
+                     period_bounds.bound(a));
+  }
+  const auto value = [&](std::size_t a, std::size_t k) {
+    return dps[a].min_latency_by_count(k);
+  };
+  std::vector<double> bounds;
+  bounds.reserve(problem.application_count());
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    bounds.push_back(latency_bounds.bound(a));
+  }
+  const auto allocation = minimal_counts_for_bounds(
+      problem.application_count(), p, value, bounds);
+  if (!allocation) return std::nullopt;
+
+  std::vector<std::vector<std::size_t>> splits;
+  std::size_t total = 0;
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    splits.push_back(dps[a].optimal_splits(allocation->count[a]));
+    total += splits.back().size();
+  }
+  Solution solution;
+  solution.value = static_cast<double>(total) * per_processor_energy(problem);
+  solution.mapping = splits_to_mapping(splits);
+  return solution;
+}
+
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file tricriteria_unimodal.hpp
+/// Theorems 23 and 24: the tri-criteria (period/latency/energy) problem on
+/// fully homogeneous *uni-modal* platforms is polynomial. With a single
+/// speed, energy per enrolled processor is the constant E_stat + s^α, so an
+/// energy budget is exactly a bound on the number of enrolled processors,
+/// and every face of the tri-criteria problem reduces to the bi-criteria
+/// machinery plus Algorithm 2:
+///
+///  * minimize period  given latency bounds + energy budget,
+///  * minimize latency given period bounds + energy budget,
+///  * minimize energy  given period + latency bounds (fewest processors).
+///
+/// With multi-modal processors the same problem is NP-hard even for one
+/// application and no communications (Theorems 26–27) — see src/exact and
+/// src/heuristics for those.
+
+#include <optional>
+
+#include "algorithms/one_to_one_period.hpp"  // for Solution
+#include "core/objectives.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::algorithms {
+
+/// Number of processors affordable within the energy budget (uni-modal
+/// fully homogeneous platform), clamped to the platform size.
+[[nodiscard]] std::size_t affordable_processors(const core::Problem& problem,
+                                                double energy_budget);
+
+/// Theorem 23: one-to-one tri-criteria on fully homogeneous uni-modal
+/// platforms — all one-to-one mappings are equivalent, so feasibility is a
+/// single evaluation. Returns the mapping when all constraints hold.
+[[nodiscard]] std::optional<Solution> one_to_one_tricriteria_feasible(
+    const core::Problem& problem, const core::ConstraintSet& constraints);
+
+/// Theorem 24, period face: minimize max_a W_a·T_a subject to per-app
+/// latency bounds and a global energy budget (interval mapping).
+[[nodiscard]] std::optional<Solution> interval_min_period_tricriteria(
+    const core::Problem& problem, const core::Thresholds& latency_bounds,
+    double energy_budget);
+
+/// Theorem 24, latency face: minimize max_a W_a·L_a subject to per-app
+/// period bounds and a global energy budget.
+[[nodiscard]] std::optional<Solution> interval_min_latency_tricriteria(
+    const core::Problem& problem, const core::Thresholds& period_bounds,
+    double energy_budget);
+
+/// Theorem 24, energy face: minimize total energy subject to per-app period
+/// and latency bounds (fewest enrolled processors wins).
+[[nodiscard]] std::optional<Solution> interval_min_energy_tricriteria(
+    const core::Problem& problem, const core::Thresholds& period_bounds,
+    const core::Thresholds& latency_bounds);
+
+}  // namespace pipeopt::algorithms

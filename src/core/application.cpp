@@ -1,0 +1,65 @@
+#include "core/application.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pipeopt::core {
+
+Application::Application(double input_size, std::vector<StageSpec> stages,
+                         double weight, std::string name)
+    : input_size_(input_size),
+      stages_(std::move(stages)),
+      weight_(weight),
+      name_(std::move(name)) {
+  if (stages_.empty()) {
+    throw std::invalid_argument("Application: must have at least one stage");
+  }
+  if (!(input_size_ >= 0.0)) {
+    throw std::invalid_argument("Application: input size must be >= 0");
+  }
+  if (!(weight_ > 0.0)) {
+    throw std::invalid_argument("Application: weight W_a must be > 0");
+  }
+  compute_prefix_.reserve(stages_.size() + 1);
+  compute_prefix_.push_back(0.0);
+  for (const StageSpec& s : stages_) {
+    if (!(s.compute >= 0.0) || !(s.output_size >= 0.0)) {
+      throw std::invalid_argument("Application: stage w and delta must be >= 0");
+    }
+    compute_prefix_.push_back(compute_prefix_.back() + s.compute);
+  }
+}
+
+double Application::boundary_size(std::size_t i) const {
+  if (i > stages_.size()) {
+    throw std::out_of_range("Application::boundary_size: index past last boundary");
+  }
+  return i == 0 ? input_size_ : stages_[i - 1].output_size;
+}
+
+double Application::total_compute(std::size_t first, std::size_t last) const {
+  if (first > last || last >= stages_.size()) {
+    throw std::out_of_range("Application::total_compute: bad stage range");
+  }
+  return compute_prefix_[last + 1] - compute_prefix_[first];
+}
+
+bool Application::is_uniform_no_comm() const noexcept {
+  if (input_size_ != 0.0) return false;
+  const double w0 = stages_.front().compute;
+  for (const StageSpec& s : stages_) {
+    if (s.compute != w0 || s.output_size != 0.0) return false;
+  }
+  return true;
+}
+
+Application Application::scaled_compute(double factor) const {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("Application::scaled_compute: factor must be > 0");
+  }
+  std::vector<StageSpec> scaled = stages_;
+  for (StageSpec& s : scaled) s.compute *= factor;
+  return Application(input_size_, std::move(scaled), weight_, name_);
+}
+
+}  // namespace pipeopt::core

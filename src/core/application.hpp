@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file application.hpp
+/// Linear-chain pipelined application model (paper §3.1).
+///
+/// An application has n stages S^1..S^n. Stage k has computation requirement
+/// w^k and produces output of size δ^k; the application receives its input
+/// (size δ^0) from a virtual source processor P_in and delivers its result
+/// (size δ^n) to a virtual sink P_out.
+///
+/// Internally stages are 0-based: stage k ∈ [0, n) computes `compute(k)`,
+/// reads the data crossing boundary k and writes the data crossing boundary
+/// k+1, where `boundary_size(i)` for i ∈ [0, n] is δ^i of the paper.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pipeopt::core {
+
+/// One pipeline stage: computation requirement w and output data size δ.
+struct StageSpec {
+  double compute = 0.0;      ///< w^k: operations to perform per data set
+  double output_size = 0.0;  ///< δ^k: size of the data produced
+};
+
+/// Immutable linear chain application with an optional priority weight W_a
+/// (Eq. 6). Construction validates that all quantities are non-negative and
+/// that there is at least one stage.
+class Application {
+ public:
+  /// \param input_size   δ^0, the size of data entering stage 0.
+  /// \param stages       per-stage (w^k, δ^k), k = 1..n in paper indexing.
+  /// \param weight       W_a > 0 (Eq. 6); defaults to 1.
+  /// \param name         label used in reports.
+  Application(double input_size, std::vector<StageSpec> stages,
+              double weight = 1.0, std::string name = {});
+
+  [[nodiscard]] std::size_t stage_count() const noexcept { return stages_.size(); }
+  [[nodiscard]] double weight() const noexcept { return weight_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// w of 0-based stage k.
+  [[nodiscard]] double compute(std::size_t k) const { return stages_.at(k).compute; }
+
+  /// δ^i of the paper: size of the data crossing boundary i ∈ [0, n].
+  /// boundary_size(0) is the external input; boundary_size(n) the output.
+  [[nodiscard]] double boundary_size(std::size_t i) const;
+
+  /// Σ_{k=first..last} w^k over an inclusive 0-based stage range, O(1).
+  [[nodiscard]] double total_compute(std::size_t first, std::size_t last) const;
+
+  /// Σ over all stages.
+  [[nodiscard]] double total_compute() const {
+    return total_compute(0, stage_count() - 1);
+  }
+
+  [[nodiscard]] std::span<const StageSpec> stages() const noexcept { return stages_; }
+
+  /// True when every stage has the same w and every boundary size is zero —
+  /// the paper's "homogeneous pipeline without communication" shape (the
+  /// special-app column of Tables 1 and 2 requires all *applications* of an
+  /// instance to be of this shape; see Problem::is_special_app_family).
+  [[nodiscard]] bool is_uniform_no_comm() const noexcept;
+
+  /// Returns a copy whose stage computations are scaled by `factor`
+  /// (used by the W_a-scaling argument of Theorem 6).
+  [[nodiscard]] Application scaled_compute(double factor) const;
+
+ private:
+  double input_size_;
+  std::vector<StageSpec> stages_;
+  std::vector<double> compute_prefix_;  ///< prefix sums of w, size n+1
+  double weight_;
+  std::string name_;
+};
+
+}  // namespace pipeopt::core

@@ -1,0 +1,123 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pipeopt::core {
+
+double IntervalCost::cycle_time(CommModel model) const noexcept {
+  if (model == CommModel::Overlap) {
+    return std::max({in_comm, compute, out_comm});
+  }
+  return in_comm + compute + out_comm;
+}
+
+IntervalCost interval_cost(const Problem& problem,
+                           std::span<const IntervalAssignment> intervals,
+                           std::size_t j) {
+  if (j >= intervals.size()) {
+    throw std::out_of_range("interval_cost: interval index");
+  }
+  const IntervalAssignment& iv = intervals[j];
+  const Application& app = problem.application(iv.app);
+  const Platform& platform = problem.platform();
+  const double speed = platform.processor(iv.proc).speed(iv.mode);
+
+  IntervalCost cost;
+  cost.compute = app.total_compute(iv.first, iv.last) / speed;
+
+  const double in_size = app.boundary_size(iv.first);
+  const double in_bw = (j == 0) ? platform.in_bandwidth(iv.app, iv.proc)
+                                : platform.bandwidth(intervals[j - 1].proc, iv.proc);
+  cost.in_comm = in_size / in_bw;
+
+  const double out_size = app.boundary_size(iv.last + 1);
+  const double out_bw = (j + 1 == intervals.size())
+                            ? platform.out_bandwidth(iv.app, iv.proc)
+                            : platform.bandwidth(iv.proc, intervals[j + 1].proc);
+  cost.out_comm = out_size / out_bw;
+  return cost;
+}
+
+double application_period(const Problem& problem,
+                          std::span<const IntervalAssignment> intervals) {
+  if (intervals.empty()) {
+    throw std::invalid_argument("application_period: empty interval list");
+  }
+  double period = 0.0;
+  for (std::size_t j = 0; j < intervals.size(); ++j) {
+    period = std::max(
+        period, interval_cost(problem, intervals, j).cycle_time(problem.comm_model()));
+  }
+  return period;
+}
+
+double application_latency(const Problem& problem,
+                           std::span<const IntervalAssignment> intervals) {
+  if (intervals.empty()) {
+    throw std::invalid_argument("application_latency: empty interval list");
+  }
+  // Eq. 5: input transfer + per-interval (compute + outgoing transfer).
+  // interval_cost's in_comm of interval j>0 equals out_comm of j-1, so the
+  // sum uses in_comm only for j == 0.
+  double latency = 0.0;
+  for (std::size_t j = 0; j < intervals.size(); ++j) {
+    const IntervalCost cost = interval_cost(problem, intervals, j);
+    if (j == 0) latency += cost.in_comm;
+    latency += cost.compute + cost.out_comm;
+  }
+  return latency;
+}
+
+Metrics evaluate(const Problem& problem, const Mapping& mapping, bool check_valid) {
+  if (check_valid) mapping.validate_or_throw(problem);
+
+  Metrics metrics;
+  metrics.per_app.resize(problem.application_count());
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const std::vector<IntervalAssignment> ivs = mapping.intervals_of(a);
+    metrics.per_app[a].period = application_period(problem, ivs);
+    metrics.per_app[a].latency = application_latency(problem, ivs);
+    const double w = problem.application(a).weight();
+    metrics.max_weighted_period =
+        std::max(metrics.max_weighted_period, w * metrics.per_app[a].period);
+    metrics.max_weighted_latency =
+        std::max(metrics.max_weighted_latency, w * metrics.per_app[a].latency);
+  }
+  metrics.energy = mapping_energy(problem, mapping);
+  return metrics;
+}
+
+double mapping_energy(const Problem& problem, const Mapping& mapping) {
+  double energy = 0.0;
+  for (const IntervalAssignment& iv : mapping.intervals()) {
+    energy += problem.platform().processor_energy(iv.proc, iv.mode);
+  }
+  return energy;
+}
+
+double one_to_one_cycle_time(const Problem& problem, std::size_t a, std::size_t k,
+                             std::size_t u, double speed) {
+  const Application& app = problem.application(a);
+  const Platform& platform = problem.platform();
+  // For interior boundaries the neighbour's processor is unknown at this
+  // granularity; on comm-homogeneous platforms all inter-processor links are
+  // equal, which is exactly when this quantity is well defined. We use the
+  // uniform bandwidth and leave heterogeneous-link one-to-one costs to the
+  // exact solvers (the problem is NP-hard there, Theorem 2).
+  const double in_bw = (k == 0) ? platform.in_bandwidth(a, u)
+                                : platform.uniform_bandwidth();
+  const double out_bw = (k + 1 == app.stage_count())
+                            ? platform.out_bandwidth(a, u)
+                            : platform.uniform_bandwidth();
+  const double in_comm = app.boundary_size(k) / in_bw;
+  const double compute = app.compute(k) / speed;
+  const double out_comm = app.boundary_size(k + 1) / out_bw;
+  if (problem.comm_model() == CommModel::Overlap) {
+    return std::max({in_comm, compute, out_comm});
+  }
+  return in_comm + compute + out_comm;
+}
+
+}  // namespace pipeopt::core

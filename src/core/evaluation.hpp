@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file evaluation.hpp
+/// Closed-form evaluation of mappings (paper §3.4–3.5).
+///
+/// Period:
+///   overlap    T_a = max_j max( δ^{d_j-1}/b_in , Σ w/s , δ^{e_j}/b_out )   (Eq. 3)
+///   no-overlap T_a = max_j ( δ^{d_j-1}/b_in + Σ w/s + δ^{e_j}/b_out )      (Eq. 4)
+/// Latency (identical in both models):
+///   L_a = δ^0/b_in(first) + Σ_j ( Σ w/s + δ^{e_j}/b_out )                  (Eq. 5)
+/// Energy:
+///   E   = Σ_{u enrolled} ( E_stat(u) + s_u^α )                             (§3.5)
+///
+/// Transfers between two stages hosted by the same processor are free; the
+/// in/out terms use the bandwidth of the link actually crossed (previous /
+/// next interval's processor, or the application's virtual source/sink).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::core {
+
+/// Per-application performance numbers (unweighted).
+struct AppMetrics {
+  double period = 0.0;
+  double latency = 0.0;
+};
+
+/// Full evaluation of a mapping.
+struct Metrics {
+  std::vector<AppMetrics> per_app;
+  double max_weighted_period = 0.0;   ///< max_a W_a · T_a  (Eq. 6)
+  double max_weighted_latency = 0.0;  ///< max_a W_a · L_a
+  double energy = 0.0;                ///< Σ enrolled processor energy
+};
+
+/// Cycle-time pieces of one interval (before max/sum combination).
+struct IntervalCost {
+  double in_comm = 0.0;   ///< δ^{d_j - 1} / b(prev, this)
+  double compute = 0.0;   ///< Σ w / s
+  double out_comm = 0.0;  ///< δ^{e_j} / b(this, next)
+
+  /// Combines the three pieces per the communication model.
+  [[nodiscard]] double cycle_time(CommModel model) const noexcept;
+};
+
+/// Cost pieces of interval j of the given per-app interval list.
+/// `intervals` must be the ordered intervals of one application.
+[[nodiscard]] IntervalCost interval_cost(const Problem& problem,
+                                         std::span<const IntervalAssignment> intervals,
+                                         std::size_t j);
+
+/// Period of one application under the problem's communication model.
+[[nodiscard]] double application_period(const Problem& problem,
+                                        std::span<const IntervalAssignment> intervals);
+
+/// Latency of one application (Eq. 5; model-independent).
+[[nodiscard]] double application_latency(const Problem& problem,
+                                         std::span<const IntervalAssignment> intervals);
+
+/// Evaluates period/latency/energy of a full mapping.
+/// The mapping must be valid (checked in debug; callers on hot paths may
+/// pass `check_valid = false`).
+[[nodiscard]] Metrics evaluate(const Problem& problem, const Mapping& mapping,
+                               bool check_valid = true);
+
+/// Energy of a mapping alone (Σ over enrolled processors).
+[[nodiscard]] double mapping_energy(const Problem& problem, const Mapping& mapping);
+
+/// Cycle-time of a single stage (a, k) on processor u at speed s when its
+/// neighbours are mapped elsewhere — the one-to-one building block used by
+/// Algorithm 1 and the candidate sets of Theorem 1. On comm-homogeneous
+/// platforms this is independent of the neighbour processors.
+[[nodiscard]] double one_to_one_cycle_time(const Problem& problem, std::size_t a,
+                                           std::size_t k, std::size_t u, double speed);
+
+}  // namespace pipeopt::core

@@ -1,0 +1,131 @@
+#include "core/mapping.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace pipeopt::core {
+
+Mapping::Mapping(std::vector<IntervalAssignment> intervals)
+    : intervals_(std::move(intervals)) {
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const IntervalAssignment& a, const IntervalAssignment& b) {
+              if (a.app != b.app) return a.app < b.app;
+              return a.first < b.first;
+            });
+}
+
+std::vector<IntervalAssignment> Mapping::intervals_of(std::size_t app) const {
+  std::vector<IntervalAssignment> out;
+  for (const IntervalAssignment& iv : intervals_) {
+    if (iv.app == app) out.push_back(iv);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Mapping::enrolled_processors() const {
+  std::vector<std::size_t> procs;
+  procs.reserve(intervals_.size());
+  for (const IntervalAssignment& iv : intervals_) procs.push_back(iv.proc);
+  std::sort(procs.begin(), procs.end());
+  return procs;
+}
+
+bool Mapping::is_one_to_one() const noexcept {
+  return std::all_of(intervals_.begin(), intervals_.end(),
+                     [](const IntervalAssignment& iv) { return iv.first == iv.last; });
+}
+
+std::optional<std::string> Mapping::validate(const Problem& problem) const {
+  const Platform& platform = problem.platform();
+  std::set<std::size_t> used_procs;
+  // Track per-application coverage.
+  std::vector<std::size_t> next_stage(problem.application_count(), 0);
+
+  for (const IntervalAssignment& iv : intervals_) {
+    if (iv.app >= problem.application_count()) {
+      return "interval references unknown application";
+    }
+    const Application& app = problem.application(iv.app);
+    if (iv.first > iv.last || iv.last >= app.stage_count()) {
+      return "interval stage range out of bounds";
+    }
+    if (iv.proc >= platform.processor_count()) {
+      return "interval references unknown processor";
+    }
+    if (iv.mode >= platform.processor(iv.proc).mode_count()) {
+      return "interval references unknown mode";
+    }
+    if (!used_procs.insert(iv.proc).second) {
+      return "processor assigned more than one interval (sharing forbidden)";
+    }
+    if (iv.first != next_stage[iv.app]) {
+      return "intervals of an application must tile its stages in order";
+    }
+    next_stage[iv.app] = iv.last + 1;
+  }
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    if (next_stage[a] != problem.application(a).stage_count()) {
+      return "application not fully covered by intervals";
+    }
+  }
+  return std::nullopt;
+}
+
+void Mapping::validate_or_throw(const Problem& problem) const {
+  if (auto reason = validate(problem)) {
+    throw std::invalid_argument("invalid mapping: " + *reason);
+  }
+}
+
+Mapping Mapping::at_max_speed(const Problem& problem) const {
+  std::vector<IntervalAssignment> fast = intervals_;
+  for (IntervalAssignment& iv : fast) {
+    iv.mode = problem.platform().processor(iv.proc).max_mode();
+  }
+  return Mapping(std::move(fast));
+}
+
+std::string Mapping::to_string(const Problem& problem) const {
+  std::ostringstream os;
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    if (a > 0) os << "; ";
+    const std::string& name = problem.application(a).name();
+    os << (name.empty() ? "app" + std::to_string(a) : name) << ":";
+    for (const IntervalAssignment& iv : intervals_) {
+      if (iv.app != a) continue;
+      os << " [" << iv.first << ".." << iv.last << "]->P" << iv.proc
+         << "@s=" << problem.platform().processor(iv.proc).speed(iv.mode);
+    }
+  }
+  return os.str();
+}
+
+Mapping make_one_to_one(const Problem& problem,
+                        const std::vector<std::vector<std::size_t>>& procs,
+                        const std::vector<std::vector<std::size_t>>* modes) {
+  if (procs.size() != problem.application_count()) {
+    throw std::invalid_argument("make_one_to_one: per-application rows required");
+  }
+  std::vector<IntervalAssignment> intervals;
+  intervals.reserve(problem.total_stages());
+  for (std::size_t a = 0; a < procs.size(); ++a) {
+    if (procs[a].size() != problem.application(a).stage_count()) {
+      throw std::invalid_argument("make_one_to_one: one processor per stage required");
+    }
+    for (std::size_t k = 0; k < procs[a].size(); ++k) {
+      IntervalAssignment iv;
+      iv.app = a;
+      iv.first = iv.last = k;
+      iv.proc = procs[a][k];
+      iv.mode = modes != nullptr
+                    ? (*modes)[a][k]
+                    : problem.platform().processor(iv.proc).max_mode();
+      intervals.push_back(iv);
+    }
+  }
+  return Mapping(std::move(intervals));
+}
+
+}  // namespace pipeopt::core

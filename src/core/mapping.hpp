@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file mapping.hpp
+/// Interval and one-to-one mappings (paper §3.3).
+///
+/// A mapping partitions each application's stage chain into consecutive
+/// intervals and assigns every interval to a distinct processor together
+/// with one of its speed modes. One-to-one mappings are the special case
+/// where every interval holds a single stage. Processor sharing across
+/// intervals (and hence across applications) is forbidden.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace pipeopt::core {
+
+/// One interval of consecutive stages of one application, placed on one
+/// processor running in one mode.
+struct IntervalAssignment {
+  std::size_t app = 0;    ///< application index
+  std::size_t first = 0;  ///< first stage of the interval (0-based, inclusive)
+  std::size_t last = 0;   ///< last stage of the interval (0-based, inclusive)
+  std::size_t proc = 0;   ///< processor index
+  std::size_t mode = 0;   ///< speed mode index on that processor
+
+  friend bool operator==(const IntervalAssignment&,
+                         const IntervalAssignment&) = default;
+};
+
+/// A complete mapping for all applications of a Problem.
+///
+/// Invariants (checked by `validate`):
+///  * every application's stages are partitioned into consecutive intervals;
+///  * all intervals are mapped to pairwise distinct processors;
+///  * processor/mode indices are valid for the platform.
+class Mapping {
+ public:
+  Mapping() = default;
+  explicit Mapping(std::vector<IntervalAssignment> intervals);
+
+  [[nodiscard]] std::span<const IntervalAssignment> intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] std::size_t interval_count() const noexcept { return intervals_.size(); }
+
+  /// Intervals of application a, ordered by first stage.
+  [[nodiscard]] std::vector<IntervalAssignment> intervals_of(std::size_t app) const;
+
+  /// Processors enrolled by this mapping (each appears exactly once).
+  [[nodiscard]] std::vector<std::size_t> enrolled_processors() const;
+
+  /// True when every interval is a single stage.
+  [[nodiscard]] bool is_one_to_one() const noexcept;
+
+  /// Returns std::nullopt when valid, otherwise a human-readable reason.
+  [[nodiscard]] std::optional<std::string> validate(const Problem& problem) const;
+
+  /// Convenience: throws std::invalid_argument when invalid.
+  void validate_or_throw(const Problem& problem) const;
+
+  /// Returns a copy with every enrolled processor switched to its fastest
+  /// mode (the §4 normalization for problems that ignore energy).
+  [[nodiscard]] Mapping at_max_speed(const Problem& problem) const;
+
+  /// Human-readable rendering ("app0: [0..2]->P1@mode1 ...").
+  [[nodiscard]] std::string to_string(const Problem& problem) const;
+
+ private:
+  std::vector<IntervalAssignment> intervals_;  ///< sorted by (app, first)
+};
+
+/// Builds a one-to-one mapping from per-stage processor (and optional mode)
+/// choices; stage (a, k) -> procs[a][k]. Modes default to fastest.
+[[nodiscard]] Mapping make_one_to_one(
+    const Problem& problem, const std::vector<std::vector<std::size_t>>& procs,
+    const std::vector<std::vector<std::size_t>>* modes = nullptr);
+
+}  // namespace pipeopt::core

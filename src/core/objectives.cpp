@@ -1,0 +1,109 @@
+#include "core/objectives.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/numeric.hpp"
+
+namespace pipeopt::core {
+
+Weights Weights::unit(std::size_t count) {
+  return Weights(std::vector<double>(count, 1.0));
+}
+
+Weights Weights::priority(const Problem& problem) {
+  std::vector<double> w;
+  w.reserve(problem.application_count());
+  for (const Application& a : problem.applications()) w.push_back(a.weight());
+  return Weights(std::move(w));
+}
+
+Weights Weights::stretch(const std::vector<double>& solo_optima) {
+  std::vector<double> w;
+  w.reserve(solo_optima.size());
+  for (double x : solo_optima) {
+    if (!(x > 0.0)) {
+      throw std::invalid_argument("Weights::stretch: solo optima must be > 0");
+    }
+    w.push_back(1.0 / x);
+  }
+  return Weights(std::move(w));
+}
+
+double Weights::weighted_max(const std::vector<double>& values) const {
+  if (values.size() != weights_.size()) {
+    throw std::invalid_argument("Weights::weighted_max: arity mismatch");
+  }
+  double best = 0.0;
+  for (std::size_t a = 0; a < values.size(); ++a) {
+    best = std::max(best, weights_[a] * values[a]);
+  }
+  return best;
+}
+
+Thresholds Thresholds::uniform(const Problem& problem, double global_bound,
+                               WeightPolicy policy) {
+  if (!(global_bound > 0.0)) {
+    throw std::invalid_argument("Thresholds::uniform: bound must be > 0");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(problem.application_count());
+  for (const Application& a : problem.applications()) {
+    const double w = (policy == WeightPolicy::Unit) ? 1.0 : a.weight();
+    bounds.push_back(global_bound / w);
+  }
+  return Thresholds(std::move(bounds));
+}
+
+Thresholds Thresholds::per_app(std::vector<double> bounds) {
+  for (double b : bounds) {
+    if (!(b > 0.0)) {
+      throw std::invalid_argument("Thresholds::per_app: bounds must be > 0");
+    }
+  }
+  return Thresholds(std::move(bounds));
+}
+
+Thresholds Thresholds::unconstrained(std::size_t count) {
+  return Thresholds(
+      std::vector<double>(count, std::numeric_limits<double>::infinity()));
+}
+
+bool Thresholds::is_unconstrained(std::size_t a) const {
+  return !std::isfinite(bounds_.at(a));
+}
+
+bool Thresholds::satisfied_by(const std::vector<double>& values) const {
+  if (values.size() != bounds_.size()) {
+    throw std::invalid_argument("Thresholds::satisfied_by: arity mismatch");
+  }
+  for (std::size_t a = 0; a < values.size(); ++a) {
+    if (!util::approx_le(values[a], bounds_[a])) return false;
+  }
+  return true;
+}
+
+std::vector<double> per_app_values(const Metrics& metrics, Criterion criterion) {
+  std::vector<double> out;
+  out.reserve(metrics.per_app.size());
+  for (const AppMetrics& m : metrics.per_app) {
+    out.push_back(criterion == Criterion::Period ? m.period : m.latency);
+  }
+  return out;
+}
+
+bool ConstraintSet::satisfied_by(const Metrics& metrics) const {
+  if (period && !period->satisfied_by(per_app_values(metrics, Criterion::Period))) {
+    return false;
+  }
+  if (latency &&
+      !latency->satisfied_by(per_app_values(metrics, Criterion::Latency))) {
+    return false;
+  }
+  if (energy_budget && !util::approx_le(metrics.energy, *energy_budget)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pipeopt::core

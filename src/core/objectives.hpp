@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file objectives.hpp
+/// Objective machinery (paper §3.4, Eq. 6) and multi-criteria thresholds
+/// (§5 preamble: "one single criterion is optimized, under the condition
+/// that a threshold is enforced for all other criteria").
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::core {
+
+/// Which performance criterion a weight applies to.
+enum class Criterion { Period, Latency };
+
+/// Weighting policies of Eq. 6. `Unit` is W_a = 1 (plain maximum);
+/// `Priority` uses the weights stored on each Application; `Stretch` is
+/// W_a = 1/X*_a where X*_a is the solo optimum supplied by the caller
+/// (Section 3.4's maximum stretch, after [2]).
+enum class WeightPolicy { Unit, Priority, Stretch };
+
+/// Resolved per-application weights for one criterion.
+class Weights {
+ public:
+  /// Unit weights.
+  static Weights unit(std::size_t count);
+  /// Weights taken from Application::weight().
+  static Weights priority(const Problem& problem);
+  /// Stretch weights 1/X*_a from solo optima (must be positive).
+  static Weights stretch(const std::vector<double>& solo_optima);
+
+  [[nodiscard]] double operator[](std::size_t a) const { return weights_.at(a); }
+  [[nodiscard]] std::size_t size() const noexcept { return weights_.size(); }
+
+  /// max_a W_a · values[a].
+  [[nodiscard]] double weighted_max(const std::vector<double>& values) const;
+
+ private:
+  explicit Weights(std::vector<double> weights) : weights_(std::move(weights)) {}
+  std::vector<double> weights_;
+};
+
+/// Per-application thresholds for multi-criteria problems ("a table of
+/// period or latency values", §5). An unset entry means unconstrained.
+class Thresholds {
+ public:
+  Thresholds() = default;
+  /// Bounds derived from one global bound X on the weighted objective:
+  /// max_a W_a·X_a <= X is equivalent to the per-app bounds X / W_a, which
+  /// is what this builds (with W_a = 1 under WeightPolicy::Unit).
+  static Thresholds uniform(const Problem& problem, double global_bound,
+                            WeightPolicy policy = WeightPolicy::Priority);
+  /// Explicit per-application bounds.
+  static Thresholds per_app(std::vector<double> bounds);
+  /// No constraint for any application.
+  static Thresholds unconstrained(std::size_t count);
+
+  [[nodiscard]] double bound(std::size_t a) const { return bounds_.at(a); }
+  [[nodiscard]] std::size_t size() const noexcept { return bounds_.size(); }
+  [[nodiscard]] bool is_unconstrained(std::size_t a) const;
+
+  /// True when `values[a] <= bound(a)` (with tolerance) for all a.
+  [[nodiscard]] bool satisfied_by(const std::vector<double>& values) const;
+
+ private:
+  explicit Thresholds(std::vector<double> bounds) : bounds_(std::move(bounds)) {}
+  std::vector<double> bounds_;  ///< +inf = unconstrained
+};
+
+/// Extracts per-application periods (or latencies) from Metrics.
+[[nodiscard]] std::vector<double> per_app_values(const Metrics& metrics,
+                                                 Criterion criterion);
+
+/// Checks a full multi-criteria constraint set against a mapping's metrics:
+/// period thresholds, latency thresholds and an energy budget (any may be
+/// absent). This is the generic "is this mapping acceptable" predicate used
+/// by exact solvers and heuristics.
+struct ConstraintSet {
+  std::optional<Thresholds> period;
+  std::optional<Thresholds> latency;
+  std::optional<double> energy_budget;
+
+  [[nodiscard]] bool satisfied_by(const Metrics& metrics) const;
+};
+
+}  // namespace pipeopt::core

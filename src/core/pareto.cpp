@@ -1,0 +1,50 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+
+#include "util/numeric.hpp"
+
+namespace pipeopt::core {
+
+bool dominates(const ParetoPoint& p, const ParetoPoint& q, bool use_latency) {
+  const bool le = p.period <= q.period && p.energy <= q.energy &&
+                  (!use_latency || p.latency <= q.latency);
+  if (!le) return false;
+  return p.period < q.period || p.energy < q.energy ||
+         (use_latency && p.latency < q.latency);
+}
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points,
+                                      bool use_latency) {
+  std::vector<ParetoPoint> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool keep = true;
+    for (std::size_t j = 0; j < points.size() && keep; ++j) {
+      if (i == j) continue;
+      if (dominates(points[j], points[i], use_latency)) keep = false;
+      // Deduplicate exact ties: keep the first occurrence only.
+      if (j < i && !dominates(points[j], points[i], use_latency) &&
+          points[j].period == points[i].period &&
+          points[j].energy == points[i].energy &&
+          (!use_latency || points[j].latency == points[i].latency)) {
+        keep = false;
+      }
+    }
+    if (keep) front.push_back(std::move(points[i]));
+  }
+  std::sort(front.begin(), front.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.period != b.period) return a.period < b.period;
+              return a.energy < b.energy;
+            });
+  return front;
+}
+
+bool energy_monotone_in_period(const std::vector<ParetoPoint>& front) {
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    if (!util::approx_ge(front[i - 1].energy, front[i].energy)) return false;
+  }
+  return true;
+}
+
+}  // namespace pipeopt::core

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file pareto.hpp
+/// Pareto-front utilities for the period/latency/energy trade-off space
+/// (the paper's §1 laptop-problem / server-problem narrative, and the §2
+/// example's 136 → 46 → 10 energy-vs-period progression).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/mapping.hpp"
+
+namespace pipeopt::core {
+
+/// One point of the trade-off space. Unused criteria are set to 0 by
+/// producers and ignored by dominance when `use_latency` is false.
+struct ParetoPoint {
+  double period = 0.0;
+  double latency = 0.0;
+  double energy = 0.0;
+  std::optional<Mapping> mapping;  ///< witness mapping, if kept
+};
+
+/// Dominance: p dominates q when p is <= q on all tracked criteria and
+/// strictly < on at least one.
+[[nodiscard]] bool dominates(const ParetoPoint& p, const ParetoPoint& q,
+                             bool use_latency);
+
+/// Filters a point set down to its Pareto-optimal subset (non-dominated
+/// points), removing duplicates; result sorted by ascending period.
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points,
+                                                    bool use_latency);
+
+/// Checks the monotone-trade-off property the §2 example illustrates: along
+/// a front sorted by ascending period, energy must be non-increasing.
+/// (Only meaningful for 2-D fronts; returns true for empty/singleton.)
+[[nodiscard]] bool energy_monotone_in_period(const std::vector<ParetoPoint>& front);
+
+}  // namespace pipeopt::core

@@ -1,0 +1,170 @@
+#include "core/platform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+namespace pipeopt::core {
+
+Processor::Processor(std::vector<double> speeds, double static_energy,
+                     std::string name)
+    : speeds_(std::move(speeds)),
+      static_energy_(static_energy),
+      name_(std::move(name)) {
+  if (speeds_.empty()) {
+    throw std::invalid_argument("Processor: needs at least one speed mode");
+  }
+  for (double s : speeds_) {
+    if (!(s > 0.0)) throw std::invalid_argument("Processor: speeds must be > 0");
+  }
+  if (!(static_energy_ >= 0.0)) {
+    throw std::invalid_argument("Processor: static energy must be >= 0");
+  }
+  std::sort(speeds_.begin(), speeds_.end());
+  speeds_.erase(std::unique(speeds_.begin(), speeds_.end()), speeds_.end());
+}
+
+std::optional<std::size_t> Processor::slowest_mode_at_least(double s) const {
+  const auto it = std::lower_bound(speeds_.begin(), speeds_.end(), s);
+  if (it == speeds_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - speeds_.begin());
+}
+
+const char* to_string(PlatformClass c) noexcept {
+  switch (c) {
+    case PlatformClass::FullyHomogeneous: return "fully-homogeneous";
+    case PlatformClass::CommHomogeneous: return "comm-homogeneous";
+    case PlatformClass::FullyHeterogeneous: return "fully-heterogeneous";
+  }
+  return "?";
+}
+
+Platform::Platform(std::vector<Processor> processors, double uniform_bandwidth,
+                   double alpha)
+    : procs_(std::move(processors)), uniform_bw_(uniform_bandwidth), alpha_(alpha) {
+  if (!(uniform_bandwidth > 0.0)) {
+    throw std::invalid_argument("Platform: uniform bandwidth must be > 0");
+  }
+  validate();
+}
+
+Platform::Platform(std::vector<Processor> processors,
+                   std::vector<std::vector<double>> link_bandwidth,
+                   std::vector<std::vector<double>> in_bandwidth,
+                   std::vector<std::vector<double>> out_bandwidth, double alpha)
+    : procs_(std::move(processors)),
+      link_bw_(std::move(link_bandwidth)),
+      in_bw_(std::move(in_bandwidth)),
+      out_bw_(std::move(out_bandwidth)),
+      alpha_(alpha) {
+  validate();
+  const std::size_t p = procs_.size();
+  if (link_bw_.size() != p) {
+    throw std::invalid_argument("Platform: link bandwidth matrix must be p x p");
+  }
+  for (std::size_t u = 0; u < p; ++u) {
+    if (link_bw_[u].size() != p) {
+      throw std::invalid_argument("Platform: link bandwidth matrix must be p x p");
+    }
+    for (std::size_t v = 0; v < p; ++v) {
+      if (u != v && !(link_bw_[u][v] > 0.0)) {
+        throw std::invalid_argument("Platform: link bandwidths must be > 0");
+      }
+      if (link_bw_[u][v] != link_bw_[v][u]) {
+        throw std::invalid_argument("Platform: links are bidirectional (symmetric)");
+      }
+    }
+  }
+  if (in_bw_.size() != out_bw_.size()) {
+    throw std::invalid_argument("Platform: in/out bandwidth tables must agree on A");
+  }
+  for (const auto& table : {std::cref(in_bw_), std::cref(out_bw_)}) {
+    for (const auto& row : table.get()) {
+      if (row.size() != p) {
+        throw std::invalid_argument("Platform: in/out bandwidth rows must have p entries");
+      }
+      for (double b : row) {
+        if (!(b > 0.0)) {
+          throw std::invalid_argument("Platform: in/out bandwidths must be > 0");
+        }
+      }
+    }
+  }
+}
+
+void Platform::validate() const {
+  if (procs_.empty()) throw std::invalid_argument("Platform: needs >= 1 processor");
+  if (!(alpha_ > 1.0)) {
+    throw std::invalid_argument("Platform: energy exponent alpha must be > 1");
+  }
+}
+
+double Platform::bandwidth(std::size_t u, std::size_t v) const {
+  if (u >= procs_.size() || v >= procs_.size()) {
+    throw std::out_of_range("Platform::bandwidth: processor index");
+  }
+  if (uniform_bw_) return *uniform_bw_;
+  return link_bw_[u][v];
+}
+
+double Platform::in_bandwidth(std::size_t app, std::size_t u) const {
+  if (u >= procs_.size()) throw std::out_of_range("Platform::in_bandwidth: processor");
+  if (uniform_bw_) return *uniform_bw_;
+  return in_bw_.at(app).at(u);
+}
+
+double Platform::out_bandwidth(std::size_t app, std::size_t u) const {
+  if (u >= procs_.size()) throw std::out_of_range("Platform::out_bandwidth: processor");
+  if (uniform_bw_) return *uniform_bw_;
+  return out_bw_.at(app).at(u);
+}
+
+double Platform::uniform_bandwidth() const {
+  if (!uniform_bw_) {
+    throw std::logic_error("Platform::uniform_bandwidth on heterogeneous platform");
+  }
+  return *uniform_bw_;
+}
+
+double Platform::dynamic_energy(double speed) const {
+  return std::pow(speed, alpha_);
+}
+
+double Platform::processor_energy(std::size_t u, std::size_t mode) const {
+  const Processor& proc = procs_.at(u);
+  return proc.static_energy() + dynamic_energy(proc.speed(mode));
+}
+
+double Platform::min_processor_energy(std::size_t u) const {
+  return processor_energy(u, 0);
+}
+
+PlatformClass Platform::classify() const {
+  if (!uniform_bw_) return PlatformClass::FullyHeterogeneous;
+  const Processor& first = procs_.front();
+  const bool identical = std::all_of(
+      procs_.begin(), procs_.end(), [&](const Processor& p) {
+        return p.speeds() == first.speeds() &&
+               p.static_energy() == first.static_energy();
+      });
+  return identical ? PlatformClass::FullyHomogeneous
+                   : PlatformClass::CommHomogeneous;
+}
+
+bool Platform::is_uni_modal() const noexcept {
+  return std::all_of(procs_.begin(), procs_.end(),
+                     [](const Processor& p) { return p.is_uni_modal(); });
+}
+
+std::vector<std::size_t> Platform::processors_by_max_speed_desc() const {
+  std::vector<std::size_t> order(procs_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return procs_[a].max_speed() > procs_[b].max_speed();
+  });
+  return order;
+}
+
+}  // namespace pipeopt::core

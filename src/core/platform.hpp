@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file platform.hpp
+/// Target execution platform (paper §3.2).
+///
+/// p fully-interconnected multi-modal processors. Each processor P_u carries
+/// a discrete set of speeds S_u = {s_u,1 < ... < s_u,m_u} (DVFS modes) and a
+/// static energy cost E_stat(u); running at speed s costs E_stat(u) + s^α per
+/// time unit (§3.5). Bandwidths are either uniform (fully homogeneous /
+/// communication homogeneous platforms) or a full p×p matrix plus
+/// per-application in/out link capacities (fully heterogeneous platforms).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pipeopt::core {
+
+/// One multi-modal processor.
+class Processor {
+ public:
+  /// \param speeds        DVFS modes; must be non-empty, positive. Sorted
+  ///                      ascending and deduplicated on construction.
+  /// \param static_energy E_stat(u) >= 0.
+  Processor(std::vector<double> speeds, double static_energy = 0.0,
+            std::string name = {});
+
+  [[nodiscard]] std::size_t mode_count() const noexcept { return speeds_.size(); }
+  /// Speed of 0-based mode m (ascending order).
+  [[nodiscard]] double speed(std::size_t mode) const { return speeds_.at(mode); }
+  [[nodiscard]] double min_speed() const noexcept { return speeds_.front(); }
+  [[nodiscard]] double max_speed() const noexcept { return speeds_.back(); }
+  [[nodiscard]] std::size_t max_mode() const noexcept { return speeds_.size() - 1; }
+  [[nodiscard]] double static_energy() const noexcept { return static_energy_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<double>& speeds() const noexcept { return speeds_; }
+
+  /// Index of the slowest mode with speed >= s, if any.
+  [[nodiscard]] std::optional<std::size_t> slowest_mode_at_least(double s) const;
+
+  /// True when the processor has a single speed.
+  [[nodiscard]] bool is_uni_modal() const noexcept { return speeds_.size() == 1; }
+
+ private:
+  std::vector<double> speeds_;
+  double static_energy_;
+  std::string name_;
+};
+
+/// Platform classification (paper §3.2). The classes are nested:
+/// FullyHomogeneous ⊂ CommHomogeneous ⊂ FullyHeterogeneous.
+enum class PlatformClass {
+  FullyHomogeneous,   ///< identical processors, identical links
+  CommHomogeneous,    ///< identical links, heterogeneous processors
+  FullyHeterogeneous  ///< heterogeneous links and processors
+};
+
+[[nodiscard]] const char* to_string(PlatformClass c) noexcept;
+
+/// Fully-connected platform with an energy model.
+///
+/// Bandwidths: `bandwidth(u, v)` is the capacity of the bidirectional link
+/// P_u ↔ P_v; `in_bandwidth(a, u)` / `out_bandwidth(a, u)` are the links from
+/// application a's virtual source / to its sink. On uniform-bandwidth
+/// platforms all of these equal the single value `b`.
+class Platform {
+ public:
+  /// Uniform-bandwidth platform (fully homogeneous or comm-homogeneous,
+  /// depending on the processors).
+  /// \param alpha energy exponent α > 1 of E_dyn(s) = s^α.
+  Platform(std::vector<Processor> processors, double uniform_bandwidth,
+           double alpha = 2.0);
+
+  /// Fully heterogeneous platform. `link_bandwidth` must be p×p symmetric
+  /// positive (diagonal ignored: intra-processor transfers are free);
+  /// `in_bandwidth` / `out_bandwidth` are A×p (application × processor).
+  Platform(std::vector<Processor> processors,
+           std::vector<std::vector<double>> link_bandwidth,
+           std::vector<std::vector<double>> in_bandwidth,
+           std::vector<std::vector<double>> out_bandwidth, double alpha = 2.0);
+
+  [[nodiscard]] std::size_t processor_count() const noexcept { return procs_.size(); }
+  [[nodiscard]] const Processor& processor(std::size_t u) const { return procs_.at(u); }
+  [[nodiscard]] const std::vector<Processor>& processors() const noexcept { return procs_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  /// Capacity of link P_u ↔ P_v.
+  [[nodiscard]] double bandwidth(std::size_t u, std::size_t v) const;
+  /// Capacity of the link from application a's source to P_u.
+  [[nodiscard]] double in_bandwidth(std::size_t app, std::size_t u) const;
+  /// Capacity of the link from P_u to application a's sink.
+  [[nodiscard]] double out_bandwidth(std::size_t app, std::size_t u) const;
+
+  [[nodiscard]] bool has_uniform_bandwidth() const noexcept {
+    return uniform_bw_.has_value();
+  }
+  /// The uniform bandwidth b; throws if the platform is fully heterogeneous.
+  [[nodiscard]] double uniform_bandwidth() const;
+
+  /// Dynamic energy per time unit at speed s: s^α (§3.5).
+  [[nodiscard]] double dynamic_energy(double speed) const;
+  /// Total energy per time unit of P_u running in `mode`.
+  [[nodiscard]] double processor_energy(std::size_t u, std::size_t mode) const;
+  /// Minimum possible energy of enrolling P_u (its slowest mode).
+  [[nodiscard]] double min_processor_energy(std::size_t u) const;
+
+  [[nodiscard]] PlatformClass classify() const;
+
+  /// True when every processor is uni-modal (single speed).
+  [[nodiscard]] bool is_uni_modal() const noexcept;
+
+  /// Indices of processors sorted by max speed, descending; ties by index.
+  [[nodiscard]] std::vector<std::size_t> processors_by_max_speed_desc() const;
+
+ private:
+  void validate() const;
+
+  std::vector<Processor> procs_;
+  std::optional<double> uniform_bw_;
+  std::vector<std::vector<double>> link_bw_;  ///< empty when uniform
+  std::vector<std::vector<double>> in_bw_;    ///< empty when uniform
+  std::vector<std::vector<double>> out_bw_;   ///< empty when uniform
+  double alpha_;
+};
+
+}  // namespace pipeopt::core

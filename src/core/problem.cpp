@@ -1,0 +1,38 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pipeopt::core {
+
+const char* to_string(CommModel m) noexcept {
+  switch (m) {
+    case CommModel::Overlap: return "overlap";
+    case CommModel::NoOverlap: return "no-overlap";
+  }
+  return "?";
+}
+
+Problem::Problem(std::vector<Application> applications, Platform platform,
+                 CommModel comm)
+    : apps_(std::move(applications)),
+      platform_(std::move(platform)),
+      comm_(comm),
+      total_stages_(0),
+      max_stages_(0) {
+  if (apps_.empty()) {
+    throw std::invalid_argument("Problem: needs at least one application");
+  }
+  for (const Application& a : apps_) {
+    total_stages_ += a.stage_count();
+    max_stages_ = std::max(max_stages_, a.stage_count());
+  }
+}
+
+bool Problem::is_special_app_family() const {
+  return std::all_of(apps_.begin(), apps_.end(), [](const Application& a) {
+    return a.is_uniform_no_comm();
+  });
+}
+
+}  // namespace pipeopt::core

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file problem.hpp
+/// A problem instance: concurrent applications + platform + communication
+/// model (paper §3). All algorithms take a Problem.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/platform.hpp"
+
+namespace pipeopt::core {
+
+/// Communication model (paper §3.2): overlapped send/compute/receive
+/// (Eq. 3) or fully serialized operations (Eq. 4).
+enum class CommModel {
+  Overlap,   ///< multi-threaded communication; cycle-time is a max
+  NoOverlap  ///< single-threaded; cycle-time is a sum
+};
+
+[[nodiscard]] const char* to_string(CommModel m) noexcept;
+
+/// Instance of the concurrent mapping problem.
+class Problem {
+ public:
+  Problem(std::vector<Application> applications, Platform platform,
+          CommModel comm = CommModel::Overlap);
+
+  [[nodiscard]] std::size_t application_count() const noexcept { return apps_.size(); }
+  [[nodiscard]] const Application& application(std::size_t a) const { return apps_.at(a); }
+  [[nodiscard]] const std::vector<Application>& applications() const noexcept { return apps_; }
+  [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
+  [[nodiscard]] CommModel comm_model() const noexcept { return comm_; }
+
+  /// Total number of stages N = Σ_a n_a.
+  [[nodiscard]] std::size_t total_stages() const noexcept { return total_stages_; }
+
+  /// Largest application size n_max.
+  [[nodiscard]] std::size_t max_stages() const noexcept { return max_stages_; }
+
+  /// One-to-one mappings require p >= N.
+  [[nodiscard]] bool one_to_one_applicable() const noexcept {
+    return platform_.processor_count() >= total_stages_;
+  }
+
+  /// The paper's "special-app" column: heterogeneous processors, homogeneous
+  /// pipelines (all stages of every application share one w), and no
+  /// communication cost anywhere.
+  [[nodiscard]] bool is_special_app_family() const;
+
+  /// Returns a copy with a different communication model.
+  [[nodiscard]] Problem with_comm_model(CommModel m) const {
+    return Problem(apps_, platform_, m);
+  }
+
+ private:
+  std::vector<Application> apps_;
+  Platform platform_;
+  CommModel comm_;
+  std::size_t total_stages_;
+  std::size_t max_stages_;
+};
+
+}  // namespace pipeopt::core

@@ -1,0 +1,172 @@
+#include "exact/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::exact {
+namespace {
+
+using core::IntervalAssignment;
+using core::Mapping;
+using core::Problem;
+
+struct BranchBound {
+  const Problem& problem;
+  const MappingKind kind;
+  const std::uint64_t node_limit;
+
+  EnumerationStats stats;
+  std::vector<IntervalAssignment> placed;
+  std::vector<char> proc_used;
+  std::vector<std::size_t> procs_fast_first;  ///< branching order
+  // suffix_max_w[a][k]: max single-stage compute of stages k..n_a-1.
+  std::vector<std::vector<double>> suffix_max_w;
+  double best_value = util::kInfinity;
+  std::optional<Mapping> best_mapping;
+  // Finalized weighted cycle maxima stack (monotone prefix maxima), one
+  // entry per placed interval for O(1) undo.
+  std::vector<double> finalized_max;
+
+  explicit BranchBound(const Problem& p, MappingKind k, std::uint64_t limit)
+      : problem(p), kind(k), node_limit(limit) {
+    proc_used.assign(p.platform().processor_count(), 0);
+    procs_fast_first = p.platform().processors_by_max_speed_desc();
+    suffix_max_w.resize(p.application_count());
+    for (std::size_t a = 0; a < p.application_count(); ++a) {
+      const auto& app = p.application(a);
+      suffix_max_w[a].assign(app.stage_count() + 1, 0.0);
+      for (std::size_t s = app.stage_count(); s-- > 0;) {
+        suffix_max_w[a][s] = std::max(suffix_max_w[a][s + 1], app.compute(s));
+      }
+    }
+    finalized_max.push_back(0.0);
+  }
+
+  [[nodiscard]] double fastest_unused_speed() const {
+    for (std::size_t u : procs_fast_first) {
+      if (!proc_used[u]) return problem.platform().processor(u).max_speed();
+    }
+    return 0.0;  // no processor left: caller prunes via placement failure
+  }
+
+  /// Weighted cycle of placed interval `idx`, with the out-communication
+  /// included only when `final_out` (successor known or sink reached).
+  [[nodiscard]] double interval_value(std::size_t idx, bool final_out) const {
+    const IntervalAssignment& iv = placed[idx];
+    const auto& app = problem.application(iv.app);
+    const auto& platform = problem.platform();
+    const double speed = platform.processor(iv.proc).max_speed();
+
+    const bool has_prev = idx > 0 && placed[idx - 1].app == iv.app;
+    const double in_bw = has_prev
+                             ? platform.bandwidth(placed[idx - 1].proc, iv.proc)
+                             : platform.in_bandwidth(iv.app, iv.proc);
+    const double in = app.boundary_size(iv.first) / in_bw;
+    const double comp = app.total_compute(iv.first, iv.last) / speed;
+    double out = 0.0;
+    if (final_out) {
+      const bool is_last = iv.last + 1 == app.stage_count();
+      const double out_bw =
+          is_last ? platform.out_bandwidth(iv.app, iv.proc)
+                  : platform.bandwidth(iv.proc, placed[idx + 1].proc);
+      out = app.boundary_size(iv.last + 1) / out_bw;
+    }
+    const double cycle = problem.comm_model() == core::CommModel::Overlap
+                             ? std::max({in, comp, out})
+                             : in + comp + out;
+    return app.weight() * cycle;
+  }
+
+  /// Admissible bound from the stages not yet placed (apps `app` onward).
+  [[nodiscard]] double remaining_bound(std::size_t app, std::size_t stage) const {
+    const double s_max = fastest_unused_speed();
+    if (s_max <= 0.0) return 0.0;
+    double bound = 0.0;
+    for (std::size_t a = app; a < problem.application_count(); ++a) {
+      const std::size_t from = (a == app) ? stage : 0;
+      bound = std::max(bound, problem.application(a).weight() *
+                                  suffix_max_w[a][from] / s_max);
+    }
+    return bound;
+  }
+
+  void run() {
+    recurse(0, 0);
+  }
+
+  void recurse(std::size_t app, std::size_t stage) {
+    if (++stats.nodes > node_limit) throw SearchLimitExceeded{};
+    if (app == problem.application_count()) {
+      // Complete: the last interval of the last app was finalized on
+      // placement (sink out-comm), so finalized_max.back() is the value.
+      const double value = finalized_max.back();
+      if (value < best_value) {
+        best_value = value;
+        best_mapping = Mapping(placed);
+      }
+      ++stats.complete;
+      return;
+    }
+    const auto& application = problem.application(app);
+    const std::size_t n = application.stage_count();
+    if (stage == n) {
+      recurse(app + 1, 0);
+      return;
+    }
+
+    if (finalized_max.back() >= best_value ||
+        std::max(finalized_max.back(), remaining_bound(app, stage)) >=
+            best_value) {
+      return;  // prune
+    }
+
+    const std::size_t last_max = kind == MappingKind::OneToOne ? stage : n - 1;
+    for (std::size_t last = stage; last <= last_max; ++last) {
+      for (std::size_t u : procs_fast_first) {
+        if (proc_used[u]) continue;
+        proc_used[u] = 1;
+        placed.push_back({app, stage, last, u,
+                          problem.platform().processor(u).max_mode()});
+        const std::size_t idx = placed.size() - 1;
+
+        // Finalize the predecessor interval (its out-link is now known) and
+        // open the new one with its partial (in, compute) bound; when this
+        // interval ends its application, it finalizes immediately.
+        double new_max = finalized_max.back();
+        if (idx > 0 && placed[idx - 1].app == app) {
+          new_max = std::max(new_max, interval_value(idx - 1, true));
+        }
+        const bool closes_app = last + 1 == n;
+        new_max = std::max(new_max, interval_value(idx, closes_app));
+        finalized_max.push_back(new_max);
+
+        if (new_max < best_value) recurse(app, last + 1);
+
+        finalized_max.pop_back();
+        placed.pop_back();
+        proc_used[u] = 0;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<ExactResult> branch_bound_min_period(const Problem& problem,
+                                                   MappingKind kind,
+                                                   std::uint64_t node_limit) {
+  BranchBound search(problem, kind, node_limit);
+  search.run();
+  if (!search.best_mapping) return std::nullopt;
+  ExactResult result;
+  result.value = search.best_value;
+  result.mapping = std::move(*search.best_mapping);
+  result.stats = search.stats;
+  return result;
+}
+
+}  // namespace pipeopt::exact

@@ -1,0 +1,140 @@
+#include "exact/enumeration.hpp"
+
+#include <vector>
+
+namespace pipeopt::exact {
+namespace {
+
+using core::IntervalAssignment;
+using core::Problem;
+
+struct Searcher {
+  const Problem& problem;
+  const EnumerationOptions& options;
+  const MappingVisitor& visit;
+  EnumerationStats stats;
+  std::vector<IntervalAssignment> placed;
+  std::vector<char> proc_used;
+
+  void run() {
+    placed.reserve(problem.total_stages());
+    proc_used.assign(problem.platform().processor_count(), 0);
+    recurse(0, 0);
+  }
+
+  void recurse(std::size_t app, std::size_t stage) {
+    if (++stats.nodes > options.node_limit) throw SearchLimitExceeded{};
+    if (app == problem.application_count()) {
+      ++stats.complete;
+      visit(placed);
+      return;
+    }
+    const std::size_t n = problem.application(app).stage_count();
+    if (stage == n) {
+      recurse(app + 1, 0);
+      return;
+    }
+    const std::size_t last_max =
+        options.kind == MappingKind::OneToOne ? stage : n - 1;
+    const auto& platform = problem.platform();
+    for (std::size_t last = stage; last <= last_max; ++last) {
+      for (std::size_t u = 0; u < platform.processor_count(); ++u) {
+        if (proc_used[u]) continue;
+        proc_used[u] = 1;
+        const std::size_t mode_count =
+            options.enumerate_modes ? platform.processor(u).mode_count() : 1;
+        for (std::size_t m = 0; m < mode_count; ++m) {
+          const std::size_t mode =
+              options.enumerate_modes ? m : platform.processor(u).max_mode();
+          placed.push_back({app, stage, last, u, mode});
+          recurse(app, last + 1);
+          placed.pop_back();
+        }
+        proc_used[u] = 0;
+      }
+    }
+  }
+};
+
+/// Saturating multiply/add on uint64.
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) return UINT64_MAX;
+  return out;
+}
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) return UINT64_MAX;
+  return out;
+}
+
+}  // namespace
+
+EnumerationStats enumerate_mappings(const Problem& problem,
+                                    const EnumerationOptions& options,
+                                    const MappingVisitor& visit) {
+  Searcher searcher{problem, options, visit, {}, {}, {}};
+  searcher.run();
+  return searcher.stats;
+}
+
+std::uint64_t mapping_space_size(const Problem& problem,
+                                 const EnumerationOptions& options) {
+  const std::size_t p = problem.platform().processor_count();
+  const std::size_t n_total = problem.total_stages();
+  const std::size_t max_m = std::min(p, n_total);
+
+  // comp[M]: number of ways to pick per-application interval counts with
+  // total M, weighted by the per-application composition counts
+  // C(n_a - 1, m_a - 1).
+  std::vector<std::uint64_t> comp(max_m + 1, 0);
+  comp[0] = 1;
+  for (const auto& app : problem.applications()) {
+    const std::size_t n = app.stage_count();
+    // Binomials C(n-1, m-1) for m = 1..n.
+    std::vector<std::uint64_t> binom(n + 1, 0);
+    binom[1] = 1;
+    for (std::size_t m = 2; m <= n; ++m) {
+      // C(n-1, m-1) = C(n-1, m-2) * (n-m+1) / (m-1)
+      binom[m] = sat_mul(binom[m - 1], n - m + 1) / (m - 1);
+    }
+    std::vector<std::uint64_t> next(max_m + 1, 0);
+    for (std::size_t total = 0; total <= max_m; ++total) {
+      if (comp[total] == 0) continue;
+      if (options.kind == MappingKind::OneToOne) {
+        if (total + n <= max_m) {
+          next[total + n] = sat_add(next[total + n], comp[total]);
+        }
+        continue;
+      }
+      for (std::size_t m = 1; m <= n && total + m <= max_m; ++m) {
+        next[total + m] = sat_add(next[total + m], sat_mul(comp[total], binom[m]));
+      }
+    }
+    comp = std::move(next);
+  }
+
+  // weighted[M]: M! · e_M(weights) where weight_u is the mode count (or 1)
+  // of processor u — the number of ordered placements of M intervals onto
+  // distinct processors including mode choices.
+  std::vector<std::uint64_t> sym(max_m + 1, 0);
+  sym[0] = 1;
+  for (std::size_t u = 0; u < p; ++u) {
+    const std::uint64_t w =
+        options.enumerate_modes
+            ? problem.platform().processor(u).mode_count()
+            : 1;
+    for (std::size_t m = std::min(max_m, u + 1); m >= 1; --m) {
+      sym[m] = sat_add(sym[m], sat_mul(sym[m - 1], w));
+    }
+  }
+  std::uint64_t factorial = 1;
+  std::uint64_t total = 0;
+  for (std::size_t m = 0; m <= max_m; ++m) {
+    if (m > 0) factorial = sat_mul(factorial, m);
+    total = sat_add(total, sat_mul(comp[m], sat_mul(sym[m], factorial)));
+  }
+  return total;
+}
+
+}  // namespace pipeopt::exact

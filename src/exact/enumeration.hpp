@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file enumeration.hpp
+/// Exhaustive enumeration of one-to-one and interval mappings.
+///
+/// This is the library's optimality oracle: every NP-hard cell of Tables 1
+/// and 2 can still be solved exactly at small scale, which is how the
+/// polynomial algorithms are property-tested and how heuristic gaps are
+/// measured. The search walks, per application, every composition of the
+/// stage chain into intervals, every injective placement onto unused
+/// processors, and (optionally) every speed mode.
+///
+/// The search-space growth is itself an experiment (bench_exact_scaling):
+/// compositions × falling-factorial placements × mode choices is the
+/// exponential wall the NP-completeness theorems predict.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+
+#include "core/mapping.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::exact {
+
+/// Mapping family to enumerate.
+enum class MappingKind {
+  OneToOne,  ///< every interval is a single stage
+  Interval   ///< arbitrary consecutive intervals
+};
+
+/// Enumeration controls.
+struct EnumerationOptions {
+  MappingKind kind = MappingKind::Interval;
+  /// Enumerate every speed mode per enrolled processor; when false the
+  /// maximum mode is used (the §4 normalization for performance-only
+  /// problems).
+  bool enumerate_modes = false;
+  /// Upper bound on recursion nodes; exceeded -> SearchLimitExceeded.
+  std::uint64_t node_limit = 100'000'000;
+};
+
+/// Thrown when the enumeration exceeds its node budget.
+class SearchLimitExceeded : public std::runtime_error {
+ public:
+  SearchLimitExceeded()
+      : std::runtime_error("pipeopt::exact enumeration node limit exceeded") {}
+};
+
+/// Statistics of one enumeration run.
+struct EnumerationStats {
+  std::uint64_t nodes = 0;     ///< recursion nodes visited
+  std::uint64_t complete = 0;  ///< complete mappings produced
+};
+
+/// Callback receives each complete mapping as a span of intervals ordered by
+/// (application, first stage). The span is only valid during the call.
+using MappingVisitor =
+    std::function<void(std::span<const core::IntervalAssignment>)>;
+
+/// Enumerates all mappings of the problem per the options.
+/// \throws SearchLimitExceeded past options.node_limit.
+EnumerationStats enumerate_mappings(const core::Problem& problem,
+                                    const EnumerationOptions& options,
+                                    const MappingVisitor& visit);
+
+/// Closed-form size of the search space (number of complete mappings) —
+/// used by the scaling bench to report the exponential growth curve without
+/// walking it. Saturates at UINT64_MAX.
+[[nodiscard]] std::uint64_t mapping_space_size(const core::Problem& problem,
+                                               const EnumerationOptions& options);
+
+}  // namespace pipeopt::exact

@@ -1,0 +1,96 @@
+#include "exact/exact_solvers.hpp"
+
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::exact {
+namespace {
+
+using core::ConstraintSet;
+using core::Mapping;
+using core::Metrics;
+using core::Problem;
+
+double objective_value(Objective objective, const Metrics& metrics) {
+  switch (objective) {
+    case Objective::Period: return metrics.max_weighted_period;
+    case Objective::Latency: return metrics.max_weighted_latency;
+    case Objective::Energy: return metrics.energy;
+  }
+  return util::kInfinity;
+}
+
+}  // namespace
+
+std::optional<ExactResult> exact_minimize(const Problem& problem,
+                                          const EnumerationOptions& options,
+                                          Objective objective,
+                                          const ConstraintSet& constraints) {
+  std::optional<ExactResult> best;
+  EnumerationStats stats = enumerate_mappings(
+      problem, options,
+      [&](std::span<const core::IntervalAssignment> intervals) {
+        Mapping mapping(
+            std::vector<core::IntervalAssignment>(intervals.begin(), intervals.end()));
+        // The enumerator only produces structurally valid mappings; skip the
+        // re-validation on this hot path.
+        const Metrics metrics = core::evaluate(problem, mapping, false);
+        if (!constraints.satisfied_by(metrics)) return;
+        const double value = objective_value(objective, metrics);
+        if (!best || value < best->value) {
+          best = ExactResult{value, std::move(mapping), {}};
+        }
+      });
+  if (best) best->stats = stats;
+  return best;
+}
+
+std::optional<ExactResult> exact_min_period(const Problem& problem,
+                                            MappingKind kind,
+                                            std::uint64_t node_limit) {
+  EnumerationOptions options;
+  options.kind = kind;
+  options.enumerate_modes = false;
+  options.node_limit = node_limit;
+  return exact_minimize(problem, options, Objective::Period);
+}
+
+std::optional<ExactResult> exact_min_latency(const Problem& problem,
+                                             MappingKind kind,
+                                             std::uint64_t node_limit) {
+  EnumerationOptions options;
+  options.kind = kind;
+  options.enumerate_modes = false;
+  options.node_limit = node_limit;
+  return exact_minimize(problem, options, Objective::Latency);
+}
+
+std::optional<ExactResult> exact_min_energy_under_period(
+    const Problem& problem, MappingKind kind,
+    const core::Thresholds& period_bounds, std::uint64_t node_limit) {
+  EnumerationOptions options;
+  options.kind = kind;
+  options.enumerate_modes = true;
+  options.node_limit = node_limit;
+  ConstraintSet constraints;
+  constraints.period = period_bounds;
+  return exact_minimize(problem, options, Objective::Energy, constraints);
+}
+
+std::optional<ExactResult> exact_min_energy_tricriteria(
+    const Problem& problem, MappingKind kind,
+    const core::Thresholds& period_bounds, const core::Thresholds& latency_bounds,
+    std::uint64_t node_limit) {
+  EnumerationOptions options;
+  options.kind = kind;
+  options.enumerate_modes = true;
+  options.node_limit = node_limit;
+  ConstraintSet constraints;
+  constraints.period = period_bounds;
+  constraints.latency = latency_bounds;
+  return exact_minimize(problem, options, Objective::Energy, constraints);
+}
+
+}  // namespace pipeopt::exact

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file exact_solvers.hpp
+/// Optimal solvers built on exhaustive enumeration, covering every objective
+/// and constraint combination of the paper (usable on any platform class and
+/// both communication models — at small scale).
+///
+/// These are (a) the oracle the polynomial algorithms are verified against,
+/// (b) the optimal baseline the heuristics are gapped against, and (c) the
+/// solver of last resort for the NP-hard cells of Tables 1 and 2.
+
+#include <optional>
+
+#include "core/mapping.hpp"
+#include "core/objectives.hpp"
+#include "core/problem.hpp"
+#include "exact/enumeration.hpp"
+
+namespace pipeopt::exact {
+
+/// Criterion to minimize.
+enum class Objective {
+  Period,   ///< max_a W_a·T_a
+  Latency,  ///< max_a W_a·L_a
+  Energy    ///< Σ enrolled processor energy
+};
+
+/// Exact optimum.
+struct ExactResult {
+  double value = 0.0;
+  core::Mapping mapping;
+  EnumerationStats stats;
+};
+
+/// Minimizes `objective` over all mappings of the given kind subject to
+/// `constraints` (any part may be absent). Returns std::nullopt when no
+/// feasible mapping exists (including p < N for one-to-one).
+/// \throws SearchLimitExceeded when the space exceeds options.node_limit.
+[[nodiscard]] std::optional<ExactResult> exact_minimize(
+    const core::Problem& problem, const EnumerationOptions& options,
+    Objective objective, const core::ConstraintSet& constraints = {});
+
+/// Convenience wrappers for the mono-criterion problems (processors at
+/// maximum speed, i.e. modes not enumerated unless requested).
+[[nodiscard]] std::optional<ExactResult> exact_min_period(
+    const core::Problem& problem, MappingKind kind,
+    std::uint64_t node_limit = 100'000'000);
+[[nodiscard]] std::optional<ExactResult> exact_min_latency(
+    const core::Problem& problem, MappingKind kind,
+    std::uint64_t node_limit = 100'000'000);
+
+/// Minimum energy under per-application period bounds (modes enumerated) —
+/// the exact counterpart of Theorems 18/19/21 on any platform.
+[[nodiscard]] std::optional<ExactResult> exact_min_energy_under_period(
+    const core::Problem& problem, MappingKind kind,
+    const core::Thresholds& period_bounds,
+    std::uint64_t node_limit = 100'000'000);
+
+/// Tri-criteria feasibility/optimum: minimum energy under period and latency
+/// bounds (modes enumerated) — the exact counterpart of Theorems 23-27.
+[[nodiscard]] std::optional<ExactResult> exact_min_energy_tricriteria(
+    const core::Problem& problem, MappingKind kind,
+    const core::Thresholds& period_bounds, const core::Thresholds& latency_bounds,
+    std::uint64_t node_limit = 100'000'000);
+
+}  // namespace pipeopt::exact

@@ -1,0 +1,32 @@
+#include "gen/motivating_example.hpp"
+
+namespace pipeopt::gen {
+
+core::Problem motivating_example() {
+  using core::Application;
+  using core::Platform;
+  using core::Processor;
+  using core::StageSpec;
+
+  std::vector<Application> apps;
+  apps.push_back(Application(
+      /*input_size=*/1.0,
+      {StageSpec{3.0, 3.0}, StageSpec{2.0, 2.0}, StageSpec{1.0, 0.0}},
+      /*weight=*/1.0, "App1"));
+  apps.push_back(Application(
+      /*input_size=*/0.0,
+      {StageSpec{2.0, 2.0}, StageSpec{6.0, 1.0}, StageSpec{4.0, 1.0},
+       StageSpec{2.0, 1.0}},
+      /*weight=*/1.0, "App2"));
+
+  std::vector<Processor> procs;
+  procs.emplace_back(std::vector<double>{3.0, 6.0}, 0.0, "P1");
+  procs.emplace_back(std::vector<double>{6.0, 8.0}, 0.0, "P2");
+  procs.emplace_back(std::vector<double>{1.0, 6.0}, 0.0, "P3");
+
+  Platform platform(std::move(procs), /*uniform_bandwidth=*/1.0, /*alpha=*/2.0);
+  return core::Problem(std::move(apps), std::move(platform),
+                       core::CommModel::Overlap);
+}
+
+}  // namespace pipeopt::gen

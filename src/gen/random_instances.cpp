@@ -1,0 +1,118 @@
+#include "gen/random_instances.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pipeopt::gen {
+
+using core::Application;
+using core::Platform;
+using core::PlatformClass;
+using core::Problem;
+using core::Processor;
+using core::StageSpec;
+
+Application random_application(util::Rng& rng, const AppParams& params) {
+  const auto n = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(params.min_stages),
+                      static_cast<std::int64_t>(params.max_stages)));
+  std::vector<StageSpec> stages(n);
+  for (StageSpec& s : stages) {
+    s.compute = rng.log_uniform(params.min_compute, params.max_compute);
+    s.output_size = rng.uniform(params.min_data, params.max_data);
+  }
+  const double input = rng.uniform(params.min_data, params.max_data);
+  const double weight = params.weighted ? rng.uniform(0.5, 2.0) : 1.0;
+  return Application(input, std::move(stages), weight);
+}
+
+std::vector<Application> random_applications(util::Rng& rng, std::size_t count,
+                                             const AppParams& params) {
+  std::vector<Application> apps;
+  apps.reserve(count);
+  for (std::size_t a = 0; a < count; ++a) {
+    apps.push_back(random_application(rng, params));
+  }
+  return apps;
+}
+
+std::vector<Application> special_app_family(util::Rng& rng, std::size_t count,
+                                            std::size_t min_stages,
+                                            std::size_t max_stages) {
+  std::vector<Application> apps;
+  apps.reserve(count);
+  for (std::size_t a = 0; a < count; ++a) {
+    const auto n = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(min_stages),
+                        static_cast<std::int64_t>(max_stages)));
+    std::vector<StageSpec> stages(n, StageSpec{1.0, 0.0});
+    apps.push_back(Application(0.0, std::move(stages)));
+  }
+  return apps;
+}
+
+namespace {
+
+std::vector<double> random_speed_set(util::Rng& rng, const PlatformParams& params) {
+  std::vector<double> speeds(params.modes);
+  for (double& s : speeds) s = rng.log_uniform(params.min_speed, params.max_speed);
+  return speeds;  // Processor sorts + dedups
+}
+
+}  // namespace
+
+Platform random_platform(util::Rng& rng, std::size_t p, std::size_t apps,
+                         PlatformClass cls, const PlatformParams& params) {
+  if (p == 0) throw std::invalid_argument("random_platform: p must be > 0");
+  std::vector<Processor> procs;
+  procs.reserve(p);
+
+  if (cls == PlatformClass::FullyHomogeneous) {
+    const std::vector<double> speeds = random_speed_set(rng, params);
+    for (std::size_t u = 0; u < p; ++u) {
+      procs.emplace_back(speeds, params.static_energy, "P" + std::to_string(u));
+    }
+    return Platform(std::move(procs), params.uniform_bandwidth, params.alpha);
+  }
+
+  for (std::size_t u = 0; u < p; ++u) {
+    procs.emplace_back(random_speed_set(rng, params), params.static_energy,
+                       "P" + std::to_string(u));
+  }
+  if (cls == PlatformClass::CommHomogeneous) {
+    return Platform(std::move(procs), params.uniform_bandwidth, params.alpha);
+  }
+
+  // Fully heterogeneous: symmetric random link matrix + per-app in/out links.
+  std::vector<std::vector<double>> links(p, std::vector<double>(p, 1.0));
+  for (std::size_t u = 0; u < p; ++u) {
+    for (std::size_t v = u + 1; v < p; ++v) {
+      const double bw = rng.uniform(params.min_bandwidth, params.max_bandwidth);
+      links[u][v] = links[v][u] = bw;
+    }
+  }
+  auto io_table = [&]() {
+    std::vector<std::vector<double>> table(apps, std::vector<double>(p));
+    for (auto& row : table) {
+      for (double& bw : row) {
+        bw = rng.uniform(params.min_bandwidth, params.max_bandwidth);
+      }
+    }
+    return table;
+  };
+  return Platform(std::move(procs), std::move(links), io_table(), io_table(),
+                  params.alpha);
+}
+
+Problem random_problem(util::Rng& rng, const ProblemShape& shape) {
+  std::vector<Application> apps =
+      shape.special_app
+          ? special_app_family(rng, shape.applications, shape.app.min_stages,
+                               shape.app.max_stages)
+          : random_applications(rng, shape.applications, shape.app);
+  Platform platform = random_platform(rng, shape.processors, shape.applications,
+                                      shape.platform_class, shape.platform);
+  return Problem(std::move(apps), std::move(platform), shape.comm);
+}
+
+}  // namespace pipeopt::gen

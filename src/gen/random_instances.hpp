@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file random_instances.hpp
+/// Seeded random instance generators for the three platform classes and the
+/// application families the paper studies. Property tests and the Table 1 /
+/// Table 2 benches draw instances from here.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/problem.hpp"
+#include "util/random.hpp"
+
+namespace pipeopt::gen {
+
+/// Application shape parameters.
+struct AppParams {
+  std::size_t min_stages = 2;
+  std::size_t max_stages = 5;
+  double min_compute = 1.0;
+  double max_compute = 20.0;    ///< w drawn log-uniform in [min, max]
+  double min_data = 0.0;        ///< δ drawn uniform in [min, max]
+  double max_data = 5.0;
+  bool weighted = false;        ///< draw W_a uniform in [0.5, 2] when set
+};
+
+/// Platform shape parameters.
+struct PlatformParams {
+  std::size_t modes = 2;            ///< speed modes per processor
+  double min_speed = 1.0;
+  double max_speed = 10.0;          ///< speeds drawn log-uniform
+  double min_bandwidth = 0.5;
+  double max_bandwidth = 4.0;       ///< per-link, fully heterogeneous only
+  double uniform_bandwidth = 1.0;   ///< comm-homogeneous platforms
+  double static_energy = 0.5;
+  double alpha = 2.0;
+};
+
+/// One random linear-chain application.
+[[nodiscard]] core::Application random_application(util::Rng& rng,
+                                                   const AppParams& params);
+
+/// `count` random applications.
+[[nodiscard]] std::vector<core::Application> random_applications(
+    util::Rng& rng, std::size_t count, const AppParams& params);
+
+/// Homogeneous-pipeline-without-communication applications (the special-app
+/// family): every stage w = 1 (scaled by 1/W_a when weighted), δ = 0.
+[[nodiscard]] std::vector<core::Application> special_app_family(
+    util::Rng& rng, std::size_t count, std::size_t min_stages,
+    std::size_t max_stages);
+
+/// Random platform of the requested class with `p` processors (and `apps`
+/// applications' worth of in/out links when fully heterogeneous).
+[[nodiscard]] core::Platform random_platform(util::Rng& rng, std::size_t p,
+                                             std::size_t apps,
+                                             core::PlatformClass cls,
+                                             const PlatformParams& params);
+
+/// Full random problem of the requested shape.
+struct ProblemShape {
+  std::size_t applications = 2;
+  std::size_t processors = 6;
+  core::PlatformClass platform_class = core::PlatformClass::FullyHomogeneous;
+  core::CommModel comm = core::CommModel::Overlap;
+  bool special_app = false;  ///< use the special-app application family
+  AppParams app;
+  PlatformParams platform;
+};
+
+[[nodiscard]] core::Problem random_problem(util::Rng& rng, const ProblemShape& shape);
+
+}  // namespace pipeopt::gen

@@ -1,0 +1,83 @@
+#include "gen/workloads.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace pipeopt::gen {
+
+using core::Application;
+using core::Platform;
+using core::Processor;
+using core::StageSpec;
+
+Application video_transcode_app(double frame_size, double rate_weight) {
+  // (w, δ_out) per stage; compute in "operation units" relative to one
+  // frame of the given size.
+  std::vector<StageSpec> stages{
+      {0.5 * frame_size, frame_size},         // demux: passthrough
+      {8.0 * frame_size, 4.0 * frame_size},   // decode: raw frames out
+      {2.0 * frame_size, 4.0 * frame_size},   // deinterlace
+      {1.5 * frame_size, 2.0 * frame_size},   // scale: downsampled
+      {10.0 * frame_size, 0.5 * frame_size},  // encode: compressed out
+      {0.3 * frame_size, 0.5 * frame_size},   // mux
+  };
+  return Application(frame_size, std::move(stages), rate_weight, "video");
+}
+
+Application dsp_filter_app(std::size_t taps, double sample_size) {
+  std::vector<StageSpec> stages(taps == 0 ? 1 : taps,
+                                StageSpec{1.0, sample_size});
+  return Application(sample_size, std::move(stages), 1.0, "dsp");
+}
+
+Application image_pipeline_app(double image_size) {
+  std::vector<StageSpec> stages{
+      {1.0 * image_size, image_size},          // acquire
+      {6.0 * image_size, image_size},          // denoise
+      {4.0 * image_size, 0.5 * image_size},    // segment
+      {3.0 * image_size, 0.1 * image_size},    // feature extraction
+      {2.0 * image_size, 0.01 * image_size},   // classify: labels out
+  };
+  return Application(image_size, std::move(stages), 1.0, "image");
+}
+
+Platform homogeneous_cluster(std::size_t p, std::size_t modes, double base_speed,
+                             double turbo_factor, double bandwidth,
+                             double static_energy, double alpha) {
+  std::vector<double> speeds;
+  speeds.reserve(modes);
+  for (std::size_t m = 0; m < modes; ++m) {
+    const double frac = modes <= 1 ? 1.0
+                                   : static_cast<double>(m) /
+                                         static_cast<double>(modes - 1);
+    speeds.push_back(base_speed * std::pow(turbo_factor, frac));
+  }
+  std::vector<Processor> procs;
+  procs.reserve(p);
+  for (std::size_t u = 0; u < p; ++u) {
+    procs.emplace_back(speeds, static_energy, "node" + std::to_string(u));
+  }
+  return Platform(std::move(procs), bandwidth, alpha);
+}
+
+Platform workstation_network(util::Rng& rng, std::size_t p, std::size_t modes,
+                             double bandwidth, double static_energy, double alpha) {
+  std::vector<Processor> procs;
+  procs.reserve(p);
+  for (std::size_t u = 0; u < p; ++u) {
+    const double base = rng.log_uniform(1.0, 8.0);
+    std::vector<double> speeds;
+    speeds.reserve(modes);
+    for (std::size_t m = 0; m < modes; ++m) {
+      const double frac = modes <= 1 ? 1.0
+                                     : static_cast<double>(m) /
+                                           static_cast<double>(modes - 1);
+      speeds.push_back(base * (0.5 + 0.5 * frac));  // half speed .. full speed
+    }
+    procs.emplace_back(std::move(speeds), static_energy,
+                       "ws" + std::to_string(u));
+  }
+  return Platform(std::move(procs), bandwidth, alpha);
+}
+
+}  // namespace pipeopt::gen

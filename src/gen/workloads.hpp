@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file workloads.hpp
+/// Synthetic domain workloads shaped after the application classes the
+/// paper's introduction motivates (video/audio coding, DSP, image
+/// processing). Used by the example programs and the Pareto/heuristic
+/// benches so they exercise realistic chain shapes rather than pure noise.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/platform.hpp"
+#include "util/random.hpp"
+
+namespace pipeopt::gen {
+
+/// A 6-stage video transcoding chain: demux, decode, deinterlace, scale,
+/// encode, mux. Heavy decode/encode stages, large frames between the
+/// middle stages. `rate_weight` becomes W_a (e.g. frames-per-second goals).
+[[nodiscard]] core::Application video_transcode_app(double frame_size,
+                                                    double rate_weight = 1.0);
+
+/// An n-tap DSP filter bank: uniform small stages, small samples, the shape
+/// where one-to-one mappings shine.
+[[nodiscard]] core::Application dsp_filter_app(std::size_t taps,
+                                               double sample_size);
+
+/// An image-processing chain (acquire, denoise, segment, feature-extract,
+/// classify) with shrinking data sizes along the chain.
+[[nodiscard]] core::Application image_pipeline_app(double image_size);
+
+/// A small cluster of identical multi-modal nodes (fully homogeneous):
+/// `modes` DVFS points spread geometrically between base_speed and
+/// base_speed * turbo_factor.
+[[nodiscard]] core::Platform homogeneous_cluster(std::size_t p, std::size_t modes,
+                                                 double base_speed,
+                                                 double turbo_factor,
+                                                 double bandwidth,
+                                                 double static_energy,
+                                                 double alpha = 2.0);
+
+/// A network of workstations (comm-homogeneous): per-node speed sets drawn
+/// from a seeded RNG around distinct base speeds.
+[[nodiscard]] core::Platform workstation_network(util::Rng& rng, std::size_t p,
+                                                 std::size_t modes,
+                                                 double bandwidth,
+                                                 double static_energy,
+                                                 double alpha = 2.0);
+
+}  // namespace pipeopt::gen

@@ -1,0 +1,82 @@
+#include "heuristics/annealing.hpp"
+
+#include <cmath>
+
+#include "core/evaluation.hpp"
+#include "heuristics/neighborhood.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::heuristics {
+namespace {
+
+/// Relative violation of the constraint set (0 when satisfied): sum over
+/// criteria of max(0, value/bound - 1).
+double violation(const core::Problem& problem, const core::Metrics& metrics,
+                 const core::ConstraintSet& constraints) {
+  double total = 0.0;
+  auto add = [&](const std::optional<core::Thresholds>& thresholds,
+                 core::Criterion criterion) {
+    if (!thresholds) return;
+    for (std::size_t a = 0; a < problem.application_count(); ++a) {
+      const double value = criterion == core::Criterion::Period
+                               ? metrics.per_app[a].period
+                               : metrics.per_app[a].latency;
+      const double bound = thresholds->bound(a);
+      if (std::isfinite(bound) && value > bound) total += value / bound - 1.0;
+    }
+  };
+  add(constraints.period, core::Criterion::Period);
+  add(constraints.latency, core::Criterion::Latency);
+  if (constraints.energy_budget && metrics.energy > *constraints.energy_budget) {
+    total += metrics.energy / *constraints.energy_budget - 1.0;
+  }
+  return total;
+}
+
+}  // namespace
+
+AnnealingResult simulated_annealing(const core::Problem& problem,
+                                    const core::Mapping& start, Goal goal,
+                                    const core::ConstraintSet& constraints,
+                                    util::Rng& rng,
+                                    const AnnealingOptions& options) {
+  core::Mapping current = start;
+  core::Metrics metrics = core::evaluate(problem, current);
+  const double scale = std::max(goal_value(goal, metrics), 1e-9);
+  auto score = [&](const core::Metrics& m) {
+    return goal_value(goal, m) / scale +
+           options.penalty * violation(problem, m, constraints);
+  };
+  double current_score = score(metrics);
+
+  AnnealingResult result;
+  result.value = util::kInfinity;
+  if (constraints.satisfied_by(metrics)) {
+    result.mapping = current;
+    result.value = goal_value(goal, metrics);
+  }
+
+  double temperature = options.initial_temperature;
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    const auto candidate = random_neighbour(problem, current, rng);
+    if (!candidate) break;
+    const core::Metrics m = core::evaluate(problem, *candidate, false);
+    const double cand_score = score(m);
+    const double delta = cand_score - current_score;
+    if (delta <= 0.0 ||
+        rng.uniform(0.0, 1.0) < std::exp(-delta / std::max(temperature, 1e-12))) {
+      current = *candidate;
+      current_score = cand_score;
+      metrics = m;
+      ++result.accepted;
+      if (constraints.satisfied_by(m) && goal_value(goal, m) < result.value) {
+        result.mapping = current;
+        result.value = goal_value(goal, m);
+      }
+    }
+    temperature *= options.cooling;
+  }
+  return result;
+}
+
+}  // namespace pipeopt::heuristics

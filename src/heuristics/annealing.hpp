@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file annealing.hpp
+/// Simulated annealing over the shared mapping neighbourhood — the
+/// exploration-capable heuristic for the NP-hard tri-criteria problem on
+/// heterogeneous multi-modal platforms. Constraint violations are admitted
+/// during the walk via a penalty term so the search can cross infeasible
+/// ridges, but only feasible states are recorded as incumbents.
+
+#include <optional>
+
+#include "core/mapping.hpp"
+#include "core/objectives.hpp"
+#include "core/problem.hpp"
+#include "heuristics/local_search.hpp"  // Goal
+#include "util/random.hpp"
+
+namespace pipeopt::heuristics {
+
+/// Annealing controls.
+struct AnnealingOptions {
+  std::size_t iterations = 2000;
+  double initial_temperature = 1.0;  ///< relative to the start's goal value
+  double cooling = 0.995;            ///< geometric factor per iteration
+  double penalty = 10.0;             ///< weight of relative constraint violation
+};
+
+/// Annealing outcome; `value` is +inf when no feasible state was ever seen.
+struct AnnealingResult {
+  core::Mapping mapping;
+  double value = 0.0;
+  std::size_t accepted = 0;  ///< accepted moves (diagnostics)
+};
+
+/// Runs simulated annealing from `start` (need not satisfy the constraints).
+[[nodiscard]] AnnealingResult simulated_annealing(
+    const core::Problem& problem, const core::Mapping& start, Goal goal,
+    const core::ConstraintSet& constraints, util::Rng& rng,
+    const AnnealingOptions& options = {});
+
+}  // namespace pipeopt::heuristics

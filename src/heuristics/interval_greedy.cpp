@@ -1,0 +1,109 @@
+#include "heuristics/interval_greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace pipeopt::heuristics {
+namespace {
+
+using core::IntervalAssignment;
+using core::Mapping;
+using core::Problem;
+
+}  // namespace
+
+std::optional<Mapping> greedy_interval_mapping(const Problem& problem) {
+  const std::size_t A = problem.application_count();
+  const std::size_t p = problem.platform().processor_count();
+  if (p < A) return std::nullopt;
+
+  // Phase 1: proportional processor counts (floor + largest-remainder),
+  // clamped to [1, n_a].
+  std::vector<double> demand(A);
+  double total_demand = 0.0;
+  for (std::size_t a = 0; a < A; ++a) {
+    demand[a] = problem.application(a).weight() *
+                problem.application(a).total_compute();
+    total_demand += demand[a];
+  }
+  std::vector<std::size_t> count(A, 1);
+  std::size_t used = A;
+  if (total_demand > 0.0) {
+    // Hand out the remaining processors by repeatedly serving the
+    // application with the highest demand per allotted processor.
+    while (used < p) {
+      std::size_t best = A;
+      double best_ratio = -1.0;
+      for (std::size_t a = 0; a < A; ++a) {
+        if (count[a] >= problem.application(a).stage_count()) continue;
+        const double ratio = demand[a] / static_cast<double>(count[a]);
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best = a;
+        }
+      }
+      if (best == A) break;  // every application saturated (count == stages)
+      ++count[best];
+      ++used;
+    }
+  }
+
+  // Phase 2: fastest processors to the most demanding applications.
+  std::vector<std::size_t> order(A);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return demand[x] / static_cast<double>(count[x]) >
+           demand[y] / static_cast<double>(count[y]);
+  });
+  std::vector<std::size_t> procs_by_speed =
+      problem.platform().processors_by_max_speed_desc();
+
+  std::vector<IntervalAssignment> intervals;
+  std::size_t next_proc = 0;
+  for (std::size_t a : order) {
+    const auto& app = problem.application(a);
+    const std::size_t q = count[a];
+    // This application's processors, fastest first.
+    std::vector<std::size_t> mine(procs_by_speed.begin() +
+                                      static_cast<std::ptrdiff_t>(next_proc),
+                                  procs_by_speed.begin() +
+                                      static_cast<std::ptrdiff_t>(next_proc + q));
+    next_proc += q;
+
+    double speed_sum = 0.0;
+    for (std::size_t u : mine) {
+      speed_sum += problem.platform().processor(u).max_speed();
+    }
+    // Cut the chain so each interval's work matches its processor's share.
+    const double total_work = app.total_compute();
+    std::size_t first = 0;
+    for (std::size_t j = 0; j < q; ++j) {
+      const std::size_t u = mine[j];
+      const std::size_t remaining_intervals = q - j - 1;
+      std::size_t last = first;
+      if (remaining_intervals == 0) {
+        last = app.stage_count() - 1;
+      } else {
+        const double target = total_work *
+                              problem.platform().processor(u).max_speed() /
+                              speed_sum;
+        double acc = 0.0;
+        // Greedily absorb stages while the interval stays under target and
+        // enough stages remain for the other intervals.
+        while (last + 1 + remaining_intervals < app.stage_count()) {
+          acc += app.compute(last);
+          if (acc >= target) break;
+          ++last;
+        }
+      }
+      intervals.push_back(
+          {a, first, last, u, problem.platform().processor(u).max_mode()});
+      first = last + 1;
+    }
+  }
+  return Mapping(std::move(intervals));
+}
+
+}  // namespace pipeopt::heuristics

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file interval_greedy.hpp
+/// Polynomial-time constructive heuristic for the NP-hard interval-mapping
+/// cells (heterogeneous processors and/or links) — the practical face of the
+/// paper's §6 future work.
+///
+/// Three phases:
+///  1. allocate processor counts to applications proportionally to their
+///     weighted total work (at least one each);
+///  2. give each application its fastest allotted processors and cut its
+///     chain so that every interval's compute time (Σw / s) is balanced
+///     against its processor's share of the application's total speed;
+///  3. run everything at maximum speed (callers wanting energy reduction
+///     follow up with speed_scaling / local search).
+
+#include <optional>
+
+#include "core/mapping.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::heuristics {
+
+/// Builds a feasible interval mapping on any platform class (p >= A
+/// required). Returns std::nullopt when p < A.
+[[nodiscard]] std::optional<core::Mapping> greedy_interval_mapping(
+    const core::Problem& problem);
+
+}  // namespace pipeopt::heuristics

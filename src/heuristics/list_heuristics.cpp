@@ -1,0 +1,43 @@
+#include "heuristics/list_heuristics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace pipeopt::heuristics {
+
+std::optional<core::Mapping> one_to_one_rank_matching(
+    const core::Problem& problem) {
+  if (!problem.one_to_one_applicable()) return std::nullopt;
+
+  struct StageRef {
+    std::size_t app;
+    std::size_t stage;
+    double weighted_compute;
+  };
+  std::vector<StageRef> stages;
+  stages.reserve(problem.total_stages());
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const auto& app = problem.application(a);
+    for (std::size_t k = 0; k < app.stage_count(); ++k) {
+      stages.push_back({a, k, app.weight() * app.compute(k)});
+    }
+  }
+  std::stable_sort(stages.begin(), stages.end(),
+                   [](const StageRef& x, const StageRef& y) {
+                     return x.weighted_compute > y.weighted_compute;
+                   });
+  const std::vector<std::size_t> procs =
+      problem.platform().processors_by_max_speed_desc();
+
+  std::vector<core::IntervalAssignment> intervals;
+  intervals.reserve(stages.size());
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const std::size_t u = procs[i];
+    intervals.push_back({stages[i].app, stages[i].stage, stages[i].stage, u,
+                         problem.platform().processor(u).max_mode()});
+  }
+  return core::Mapping(std::move(intervals));
+}
+
+}  // namespace pipeopt::heuristics

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file list_heuristics.hpp
+/// Constructive one-to-one baselines for the NP-hard one-to-one cells
+/// (fully heterogeneous period, heterogeneous-processor latency): classic
+/// LPT-style rank matching — heaviest stages onto fastest processors.
+/// O(N log N + p log p); no optimality guarantee (that is the point: these
+/// are the baselines whose gap against exact search the benches report).
+
+#include <optional>
+
+#include "core/mapping.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::heuristics {
+
+/// Rank-matching one-to-one mapping: stages sorted by descending compute
+/// weight (scaled by W_a), processors by descending maximum speed, matched
+/// rank to rank at maximum speed. Returns std::nullopt when p < N.
+[[nodiscard]] std::optional<core::Mapping> one_to_one_rank_matching(
+    const core::Problem& problem);
+
+}  // namespace pipeopt::heuristics

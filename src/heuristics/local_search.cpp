@@ -1,0 +1,55 @@
+#include "heuristics/local_search.hpp"
+
+#include <stdexcept>
+
+#include "core/evaluation.hpp"
+#include "heuristics/neighborhood.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::heuristics {
+
+double goal_value(Goal goal, const core::Metrics& metrics) {
+  switch (goal) {
+    case Goal::Period: return metrics.max_weighted_period;
+    case Goal::Latency: return metrics.max_weighted_latency;
+    case Goal::Energy: return metrics.energy;
+  }
+  return util::kInfinity;
+}
+
+LocalSearchResult local_search(const core::Problem& problem,
+                               const core::Mapping& start, Goal goal,
+                               const core::ConstraintSet& constraints,
+                               const LocalSearchOptions& options) {
+  core::Metrics metrics = core::evaluate(problem, start);
+  if (!constraints.satisfied_by(metrics)) {
+    throw std::invalid_argument("local_search: infeasible starting mapping");
+  }
+
+  LocalSearchResult result;
+  result.mapping = start;
+  result.value = goal_value(goal, metrics);
+
+  while (result.steps < options.max_steps) {
+    core::Mapping best_neighbour;
+    double best_value = result.value;
+    bool improved = false;
+    for (core::Mapping& candidate : neighbours(problem, result.mapping)) {
+      const core::Metrics m = core::evaluate(problem, candidate, false);
+      if (!constraints.satisfied_by(m)) continue;
+      const double value = goal_value(goal, m);
+      if (value < best_value && !util::approx_eq(value, best_value)) {
+        best_value = value;
+        best_neighbour = std::move(candidate);
+        improved = true;
+      }
+    }
+    if (!improved) break;
+    result.mapping = std::move(best_neighbour);
+    result.value = best_value;
+    ++result.steps;
+  }
+  return result;
+}
+
+}  // namespace pipeopt::heuristics

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file local_search.hpp
+/// Best-improvement hill climbing over the shared mapping neighbourhood,
+/// minimizing any of the three criteria under an arbitrary constraint set.
+/// Polynomial per step; used as the mid-tier heuristic on the NP-hard cells
+/// (quality between the constructive greedy and simulated annealing).
+
+#include <functional>
+#include <optional>
+
+#include "core/mapping.hpp"
+#include "core/objectives.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::heuristics {
+
+/// Minimization target for the search heuristics.
+enum class Goal { Period, Latency, Energy };
+
+/// Goal value of a metrics snapshot (weighted maxima for period/latency).
+[[nodiscard]] double goal_value(Goal goal, const core::Metrics& metrics);
+
+/// Search controls.
+struct LocalSearchOptions {
+  std::size_t max_steps = 200;  ///< cap on accepted improvements
+};
+
+/// Search outcome.
+struct LocalSearchResult {
+  core::Mapping mapping;
+  double value = 0.0;
+  std::size_t steps = 0;
+};
+
+/// Hill-climbs from `start` (which must satisfy the constraints). Every
+/// accepted step strictly improves the goal while keeping the constraints.
+/// \throws std::invalid_argument when the start violates the constraints.
+[[nodiscard]] LocalSearchResult local_search(
+    const core::Problem& problem, const core::Mapping& start, Goal goal,
+    const core::ConstraintSet& constraints = {},
+    const LocalSearchOptions& options = {});
+
+}  // namespace pipeopt::heuristics

@@ -1,0 +1,157 @@
+#include "heuristics/neighborhood.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace pipeopt::heuristics {
+namespace {
+
+using core::IntervalAssignment;
+using core::Mapping;
+using core::Problem;
+
+std::vector<std::size_t> free_processors(const Problem& problem,
+                                         const Mapping& mapping) {
+  std::vector<char> used(problem.platform().processor_count(), 0);
+  for (const IntervalAssignment& iv : mapping.intervals()) used[iv.proc] = 1;
+  std::vector<std::size_t> free;
+  for (std::size_t u = 0; u < used.size(); ++u) {
+    if (!used[u]) free.push_back(u);
+  }
+  return free;
+}
+
+/// Fastest free processor, if any.
+std::optional<std::size_t> fastest_free(const Problem& problem,
+                                        const Mapping& mapping) {
+  const auto free = free_processors(problem, mapping);
+  if (free.empty()) return std::nullopt;
+  return *std::max_element(free.begin(), free.end(), [&](std::size_t a,
+                                                         std::size_t b) {
+    return problem.platform().processor(a).max_speed() <
+           problem.platform().processor(b).max_speed();
+  });
+}
+
+std::vector<IntervalAssignment> to_vec(const Mapping& m) {
+  return {m.intervals().begin(), m.intervals().end()};
+}
+
+/// Adjacent interval pairs (same app, consecutive) as index pairs into the
+/// mapping's interval list.
+std::vector<std::pair<std::size_t, std::size_t>> adjacent_pairs(const Mapping& m) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  const auto ivs = m.intervals();
+  for (std::size_t i = 0; i + 1 < ivs.size(); ++i) {
+    if (ivs[i].app == ivs[i + 1].app && ivs[i].last + 1 == ivs[i + 1].first) {
+      pairs.emplace_back(i, i + 1);
+    }
+  }
+  return pairs;
+}
+
+/// Clamps a mode index to the target processor's mode range, preserving the
+/// speed rank as well as possible.
+std::size_t clamp_mode(const Problem& problem, std::size_t proc, std::size_t mode) {
+  return std::min(mode, problem.platform().processor(proc).max_mode());
+}
+
+enum class MoveKind { Split, Merge, Relocate, Swap, ModeUp, ModeDown };
+
+void collect_moves(const Problem& problem, const Mapping& mapping,
+                   const std::function<void(Mapping)>& emit) {
+  const auto ivs = mapping.intervals();
+  const auto free = free_processors(problem, mapping);
+  const auto fastest = fastest_free(problem, mapping);
+
+  // Splits: cut interval i at every inner point, second half to the fastest
+  // free processor (bounds the neighbourhood size).
+  if (fastest) {
+    for (std::size_t i = 0; i < ivs.size(); ++i) {
+      for (std::size_t cut = ivs[i].first; cut < ivs[i].last; ++cut) {
+        auto next = to_vec(mapping);
+        IntervalAssignment second = next[i];
+        next[i].last = cut;
+        second.first = cut + 1;
+        second.proc = *fastest;
+        second.mode = problem.platform().processor(*fastest).max_mode();
+        next.push_back(second);
+        emit(Mapping(std::move(next)));
+      }
+    }
+  }
+
+  // Merges: drop the boundary between adjacent intervals; keep the faster
+  // endpoint processor.
+  for (const auto& [i, j] : adjacent_pairs(mapping)) {
+    auto next = to_vec(mapping);
+    const bool keep_first =
+        problem.platform().processor(next[i].proc).max_speed() >=
+        problem.platform().processor(next[j].proc).max_speed();
+    IntervalAssignment merged = keep_first ? next[i] : next[j];
+    merged.first = next[i].first;
+    merged.last = next[j].last;
+    next[keep_first ? i : j] = merged;
+    next.erase(next.begin() + static_cast<std::ptrdiff_t>(keep_first ? j : i));
+    emit(Mapping(std::move(next)));
+  }
+
+  // Relocations: move interval i to each free processor, at every mode of
+  // the target (so an energy-minimizing search can relocate directly onto a
+  // slow mode instead of needing a second move).
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    for (std::size_t u : free) {
+      const std::size_t modes = problem.platform().processor(u).mode_count();
+      for (std::size_t m = 0; m < modes; ++m) {
+        auto next = to_vec(mapping);
+        next[i].proc = u;
+        next[i].mode = m;
+        emit(Mapping(std::move(next)));
+      }
+    }
+  }
+
+  // Swaps: exchange processors (and clamped modes) of intervals i < j.
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    for (std::size_t j = i + 1; j < ivs.size(); ++j) {
+      auto next = to_vec(mapping);
+      std::swap(next[i].proc, next[j].proc);
+      std::swap(next[i].mode, next[j].mode);
+      next[i].mode = clamp_mode(problem, next[i].proc, next[i].mode);
+      next[j].mode = clamp_mode(problem, next[j].proc, next[j].mode);
+      emit(Mapping(std::move(next)));
+    }
+  }
+
+  // Mode steps.
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    const std::size_t max_mode = problem.platform().processor(ivs[i].proc).max_mode();
+    if (ivs[i].mode < max_mode) {
+      auto next = to_vec(mapping);
+      ++next[i].mode;
+      emit(Mapping(std::move(next)));
+    }
+    if (ivs[i].mode > 0) {
+      auto next = to_vec(mapping);
+      --next[i].mode;
+      emit(Mapping(std::move(next)));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Mapping> neighbours(const Problem& problem, const Mapping& mapping) {
+  std::vector<Mapping> result;
+  collect_moves(problem, mapping, [&](Mapping m) { result.push_back(std::move(m)); });
+  return result;
+}
+
+std::optional<Mapping> random_neighbour(const Problem& problem,
+                                        const Mapping& mapping, util::Rng& rng) {
+  std::vector<Mapping> all = neighbours(problem, mapping);
+  if (all.empty()) return std::nullopt;
+  return std::move(all[rng.index(all.size())]);
+}
+
+}  // namespace pipeopt::heuristics

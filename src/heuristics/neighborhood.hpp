@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file neighborhood.hpp
+/// Shared move set over interval mappings, used by hill-climbing and
+/// simulated annealing:
+///
+///  * split an interval in two (second half onto a free processor),
+///  * merge two adjacent intervals (free one processor),
+///  * relocate one interval onto a free processor,
+///  * swap the processors of two intervals,
+///  * raise/lower one interval's speed mode.
+///
+/// Every move preserves structural validity (tiling, distinct processors).
+
+#include <optional>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/problem.hpp"
+#include "util/random.hpp"
+
+namespace pipeopt::heuristics {
+
+/// All neighbours of `mapping` (bounded: splits only target the fastest free
+/// processor to keep the neighbourhood polynomial).
+[[nodiscard]] std::vector<core::Mapping> neighbours(const core::Problem& problem,
+                                                    const core::Mapping& mapping);
+
+/// One uniformly random neighbour, or std::nullopt when the mapping has no
+/// legal move (rare: single interval, no free processors, single mode).
+[[nodiscard]] std::optional<core::Mapping> random_neighbour(
+    const core::Problem& problem, const core::Mapping& mapping, util::Rng& rng);
+
+}  // namespace pipeopt::heuristics

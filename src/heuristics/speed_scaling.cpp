@@ -1,0 +1,55 @@
+#include "heuristics/speed_scaling.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/evaluation.hpp"
+
+namespace pipeopt::heuristics {
+
+SpeedScalingResult scale_down_speeds(const core::Problem& problem,
+                                     const core::Mapping& mapping,
+                                     const core::ConstraintSet& constraints) {
+  core::Metrics metrics = core::evaluate(problem, mapping);
+  if (!constraints.satisfied_by(metrics)) {
+    throw std::invalid_argument(
+        "scale_down_speeds: the starting mapping violates the constraints");
+  }
+
+  SpeedScalingResult result;
+  result.energy_before = metrics.energy;
+  std::vector<core::IntervalAssignment> current(mapping.intervals().begin(),
+                                                mapping.intervals().end());
+
+  for (;;) {
+    // Try every single-step mode reduction; keep the one saving the most
+    // energy among those that stay feasible.
+    double best_saving = 0.0;
+    std::size_t best_interval = current.size();
+    core::Metrics best_metrics;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (current[i].mode == 0) continue;
+      auto candidate = current;
+      --candidate[i].mode;
+      const core::Mapping trial{std::vector<core::IntervalAssignment>(candidate)};
+      const core::Metrics m = core::evaluate(problem, trial, false);
+      if (!constraints.satisfied_by(m)) continue;
+      const double saving = metrics.energy - m.energy;
+      if (saving > best_saving) {
+        best_saving = saving;
+        best_interval = i;
+        best_metrics = m;
+      }
+    }
+    if (best_interval == current.size()) break;  // no feasible reduction left
+    --current[best_interval].mode;
+    metrics = best_metrics;
+    ++result.steps;
+  }
+
+  result.energy_after = metrics.energy;
+  result.mapping = core::Mapping(std::move(current));
+  return result;
+}
+
+}  // namespace pipeopt::heuristics

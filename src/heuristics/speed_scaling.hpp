@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file speed_scaling.hpp
+/// Greedy DVFS downscaling: from a constraint-satisfying mapping, repeatedly
+/// lower the speed mode that saves the most energy while all constraints
+/// keep holding. This is the natural tri-criteria heuristic on multi-modal
+/// platforms (where the exact problem is NP-hard, Theorems 26-27): solve the
+/// performance problem at full speed first, then trade the slack for energy.
+
+#include "core/mapping.hpp"
+#include "core/objectives.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::heuristics {
+
+/// Result of a downscaling pass.
+struct SpeedScalingResult {
+  core::Mapping mapping;
+  double energy_before = 0.0;
+  double energy_after = 0.0;
+  std::size_t steps = 0;  ///< accepted single-mode reductions
+};
+
+/// Greedily lowers modes while `constraints` stay satisfied. The input
+/// mapping must itself satisfy the constraints (checked; throws
+/// std::invalid_argument otherwise — scaling cannot repair an infeasible
+/// start).
+[[nodiscard]] SpeedScalingResult scale_down_speeds(
+    const core::Problem& problem, const core::Mapping& mapping,
+    const core::ConstraintSet& constraints);
+
+}  // namespace pipeopt::heuristics

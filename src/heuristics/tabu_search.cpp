@@ -1,0 +1,113 @@
+#include "heuristics/tabu_search.hpp"
+
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "core/evaluation.hpp"
+#include "heuristics/neighborhood.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::heuristics {
+namespace {
+
+/// Structural signature of a mapping (tabu key): interval boundaries,
+/// processors and modes, in canonical order.
+std::string signature(const core::Mapping& mapping) {
+  std::ostringstream os;
+  for (const core::IntervalAssignment& iv : mapping.intervals()) {
+    os << iv.app << ':' << iv.first << '-' << iv.last << '@' << iv.proc << '/'
+       << iv.mode << ';';
+  }
+  return os.str();
+}
+
+/// Goal value + large penalty for constraint violations: lets the walk
+/// traverse infeasible states while steering back.
+double score(const core::Problem& problem, const core::Metrics& metrics,
+             Goal goal, const core::ConstraintSet& constraints, double scale) {
+  double penalty = 0.0;
+  const auto add = [&](const std::optional<core::Thresholds>& thresholds,
+                       core::Criterion criterion) {
+    if (!thresholds) return;
+    for (std::size_t a = 0; a < problem.application_count(); ++a) {
+      const double value = criterion == core::Criterion::Period
+                               ? metrics.per_app[a].period
+                               : metrics.per_app[a].latency;
+      const double bound = thresholds->bound(a);
+      if (std::isfinite(bound) && value > bound) {
+        penalty += (value / bound - 1.0);
+      }
+    }
+  };
+  add(constraints.period, core::Criterion::Period);
+  add(constraints.latency, core::Criterion::Latency);
+  if (constraints.energy_budget && metrics.energy > *constraints.energy_budget) {
+    penalty += metrics.energy / *constraints.energy_budget - 1.0;
+  }
+  return goal_value(goal, metrics) + 10.0 * scale * penalty;
+}
+
+}  // namespace
+
+TabuResult tabu_search(const core::Problem& problem, const core::Mapping& start,
+                       Goal goal, const core::ConstraintSet& constraints,
+                       const TabuOptions& options) {
+  core::Mapping current = start;
+  core::Metrics metrics = core::evaluate(problem, current);
+  const double scale = std::max(goal_value(goal, metrics), 1e-9);
+
+  TabuResult result;
+  result.value = util::kInfinity;
+  if (constraints.satisfied_by(metrics)) {
+    result.mapping = current;
+    result.value = goal_value(goal, metrics);
+  }
+
+  std::deque<std::string> tabu_order;
+  std::set<std::string> tabu;
+  const auto push_tabu = [&](const std::string& sig) {
+    if (!tabu.insert(sig).second) return;
+    tabu_order.push_back(sig);
+    while (tabu_order.size() > options.tenure) {
+      tabu.erase(tabu_order.front());
+      tabu_order.pop_front();
+    }
+  };
+  push_tabu(signature(current));
+
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    core::Mapping best_neighbour;
+    core::Metrics best_metrics;
+    double best_score = util::kInfinity;
+    bool found = false;
+    for (core::Mapping& candidate : neighbours(problem, current)) {
+      const std::string sig = signature(candidate);
+      const core::Metrics m = core::evaluate(problem, candidate, false);
+      const double s = score(problem, m, goal, constraints, scale);
+      // Aspiration: a tabu move is admissible when it beats the incumbent.
+      const bool aspires =
+          constraints.satisfied_by(m) && goal_value(goal, m) < result.value;
+      if (tabu.contains(sig) && !aspires) continue;
+      if (s < best_score) {
+        best_score = s;
+        best_neighbour = std::move(candidate);
+        best_metrics = m;
+        found = true;
+      }
+    }
+    if (!found) break;  // every neighbour tabu: stuck
+    current = std::move(best_neighbour);
+    metrics = best_metrics;
+    push_tabu(signature(current));
+    ++result.moves;
+    if (constraints.satisfied_by(metrics) &&
+        goal_value(goal, metrics) < result.value) {
+      result.mapping = current;
+      result.value = goal_value(goal, metrics);
+    }
+  }
+  return result;
+}
+
+}  // namespace pipeopt::heuristics

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file tabu_search.hpp
+/// Tabu search over the shared mapping neighbourhood: best-admissible-move
+/// descent that may climb out of local minima, with a recency-based tabu
+/// list keyed on the mapping's structural signature. Sits between hill
+/// climbing (cheap, myopic) and simulated annealing (stochastic) in the
+/// §6 heuristic ladder; deterministic given its options.
+
+#include "core/mapping.hpp"
+#include "core/objectives.hpp"
+#include "core/problem.hpp"
+#include "heuristics/local_search.hpp"  // Goal
+
+namespace pipeopt::heuristics {
+
+/// Tabu controls.
+struct TabuOptions {
+  std::size_t iterations = 300;  ///< total moves taken
+  std::size_t tenure = 25;       ///< signatures kept tabu
+};
+
+/// Tabu outcome; `value` is +inf when no feasible state was ever seen.
+struct TabuResult {
+  core::Mapping mapping;
+  double value = 0.0;
+  std::size_t moves = 0;  ///< accepted (non-stuck) iterations
+};
+
+/// Runs tabu search from `start` (need not satisfy the constraints; only
+/// feasible states become incumbents).
+[[nodiscard]] TabuResult tabu_search(const core::Problem& problem,
+                                     const core::Mapping& start, Goal goal,
+                                     const core::ConstraintSet& constraints = {},
+                                     const TabuOptions& options = {});
+
+}  // namespace pipeopt::heuristics

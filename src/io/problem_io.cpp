@@ -1,0 +1,200 @@
+#include "io/problem_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace pipeopt::io {
+namespace {
+
+/// Strips a trailing comment and surrounding whitespace.
+std::string clean_line(std::string line) {
+  if (const auto hash = line.find('#'); hash != std::string::npos) {
+    line.erase(hash);
+  }
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const auto last = line.find_last_not_of(" \t\r");
+  return line.substr(first, last - first + 1);
+}
+
+/// Splits on whitespace.
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// Parses "key=value" tokens; returns value for `key` or throws.
+std::string keyed_value(const std::vector<std::string>& tokens,
+                        const std::string& key, std::size_t line_no) {
+  const std::string prefix = key + "=";
+  for (const std::string& t : tokens) {
+    if (t.rfind(prefix, 0) == 0) return t.substr(prefix.size());
+  }
+  throw ParseError(line_no, "missing " + key + "=...");
+}
+
+double parse_number(const std::string& text, std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw ParseError(line_no, "bad number '" + text + "'");
+  }
+}
+
+/// Parses "a,b,c" into doubles.
+std::vector<double> parse_list(const std::string& text, std::size_t line_no) {
+  std::vector<double> values;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    values.push_back(parse_number(item, line_no));
+  }
+  if (values.empty()) throw ParseError(line_no, "empty list");
+  return values;
+}
+
+}  // namespace
+
+core::Problem parse_problem(std::istream& in) {
+  core::CommModel comm = core::CommModel::Overlap;
+  double alpha = 2.0;
+  double bandwidth = 0.0;
+  std::vector<core::Processor> processors;
+  std::vector<core::Application> applications;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = clean_line(raw);
+    if (line.empty()) continue;
+    const auto tokens = tokens_of(line);
+    const std::string& kind = tokens.front();
+
+    if (kind == "comm") {
+      if (tokens.size() != 2) throw ParseError(line_no, "comm takes one value");
+      if (tokens[1] == "overlap") {
+        comm = core::CommModel::Overlap;
+      } else if (tokens[1] == "no-overlap") {
+        comm = core::CommModel::NoOverlap;
+      } else {
+        throw ParseError(line_no, "comm must be overlap or no-overlap");
+      }
+    } else if (kind == "alpha") {
+      if (tokens.size() != 2) throw ParseError(line_no, "alpha takes one value");
+      alpha = parse_number(tokens[1], line_no);
+    } else if (kind == "bandwidth") {
+      if (tokens.size() != 2) {
+        throw ParseError(line_no, "bandwidth takes one value");
+      }
+      bandwidth = parse_number(tokens[1], line_no);
+    } else if (kind == "processor") {
+      if (tokens.size() < 2) throw ParseError(line_no, "processor needs a name");
+      const std::string name = tokens[1];
+      const double static_energy =
+          parse_number(keyed_value(tokens, "static", line_no), line_no);
+      const auto speeds =
+          parse_list(keyed_value(tokens, "speeds", line_no), line_no);
+      try {
+        processors.emplace_back(speeds, static_energy, name);
+      } catch (const std::exception& e) {
+        throw ParseError(line_no, e.what());
+      }
+    } else if (kind == "app") {
+      if (tokens.size() < 2) throw ParseError(line_no, "app needs a name");
+      const std::string name = tokens[1];
+      const double weight =
+          parse_number(keyed_value(tokens, "weight", line_no), line_no);
+      const double input =
+          parse_number(keyed_value(tokens, "input", line_no), line_no);
+      const std::string stage_text = keyed_value(tokens, "stages", line_no);
+      std::vector<core::StageSpec> stages;
+      std::stringstream ss(stage_text);
+      std::string pair;
+      while (std::getline(ss, pair, ',')) {
+        const auto colon = pair.find(':');
+        if (colon == std::string::npos) {
+          throw ParseError(line_no, "stage must be w:delta, got '" + pair + "'");
+        }
+        stages.push_back(core::StageSpec{
+            parse_number(pair.substr(0, colon), line_no),
+            parse_number(pair.substr(colon + 1), line_no)});
+      }
+      try {
+        applications.emplace_back(input, std::move(stages), weight, name);
+      } catch (const std::exception& e) {
+        throw ParseError(line_no, e.what());
+      }
+    } else {
+      throw ParseError(line_no, "unknown directive '" + kind + "'");
+    }
+  }
+
+  if (processors.empty()) throw ParseError(line_no, "no processors declared");
+  if (applications.empty()) throw ParseError(line_no, "no applications declared");
+  if (!(bandwidth > 0.0)) throw ParseError(line_no, "bandwidth not declared");
+  try {
+    return core::Problem(std::move(applications),
+                         core::Platform(std::move(processors), bandwidth, alpha),
+                         comm);
+  } catch (const std::exception& e) {
+    throw ParseError(line_no, e.what());
+  }
+}
+
+core::Problem parse_problem_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_problem(is);
+}
+
+core::Problem load_problem(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  return parse_problem(in);
+}
+
+std::string format_problem(const core::Problem& problem) {
+  const auto& platform = problem.platform();
+  if (!platform.has_uniform_bandwidth()) {
+    throw std::invalid_argument(
+        "format_problem: only comm-homogeneous platforms are expressible");
+  }
+  std::ostringstream os;
+  os << "comm " << to_string(problem.comm_model()) << '\n';
+  os << "alpha " << util::format_double(platform.alpha()) << '\n';
+  os << "bandwidth " << util::format_double(platform.uniform_bandwidth())
+     << '\n';
+  for (std::size_t u = 0; u < platform.processor_count(); ++u) {
+    const auto& proc = platform.processor(u);
+    os << "processor "
+       << (proc.name().empty() ? "P" + std::to_string(u) : proc.name())
+       << " static=" << util::format_double(proc.static_energy()) << " speeds=";
+    for (std::size_t m = 0; m < proc.mode_count(); ++m) {
+      os << (m ? "," : "") << util::format_double(proc.speed(m));
+    }
+    os << '\n';
+  }
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const auto& app = problem.application(a);
+    os << "app " << (app.name().empty() ? "App" + std::to_string(a) : app.name())
+       << " weight=" << util::format_double(app.weight())
+       << " input=" << util::format_double(app.boundary_size(0)) << " stages=";
+    for (std::size_t k = 0; k < app.stage_count(); ++k) {
+      os << (k ? "," : "") << util::format_double(app.compute(k)) << ':'
+         << util::format_double(app.boundary_size(k + 1));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pipeopt::io

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file problem_io.hpp
+/// Plain-text problem format, so instances can be written by hand, checked
+/// into repositories and fed to the CLI tool. Line-oriented:
+///
+/// ```text
+/// # the paper's §2 example
+/// comm overlap              # or no-overlap (default overlap)
+/// alpha 2                   # energy exponent (default 2)
+/// bandwidth 1               # uniform link bandwidth (required)
+/// processor P1 static=0 speeds=3,6
+/// processor P2 static=0 speeds=6,8
+/// processor P3 static=0 speeds=1,6
+/// app App1 weight=1 input=1 stages=3:3,2:2,1:0    # stages = w:delta,...
+/// app App2 weight=1 input=0 stages=2:2,6:1,4:1,2:1
+/// ```
+///
+/// Only communication-homogeneous platforms are expressible (uniform
+/// `bandwidth`); heterogeneous-link instances are constructed in code.
+/// `parse_problem` reports the offending line on error.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/problem.hpp"
+
+namespace pipeopt::io {
+
+/// Thrown on malformed input; the message names the line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what) {}
+};
+
+/// Parses the text format from a stream.
+[[nodiscard]] core::Problem parse_problem(std::istream& in);
+
+/// Parses from a string (convenience for tests).
+[[nodiscard]] core::Problem parse_problem_string(const std::string& text);
+
+/// Parses from a file. \throws std::runtime_error when unreadable.
+[[nodiscard]] core::Problem load_problem(const std::string& path);
+
+/// Serializes a problem back to the text format (round-trips through
+/// parse_problem for comm-homogeneous platforms).
+[[nodiscard]] std::string format_problem(const core::Problem& problem);
+
+}  // namespace pipeopt::io

@@ -1,0 +1,72 @@
+#include "reductions/general_mapping_hardness.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/numeric.hpp"
+
+namespace pipeopt::reductions {
+namespace {
+
+/// Branch-and-bound over per-stage processor choices (identical processors,
+/// so the first processor hosts stage 0 WLOG).
+void search(const std::vector<double>& works, std::size_t next,
+            std::vector<double>& load, double& best) {
+  if (next == works.size()) {
+    best = std::min(best, *std::max_element(load.begin(), load.end()));
+    return;
+  }
+  for (std::size_t u = 0; u < load.size(); ++u) {
+    if (next == 0 && u > 0) break;  // symmetry: stage 0 on processor 0
+    if (load[u] + works[next] >= best) continue;  // bound
+    load[u] += works[next];
+    search(works, next + 1, load, best);
+    load[u] -= works[next];
+    // Identical empty processors are interchangeable: placing on the first
+    // empty one covers them all.
+    if (load[u] == 0.0) break;
+  }
+}
+
+}  // namespace
+
+double general_mapping_min_period(const std::vector<double>& works,
+                                  std::size_t procs) {
+  if (works.empty() || procs == 0) {
+    throw std::invalid_argument("general_mapping_min_period: empty input");
+  }
+  if (works.size() > 24) {
+    throw std::invalid_argument(
+        "general_mapping_min_period: demonstration solver, max 24 stages");
+  }
+  const double total = std::accumulate(works.begin(), works.end(), 0.0);
+  double best = total;  // everything on one processor
+  std::vector<double> load(procs, 0.0);
+  search(works, 0, load, best);
+  return best;
+}
+
+GeneralMappingGadget encode_two_partition_general(
+    const std::vector<std::int64_t>& values) {
+  GeneralMappingGadget gadget;
+  gadget.works.reserve(values.size());
+  std::int64_t total = 0;
+  for (std::int64_t v : values) {
+    if (v <= 0) {
+      throw std::invalid_argument(
+          "encode_two_partition_general: values must be positive");
+    }
+    gadget.works.push_back(static_cast<double>(v));
+    total += v;
+  }
+  gadget.yes_period = static_cast<double>(total) / 2.0;
+  return gadget;
+}
+
+bool general_gadget_is_yes(const GeneralMappingGadget& gadget) {
+  const double optimum = general_mapping_min_period(gadget.works, 2);
+  return util::approx_le(optimum, gadget.yes_period);
+}
+
+}  // namespace pipeopt::reductions

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file general_mapping_hardness.hpp
+/// The §3.3 remark, executable: if mappings may assign *arbitrary* stage
+/// subsets to processors ("general mappings"), period minimization is
+/// NP-hard already for one application on two identical uni-modal
+/// processors with no communication — a straight reduction from
+/// 2-PARTITION. This module carries a tiny standalone general-mapping
+/// solver to demonstrate the claim (and why the library's Mapping type
+/// deliberately excludes that regime).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pipeopt::reductions {
+
+/// Minimum period of a *general* mapping of independent stage works onto
+/// `procs` identical unit-speed processors (no communication): the classic
+/// multiprocessor-makespan problem. Exact exponential search; intended for
+/// small demonstrations only.
+/// \throws std::invalid_argument when works is empty or procs == 0.
+[[nodiscard]] double general_mapping_min_period(
+    const std::vector<double>& works, std::size_t procs);
+
+/// The reduction: 2-PARTITION(values) is YES iff the general-mapping period
+/// of those works on 2 processors equals Σ/2.
+struct GeneralMappingGadget {
+  std::vector<double> works;
+  double yes_period = 0.0;  ///< Σ values / 2
+};
+
+[[nodiscard]] GeneralMappingGadget encode_two_partition_general(
+    const std::vector<std::int64_t>& values);
+
+/// Evaluates the gadget: true iff the optimal general-mapping period hits
+/// the YES bound (i.e. the partition exists).
+[[nodiscard]] bool general_gadget_is_yes(const GeneralMappingGadget& gadget);
+
+}  // namespace pipeopt::reductions

@@ -1,0 +1,76 @@
+#include "reductions/three_partition_latency.hpp"
+
+#include <stdexcept>
+
+#include "core/evaluation.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::reductions {
+
+LatencyGadget encode_three_partition_latency(
+    const solvers::ThreePartitionInstance& instance) {
+  if (!instance.is_canonical()) {
+    throw std::invalid_argument(
+        "encode_three_partition_latency: non-canonical 3-PARTITION instance");
+  }
+  const std::size_t m = instance.group_count();
+
+  std::vector<core::Application> apps;
+  apps.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    std::vector<core::StageSpec> stages(3, core::StageSpec{1.0, 0.0});
+    apps.push_back(core::Application(0.0, std::move(stages), 1.0,
+                                     "pipe" + std::to_string(j)));
+  }
+  std::vector<core::Processor> procs;
+  procs.reserve(instance.values.size());
+  for (std::size_t j = 0; j < instance.values.size(); ++j) {
+    procs.emplace_back(
+        std::vector<double>{1.0 / static_cast<double>(instance.values[j])}, 0.0,
+        "P" + std::to_string(j));
+  }
+  core::Platform platform(std::move(procs), 1.0, 2.0);
+  return LatencyGadget{core::Problem(std::move(apps), std::move(platform)),
+                       static_cast<double>(instance.target)};
+}
+
+core::Mapping certificate_mapping_latency(
+    const solvers::ThreePartitionInstance& /*instance*/,
+    const std::vector<std::array<std::size_t, 3>>& triples) {
+  std::vector<core::IntervalAssignment> intervals;
+  for (std::size_t j = 0; j < triples.size(); ++j) {
+    for (std::size_t t = 0; t < 3; ++t) {
+      intervals.push_back({j, t, t, triples[j][t], 0});
+    }
+  }
+  return core::Mapping(std::move(intervals));
+}
+
+std::optional<std::vector<std::array<std::size_t, 3>>>
+decode_three_partition_latency(const solvers::ThreePartitionInstance& instance,
+                               const LatencyGadget& gadget,
+                               const core::Mapping& mapping) {
+  if (!mapping.is_one_to_one()) return std::nullopt;
+  if (mapping.validate(gadget.problem).has_value()) return std::nullopt;
+  const core::Metrics metrics = core::evaluate(gadget.problem, mapping);
+  if (!util::approx_le(metrics.max_weighted_latency, gadget.target_latency)) {
+    return std::nullopt;
+  }
+  std::vector<std::array<std::size_t, 3>> triples;
+  for (std::size_t j = 0; j < gadget.problem.application_count(); ++j) {
+    const auto ivs = mapping.intervals_of(j);
+    if (ivs.size() != 3) return std::nullopt;
+    std::array<std::size_t, 3> triple{};
+    std::int64_t sum = 0;
+    for (std::size_t t = 0; t < 3; ++t) {
+      triple[t] = ivs[t].proc;
+      sum += instance.values[ivs[t].proc];
+    }
+    // Latency <= B per application and Σ_j (sum_j) = m·B force equality.
+    if (sum != instance.target) return std::nullopt;
+    triples.push_back(triple);
+  }
+  return triples;
+}
+
+}  // namespace pipeopt::reductions

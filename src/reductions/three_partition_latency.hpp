@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file three_partition_latency.hpp
+/// Theorem 9's reduction: 3-PARTITION ≤p one-to-one latency minimization
+/// with heterogeneous processors, homogeneous pipelines, no communication.
+///
+/// Encoding: m applications of 3 unit stages each; 3m processors of speeds
+/// 1/a_j; the question "global latency <= B?" is YES iff the partition
+/// exists (application j's three stages cost a_{t1} + a_{t2} + a_{t3}).
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/problem.hpp"
+#include "solvers/partition.hpp"
+
+namespace pipeopt::reductions {
+
+/// The scheduling instance built from a 3-PARTITION instance.
+struct LatencyGadget {
+  core::Problem problem;
+  double target_latency = 0.0;  ///< B
+};
+
+/// Builds the Theorem 9 instance (canonical input required).
+[[nodiscard]] LatencyGadget encode_three_partition_latency(
+    const solvers::ThreePartitionInstance& instance);
+
+/// Witness one-to-one mapping from a partition: application j's stage t runs
+/// on processor triples[j][t].
+[[nodiscard]] core::Mapping certificate_mapping_latency(
+    const solvers::ThreePartitionInstance& instance,
+    const std::vector<std::array<std::size_t, 3>>& triples);
+
+/// Recovers the partition from a one-to-one mapping of latency <= B.
+[[nodiscard]] std::optional<std::vector<std::array<std::size_t, 3>>>
+decode_three_partition_latency(const solvers::ThreePartitionInstance& instance,
+                               const LatencyGadget& gadget,
+                               const core::Mapping& mapping);
+
+}  // namespace pipeopt::reductions

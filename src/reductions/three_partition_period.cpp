@@ -1,0 +1,154 @@
+#include "reductions/three_partition_period.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "core/evaluation.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::reductions {
+
+PeriodGadget encode_three_partition_period(
+    const solvers::ThreePartitionInstance& instance) {
+  if (!instance.is_canonical()) {
+    throw std::invalid_argument(
+        "encode_three_partition_period: non-canonical 3-PARTITION instance");
+  }
+  const std::size_t m = instance.group_count();
+  const auto b = static_cast<std::size_t>(instance.target);
+
+  std::vector<core::Application> apps;
+  apps.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    std::vector<core::StageSpec> stages(b, core::StageSpec{1.0, 0.0});
+    apps.push_back(core::Application(0.0, std::move(stages), 1.0,
+                                     "pipe" + std::to_string(j)));
+  }
+  std::vector<core::Processor> procs;
+  procs.reserve(instance.values.size());
+  for (std::size_t j = 0; j < instance.values.size(); ++j) {
+    procs.emplace_back(
+        std::vector<double>{static_cast<double>(instance.values[j])}, 0.0,
+        "P" + std::to_string(j));
+  }
+  // Uniform bandwidth is irrelevant (no data flows) but must be positive.
+  core::Platform platform(std::move(procs), 1.0, 2.0);
+  return PeriodGadget{
+      core::Problem(std::move(apps), std::move(platform)), 1.0};
+}
+
+core::Mapping certificate_mapping(
+    const solvers::ThreePartitionInstance& instance,
+    const std::vector<std::array<std::size_t, 3>>& triples) {
+  std::vector<core::IntervalAssignment> intervals;
+  for (std::size_t j = 0; j < triples.size(); ++j) {
+    std::size_t first = 0;
+    for (std::size_t t = 0; t < 3; ++t) {
+      const std::size_t proc = triples[j][t];
+      const auto len = static_cast<std::size_t>(instance.values[proc]);
+      intervals.push_back({j, first, first + len - 1, proc, 0});
+      first += len;
+    }
+  }
+  return core::Mapping(std::move(intervals));
+}
+
+std::optional<std::vector<std::array<std::size_t, 3>>>
+decode_three_partition_period(const solvers::ThreePartitionInstance& instance,
+                              const PeriodGadget& gadget,
+                              const core::Mapping& mapping) {
+  if (mapping.validate(gadget.problem).has_value()) return std::nullopt;
+  const core::Metrics metrics = core::evaluate(gadget.problem, mapping);
+  if (!util::approx_le(metrics.max_weighted_period, gadget.target_period)) {
+    return std::nullopt;
+  }
+  // Period <= 1 with Σ speeds == Σ work forces exactly three processors per
+  // application (B/4 < a_j < B/2) — collect them.
+  std::vector<std::array<std::size_t, 3>> triples;
+  for (std::size_t j = 0; j < gadget.problem.application_count(); ++j) {
+    const auto ivs = mapping.intervals_of(j);
+    if (ivs.size() != 3) return std::nullopt;
+    std::array<std::size_t, 3> triple{};
+    std::int64_t sum = 0;
+    for (std::size_t t = 0; t < 3; ++t) {
+      triple[t] = ivs[t].proc;
+      sum += instance.values[ivs[t].proc];
+    }
+    if (sum != instance.target) return std::nullopt;
+    triples.push_back(triple);
+  }
+  return triples;
+}
+
+namespace {
+
+/// Minimum period of one uniform B-stage no-comm application on processors
+/// with the given speeds: smallest T with Σ_i floor(T·s_i) >= B.
+double min_uniform_chain_period(std::size_t stages,
+                                const std::vector<double>& speeds) {
+  if (speeds.empty()) return util::kInfinity;
+  const auto feasible = [&](double t) {
+    std::size_t capacity = 0;
+    for (double s : speeds) {
+      capacity += static_cast<std::size_t>(
+          std::floor(t * s * (1.0 + util::kRelTol) + util::kAbsTol));
+      if (capacity >= stages) return true;
+    }
+    return false;
+  };
+  double best = util::kInfinity;
+  for (double s : speeds) {
+    for (std::size_t len = 1; len <= stages; ++len) {
+      const double t = static_cast<double>(len) / s;
+      if (t < best && feasible(t)) best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double special_app_exact_period(const core::Problem& problem) {
+  if (!problem.is_special_app_family() || !problem.platform().is_uni_modal()) {
+    throw std::invalid_argument(
+        "special_app_exact_period: requires uniform no-comm applications on "
+        "uni-modal processors");
+  }
+  const std::size_t p = problem.platform().processor_count();
+  const std::size_t a_count = problem.application_count();
+  // Owner of each processor: application index, or a_count for "unused".
+  std::vector<std::size_t> owner(p, a_count);
+  double best = util::kInfinity;
+
+  const std::function<void(std::size_t)> assign = [&](std::size_t u) {
+    if (u == p) {
+      double period = 0.0;
+      for (std::size_t a = 0; a < a_count && period < best; ++a) {
+        std::vector<double> speeds;
+        for (std::size_t v = 0; v < p; ++v) {
+          if (owner[v] == a) {
+            speeds.push_back(problem.platform().processor(v).max_speed());
+          }
+        }
+        // Unit stages with uniform weight w: period scales by w.
+        const double w = problem.application(a).compute(0);
+        period = std::max(
+            period, problem.application(a).weight() * w *
+                        min_uniform_chain_period(
+                            problem.application(a).stage_count(), speeds));
+      }
+      best = std::min(best, period);
+      return;
+    }
+    for (std::size_t o = 0; o <= a_count; ++o) {
+      owner[u] = o;
+      assign(u + 1);
+    }
+    owner[u] = a_count;
+  };
+  assign(0);
+  return best;
+}
+
+}  // namespace pipeopt::reductions

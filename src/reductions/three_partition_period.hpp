@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file three_partition_period.hpp
+/// Theorem 5's reduction, as an executable gadget: 3-PARTITION ≤p interval
+/// period minimization with heterogeneous (uni-modal) processors,
+/// homogeneous pipelines and no communication.
+///
+/// Encoding: a canonical 3-PARTITION instance (3m integers a_j, target B)
+/// becomes m identical applications of B unit stages and 3m processors of
+/// speeds a_j; the question "global period <= 1?" is YES iff the partition
+/// exists. The decoder recovers the partition from any period-1 mapping:
+/// each application's processors form one triple.
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/problem.hpp"
+#include "solvers/partition.hpp"
+
+namespace pipeopt::reductions {
+
+/// The scheduling instance built from a 3-PARTITION instance.
+struct PeriodGadget {
+  core::Problem problem;
+  double target_period = 1.0;
+};
+
+/// Builds the Theorem 5 instance. The input must be canonical
+/// (B/4 < a_j < B/2, Σ = m·B); \throws std::invalid_argument otherwise.
+[[nodiscard]] PeriodGadget encode_three_partition_period(
+    const solvers::ThreePartitionInstance& instance);
+
+/// Builds the witness mapping from a partition (triples of processor
+/// indices): application j's B stages split into three intervals of sizes
+/// a_{t1}, a_{t2}, a_{t3} on those processors.
+[[nodiscard]] core::Mapping certificate_mapping(
+    const solvers::ThreePartitionInstance& instance,
+    const std::vector<std::array<std::size_t, 3>>& triples);
+
+/// Recovers the partition from a mapping of period <= 1 (+tolerance).
+/// Returns std::nullopt when the mapping does not certify the bound.
+[[nodiscard]] std::optional<std::vector<std::array<std::size_t, 3>>>
+decode_three_partition_period(const solvers::ThreePartitionInstance& instance,
+                              const PeriodGadget& gadget,
+                              const core::Mapping& mapping);
+
+/// Specialized exact period solver for special-app instances (uniform unit
+/// stages, no communication, uni-modal processors): enumerates processor-to-
+/// application assignments ((A+1)^p) and checks each by a capacity argument —
+/// a processor of speed s can absorb at most floor(T·s) unit stages within
+/// period T. Exponential in p only, which makes the B-stage gadget chains
+/// (intractable for full mapping enumeration) solvable exactly.
+/// \throws std::invalid_argument when the problem is not of this family.
+[[nodiscard]] double special_app_exact_period(const core::Problem& problem);
+
+}  // namespace pipeopt::reductions

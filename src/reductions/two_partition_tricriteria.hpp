@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file two_partition_tricriteria.hpp
+/// Theorem 26's reduction: 2-PARTITION ≤p the tri-criteria one-to-one
+/// problem on a fully homogeneous *multi-modal* platform with a single
+/// application and no communication — the paper's headline hardness result.
+///
+/// Encoding (α = 2): stage weights w_i = K^{i(α+1)}; n identical processors
+/// whose mode set pairs, for every i, a "slow" speed K^i with a "fast"
+/// speed K^i + a_i·X / K^{iα}. K is chosen large enough that stage i must
+/// run at one of its own pair's speeds; X small enough that the linearized
+/// energy/latency deltas dominate the higher-order terms. Choosing the fast
+/// speed for exactly the stages of a subset I costs ~α·X·Σ_I a_i extra
+/// energy and saves ~X·Σ_I a_i latency, so the bounds
+///   E° = E* + α·X·(S/2 + 1/2),  L° = L* − X·(S/2 − 1/2),  T° = L°
+/// are achievable iff some subset hits S/2 exactly.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/objectives.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::reductions {
+
+/// The scheduling instance built from a 2-PARTITION instance.
+struct TricriteriaGadget {
+  core::Problem problem;
+  core::ConstraintSet constraints;  ///< period, latency and energy bounds
+  double k = 0.0;                   ///< chosen gadget base K
+  double x = 0.0;                   ///< chosen perturbation X
+};
+
+/// Builds the Theorem 26 instance from positive integers a_1..a_n
+/// (n >= 2; kept small — the stage weights grow as K^{3n}).
+[[nodiscard]] TricriteriaGadget encode_two_partition_tricriteria(
+    const std::vector<std::int64_t>& values);
+
+/// Witness mapping: stage i on processor i, fast mode iff i ∈ subset.
+[[nodiscard]] core::Mapping certificate_mapping_tricriteria(
+    const TricriteriaGadget& gadget, const std::vector<std::size_t>& subset);
+
+/// Recovers the subset from a mapping satisfying all three bounds.
+[[nodiscard]] std::optional<std::vector<std::size_t>>
+decode_two_partition_tricriteria(const TricriteriaGadget& gadget,
+                                 const core::Mapping& mapping);
+
+}  // namespace pipeopt::reductions

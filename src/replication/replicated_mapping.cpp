@@ -1,0 +1,162 @@
+#include "replication/replicated_mapping.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace pipeopt::replication {
+
+ReplicatedMapping::ReplicatedMapping(std::vector<ReplicatedInterval> intervals)
+    : intervals_(std::move(intervals)) {
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const ReplicatedInterval& a, const ReplicatedInterval& b) {
+              if (a.app != b.app) return a.app < b.app;
+              return a.first < b.first;
+            });
+}
+
+std::vector<ReplicatedInterval> ReplicatedMapping::intervals_of(
+    std::size_t app) const {
+  std::vector<ReplicatedInterval> out;
+  for (const ReplicatedInterval& iv : intervals_) {
+    if (iv.app == app) out.push_back(iv);
+  }
+  return out;
+}
+
+std::size_t ReplicatedMapping::processor_count() const {
+  std::size_t count = 0;
+  for (const ReplicatedInterval& iv : intervals_) count += iv.procs.size();
+  return count;
+}
+
+std::optional<std::string> ReplicatedMapping::validate(
+    const core::Problem& problem) const {
+  const auto& platform = problem.platform();
+  std::set<std::size_t> used;
+  std::vector<std::size_t> next_stage(problem.application_count(), 0);
+  for (const ReplicatedInterval& iv : intervals_) {
+    if (iv.app >= problem.application_count()) return "unknown application";
+    const auto& app = problem.application(iv.app);
+    if (iv.first > iv.last || iv.last >= app.stage_count()) {
+      return "stage range out of bounds";
+    }
+    if (iv.procs.empty()) return "interval with no replica";
+    for (std::size_t u : iv.procs) {
+      if (u >= platform.processor_count()) return "unknown processor";
+      if (iv.mode >= platform.processor(u).mode_count()) return "unknown mode";
+      if (!used.insert(u).second) return "processor reused across replicas";
+    }
+    // Replicas must be identical for round-robin synchrony.
+    const auto& first_proc = platform.processor(iv.procs.front());
+    for (std::size_t u : iv.procs) {
+      if (platform.processor(u).speeds() != first_proc.speeds()) {
+        return "replica set spans non-identical processors";
+      }
+    }
+    if (iv.first != next_stage[iv.app]) {
+      return "intervals must tile the application in order";
+    }
+    next_stage[iv.app] = iv.last + 1;
+  }
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    if (next_stage[a] != problem.application(a).stage_count()) {
+      return "application not fully covered";
+    }
+  }
+  return std::nullopt;
+}
+
+void ReplicatedMapping::validate_or_throw(const core::Problem& problem) const {
+  if (auto reason = validate(problem)) {
+    throw std::invalid_argument("invalid replicated mapping: " + *reason);
+  }
+}
+
+namespace {
+
+/// Cycle-time pieces of replicated interval j, already divided by r_j.
+core::IntervalCost replicated_cost(const core::Problem& problem,
+                                   std::span<const ReplicatedInterval> intervals,
+                                   std::size_t j) {
+  const ReplicatedInterval& iv = intervals[j];
+  const auto& app = problem.application(iv.app);
+  const auto& platform = problem.platform();
+  const double speed = platform.processor(iv.procs.front()).speed(iv.mode);
+  const auto r = static_cast<double>(iv.replication());
+
+  // Uniform-bandwidth platforms only would make this exact; for generality
+  // use the bandwidth between the lead replicas (round-robin pairings rotate
+  // over replicas, so on heterogeneous links this is the lead-pair
+  // approximation; the polynomial algorithm below is restricted to fully
+  // homogeneous platforms where it is exact).
+  const double in_bw =
+      (j == 0) ? platform.in_bandwidth(iv.app, iv.procs.front())
+               : platform.bandwidth(intervals[j - 1].procs.front(),
+                                    iv.procs.front());
+  const double out_bw = (j + 1 == intervals.size())
+                            ? platform.out_bandwidth(iv.app, iv.procs.front())
+                            : platform.bandwidth(iv.procs.front(),
+                                                 intervals[j + 1].procs.front());
+  core::IntervalCost cost;
+  cost.in_comm = app.boundary_size(iv.first) / in_bw / r;
+  cost.compute = app.total_compute(iv.first, iv.last) / speed / r;
+  cost.out_comm = app.boundary_size(iv.last + 1) / out_bw / r;
+  return cost;
+}
+
+}  // namespace
+
+double replicated_period(const core::Problem& problem,
+                         std::span<const ReplicatedInterval> intervals) {
+  if (intervals.empty()) {
+    throw std::invalid_argument("replicated_period: empty interval list");
+  }
+  double period = 0.0;
+  for (std::size_t j = 0; j < intervals.size(); ++j) {
+    period = std::max(period, replicated_cost(problem, intervals, j)
+                                  .cycle_time(problem.comm_model()));
+  }
+  return period;
+}
+
+double replicated_latency(const core::Problem& problem,
+                          std::span<const ReplicatedInterval> intervals) {
+  if (intervals.empty()) {
+    throw std::invalid_argument("replicated_latency: empty interval list");
+  }
+  // Eq. 5 through one replica per interval: undo the /r of the cost helper.
+  double latency = 0.0;
+  for (std::size_t j = 0; j < intervals.size(); ++j) {
+    const auto r = static_cast<double>(intervals[j].replication());
+    const core::IntervalCost cost = replicated_cost(problem, intervals, j);
+    if (j == 0) latency += cost.in_comm * r;
+    latency += (cost.compute + cost.out_comm) * r;
+  }
+  return latency;
+}
+
+core::Metrics evaluate(const core::Problem& problem,
+                       const ReplicatedMapping& mapping, bool check_valid) {
+  if (check_valid) mapping.validate_or_throw(problem);
+  core::Metrics metrics;
+  metrics.per_app.resize(problem.application_count());
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const auto ivs = mapping.intervals_of(a);
+    metrics.per_app[a].period = replicated_period(problem, ivs);
+    metrics.per_app[a].latency = replicated_latency(problem, ivs);
+    const double w = problem.application(a).weight();
+    metrics.max_weighted_period =
+        std::max(metrics.max_weighted_period, w * metrics.per_app[a].period);
+    metrics.max_weighted_latency =
+        std::max(metrics.max_weighted_latency, w * metrics.per_app[a].latency);
+  }
+  for (const ReplicatedInterval& iv : mapping.intervals()) {
+    for (std::size_t u : iv.procs) {
+      metrics.energy += problem.platform().processor_energy(u, iv.mode);
+    }
+  }
+  return metrics;
+}
+
+}  // namespace pipeopt::replication

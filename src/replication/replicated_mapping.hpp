@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file replicated_mapping.hpp
+/// Stage replication — the paper's §6 future work, modeled after
+/// Benoit & Robert's replicated workflows [4]: an interval may be mapped
+/// onto r identical processors that serve consecutive data sets round-robin.
+///
+/// Semantics (fully homogeneous platforms, where round-robin replicas stay
+/// synchronized):
+///  * each replica handles one data set in r, so *all three* cycle-time
+///    pieces of the interval divide by r — each replica computes, receives
+///    and sends only its own 1/r share (links are per processor pair, and
+///    an upstream replica's out-port likewise only carries its own share);
+///  * the period contribution of a replicated interval is cycle/r;
+///  * latency is unchanged: every data set traverses exactly one replica
+///    per interval;
+///  * energy multiplies: every enrolled replica pays E_stat + s^α.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::replication {
+
+/// One interval of consecutive stages replicated over `procs`.
+struct ReplicatedInterval {
+  std::size_t app = 0;
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::vector<std::size_t> procs;  ///< r >= 1 distinct processors
+  std::size_t mode = 0;            ///< common speed mode of all replicas
+
+  [[nodiscard]] std::size_t replication() const noexcept { return procs.size(); }
+};
+
+/// A complete replicated mapping (per-application tiling into replicated
+/// intervals; processors pairwise distinct across the whole mapping).
+class ReplicatedMapping {
+ public:
+  ReplicatedMapping() = default;
+  explicit ReplicatedMapping(std::vector<ReplicatedInterval> intervals);
+
+  [[nodiscard]] std::span<const ReplicatedInterval> intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] std::vector<ReplicatedInterval> intervals_of(std::size_t app) const;
+  [[nodiscard]] std::size_t processor_count() const;
+
+  /// std::nullopt when valid, else a reason.
+  [[nodiscard]] std::optional<std::string> validate(const core::Problem& problem) const;
+  void validate_or_throw(const core::Problem& problem) const;
+
+ private:
+  std::vector<ReplicatedInterval> intervals_;  ///< sorted by (app, first)
+};
+
+/// Period of one application under replication (both communication models;
+/// every cycle-time piece of interval j divides by r_j).
+[[nodiscard]] double replicated_period(const core::Problem& problem,
+                                       std::span<const ReplicatedInterval> intervals);
+
+/// Latency (unchanged by replication; Eq. 5 on one replica per interval).
+[[nodiscard]] double replicated_latency(const core::Problem& problem,
+                                        std::span<const ReplicatedInterval> intervals);
+
+/// Full evaluation (weighted maxima + energy over all replicas).
+[[nodiscard]] core::Metrics evaluate(const core::Problem& problem,
+                                     const ReplicatedMapping& mapping,
+                                     bool check_valid = true);
+
+}  // namespace pipeopt::replication

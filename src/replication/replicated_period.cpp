@@ -1,0 +1,154 @@
+#include "replication/replicated_period.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algorithms/processor_allocation.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::replication {
+
+ReplicatedPeriodDp::ReplicatedPeriodDp(const core::Application& app,
+                                       double speed, double bandwidth,
+                                       core::CommModel comm,
+                                       std::size_t max_procs)
+    : weight_(app.weight()),
+      speed_(speed),
+      bandwidth_(bandwidth),
+      comm_(comm),
+      n_(app.stage_count()),
+      max_q_(max_procs) {
+  if (!(speed_ > 0.0) || !(bandwidth_ > 0.0)) {
+    throw std::invalid_argument("ReplicatedPeriodDp: speed/bandwidth must be > 0");
+  }
+  if (max_procs == 0) {
+    throw std::invalid_argument("ReplicatedPeriodDp: needs >= 1 processor");
+  }
+  compute_prefix_.assign(n_ + 1, 0.0);
+  boundary_.assign(n_ + 1, 0.0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    compute_prefix_[k + 1] = compute_prefix_[k] + app.compute(k);
+  }
+  for (std::size_t i = 0; i <= n_; ++i) boundary_[i] = app.boundary_size(i);
+
+  table_.assign(max_q_, std::vector<double>(n_ + 1, util::kInfinity));
+  split_.assign(max_q_, std::vector<std::size_t>(n_ + 1, 0));
+  replicas_.assign(max_q_, std::vector<std::size_t>(n_ + 1, 1));
+  for (std::size_t q = 0; q < max_q_; ++q) table_[q][0] = 0.0;
+
+  for (std::size_t q = 0; q < max_q_; ++q) {  // at most q+1 processors
+    for (std::size_t i = 1; i <= n_; ++i) {
+      double best = util::kInfinity;
+      std::size_t best_j = 0;
+      std::size_t best_r = 1;
+      for (std::size_t j = 0; j < i; ++j) {
+        const double tail = interval_cost(j, i - 1);
+        // r replicas for the tail interval; prefix gets q+1-r processors.
+        for (std::size_t r = 1; r <= q + 1; ++r) {
+          const double prefix =
+              (j == 0) ? 0.0
+                       : ((q + 1 - r) == 0 ? util::kInfinity
+                                           : table_[q - r][j]);
+          if (!std::isfinite(prefix)) continue;
+          const double value =
+              std::max(prefix, tail / static_cast<double>(r));
+          if (value < best) {
+            best = value;
+            best_j = j;
+            best_r = r;
+          }
+        }
+      }
+      table_[q][i] = best;
+      split_[q][i] = best_j;
+      replicas_[q][i] = best_r;
+    }
+  }
+}
+
+double ReplicatedPeriodDp::interval_cost(std::size_t first,
+                                         std::size_t last) const {
+  const double in = boundary_[first] / bandwidth_;
+  const double comp = (compute_prefix_[last + 1] - compute_prefix_[first]) / speed_;
+  const double out = boundary_[last + 1] / bandwidth_;
+  return comm_ == core::CommModel::Overlap ? std::max({in, comp, out})
+                                           : in + comp + out;
+}
+
+double ReplicatedPeriodDp::min_period_by_count(std::size_t q) const {
+  if (q == 0) return util::kInfinity;
+  return table_[std::min(q, max_q_) - 1][n_];
+}
+
+double ReplicatedPeriodDp::weighted_min_period_by_count(std::size_t q) const {
+  return weight_ * min_period_by_count(q);
+}
+
+ReplicatedPeriodDp::Plan ReplicatedPeriodDp::optimal_plan(std::size_t q) const {
+  if (q == 0) throw std::invalid_argument("optimal_plan: q must be >= 1");
+  Plan plan;
+  std::size_t i = n_;
+  std::size_t level = std::min(q, max_q_) - 1;
+  while (i > 0) {
+    plan.ends.push_back(i - 1);
+    plan.replicas.push_back(replicas_[level][i]);
+    const std::size_t j = split_[level][i];
+    const std::size_t r = replicas_[level][i];
+    i = j;
+    level = (level + 1 > r) ? level - r : 0;
+  }
+  std::reverse(plan.ends.begin(), plan.ends.end());
+  std::reverse(plan.replicas.begin(), plan.replicas.end());
+  return plan;
+}
+
+std::optional<ReplicatedSolution> replicated_min_period(
+    const core::Problem& problem) {
+  if (problem.platform().classify() != core::PlatformClass::FullyHomogeneous) {
+    throw std::invalid_argument(
+        "replicated period minimization: implemented for fully homogeneous "
+        "platforms (identical replicas; see [4] for heterogeneous round-robin)");
+  }
+  const auto& platform = problem.platform();
+  const std::size_t p = platform.processor_count();
+  const double speed = platform.processor(0).max_speed();
+  const double bw = platform.uniform_bandwidth();
+
+  std::vector<ReplicatedPeriodDp> dps;
+  dps.reserve(problem.application_count());
+  for (const auto& app : problem.applications()) {
+    dps.emplace_back(app, speed, bw, problem.comm_model(), p);
+  }
+  const auto value = [&](std::size_t a, std::size_t k) {
+    return dps[a].weighted_min_period_by_count(k);
+  };
+  const auto allocation =
+      algorithms::allocate_processors(problem.application_count(), p, value);
+  if (!allocation) return std::nullopt;
+
+  std::vector<ReplicatedInterval> intervals;
+  std::size_t next_proc = 0;
+  const std::size_t max_mode = platform.processor(0).max_mode();
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const auto plan = dps[a].optimal_plan(allocation->count[a]);
+    std::size_t first = 0;
+    for (std::size_t j = 0; j < plan.ends.size(); ++j) {
+      ReplicatedInterval iv;
+      iv.app = a;
+      iv.first = first;
+      iv.last = plan.ends[j];
+      iv.mode = max_mode;
+      for (std::size_t r = 0; r < plan.replicas[j]; ++r) {
+        iv.procs.push_back(next_proc++);
+      }
+      intervals.push_back(std::move(iv));
+      first = plan.ends[j] + 1;
+    }
+  }
+  ReplicatedSolution solution;
+  solution.value = allocation->objective;
+  solution.mapping = ReplicatedMapping(std::move(intervals));
+  return solution;
+}
+
+}  // namespace pipeopt::replication

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file replicated_period.hpp
+/// Period minimization with replication on fully homogeneous platforms —
+/// the algorithmic side of the §6 extension.
+///
+/// Single application: extend the chains-on-chains DP with a replica-count
+/// choice per interval:
+///   T(i, q) = min_{j<i, 1<=r<=q} max( T(j, q-r), cycle(j+1, i) / r )
+/// (O(n²p²)). T(·, q) is non-increasing in q, so Algorithm 2 lifts the DP
+/// to several concurrent applications unchanged.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "replication/replicated_mapping.hpp"
+
+namespace pipeopt::replication {
+
+/// DP over one application on identical processors with replication.
+class ReplicatedPeriodDp {
+ public:
+  ReplicatedPeriodDp(const core::Application& app, double speed,
+                     double bandwidth, core::CommModel comm,
+                     std::size_t max_procs);
+
+  /// Optimal period using at most q processors (replicas included).
+  [[nodiscard]] double min_period_by_count(std::size_t q) const;
+  [[nodiscard]] double weighted_min_period_by_count(std::size_t q) const;
+
+  /// Optimal plan for at most q processors: per interval, its inclusive
+  /// last stage and replica count.
+  struct Plan {
+    std::vector<std::size_t> ends;
+    std::vector<std::size_t> replicas;
+  };
+  [[nodiscard]] Plan optimal_plan(std::size_t q) const;
+
+ private:
+  [[nodiscard]] double interval_cost(std::size_t first, std::size_t last) const;
+
+  std::vector<double> compute_prefix_;
+  std::vector<double> boundary_;
+  double weight_;
+  double speed_;
+  double bandwidth_;
+  core::CommModel comm_;
+  std::size_t n_;
+  std::size_t max_q_;
+  // table_[q][i]: stages 1..i with at most q+1 processors.
+  std::vector<std::vector<double>> table_;
+  // choice: split point and replica count realizing table_[q][i].
+  std::vector<std::vector<std::size_t>> split_;
+  std::vector<std::vector<std::size_t>> replicas_;
+};
+
+/// Result of the multi-application optimization.
+struct ReplicatedSolution {
+  double value = 0.0;
+  ReplicatedMapping mapping;
+};
+
+/// Minimum max_a W_a·T_a over replicated interval mappings on a fully
+/// homogeneous platform (processors at maximum speed).
+/// \throws std::invalid_argument unless fully homogeneous.
+[[nodiscard]] std::optional<ReplicatedSolution> replicated_min_period(
+    const core::Problem& problem);
+
+}  // namespace pipeopt::replication

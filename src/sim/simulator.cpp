@@ -1,0 +1,222 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/evaluation.hpp"
+#include "util/random.hpp"
+
+namespace pipeopt::sim {
+namespace {
+
+using core::IntervalAssignment;
+using core::Mapping;
+using core::Problem;
+
+/// Static description of one application's chain under a mapping.
+struct Chain {
+  std::vector<double> transfer_time;  ///< size m+1: t_j of transfer j
+  std::vector<double> compute_time;   ///< size m:   c_j of node j
+  std::vector<std::size_t> node_proc; ///< size m: processor of node j
+  std::vector<IntervalAssignment> intervals;
+};
+
+Chain build_chain(const Problem& problem, std::size_t app_idx,
+                  std::vector<IntervalAssignment> intervals) {
+  Chain chain;
+  chain.intervals = std::move(intervals);
+  const std::size_t m = chain.intervals.size();
+  const auto& app = problem.application(app_idx);
+  const auto& platform = problem.platform();
+
+  chain.transfer_time.resize(m + 1);
+  chain.compute_time.resize(m);
+  chain.node_proc.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const IntervalAssignment& iv = chain.intervals[j];
+    const double speed = platform.processor(iv.proc).speed(iv.mode);
+    chain.node_proc[j] = iv.proc;
+    chain.compute_time[j] = app.total_compute(iv.first, iv.last) / speed;
+    const double in_bw = (j == 0)
+                             ? platform.in_bandwidth(app_idx, iv.proc)
+                             : platform.bandwidth(chain.intervals[j - 1].proc, iv.proc);
+    chain.transfer_time[j] = app.boundary_size(iv.first) / in_bw;
+  }
+  const IntervalAssignment& last = chain.intervals.back();
+  chain.transfer_time[m] = app.boundary_size(last.last + 1) /
+                           platform.out_bandwidth(app_idx, last.proc);
+  return chain;
+}
+
+/// Multiplies nominal durations by 1 + U[0, jitter] (identity when the
+/// simulation is deterministic).
+class DurationSampler {
+ public:
+  DurationSampler(double jitter, std::uint64_t seed)
+      : jitter_(jitter), rng_(seed) {}
+
+  [[nodiscard]] double operator()(double nominal) {
+    if (jitter_ <= 0.0 || nominal <= 0.0) return nominal;
+    return nominal * (1.0 + rng_.uniform(0.0, jitter_));
+  }
+
+ private:
+  double jitter_;
+  util::Rng rng_;
+};
+
+/// Simulates one application in the overlap model.
+/// Recurrences (X = transfer finish, C = compute finish, t/c durations):
+///   X(0,d) = max(inj(d), X(0,d-1)) + t_0
+///   X(j,d) = max(C(j-1,d), X(j,d-1)) + t_j          1 <= j <= m
+///   C(j,d) = max(X(j,d), C(j,d-1)) + c_j            0 <= j <  m
+AppSimResult run_overlap(const Chain& chain, std::size_t app_idx,
+                         const std::vector<double>& inj, Trace* trace,
+                         DurationSampler& dur) {
+  const std::size_t m = chain.compute_time.size();
+  std::vector<double> x_prev(m + 1, 0.0);  // X(j, d-1)
+  std::vector<double> c_prev(m, 0.0);      // C(j, d-1)
+
+  AppSimResult result;
+  result.injections = inj;
+  result.completions.resize(inj.size());
+
+  for (std::size_t d = 0; d < inj.size(); ++d) {
+    // Within one data-set round, c_prev[j-1] has already been advanced to
+    // C(j-1, d) by the time transfer j reads it; x_prev[j] and c_prev[j]
+    // still hold the d-1 values until overwritten below.
+    for (std::size_t j = 0; j <= m; ++j) {
+      const double ready = (j == 0) ? inj[d] : c_prev[j - 1];
+      const double start = std::max(ready, x_prev[j]);
+      const double end = start + dur(chain.transfer_time[j]);
+      if (trace != nullptr && chain.transfer_time[j] > 0.0) {
+        trace->add({OpKind::Transfer, app_idx, d,
+                    j < m ? chain.intervals[j].first : chain.intervals[m - 1].last + 1,
+                    j < m ? chain.intervals[j].first : chain.intervals[m - 1].last + 1,
+                    j < m ? chain.node_proc[j] : chain.node_proc[m - 1], start, end});
+      }
+      x_prev[j] = end;
+      if (j < m) {
+        const double cstart = std::max(end, c_prev[j]);
+        const double cend = cstart + dur(chain.compute_time[j]);
+        if (trace != nullptr) {
+          trace->add({OpKind::Compute, app_idx, d, chain.intervals[j].first,
+                      chain.intervals[j].last, chain.node_proc[j], cstart, cend});
+        }
+        c_prev[j] = cend;
+      }
+    }
+    result.completions[d] = x_prev[m];
+  }
+  return result;
+}
+
+/// Simulates one application in the no-overlap model. Each node is a single
+/// serialized resource cycling receive_d, compute_d, send_d. Transfer j of
+/// data set d occupies both endpoint resources:
+///   start X(j,d) = max(sender_ready, receiver_ready)
+///     sender_ready   = inj(d) ⊔ X(0,d-1)   (j == 0, virtual source port)
+///                      C(j-1,d)            (j >= 1: sender's preceding op)
+///     receiver_ready = X(j+1,d-1)          (j < m: receiver's preceding op
+///                                           is its send of data set d-1)
+///                      X(m,d-1)            (j == m, virtual sink port)
+///   C(j,d) = X(j,d) + c_j                  (node's next op after its recv)
+AppSimResult run_no_overlap(const Chain& chain, std::size_t app_idx,
+                            const std::vector<double>& inj, Trace* trace,
+                            DurationSampler& dur) {
+  const std::size_t m = chain.compute_time.size();
+  std::vector<double> x_prev(m + 1, 0.0);  // X(j, d-1)
+
+  AppSimResult result;
+  result.injections = inj;
+  result.completions.resize(inj.size());
+
+  for (std::size_t d = 0; d < inj.size(); ++d) {
+    double compute_end_prev_node = 0.0;  // C(j-1, d)
+    std::vector<double> x_cur(m + 1, 0.0);
+    for (std::size_t j = 0; j <= m; ++j) {
+      const double sender_ready =
+          (j == 0) ? std::max(inj[d], x_prev[0]) : compute_end_prev_node;
+      const double receiver_ready = (j < m) ? x_prev[j + 1] : x_prev[m];
+      const double start = std::max(sender_ready, receiver_ready);
+      const double end = start + dur(chain.transfer_time[j]);
+      if (trace != nullptr && chain.transfer_time[j] > 0.0) {
+        trace->add({OpKind::Transfer, app_idx, d,
+                    j < m ? chain.intervals[j].first : chain.intervals[m - 1].last + 1,
+                    j < m ? chain.intervals[j].first : chain.intervals[m - 1].last + 1,
+                    j < m ? chain.node_proc[j] : chain.node_proc[m - 1], start, end});
+      }
+      x_cur[j] = end;
+      if (j < m) {
+        const double cend = end + dur(chain.compute_time[j]);
+        if (trace != nullptr) {
+          trace->add({OpKind::Compute, app_idx, d, chain.intervals[j].first,
+                      chain.intervals[j].last, chain.node_proc[j], end, cend});
+        }
+        compute_end_prev_node = cend;
+      }
+    }
+    x_prev = std::move(x_cur);
+    result.completions[d] = x_prev[m];
+  }
+  return result;
+}
+
+void finalize_metrics(AppSimResult& result) {
+  const std::size_t d = result.completions.size();
+  result.first_latency = result.completions[0] - result.injections[0];
+  result.max_latency = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    result.max_latency = std::max(result.max_latency,
+                                  result.completions[i] - result.injections[i]);
+  }
+  if (d >= 2) {
+    // Average completion gap over the trailing half: transients decay after
+    // at most one pass through the chain, so this is exact in steady state.
+    const std::size_t from = d / 2;
+    result.steady_period = (result.completions[d - 1] - result.completions[from]) /
+                           static_cast<double>(d - 1 - from);
+  } else {
+    result.steady_period = 0.0;
+  }
+}
+
+}  // namespace
+
+SimResult simulate(const Problem& problem, const Mapping& mapping,
+                   const SimConfig& config) {
+  if (config.datasets == 0) {
+    throw std::invalid_argument("simulate: needs at least one data set");
+  }
+  mapping.validate_or_throw(problem);
+
+  SimResult result;
+  result.apps.resize(problem.application_count());
+  Trace* trace = config.record_trace ? &result.trace : nullptr;
+
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    Chain chain = build_chain(problem, a, mapping.intervals_of(a));
+
+    double period = 0.0;
+    if (config.injection_period) {
+      period = *config.injection_period;
+    } else {
+      period = core::application_period(problem, chain.intervals);
+    }
+    std::vector<double> inj(config.datasets);
+    for (std::size_t d = 0; d < config.datasets; ++d) {
+      inj[d] = period * static_cast<double>(d);
+    }
+
+    DurationSampler sampler(config.jitter, config.jitter_seed + a);
+    AppSimResult app_result =
+        (problem.comm_model() == core::CommModel::Overlap)
+            ? run_overlap(chain, a, inj, trace, sampler)
+            : run_no_overlap(chain, a, inj, trace, sampler);
+    finalize_metrics(app_result);
+    result.apps[a] = std::move(app_result);
+  }
+  return result;
+}
+
+}  // namespace pipeopt::sim

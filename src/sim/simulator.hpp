@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Deterministic pipelined-execution simulator (the paper's execution model,
+/// §3.2–3.3, made operational).
+///
+/// A mapping induces, per application, a chain of interval nodes joined by
+/// transfers: transfer 0 brings δ^0 from the virtual source, transfer j
+/// moves the boundary data between consecutive intervals, and the final
+/// transfer delivers δ^n to the virtual sink. Data sets are injected at a
+/// configurable period and every operation is scheduled as soon as possible
+/// (§3.3: interval mappings make ASAP scheduling well-defined):
+///
+///  * overlap model — each processor owns three FIFO resources (in-port,
+///    CPU, out-port); a transfer occupies the sender's out-port and the
+///    receiver's in-port; computation proceeds concurrently (Eq. 3 regime);
+///  * no-overlap model — each processor is a single serialized resource
+///    executing receive_d, compute_d, send_d per data set (Eq. 4 regime).
+///
+/// Because applications never share processors (and virtual sources/sinks
+/// are per-application), the concurrent applications simulate independently.
+///
+/// The simulator is the empirical check on the closed forms: steady-state
+/// inter-completion times must equal Eq. 3/Eq. 4 periods, and the latency of
+/// a data set traversing an empty pipeline must equal Eq. 5.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/problem.hpp"
+#include "sim/trace.hpp"
+
+namespace pipeopt::sim {
+
+/// Simulation parameters.
+struct SimConfig {
+  /// Number of data sets injected per application.
+  std::size_t datasets = 64;
+  /// Interval between injections. Unset = each application injects at its
+  /// own analytic period (steady-state regime). 0 = all data available at
+  /// time zero (saturation regime).
+  std::optional<double> injection_period;
+  /// Record per-operation trace records (costs memory for large runs).
+  bool record_trace = false;
+  /// Failure-injection knob: every operation duration is multiplied by a
+  /// seeded random factor in [1, 1 + jitter]. 0 = deterministic nominal
+  /// durations (the Eq. 3-5 regime). Positive jitter models transient
+  /// slowdowns (OS noise, cache effects); the measured period then exceeds
+  /// the analytic one and the gap quantifies the model's sensitivity.
+  double jitter = 0.0;
+  /// Seed for the jitter stream (one independent stream per application).
+  std::uint64_t jitter_seed = 1;
+};
+
+/// Per-application simulation outcome.
+struct AppSimResult {
+  std::vector<double> injections;   ///< inj(d)
+  std::vector<double> completions;  ///< time the sink received data set d
+  double first_latency = 0.0;       ///< completion(0) - inj(0): empty pipeline
+  double max_latency = 0.0;         ///< max_d completion(d) - inj(d)
+  double steady_period = 0.0;       ///< completion gap over the trailing half
+};
+
+/// Whole-simulation outcome.
+struct SimResult {
+  std::vector<AppSimResult> apps;
+  Trace trace;  ///< empty unless SimConfig::record_trace
+};
+
+/// Runs the simulation. The mapping must be valid for the problem.
+/// \throws std::invalid_argument on invalid mapping or datasets == 0.
+[[nodiscard]] SimResult simulate(const core::Problem& problem,
+                                 const core::Mapping& mapping,
+                                 const SimConfig& config = {});
+
+}  // namespace pipeopt::sim

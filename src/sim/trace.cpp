@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pipeopt::sim {
+
+const char* to_string(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::Transfer: return "transfer";
+    case OpKind::Compute: return "compute";
+  }
+  return "?";
+}
+
+double Trace::compute_busy_time(std::size_t proc) const {
+  double busy = 0.0;
+  for (const OpRecord& r : records_) {
+    if (r.kind == OpKind::Compute && r.proc == proc) busy += r.duration();
+  }
+  return busy;
+}
+
+double Trace::makespan() const {
+  double end = 0.0;
+  for (const OpRecord& r : records_) end = std::max(end, r.end);
+  return end;
+}
+
+std::string Trace::to_csv() const {
+  std::ostringstream os;
+  os << "kind,app,dataset,first,last,proc,start,end\n";
+  for (const OpRecord& r : records_) {
+    os << to_string(r.kind) << ',' << r.app << ',' << r.dataset << ','
+       << r.stage_first << ',' << r.stage_last << ',' << r.proc << ','
+       << r.start << ',' << r.end << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pipeopt::sim

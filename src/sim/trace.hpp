@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file trace.hpp
+/// Execution traces produced by the pipeline simulator: one record per
+/// operation (transfer or computation) per data set, plus utilization
+/// accounting and CSV export for offline Gantt inspection.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pipeopt::sim {
+
+/// Kind of simulated operation.
+enum class OpKind { Transfer, Compute };
+
+[[nodiscard]] const char* to_string(OpKind k) noexcept;
+
+/// One operation instance.
+struct OpRecord {
+  OpKind kind = OpKind::Compute;
+  std::size_t app = 0;       ///< application index
+  std::size_t dataset = 0;   ///< data-set sequence number
+  std::size_t stage_first = 0;  ///< for Compute: interval range; for Transfer: boundary index in both
+  std::size_t stage_last = 0;
+  std::size_t proc = 0;      ///< executing processor (receiver for transfers)
+  double start = 0.0;
+  double end = 0.0;
+
+  [[nodiscard]] double duration() const noexcept { return end - start; }
+};
+
+/// Trace of a whole simulation.
+class Trace {
+ public:
+  void add(OpRecord record) { records_.push_back(record); }
+  [[nodiscard]] const std::vector<OpRecord>& records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Busy time of one processor's compute resource.
+  [[nodiscard]] double compute_busy_time(std::size_t proc) const;
+
+  /// Simulation makespan (max end over all records; 0 when empty).
+  [[nodiscard]] double makespan() const;
+
+  /// CSV rendering: kind,app,dataset,first,last,proc,start,end.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<OpRecord> records_;
+};
+
+}  // namespace pipeopt::sim

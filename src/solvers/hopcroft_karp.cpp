@@ -1,0 +1,110 @@
+#include "solvers/hopcroft_karp.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace pipeopt::solvers {
+
+BipartiteGraph::BipartiteGraph(std::size_t left, std::size_t right)
+    : right_(right), adj_(left) {}
+
+void BipartiteGraph::add_edge(std::size_t l, std::size_t r) {
+  if (l >= adj_.size() || r >= right_) {
+    throw std::out_of_range("BipartiteGraph::add_edge");
+  }
+  adj_[l].push_back(r);
+}
+
+namespace {
+constexpr std::size_t kNpos = MatchingResult::npos;
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+MatchingResult hopcroft_karp(const BipartiteGraph& graph) {
+  const std::size_t nl = graph.left_count();
+  const std::size_t nr = graph.right_count();
+  std::vector<std::size_t> match_l(nl, kNpos), match_r(nr, kNpos);
+  std::vector<std::size_t> dist(nl, kInf);
+
+  auto bfs = [&]() -> bool {
+    std::queue<std::size_t> q;
+    for (std::size_t l = 0; l < nl; ++l) {
+      if (match_l[l] == kNpos) {
+        dist[l] = 0;
+        q.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool reachable_free = false;
+    while (!q.empty()) {
+      const std::size_t l = q.front();
+      q.pop();
+      for (std::size_t r : graph.neighbours(l)) {
+        const std::size_t l2 = match_r[r];
+        if (l2 == kNpos) {
+          reachable_free = true;
+        } else if (dist[l2] == kInf) {
+          dist[l2] = dist[l] + 1;
+          q.push(l2);
+        }
+      }
+    }
+    return reachable_free;
+  };
+
+  // DFS over the BFS layering; iterative to keep stack depth flat.
+  auto try_augment = [&](std::size_t root) -> bool {
+    struct Frame {
+      std::size_t l;
+      std::size_t edge_idx;
+    };
+    std::vector<Frame> stack{{root, 0}};
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& nbrs = graph.neighbours(frame.l);
+      if (frame.edge_idx >= nbrs.size()) {
+        dist[frame.l] = kInf;  // dead end: prune from this phase
+        stack.pop_back();
+        if (!stack.empty()) ++stack.back().edge_idx;
+        continue;
+      }
+      const std::size_t r = nbrs[frame.edge_idx];
+      const std::size_t l2 = match_r[r];
+      if (l2 == kNpos || dist[l2] == dist[frame.l] + 1) {
+        if (l2 == kNpos) {
+          // Augment along the current stack: match every (l, chosen r).
+          for (std::size_t i = stack.size(); i-- > 0;) {
+            const std::size_t ll = stack[i].l;
+            const std::size_t rr = graph.neighbours(ll)[stack[i].edge_idx];
+            match_l[ll] = rr;
+            match_r[rr] = ll;
+          }
+          return true;
+        }
+        stack.push_back({l2, 0});
+      } else {
+        ++frame.edge_idx;
+      }
+    }
+    return false;
+  };
+
+  MatchingResult result;
+  while (bfs()) {
+    for (std::size_t l = 0; l < nl; ++l) {
+      if (match_l[l] == kNpos && dist[l] == 0) {
+        if (try_augment(l)) ++result.size;
+      }
+    }
+  }
+  result.match_left = std::move(match_l);
+  return result;
+}
+
+bool has_left_perfect_matching(const BipartiteGraph& graph) {
+  return hopcroft_karp(graph).size == graph.left_count();
+}
+
+}  // namespace pipeopt::solvers

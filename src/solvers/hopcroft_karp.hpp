@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file hopcroft_karp.hpp
+/// Maximum bipartite matching in O(E·√V) (Hopcroft–Karp).
+///
+/// Serves as an independent feasibility oracle for Algorithm 1's greedy
+/// assignment: a period threshold T is feasible for a one-to-one mapping on
+/// a comm-homogeneous platform iff the bipartite graph {stages} × {processors}
+/// with an edge whenever the stage fits within T admits a perfect matching on
+/// the stage side. Property tests check greedy-success ⟺ HK-perfect-matching.
+
+#include <cstddef>
+#include <vector>
+
+namespace pipeopt::solvers {
+
+/// Bipartite graph with `left` and `right` vertex counts and adjacency from
+/// left vertices to right vertices.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t left, std::size_t right);
+
+  void add_edge(std::size_t l, std::size_t r);
+
+  [[nodiscard]] std::size_t left_count() const noexcept { return adj_.size(); }
+  [[nodiscard]] std::size_t right_count() const noexcept { return right_; }
+  [[nodiscard]] const std::vector<std::size_t>& neighbours(std::size_t l) const {
+    return adj_.at(l);
+  }
+
+ private:
+  std::size_t right_;
+  std::vector<std::vector<std::size_t>> adj_;
+};
+
+/// Result of a maximum matching.
+struct MatchingResult {
+  std::size_t size = 0;
+  /// For each left vertex, matched right vertex or npos.
+  std::vector<std::size_t> match_left;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Computes a maximum matching.
+[[nodiscard]] MatchingResult hopcroft_karp(const BipartiteGraph& graph);
+
+/// True when every left vertex can be matched.
+[[nodiscard]] bool has_left_perfect_matching(const BipartiteGraph& graph);
+
+}  // namespace pipeopt::solvers

@@ -1,0 +1,84 @@
+#include "solvers/hungarian.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pipeopt::solvers {
+
+std::optional<Assignment> solve_assignment(
+    const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();  // rows
+  if (n == 0) return Assignment{};
+  const std::size_t m = cost.front().size();  // cols
+  if (m < n) {
+    throw std::invalid_argument("solve_assignment: needs rows <= cols");
+  }
+  for (const auto& row : cost) {
+    if (row.size() != m) {
+      throw std::invalid_argument("solve_assignment: ragged cost matrix");
+    }
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // 1-based arrays in the classic formulation; index 0 is a sentinel column.
+  // p[j] = row assigned to column j (0 = none); u/v = potentials.
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<std::size_t> p(m + 1, 0), way(m + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      if (!std::isfinite(delta)) return std::nullopt;  // row i cannot be placed
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the found path.
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Assignment result;
+  result.column_of.assign(n, m);  // placeholder
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (p[j] != 0) result.column_of[p[j] - 1] = j - 1;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    const double c = cost[r][result.column_of[r]];
+    if (!std::isfinite(c)) return std::nullopt;
+    result.total_cost += c;
+  }
+  return result;
+}
+
+}  // namespace pipeopt::solvers

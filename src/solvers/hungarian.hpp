@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file hungarian.hpp
+/// Minimum-cost rectangular assignment (Hungarian method with potentials,
+/// Jonker–Volgenant row-by-row variant, O(n² m)).
+///
+/// Used by Theorem 19: minimum-energy one-to-one mapping under period
+/// thresholds reduces to a minimum-weight bipartite matching of stages to
+/// processors. (The paper cites Hopcroft–Karp, which solves the *unweighted*
+/// problem; the weighted matching the proof needs is exactly this solver.
+/// The discrepancy is recorded in EXPERIMENTS.md.)
+///
+/// Infeasible pairs are encoded as +infinity cost; the solver reports
+/// infeasibility if any row would be forced onto an infinite edge.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace pipeopt::solvers {
+
+/// Result of a rectangular assignment: for each row r (r < rows), column
+/// `column_of[r]`, all distinct; `total_cost` is the sum of chosen entries.
+struct Assignment {
+  std::vector<std::size_t> column_of;
+  double total_cost = 0.0;
+};
+
+/// Solves min Σ cost[r][column_of[r]] over injective row→column maps.
+/// \param cost rows×cols matrix with rows <= cols; +inf marks forbidden.
+/// \returns std::nullopt when no finite-cost assignment exists.
+[[nodiscard]] std::optional<Assignment> solve_assignment(
+    const std::vector<std::vector<double>>& cost);
+
+}  // namespace pipeopt::solvers

@@ -1,0 +1,114 @@
+#include "solvers/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pipeopt::solvers {
+
+std::optional<std::vector<std::size_t>> two_partition(
+    const std::vector<std::int64_t>& values) {
+  for (std::int64_t v : values) {
+    if (v <= 0) throw std::invalid_argument("two_partition: values must be > 0");
+  }
+  const std::int64_t total = std::accumulate(values.begin(), values.end(),
+                                             std::int64_t{0});
+  if (total % 2 != 0) return std::nullopt;
+  const std::int64_t half = total / 2;
+  if (half > 5'000'000) {
+    throw std::invalid_argument("two_partition: instance sum too large for DP");
+  }
+
+  // reach[s] = index of the last value used to first reach sum s (or npos).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> reach(static_cast<std::size_t>(half) + 1, kNone);
+  std::vector<std::size_t> prev_sum(static_cast<std::size_t>(half) + 1, 0);
+  reach[0] = values.size();  // sentinel: sum 0 reachable with no items
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto v = static_cast<std::size_t>(values[i]);
+    for (std::size_t s = static_cast<std::size_t>(half); s >= v; --s) {
+      if (reach[s] == kNone && reach[s - v] != kNone && reach[s - v] != i) {
+        reach[s] = i;
+        prev_sum[s] = s - v;
+      }
+      if (s == v) break;  // avoid size_t underflow in loop condition
+    }
+  }
+  if (reach[static_cast<std::size_t>(half)] == kNone) return std::nullopt;
+
+  std::vector<std::size_t> subset;
+  std::size_t s = static_cast<std::size_t>(half);
+  while (s != 0) {
+    const std::size_t i = reach[s];
+    subset.push_back(i);
+    s = prev_sum[s];
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+bool ThreePartitionInstance::is_canonical() const {
+  if (values.empty() || values.size() % 3 != 0) return false;
+  const auto m = static_cast<std::int64_t>(values.size() / 3);
+  const std::int64_t total = std::accumulate(values.begin(), values.end(),
+                                             std::int64_t{0});
+  if (total != m * target) return false;
+  return std::all_of(values.begin(), values.end(), [&](std::int64_t v) {
+    return 4 * v > target && 2 * v < target;
+  });
+}
+
+namespace {
+
+/// Backtracking over groups: repeatedly take the smallest unused index and
+/// search for two partners completing a triple of sum B.
+bool solve_triples(const std::vector<std::int64_t>& values, std::int64_t target,
+                   std::vector<char>& used,
+                   std::vector<std::array<std::size_t, 3>>& out) {
+  // Find the anchor: first unused element.
+  std::size_t anchor = values.size();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!used[i]) {
+      anchor = i;
+      break;
+    }
+  }
+  if (anchor == values.size()) return true;  // all grouped
+
+  used[anchor] = 1;
+  for (std::size_t j = anchor + 1; j < values.size(); ++j) {
+    if (used[j]) continue;
+    used[j] = 1;
+    const std::int64_t rest = target - values[anchor] - values[j];
+    for (std::size_t k = j + 1; k < values.size(); ++k) {
+      if (used[k] || values[k] != rest) continue;
+      used[k] = 1;
+      out.push_back({anchor, j, k});
+      if (solve_triples(values, target, used, out)) return true;
+      out.pop_back();
+      used[k] = 0;
+    }
+    used[j] = 0;
+  }
+  used[anchor] = 0;
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::array<std::size_t, 3>>> three_partition(
+    const ThreePartitionInstance& instance) {
+  const std::size_t n = instance.values.size();
+  if (n == 0 || n % 3 != 0) return std::nullopt;
+  const auto m = static_cast<std::int64_t>(n / 3);
+  const std::int64_t total = std::accumulate(instance.values.begin(),
+                                             instance.values.end(), std::int64_t{0});
+  if (total != m * instance.target) return std::nullopt;
+
+  std::vector<char> used(n, 0);
+  std::vector<std::array<std::size_t, 3>> out;
+  if (solve_triples(instance.values, instance.target, used, out)) return out;
+  return std::nullopt;
+}
+
+}  // namespace pipeopt::solvers

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file partition.hpp
+/// Exact decision solvers for 2-PARTITION and 3-PARTITION.
+///
+/// These back the NP-hardness reduction gadgets (src/reductions): tests
+/// solve the combinatorial side exactly and check that the scheduling
+/// instance built from it is a YES instance iff the partition exists
+/// (Theorems 5, 9, 26 and the §3.3 general-mapping remark).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pipeopt::solvers {
+
+/// 2-PARTITION: does a subset of `values` sum to half the total?
+/// Returns the subset (as indices) if one exists. Pseudo-polynomial
+/// subset-sum DP with bitset-free reconstruction; total sum must be
+/// manageable (guarded).
+[[nodiscard]] std::optional<std::vector<std::size_t>> two_partition(
+    const std::vector<std::int64_t>& values);
+
+/// A 3-PARTITION instance: 3m integers with total m·B; every value must lie
+/// strictly between B/4 and B/2 for the canonical form.
+struct ThreePartitionInstance {
+  std::vector<std::int64_t> values;  ///< size 3m
+  std::int64_t target = 0;           ///< B
+
+  [[nodiscard]] std::size_t group_count() const { return values.size() / 3; }
+  /// Checks structural validity (size multiple of 3, sum == m·B,
+  /// B/4 < a_i < B/2).
+  [[nodiscard]] bool is_canonical() const;
+};
+
+/// 3-PARTITION: partition into m triples each summing to B. Returns the
+/// triples (index triples) if a partition exists. Exact backtracking,
+/// intended for the small instances of the reduction tests.
+[[nodiscard]] std::optional<std::vector<std::array<std::size_t, 3>>> three_partition(
+    const ThreePartitionInstance& instance);
+
+}  // namespace pipeopt::solvers

@@ -1,0 +1,31 @@
+#include "solvers/search.hpp"
+
+namespace pipeopt::solvers {
+
+std::vector<double> normalize_candidates(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+std::optional<double> min_feasible_candidate(
+    const std::vector<double>& sorted_candidates,
+    const std::function<bool(double)>& feasible) {
+  if (sorted_candidates.empty()) return std::nullopt;
+  std::size_t lo = 0;
+  std::size_t hi = sorted_candidates.size();  // exclusive
+  // Invariant: everything before lo is infeasible; if a feasible candidate
+  // exists, the smallest lies in [lo, hi).
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feasible(sorted_candidates[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (lo == sorted_candidates.size()) return std::nullopt;
+  return sorted_candidates[lo];
+}
+
+}  // namespace pipeopt::solvers

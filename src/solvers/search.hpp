@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file search.hpp
+/// Candidate-set binary search (the driver behind Theorems 1, 12 and 15).
+///
+/// The paper's polynomial algorithms share one pattern: the optimal objective
+/// value belongs to a finite candidate set (all values the objective
+/// expression can take); sort it and binary-search the smallest feasible
+/// candidate using a monotone feasibility oracle.
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace pipeopt::solvers {
+
+/// Sorts + deduplicates a candidate set in place and returns it.
+[[nodiscard]] std::vector<double> normalize_candidates(std::vector<double> values);
+
+/// Finds the smallest candidate c with feasible(c) == true.
+///
+/// Requires monotonicity: feasible(x) implies feasible(y) for every y >= x
+/// (thresholds only relax as they grow). Returns std::nullopt when no
+/// candidate is feasible. O(log |candidates|) oracle calls.
+[[nodiscard]] std::optional<double> min_feasible_candidate(
+    const std::vector<double>& sorted_candidates,
+    const std::function<bool(double)>& feasible);
+
+}  // namespace pipeopt::solvers

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file numeric.hpp
+/// Floating-point comparison policy shared by the whole library.
+///
+/// All optimization code works in double precision. Feasibility tests of the
+/// form "cycle-time <= threshold" use approx_le so that thresholds taken from
+/// candidate sets (values produced by the exact same arithmetic expressions
+/// as the quantities being tested) never fail by one ulp.
+
+#include <cmath>
+#include <limits>
+
+namespace pipeopt::util {
+
+/// Default relative tolerance for feasibility comparisons.
+inline constexpr double kRelTol = 1e-9;
+/// Default absolute tolerance floor (guards comparisons around zero).
+inline constexpr double kAbsTol = 1e-12;
+
+/// Value used to represent "infeasible / unbounded" objective values.
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Returns true if a <= b up to combined relative/absolute tolerance.
+[[nodiscard]] inline bool approx_le(double a, double b,
+                                    double rel = kRelTol,
+                                    double abs = kAbsTol) noexcept {
+  if (a <= b) return true;
+  if (std::isinf(a) || std::isinf(b)) return false;  // a > b and one is infinite
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return a - b <= std::max(abs, rel * scale);
+}
+
+/// Returns true if a >= b up to tolerance.
+[[nodiscard]] inline bool approx_ge(double a, double b,
+                                    double rel = kRelTol,
+                                    double abs = kAbsTol) noexcept {
+  return approx_le(b, a, rel, abs);
+}
+
+/// Returns true if a and b are equal up to tolerance.
+[[nodiscard]] inline bool approx_eq(double a, double b,
+                                    double rel = kRelTol,
+                                    double abs = kAbsTol) noexcept {
+  if (a == b) return true;
+  if (std::isinf(a) || std::isinf(b)) return false;  // unequal infinities
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= std::max(abs, rel * scale);
+}
+
+/// Strictly-less with tolerance: a < b and not approx_eq.
+[[nodiscard]] inline bool approx_lt(double a, double b,
+                                    double rel = kRelTol,
+                                    double abs = kAbsTol) noexcept {
+  return a < b && !approx_eq(a, b, rel, abs);
+}
+
+/// Returns true when x stands for a feasible (finite) objective value.
+[[nodiscard]] inline bool is_feasible_value(double x) noexcept {
+  return std::isfinite(x);
+}
+
+}  // namespace pipeopt::util

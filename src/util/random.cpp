@@ -1,0 +1,27 @@
+#include "util/random.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pipeopt::util {
+
+double Rng::log_uniform(double lo, double hi) {
+  if (lo <= 0.0 || hi < lo) {
+    throw std::invalid_argument("Rng::log_uniform requires 0 < lo <= hi");
+  }
+  const double u = uniform(std::log(lo), std::log(hi));
+  return std::exp(u);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  // Fisher-Yates.
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[index(i)]);
+  }
+  return perm;
+}
+
+}  // namespace pipeopt::util

@@ -1,0 +1,125 @@
+#include "util/rational.hpp"
+
+#include <cstdlib>
+#include <numeric>
+#include <ostream>
+
+namespace pipeopt::util {
+namespace {
+
+// 128-bit integer for exact cross-product comparisons; __extension__
+// silences -Wpedantic for the GCC/Clang builtin type.
+__extension__ typedef __int128 int128;
+
+/// Checked multiply: throws RationalOverflow if a*b does not fit in 64 bits.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) throw RationalOverflow{};
+  return out;
+}
+
+/// Checked add.
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) throw RationalOverflow{};
+  return out;
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 0) throw std::invalid_argument("Rational: zero denominator");
+  if (den_ < 0) {
+    // INT64_MIN cannot be negated; reject rather than silently overflow.
+    if (num_ == INT64_MIN || den_ == INT64_MIN) throw RationalOverflow{};
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+double Rational::to_double() const noexcept {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  if (num_ == INT64_MIN) throw RationalOverflow{};
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  // a/b + c/d = (a*(d/g) + c*(b/g)) / (b*(d/g)) with g = gcd(b, d): keeps
+  // intermediates as small as possible before the final reduction.
+  const std::int64_t g = std::gcd(den_, rhs.den_);
+  const std::int64_t db = den_ / g;
+  const std::int64_t dd = rhs.den_ / g;
+  const std::int64_t num = checked_add(checked_mul(num_, dd), checked_mul(rhs.num_, db));
+  const std::int64_t den = checked_mul(den_, dd);
+  *this = Rational(num, den);
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) { return *this += -rhs; }
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  // Cross-reduce before multiplying to dodge avoidable overflow.
+  const std::int64_t g1 = std::gcd(num_, rhs.den_);
+  const std::int64_t g2 = std::gcd(rhs.num_, den_);
+  const std::int64_t num = checked_mul(num_ / g1, rhs.num_ / g2);
+  const std::int64_t den = checked_mul(den_ / g2, rhs.den_ / g1);
+  *this = Rational(num, den);
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.num_ == 0) throw std::domain_error("Rational: division by zero");
+  return *this *= Rational(rhs.den_, rhs.num_);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // Compare a.num/a.den vs b.num/b.den via exact 128-bit cross products
+  // (|num|, den < 2^63, so the products always fit in 128 bits).
+  const int128 lhs = static_cast<int128>(a.num_) * b.den_;
+  const int128 rhs = static_cast<int128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+Rational Rational::max(const Rational& a, const Rational& b) {
+  return (a < b) ? b : a;
+}
+
+Rational Rational::min(const Rational& a, const Rational& b) {
+  return (b < a) ? b : a;
+}
+
+Rational Rational::pow(unsigned exponent) const {
+  Rational result{1};
+  Rational base = *this;
+  unsigned e = exponent;
+  while (e > 0) {
+    if (e & 1u) result *= base;
+    base *= (e > 1) ? base : Rational{1};
+    e >>= 1u;
+  }
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace pipeopt::util

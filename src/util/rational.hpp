@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file rational.hpp
+/// Exact rational arithmetic on 64-bit numerator/denominator with overflow
+/// checking.
+///
+/// The optimization path of the library runs in double precision; Rational is
+/// the verification substrate. Tests re-evaluate period/latency/energy
+/// expressions exactly and compare against the double pipeline, and the
+/// reduction gadgets use Rational to certify YES/NO instances without
+/// tolerance arguments.
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace pipeopt::util {
+
+/// Thrown when a Rational operation would overflow the 64-bit representation.
+class RationalOverflow : public std::runtime_error {
+ public:
+  RationalOverflow() : std::runtime_error("pipeopt::util::Rational overflow") {}
+};
+
+/// Exact rational number num/den, always stored in canonical form:
+/// den > 0 and gcd(|num|, den) == 1.
+class Rational {
+ public:
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+  /// Implicit from integer: keeps call sites like `r + 1` natural.
+  constexpr Rational(std::int64_t value) noexcept : num_(value), den_(1) {}
+  /// From numerator/denominator; normalizes sign and reduces.
+  /// \throws std::invalid_argument if den == 0.
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const noexcept { return den_; }
+
+  [[nodiscard]] double to_double() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool is_zero() const noexcept { return num_ == 0; }
+  [[nodiscard]] bool is_negative() const noexcept { return num_ < 0; }
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  /// \throws std::domain_error on division by zero.
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
+  friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
+  friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
+  friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+  /// max/min helpers (handy when mirroring Eq. 3's max-of-three shape).
+  [[nodiscard]] static Rational max(const Rational& a, const Rational& b);
+  [[nodiscard]] static Rational min(const Rational& a, const Rational& b);
+
+  /// Integer power with non-negative exponent (used for energy s^alpha when
+  /// alpha is integral). \throws RationalOverflow on overflow.
+  [[nodiscard]] Rational pow(unsigned exponent) const;
+
+ private:
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace pipeopt::util

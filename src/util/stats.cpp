@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pipeopt::util {
+
+double Summary::mean() const {
+  if (samples_.empty()) throw std::logic_error("Summary::mean on empty set");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::min() const {
+  if (samples_.empty()) throw std::logic_error("Summary::min on empty set");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) throw std::logic_error("Summary::max on empty set");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::median() const { return quantile(0.5); }
+
+double Summary::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Summary::quantile on empty set");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q outside [0,1]");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Summary::geomean() const {
+  if (samples_.empty()) throw std::logic_error("Summary::geomean on empty set");
+  double acc = 0.0;
+  for (double x : samples_) {
+    if (x <= 0.0) throw std::domain_error("Summary::geomean requires positive samples");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(samples_.size()));
+}
+
+PowerFit fit_power_law(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("fit_power_law: need >=2 paired samples");
+  }
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) {
+      throw std::domain_error("fit_power_law requires positive samples");
+    }
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) throw std::domain_error("fit_power_law: degenerate x values");
+  PowerFit fit;
+  fit.exponent = (n * sxy - sx * sy) / denom;
+  fit.coefficient = std::exp((sy - fit.exponent * sx) / n);
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = std::log(fit.coefficient) + fit.exponent * std::log(x[i]);
+    const double resid = std::log(y[i]) - pred;
+    ss_res += resid * resid;
+  }
+  fit.r_squared = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace pipeopt::util

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file stats.hpp
+/// Summary statistics and log-log scaling fits used by the benchmark harness
+/// (runtime scaling exponents for the polynomial-vs-exponential evidence in
+/// the Table 1 / Table 2 reproductions).
+
+#include <cstddef>
+#include <vector>
+
+namespace pipeopt::util {
+
+/// Accumulates samples and reports order statistics / moments.
+class Summary {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double median() const;
+  /// q in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  /// Geometric mean; all samples must be positive.
+  [[nodiscard]] double geomean() const;
+
+ private:
+  // Kept unsorted; quantile copies and sorts on demand (bench-scale data).
+  std::vector<double> samples_;
+};
+
+/// Least-squares fit of y = a * x^b, i.e. log y = log a + b log x.
+/// Returns {a, b, r2}. Requires all x, y > 0 and at least two points.
+struct PowerFit {
+  double coefficient = 0.0;  ///< a
+  double exponent = 0.0;     ///< b
+  double r_squared = 0.0;    ///< goodness of fit in log space
+};
+
+[[nodiscard]] PowerFit fit_power_law(const std::vector<double>& x,
+                                     const std::vector<double>& y);
+
+}  // namespace pipeopt::util

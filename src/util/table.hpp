@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file table.hpp
+/// Minimal ASCII table renderer for the benchmark harness: the Table 1 /
+/// Table 2 reproductions print paper-style matrices to stdout.
+
+#include <string>
+#include <vector>
+
+namespace pipeopt::util {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with single-space-padded `|` separators and a rule under the
+  /// header. `indent` prefixes every line.
+  [[nodiscard]] std::string render(const std::string& indent = "") const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision, trimming trailing zeros
+/// ("1.25", "14", "2.7500" -> "2.75").
+[[nodiscard]] std::string format_double(double value, int max_precision = 6);
+
+}  // namespace pipeopt::util

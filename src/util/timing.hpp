@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file timing.hpp
+/// Monotonic stopwatch used by the benchmark harness and the complexity
+/// tables (median-of-k wall-clock timings).
+
+#include <chrono>
+
+namespace pipeopt::util {
+
+/// Steady-clock stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_micros() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pipeopt::util

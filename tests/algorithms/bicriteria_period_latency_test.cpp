@@ -1,0 +1,155 @@
+#include "algorithms/bicriteria_period_latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/random_instances.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::Application;
+using core::CommModel;
+using core::PlatformClass;
+using core::StageSpec;
+using core::Thresholds;
+
+TEST(LatencyUnderPeriodDp, UnconstrainedReducesToWholeChainOnOneProc) {
+  const Application app(1.0, {StageSpec{2.0, 1.0}, StageSpec{4.0, 2.0}});
+  const LatencyUnderPeriodDp dp(app, 2.0, 1.0, CommModel::Overlap, 2,
+                                util::kInfinity);
+  // One interval: 1/1 + 6/2 + 2/1 = 6 (no split beats it: splits add comm).
+  EXPECT_DOUBLE_EQ(dp.min_latency_by_count(1), 6.0);
+  EXPECT_LE(dp.min_latency_by_count(2), 6.0 + 1e-12);
+}
+
+TEST(LatencyUnderPeriodDp, TightPeriodForcesSplit) {
+  // Two 4-op stages, speed 1, no comm: one interval has cycle 8; period
+  // bound 4 forces the 2-interval split, latency stays 8.
+  const Application app(0.0, {StageSpec{4.0, 0.0}, StageSpec{4.0, 0.0}});
+  const LatencyUnderPeriodDp dp(app, 1.0, 1.0, CommModel::Overlap, 2, 4.0);
+  EXPECT_FALSE(std::isfinite(dp.min_latency_by_count(1)));
+  EXPECT_DOUBLE_EQ(dp.min_latency_by_count(2), 8.0);
+  EXPECT_EQ(dp.optimal_splits(2), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(LatencyUnderPeriodDp, InfeasibleBound) {
+  const Application app(0.0, {StageSpec{4.0, 0.0}});
+  const LatencyUnderPeriodDp dp(app, 1.0, 1.0, CommModel::Overlap, 1, 3.0);
+  EXPECT_FALSE(std::isfinite(dp.min_latency_by_count(1)));
+  EXPECT_THROW((void)dp.optimal_splits(1), std::invalid_argument);
+}
+
+TEST(PeriodCandidates, ContainCycleValues) {
+  const Application app(1.0, {StageSpec{2.0, 3.0}, StageSpec{4.0, 0.5}});
+  const auto overlap =
+      period_candidates(app, 2.0, 1.0, CommModel::Overlap);
+  // Compute sums 2, 4, 6 over speed 2 -> 1, 2, 3; boundaries 1, 3, 0.5.
+  for (double v : {0.5, 1.0, 2.0, 3.0}) {
+    EXPECT_NE(std::find_if(overlap.begin(), overlap.end(),
+                           [&](double c) { return util::approx_eq(c, v); }),
+              overlap.end())
+        << v;
+  }
+  const auto serial = period_candidates(app, 2.0, 1.0, CommModel::NoOverlap);
+  // Whole chain: 1/1 + 6/2 + 0.5/1 = 4.5.
+  EXPECT_NE(std::find_if(serial.begin(), serial.end(),
+                         [&](double c) { return util::approx_eq(c, 4.5); }),
+            serial.end());
+}
+
+TEST(MinPeriodUnderLatency, TradeoffCurve) {
+  // 3 stages of 4 ops, boundary 1 between them, speed 1:
+  //  - 1 proc:   period 12, latency 12 (+ in/out comm 0)
+  //  - 3 procs:  period 4 per compute interval, latency 12 + 2 (boundaries)
+  const Application app(0.0, {StageSpec{4.0, 1.0}, StageSpec{4.0, 1.0},
+                              StageSpec{4.0, 0.0}});
+  const double loose = min_period_under_latency(app, 1.0, 1.0,
+                                                CommModel::Overlap, 3, 100.0);
+  EXPECT_DOUBLE_EQ(loose, 4.0);
+  const double tight = min_period_under_latency(app, 1.0, 1.0,
+                                                CommModel::Overlap, 3, 12.0);
+  EXPECT_DOUBLE_EQ(tight, 12.0);  // latency 12 only achievable unsplit
+  const double impossible = min_period_under_latency(
+      app, 1.0, 1.0, CommModel::Overlap, 3, 11.0);
+  EXPECT_FALSE(std::isfinite(impossible));
+}
+
+/// Theorem 15/16 oracle check: latency minimization under period bounds
+/// matches the exhaustive optimum (random small fully-hom instances).
+class BicriteriaOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(BicriteriaOracle, LatencyUnderPeriodMatchesExact) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 401 + 13);
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng.index(2);
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 3;
+  shape.processors = shape.applications + rng.index(3);
+  shape.platform_class = PlatformClass::FullyHomogeneous;
+  shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  const auto problem = gen::random_problem(rng, shape);
+
+  // Pick a period bound between the unconstrained optimum and 3x it, so the
+  // constraint genuinely bites some of the time.
+  const auto unconstrained = exact::exact_min_period(
+      problem, exact::MappingKind::Interval);
+  ASSERT_TRUE(unconstrained.has_value());
+  const double bound = unconstrained->value * rng.uniform(1.0, 3.0);
+  const Thresholds period_bounds =
+      Thresholds::uniform(problem, bound, core::WeightPolicy::Priority);
+
+  const auto fast = multi_min_latency_under_period(problem, period_bounds);
+
+  core::ConstraintSet constraints;
+  constraints.period = period_bounds;
+  exact::EnumerationOptions options;
+  options.kind = exact::MappingKind::Interval;
+  const auto oracle = exact::exact_minimize(problem, options,
+                                            exact::Objective::Latency,
+                                            constraints);
+  ASSERT_EQ(fast.has_value(), oracle.has_value());
+  if (fast) {
+    EXPECT_NEAR(fast->value, oracle->value, 1e-9);
+  }
+}
+
+TEST_P(BicriteriaOracle, PeriodUnderLatencyMatchesExact) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 677 + 43);
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng.index(2);
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 3;
+  shape.processors = shape.applications + rng.index(3);
+  shape.platform_class = PlatformClass::FullyHomogeneous;
+  shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  const auto problem = gen::random_problem(rng, shape);
+
+  const auto best_latency = exact::exact_min_latency(
+      problem, exact::MappingKind::Interval);
+  ASSERT_TRUE(best_latency.has_value());
+  const double bound = best_latency->value * rng.uniform(1.0, 2.0);
+  const Thresholds latency_bounds =
+      Thresholds::uniform(problem, bound, core::WeightPolicy::Priority);
+
+  const auto fast = multi_min_period_under_latency(problem, latency_bounds);
+
+  core::ConstraintSet constraints;
+  constraints.latency = latency_bounds;
+  exact::EnumerationOptions options;
+  options.kind = exact::MappingKind::Interval;
+  const auto oracle = exact::exact_minimize(problem, options,
+                                            exact::Objective::Period,
+                                            constraints);
+  ASSERT_EQ(fast.has_value(), oracle.has_value());
+  if (fast) {
+    EXPECT_NEAR(fast->value, oracle->value, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BicriteriaOracle, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,141 @@
+#include "algorithms/energy_interval_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/random_instances.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::CommModel;
+using core::PlatformClass;
+using core::Thresholds;
+
+core::Problem small_fully_hom(std::vector<core::Application> apps,
+                              std::size_t p, std::vector<double> modes,
+                              double static_energy = 0.0) {
+  std::vector<core::Processor> procs;
+  for (std::size_t u = 0; u < p; ++u) procs.emplace_back(modes, static_energy);
+  return core::Problem(std::move(apps), core::Platform(std::move(procs), 1.0));
+}
+
+TEST(EnergyIntervalDp, SlowModePreferredWhenFeasible) {
+  // 6 ops, modes {1,2,3}, bound 3 -> run at 2 (energy 4).
+  std::vector<core::Application> apps;
+  apps.push_back(core::Application(0.0, {core::StageSpec{6.0, 0.0}}));
+  const auto problem = small_fully_hom(std::move(apps), 2, {1.0, 2.0, 3.0});
+  const EnergyIntervalDp dp(problem, 0, 2, 3.0);
+  EXPECT_DOUBLE_EQ(dp.min_energy_exact(1), 4.0);
+  const auto plan = dp.optimal_plan(2);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->modes, (std::vector<std::size_t>{1}));
+}
+
+TEST(EnergyIntervalDp, SplittingCanSaveEnergy) {
+  // Two 4-op stages (no comm), modes {1, 2}, static energy 0, bound 4:
+  //  - one proc must run at 2: energy 4;
+  //  - two procs run at 1 each: energy 2 -> splitting wins.
+  std::vector<core::Application> apps;
+  apps.push_back(core::Application(
+      0.0, {core::StageSpec{4.0, 0.0}, core::StageSpec{4.0, 0.0}}));
+  const auto problem = small_fully_hom(std::move(apps), 2, {1.0, 2.0});
+  const EnergyIntervalDp dp(problem, 0, 2, 4.0);
+  EXPECT_DOUBLE_EQ(dp.min_energy_exact(1), 4.0);
+  EXPECT_DOUBLE_EQ(dp.min_energy_exact(2), 2.0);
+  EXPECT_DOUBLE_EQ(dp.min_energy_at_most(2), 2.0);
+}
+
+TEST(EnergyIntervalDp, StaticEnergyPenalizesExtraProcessors) {
+  // Same chain but static energy 5 per processor: splitting now costs
+  // 2·(5+1) = 12 vs 5+4 = 9 -> stay on one processor.
+  std::vector<core::Application> apps;
+  apps.push_back(core::Application(
+      0.0, {core::StageSpec{4.0, 0.0}, core::StageSpec{4.0, 0.0}}));
+  const auto problem = small_fully_hom(std::move(apps), 2, {1.0, 2.0}, 5.0);
+  const EnergyIntervalDp dp(problem, 0, 2, 4.0);
+  EXPECT_DOUBLE_EQ(dp.min_energy_at_most(2), 9.0);
+  const auto plan = dp.optimal_plan(2);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->ends.size(), 1u);
+}
+
+TEST(EnergyIntervalDp, InfeasibleBound) {
+  std::vector<core::Application> apps;
+  apps.push_back(core::Application(0.0, {core::StageSpec{8.0, 0.0}}));
+  const auto problem = small_fully_hom(std::move(apps), 2, {1.0, 2.0});
+  const EnergyIntervalDp dp(problem, 0, 2, 3.0);
+  EXPECT_FALSE(std::isfinite(dp.min_energy_at_most(2)));
+  EXPECT_FALSE(dp.optimal_plan(2).has_value());
+}
+
+TEST(EnergyIntervalDp, RejectsNonHomogeneousPlatform) {
+  util::Rng rng(51);
+  gen::ProblemShape shape;
+  shape.platform_class = PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_THROW((void)EnergyIntervalDp(problem, 0, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)interval_min_energy_under_period(
+                   problem,
+                   Thresholds::unconstrained(problem.application_count())),
+               std::invalid_argument);
+}
+
+TEST(IntervalMinEnergyMulti, SharesProcessorsAcrossApplications) {
+  // Two identical 2-stage apps, 3 processors: one app may split, the other
+  // must fit on one processor.
+  std::vector<core::Application> apps;
+  for (int a = 0; a < 2; ++a) {
+    apps.push_back(core::Application(
+        0.0, {core::StageSpec{4.0, 0.0}, core::StageSpec{4.0, 0.0}}));
+  }
+  const auto problem = small_fully_hom(std::move(apps), 3, {1.0, 2.0});
+  const auto solution = interval_min_energy_under_period(
+      problem, Thresholds::per_app({4.0, 4.0}));
+  ASSERT_TRUE(solution.has_value());
+  // Split one app (1+1) + run the other at speed 2 (4): total 6.
+  EXPECT_DOUBLE_EQ(solution->value, 6.0);
+  solution->mapping.validate_or_throw(problem);
+  const auto metrics = core::evaluate(problem, solution->mapping);
+  EXPECT_DOUBLE_EQ(metrics.energy, solution->value);
+  EXPECT_TRUE(Thresholds::per_app({4.0, 4.0})
+                  .satisfied_by(core::per_app_values(
+                      metrics, core::Criterion::Period)));
+}
+
+/// Theorems 18/21 oracle check.
+class EnergyIntervalOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnergyIntervalOracle, MatchesExactOptimum) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 9);
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng.index(2);
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 3;
+  shape.processors = shape.applications + rng.index(3);
+  shape.platform.modes = 2;
+  shape.platform.static_energy = rng.chance(0.5) ? 0.5 : 0.0;
+  shape.platform_class = PlatformClass::FullyHomogeneous;
+  shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  const auto problem = gen::random_problem(rng, shape);
+
+  const auto perf = exact::exact_min_period(problem, exact::MappingKind::Interval);
+  ASSERT_TRUE(perf.has_value());
+  const Thresholds bounds = Thresholds::uniform(
+      problem, perf->value * rng.uniform(1.0, 2.5), core::WeightPolicy::Priority);
+
+  const auto fast = interval_min_energy_under_period(problem, bounds);
+  const auto oracle = exact::exact_min_energy_under_period(
+      problem, exact::MappingKind::Interval, bounds);
+  ASSERT_EQ(fast.has_value(), oracle.has_value());
+  if (fast) {
+    EXPECT_NEAR(fast->value, oracle->value, 1e-9) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EnergyIntervalOracle, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,119 @@
+#include "algorithms/energy_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/random_instances.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::CommModel;
+using core::PlatformClass;
+using core::Thresholds;
+
+TEST(EnergyMatching, PicksSlowestSufficientModes) {
+  // One stage of 6 ops, no comm; processor modes {1, 2, 3}; period bound 3
+  // -> mode with speed 2 (energy 4 + static 0), not speed 3 (energy 9).
+  std::vector<core::Application> apps;
+  apps.push_back(core::Application(0.0, {core::StageSpec{6.0, 0.0}}));
+  std::vector<core::Processor> procs;
+  procs.emplace_back(std::vector<double>{1.0, 2.0, 3.0});
+  core::Problem problem({apps}, core::Platform(std::move(procs), 1.0));
+  const auto solution = one_to_one_min_energy_under_period(
+      problem, Thresholds::per_app({3.0}));
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_DOUBLE_EQ(solution->value, 4.0);
+  EXPECT_EQ(solution->mapping.intervals()[0].mode, 1u);
+}
+
+TEST(EnergyMatching, InfeasibleBound) {
+  std::vector<core::Application> apps;
+  apps.push_back(core::Application(0.0, {core::StageSpec{6.0, 0.0}}));
+  std::vector<core::Processor> procs;
+  procs.emplace_back(std::vector<double>{1.0, 2.0});
+  core::Problem problem({apps}, core::Platform(std::move(procs), 1.0));
+  EXPECT_FALSE(one_to_one_min_energy_under_period(problem,
+                                                  Thresholds::per_app({2.0}))
+                   .has_value());
+}
+
+TEST(EnergyMatching, StaticEnergyCounted) {
+  std::vector<core::Application> apps;
+  apps.push_back(core::Application(0.0, {core::StageSpec{2.0, 0.0}}));
+  std::vector<core::Processor> procs;
+  procs.emplace_back(std::vector<double>{1.0}, 5.0);   // static 5
+  procs.emplace_back(std::vector<double>{2.0}, 0.0);   // faster, no static
+  core::Problem problem({apps}, core::Platform(std::move(procs), 1.0));
+  const auto solution = one_to_one_min_energy_under_period(
+      problem, Thresholds::per_app({2.0}));
+  ASSERT_TRUE(solution.has_value());
+  // P0: 5 + 1 = 6; P1: 0 + 4 = 4 -> picks P1 despite higher speed.
+  EXPECT_DOUBLE_EQ(solution->value, 4.0);
+  EXPECT_EQ(solution->mapping.intervals()[0].proc, 1u);
+}
+
+TEST(EnergyMatching, RejectsHeterogeneousLinks) {
+  util::Rng rng(41);
+  gen::ProblemShape shape;
+  shape.platform_class = PlatformClass::FullyHeterogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_THROW((void)one_to_one_min_energy_under_period(
+                   problem, Thresholds::unconstrained(
+                                problem.application_count())),
+               std::invalid_argument);
+}
+
+TEST(EnergyMatching, TooFewProcessors) {
+  util::Rng rng(42);
+  gen::ProblemShape shape;
+  shape.applications = 2;
+  shape.processors = 2;  // < total stages
+  shape.app.min_stages = 2;
+  shape.platform_class = PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_FALSE(one_to_one_min_energy_under_period(
+                   problem,
+                   Thresholds::unconstrained(problem.application_count()))
+                   .has_value());
+}
+
+/// Theorem 19 oracle check: Hungarian-based minimum energy equals the
+/// exhaustive optimum over one-to-one mappings with mode enumeration.
+class EnergyMatchingOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnergyMatchingOracle, MatchesExactOptimum) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 997 + 71);
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng.index(2);
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 2;
+  shape.processors = 4 + rng.index(2);
+  shape.platform.modes = 2;
+  shape.platform.static_energy = rng.chance(0.5) ? 0.5 : 0.0;
+  shape.platform_class = rng.chance(0.5) ? PlatformClass::FullyHomogeneous
+                                         : PlatformClass::CommHomogeneous;
+  shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  const auto problem = gen::random_problem(rng, shape);
+
+  // Bound: the fastest-mode one-to-one optimum scaled up a little, so the
+  // instance is feasible but modes still matter.
+  const auto perf = exact::exact_min_period(problem, exact::MappingKind::OneToOne);
+  ASSERT_TRUE(perf.has_value());
+  const Thresholds bounds = Thresholds::uniform(
+      problem, perf->value * rng.uniform(1.0, 2.5), core::WeightPolicy::Priority);
+
+  const auto fast = one_to_one_min_energy_under_period(problem, bounds);
+  const auto oracle = exact::exact_min_energy_under_period(
+      problem, exact::MappingKind::OneToOne, bounds);
+  ASSERT_EQ(fast.has_value(), oracle.has_value());
+  if (fast) {
+    EXPECT_NEAR(fast->value, oracle->value, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EnergyMatchingOracle, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,104 @@
+#include "algorithms/greedy_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/random_instances.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+core::Platform two_speed_platform() {
+  std::vector<core::Processor> procs;
+  procs.emplace_back(std::vector<double>{1.0}, 0.0, "slow");
+  procs.emplace_back(std::vector<double>{4.0}, 0.0, "fast");
+  return core::Platform(std::move(procs), 1.0);
+}
+
+TEST(ItemCost, CombinesPerModel) {
+  const GreedyItem item{1.0, 8.0, 0.5, 1.0};
+  EXPECT_DOUBLE_EQ(item_cost(item, 4.0, CostCombine::Max), 2.0);
+  EXPECT_DOUBLE_EQ(item_cost(item, 4.0, CostCombine::Sum), 3.5);
+}
+
+TEST(ItemCost, WeightScales) {
+  const GreedyItem item{0.0, 6.0, 0.0, 2.5};
+  EXPECT_DOUBLE_EQ(item_cost(item, 3.0, CostCombine::Max), 5.0);
+}
+
+TEST(GreedyAssign, AssignsFeasibleItems) {
+  const auto platform = two_speed_platform();
+  // Item 0 needs the fast processor; item 1 fits anywhere.
+  const std::vector<GreedyItem> items{{0.0, 8.0, 0.0, 1.0}, {0.0, 1.0, 0.0, 1.0}};
+  const auto result = greedy_assign(platform, items, 2.0, CostCombine::Max);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->proc_of_item[0], 1u);  // fast
+  EXPECT_EQ(result->proc_of_item[1], 0u);  // slow
+}
+
+TEST(GreedyAssign, FailsWhenInfeasible) {
+  const auto platform = two_speed_platform();
+  // Both items need the fast processor.
+  const std::vector<GreedyItem> items{{0.0, 8.0, 0.0, 1.0}, {0.0, 6.0, 0.0, 1.0}};
+  EXPECT_FALSE(greedy_assign(platform, items, 2.0, CostCombine::Max).has_value());
+}
+
+TEST(GreedyAssign, CommBoundItemInfeasibleAtAnySpeed) {
+  const auto platform = two_speed_platform();
+  const std::vector<GreedyItem> items{{5.0, 1.0, 0.0, 1.0}};
+  EXPECT_FALSE(greedy_assign(platform, items, 2.0, CostCombine::Max).has_value());
+  EXPECT_TRUE(greedy_assign(platform, items, 5.0, CostCombine::Max).has_value());
+}
+
+TEST(GreedyAssign, MoreItemsThanProcessorsFails) {
+  const auto platform = two_speed_platform();
+  const std::vector<GreedyItem> items(3, GreedyItem{0.0, 0.1, 0.0, 1.0});
+  EXPECT_FALSE(greedy_assign(platform, items, 10.0, CostCombine::Max).has_value());
+}
+
+TEST(GreedyAssign, DistinctProcessors) {
+  util::Rng rng(5);
+  gen::PlatformParams params;
+  const auto platform = gen::random_platform(
+      rng, 6, 1, core::PlatformClass::CommHomogeneous, params);
+  std::vector<GreedyItem> items;
+  for (int i = 0; i < 5; ++i) {
+    items.push_back({0.0, rng.uniform(0.5, 2.0), 0.0, 1.0});
+  }
+  const auto result = greedy_assign(platform, items, 100.0, CostCombine::Sum);
+  ASSERT_TRUE(result.has_value());
+  const std::set<std::size_t> procs(result->proc_of_item.begin(),
+                                    result->proc_of_item.end());
+  EXPECT_EQ(procs.size(), items.size());
+}
+
+// Theorem 1's exchange argument, verified empirically: the greedy succeeds
+// exactly when a perfect matching exists.
+class GreedyVsMatching : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyVsMatching, GreedySuccessIffMatchingExists) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  gen::PlatformParams params;
+  params.modes = 2;
+  const std::size_t p = 2 + rng.index(6);
+  const auto platform = gen::random_platform(
+      rng, p, 1, core::PlatformClass::CommHomogeneous, params);
+  const std::size_t n = 1 + rng.index(p);
+  std::vector<GreedyItem> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back({rng.uniform(0.0, 2.0), rng.log_uniform(0.5, 20.0),
+                     rng.uniform(0.0, 2.0), rng.chance(0.5) ? 1.0 : 2.0});
+  }
+  const CostCombine combine = rng.chance(0.5) ? CostCombine::Max : CostCombine::Sum;
+  for (double threshold : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    EXPECT_EQ(greedy_assign(platform, items, threshold, combine).has_value(),
+              matching_feasible(platform, items, threshold, combine))
+        << "threshold " << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GreedyVsMatching, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace pipeopt::algorithms

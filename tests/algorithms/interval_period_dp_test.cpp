@@ -1,0 +1,137 @@
+#include "algorithms/interval_period_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/random_instances.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::Application;
+using core::CommModel;
+using core::StageSpec;
+
+/// Brute-force oracle: all 2^(n-1) compositions into at most q intervals.
+double brute_force_period(const Application& app, double speed, double bw,
+                          CommModel comm, std::size_t q) {
+  const std::size_t n = app.stage_count();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 0; mask < (1u << (n - 1)); ++mask) {
+    std::vector<std::size_t> ends;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (mask & (1u << i)) ends.push_back(i);
+    }
+    ends.push_back(n - 1);
+    if (ends.size() > q) continue;
+    double period = 0.0;
+    std::size_t first = 0;
+    for (std::size_t last : ends) {
+      const double in = app.boundary_size(first) / bw;
+      const double comp = app.total_compute(first, last) / speed;
+      const double out = app.boundary_size(last + 1) / bw;
+      const double cycle =
+          comm == CommModel::Overlap ? std::max({in, comp, out}) : in + comp + out;
+      period = std::max(period, cycle);
+      first = last + 1;
+    }
+    best = std::min(best, period);
+  }
+  return best;
+}
+
+TEST(IntervalPeriodDp, SingleStage) {
+  const Application app(1.0, {StageSpec{4.0, 2.0}});
+  const IntervalPeriodDp dp(app, 2.0, 1.0, CommModel::Overlap, 3);
+  EXPECT_DOUBLE_EQ(dp.min_period_by_count(1), 2.0);  // max(1, 2, 2)
+  EXPECT_DOUBLE_EQ(dp.min_period_by_count(3), 2.0);  // clamped to 1 interval
+}
+
+TEST(IntervalPeriodDp, KnownSplit) {
+  // Stages 4,4 with no comm on speed 1: one proc -> 8, two procs -> 4.
+  const Application app(0.0, {StageSpec{4.0, 0.0}, StageSpec{4.0, 0.0}});
+  const IntervalPeriodDp dp(app, 1.0, 1.0, CommModel::Overlap, 2);
+  EXPECT_DOUBLE_EQ(dp.min_period_by_count(1), 8.0);
+  EXPECT_DOUBLE_EQ(dp.min_period_by_count(2), 4.0);
+  EXPECT_EQ(dp.optimal_splits(2), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(IntervalPeriodDp, CommunicationCanForbidSplit) {
+  // Huge boundary between the stages: splitting creates a 10-unit transfer,
+  // so one interval (period 8) beats two (period 10) in the overlap model.
+  const Application app(0.0, {StageSpec{4.0, 10.0}, StageSpec{4.0, 0.0}});
+  const IntervalPeriodDp dp(app, 1.0, 1.0, CommModel::Overlap, 2);
+  EXPECT_DOUBLE_EQ(dp.min_period_by_count(2), 8.0);
+  EXPECT_EQ(dp.optimal_splits(2), (std::vector<std::size_t>{1}));
+}
+
+TEST(IntervalPeriodDp, NonIncreasingInProcessorCount) {
+  util::Rng rng(17);
+  gen::AppParams params;
+  params.min_stages = 6;
+  params.max_stages = 6;
+  const Application app = gen::random_application(rng, params);
+  const IntervalPeriodDp dp(app, 2.0, 1.0, CommModel::NoOverlap, 6);
+  for (std::size_t q = 2; q <= 6; ++q) {
+    EXPECT_LE(dp.min_period_by_count(q), dp.min_period_by_count(q - 1));
+  }
+}
+
+TEST(IntervalPeriodDp, SplitsTileTheChain) {
+  util::Rng rng(19);
+  gen::AppParams params;
+  params.min_stages = 5;
+  params.max_stages = 8;
+  const Application app = gen::random_application(rng, params);
+  const IntervalPeriodDp dp(app, 1.5, 2.0, CommModel::Overlap, 4);
+  for (std::size_t q = 1; q <= 4; ++q) {
+    const auto ends = dp.optimal_splits(q);
+    ASSERT_LE(ends.size(), q);
+    ASSERT_FALSE(ends.empty());
+    EXPECT_EQ(ends.back(), app.stage_count() - 1);
+    EXPECT_TRUE(std::is_sorted(ends.begin(), ends.end()));
+  }
+}
+
+TEST(IntervalPeriodDp, WeightedValue) {
+  const Application app(0.0, {StageSpec{4.0, 0.0}}, 2.5);
+  const IntervalPeriodDp dp(app, 1.0, 1.0, CommModel::Overlap, 1);
+  EXPECT_DOUBLE_EQ(dp.min_period_by_count(1), 4.0);
+  EXPECT_DOUBLE_EQ(dp.weighted_min_period_by_count(1), 10.0);
+}
+
+TEST(IntervalPeriodDp, InputValidation) {
+  const Application app(0.0, {StageSpec{1.0, 0.0}});
+  EXPECT_THROW(IntervalPeriodDp(app, 0.0, 1.0, CommModel::Overlap, 1),
+               std::invalid_argument);
+  EXPECT_THROW(IntervalPeriodDp(app, 1.0, 0.0, CommModel::Overlap, 1),
+               std::invalid_argument);
+  EXPECT_THROW(IntervalPeriodDp(app, 1.0, 1.0, CommModel::Overlap, 0),
+               std::invalid_argument);
+}
+
+class IntervalPeriodDpOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalPeriodDpOracle, MatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 313 + 29);
+  gen::AppParams params;
+  params.min_stages = 1;
+  params.max_stages = 8;
+  const Application app = gen::random_application(rng, params);
+  const double speed = rng.log_uniform(0.5, 8.0);
+  const double bw = rng.log_uniform(0.5, 4.0);
+  const CommModel comm =
+      rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  const IntervalPeriodDp dp(app, speed, bw, comm, app.stage_count());
+  for (std::size_t q = 1; q <= app.stage_count(); ++q) {
+    EXPECT_NEAR(dp.min_period_by_count(q),
+                brute_force_period(app, speed, bw, comm, q), 1e-9)
+        << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntervalPeriodDpOracle, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,90 @@
+#include "algorithms/interval_period_multi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/random_instances.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::CommModel;
+using core::PlatformClass;
+
+TEST(IntervalPeriodMulti, RejectsHeterogeneousPlatforms) {
+  util::Rng rng(31);
+  gen::ProblemShape shape;
+  shape.platform_class = PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_THROW((void)interval_min_period(problem), std::invalid_argument);
+}
+
+TEST(IntervalPeriodMulti, NeedsOneProcessorPerApplication) {
+  util::Rng rng(32);
+  gen::ProblemShape shape;
+  shape.applications = 4;
+  shape.processors = 3;
+  shape.platform_class = PlatformClass::FullyHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_FALSE(interval_min_period(problem).has_value());
+}
+
+TEST(IntervalPeriodMulti, MappingAchievesReportedValue) {
+  util::Rng rng(33);
+  gen::ProblemShape shape;
+  shape.applications = 3;
+  shape.processors = 8;
+  shape.app.min_stages = 3;
+  shape.app.max_stages = 6;
+  shape.platform_class = PlatformClass::FullyHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  const auto solution = interval_min_period(problem);
+  ASSERT_TRUE(solution.has_value());
+  solution->mapping.validate_or_throw(problem);
+  const auto metrics = core::evaluate(problem, solution->mapping);
+  EXPECT_NEAR(metrics.max_weighted_period, solution->value, 1e-9);
+}
+
+TEST(IntervalPeriodMulti, SoloPeriodLowerBoundsConcurrent) {
+  util::Rng rng(34);
+  gen::ProblemShape shape;
+  shape.applications = 2;
+  shape.processors = 6;
+  shape.platform_class = PlatformClass::FullyHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  const auto solution = interval_min_period(problem);
+  ASSERT_TRUE(solution.has_value());
+  for (std::size_t a = 0; a < 2; ++a) {
+    EXPECT_LE(solo_interval_period(problem, a),
+              solution->value / problem.application(a).weight() + 1e-9);
+  }
+}
+
+class IntervalPeriodMultiOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalPeriodMultiOracle, MatchesExactOptimum) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 211 + 5);
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng.index(3);
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 3;
+  shape.processors = shape.applications + rng.index(3);
+  shape.app.weighted = rng.chance(0.5);
+  shape.platform_class = PlatformClass::FullyHomogeneous;
+  shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  const auto problem = gen::random_problem(rng, shape);
+
+  const auto fast = interval_min_period(problem);
+  const auto oracle =
+      exact::exact_min_period(problem, exact::MappingKind::Interval);
+  ASSERT_EQ(fast.has_value(), oracle.has_value());
+  if (fast) {
+    EXPECT_NEAR(fast->value, oracle->value, 1e-9) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntervalPeriodMultiOracle, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,120 @@
+#include "algorithms/latency_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::CommModel;
+using core::PlatformClass;
+
+TEST(OneToOneLatencyFullyHom, MatchesExact) {
+  util::Rng rng(21);
+  for (int iter = 0; iter < 20; ++iter) {
+    gen::ProblemShape shape;
+    shape.applications = 1 + rng.index(2);
+    shape.processors = 7;
+    shape.app.min_stages = 1;
+    shape.app.max_stages = 3;
+    shape.platform_class = PlatformClass::FullyHomogeneous;
+    shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+    const auto problem = gen::random_problem(rng, shape);
+    const auto fast = one_to_one_min_latency_fully_hom(problem);
+    const auto oracle =
+        exact::exact_min_latency(problem, exact::MappingKind::OneToOne);
+    ASSERT_EQ(fast.has_value(), oracle.has_value());
+    if (fast) {
+      EXPECT_NEAR(fast->value, oracle->value, 1e-9);
+    }
+  }
+}
+
+TEST(OneToOneLatencyFullyHom, RejectsHeterogeneousProcessors) {
+  util::Rng rng(22);
+  gen::ProblemShape shape;
+  shape.platform_class = PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_THROW((void)one_to_one_min_latency_fully_hom(problem),
+               std::invalid_argument);
+}
+
+TEST(IntervalLatency, WholeAppOnFastestProcessor) {
+  // Single app: Theorem 12 maps it entirely on the fastest processor.
+  util::Rng rng(23);
+  gen::ProblemShape shape;
+  shape.applications = 1;
+  shape.processors = 4;
+  shape.platform_class = PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  const auto solution = interval_min_latency(problem);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ(solution->mapping.interval_count(), 1u);
+  EXPECT_NEAR(solution->value, solo_interval_latency(problem, 0), 1e-12);
+}
+
+TEST(IntervalLatency, MotivatingExampleGives275) {
+  // §2: optimal latency 2.75 (App1 on a 6-speed processor, App2 on P2@8).
+  const auto problem = gen::motivating_example();
+  const auto solution = interval_min_latency(problem);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_DOUBLE_EQ(solution->value, 2.75);
+}
+
+TEST(IntervalLatency, FeasibilityThreshold) {
+  const auto problem = gen::motivating_example();
+  EXPECT_TRUE(interval_latency_feasible(problem, 2.75).has_value());
+  EXPECT_TRUE(interval_latency_feasible(problem, 3.0).has_value());
+  EXPECT_FALSE(interval_latency_feasible(problem, 2.5).has_value());
+}
+
+TEST(IntervalLatency, NeedsOneProcessorPerApplication) {
+  util::Rng rng(24);
+  gen::ProblemShape shape;
+  shape.applications = 4;
+  shape.processors = 3;
+  shape.platform_class = PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_FALSE(interval_min_latency(problem).has_value());
+}
+
+TEST(IntervalLatency, RejectsHeterogeneousLinks) {
+  util::Rng rng(25);
+  gen::ProblemShape shape;
+  shape.platform_class = PlatformClass::FullyHeterogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_THROW((void)interval_min_latency(problem), std::invalid_argument);
+}
+
+class IntervalLatencyOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalLatencyOracle, MatchesExactOptimum) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 17);
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng.index(3);
+  shape.processors = shape.applications + rng.index(3);
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 3;
+  shape.app.weighted = rng.chance(0.5);
+  shape.platform_class = rng.chance(0.5) ? PlatformClass::FullyHomogeneous
+                                         : PlatformClass::CommHomogeneous;
+  shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  const auto problem = gen::random_problem(rng, shape);
+
+  const auto fast = interval_min_latency(problem);
+  const auto oracle =
+      exact::exact_min_latency(problem, exact::MappingKind::Interval);
+  ASSERT_EQ(fast.has_value(), oracle.has_value());
+  if (fast) {
+    EXPECT_NEAR(fast->value, oracle->value, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntervalLatencyOracle, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace pipeopt::algorithms

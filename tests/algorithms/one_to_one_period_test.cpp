@@ -1,0 +1,103 @@
+#include "algorithms/one_to_one_period.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/random_instances.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::CommModel;
+using core::PlatformClass;
+
+TEST(OneToOnePeriod, RequiresEnoughProcessors) {
+  util::Rng rng(1);
+  gen::ProblemShape shape;
+  shape.applications = 2;
+  shape.processors = 3;  // fewer than total stages (>= 4)
+  shape.app.min_stages = 2;
+  shape.app.max_stages = 3;
+  shape.platform_class = PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_FALSE(one_to_one_min_period(problem).has_value());
+}
+
+TEST(OneToOnePeriod, RejectsHeterogeneousLinks) {
+  util::Rng rng(2);
+  gen::ProblemShape shape;
+  shape.applications = 1;
+  shape.processors = 4;
+  shape.app.max_stages = 3;
+  shape.platform_class = PlatformClass::FullyHeterogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_THROW((void)one_to_one_min_period(problem), std::invalid_argument);
+}
+
+TEST(OneToOnePeriod, MappingAchievesReportedValue) {
+  util::Rng rng(3);
+  gen::ProblemShape shape;
+  shape.applications = 2;
+  shape.processors = 8;
+  shape.app.min_stages = 2;
+  shape.app.max_stages = 4;
+  shape.platform_class = PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  const auto solution = one_to_one_min_period(problem);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(solution->mapping.is_one_to_one());
+  const auto metrics = core::evaluate(problem, solution->mapping);
+  EXPECT_NEAR(metrics.max_weighted_period, solution->value, 1e-12);
+}
+
+TEST(OneToOnePeriod, FeasibilityThresholdMonotone) {
+  util::Rng rng(4);
+  gen::ProblemShape shape;
+  shape.applications = 1;
+  shape.processors = 5;
+  shape.app.max_stages = 4;
+  shape.platform_class = PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  const auto solution = one_to_one_min_period(problem);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(
+      one_to_one_period_feasible(problem, solution->value).has_value());
+  EXPECT_TRUE(
+      one_to_one_period_feasible(problem, solution->value * 2).has_value());
+  EXPECT_FALSE(
+      one_to_one_period_feasible(problem, solution->value * 0.9).has_value());
+}
+
+/// Theorem 1 correctness: matches exhaustive search across platform
+/// classes (fully hom + comm hom), weights and both communication models.
+class OneToOnePeriodOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(OneToOnePeriodOracle, MatchesExactOptimum) {
+  const int seed = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 101 + 11);
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng.index(2);
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 3;
+  shape.processors = 5 + rng.index(2);
+  shape.platform_class = rng.chance(0.5) ? PlatformClass::FullyHomogeneous
+                                         : PlatformClass::CommHomogeneous;
+  shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  shape.app.weighted = rng.chance(0.5);
+  const auto problem = gen::random_problem(rng, shape);
+
+  const auto fast = one_to_one_min_period(problem);
+  const auto oracle =
+      exact::exact_min_period(problem, exact::MappingKind::OneToOne);
+  ASSERT_EQ(fast.has_value(), oracle.has_value());
+  if (fast) {
+    EXPECT_NEAR(fast->value, oracle->value, 1e-9)
+        << "seed " << seed << " on " << to_string(problem.comm_model());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OneToOnePeriodOracle, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace pipeopt::algorithms

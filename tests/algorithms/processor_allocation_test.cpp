@@ -1,0 +1,149 @@
+#include "algorithms/processor_allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "util/numeric.hpp"
+#include "util/random.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+/// Brute-force oracle over all allocations (compositions of p into A
+/// positive parts).
+double brute_force_objective(std::size_t apps, std::size_t procs,
+                             const AllocationValueFn& f) {
+  double best = util::kInfinity;
+  std::vector<std::size_t> count(apps, 1);
+  std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t a,
+                                                          std::size_t left) {
+    if (a + 1 == apps) {
+      count[a] = left;
+      double value = 0.0;
+      for (std::size_t i = 0; i < apps; ++i) {
+        value = std::max(value, f(i, count[i]));
+      }
+      best = std::min(best, value);
+      return;
+    }
+    for (std::size_t k = 1; k + (apps - a - 1) <= left; ++k) {
+      count[a] = k;
+      rec(a + 1, left - k);
+    }
+  };
+  if (procs >= apps) rec(0, procs);
+  return best;
+}
+
+TEST(ProcessorAllocation, SimpleKnownCase) {
+  // f(0,k) = 12/k, f(1,k) = 4/k; p = 4 -> counts (3,1) give max(4,4) = 4.
+  const auto f = [](std::size_t a, std::size_t k) {
+    const double work = a == 0 ? 12.0 : 4.0;
+    return work / static_cast<double>(k);
+  };
+  const auto result = allocate_processors(2, 4, f);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->objective, 4.0);
+  EXPECT_EQ(result->count, (std::vector<std::size_t>{3, 1}));
+}
+
+TEST(ProcessorAllocation, TooFewProcessors) {
+  const auto f = [](std::size_t, std::size_t) { return 1.0; };
+  EXPECT_FALSE(allocate_processors(3, 2, f).has_value());
+}
+
+TEST(ProcessorAllocation, InfeasiblePrefixBootstrapped) {
+  // App 0 needs at least 3 processors (infinite below); app 1 needs 2.
+  // p = 5 is exactly enough — a naive greedy that dumps processors into the
+  // first infinite app would fail here.
+  const auto f = [](std::size_t a, std::size_t k) {
+    const std::size_t need = a == 0 ? 3 : 2;
+    if (k < need) return util::kInfinity;
+    return 10.0 / static_cast<double>(k);
+  };
+  const auto result = allocate_processors(2, 5, f);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->count, (std::vector<std::size_t>{3, 2}));
+}
+
+TEST(ProcessorAllocation, WhollyInfeasibleApp) {
+  const auto f = [](std::size_t a, std::size_t) {
+    return a == 0 ? util::kInfinity : 1.0;
+  };
+  EXPECT_FALSE(allocate_processors(2, 6, f).has_value());
+}
+
+TEST(ProcessorAllocation, UsesAllProcessors) {
+  const auto f = [](std::size_t, std::size_t k) {
+    return 100.0 / static_cast<double>(k);
+  };
+  const auto result = allocate_processors(3, 9, f);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->count[0] + result->count[1] + result->count[2], 9u);
+}
+
+TEST(ProcessorAllocation, RejectsZeroApplications) {
+  const auto f = [](std::size_t, std::size_t) { return 1.0; };
+  EXPECT_THROW((void)allocate_processors(0, 3, f), std::invalid_argument);
+}
+
+class AllocationOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocationOracle, GreedyMatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 3);
+  const std::size_t apps = 1 + rng.index(4);
+  const std::size_t procs = apps + rng.index(7);
+  // Random non-increasing step functions with optional infeasible prefixes.
+  std::vector<std::vector<double>> table(apps);
+  for (auto& row : table) {
+    const std::size_t kmin = 1 + rng.index(2);
+    double value = rng.log_uniform(1.0, 100.0);
+    for (std::size_t k = 1; k <= procs; ++k) {
+      if (k < kmin) {
+        row.push_back(util::kInfinity);
+        continue;
+      }
+      row.push_back(value);
+      value *= rng.uniform(0.4, 1.0);  // non-increasing
+    }
+  }
+  const auto f = [&](std::size_t a, std::size_t k) { return table[a][k - 1]; };
+  const auto greedy = allocate_processors(apps, procs, f);
+  const double oracle = brute_force_objective(apps, procs, f);
+  if (!std::isfinite(oracle)) {
+    EXPECT_TRUE(!greedy.has_value() || !std::isfinite(greedy->objective));
+  } else {
+    ASSERT_TRUE(greedy.has_value());
+    EXPECT_NEAR(greedy->objective, oracle, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllocationOracle, ::testing::Range(0, 80));
+
+TEST(MinimalCounts, PicksFewestProcessors) {
+  const auto f = [](std::size_t a, std::size_t k) {
+    const double work = a == 0 ? 12.0 : 6.0;
+    return work / static_cast<double>(k);
+  };
+  const auto result = minimal_counts_for_bounds(2, 8, f, {4.0, 6.0});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->count, (std::vector<std::size_t>{3, 1}));
+}
+
+TEST(MinimalCounts, InfeasibleBound) {
+  const auto f = [](std::size_t, std::size_t k) {
+    return 10.0 / static_cast<double>(k);
+  };
+  EXPECT_FALSE(minimal_counts_for_bounds(2, 3, f, {1.0, 1.0}).has_value());
+}
+
+TEST(MinimalCounts, ArityChecked) {
+  const auto f = [](std::size_t, std::size_t) { return 1.0; };
+  EXPECT_THROW((void)minimal_counts_for_bounds(2, 3, f, {1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipeopt::algorithms

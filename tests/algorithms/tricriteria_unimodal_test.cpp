@@ -1,0 +1,171 @@
+#include "algorithms/tricriteria_unimodal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/random_instances.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::algorithms {
+namespace {
+
+using core::CommModel;
+using core::ConstraintSet;
+using core::PlatformClass;
+using core::Thresholds;
+
+core::Problem unimodal_problem(util::Rng& rng, std::size_t apps,
+                               std::size_t procs, std::size_t max_stages = 3) {
+  gen::ProblemShape shape;
+  shape.applications = apps;
+  shape.processors = procs;
+  shape.app.min_stages = 1;
+  shape.app.max_stages = max_stages;
+  shape.platform.modes = 1;
+  shape.platform.static_energy = 0.5;
+  shape.platform_class = PlatformClass::FullyHomogeneous;
+  shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  return gen::random_problem(rng, shape);
+}
+
+TEST(AffordableProcessors, BudgetToCount) {
+  util::Rng rng(61);
+  const auto problem = unimodal_problem(rng, 1, 4);
+  const double unit = problem.platform().processor_energy(0, 0);
+  EXPECT_EQ(affordable_processors(problem, unit * 3), 3u);
+  EXPECT_EQ(affordable_processors(problem, unit * 3.7), 3u);
+  EXPECT_EQ(affordable_processors(problem, unit * 0.5), 0u);
+  EXPECT_EQ(affordable_processors(problem, unit * 100), 4u);  // clamp to p
+}
+
+TEST(AffordableProcessors, RejectsMultiModal) {
+  util::Rng rng(62);
+  gen::ProblemShape shape;
+  shape.platform.modes = 2;
+  shape.platform_class = PlatformClass::FullyHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_THROW((void)affordable_processors(problem, 10.0), std::invalid_argument);
+}
+
+TEST(OneToOneTricriteria, FeasibilityIsSingleEvaluation) {
+  util::Rng rng(63);
+  const auto problem = unimodal_problem(rng, 1, 6, 3);
+  ConstraintSet loose;
+  const auto feasible = one_to_one_tricriteria_feasible(problem, loose);
+  ASSERT_TRUE(feasible.has_value());
+  EXPECT_TRUE(feasible->mapping.is_one_to_one());
+
+  ConstraintSet impossible;
+  impossible.energy_budget = 0.1;
+  EXPECT_FALSE(one_to_one_tricriteria_feasible(problem, impossible).has_value());
+}
+
+TEST(TricriteriaFaces, MappingsRespectAllBounds) {
+  util::Rng rng(64);
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto problem = unimodal_problem(rng, 1 + rng.index(2), 5);
+    const double unit = problem.platform().processor_energy(0, 0);
+    const double budget = unit * static_cast<double>(2 + rng.index(3));
+
+    const auto period_opt = exact::exact_min_period(
+        problem, exact::MappingKind::Interval);
+    ASSERT_TRUE(period_opt.has_value());
+    const auto latency_opt = exact::exact_min_latency(
+        problem, exact::MappingKind::Interval);
+    ASSERT_TRUE(latency_opt.has_value());
+    const Thresholds latency_bounds = Thresholds::uniform(
+        problem, latency_opt->value * 1.5, core::WeightPolicy::Priority);
+    const Thresholds period_bounds = Thresholds::uniform(
+        problem, period_opt->value * 1.5, core::WeightPolicy::Priority);
+
+    if (const auto r =
+            interval_min_period_tricriteria(problem, latency_bounds, budget)) {
+      const auto m = core::evaluate(problem, r->mapping);
+      EXPECT_TRUE(latency_bounds.satisfied_by(
+          core::per_app_values(m, core::Criterion::Latency)));
+      EXPECT_TRUE(util::approx_le(m.energy, budget));
+      EXPECT_NEAR(m.max_weighted_period, r->value, 1e-9);
+    }
+    if (const auto r =
+            interval_min_latency_tricriteria(problem, period_bounds, budget)) {
+      const auto m = core::evaluate(problem, r->mapping);
+      EXPECT_TRUE(period_bounds.satisfied_by(
+          core::per_app_values(m, core::Criterion::Period)));
+      EXPECT_TRUE(util::approx_le(m.energy, budget));
+      EXPECT_NEAR(m.max_weighted_latency, r->value, 1e-9);
+    }
+    if (const auto r = interval_min_energy_tricriteria(problem, period_bounds,
+                                                       latency_bounds)) {
+      const auto m = core::evaluate(problem, r->mapping);
+      EXPECT_TRUE(period_bounds.satisfied_by(
+          core::per_app_values(m, core::Criterion::Period)));
+      EXPECT_TRUE(latency_bounds.satisfied_by(
+          core::per_app_values(m, core::Criterion::Latency)));
+      EXPECT_NEAR(m.energy, r->value, 1e-9);
+    }
+  }
+}
+
+/// Theorem 24 oracle checks for all three faces.
+class TricriteriaOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(TricriteriaOracle, EnergyFaceMatchesExact) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 73 + 19);
+  const auto problem = unimodal_problem(rng, 1 + rng.index(2),
+                                        1 + rng.index(2) + rng.index(4));
+  const auto period_opt =
+      exact::exact_min_period(problem, exact::MappingKind::Interval);
+  const auto latency_opt =
+      exact::exact_min_latency(problem, exact::MappingKind::Interval);
+  if (!period_opt || !latency_opt) return;  // p < A: nothing to compare
+  const Thresholds period_bounds = Thresholds::uniform(
+      problem, period_opt->value * rng.uniform(1.0, 2.0),
+      core::WeightPolicy::Priority);
+  const Thresholds latency_bounds = Thresholds::uniform(
+      problem, latency_opt->value * rng.uniform(1.0, 2.0),
+      core::WeightPolicy::Priority);
+
+  const auto fast =
+      interval_min_energy_tricriteria(problem, period_bounds, latency_bounds);
+  const auto oracle = exact::exact_min_energy_tricriteria(
+      problem, exact::MappingKind::Interval, period_bounds, latency_bounds);
+  ASSERT_EQ(fast.has_value(), oracle.has_value()) << GetParam();
+  if (fast) {
+    EXPECT_NEAR(fast->value, oracle->value, 1e-9) << GetParam();
+  }
+}
+
+TEST_P(TricriteriaOracle, PeriodFaceMatchesExact) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 89 + 23);
+  const auto problem = unimodal_problem(rng, 1 + rng.index(2), 4);
+  const auto latency_opt =
+      exact::exact_min_latency(problem, exact::MappingKind::Interval);
+  ASSERT_TRUE(latency_opt.has_value());
+  const Thresholds latency_bounds = Thresholds::uniform(
+      problem, latency_opt->value * rng.uniform(1.0, 2.0),
+      core::WeightPolicy::Priority);
+  const double unit = problem.platform().processor_energy(0, 0);
+  const double budget = unit * static_cast<double>(2 + rng.index(3));
+
+  const auto fast =
+      interval_min_period_tricriteria(problem, latency_bounds, budget);
+
+  core::ConstraintSet constraints;
+  constraints.latency = latency_bounds;
+  constraints.energy_budget = budget;
+  exact::EnumerationOptions options;
+  options.kind = exact::MappingKind::Interval;
+  const auto oracle = exact::exact_minimize(problem, options,
+                                            exact::Objective::Period,
+                                            constraints);
+  ASSERT_EQ(fast.has_value(), oracle.has_value()) << GetParam();
+  if (fast) {
+    EXPECT_NEAR(fast->value, oracle->value, 1e-9) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TricriteriaOracle, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace pipeopt::algorithms

@@ -1,0 +1,77 @@
+#include "core/application.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipeopt::core {
+namespace {
+
+Application make_app() {
+  return Application(1.0, {StageSpec{3.0, 3.0}, StageSpec{2.0, 2.0},
+                           StageSpec{1.0, 0.0}});
+}
+
+TEST(Application, BasicAccessors) {
+  const Application app = make_app();
+  EXPECT_EQ(app.stage_count(), 3u);
+  EXPECT_DOUBLE_EQ(app.compute(0), 3.0);
+  EXPECT_DOUBLE_EQ(app.compute(2), 1.0);
+  EXPECT_DOUBLE_EQ(app.weight(), 1.0);
+}
+
+TEST(Application, BoundarySizes) {
+  const Application app = make_app();
+  EXPECT_DOUBLE_EQ(app.boundary_size(0), 1.0);  // δ^0: external input
+  EXPECT_DOUBLE_EQ(app.boundary_size(1), 3.0);  // after stage 1
+  EXPECT_DOUBLE_EQ(app.boundary_size(2), 2.0);
+  EXPECT_DOUBLE_EQ(app.boundary_size(3), 0.0);  // δ^n: output
+  EXPECT_THROW((void)app.boundary_size(4), std::out_of_range);
+}
+
+TEST(Application, PrefixSums) {
+  const Application app = make_app();
+  EXPECT_DOUBLE_EQ(app.total_compute(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(app.total_compute(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(app.total_compute(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(app.total_compute(), 6.0);
+  EXPECT_THROW((void)app.total_compute(2, 1), std::out_of_range);
+  EXPECT_THROW((void)app.total_compute(0, 3), std::out_of_range);
+}
+
+TEST(Application, ValidationRejectsBadInput) {
+  EXPECT_THROW(Application(1.0, {}), std::invalid_argument);
+  EXPECT_THROW(Application(-1.0, {StageSpec{1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(Application(0.0, {StageSpec{-1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(Application(0.0, {StageSpec{1.0, -2.0}}), std::invalid_argument);
+  EXPECT_THROW(Application(0.0, {StageSpec{1.0, 0.0}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(Application(0.0, {StageSpec{1.0, 0.0}}, -2.0), std::invalid_argument);
+}
+
+TEST(Application, UniformNoCommDetection) {
+  const Application special(0.0, {StageSpec{1.0, 0.0}, StageSpec{1.0, 0.0}});
+  EXPECT_TRUE(special.is_uniform_no_comm());
+  EXPECT_FALSE(make_app().is_uniform_no_comm());
+  const Application with_input(1.0, {StageSpec{1.0, 0.0}});
+  EXPECT_FALSE(with_input.is_uniform_no_comm());
+  const Application uneven(0.0, {StageSpec{1.0, 0.0}, StageSpec{2.0, 0.0}});
+  EXPECT_FALSE(uneven.is_uniform_no_comm());
+}
+
+TEST(Application, ScaledCompute) {
+  const Application app = make_app();
+  const Application scaled = app.scaled_compute(2.0);
+  EXPECT_DOUBLE_EQ(scaled.compute(0), 6.0);
+  EXPECT_DOUBLE_EQ(scaled.compute(2), 2.0);
+  // Data sizes and weight untouched.
+  EXPECT_DOUBLE_EQ(scaled.boundary_size(1), 3.0);
+  EXPECT_DOUBLE_EQ(scaled.weight(), 1.0);
+  EXPECT_THROW((void)app.scaled_compute(0.0), std::invalid_argument);
+}
+
+TEST(Application, WeightStored) {
+  const Application app(0.0, {StageSpec{1.0, 0.0}}, 2.5, "w");
+  EXPECT_DOUBLE_EQ(app.weight(), 2.5);
+  EXPECT_EQ(app.name(), "w");
+}
+
+}  // namespace
+}  // namespace pipeopt::core

@@ -1,0 +1,156 @@
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/motivating_example.hpp"
+#include "util/rational.hpp"
+
+namespace pipeopt::core {
+namespace {
+
+Problem example() { return gen::motivating_example(); }
+
+// §2 mappings (processor indices: P1=0, P2=1, P3=2; mode 0 slow, 1 fast).
+Mapping period_optimal() {
+  return Mapping({{0, 0, 2, 2, 1}, {1, 0, 1, 1, 1}, {1, 2, 3, 0, 1}});
+}
+Mapping latency_optimal() {
+  return Mapping({{0, 0, 2, 0, 1}, {1, 0, 3, 1, 1}});
+}
+Mapping energy_minimal() {
+  return Mapping({{0, 0, 2, 0, 0}, {1, 0, 3, 2, 0}});
+}
+Mapping energy_under_period2() {
+  return Mapping({{0, 0, 2, 0, 0}, {1, 0, 2, 1, 0}, {1, 3, 3, 2, 0}});
+}
+
+TEST(Evaluation, Section2PeriodOptimalMapping) {
+  const Problem p = example();
+  const Metrics m = evaluate(p, period_optimal());
+  // Eq. (1): global period 1, every cycle-time exactly 1.
+  EXPECT_DOUBLE_EQ(m.max_weighted_period, 1.0);
+  EXPECT_DOUBLE_EQ(m.per_app[0].period, 1.0);
+  EXPECT_DOUBLE_EQ(m.per_app[1].period, 1.0);
+  // Energy at full speed: 6² + 8² + 6² = 136.
+  EXPECT_DOUBLE_EQ(m.energy, 136.0);
+}
+
+TEST(Evaluation, Section2LatencyOptimalMapping) {
+  const Problem p = example();
+  const Metrics m = evaluate(p, latency_optimal());
+  // Eq. (2): max(1/1 + 6/6 + 0/1, 0/1 + 14/8 + 1/1) = max(2, 2.75).
+  EXPECT_DOUBLE_EQ(m.per_app[0].latency, 2.0);
+  EXPECT_DOUBLE_EQ(m.per_app[1].latency, 2.75);
+  EXPECT_DOUBLE_EQ(m.max_weighted_latency, 2.75);
+}
+
+TEST(Evaluation, Section2EnergyMinimalMapping) {
+  const Problem p = example();
+  const Metrics m = evaluate(p, energy_minimal());
+  // Energy 3² + 1² = 10; period max(2, 14) = 14.
+  EXPECT_DOUBLE_EQ(m.energy, 10.0);
+  EXPECT_DOUBLE_EQ(m.max_weighted_period, 14.0);
+}
+
+TEST(Evaluation, Section2TradeoffMapping) {
+  const Problem p = example();
+  const Metrics m = evaluate(p, energy_under_period2());
+  // Period 2 at energy 3² + 6² + 1² = 46.
+  EXPECT_DOUBLE_EQ(m.max_weighted_period, 2.0);
+  EXPECT_DOUBLE_EQ(m.energy, 46.0);
+}
+
+TEST(Evaluation, IntervalCostPieces) {
+  const Problem p = example();
+  const auto ivs = period_optimal().intervals_of(1);
+  ASSERT_EQ(ivs.size(), 2u);
+  const IntervalCost first = interval_cost(p, ivs, 0);
+  EXPECT_DOUBLE_EQ(first.in_comm, 0.0);       // δ⁰ = 0
+  EXPECT_DOUBLE_EQ(first.compute, 1.0);       // (2+6)/8
+  EXPECT_DOUBLE_EQ(first.out_comm, 1.0);      // δ² = 1 over b = 1
+  const IntervalCost second = interval_cost(p, ivs, 1);
+  EXPECT_DOUBLE_EQ(second.in_comm, 1.0);
+  EXPECT_DOUBLE_EQ(second.compute, 1.0);      // (4+2)/6
+  EXPECT_DOUBLE_EQ(second.out_comm, 1.0);     // δ⁴ = 1
+}
+
+TEST(Evaluation, NoOverlapPeriodIsSumOfPieces) {
+  const Problem p = example().with_comm_model(CommModel::NoOverlap);
+  const auto ivs = period_optimal().intervals_of(1);
+  // First interval of App2 on P2: 0 + 1 + 1 = 2.
+  EXPECT_DOUBLE_EQ(interval_cost(p, ivs, 0).cycle_time(CommModel::NoOverlap), 2.0);
+  const Metrics m = evaluate(p, period_optimal());
+  EXPECT_DOUBLE_EQ(m.per_app[1].period, 3.0);  // second interval: 1+1+1
+}
+
+TEST(Evaluation, LatencyIdenticalInBothModels) {
+  const Problem overlap = example();
+  const Problem serial = example().with_comm_model(CommModel::NoOverlap);
+  for (const Mapping& m : {period_optimal(), latency_optimal(), energy_minimal()}) {
+    const Metrics mo = evaluate(overlap, m);
+    const Metrics ms = evaluate(serial, m);
+    for (std::size_t a = 0; a < mo.per_app.size(); ++a) {
+      EXPECT_DOUBLE_EQ(mo.per_app[a].latency, ms.per_app[a].latency);
+    }
+  }
+}
+
+TEST(Evaluation, WeightsScaleGlobalObjectives) {
+  Problem p = example();
+  std::vector<Application> apps;
+  apps.push_back(Application(1.0,
+                             {StageSpec{3.0, 3.0}, StageSpec{2.0, 2.0},
+                              StageSpec{1.0, 0.0}},
+                             /*weight=*/3.0, "App1"));
+  apps.push_back(p.application(1));
+  const Problem weighted(std::move(apps), p.platform(), p.comm_model());
+  const Metrics m = evaluate(weighted, energy_minimal());
+  // App1 period 2 × weight 3 = 6; App2 period 14 × weight 1 dominates.
+  EXPECT_DOUBLE_EQ(m.max_weighted_period, 14.0);
+  // Latency: App1 latency (1 + 2 + 0) = 3 at slow speed... weight 3 => 9 + check
+  EXPECT_DOUBLE_EQ(m.per_app[0].latency, 1.0 + 6.0 / 3.0 + 0.0);
+  EXPECT_DOUBLE_EQ(m.max_weighted_latency,
+                   std::max(3.0 * m.per_app[0].latency, m.per_app[1].latency));
+}
+
+TEST(Evaluation, OneToOneCycleTime) {
+  const Problem p = example();
+  // Stage 2 of App2 (w=4, δ_in=1, δ_out=1) on P1 at speed 6.
+  EXPECT_DOUBLE_EQ(one_to_one_cycle_time(p, 1, 2, 0, 6.0),
+                   std::max({1.0 / 1.0, 4.0 / 6.0, 1.0 / 1.0}));
+  // No-overlap: sum.
+  const Problem serial = example().with_comm_model(CommModel::NoOverlap);
+  EXPECT_DOUBLE_EQ(one_to_one_cycle_time(serial, 1, 2, 0, 6.0),
+                   1.0 + 4.0 / 6.0 + 1.0);
+}
+
+TEST(Evaluation, EnergySumsOnlyEnrolledProcessors) {
+  const Problem p = example();
+  EXPECT_DOUBLE_EQ(mapping_energy(p, energy_minimal()), 10.0);
+  EXPECT_DOUBLE_EQ(mapping_energy(p, period_optimal()), 136.0);
+}
+
+TEST(Evaluation, InvalidMappingRejectedByDefault) {
+  const Problem p = example();
+  const Mapping bad({{0, 0, 2, 0, 0}});
+  EXPECT_THROW((void)evaluate(p, bad), std::invalid_argument);
+}
+
+TEST(Evaluation, MatchesExactRationalRecomputation) {
+  // Re-derive the period of the period-optimal mapping with exact rationals.
+  using util::Rational;
+  const Rational app1 = Rational::max(
+      Rational::max(Rational(1, 1), Rational(3 + 2 + 1, 6)), Rational(0, 1));
+  const Rational app2a = Rational::max(
+      Rational::max(Rational(0, 1), Rational(2 + 6, 8)), Rational(1, 1));
+  const Rational app2b = Rational::max(
+      Rational::max(Rational(1, 1), Rational(4 + 2, 6)), Rational(1, 1));
+  const Rational period =
+      Rational::max(app1, Rational::max(app2a, app2b));
+  const Problem p = example();
+  const Metrics m = evaluate(p, period_optimal());
+  EXPECT_DOUBLE_EQ(m.max_weighted_period, period.to_double());
+}
+
+}  // namespace
+}  // namespace pipeopt::core

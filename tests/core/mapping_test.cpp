@@ -1,0 +1,141 @@
+#include "core/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/motivating_example.hpp"
+
+namespace pipeopt::core {
+namespace {
+
+Problem example() { return gen::motivating_example(); }
+
+// The paper's period-optimal mapping: App1 -> P3 fast, App2 split after
+// stage 2 onto P2/P1 (both fast).
+Mapping period_optimal() {
+  return Mapping({
+      {0, 0, 2, 2, 1},  // App1 [0..2] on P3 (index 2) mode 1 (speed 6)
+      {1, 0, 1, 1, 1},  // App2 [0..1] on P2 (index 1) mode 1 (speed 8)
+      {1, 2, 3, 0, 1},  // App2 [2..3] on P1 (index 0) mode 1 (speed 6)
+  });
+}
+
+TEST(Mapping, ValidMappingPasses) {
+  const Problem p = example();
+  EXPECT_FALSE(period_optimal().validate(p).has_value());
+}
+
+TEST(Mapping, IntervalsSortedByAppAndStage) {
+  const Mapping m({{1, 2, 3, 0, 0}, {0, 0, 2, 2, 0}, {1, 0, 1, 1, 0}});
+  const auto ivs = m.intervals();
+  EXPECT_EQ(ivs[0].app, 0u);
+  EXPECT_EQ(ivs[1].app, 1u);
+  EXPECT_EQ(ivs[1].first, 0u);
+  EXPECT_EQ(ivs[2].first, 2u);
+}
+
+TEST(Mapping, IntervalsOfFiltersByApp) {
+  const Mapping m = period_optimal();
+  EXPECT_EQ(m.intervals_of(0).size(), 1u);
+  EXPECT_EQ(m.intervals_of(1).size(), 2u);
+}
+
+TEST(Mapping, EnrolledProcessors) {
+  EXPECT_EQ(period_optimal().enrolled_processors(),
+            (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Mapping, OneToOneDetection) {
+  EXPECT_FALSE(period_optimal().is_one_to_one());
+  const Mapping single({{0, 1, 1, 0, 0}});
+  EXPECT_TRUE(single.is_one_to_one());
+}
+
+TEST(Mapping, RejectsProcessorSharing) {
+  const Problem p = example();
+  const Mapping m({
+      {0, 0, 2, 0, 0},
+      {1, 0, 3, 0, 0},  // same processor P1 reused
+  });
+  const auto reason = m.validate(p);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("sharing"), std::string::npos);
+}
+
+TEST(Mapping, RejectsGapsAndOverlaps) {
+  const Problem p = example();
+  // Gap: App1 stage coverage [0..0] then [2..2].
+  const Mapping gap({{0, 0, 0, 0, 0}, {0, 2, 2, 1, 0}, {1, 0, 3, 2, 0}});
+  EXPECT_TRUE(gap.validate(p).has_value());
+  // Overlap: [0..1] then [1..2].
+  const Mapping overlap({{0, 0, 1, 0, 0}, {0, 1, 2, 1, 0}, {1, 0, 3, 2, 0}});
+  EXPECT_TRUE(overlap.validate(p).has_value());
+}
+
+TEST(Mapping, RejectsIncompleteCoverage) {
+  const Problem p = example();
+  const Mapping m({{0, 0, 2, 0, 0}});  // App2 unmapped
+  const auto reason = m.validate(p);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("not fully covered"), std::string::npos);
+}
+
+TEST(Mapping, RejectsBadIndices) {
+  const Problem p = example();
+  EXPECT_TRUE(Mapping({{5, 0, 0, 0, 0}}).validate(p).has_value());   // bad app
+  EXPECT_TRUE(Mapping({{0, 0, 9, 0, 0}}).validate(p).has_value());   // bad stage
+  EXPECT_TRUE(
+      Mapping({{0, 0, 2, 9, 0}, {1, 0, 3, 1, 0}}).validate(p).has_value());  // proc
+  EXPECT_TRUE(
+      Mapping({{0, 0, 2, 0, 7}, {1, 0, 3, 1, 0}}).validate(p).has_value());  // mode
+}
+
+TEST(Mapping, ValidateOrThrowThrows) {
+  const Problem p = example();
+  EXPECT_THROW(Mapping({{0, 0, 2, 0, 0}}).validate_or_throw(p),
+               std::invalid_argument);
+  EXPECT_NO_THROW(period_optimal().validate_or_throw(p));
+}
+
+TEST(Mapping, AtMaxSpeed) {
+  const Problem p = example();
+  const Mapping slow({
+      {0, 0, 2, 0, 0},
+      {1, 0, 3, 2, 0},
+  });
+  const Mapping fast = slow.at_max_speed(p);
+  for (const auto& iv : fast.intervals()) {
+    EXPECT_EQ(iv.mode, p.platform().processor(iv.proc).max_mode());
+  }
+}
+
+TEST(Mapping, MakeOneToOne) {
+  const Problem p = example();
+  // 7 stages, but only 3 processors — build on a problem-by-problem basis:
+  // use a single-app problem instead.
+  const Problem small(std::vector<Application>{Application(
+                          0.0, {StageSpec{1.0, 0.0}, StageSpec{2.0, 0.0}})},
+                      p.platform(), CommModel::Overlap);
+  const Mapping m = make_one_to_one(small, {{0, 2}});
+  EXPECT_TRUE(m.is_one_to_one());
+  EXPECT_FALSE(m.validate(small).has_value());
+  EXPECT_EQ(m.intervals()[0].proc, 0u);
+  EXPECT_EQ(m.intervals()[1].proc, 2u);
+  // Defaults to max speed.
+  EXPECT_EQ(m.intervals()[0].mode, 1u);
+}
+
+TEST(Mapping, MakeOneToOneValidation) {
+  const Problem p = example();
+  EXPECT_THROW((void)make_one_to_one(p, {{0}}), std::invalid_argument);
+}
+
+TEST(Mapping, ToStringMentionsProcessorsAndSpeeds) {
+  const Problem p = example();
+  const std::string s = period_optimal().to_string(p);
+  EXPECT_NE(s.find("App1"), std::string::npos);
+  EXPECT_NE(s.find("P2"), std::string::npos);
+  EXPECT_NE(s.find("s=6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipeopt::core

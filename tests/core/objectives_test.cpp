@@ -1,0 +1,107 @@
+#include "core/objectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/motivating_example.hpp"
+
+namespace pipeopt::core {
+namespace {
+
+Problem example() { return gen::motivating_example(); }
+
+TEST(Weights, Unit) {
+  const Weights w = Weights::unit(3);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w.weighted_max({2.0, 5.0, 3.0}), 5.0);
+}
+
+TEST(Weights, Priority) {
+  std::vector<Application> apps;
+  apps.push_back(Application(0.0, {StageSpec{1.0, 0.0}}, 2.0));
+  apps.push_back(Application(0.0, {StageSpec{1.0, 0.0}}, 0.5));
+  const Problem p(std::move(apps), example().platform());
+  const Weights w = Weights::priority(p);
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+  EXPECT_DOUBLE_EQ(w.weighted_max({1.0, 10.0}), 5.0);
+}
+
+TEST(Weights, Stretch) {
+  const Weights w = Weights::stretch({2.0, 4.0});
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.25);
+  EXPECT_THROW((void)Weights::stretch({0.0}), std::invalid_argument);
+}
+
+TEST(Weights, WeightedMaxArityChecked) {
+  const Weights w = Weights::unit(2);
+  EXPECT_THROW((void)w.weighted_max({1.0}), std::invalid_argument);
+}
+
+TEST(Thresholds, UniformDividesByWeight) {
+  std::vector<Application> apps;
+  apps.push_back(Application(0.0, {StageSpec{1.0, 0.0}}, 2.0));
+  apps.push_back(Application(0.0, {StageSpec{1.0, 0.0}}, 1.0));
+  const Problem p(std::move(apps), example().platform());
+  const Thresholds t = Thresholds::uniform(p, 10.0);
+  EXPECT_DOUBLE_EQ(t.bound(0), 5.0);
+  EXPECT_DOUBLE_EQ(t.bound(1), 10.0);
+  const Thresholds unit = Thresholds::uniform(p, 10.0, WeightPolicy::Unit);
+  EXPECT_DOUBLE_EQ(unit.bound(0), 10.0);
+}
+
+TEST(Thresholds, SatisfiedBy) {
+  const Thresholds t = Thresholds::per_app({2.0, 3.0});
+  EXPECT_TRUE(t.satisfied_by({2.0, 3.0}));
+  EXPECT_TRUE(t.satisfied_by({1.9, 2.0}));
+  EXPECT_FALSE(t.satisfied_by({2.1, 2.0}));
+  EXPECT_THROW((void)t.satisfied_by({1.0}), std::invalid_argument);
+}
+
+TEST(Thresholds, Unconstrained) {
+  const Thresholds t = Thresholds::unconstrained(2);
+  EXPECT_TRUE(t.is_unconstrained(0));
+  EXPECT_TRUE(t.satisfied_by({1e300, 1e300}));
+}
+
+TEST(Thresholds, RejectsNonPositiveBounds) {
+  EXPECT_THROW((void)Thresholds::per_app({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)Thresholds::uniform(example(), -1.0), std::invalid_argument);
+}
+
+TEST(PerAppValues, ExtractsCriterion) {
+  Metrics m;
+  m.per_app = {{1.0, 10.0}, {2.0, 20.0}};
+  EXPECT_EQ(per_app_values(m, Criterion::Period), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(per_app_values(m, Criterion::Latency),
+            (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(ConstraintSet, ChecksAllParts) {
+  Metrics m;
+  m.per_app = {{2.0, 5.0}};
+  m.energy = 40.0;
+
+  ConstraintSet cs;
+  EXPECT_TRUE(cs.satisfied_by(m));  // empty constraint set
+
+  cs.period = Thresholds::per_app({2.0});
+  cs.latency = Thresholds::per_app({5.0});
+  cs.energy_budget = 40.0;
+  EXPECT_TRUE(cs.satisfied_by(m));
+
+  cs.energy_budget = 39.0;
+  EXPECT_FALSE(cs.satisfied_by(m));
+
+  cs.energy_budget = 40.0;
+  cs.period = Thresholds::per_app({1.9});
+  EXPECT_FALSE(cs.satisfied_by(m));
+
+  cs.period = Thresholds::per_app({2.0});
+  cs.latency = Thresholds::per_app({4.9});
+  EXPECT_FALSE(cs.satisfied_by(m));
+}
+
+}  // namespace
+}  // namespace pipeopt::core

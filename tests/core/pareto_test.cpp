@@ -1,0 +1,75 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipeopt::core {
+namespace {
+
+ParetoPoint pt(double period, double energy, double latency = 0.0) {
+  ParetoPoint p;
+  p.period = period;
+  p.energy = energy;
+  p.latency = latency;
+  return p;
+}
+
+TEST(Pareto, Dominates2D) {
+  EXPECT_TRUE(dominates(pt(1, 10), pt(2, 10), false));
+  EXPECT_TRUE(dominates(pt(1, 9), pt(2, 10), false));
+  EXPECT_FALSE(dominates(pt(1, 11), pt(2, 10), false));
+  EXPECT_FALSE(dominates(pt(1, 10), pt(1, 10), false));  // equal: no strict part
+}
+
+TEST(Pareto, Dominates3D) {
+  EXPECT_TRUE(dominates(pt(1, 10, 5), pt(1, 10, 6), true));
+  EXPECT_FALSE(dominates(pt(1, 10, 6), pt(1, 10, 5), true));
+  // Latency ignored in 2-D mode.
+  EXPECT_FALSE(dominates(pt(1, 10, 6), pt(1, 10, 5), false));
+}
+
+TEST(Pareto, FrontFiltersDominated) {
+  // The §2 shape: (period, energy) = (1,136), (2,46), (14,10) are all
+  // non-dominated; (2,50) and (14,46) are dominated.
+  auto front = pareto_front(
+      {pt(1, 136), pt(2, 46), pt(14, 10), pt(2, 50), pt(14, 46)}, false);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(front[0].period, 1.0);
+  EXPECT_DOUBLE_EQ(front[1].period, 2.0);
+  EXPECT_DOUBLE_EQ(front[2].period, 14.0);
+  EXPECT_TRUE(energy_monotone_in_period(front));
+}
+
+TEST(Pareto, FrontDeduplicatesTies) {
+  auto front = pareto_front({pt(1, 10), pt(1, 10), pt(1, 10)}, false);
+  EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(Pareto, FrontSortedByPeriod) {
+  auto front = pareto_front({pt(5, 1), pt(1, 5), pt(3, 3)}, false);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_LT(front[0].period, front[1].period);
+  EXPECT_LT(front[1].period, front[2].period);
+}
+
+TEST(Pareto, EmptyAndSingleton) {
+  EXPECT_TRUE(pareto_front({}, false).empty());
+  EXPECT_EQ(pareto_front({pt(1, 1)}, false).size(), 1u);
+  EXPECT_TRUE(energy_monotone_in_period({}));
+  EXPECT_TRUE(energy_monotone_in_period({pt(1, 1)}));
+}
+
+TEST(Pareto, MonotoneViolationDetected) {
+  EXPECT_FALSE(energy_monotone_in_period({pt(1, 10), pt(2, 20)}));
+}
+
+TEST(Pareto, ThreeDFrontKeepsLatencyTradeoffs) {
+  // Same (period, energy) but different latencies: both survive in 3-D.
+  auto front = pareto_front({pt(1, 10, 5), pt(2, 10, 3)}, true);
+  EXPECT_EQ(front.size(), 2u);
+  // In 2-D the slower-period point is dominated (energy ties broken by period).
+  auto front2d = pareto_front({pt(1, 10, 5), pt(2, 10, 3)}, false);
+  EXPECT_EQ(front2d.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pipeopt::core

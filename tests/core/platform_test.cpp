@@ -1,0 +1,152 @@
+#include "core/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipeopt::core {
+namespace {
+
+TEST(Processor, SortsAndDedupsSpeeds) {
+  const Processor p({6.0, 3.0, 6.0}, 0.5, "P");
+  EXPECT_EQ(p.mode_count(), 2u);
+  EXPECT_DOUBLE_EQ(p.speed(0), 3.0);
+  EXPECT_DOUBLE_EQ(p.speed(1), 6.0);
+  EXPECT_DOUBLE_EQ(p.min_speed(), 3.0);
+  EXPECT_DOUBLE_EQ(p.max_speed(), 6.0);
+  EXPECT_EQ(p.max_mode(), 1u);
+}
+
+TEST(Processor, Validation) {
+  EXPECT_THROW(Processor({}), std::invalid_argument);
+  EXPECT_THROW(Processor({0.0}), std::invalid_argument);
+  EXPECT_THROW(Processor({-1.0}), std::invalid_argument);
+  EXPECT_THROW(Processor({1.0}, -0.1), std::invalid_argument);
+}
+
+TEST(Processor, SlowestModeAtLeast) {
+  const Processor p({1.0, 3.0, 6.0});
+  EXPECT_EQ(p.slowest_mode_at_least(0.5), 0u);
+  EXPECT_EQ(p.slowest_mode_at_least(1.0), 0u);
+  EXPECT_EQ(p.slowest_mode_at_least(2.0), 1u);
+  EXPECT_EQ(p.slowest_mode_at_least(6.0), 2u);
+  EXPECT_FALSE(p.slowest_mode_at_least(6.1).has_value());
+}
+
+TEST(Processor, UniModal) {
+  EXPECT_TRUE(Processor({2.0}).is_uni_modal());
+  EXPECT_FALSE(Processor({2.0, 4.0}).is_uni_modal());
+}
+
+Platform uniform_platform() {
+  std::vector<Processor> procs;
+  procs.emplace_back(std::vector<double>{3.0, 6.0}, 0.0, "P1");
+  procs.emplace_back(std::vector<double>{6.0, 8.0}, 0.0, "P2");
+  return Platform(std::move(procs), 1.0, 2.0);
+}
+
+TEST(Platform, UniformBandwidthEverywhere) {
+  const Platform p = uniform_platform();
+  EXPECT_TRUE(p.has_uniform_bandwidth());
+  EXPECT_DOUBLE_EQ(p.bandwidth(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(p.in_bandwidth(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(p.out_bandwidth(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p.uniform_bandwidth(), 1.0);
+}
+
+TEST(Platform, EnergyModel) {
+  const Platform p = uniform_platform();
+  EXPECT_DOUBLE_EQ(p.dynamic_energy(3.0), 9.0);
+  EXPECT_DOUBLE_EQ(p.processor_energy(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(p.processor_energy(0, 1), 36.0);
+  EXPECT_DOUBLE_EQ(p.min_processor_energy(1), 36.0);
+}
+
+TEST(Platform, EnergyModelWithStaticAndAlpha3) {
+  std::vector<Processor> procs;
+  procs.emplace_back(std::vector<double>{2.0}, 5.0);
+  Platform p(std::move(procs), 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(p.processor_energy(0, 0), 5.0 + 8.0);
+}
+
+TEST(Platform, Classification) {
+  EXPECT_EQ(uniform_platform().classify(), PlatformClass::CommHomogeneous);
+
+  std::vector<Processor> same;
+  same.emplace_back(std::vector<double>{2.0, 4.0}, 1.0);
+  same.emplace_back(std::vector<double>{2.0, 4.0}, 1.0);
+  EXPECT_EQ(Platform(std::move(same), 1.0).classify(),
+            PlatformClass::FullyHomogeneous);
+
+  std::vector<Processor> hetero;
+  hetero.emplace_back(std::vector<double>{2.0});
+  hetero.emplace_back(std::vector<double>{2.0});
+  std::vector<std::vector<double>> links{{1.0, 2.0}, {2.0, 1.0}};
+  std::vector<std::vector<double>> io{{1.0, 1.0}};
+  EXPECT_EQ(Platform(std::move(hetero), links, io, io).classify(),
+            PlatformClass::FullyHeterogeneous);
+}
+
+TEST(Platform, StaticEnergyDifferenceBreaksHomogeneity) {
+  std::vector<Processor> procs;
+  procs.emplace_back(std::vector<double>{2.0}, 0.0);
+  procs.emplace_back(std::vector<double>{2.0}, 1.0);
+  EXPECT_EQ(Platform(std::move(procs), 1.0).classify(),
+            PlatformClass::CommHomogeneous);
+}
+
+TEST(Platform, HeterogeneousBandwidths) {
+  std::vector<Processor> procs;
+  procs.emplace_back(std::vector<double>{2.0});
+  procs.emplace_back(std::vector<double>{4.0});
+  std::vector<std::vector<double>> links{{1.0, 0.5}, {0.5, 1.0}};
+  std::vector<std::vector<double>> in{{2.0, 3.0}};
+  std::vector<std::vector<double>> out{{4.0, 5.0}};
+  const Platform p(std::move(procs), links, in, out);
+  EXPECT_FALSE(p.has_uniform_bandwidth());
+  EXPECT_DOUBLE_EQ(p.bandwidth(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(p.in_bandwidth(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(p.out_bandwidth(0, 0), 4.0);
+  EXPECT_THROW((void)p.uniform_bandwidth(), std::logic_error);
+}
+
+TEST(Platform, HeterogeneousValidation) {
+  std::vector<Processor> procs;
+  procs.emplace_back(std::vector<double>{2.0});
+  procs.emplace_back(std::vector<double>{4.0});
+  std::vector<std::vector<double>> asym{{1.0, 0.5}, {0.7, 1.0}};
+  std::vector<std::vector<double>> io{{1.0, 1.0}};
+  EXPECT_THROW(Platform(std::vector<Processor>(procs), asym, io, io),
+               std::invalid_argument);
+  std::vector<std::vector<double>> ragged{{1.0}, {1.0, 1.0}};
+  EXPECT_THROW(Platform(std::vector<Processor>(procs), ragged, io, io),
+               std::invalid_argument);
+}
+
+TEST(Platform, GeneralValidation) {
+  EXPECT_THROW(Platform({}, 1.0), std::invalid_argument);
+  std::vector<Processor> procs;
+  procs.emplace_back(std::vector<double>{2.0});
+  EXPECT_THROW(Platform(std::vector<Processor>(procs), 0.0), std::invalid_argument);
+  EXPECT_THROW(Platform(std::vector<Processor>(procs), 1.0, 1.0),
+               std::invalid_argument);  // alpha must be > 1
+}
+
+TEST(Platform, UniModalDetection) {
+  std::vector<Processor> procs;
+  procs.emplace_back(std::vector<double>{2.0});
+  procs.emplace_back(std::vector<double>{3.0});
+  EXPECT_TRUE(Platform(std::move(procs), 1.0).is_uni_modal());
+  EXPECT_FALSE(uniform_platform().is_uni_modal());
+}
+
+TEST(Platform, ProcessorsByMaxSpeedDesc) {
+  std::vector<Processor> procs;
+  procs.emplace_back(std::vector<double>{2.0});
+  procs.emplace_back(std::vector<double>{8.0});
+  procs.emplace_back(std::vector<double>{4.0});
+  const Platform p(std::move(procs), 1.0);
+  const auto order = p.processors_by_max_speed_desc();
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+}  // namespace
+}  // namespace pipeopt::core

@@ -1,0 +1,86 @@
+#include "exact/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
+
+namespace pipeopt::exact {
+namespace {
+
+using core::CommModel;
+using core::PlatformClass;
+
+TEST(BranchBound, MotivatingExampleOptimum) {
+  const auto problem = gen::motivating_example();
+  const auto result = branch_bound_min_period(problem, MappingKind::Interval);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->value, 1.0);
+  result->mapping.validate_or_throw(problem);
+  EXPECT_DOUBLE_EQ(core::evaluate(problem, result->mapping).max_weighted_period,
+                   1.0);
+}
+
+TEST(BranchBound, PrunesHardAgainstPlainEnumeration) {
+  const auto problem = gen::motivating_example();
+  const auto plain = exact_min_period(problem, MappingKind::Interval);
+  const auto pruned = branch_bound_min_period(problem, MappingKind::Interval);
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_TRUE(pruned.has_value());
+  EXPECT_LT(pruned->stats.nodes, plain->stats.nodes / 2)
+      << "bounds should cut at least half the tree on this instance";
+}
+
+TEST(BranchBound, OneToOneInfeasibleWhenTooFewProcessors) {
+  const auto problem = gen::motivating_example();  // 7 stages, 3 processors
+  EXPECT_FALSE(branch_bound_min_period(problem, MappingKind::OneToOne)
+                   .has_value());
+}
+
+TEST(BranchBound, NodeLimitHonored) {
+  util::Rng rng(9);
+  gen::ProblemShape shape;
+  shape.applications = 2;
+  shape.app.min_stages = 4;
+  shape.app.max_stages = 6;
+  shape.processors = 10;
+  shape.platform_class = PlatformClass::FullyHeterogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_THROW((void)branch_bound_min_period(problem, MappingKind::Interval, 50),
+               SearchLimitExceeded);
+}
+
+class BranchBoundOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(BranchBoundOracle, MatchesPlainEnumerationEverywhere) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 839 + 7);
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng.index(2);
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 3;
+  shape.processors = 4 + rng.index(3);
+  shape.app.weighted = rng.chance(0.5);
+  const std::array<PlatformClass, 3> classes{PlatformClass::FullyHomogeneous,
+                                             PlatformClass::CommHomogeneous,
+                                             PlatformClass::FullyHeterogeneous};
+  shape.platform_class = classes[rng.index(3)];
+  shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  const auto problem = gen::random_problem(rng, shape);
+
+  for (MappingKind kind : {MappingKind::Interval, MappingKind::OneToOne}) {
+    const auto plain = exact_min_period(problem, kind);
+    const auto pruned = branch_bound_min_period(problem, kind);
+    ASSERT_EQ(plain.has_value(), pruned.has_value());
+    if (plain) {
+      EXPECT_NEAR(plain->value, pruned->value, 1e-9)
+          << GetParam() << " kind " << static_cast<int>(kind);
+      EXPECT_LE(pruned->stats.nodes, plain->stats.nodes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BranchBoundOracle, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace pipeopt::exact

@@ -1,0 +1,134 @@
+#include "exact/enumeration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
+
+namespace pipeopt::exact {
+namespace {
+
+using core::CommModel;
+using core::PlatformClass;
+
+core::Problem tiny_problem(std::size_t stages, std::size_t procs,
+                           std::size_t modes = 1) {
+  std::vector<core::StageSpec> specs(stages, core::StageSpec{1.0, 1.0});
+  std::vector<core::Application> apps;
+  apps.push_back(core::Application(1.0, std::move(specs)));
+  std::vector<core::Processor> processors;
+  std::vector<double> speeds;
+  for (std::size_t m = 1; m <= modes; ++m) {
+    speeds.push_back(static_cast<double>(m));
+  }
+  for (std::size_t u = 0; u < procs; ++u) processors.emplace_back(speeds);
+  return core::Problem(std::move(apps),
+                       core::Platform(std::move(processors), 1.0));
+}
+
+TEST(Enumeration, CountsMatchClosedForm) {
+  for (std::size_t n : {1u, 2u, 3u, 4u}) {
+    for (std::size_t p : {1u, 2u, 3u, 4u}) {
+      for (std::size_t modes : {1u, 2u}) {
+        const auto problem = tiny_problem(n, p, modes);
+        for (MappingKind kind : {MappingKind::OneToOne, MappingKind::Interval}) {
+          EnumerationOptions options;
+          options.kind = kind;
+          options.enumerate_modes = modes > 1;
+          const auto expected = mapping_space_size(problem, options);
+          std::uint64_t seen = 0;
+          const auto stats = enumerate_mappings(
+              problem, options,
+              [&](std::span<const core::IntervalAssignment>) { ++seen; });
+          EXPECT_EQ(seen, expected)
+              << "n=" << n << " p=" << p << " modes=" << modes
+              << " kind=" << static_cast<int>(kind);
+          EXPECT_EQ(stats.complete, expected);
+        }
+      }
+    }
+  }
+}
+
+TEST(Enumeration, KnownCounts) {
+  // 2 stages on 3 procs: one-to-one = 3·2 = 6; interval adds the unsplit
+  // chain on any of 3 procs: 6 + 3 = 9.
+  const auto problem = tiny_problem(2, 3);
+  EnumerationOptions one;
+  one.kind = MappingKind::OneToOne;
+  EXPECT_EQ(mapping_space_size(problem, one), 6u);
+  EnumerationOptions interval;
+  interval.kind = MappingKind::Interval;
+  EXPECT_EQ(mapping_space_size(problem, interval), 9u);
+}
+
+TEST(Enumeration, ModesMultiply) {
+  const auto problem = tiny_problem(1, 2, 3);
+  EnumerationOptions options;
+  options.kind = MappingKind::Interval;
+  options.enumerate_modes = true;
+  EXPECT_EQ(mapping_space_size(problem, options), 6u);  // 2 procs × 3 modes
+  options.enumerate_modes = false;
+  EXPECT_EQ(mapping_space_size(problem, options), 2u);
+}
+
+TEST(Enumeration, EveryEmittedMappingIsValid) {
+  const auto problem = gen::motivating_example();
+  EnumerationOptions options;
+  options.kind = MappingKind::Interval;
+  options.enumerate_modes = true;
+  std::uint64_t count = 0;
+  enumerate_mappings(problem, options,
+                     [&](std::span<const core::IntervalAssignment> ivs) {
+                       core::Mapping m(std::vector<core::IntervalAssignment>(
+                           ivs.begin(), ivs.end()));
+                       ASSERT_FALSE(m.validate(problem).has_value());
+                       ++count;
+                     });
+  EXPECT_GT(count, 0u);
+  EnumerationOptions no_modes = options;
+  no_modes.enumerate_modes = false;
+  std::uint64_t count_no_modes = 0;
+  enumerate_mappings(problem, no_modes,
+                     [&](std::span<const core::IntervalAssignment>) {
+                       ++count_no_modes;
+                     });
+  EXPECT_GT(count, count_no_modes);  // modes expand the space
+}
+
+TEST(Enumeration, OneToOneImpossibleWhenTooFewProcessors) {
+  const auto problem = tiny_problem(4, 2);
+  EnumerationOptions options;
+  options.kind = MappingKind::OneToOne;
+  std::uint64_t seen = 0;
+  enumerate_mappings(problem, options,
+                     [&](std::span<const core::IntervalAssignment>) { ++seen; });
+  EXPECT_EQ(seen, 0u);
+  EXPECT_EQ(mapping_space_size(problem, options), 0u);
+}
+
+TEST(Enumeration, NodeLimitEnforced) {
+  const auto problem = tiny_problem(6, 8);
+  EnumerationOptions options;
+  options.kind = MappingKind::Interval;
+  options.node_limit = 100;
+  EXPECT_THROW(enumerate_mappings(
+                   problem, options,
+                   [](std::span<const core::IntervalAssignment>) {}),
+               SearchLimitExceeded);
+}
+
+TEST(Enumeration, SpaceGrowsExponentially) {
+  EnumerationOptions options;
+  options.kind = MappingKind::Interval;
+  std::uint64_t previous = 0;
+  for (std::size_t n = 2; n <= 8; ++n) {
+    const auto problem = tiny_problem(n, n);
+    const auto size = mapping_space_size(problem, options);
+    EXPECT_GT(size, previous * 2) << n;  // super-exponential growth
+    previous = size;
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::exact

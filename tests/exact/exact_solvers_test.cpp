@@ -1,0 +1,110 @@
+#include "exact/exact_solvers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "gen/motivating_example.hpp"
+
+namespace pipeopt::exact {
+namespace {
+
+using core::Thresholds;
+using gen::MotivatingExampleFacts;
+
+/// The §2 numbers, reproduced by exhaustive search — this instance sits in
+/// NP-hard cells (heterogeneous multi-modal processors), so exact search is
+/// the reference solver here.
+TEST(ExactSolvers, MotivatingExampleOptimalPeriod) {
+  const auto problem = gen::motivating_example();
+  const auto result = exact_min_period(problem, MappingKind::Interval);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->value, MotivatingExampleFacts::kOptimalPeriod);
+}
+
+TEST(ExactSolvers, MotivatingExampleOptimalLatency) {
+  const auto problem = gen::motivating_example();
+  const auto result = exact_min_latency(problem, MappingKind::Interval);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->value, MotivatingExampleFacts::kOptimalLatency);
+}
+
+TEST(ExactSolvers, MotivatingExampleMinimalEnergy) {
+  const auto problem = gen::motivating_example();
+  // Unconstrained period: the minimum energy is 10 (two slowest processors).
+  const auto result = exact_min_energy_under_period(
+      problem, MappingKind::Interval, Thresholds::unconstrained(2));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->value, MotivatingExampleFacts::kMinimalEnergy);
+  // And that mapping indeed runs at period 14.
+  const auto metrics = core::evaluate(problem, result->mapping);
+  EXPECT_DOUBLE_EQ(metrics.max_weighted_period,
+                   MotivatingExampleFacts::kPeriodAtMinimalEnergy);
+}
+
+TEST(ExactSolvers, MotivatingExampleEnergyUnderPeriod2) {
+  const auto problem = gen::motivating_example();
+  const auto result = exact_min_energy_under_period(
+      problem, MappingKind::Interval, Thresholds::per_app({2.0, 2.0}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->value, MotivatingExampleFacts::kEnergyUnderPeriod2);
+}
+
+TEST(ExactSolvers, MotivatingExampleEnergyAtPeriod1) {
+  const auto problem = gen::motivating_example();
+  const auto result = exact_min_energy_under_period(
+      problem, MappingKind::Interval, Thresholds::per_app({1.0, 1.0}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->value, MotivatingExampleFacts::kEnergyAtOptimalPeriod);
+}
+
+TEST(ExactSolvers, WitnessMappingsAchieveValues) {
+  const auto problem = gen::motivating_example();
+  const auto period = exact_min_period(problem, MappingKind::Interval);
+  ASSERT_TRUE(period.has_value());
+  period->mapping.validate_or_throw(problem);
+  EXPECT_DOUBLE_EQ(core::evaluate(problem, period->mapping).max_weighted_period,
+                   period->value);
+
+  const auto latency = exact_min_latency(problem, MappingKind::Interval);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_DOUBLE_EQ(
+      core::evaluate(problem, latency->mapping).max_weighted_latency,
+      latency->value);
+}
+
+TEST(ExactSolvers, OneToOneInfeasibleOnExample) {
+  // 7 stages, 3 processors: no one-to-one mapping exists.
+  const auto problem = gen::motivating_example();
+  EXPECT_FALSE(exact_min_period(problem, MappingKind::OneToOne).has_value());
+}
+
+TEST(ExactSolvers, InfeasibleThresholdGivesNullopt) {
+  const auto problem = gen::motivating_example();
+  const auto result = exact_min_energy_under_period(
+      problem, MappingKind::Interval, Thresholds::per_app({0.5, 0.5}));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(ExactSolvers, TricriteriaTightensEnergy) {
+  const auto problem = gen::motivating_example();
+  // Adding a latency bound can only increase the optimal energy.
+  const auto loose = exact_min_energy_under_period(
+      problem, MappingKind::Interval, Thresholds::per_app({2.0, 2.0}));
+  const auto tight = exact_min_energy_tricriteria(
+      problem, MappingKind::Interval, Thresholds::per_app({2.0, 2.0}),
+      Thresholds::per_app({4.0, 4.0}));
+  ASSERT_TRUE(loose.has_value());
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_GE(tight->value, loose->value);
+}
+
+TEST(ExactSolvers, StatsPopulated) {
+  const auto problem = gen::motivating_example();
+  const auto result = exact_min_period(problem, MappingKind::Interval);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->stats.complete, 0u);
+  EXPECT_GT(result->stats.nodes, result->stats.complete);
+}
+
+}  // namespace
+}  // namespace pipeopt::exact

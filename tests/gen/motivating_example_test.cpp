@@ -1,0 +1,67 @@
+#include "gen/motivating_example.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+
+namespace pipeopt::gen {
+namespace {
+
+using core::PlatformClass;
+
+TEST(MotivatingExample, Shape) {
+  const core::Problem p = motivating_example();
+  EXPECT_EQ(p.application_count(), 2u);
+  EXPECT_EQ(p.application(0).stage_count(), 3u);
+  EXPECT_EQ(p.application(1).stage_count(), 4u);
+  EXPECT_EQ(p.platform().processor_count(), 3u);
+  EXPECT_EQ(p.comm_model(), core::CommModel::Overlap);
+}
+
+TEST(MotivatingExample, ProcessorModes) {
+  const core::Problem p = motivating_example();
+  const auto& pf = p.platform();
+  EXPECT_EQ(pf.processor(0).speeds(), (std::vector<double>{3.0, 6.0}));
+  EXPECT_EQ(pf.processor(1).speeds(), (std::vector<double>{6.0, 8.0}));
+  EXPECT_EQ(pf.processor(2).speeds(), (std::vector<double>{1.0, 6.0}));
+}
+
+TEST(MotivatingExample, IsCommHomogeneousMultiModal) {
+  const core::Problem p = motivating_example();
+  EXPECT_EQ(p.platform().classify(), PlatformClass::CommHomogeneous);
+  EXPECT_FALSE(p.platform().is_uni_modal());
+  EXPECT_TRUE(p.platform().has_uniform_bandwidth());
+  EXPECT_DOUBLE_EQ(p.platform().uniform_bandwidth(), 1.0);
+}
+
+TEST(MotivatingExample, Paper1stStageData) {
+  // "The first stage of App1 receives a data of size 1, then computes 3
+  //  operations, and finally sends a data of size 3 to the second stage."
+  const core::Problem p = motivating_example();
+  const auto& app1 = p.application(0);
+  EXPECT_DOUBLE_EQ(app1.boundary_size(0), 1.0);
+  EXPECT_DOUBLE_EQ(app1.compute(0), 3.0);
+  EXPECT_DOUBLE_EQ(app1.boundary_size(1), 3.0);
+}
+
+TEST(MotivatingExample, EnergyIsSquaredSpeed) {
+  const core::Problem p = motivating_example();
+  EXPECT_DOUBLE_EQ(p.platform().alpha(), 2.0);
+  EXPECT_DOUBLE_EQ(p.platform().processor_energy(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p.platform().processor_energy(1, 1), 64.0);
+}
+
+// The four §2 reference mappings are asserted in detail in the core
+// evaluation tests; here we pin the headline constants so the FIG1 bench
+// and the tests can never drift apart.
+TEST(MotivatingExample, FactsConstants) {
+  EXPECT_DOUBLE_EQ(MotivatingExampleFacts::kOptimalPeriod, 1.0);
+  EXPECT_DOUBLE_EQ(MotivatingExampleFacts::kOptimalLatency, 2.75);
+  EXPECT_DOUBLE_EQ(MotivatingExampleFacts::kMinimalEnergy, 10.0);
+  EXPECT_DOUBLE_EQ(MotivatingExampleFacts::kPeriodAtMinimalEnergy, 14.0);
+  EXPECT_DOUBLE_EQ(MotivatingExampleFacts::kEnergyUnderPeriod2, 46.0);
+  EXPECT_DOUBLE_EQ(MotivatingExampleFacts::kEnergyAtOptimalPeriod, 136.0);
+}
+
+}  // namespace
+}  // namespace pipeopt::gen

@@ -1,0 +1,156 @@
+#include "gen/random_instances.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipeopt::gen {
+namespace {
+
+using core::PlatformClass;
+
+TEST(RandomInstances, ApplicationRespectsParams) {
+  util::Rng rng(1);
+  AppParams params;
+  params.min_stages = 3;
+  params.max_stages = 3;
+  params.min_compute = 2.0;
+  params.max_compute = 4.0;
+  params.min_data = 1.0;
+  params.max_data = 2.0;
+  for (int i = 0; i < 20; ++i) {
+    const core::Application app = random_application(rng, params);
+    EXPECT_EQ(app.stage_count(), 3u);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_GE(app.compute(k), 2.0);
+      EXPECT_LE(app.compute(k), 4.0);
+    }
+    for (std::size_t i2 = 0; i2 <= 3; ++i2) {
+      EXPECT_GE(app.boundary_size(i2), 1.0);
+      EXPECT_LE(app.boundary_size(i2), 2.0);
+    }
+    EXPECT_DOUBLE_EQ(app.weight(), 1.0);
+  }
+}
+
+TEST(RandomInstances, WeightedApplications) {
+  util::Rng rng(2);
+  AppParams params;
+  params.weighted = true;
+  bool saw_non_unit = false;
+  for (int i = 0; i < 20; ++i) {
+    const core::Application app = random_application(rng, params);
+    EXPECT_GE(app.weight(), 0.5);
+    EXPECT_LE(app.weight(), 2.0);
+    if (app.weight() != 1.0) saw_non_unit = true;
+  }
+  EXPECT_TRUE(saw_non_unit);
+}
+
+TEST(RandomInstances, SpecialAppFamilyShape) {
+  util::Rng rng(3);
+  const auto apps = special_app_family(rng, 4, 2, 5);
+  EXPECT_EQ(apps.size(), 4u);
+  for (const auto& app : apps) {
+    EXPECT_TRUE(app.is_uniform_no_comm());
+    EXPECT_GE(app.stage_count(), 2u);
+    EXPECT_LE(app.stage_count(), 5u);
+  }
+}
+
+TEST(RandomInstances, PlatformClassesMatchRequest) {
+  util::Rng rng(4);
+  PlatformParams params;
+  const auto hom =
+      random_platform(rng, 5, 2, PlatformClass::FullyHomogeneous, params);
+  EXPECT_EQ(hom.classify(), PlatformClass::FullyHomogeneous);
+  EXPECT_EQ(hom.processor_count(), 5u);
+
+  const auto het =
+      random_platform(rng, 5, 2, PlatformClass::FullyHeterogeneous, params);
+  EXPECT_EQ(het.classify(), PlatformClass::FullyHeterogeneous);
+
+  // Comm-homogeneous platforms have uniform bandwidth; with log-uniform
+  // speed draws the processors are (almost surely) non-identical.
+  const auto comm =
+      random_platform(rng, 5, 2, PlatformClass::CommHomogeneous, params);
+  EXPECT_TRUE(comm.has_uniform_bandwidth());
+}
+
+TEST(RandomInstances, PlatformModeCount) {
+  util::Rng rng(5);
+  PlatformParams params;
+  params.modes = 3;
+  const auto p =
+      random_platform(rng, 3, 1, PlatformClass::FullyHomogeneous, params);
+  // Modes may collapse if duplicates drawn (unlikely with log-uniform).
+  EXPECT_GE(p.processor(0).mode_count(), 1u);
+  EXPECT_LE(p.processor(0).mode_count(), 3u);
+}
+
+TEST(RandomInstances, ProblemShapeHonored) {
+  util::Rng rng(6);
+  ProblemShape shape;
+  shape.applications = 3;
+  shape.processors = 7;
+  shape.platform_class = PlatformClass::CommHomogeneous;
+  shape.comm = core::CommModel::NoOverlap;
+  const core::Problem p = random_problem(rng, shape);
+  EXPECT_EQ(p.application_count(), 3u);
+  EXPECT_EQ(p.platform().processor_count(), 7u);
+  EXPECT_EQ(p.comm_model(), core::CommModel::NoOverlap);
+}
+
+TEST(RandomInstances, SpecialAppProblem) {
+  util::Rng rng(7);
+  ProblemShape shape;
+  shape.special_app = true;
+  shape.applications = 2;
+  const core::Problem p = random_problem(rng, shape);
+  EXPECT_TRUE(p.is_special_app_family());
+}
+
+TEST(RandomInstances, DeterministicAcrossRuns) {
+  ProblemShape shape;
+  util::Rng rng1(42), rng2(42);
+  const core::Problem p1 = random_problem(rng1, shape);
+  const core::Problem p2 = random_problem(rng2, shape);
+  ASSERT_EQ(p1.application_count(), p2.application_count());
+  for (std::size_t a = 0; a < p1.application_count(); ++a) {
+    ASSERT_EQ(p1.application(a).stage_count(), p2.application(a).stage_count());
+    for (std::size_t k = 0; k < p1.application(a).stage_count(); ++k) {
+      EXPECT_DOUBLE_EQ(p1.application(a).compute(k), p2.application(a).compute(k));
+    }
+  }
+}
+
+TEST(RandomInstances, RejectsZeroProcessors) {
+  util::Rng rng(8);
+  EXPECT_THROW((void)random_platform(rng, 0, 1, PlatformClass::FullyHomogeneous,
+                                     PlatformParams{}),
+               std::invalid_argument);
+}
+
+TEST(RandomInstances, HeterogeneousBandwidthsWithinRange) {
+  util::Rng rng(9);
+  PlatformParams params;
+  params.min_bandwidth = 2.0;
+  params.max_bandwidth = 3.0;
+  const auto p =
+      random_platform(rng, 4, 2, PlatformClass::FullyHeterogeneous, params);
+  for (std::size_t u = 0; u < 4; ++u) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      if (u == v) continue;
+      EXPECT_GE(p.bandwidth(u, v), 2.0);
+      EXPECT_LE(p.bandwidth(u, v), 3.0);
+      EXPECT_DOUBLE_EQ(p.bandwidth(u, v), p.bandwidth(v, u));
+    }
+  }
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (std::size_t u = 0; u < 4; ++u) {
+      EXPECT_GE(p.in_bandwidth(a, u), 2.0);
+      EXPECT_LE(p.out_bandwidth(a, u), 3.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::gen

@@ -1,0 +1,66 @@
+#include "gen/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipeopt::gen {
+namespace {
+
+TEST(Workloads, VideoTranscodeShape) {
+  const core::Application app = video_transcode_app(2.0, 1.5);
+  EXPECT_EQ(app.stage_count(), 6u);
+  EXPECT_DOUBLE_EQ(app.weight(), 1.5);
+  EXPECT_DOUBLE_EQ(app.boundary_size(0), 2.0);
+  // Encode (stage 5, 0-based index 4) is the heaviest stage.
+  for (std::size_t k = 0; k < app.stage_count(); ++k) {
+    EXPECT_LE(app.compute(k), app.compute(4));
+  }
+}
+
+TEST(Workloads, DspFilterUniform) {
+  const core::Application app = dsp_filter_app(8, 0.25);
+  EXPECT_EQ(app.stage_count(), 8u);
+  for (std::size_t k = 0; k < 8; ++k) EXPECT_DOUBLE_EQ(app.compute(k), 1.0);
+  // Zero taps clamps to one stage.
+  EXPECT_EQ(dsp_filter_app(0, 0.25).stage_count(), 1u);
+}
+
+TEST(Workloads, ImagePipelineShrinksData) {
+  const core::Application app = image_pipeline_app(10.0);
+  EXPECT_EQ(app.stage_count(), 5u);
+  // Data sizes shrink monotonically after the denoise stage.
+  for (std::size_t i = 2; i < app.stage_count(); ++i) {
+    EXPECT_LE(app.boundary_size(i + 1), app.boundary_size(i));
+  }
+}
+
+TEST(Workloads, HomogeneousCluster) {
+  const core::Platform p = homogeneous_cluster(4, 3, 2.0, 2.0, 1.0, 0.5);
+  EXPECT_EQ(p.processor_count(), 4u);
+  EXPECT_EQ(p.classify(), core::PlatformClass::FullyHomogeneous);
+  EXPECT_EQ(p.processor(0).mode_count(), 3u);
+  EXPECT_DOUBLE_EQ(p.processor(0).min_speed(), 2.0);
+  EXPECT_DOUBLE_EQ(p.processor(0).max_speed(), 4.0);
+  EXPECT_DOUBLE_EQ(p.processor(0).static_energy(), 0.5);
+}
+
+TEST(Workloads, HomogeneousClusterSingleMode) {
+  const core::Platform p = homogeneous_cluster(2, 1, 3.0, 2.0, 1.0, 0.0);
+  EXPECT_TRUE(p.is_uni_modal());
+  EXPECT_DOUBLE_EQ(p.processor(0).max_speed(), 6.0);  // base * turbo^1
+}
+
+TEST(Workloads, WorkstationNetworkIsCommHomogeneous) {
+  util::Rng rng(11);
+  const core::Platform p = workstation_network(rng, 6, 2, 2.0, 0.1);
+  EXPECT_EQ(p.processor_count(), 6u);
+  EXPECT_TRUE(p.has_uniform_bandwidth());
+  EXPECT_DOUBLE_EQ(p.uniform_bandwidth(), 2.0);
+  // Mode spread: slowest mode is half the fastest.
+  for (std::size_t u = 0; u < 6; ++u) {
+    EXPECT_NEAR(p.processor(u).min_speed(), 0.5 * p.processor(u).max_speed(),
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::gen

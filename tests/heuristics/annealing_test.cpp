@@ -1,0 +1,112 @@
+#include "heuristics/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
+#include "heuristics/interval_greedy.hpp"
+
+namespace pipeopt::heuristics {
+namespace {
+
+using core::ConstraintSet;
+using core::Mapping;
+using core::Thresholds;
+
+TEST(Annealing, ImprovesEnergyOnExample) {
+  // Tri-criteria heuristic on the §2 instance: start at the period-optimal
+  // mapping (energy 136), require period <= 2, minimize energy. The optimum
+  // is 46; annealing must at least beat pure DVFS scaling's 81.
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 2, 1}, {1, 0, 1, 1, 1}, {1, 2, 3, 0, 1}});
+  ConstraintSet constraints;
+  constraints.period = Thresholds::per_app({2.0, 2.0});
+  util::Rng rng(7);
+  AnnealingOptions options;
+  options.iterations = 4000;
+  const auto result =
+      simulated_annealing(problem, start, Goal::Energy, constraints, rng, options);
+  ASSERT_TRUE(std::isfinite(result.value));
+  EXPECT_LE(result.value, 81.0);
+  const auto metrics = core::evaluate(problem, result.mapping);
+  EXPECT_TRUE(constraints.satisfied_by(metrics));
+  EXPECT_NEAR(metrics.energy, result.value, 1e-12);
+}
+
+TEST(Annealing, InfeasibleStartCanRecover) {
+  // Start from the min-energy mapping (period 14) with a period bound of 2:
+  // infeasible start, but the walk can cross into feasibility.
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 0, 0}, {1, 0, 3, 2, 0}});
+  ConstraintSet constraints;
+  constraints.period = Thresholds::per_app({2.0, 2.0});
+  util::Rng rng(13);
+  AnnealingOptions options;
+  options.iterations = 4000;
+  const auto result =
+      simulated_annealing(problem, start, Goal::Energy, constraints, rng, options);
+  ASSERT_TRUE(std::isfinite(result.value));
+  const auto metrics = core::evaluate(problem, result.mapping);
+  EXPECT_TRUE(constraints.satisfied_by(metrics));
+}
+
+TEST(Annealing, InfeasibleValueWhenNothingFeasibleSeen) {
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 0, 0}, {1, 0, 3, 2, 0}});
+  ConstraintSet constraints;
+  constraints.period = Thresholds::per_app({0.1, 0.1});  // impossible
+  util::Rng rng(17);
+  AnnealingOptions options;
+  options.iterations = 200;
+  const auto result =
+      simulated_annealing(problem, start, Goal::Energy, constraints, rng, options);
+  EXPECT_FALSE(std::isfinite(result.value));
+}
+
+TEST(Annealing, DeterministicGivenSeed) {
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 0, 1}, {1, 0, 3, 2, 1}});
+  util::Rng rng1(23), rng2(23);
+  AnnealingOptions options;
+  options.iterations = 500;
+  const auto r1 =
+      simulated_annealing(problem, start, Goal::Period, {}, rng1, options);
+  const auto r2 =
+      simulated_annealing(problem, start, Goal::Period, {}, rng2, options);
+  EXPECT_DOUBLE_EQ(r1.value, r2.value);
+  EXPECT_EQ(r1.accepted, r2.accepted);
+}
+
+TEST(Annealing, ApproachesExactOnTinyInstances) {
+  util::Rng rng(29);
+  int close = 0;
+  const int iters = 10;
+  for (int iter = 0; iter < iters; ++iter) {
+    gen::ProblemShape shape;
+    shape.applications = 1;
+    shape.app.min_stages = 2;
+    shape.app.max_stages = 3;
+    shape.processors = 3;
+    shape.platform.modes = 2;
+    shape.platform_class = core::PlatformClass::CommHomogeneous;
+    const auto problem = gen::random_problem(rng, shape);
+    const auto start = greedy_interval_mapping(problem);
+    ASSERT_TRUE(start.has_value());
+    util::Rng walk = rng.fork();
+    AnnealingOptions options;
+    options.iterations = 1500;
+    const auto result =
+        simulated_annealing(problem, *start, Goal::Period, {}, walk, options);
+    const auto oracle =
+        exact::exact_min_period(problem, exact::MappingKind::Interval);
+    ASSERT_TRUE(oracle.has_value());
+    EXPECT_GE(result.value, oracle->value - 1e-9);
+    if (result.value <= oracle->value * 1.1) ++close;
+  }
+  EXPECT_GE(close, iters * 6 / 10);
+}
+
+}  // namespace
+}  // namespace pipeopt::heuristics

@@ -1,0 +1,79 @@
+#include "heuristics/interval_greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/random_instances.hpp"
+
+namespace pipeopt::heuristics {
+namespace {
+
+using core::CommModel;
+using core::PlatformClass;
+
+class GreedyAllPlatforms : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyAllPlatforms, ProducesValidMappings) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 59 + 3);
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng.index(3);
+  shape.processors = shape.applications + rng.index(6);
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 8;
+  shape.platform.modes = 1 + rng.index(3);
+  const std::array<PlatformClass, 3> classes{PlatformClass::FullyHomogeneous,
+                                             PlatformClass::CommHomogeneous,
+                                             PlatformClass::FullyHeterogeneous};
+  shape.platform_class = classes[rng.index(3)];
+  shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  const auto problem = gen::random_problem(rng, shape);
+
+  const auto mapping = greedy_interval_mapping(problem);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_FALSE(mapping->validate(problem).has_value())
+      << mapping->validate(problem).value_or("");
+  // Runs at max speed everywhere.
+  for (const auto& iv : mapping->intervals()) {
+    EXPECT_EQ(iv.mode, problem.platform().processor(iv.proc).max_mode());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GreedyAllPlatforms, ::testing::Range(0, 60));
+
+TEST(GreedyInterval, TooFewProcessors) {
+  util::Rng rng(71);
+  gen::ProblemShape shape;
+  shape.applications = 3;
+  shape.processors = 2;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_FALSE(greedy_interval_mapping(problem).has_value());
+}
+
+TEST(GreedyInterval, ReasonableGapOnHomogeneousInstances) {
+  // On fully homogeneous platforms the optimum is known (Theorem 3): the
+  // constructive greedy should stay within a small constant factor.
+  util::Rng rng(72);
+  double worst_ratio = 1.0;
+  for (int iter = 0; iter < 20; ++iter) {
+    gen::ProblemShape shape;
+    shape.applications = 1 + rng.index(2);
+    shape.app.min_stages = 2;
+    shape.app.max_stages = 4;
+    shape.processors = shape.applications + 1 + rng.index(2);
+    shape.platform_class = PlatformClass::FullyHomogeneous;
+    const auto problem = gen::random_problem(rng, shape);
+    const auto mapping = greedy_interval_mapping(problem);
+    ASSERT_TRUE(mapping.has_value());
+    const auto oracle =
+        exact::exact_min_period(problem, exact::MappingKind::Interval);
+    ASSERT_TRUE(oracle.has_value());
+    const double heuristic_period =
+        core::evaluate(problem, *mapping).max_weighted_period;
+    worst_ratio = std::max(worst_ratio, heuristic_period / oracle->value);
+  }
+  EXPECT_LT(worst_ratio, 4.0);
+}
+
+}  // namespace
+}  // namespace pipeopt::heuristics

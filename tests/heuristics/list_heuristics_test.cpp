@@ -1,0 +1,114 @@
+#include "heuristics/list_heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/random_instances.hpp"
+
+namespace pipeopt::heuristics {
+namespace {
+
+using core::Application;
+using core::Problem;
+using core::StageSpec;
+
+TEST(RankMatching, HeaviestStageGetsFastestProcessor) {
+  std::vector<Application> apps;
+  apps.push_back(Application(0.0, {StageSpec{1.0, 0.0}, StageSpec{9.0, 0.0},
+                                   StageSpec{4.0, 0.0}}));
+  std::vector<core::Processor> procs;
+  procs.emplace_back(std::vector<double>{2.0});
+  procs.emplace_back(std::vector<double>{8.0});
+  procs.emplace_back(std::vector<double>{4.0});
+  const Problem p(std::move(apps), core::Platform(std::move(procs), 1.0));
+  const auto mapping = one_to_one_rank_matching(p);
+  ASSERT_TRUE(mapping.has_value());
+  mapping->validate_or_throw(p);
+  // Stage 1 (w=9) -> P1 (speed 8); stage 2 (w=4) -> P2 (speed 4);
+  // stage 0 (w=1) -> P0 (speed 2).
+  for (const auto& iv : mapping->intervals()) {
+    if (iv.first == 1) {
+      EXPECT_EQ(iv.proc, 1u);
+    } else if (iv.first == 2) {
+      EXPECT_EQ(iv.proc, 2u);
+    } else {
+      EXPECT_EQ(iv.proc, 0u);
+    }
+  }
+}
+
+TEST(RankMatching, WeightsReorderStages) {
+  // A light stage of a heavily-weighted application outranks a heavy stage
+  // of a unit-weight one.
+  std::vector<Application> apps;
+  apps.push_back(Application(0.0, {StageSpec{2.0, 0.0}}, 10.0));
+  apps.push_back(Application(0.0, {StageSpec{5.0, 0.0}}, 1.0));
+  std::vector<core::Processor> procs;
+  procs.emplace_back(std::vector<double>{1.0});
+  procs.emplace_back(std::vector<double>{6.0});
+  const Problem p(std::move(apps), core::Platform(std::move(procs), 1.0));
+  const auto mapping = one_to_one_rank_matching(p);
+  ASSERT_TRUE(mapping.has_value());
+  for (const auto& iv : mapping->intervals()) {
+    if (iv.app == 0) {
+      EXPECT_EQ(iv.proc, 1u);  // weighted 20 > 5
+    }
+  }
+}
+
+TEST(RankMatching, TooFewProcessors) {
+  util::Rng rng(3);
+  gen::ProblemShape shape;
+  shape.applications = 2;
+  shape.processors = 2;
+  shape.app.min_stages = 2;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_FALSE(one_to_one_rank_matching(problem).has_value());
+}
+
+TEST(RankMatching, ValidOnAllPlatformClasses) {
+  util::Rng rng(4);
+  for (int iter = 0; iter < 20; ++iter) {
+    gen::ProblemShape shape;
+    shape.applications = 1 + rng.index(2);
+    shape.app.min_stages = 1;
+    shape.app.max_stages = 3;
+    shape.processors = 8;
+    shape.platform.modes = 1 + rng.index(3);
+    const std::array<core::PlatformClass, 3> classes{
+        core::PlatformClass::FullyHomogeneous,
+        core::PlatformClass::CommHomogeneous,
+        core::PlatformClass::FullyHeterogeneous};
+    shape.platform_class = classes[rng.index(3)];
+    const auto problem = gen::random_problem(rng, shape);
+    const auto mapping = one_to_one_rank_matching(problem);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_FALSE(mapping->validate(problem).has_value());
+    EXPECT_TRUE(mapping->is_one_to_one());
+  }
+}
+
+TEST(RankMatching, OptimalOnUniformStagesCommHom) {
+  // With identical stages and no communication the rank matching is
+  // optimal for the period (any bijection is, by the exchange argument).
+  util::Rng rng(5);
+  gen::ProblemShape shape;
+  shape.applications = 2;
+  shape.special_app = true;
+  shape.app.min_stages = 2;
+  shape.app.max_stages = 2;
+  shape.processors = 5;
+  shape.platform_class = core::PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  const auto mapping = one_to_one_rank_matching(problem);
+  ASSERT_TRUE(mapping.has_value());
+  const auto oracle =
+      exact::exact_min_period(problem, exact::MappingKind::OneToOne);
+  ASSERT_TRUE(oracle.has_value());
+  EXPECT_NEAR(core::evaluate(problem, *mapping).max_weighted_period,
+              oracle->value, 1e-9);
+}
+
+}  // namespace
+}  // namespace pipeopt::heuristics

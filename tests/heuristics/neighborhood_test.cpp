@@ -1,0 +1,91 @@
+#include "heuristics/neighborhood.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
+#include "heuristics/interval_greedy.hpp"
+
+namespace pipeopt::heuristics {
+namespace {
+
+using core::Mapping;
+using core::PlatformClass;
+
+TEST(Neighborhood, AllNeighboursValid) {
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 0, 0}, {1, 0, 3, 2, 0}});
+  const auto all = neighbours(problem, start);
+  ASSERT_FALSE(all.empty());
+  for (const Mapping& m : all) {
+    EXPECT_FALSE(m.validate(problem).has_value())
+        << m.validate(problem).value_or("");
+  }
+}
+
+TEST(Neighborhood, ContainsExpectedMoveKinds) {
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 0, 0}, {1, 0, 3, 2, 0}});
+  bool saw_split = false, saw_mode = false, saw_relocate = false, saw_swap = false;
+  for (const Mapping& m : neighbours(problem, start)) {
+    if (m.interval_count() == 3) saw_split = true;
+    if (m.interval_count() == 2) {
+      const auto ivs = m.intervals();
+      if (ivs[0].proc == 0 && ivs[1].proc == 2 &&
+          (ivs[0].mode != 0 || ivs[1].mode != 0)) {
+        saw_mode = true;
+      }
+      if (ivs[0].proc == 2 && ivs[1].proc == 0) saw_swap = true;
+      if (ivs[0].proc == 1 || ivs[1].proc == 1) saw_relocate = true;
+    }
+  }
+  EXPECT_TRUE(saw_split);
+  EXPECT_TRUE(saw_mode);
+  EXPECT_TRUE(saw_relocate);
+  EXPECT_TRUE(saw_swap);
+}
+
+TEST(Neighborhood, MergeShrinksIntervalCount) {
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 2, 1}, {1, 0, 1, 1, 1}, {1, 2, 3, 0, 1}});
+  bool saw_merge = false;
+  for (const Mapping& m : neighbours(problem, start)) {
+    if (m.interval_count() == 2) saw_merge = true;
+  }
+  EXPECT_TRUE(saw_merge);
+}
+
+TEST(Neighborhood, RandomNeighbourIsValid) {
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 0, 0}, {1, 0, 3, 2, 0}});
+  util::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const auto m = random_neighbour(problem, start, rng);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_FALSE(m->validate(problem).has_value());
+  }
+}
+
+TEST(Neighborhood, SweepAcrossPlatformClasses) {
+  util::Rng rng(11);
+  for (int iter = 0; iter < 20; ++iter) {
+    gen::ProblemShape shape;
+    shape.applications = 1 + rng.index(2);
+    shape.processors = shape.applications + 1 + rng.index(3);
+    shape.platform.modes = 1 + rng.index(3);
+    const std::array<PlatformClass, 3> classes{
+        PlatformClass::FullyHomogeneous, PlatformClass::CommHomogeneous,
+        PlatformClass::FullyHeterogeneous};
+    shape.platform_class = classes[rng.index(3)];
+    const auto problem = gen::random_problem(rng, shape);
+    const auto start = greedy_interval_mapping(problem);
+    ASSERT_TRUE(start.has_value());
+    for (const Mapping& m : neighbours(problem, *start)) {
+      ASSERT_FALSE(m.validate(problem).has_value())
+          << m.validate(problem).value_or("");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::heuristics

@@ -1,0 +1,89 @@
+#include "heuristics/speed_scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
+#include "heuristics/interval_greedy.hpp"
+
+namespace pipeopt::heuristics {
+namespace {
+
+using core::ConstraintSet;
+using core::Mapping;
+using core::Thresholds;
+
+TEST(SpeedScaling, ReducesEnergyUnderPeriodConstraint) {
+  // §2 period-optimal mapping (energy 136); allowing period 2 lets the
+  // scaler drop modes: P2 -> 6 and P1 -> 3 stay within the bound, P3 cannot
+  // slow down (App1 would hit period 6). Result: 36 + 36 + 9 = 81 — feasible
+  // but above the optimal restructured mapping's 46, which demonstrates why
+  // DVFS-only scaling is a heuristic.
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 2, 1}, {1, 0, 1, 1, 1}, {1, 2, 3, 0, 1}});
+  ConstraintSet constraints;
+  constraints.period = Thresholds::per_app({2.0, 2.0});
+  const auto result = scale_down_speeds(problem, start, constraints);
+  EXPECT_DOUBLE_EQ(result.energy_before, 136.0);
+  EXPECT_DOUBLE_EQ(result.energy_after, 81.0);
+  EXPECT_EQ(result.steps, 2u);
+  const auto metrics = core::evaluate(problem, result.mapping);
+  EXPECT_TRUE(constraints.satisfied_by(metrics));
+}
+
+TEST(SpeedScaling, NoSlackNoChange) {
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 2, 1}, {1, 0, 1, 1, 1}, {1, 2, 3, 0, 1}});
+  ConstraintSet constraints;
+  constraints.period = Thresholds::per_app({1.0, 1.0});
+  const auto result = scale_down_speeds(problem, start, constraints);
+  EXPECT_EQ(result.steps, 0u);
+  EXPECT_DOUBLE_EQ(result.energy_after, result.energy_before);
+}
+
+TEST(SpeedScaling, RejectsInfeasibleStart) {
+  const auto problem = gen::motivating_example();
+  const Mapping slow({{0, 0, 2, 0, 0}, {1, 0, 3, 2, 0}});  // period 14
+  ConstraintSet constraints;
+  constraints.period = Thresholds::per_app({1.0, 1.0});
+  EXPECT_THROW((void)scale_down_speeds(problem, slow, constraints),
+               std::invalid_argument);
+}
+
+TEST(SpeedScaling, LatencyConstraintsRespected) {
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 0, 1}, {1, 0, 3, 1, 1}});  // latency-optimal
+  ConstraintSet constraints;
+  constraints.latency = Thresholds::per_app({3.0, 3.0});
+  const auto result = scale_down_speeds(problem, start, constraints);
+  const auto metrics = core::evaluate(problem, result.mapping);
+  EXPECT_TRUE(constraints.satisfied_by(metrics));
+  EXPECT_LE(result.energy_after, result.energy_before);
+}
+
+TEST(SpeedScaling, PropertySweepEnergyMonotone) {
+  util::Rng rng(81);
+  for (int iter = 0; iter < 25; ++iter) {
+    gen::ProblemShape shape;
+    shape.applications = 1 + rng.index(2);
+    shape.processors = shape.applications + 1 + rng.index(3);
+    shape.platform.modes = 3;
+    shape.platform_class = core::PlatformClass::CommHomogeneous;
+    const auto problem = gen::random_problem(rng, shape);
+    const auto start = greedy_interval_mapping(problem);
+    ASSERT_TRUE(start.has_value());
+    const auto base = core::evaluate(problem, *start);
+
+    ConstraintSet constraints;
+    constraints.period = Thresholds::uniform(
+        problem, base.max_weighted_period * rng.uniform(1.0, 2.0));
+    const auto result = scale_down_speeds(problem, *start, constraints);
+    EXPECT_LE(result.energy_after, result.energy_before + 1e-12);
+    const auto metrics = core::evaluate(problem, result.mapping);
+    EXPECT_TRUE(constraints.satisfied_by(metrics));
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::heuristics

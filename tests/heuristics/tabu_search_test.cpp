@@ -1,0 +1,126 @@
+#include "heuristics/tabu_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
+#include "heuristics/interval_greedy.hpp"
+#include "heuristics/local_search.hpp"
+
+namespace pipeopt::heuristics {
+namespace {
+
+using core::ConstraintSet;
+using core::Mapping;
+using core::Thresholds;
+
+TEST(TabuSearch, EscapesTheHillClimbingLocalMinimum) {
+  // §2, energy under period <= 2: hill climbing stalls at 73 (see
+  // local_search_test); tabu's climbing moves must do at least as well and
+  // reach the restructured optimum 46 on this small instance.
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 2, 1}, {1, 0, 1, 1, 1}, {1, 2, 3, 0, 1}});
+  ConstraintSet constraints;
+  constraints.period = Thresholds::per_app({2.0, 2.0});
+
+  const auto hill = local_search(problem, start, Goal::Energy, constraints);
+  TabuOptions options;
+  options.iterations = 400;
+  const auto tabu = tabu_search(problem, start, Goal::Energy, constraints,
+                                options);
+  EXPECT_LE(tabu.value, hill.value + 1e-12);
+  EXPECT_DOUBLE_EQ(tabu.value, 46.0);
+  const auto metrics = core::evaluate(problem, tabu.mapping);
+  EXPECT_TRUE(constraints.satisfied_by(metrics));
+  EXPECT_DOUBLE_EQ(metrics.energy, 46.0);
+}
+
+TEST(TabuSearch, DeterministicGivenOptions) {
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 0, 1}, {1, 0, 3, 2, 1}});
+  const auto a = tabu_search(problem, start, Goal::Period);
+  const auto b = tabu_search(problem, start, Goal::Period);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+  EXPECT_EQ(a.moves, b.moves);
+}
+
+TEST(TabuSearch, InfeasibleStartCanRecover) {
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 0, 0}, {1, 0, 3, 2, 0}});  // period 14
+  ConstraintSet constraints;
+  constraints.period = Thresholds::per_app({2.0, 2.0});
+  TabuOptions options;
+  options.iterations = 400;
+  const auto result =
+      tabu_search(problem, start, Goal::Energy, constraints, options);
+  ASSERT_TRUE(std::isfinite(result.value));
+  EXPECT_TRUE(constraints.satisfied_by(core::evaluate(problem, result.mapping)));
+}
+
+TEST(TabuSearch, ImpossibleConstraintsGiveInfiniteValue) {
+  const auto problem = gen::motivating_example();
+  const Mapping start({{0, 0, 2, 0, 0}, {1, 0, 3, 2, 0}});
+  ConstraintSet constraints;
+  constraints.period = Thresholds::per_app({0.1, 0.1});
+  TabuOptions options;
+  options.iterations = 50;
+  const auto result =
+      tabu_search(problem, start, Goal::Energy, constraints, options);
+  EXPECT_FALSE(std::isfinite(result.value));
+}
+
+TEST(TabuSearch, NeverWorseThanStartOnFeasibleInstances) {
+  util::Rng rng(117);
+  for (int iter = 0; iter < 12; ++iter) {
+    gen::ProblemShape shape;
+    shape.applications = 1 + rng.index(2);
+    shape.processors = shape.applications + 1 + rng.index(3);
+    shape.platform.modes = 2;
+    const std::array<core::PlatformClass, 3> classes{
+        core::PlatformClass::FullyHomogeneous,
+        core::PlatformClass::CommHomogeneous,
+        core::PlatformClass::FullyHeterogeneous};
+    shape.platform_class = classes[rng.index(3)];
+    const auto problem = gen::random_problem(rng, shape);
+    const auto start = greedy_interval_mapping(problem);
+    ASSERT_TRUE(start.has_value());
+    const double before = core::evaluate(problem, *start).max_weighted_period;
+    TabuOptions options;
+    options.iterations = 120;
+    const auto result = tabu_search(problem, *start, Goal::Period, {}, options);
+    EXPECT_LE(result.value, before + 1e-12);
+    EXPECT_FALSE(result.mapping.validate(problem).has_value());
+  }
+}
+
+TEST(TabuSearch, MatchesExactOnTinyInstances) {
+  util::Rng rng(118);
+  int hits = 0;
+  const int iters = 10;
+  for (int iter = 0; iter < iters; ++iter) {
+    gen::ProblemShape shape;
+    shape.applications = 1;
+    shape.app.min_stages = 2;
+    shape.app.max_stages = 4;
+    shape.processors = 3;
+    shape.platform.modes = 2;
+    shape.platform_class = core::PlatformClass::CommHomogeneous;
+    const auto problem = gen::random_problem(rng, shape);
+    const auto start = greedy_interval_mapping(problem);
+    ASSERT_TRUE(start.has_value());
+    TabuOptions options;
+    options.iterations = 200;
+    const auto result = tabu_search(problem, *start, Goal::Period, {}, options);
+    const auto oracle =
+        exact::exact_min_period(problem, exact::MappingKind::Interval);
+    ASSERT_TRUE(oracle.has_value());
+    EXPECT_GE(result.value, oracle->value - 1e-9);
+    if (result.value <= oracle->value * 1.02) ++hits;
+  }
+  EXPECT_GE(hits, iters * 7 / 10);
+}
+
+}  // namespace
+}  // namespace pipeopt::heuristics

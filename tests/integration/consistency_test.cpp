@@ -1,0 +1,223 @@
+/// \file consistency_test.cpp
+/// Cross-algorithm invariants: relationships that must hold between the
+/// library's solvers regardless of instance, platform class or model.
+/// These are the "free" theorems the implementation must respect.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bicriteria_period_latency.hpp"
+#include "algorithms/energy_interval_dp.hpp"
+#include "algorithms/energy_matching.hpp"
+#include "algorithms/interval_period_multi.hpp"
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/random_instances.hpp"
+#include "heuristics/interval_greedy.hpp"
+#include "heuristics/speed_scaling.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt {
+namespace {
+
+using core::CommModel;
+using core::PlatformClass;
+using core::Thresholds;
+
+class Consistency : public ::testing::TestWithParam<int> {
+ protected:
+  util::Rng rng_{static_cast<std::uint64_t>(GetParam()) * 613 + 101};
+};
+
+TEST_P(Consistency, IntervalOptimumNeverWorseThanOneToOne) {
+  // One-to-one mappings are interval mappings with singleton intervals, so
+  // the interval optimum is at least as good for any objective.
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng_.index(2);
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 3;
+  shape.processors = 6;
+  shape.platform_class = rng_.chance(0.5) ? PlatformClass::FullyHomogeneous
+                                          : PlatformClass::CommHomogeneous;
+  shape.comm = rng_.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  const auto problem = gen::random_problem(rng_, shape);
+
+  const auto one = exact::exact_min_period(problem, exact::MappingKind::OneToOne);
+  const auto interval =
+      exact::exact_min_period(problem, exact::MappingKind::Interval);
+  ASSERT_TRUE(interval.has_value());
+  if (one) {
+    EXPECT_LE(interval->value, one->value + 1e-12);
+  }
+  const auto one_l =
+      exact::exact_min_latency(problem, exact::MappingKind::OneToOne);
+  const auto interval_l =
+      exact::exact_min_latency(problem, exact::MappingKind::Interval);
+  ASSERT_TRUE(interval_l.has_value());
+  if (one_l) {
+    EXPECT_LE(interval_l->value, one_l->value + 1e-12);
+  }
+}
+
+TEST_P(Consistency, PeriodNeverExceedsLatency) {
+  // Every cycle-time piece of every interval appears in the latency sum
+  // (Eq. 3/4 vs Eq. 5), so T_a <= L_a for any mapping, both models.
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng_.index(3);
+  shape.processors = 3 + rng_.index(4);
+  shape.platform.modes = 1 + rng_.index(2);
+  const std::array<PlatformClass, 3> classes{PlatformClass::FullyHomogeneous,
+                                             PlatformClass::CommHomogeneous,
+                                             PlatformClass::FullyHeterogeneous};
+  shape.platform_class = classes[rng_.index(3)];
+  shape.comm = rng_.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  const auto problem = gen::random_problem(rng_, shape);
+
+  // Random valid mapping via enumeration sampling: take every 7th mapping.
+  exact::EnumerationOptions options;
+  options.kind = exact::MappingKind::Interval;
+  options.enumerate_modes = true;
+  options.node_limit = 2'000'000;
+  std::size_t counter = 0;
+  try {
+    exact::enumerate_mappings(
+        problem, options, [&](std::span<const core::IntervalAssignment> ivs) {
+          if (++counter % 7 != 0) return;
+          const core::Mapping mapping(
+              std::vector<core::IntervalAssignment>(ivs.begin(), ivs.end()));
+          const auto metrics = core::evaluate(problem, mapping, false);
+          for (const auto& app : metrics.per_app) {
+            ASSERT_TRUE(util::approx_le(app.period, app.latency))
+                << "period " << app.period << " > latency " << app.latency;
+          }
+        });
+  } catch (const exact::SearchLimitExceeded&) {
+    // Large space: the sampled prefix is plenty.
+  }
+  EXPECT_GT(counter, 0u);
+}
+
+TEST_P(Consistency, OverlapPeriodNeverExceedsNoOverlap) {
+  // max(a, b, c) <= a + b + c: Eq. 3 <= Eq. 4 on the same mapping.
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng_.index(2);
+  shape.processors = 4;
+  shape.platform_class = PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng_, shape);
+  const auto overlap = problem.with_comm_model(CommModel::Overlap);
+  const auto serial = problem.with_comm_model(CommModel::NoOverlap);
+
+  const auto o = exact::exact_min_period(overlap, exact::MappingKind::Interval);
+  const auto s = exact::exact_min_period(serial, exact::MappingKind::Interval);
+  ASSERT_TRUE(o.has_value());
+  ASSERT_TRUE(s.has_value());
+  EXPECT_LE(o->value, s->value + 1e-12);
+}
+
+TEST_P(Consistency, EnergyMonotoneInPeriodBound) {
+  // Relaxing the period threshold can only reduce the optimal energy.
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng_.index(2);
+  shape.app.max_stages = 3;
+  shape.processors = 4;
+  shape.platform.modes = 2;
+  shape.platform_class = PlatformClass::FullyHomogeneous;
+  const auto problem = gen::random_problem(rng_, shape);
+  const auto perf = exact::exact_min_period(problem, exact::MappingKind::Interval);
+  ASSERT_TRUE(perf.has_value());
+
+  double previous = util::kInfinity;
+  for (double factor : {1.0, 1.3, 1.8, 2.5, 4.0}) {
+    const auto result = algorithms::interval_min_energy_under_period(
+        problem, Thresholds::uniform(problem, perf->value * factor));
+    ASSERT_TRUE(result.has_value()) << factor;
+    EXPECT_LE(result->value, previous + 1e-12) << factor;
+    previous = result->value;
+  }
+}
+
+TEST_P(Consistency, BicriteriaDualityRoundTrip) {
+  // L*(T) = min latency under period bound T; T*(L) = min period under
+  // latency bound L. Then T*(L*(T)) <= T must hold (the witness of L*(T)
+  // certifies it), and L*(T*(L*(T))) == L*(T).
+  gen::ProblemShape shape;
+  shape.applications = 1;
+  shape.app.min_stages = 2;
+  shape.app.max_stages = 5;
+  shape.processors = 4;
+  shape.platform_class = PlatformClass::FullyHomogeneous;
+  const auto problem = gen::random_problem(rng_, shape);
+  const auto& app = problem.application(0);
+  const auto& platform = problem.platform();
+  const double speed = platform.processor(0).max_speed();
+  const double bw = platform.uniform_bandwidth();
+  const std::size_t q = platform.processor_count();
+
+  const auto unconstrained = exact::exact_min_period(
+      problem, exact::MappingKind::Interval);
+  ASSERT_TRUE(unconstrained.has_value());
+  const double t_bound = unconstrained->value * rng_.uniform(1.0, 2.0);
+
+  const algorithms::LatencyUnderPeriodDp dp(app, speed, bw,
+                                            problem.comm_model(), q, t_bound);
+  const double l_star = dp.min_latency_by_count(q);
+  ASSERT_TRUE(std::isfinite(l_star));
+
+  const double t_star = algorithms::min_period_under_latency(
+      app, speed, bw, problem.comm_model(), q, l_star);
+  EXPECT_TRUE(util::approx_le(t_star, t_bound));
+
+  const algorithms::LatencyUnderPeriodDp dp2(app, speed, bw,
+                                             problem.comm_model(), q, t_star);
+  EXPECT_TRUE(util::approx_eq(dp2.min_latency_by_count(q), l_star));
+}
+
+TEST_P(Consistency, SpeedScalingIsIdempotent) {
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng_.index(2);
+  shape.processors = shape.applications + 2;
+  shape.platform.modes = 3;
+  shape.platform_class = PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng_, shape);
+  const auto start = heuristics::greedy_interval_mapping(problem);
+  ASSERT_TRUE(start.has_value());
+  core::ConstraintSet constraints;
+  constraints.period = Thresholds::uniform(
+      problem,
+      core::evaluate(problem, *start).max_weighted_period * rng_.uniform(1.0, 2.0));
+  const auto once = heuristics::scale_down_speeds(problem, *start, constraints);
+  const auto twice =
+      heuristics::scale_down_speeds(problem, once.mapping, constraints);
+  EXPECT_EQ(twice.steps, 0u);
+  EXPECT_DOUBLE_EQ(twice.energy_after, once.energy_after);
+}
+
+TEST_P(Consistency, MatchingAndIntervalEnergyAgreeOnSingletonChains) {
+  // When every application has exactly one stage, interval and one-to-one
+  // mappings coincide, so Theorem 19's matching and Theorem 21's DP must
+  // return the same optimal energy (fully homogeneous platforms).
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng_.index(3);
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 1;
+  shape.processors = shape.applications + rng_.index(3);
+  shape.platform.modes = 2;
+  shape.platform_class = PlatformClass::FullyHomogeneous;
+  const auto problem = gen::random_problem(rng_, shape);
+  const auto perf = exact::exact_min_period(problem, exact::MappingKind::Interval);
+  ASSERT_TRUE(perf.has_value());
+  const Thresholds bounds =
+      Thresholds::uniform(problem, perf->value * rng_.uniform(1.0, 2.0));
+
+  const auto matching =
+      algorithms::one_to_one_min_energy_under_period(problem, bounds);
+  const auto dp = algorithms::interval_min_energy_under_period(problem, bounds);
+  ASSERT_EQ(matching.has_value(), dp.has_value());
+  if (matching) {
+    EXPECT_NEAR(matching->value, dp->value, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Consistency, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace pipeopt

@@ -1,0 +1,121 @@
+/// \file mapping_fuzz_test.cpp
+/// Failure injection: start from a valid mapping, apply a random structural
+/// corruption, and require Mapping::validate to reject it with a reason.
+/// Guards the invariant layer every solver relies on.
+
+#include <gtest/gtest.h>
+
+#include "core/mapping.hpp"
+#include "gen/random_instances.hpp"
+#include "heuristics/interval_greedy.hpp"
+
+namespace pipeopt {
+namespace {
+
+using core::IntervalAssignment;
+using core::Mapping;
+
+enum class Corruption {
+  DuplicateProcessor,
+  ShiftFirst,
+  ShiftLast,
+  DropInterval,
+  BadApp,
+  BadProc,
+  BadMode,
+  SwapIntervalOrder  // overlap two intervals of one application
+};
+
+/// Applies the corruption; returns nullopt when inapplicable to this mapping
+/// (e.g. nothing to drop).
+std::optional<Mapping> corrupt(const core::Problem& problem,
+                               const Mapping& mapping, Corruption kind,
+                               util::Rng& rng) {
+  std::vector<IntervalAssignment> ivs(mapping.intervals().begin(),
+                                      mapping.intervals().end());
+  if (ivs.empty()) return std::nullopt;
+  const std::size_t i = rng.index(ivs.size());
+  switch (kind) {
+    case Corruption::DuplicateProcessor: {
+      if (ivs.size() < 2) return std::nullopt;
+      const std::size_t j = (i + 1) % ivs.size();
+      ivs[i].proc = ivs[j].proc;
+      break;
+    }
+    case Corruption::ShiftFirst:
+      if (ivs[i].first == ivs[i].last) return std::nullopt;
+      ++ivs[i].first;  // leaves a gap before this interval
+      break;
+    case Corruption::ShiftLast:
+      if (ivs[i].first == ivs[i].last) return std::nullopt;
+      --ivs[i].last;  // leaves a gap after this interval
+      break;
+    case Corruption::DropInterval:
+      ivs.erase(ivs.begin() + static_cast<std::ptrdiff_t>(i));
+      if (ivs.empty()) return std::nullopt;
+      break;
+    case Corruption::BadApp:
+      ivs[i].app = problem.application_count() + 3;
+      break;
+    case Corruption::BadProc:
+      ivs[i].proc = problem.platform().processor_count() + 5;
+      break;
+    case Corruption::BadMode:
+      ivs[i].mode = problem.platform().processor(ivs[i].proc).mode_count() + 2;
+      break;
+    case Corruption::SwapIntervalOrder: {
+      // Make interval i overlap its successor within the same application.
+      std::optional<std::size_t> next;
+      for (std::size_t j = 0; j < ivs.size(); ++j) {
+        if (j != i && ivs[j].app == ivs[i].app &&
+            ivs[j].first == ivs[i].last + 1) {
+          next = j;
+          break;
+        }
+      }
+      if (!next) return std::nullopt;
+      ++ivs[i].last;  // now overlaps *next's first stage
+      break;
+    }
+  }
+  return Mapping(std::move(ivs));
+}
+
+class MappingFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MappingFuzz, EveryCorruptionIsRejected) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 271 + 13);
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng.index(3);
+  shape.app.min_stages = 2;
+  shape.app.max_stages = 5;
+  shape.processors = shape.applications * 3;
+  shape.platform.modes = 2;
+  const std::array<core::PlatformClass, 3> classes{
+      core::PlatformClass::FullyHomogeneous,
+      core::PlatformClass::CommHomogeneous,
+      core::PlatformClass::FullyHeterogeneous};
+  shape.platform_class = classes[rng.index(3)];
+  const auto problem = gen::random_problem(rng, shape);
+  const auto mapping = heuristics::greedy_interval_mapping(problem);
+  ASSERT_TRUE(mapping.has_value());
+  ASSERT_FALSE(mapping->validate(problem).has_value());
+
+  for (Corruption kind :
+       {Corruption::DuplicateProcessor, Corruption::ShiftFirst,
+        Corruption::ShiftLast, Corruption::DropInterval, Corruption::BadApp,
+        Corruption::BadProc, Corruption::BadMode,
+        Corruption::SwapIntervalOrder}) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const auto broken = corrupt(problem, *mapping, kind, rng);
+      if (!broken) continue;
+      EXPECT_TRUE(broken->validate(problem).has_value())
+          << "corruption " << static_cast<int>(kind) << " went undetected";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MappingFuzz, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace pipeopt

@@ -1,0 +1,114 @@
+/// \file paper_reproduction_test.cpp
+/// End-to-end integration: the §2 motivating example traversed with every
+/// layer of the library — polynomial algorithms where the paper proves
+/// polynomiality, exact search where it proves NP-hardness, heuristics on
+/// top, and the simulator validating that the chosen mappings actually
+/// deliver the claimed steady-state behaviour.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/latency_algorithms.hpp"
+#include "core/evaluation.hpp"
+#include "core/pareto.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/motivating_example.hpp"
+#include "heuristics/local_search.hpp"
+#include "heuristics/speed_scaling.hpp"
+#include "sim/simulator.hpp"
+
+namespace pipeopt {
+namespace {
+
+using core::Thresholds;
+using gen::MotivatingExampleFacts;
+
+class PaperReproduction : public ::testing::Test {
+ protected:
+  core::Problem problem = gen::motivating_example();
+};
+
+TEST_F(PaperReproduction, LatencyViaPolynomialAlgorithm) {
+  // Interval latency on comm-homogeneous platforms is polynomial (Thm 12).
+  const auto solution = algorithms::interval_min_latency(problem);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_DOUBLE_EQ(solution->value, MotivatingExampleFacts::kOptimalLatency);
+}
+
+TEST_F(PaperReproduction, PeriodViaExactSearch) {
+  // Interval period with heterogeneous processors is NP-hard (Thm 4);
+  // the instance is tiny, so exhaustive search is the reference.
+  const auto result =
+      exact::exact_min_period(problem, exact::MappingKind::Interval);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->value, MotivatingExampleFacts::kOptimalPeriod);
+}
+
+TEST_F(PaperReproduction, EnergyParetoProgression) {
+  // The 136 -> 46 -> 10 energy progression as the period threshold relaxes.
+  std::vector<core::ParetoPoint> points;
+  for (double bound : {1.0, 2.0, 14.0}) {
+    const auto result = exact::exact_min_energy_under_period(
+        problem, exact::MappingKind::Interval,
+        Thresholds::per_app({bound, bound}));
+    ASSERT_TRUE(result.has_value());
+    core::ParetoPoint pt;
+    pt.period = bound;
+    pt.energy = result->value;
+    points.push_back(pt);
+  }
+  EXPECT_DOUBLE_EQ(points[0].energy,
+                   MotivatingExampleFacts::kEnergyAtOptimalPeriod);
+  EXPECT_DOUBLE_EQ(points[1].energy,
+                   MotivatingExampleFacts::kEnergyUnderPeriod2);
+  EXPECT_DOUBLE_EQ(points[2].energy, MotivatingExampleFacts::kMinimalEnergy);
+  const auto front = core::pareto_front(points, /*use_latency=*/false);
+  EXPECT_EQ(front.size(), 3u);
+  EXPECT_TRUE(core::energy_monotone_in_period(front));
+}
+
+TEST_F(PaperReproduction, SimulatorConfirmsOptimalMappings) {
+  const auto period_opt =
+      exact::exact_min_period(problem, exact::MappingKind::Interval);
+  ASSERT_TRUE(period_opt.has_value());
+  sim::SimConfig config;
+  config.datasets = 64;
+  const auto sim_result = sim::simulate(problem, period_opt->mapping, config);
+  for (const auto& app : sim_result.apps) {
+    EXPECT_LE(app.steady_period,
+              MotivatingExampleFacts::kOptimalPeriod + 1e-9);
+  }
+}
+
+TEST_F(PaperReproduction, HeuristicsBracketsOptimalEnergy) {
+  // Tri-criteria NP-hard regime: DVFS scaling alone lands above the exact
+  // optimum, structural local search narrows the gap.
+  const core::Mapping period_optimal(
+      {{0, 0, 2, 2, 1}, {1, 0, 1, 1, 1}, {1, 2, 3, 0, 1}});
+  core::ConstraintSet constraints;
+  constraints.period = Thresholds::per_app({2.0, 2.0});
+
+  const auto scaled =
+      heuristics::scale_down_speeds(problem, period_optimal, constraints);
+  const auto searched = heuristics::local_search(
+      problem, scaled.mapping, heuristics::Goal::Energy, constraints);
+
+  EXPECT_GE(scaled.energy_after, MotivatingExampleFacts::kEnergyUnderPeriod2);
+  EXPECT_LE(searched.value, scaled.energy_after);
+  EXPECT_GE(searched.value, MotivatingExampleFacts::kEnergyUnderPeriod2 - 1e-9);
+}
+
+TEST_F(PaperReproduction, NoOverlapModelDegradesPeriodOnly) {
+  // Switching to the no-overlap model can only worsen periods (sums vs
+  // maxima) and leaves latencies unchanged (Eq. 5 is model-independent).
+  const core::Mapping mapping(
+      {{0, 0, 2, 2, 1}, {1, 0, 1, 1, 1}, {1, 2, 3, 0, 1}});
+  const auto overlap = core::evaluate(problem, mapping);
+  const auto serial =
+      core::evaluate(problem.with_comm_model(core::CommModel::NoOverlap),
+                     mapping);
+  EXPECT_GE(serial.max_weighted_period, overlap.max_weighted_period);
+  EXPECT_DOUBLE_EQ(serial.max_weighted_latency, overlap.max_weighted_latency);
+}
+
+}  // namespace
+}  // namespace pipeopt

@@ -1,0 +1,136 @@
+/// \file rational_crosscheck_test.cpp
+/// Exact-arithmetic verification of the double-precision evaluation path:
+/// on instances with small-integer data, period/latency/energy recomputed
+/// with util::Rational must match core::evaluate bit-for-bit (all involved
+/// doubles are exactly representable dyadic/small-denominator values only
+/// when the rational denominator divides a power of two — so we compare
+/// with to_double() equality on the rational result, which is the correctly
+/// rounded value, against the double pipeline within 1 ulp-ish tolerance).
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/enumeration.hpp"
+#include "gen/random_instances.hpp"
+#include "util/rational.hpp"
+
+namespace pipeopt {
+namespace {
+
+using util::Rational;
+
+/// Integer-valued random problem (weights 1, integer w/δ/speeds/bandwidth).
+core::Problem integer_problem(util::Rng& rng) {
+  const std::size_t apps = 1 + rng.index(2);
+  std::vector<core::Application> applications;
+  for (std::size_t a = 0; a < apps; ++a) {
+    const std::size_t n = 1 + rng.index(3);
+    std::vector<core::StageSpec> stages(n);
+    for (auto& s : stages) {
+      s.compute = static_cast<double>(rng.uniform_int(1, 12));
+      s.output_size = static_cast<double>(rng.uniform_int(0, 4));
+    }
+    applications.push_back(core::Application(
+        static_cast<double>(rng.uniform_int(0, 3)), std::move(stages)));
+  }
+  std::vector<core::Processor> procs;
+  const std::size_t p = 3 + rng.index(3);
+  for (std::size_t u = 0; u < p; ++u) {
+    std::vector<double> speeds;
+    const std::size_t modes = 1 + rng.index(2);
+    for (std::size_t m = 0; m < modes; ++m) {
+      speeds.push_back(static_cast<double>(rng.uniform_int(1, 9)));
+    }
+    procs.emplace_back(std::move(speeds),
+                       static_cast<double>(rng.uniform_int(0, 2)));
+  }
+  const auto bw = static_cast<double>(rng.uniform_int(1, 4));
+  return core::Problem(std::move(applications),
+                       core::Platform(std::move(procs), bw, 2.0),
+                       rng.chance(0.5) ? core::CommModel::Overlap
+                                       : core::CommModel::NoOverlap);
+}
+
+/// Exact recomputation of per-app period/latency and energy.
+struct ExactMetrics {
+  Rational period;
+  Rational latency;
+  Rational energy;
+};
+
+ExactMetrics exact_evaluate(const core::Problem& problem,
+                            const core::Mapping& mapping) {
+  ExactMetrics out;
+  const auto& platform = problem.platform();
+  const auto r_of = [](double x) {
+    // All inputs are small integers, exactly representable.
+    return Rational(static_cast<std::int64_t>(x));
+  };
+  const Rational bw = r_of(platform.uniform_bandwidth());
+
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    const auto ivs = mapping.intervals_of(a);
+    const auto& app = problem.application(a);
+    Rational period(0);
+    Rational latency = r_of(app.boundary_size(0)) / bw;
+    for (std::size_t j = 0; j < ivs.size(); ++j) {
+      const Rational speed = r_of(platform.processor(ivs[j].proc).speed(ivs[j].mode));
+      Rational work(0);
+      for (std::size_t k = ivs[j].first; k <= ivs[j].last; ++k) {
+        work += r_of(app.compute(k));
+      }
+      const Rational in = r_of(app.boundary_size(ivs[j].first)) / bw;
+      const Rational comp = work / speed;
+      const Rational outc = r_of(app.boundary_size(ivs[j].last + 1)) / bw;
+      const Rational cycle =
+          problem.comm_model() == core::CommModel::Overlap
+              ? Rational::max(Rational::max(in, comp), outc)
+              : in + comp + outc;
+      period = Rational::max(period, cycle);
+      latency += comp + outc;
+    }
+    out.period = Rational::max(out.period, period);
+    out.latency = Rational::max(out.latency, latency);
+  }
+  for (const auto& iv : mapping.intervals()) {
+    const Rational speed = r_of(platform.processor(iv.proc).speed(iv.mode));
+    out.energy += r_of(platform.processor(iv.proc).static_energy()) +
+                  speed * speed;  // α = 2
+  }
+  return out;
+}
+
+class RationalCrosscheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalCrosscheck, DoubleEvaluationMatchesExactRationals) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1187 + 55);
+  const auto problem = integer_problem(rng);
+
+  exact::EnumerationOptions options;
+  options.kind = exact::MappingKind::Interval;
+  options.enumerate_modes = true;
+  options.node_limit = 500'000;
+  std::size_t checked = 0;
+  try {
+    exact::enumerate_mappings(
+        problem, options, [&](std::span<const core::IntervalAssignment> ivs) {
+          if (checked >= 200) return;  // sample bound per instance
+          ++checked;
+          const core::Mapping mapping(
+              std::vector<core::IntervalAssignment>(ivs.begin(), ivs.end()));
+          const auto fast = core::evaluate(problem, mapping, false);
+          const auto slow = exact_evaluate(problem, mapping);
+          ASSERT_NEAR(fast.max_weighted_period, slow.period.to_double(), 1e-12);
+          ASSERT_NEAR(fast.max_weighted_latency, slow.latency.to_double(),
+                      1e-12);
+          ASSERT_NEAR(fast.energy, slow.energy.to_double(), 1e-9);
+        });
+  } catch (const exact::SearchLimitExceeded&) {
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RationalCrosscheck, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace pipeopt

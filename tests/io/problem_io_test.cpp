@@ -1,0 +1,169 @@
+#include "io/problem_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
+
+namespace pipeopt::io {
+namespace {
+
+const char* kExampleText = R"(
+# the paper's §2 example
+comm overlap
+alpha 2
+bandwidth 1
+processor P1 static=0 speeds=3,6
+processor P2 static=0 speeds=6,8
+processor P3 static=0 speeds=1,6
+app App1 weight=1 input=1 stages=3:3,2:2,1:0
+app App2 weight=1 input=0 stages=2:2,6:1,4:1,2:1
+)";
+
+TEST(ProblemIo, ParsesTheExample) {
+  const core::Problem p = parse_problem_string(kExampleText);
+  EXPECT_EQ(p.application_count(), 2u);
+  EXPECT_EQ(p.platform().processor_count(), 3u);
+  EXPECT_EQ(p.comm_model(), core::CommModel::Overlap);
+  EXPECT_DOUBLE_EQ(p.platform().alpha(), 2.0);
+  EXPECT_DOUBLE_EQ(p.platform().uniform_bandwidth(), 1.0);
+  EXPECT_EQ(p.application(0).name(), "App1");
+  EXPECT_DOUBLE_EQ(p.application(0).compute(0), 3.0);
+  EXPECT_DOUBLE_EQ(p.application(0).boundary_size(1), 3.0);
+  EXPECT_DOUBLE_EQ(p.application(1).boundary_size(0), 0.0);
+  EXPECT_EQ(p.platform().processor(1).speeds(), (std::vector<double>{6.0, 8.0}));
+}
+
+TEST(ProblemIo, ParsedInstanceMatchesBuiltIn) {
+  // Evaluating the same mapping on the parsed and the built-in instance
+  // must agree exactly.
+  const core::Problem parsed = parse_problem_string(kExampleText);
+  const core::Problem builtin = gen::motivating_example();
+  const core::Mapping mapping(
+      {{0, 0, 2, 2, 1}, {1, 0, 1, 1, 1}, {1, 2, 3, 0, 1}});
+  const auto a = core::evaluate(parsed, mapping);
+  const auto b = core::evaluate(builtin, mapping);
+  EXPECT_DOUBLE_EQ(a.max_weighted_period, b.max_weighted_period);
+  EXPECT_DOUBLE_EQ(a.max_weighted_latency, b.max_weighted_latency);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+TEST(ProblemIo, RoundTripThroughFormat) {
+  const core::Problem original = gen::motivating_example();
+  const std::string text = format_problem(original);
+  const core::Problem reparsed = parse_problem_string(text);
+  ASSERT_EQ(reparsed.application_count(), original.application_count());
+  for (std::size_t a = 0; a < original.application_count(); ++a) {
+    ASSERT_EQ(reparsed.application(a).stage_count(),
+              original.application(a).stage_count());
+    for (std::size_t k = 0; k < original.application(a).stage_count(); ++k) {
+      EXPECT_DOUBLE_EQ(reparsed.application(a).compute(k),
+                       original.application(a).compute(k));
+      EXPECT_DOUBLE_EQ(reparsed.application(a).boundary_size(k + 1),
+                       original.application(a).boundary_size(k + 1));
+    }
+  }
+  for (std::size_t u = 0; u < original.platform().processor_count(); ++u) {
+    EXPECT_EQ(reparsed.platform().processor(u).speeds(),
+              original.platform().processor(u).speeds());
+  }
+}
+
+TEST(ProblemIo, NoOverlapAndAlphaParsed) {
+  const core::Problem p = parse_problem_string(R"(
+comm no-overlap
+alpha 3
+bandwidth 2
+processor P static=1 speeds=4
+app A weight=2 input=0 stages=1:0
+)");
+  EXPECT_EQ(p.comm_model(), core::CommModel::NoOverlap);
+  EXPECT_DOUBLE_EQ(p.platform().alpha(), 3.0);
+  EXPECT_DOUBLE_EQ(p.platform().processor(0).static_energy(), 1.0);
+  EXPECT_DOUBLE_EQ(p.application(0).weight(), 2.0);
+}
+
+TEST(ProblemIo, ErrorsNameTheLine) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& fragment) {
+    try {
+      (void)parse_problem_string(text);
+      FAIL() << "expected ParseError for: " << text;
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("frobnicate 3\n", "unknown directive");
+  expect_error("comm sideways\n", "comm must be");
+  expect_error("bandwidth x\n", "bad number");
+  expect_error("processor P static=0 speeds=\n", "empty list");
+  expect_error("processor P speeds=1\n", "missing static=");
+  expect_error("app A weight=1 input=0 stages=3;2\n", "w:delta");
+  // Structural errors reported at end of input.
+  expect_error("bandwidth 1\napp A weight=1 input=0 stages=1:0\n",
+               "no processors");
+  expect_error("bandwidth 1\nprocessor P static=0 speeds=1\n",
+               "no applications");
+  expect_error("processor P static=0 speeds=1\n"
+               "app A weight=1 input=0 stages=1:0\n",
+               "bandwidth not declared");
+}
+
+TEST(ProblemIo, DomainValidationPropagates) {
+  // Negative speed caught by the Processor constructor, reported per line.
+  try {
+    (void)parse_problem_string("processor P static=0 speeds=-1\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+}
+
+TEST(ProblemIo, FormatRejectsHeterogeneousLinks) {
+  std::vector<core::Processor> procs;
+  procs.emplace_back(std::vector<double>{1.0});
+  procs.emplace_back(std::vector<double>{1.0});
+  std::vector<std::vector<double>> links{{1.0, 2.0}, {2.0, 1.0}};
+  std::vector<std::vector<double>> io_table{{1.0, 1.0}};
+  core::Platform het(std::move(procs), links, io_table, io_table);
+  std::vector<core::Application> apps;
+  apps.push_back(core::Application(0.0, {core::StageSpec{1.0, 0.0}}));
+  const core::Problem p(std::move(apps), std::move(het));
+  EXPECT_THROW((void)format_problem(p), std::invalid_argument);
+}
+
+TEST(ProblemIo, MissingFileReported) {
+  EXPECT_THROW((void)load_problem("/nonexistent/path/problem.txt"),
+               std::runtime_error);
+}
+
+TEST(ProblemIo, RandomProblemsRoundTripThroughText) {
+  // Property: any comm-homogeneous random problem survives
+  // format -> parse -> format identically (the second format string is the
+  // fixed point, sidestepping double-printing precision).
+  util::Rng rng(2718);
+  for (int iter = 0; iter < 25; ++iter) {
+    gen::ProblemShape shape;
+    shape.applications = 1 + rng.index(3);
+    shape.processors = 2 + rng.index(5);
+    shape.platform.modes = 1 + rng.index(3);
+    shape.app.weighted = rng.chance(0.5);
+    shape.platform_class = rng.chance(0.5)
+                               ? core::PlatformClass::FullyHomogeneous
+                               : core::PlatformClass::CommHomogeneous;
+    shape.comm = rng.chance(0.5) ? core::CommModel::Overlap
+                                 : core::CommModel::NoOverlap;
+    const auto original = gen::random_problem(rng, shape);
+    const std::string once = format_problem(original);
+    const auto reparsed = parse_problem_string(once);
+    const std::string twice = format_problem(reparsed);
+    EXPECT_EQ(once, twice) << "iteration " << iter;
+    EXPECT_EQ(reparsed.comm_model(), original.comm_model());
+    EXPECT_EQ(reparsed.total_stages(), original.total_stages());
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::io

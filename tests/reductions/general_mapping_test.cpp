@@ -1,0 +1,52 @@
+#include "reductions/general_mapping_hardness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "solvers/partition.hpp"
+#include "util/random.hpp"
+
+namespace pipeopt::reductions {
+namespace {
+
+TEST(GeneralMapping, TwoProcessorKnownCases) {
+  EXPECT_DOUBLE_EQ(general_mapping_min_period({3, 1, 2}, 2), 3.0);
+  EXPECT_DOUBLE_EQ(general_mapping_min_period({5, 1, 1}, 2), 5.0);
+  EXPECT_DOUBLE_EQ(general_mapping_min_period({2, 2, 2, 2}, 2), 4.0);
+}
+
+TEST(GeneralMapping, MoreProcessorsHelp) {
+  EXPECT_DOUBLE_EQ(general_mapping_min_period({2, 2, 2, 2}, 4), 2.0);
+  EXPECT_DOUBLE_EQ(general_mapping_min_period({2, 2, 2, 2}, 8), 2.0);
+}
+
+TEST(GeneralMapping, SingleProcessor) {
+  EXPECT_DOUBLE_EQ(general_mapping_min_period({1, 2, 3}, 1), 6.0);
+}
+
+TEST(GeneralMapping, InputValidation) {
+  EXPECT_THROW((void)general_mapping_min_period({}, 2), std::invalid_argument);
+  EXPECT_THROW((void)general_mapping_min_period({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW((void)general_mapping_min_period(std::vector<double>(25, 1.0), 2),
+               std::invalid_argument);
+}
+
+TEST(GeneralMapping, GadgetMatchesTwoPartition) {
+  // The §3.3 claim: general-mapping period minimization answers 2-PARTITION.
+  util::Rng rng(101);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<std::int64_t> values;
+    const std::size_t n = 2 + rng.index(8);
+    for (std::size_t i = 0; i < n; ++i) values.push_back(rng.uniform_int(1, 12));
+    const auto gadget = encode_two_partition_general(values);
+    EXPECT_EQ(general_gadget_is_yes(gadget),
+              solvers::two_partition(values).has_value())
+        << "iteration " << iter;
+  }
+}
+
+TEST(GeneralMapping, EncodeRejectsNonPositive) {
+  EXPECT_THROW((void)encode_two_partition_general({1, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipeopt::reductions

@@ -1,0 +1,88 @@
+#include "reductions/three_partition_latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+
+namespace pipeopt::reductions {
+namespace {
+
+using solvers::ThreePartitionInstance;
+
+const ThreePartitionInstance kYes{{4, 5, 6, 6, 5, 4}, 15};
+const ThreePartitionInstance kNo{{4, 4, 4, 6, 6, 6}, 15};
+
+TEST(ThreePartitionLatency, EncodeShape) {
+  const auto gadget = encode_three_partition_latency(kYes);
+  EXPECT_EQ(gadget.problem.application_count(), 2u);
+  EXPECT_EQ(gadget.problem.application(0).stage_count(), 3u);
+  EXPECT_EQ(gadget.problem.platform().processor_count(), 6u);
+  EXPECT_DOUBLE_EQ(gadget.target_latency, 15.0);
+  // Processor j runs at 1/a_j.
+  EXPECT_DOUBLE_EQ(gadget.problem.platform().processor(0).max_speed(), 0.25);
+}
+
+TEST(ThreePartitionLatency, CertificateAchievesLatencyB) {
+  const auto gadget = encode_three_partition_latency(kYes);
+  const auto triples = solvers::three_partition(kYes);
+  ASSERT_TRUE(triples.has_value());
+  const auto mapping = certificate_mapping_latency(kYes, *triples);
+  mapping.validate_or_throw(gadget.problem);
+  const auto metrics = core::evaluate(gadget.problem, mapping);
+  EXPECT_NEAR(metrics.max_weighted_latency, 15.0, 1e-9);
+}
+
+TEST(ThreePartitionLatency, DecodeRoundTrip) {
+  const auto gadget = encode_three_partition_latency(kYes);
+  const auto triples = solvers::three_partition(kYes);
+  ASSERT_TRUE(triples.has_value());
+  const auto mapping = certificate_mapping_latency(kYes, *triples);
+  const auto decoded = decode_three_partition_latency(kYes, gadget, mapping);
+  ASSERT_TRUE(decoded.has_value());
+  for (const auto& t : *decoded) {
+    EXPECT_EQ(kYes.values[t[0]] + kYes.values[t[1]] + kYes.values[t[2]], 15);
+  }
+}
+
+TEST(ThreePartitionLatency, ExactSolverSeparatesYesFromNo) {
+  // 6 stages on 6 processors: one-to-one enumeration is tractable here.
+  {
+    const auto gadget = encode_three_partition_latency(kYes);
+    const auto result = exact::exact_min_latency(gadget.problem,
+                                                 exact::MappingKind::OneToOne);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_NEAR(result->value, 15.0, 1e-9);
+    EXPECT_TRUE(decode_three_partition_latency(kYes, gadget, result->mapping)
+                    .has_value());
+  }
+  {
+    const auto gadget = encode_three_partition_latency(kNo);
+    const auto result = exact::exact_min_latency(gadget.problem,
+                                                 exact::MappingKind::OneToOne);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_GT(result->value, 15.0 + 1e-9);
+  }
+}
+
+TEST(ThreePartitionLatency, DecodeRejectsTooSlowMapping) {
+  const auto gadget = encode_three_partition_latency(kYes);
+  // All three stages of app 0 on the three slowest processors by value 6,6,5
+  // -> latency 17 > 15.
+  const core::Mapping bad({{0, 0, 0, 2, 0},
+                           {0, 1, 1, 3, 0},
+                           {0, 2, 2, 1, 0},
+                           {1, 0, 0, 0, 0},
+                           {1, 1, 1, 4, 0},
+                           {1, 2, 2, 5, 0}});
+  EXPECT_FALSE(decode_three_partition_latency(kYes, gadget, bad).has_value());
+}
+
+TEST(ThreePartitionLatency, EncodeRejectsNonCanonical) {
+  EXPECT_THROW((void)encode_three_partition_latency(
+                   ThreePartitionInstance{{1, 2, 3}, 6}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipeopt::reductions

@@ -1,0 +1,108 @@
+#include "reductions/three_partition_period.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/motivating_example.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::reductions {
+namespace {
+
+using solvers::ThreePartitionInstance;
+
+const ThreePartitionInstance kYes{{4, 5, 6, 6, 5, 4}, 15};       // two triples
+const ThreePartitionInstance kNo{{4, 4, 4, 6, 6, 6}, 15};        // impossible
+const ThreePartitionInstance kYesBigger{{5, 5, 5, 4, 5, 6, 4, 6, 5}, 15};
+
+TEST(ThreePartitionPeriod, EncodeShape) {
+  const auto gadget = encode_three_partition_period(kYes);
+  EXPECT_EQ(gadget.problem.application_count(), 2u);
+  EXPECT_EQ(gadget.problem.application(0).stage_count(), 15u);
+  EXPECT_EQ(gadget.problem.platform().processor_count(), 6u);
+  EXPECT_TRUE(gadget.problem.is_special_app_family());
+  EXPECT_TRUE(gadget.problem.platform().is_uni_modal());
+  EXPECT_DOUBLE_EQ(gadget.target_period, 1.0);
+}
+
+TEST(ThreePartitionPeriod, EncodeRejectsNonCanonical) {
+  EXPECT_THROW(
+      (void)encode_three_partition_period(ThreePartitionInstance{{1, 2, 3}, 6}),
+      std::invalid_argument);
+}
+
+TEST(ThreePartitionPeriod, CertificateAchievesPeriodOne) {
+  const auto gadget = encode_three_partition_period(kYes);
+  const auto triples = solvers::three_partition(kYes);
+  ASSERT_TRUE(triples.has_value());
+  const auto mapping = certificate_mapping(kYes, *triples);
+  mapping.validate_or_throw(gadget.problem);
+  const auto metrics = core::evaluate(gadget.problem, mapping);
+  EXPECT_DOUBLE_EQ(metrics.max_weighted_period, 1.0);
+}
+
+TEST(ThreePartitionPeriod, DecodeRoundTrip) {
+  const auto gadget = encode_three_partition_period(kYes);
+  const auto triples = solvers::three_partition(kYes);
+  ASSERT_TRUE(triples.has_value());
+  const auto mapping = certificate_mapping(kYes, *triples);
+  const auto decoded = decode_three_partition_period(kYes, gadget, mapping);
+  ASSERT_TRUE(decoded.has_value());
+  for (const auto& t : *decoded) {
+    EXPECT_EQ(kYes.values[t[0]] + kYes.values[t[1]] + kYes.values[t[2]], 15);
+  }
+}
+
+TEST(ThreePartitionPeriod, ExactSolverSeparatesYesFromNo) {
+  // The gadget chains have B stages each, far beyond full mapping
+  // enumeration; the specialized special-app solver decides them exactly.
+  {
+    const auto gadget = encode_three_partition_period(kYes);
+    EXPECT_NEAR(special_app_exact_period(gadget.problem), 1.0, 1e-9);
+  }
+  {
+    const auto gadget = encode_three_partition_period(kNo);
+    EXPECT_GT(special_app_exact_period(gadget.problem), 1.0 + 1e-9);
+  }
+}
+
+TEST(ThreePartitionPeriod, SpecialSolverAgreesWithFullEnumeration) {
+  // Tiny m = 1 instance where the generic exhaustive solver is tractable:
+  // both exact methods must agree.
+  const ThreePartitionInstance tiny{{3, 3, 3}, 9};
+  ASSERT_TRUE(tiny.is_canonical());
+  const auto gadget = encode_three_partition_period(tiny);
+  const auto full =
+      exact::exact_min_period(gadget.problem, exact::MappingKind::Interval);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_NEAR(full->value, special_app_exact_period(gadget.problem), 1e-9);
+  EXPECT_NEAR(full->value, 1.0, 1e-9);
+}
+
+TEST(ThreePartitionPeriod, SpecialSolverRejectsWrongFamily) {
+  const auto problem = gen::motivating_example();
+  EXPECT_THROW((void)special_app_exact_period(problem), std::invalid_argument);
+}
+
+TEST(ThreePartitionPeriod, LargerYesInstance) {
+  const auto gadget = encode_three_partition_period(kYesBigger);
+  const auto triples = solvers::three_partition(kYesBigger);
+  ASSERT_TRUE(triples.has_value());
+  const auto mapping = certificate_mapping(kYesBigger, *triples);
+  const auto metrics = core::evaluate(gadget.problem, mapping);
+  EXPECT_DOUBLE_EQ(metrics.max_weighted_period, 1.0);
+  EXPECT_TRUE(decode_three_partition_period(kYesBigger, gadget, mapping)
+                  .has_value());
+}
+
+TEST(ThreePartitionPeriod, DecodeRejectsSlowMapping) {
+  const auto gadget = encode_three_partition_period(kYes);
+  // Whole app 0 on the speed-4 processor, app 1 on the speed-5 one: period
+  // 15/4 > 1.
+  const core::Mapping slow({{0, 0, 14, 0, 0}, {1, 0, 14, 1, 0}});
+  EXPECT_FALSE(decode_three_partition_period(kYes, gadget, slow).has_value());
+}
+
+}  // namespace
+}  // namespace pipeopt::reductions

@@ -1,0 +1,107 @@
+#include "replication/replicated_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/workloads.hpp"
+
+namespace pipeopt::replication {
+namespace {
+
+using core::Application;
+using core::CommModel;
+using core::Problem;
+using core::StageSpec;
+
+/// One 2-stage app on a 4-node homogeneous cluster (speed 2, bw 1).
+Problem cluster_problem(CommModel comm = CommModel::Overlap) {
+  std::vector<Application> apps;
+  apps.push_back(Application(1.0, {StageSpec{8.0, 2.0}, StageSpec{4.0, 1.0}}));
+  return Problem(std::move(apps),
+                 gen::homogeneous_cluster(4, 1, 2.0, 1.0, 1.0, 0.5), comm);
+}
+
+TEST(ReplicatedMapping, ValidatesStructure) {
+  const Problem p = cluster_problem();
+  const ReplicatedMapping good({{0, 0, 0, {0, 1}, 0}, {0, 1, 1, {2}, 0}});
+  EXPECT_FALSE(good.validate(p).has_value());
+  EXPECT_EQ(good.processor_count(), 3u);
+}
+
+TEST(ReplicatedMapping, RejectsReusedProcessor) {
+  const Problem p = cluster_problem();
+  const ReplicatedMapping bad({{0, 0, 0, {0, 1}, 0}, {0, 1, 1, {1}, 0}});
+  const auto reason = bad.validate(p);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("reused"), std::string::npos);
+}
+
+TEST(ReplicatedMapping, RejectsEmptyReplicaSet) {
+  const Problem p = cluster_problem();
+  const ReplicatedMapping bad({{0, 0, 1, {}, 0}});
+  EXPECT_TRUE(bad.validate(p).has_value());
+}
+
+TEST(ReplicatedMapping, RejectsGaps) {
+  const Problem p = cluster_problem();
+  const ReplicatedMapping bad({{0, 1, 1, {0}, 0}});
+  EXPECT_TRUE(bad.validate(p).has_value());
+}
+
+TEST(ReplicatedMapping, PeriodDividesByReplicaCount) {
+  const Problem p = cluster_problem();
+  // Whole app on one processor: cycle = max(1/1, 12/2, 1/1) = 6.
+  const ReplicatedMapping single({{0, 0, 1, {0}, 0}});
+  EXPECT_DOUBLE_EQ(evaluate(p, single).max_weighted_period, 6.0);
+  // Replicated on 3: 6/3 = 2.
+  const ReplicatedMapping triple({{0, 0, 1, {0, 1, 2}, 0}});
+  EXPECT_DOUBLE_EQ(evaluate(p, triple).max_weighted_period, 2.0);
+}
+
+TEST(ReplicatedMapping, LatencyUnchangedByReplication) {
+  const Problem p = cluster_problem();
+  const ReplicatedMapping single({{0, 0, 1, {0}, 0}});
+  const ReplicatedMapping triple({{0, 0, 1, {0, 1, 2}, 0}});
+  EXPECT_DOUBLE_EQ(evaluate(p, single).max_weighted_latency,
+                   evaluate(p, triple).max_weighted_latency);
+  // Eq. 5: 1/1 + 12/2 + 1/1 = 8.
+  EXPECT_DOUBLE_EQ(evaluate(p, single).max_weighted_latency, 8.0);
+}
+
+TEST(ReplicatedMapping, EnergyScalesWithReplicas) {
+  const Problem p = cluster_problem();  // per-proc energy 0.5 + 4 = 4.5
+  const ReplicatedMapping single({{0, 0, 1, {0}, 0}});
+  const ReplicatedMapping triple({{0, 0, 1, {0, 1, 2}, 0}});
+  EXPECT_DOUBLE_EQ(evaluate(p, single).energy, 4.5);
+  EXPECT_DOUBLE_EQ(evaluate(p, triple).energy, 13.5);
+}
+
+TEST(ReplicatedMapping, NoOverlapModelSums) {
+  const Problem p = cluster_problem(CommModel::NoOverlap);
+  // cycle = (1 + 6 + 1) = 8; with 2 replicas -> 4.
+  const ReplicatedMapping dual({{0, 0, 1, {0, 1}, 0}});
+  EXPECT_DOUBLE_EQ(evaluate(p, dual).max_weighted_period, 4.0);
+}
+
+TEST(ReplicatedMapping, SplitPlusReplication) {
+  const Problem p = cluster_problem();
+  // Stage 0 (w=8) on 2 replicas: max(1, 4, 1)/... pieces: in 1/2, comp
+  // (8/2)/2 = 2, out 2/2 = 1 -> cycle 2. Stage 1 (w=4) on 1 proc:
+  // max(2/1, 2, 1) = 2. Period 2.
+  const ReplicatedMapping m({{0, 0, 0, {0, 1}, 0}, {0, 1, 1, {2}, 0}});
+  EXPECT_DOUBLE_EQ(evaluate(p, m).max_weighted_period, 2.0);
+}
+
+TEST(ReplicatedMapping, BeatsBestUnreplicatedPeriod) {
+  // The §6 motivation: a dominant stage bounds every interval mapping at
+  // its cycle-time; replication breaks through that floor.
+  std::vector<Application> apps;
+  apps.push_back(Application(0.0, {StageSpec{12.0, 0.0}, StageSpec{1.0, 0.0}}));
+  const Problem p(std::move(apps),
+                  gen::homogeneous_cluster(4, 1, 2.0, 1.0, 1.0, 0.0));
+  // Unreplicated floor: dominant stage w=12 at speed 2 -> period >= 6.
+  const ReplicatedMapping replicated({{0, 0, 0, {0, 1, 2}, 0}, {0, 1, 1, {3}, 0}});
+  EXPECT_DOUBLE_EQ(evaluate(p, replicated).max_weighted_period, 2.0);
+}
+
+}  // namespace
+}  // namespace pipeopt::replication

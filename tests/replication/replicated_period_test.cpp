@@ -1,0 +1,161 @@
+#include "replication/replicated_period.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "algorithms/interval_period_multi.hpp"
+#include "gen/random_instances.hpp"
+#include "gen/workloads.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::replication {
+namespace {
+
+using core::Application;
+using core::CommModel;
+using core::Problem;
+using core::StageSpec;
+
+/// Brute-force oracle: all compositions × replica allocations of q procs.
+double brute_force(const Problem& problem, std::size_t q) {
+  const auto& app = problem.application(0);
+  const std::size_t n = app.stage_count();
+  double best = util::kInfinity;
+  // Enumerate compositions via split masks, then replica counts recursively.
+  for (std::uint32_t mask = 0; mask < (1u << (n - 1)); ++mask) {
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    std::size_t first = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (mask & (1u << i)) {
+        ranges.emplace_back(first, i);
+        first = i + 1;
+      }
+    }
+    ranges.emplace_back(first, n - 1);
+    if (ranges.size() > q) continue;
+
+    std::vector<std::size_t> reps(ranges.size(), 1);
+    std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t idx,
+                                                            std::size_t left) {
+      if (idx + 1 == ranges.size()) {
+        reps[idx] = left;
+        // Build the mapping and evaluate.
+        std::vector<ReplicatedInterval> ivs;
+        std::size_t proc = 0;
+        for (std::size_t j = 0; j < ranges.size(); ++j) {
+          ReplicatedInterval iv;
+          iv.app = 0;
+          iv.first = ranges[j].first;
+          iv.last = ranges[j].second;
+          iv.mode = problem.platform().processor(0).max_mode();
+          for (std::size_t r = 0; r < reps[j]; ++r) iv.procs.push_back(proc++);
+          ivs.push_back(std::move(iv));
+        }
+        const ReplicatedMapping mapping(std::move(ivs));
+        best = std::min(best,
+                        evaluate(problem, mapping).max_weighted_period);
+        return;
+      }
+      for (std::size_t r = 1; r + (ranges.size() - idx - 1) <= left; ++r) {
+        reps[idx] = r;
+        rec(idx + 1, left - r);
+      }
+    };
+    rec(0, q);
+  }
+  return best;
+}
+
+Problem single_app_problem(util::Rng& rng, std::size_t max_stages,
+                           std::size_t procs, CommModel comm) {
+  gen::ProblemShape shape;
+  shape.applications = 1;
+  shape.app.min_stages = 1;
+  shape.app.max_stages = max_stages;
+  shape.processors = procs;
+  shape.platform_class = core::PlatformClass::FullyHomogeneous;
+  shape.comm = comm;
+  return gen::random_problem(rng, shape);
+}
+
+TEST(ReplicatedPeriodDp, DominantStageUsesReplicas) {
+  std::vector<Application> apps;
+  apps.push_back(Application(0.0, {StageSpec{12.0, 0.0}, StageSpec{1.0, 0.0}}));
+  const Problem p(std::move(apps),
+                  gen::homogeneous_cluster(4, 1, 2.0, 1.0, 1.0, 0.0));
+  const auto solution = replicated_min_period(p);
+  ASSERT_TRUE(solution.has_value());
+  // Best plan replicates the whole chain on all 4 processors:
+  // (12+1)/2/4 = 1.625 — far below the unreplicated floor of 6 (the
+  // dominant stage's cycle-time).
+  EXPECT_DOUBLE_EQ(solution->value, 1.625);
+  const auto unreplicated = algorithms::interval_min_period(p);
+  ASSERT_TRUE(unreplicated.has_value());
+  EXPECT_DOUBLE_EQ(unreplicated->value, 6.0);
+}
+
+TEST(ReplicatedPeriodDp, NeverWorseThanUnreplicated) {
+  util::Rng rng(303);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto problem = single_app_problem(
+        rng, 4, 2 + rng.index(4),
+        rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap);
+    const auto with = replicated_min_period(problem);
+    const auto without = algorithms::interval_min_period(problem);
+    ASSERT_TRUE(with.has_value());
+    ASSERT_TRUE(without.has_value());
+    EXPECT_LE(with->value, without->value + 1e-12);
+  }
+}
+
+TEST(ReplicatedPeriodDp, MappingAchievesValue) {
+  util::Rng rng(304);
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto problem = single_app_problem(rng, 5, 5, CommModel::Overlap);
+    const auto solution = replicated_min_period(problem);
+    ASSERT_TRUE(solution.has_value());
+    solution->mapping.validate_or_throw(problem);
+    EXPECT_NEAR(evaluate(problem, solution->mapping).max_weighted_period,
+                solution->value, 1e-12);
+  }
+}
+
+TEST(ReplicatedPeriodDp, RejectsHeterogeneousPlatform) {
+  util::Rng rng(305);
+  gen::ProblemShape shape;
+  shape.platform_class = core::PlatformClass::CommHomogeneous;
+  const auto problem = gen::random_problem(rng, shape);
+  EXPECT_THROW((void)replicated_min_period(problem), std::invalid_argument);
+}
+
+TEST(ReplicatedPeriodDp, MultiAppSharesProcessors) {
+  std::vector<Application> apps;
+  apps.push_back(Application(0.0, {StageSpec{8.0, 0.0}}));
+  apps.push_back(Application(0.0, {StageSpec{2.0, 0.0}}));
+  const Problem p(std::move(apps),
+                  gen::homogeneous_cluster(5, 1, 2.0, 1.0, 1.0, 0.0));
+  const auto solution = replicated_min_period(p);
+  ASSERT_TRUE(solution.has_value());
+  // App0 gets 4 replicas (8/2/4 = 1), app1 one proc (2/2 = 1): period 1.
+  EXPECT_DOUBLE_EQ(solution->value, 1.0);
+}
+
+class ReplicatedOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicatedOracle, SingleAppMatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 421 + 37);
+  const auto problem = single_app_problem(
+      rng, 4, 2 + rng.index(4),
+      rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap);
+  const auto solution = replicated_min_period(problem);
+  ASSERT_TRUE(solution.has_value());
+  const double oracle =
+      brute_force(problem, problem.platform().processor_count());
+  EXPECT_NEAR(solution->value, oracle, 1e-9) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReplicatedOracle, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace pipeopt::replication

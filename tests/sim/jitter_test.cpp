@@ -1,0 +1,117 @@
+/// \file jitter_test.cpp
+/// Failure injection in the simulator: multiplicative duration jitter
+/// models transient slowdowns; the measured steady-state period must
+/// degrade gracefully (bounded by the jitter magnitude) and the
+/// deterministic regime must be bit-identical to jitter = 0.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "gen/motivating_example.hpp"
+#include "sim/simulator.hpp"
+
+namespace pipeopt::sim {
+namespace {
+
+using core::CommModel;
+using core::Mapping;
+using core::Problem;
+
+Problem example() { return gen::motivating_example(); }
+
+Mapping period_optimal() {
+  return Mapping({{0, 0, 2, 2, 1}, {1, 0, 1, 1, 1}, {1, 2, 3, 0, 1}});
+}
+
+SimConfig cfg(std::size_t datasets, double jitter, std::uint64_t seed = 1) {
+  SimConfig c;
+  c.datasets = datasets;
+  c.jitter = jitter;
+  c.jitter_seed = seed;
+  return c;
+}
+
+TEST(Jitter, ZeroJitterIsDeterministicBaseline) {
+  const Problem p = example();
+  const auto a = simulate(p, period_optimal(), cfg(64, 0.0, 1));
+  const auto b = simulate(p, period_optimal(), cfg(64, 0.0, 999));
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.apps[i].steady_period, b.apps[i].steady_period);
+    EXPECT_DOUBLE_EQ(a.apps[i].first_latency, b.apps[i].first_latency);
+  }
+}
+
+TEST(Jitter, SameSeedReproduces) {
+  const Problem p = example();
+  const auto a = simulate(p, period_optimal(), cfg(64, 0.2, 7));
+  const auto b = simulate(p, period_optimal(), cfg(64, 0.2, 7));
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.apps[i].steady_period, b.apps[i].steady_period);
+  }
+}
+
+TEST(Jitter, DifferentSeedsDiffer) {
+  const Problem p = example();
+  const auto a = simulate(p, period_optimal(), cfg(64, 0.2, 7));
+  const auto b = simulate(p, period_optimal(), cfg(64, 0.2, 8));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    if (a.apps[i].steady_period != b.apps[i].steady_period) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+class JitterDegradation
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(JitterDegradation, PeriodDegradesWithinBounds) {
+  const auto [jitter, model] = GetParam();
+  const Problem p = model == 0 ? example()
+                               : example().with_comm_model(CommModel::NoOverlap);
+  const Mapping m = period_optimal();
+  const auto analytic = core::evaluate(p, m);
+  const auto result = simulate(p, m, cfg(512, jitter, 42));
+  for (std::size_t a = 0; a < result.apps.size(); ++a) {
+    const double nominal = analytic.per_app[a].period;
+    const double measured = result.apps[a].steady_period;
+    // Durations only grow, so the period cannot beat nominal; with bounded
+    // per-op inflation it cannot exceed nominal·(1 + 2·jitter) on average.
+    EXPECT_GE(measured, nominal * (1.0 - 1e-9)) << "jitter " << jitter;
+    EXPECT_LE(measured, nominal * (1.0 + 2.0 * jitter) + 1e-9)
+        << "jitter " << jitter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JitterDegradation,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.25, 0.5),
+                       ::testing::Values(0, 1)));
+
+TEST(Jitter, LatencyInflatesMonotonically) {
+  // More jitter -> (weakly) larger worst-case latency on a fixed seed.
+  const Problem p = example();
+  const Mapping m = period_optimal();
+  double previous = 0.0;
+  for (double jitter : {0.0, 0.1, 0.3}) {
+    const auto result = simulate(p, m, cfg(256, jitter, 5));
+    double worst = 0.0;
+    for (const auto& app : result.apps) {
+      worst = std::max(worst, app.max_latency);
+    }
+    EXPECT_GE(worst, previous - 1e-12);
+    previous = worst;
+  }
+}
+
+TEST(Jitter, TraceStillConsistentUnderJitter) {
+  const Problem p = example();
+  SimConfig c = cfg(32, 0.3, 11);
+  c.record_trace = true;
+  const auto result = simulate(p, period_optimal(), c);
+  for (const auto& r : result.trace.records()) {
+    EXPECT_LE(r.start, r.end);
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::sim

@@ -1,0 +1,211 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/evaluation.hpp"
+#include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
+
+namespace pipeopt::sim {
+namespace {
+
+using core::CommModel;
+using core::Mapping;
+using core::Metrics;
+using core::Problem;
+
+Problem example() { return gen::motivating_example(); }
+
+Mapping period_optimal() {
+  return Mapping({{0, 0, 2, 2, 1}, {1, 0, 1, 1, 1}, {1, 2, 3, 0, 1}});
+}
+Mapping energy_minimal() {
+  return Mapping({{0, 0, 2, 0, 0}, {1, 0, 3, 2, 0}});
+}
+
+SimConfig cfg(std::size_t datasets,
+              std::optional<double> injection_period = std::nullopt,
+              bool record_trace = false) {
+  SimConfig c;
+  c.datasets = datasets;
+  c.injection_period = injection_period;
+  c.record_trace = record_trace;
+  return c;
+}
+
+TEST(Simulator, FirstDatasetLatencyMatchesEq5Overlap) {
+  const Problem p = example();
+  for (const Mapping& m : {period_optimal(), energy_minimal()}) {
+    const Metrics metrics = core::evaluate(p, m);
+    const SimResult sim = simulate(p, m, cfg(4));
+    for (std::size_t a = 0; a < sim.apps.size(); ++a) {
+      EXPECT_NEAR(sim.apps[a].first_latency, metrics.per_app[a].latency, 1e-12);
+    }
+  }
+}
+
+TEST(Simulator, FirstDatasetLatencyMatchesEq5NoOverlap) {
+  const Problem p = example().with_comm_model(CommModel::NoOverlap);
+  for (const Mapping& m : {period_optimal(), energy_minimal()}) {
+    const Metrics metrics = core::evaluate(p, m);
+    const SimResult sim = simulate(p, m, cfg(4));
+    for (std::size_t a = 0; a < sim.apps.size(); ++a) {
+      EXPECT_NEAR(sim.apps[a].first_latency, metrics.per_app[a].latency, 1e-12);
+    }
+  }
+}
+
+TEST(Simulator, SteadyPeriodMatchesEq3) {
+  const Problem p = example();
+  const Mapping m = period_optimal();
+  const Metrics metrics = core::evaluate(p, m);
+  const SimResult sim = simulate(p, m, cfg(64));
+  for (std::size_t a = 0; a < sim.apps.size(); ++a) {
+    EXPECT_NEAR(sim.apps[a].steady_period, metrics.per_app[a].period, 1e-9);
+  }
+}
+
+TEST(Simulator, SteadyPeriodMatchesEq4NoOverlap) {
+  const Problem p = example().with_comm_model(CommModel::NoOverlap);
+  const Mapping m = period_optimal();
+  const Metrics metrics = core::evaluate(p, m);
+  const SimResult sim = simulate(p, m, cfg(64));
+  for (std::size_t a = 0; a < sim.apps.size(); ++a) {
+    EXPECT_NEAR(sim.apps[a].steady_period, metrics.per_app[a].period, 1e-9);
+  }
+}
+
+TEST(Simulator, SaturationThroughputStillBottleneckBound) {
+  // Injecting everything at t=0 must not beat the analytic period:
+  // completions still spaced by the bottleneck cycle-time in steady state.
+  const Problem p = example();
+  const Mapping m = period_optimal();
+  const Metrics metrics = core::evaluate(p, m);
+  const SimResult sim = simulate(p, m, cfg(64, 0.0));
+  for (std::size_t a = 0; a < sim.apps.size(); ++a) {
+    EXPECT_NEAR(sim.apps[a].steady_period, metrics.per_app[a].period, 1e-9);
+  }
+}
+
+TEST(Simulator, LatencyStaysBoundedAtAnalyticInjectionRate) {
+  // At injection period == analytic period, queues do not build up: the
+  // per-data-set latency stays equal to the first latency (deterministic
+  // service, utilization <= 1 on every resource).
+  const Problem p = example();
+  const Mapping m = period_optimal();
+  const SimResult sim = simulate(p, m, cfg(128));
+  for (const AppSimResult& app : sim.apps) {
+    EXPECT_NEAR(app.max_latency, app.first_latency, 1e-9);
+  }
+}
+
+TEST(Simulator, CompletionsMonotone) {
+  const Problem p = example();
+  const SimResult sim =
+      simulate(p, energy_minimal(), cfg(32, 0.0));
+  for (const AppSimResult& app : sim.apps) {
+    for (std::size_t d = 1; d < app.completions.size(); ++d) {
+      EXPECT_GE(app.completions[d], app.completions[d - 1]);
+    }
+  }
+}
+
+TEST(Simulator, TraceRecordsConsistent) {
+  const Problem p = example();
+  const SimResult sim =
+      simulate(p, period_optimal(), cfg(8, std::nullopt, true));
+  ASSERT_GT(sim.trace.size(), 0u);
+  for (const OpRecord& r : sim.trace.records()) {
+    EXPECT_LE(r.start, r.end);
+    EXPECT_GE(r.start, 0.0);
+  }
+  // Compute ops per dataset per interval: 3 intervals * 8 datasets.
+  std::size_t computes = 0;
+  for (const OpRecord& r : sim.trace.records()) {
+    if (r.kind == OpKind::Compute) ++computes;
+  }
+  EXPECT_EQ(computes, 3u * 8u);
+}
+
+TEST(Simulator, TraceComputeResourceNeverOverlapsItself) {
+  // One processor's compute ops must be serialized.
+  const Problem p = example().with_comm_model(CommModel::NoOverlap);
+  const SimResult sim =
+      simulate(p, period_optimal(), cfg(16, std::nullopt, true));
+  for (std::size_t proc = 0; proc < 3; ++proc) {
+    std::vector<OpRecord> ops;
+    for (const OpRecord& r : sim.trace.records()) {
+      if (r.kind == OpKind::Compute && r.proc == proc) ops.push_back(r);
+    }
+    std::sort(ops.begin(), ops.end(),
+              [](const OpRecord& a, const OpRecord& b) { return a.start < b.start; });
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      EXPECT_GE(ops[i].start, ops[i - 1].end - 1e-12);
+    }
+  }
+}
+
+TEST(Simulator, RejectsBadInput) {
+  const Problem p = example();
+  EXPECT_THROW((void)simulate(p, period_optimal(), cfg(0)),
+               std::invalid_argument);
+  const Mapping invalid({{0, 0, 2, 0, 0}});
+  EXPECT_THROW((void)simulate(p, invalid, {}), std::invalid_argument);
+}
+
+TEST(Simulator, RandomMappingsMatchClosedFormsBothModels) {
+  // Property sweep: random fully-hom instances, whole-app-per-processor
+  // mappings; simulator must agree with Eq. 3/4/5.
+  util::Rng rng(2024);
+  for (int iter = 0; iter < 20; ++iter) {
+    gen::ProblemShape shape;
+    shape.applications = 1 + rng.index(2);
+    shape.processors = 4;
+    shape.platform_class = core::PlatformClass::CommHomogeneous;
+    shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+    const Problem p = gen::random_problem(rng, shape);
+
+    // Map each application onto its own processor (fastest mode).
+    std::vector<core::IntervalAssignment> ivs;
+    for (std::size_t a = 0; a < p.application_count(); ++a) {
+      ivs.push_back({a, 0, p.application(a).stage_count() - 1, a,
+                     p.platform().processor(a).max_mode()});
+    }
+    const Mapping m{std::move(ivs)};
+    const Metrics metrics = core::evaluate(p, m);
+    const SimResult sim = simulate(p, m, cfg(48));
+    for (std::size_t a = 0; a < sim.apps.size(); ++a) {
+      EXPECT_NEAR(sim.apps[a].first_latency, metrics.per_app[a].latency, 1e-9);
+      EXPECT_NEAR(sim.apps[a].steady_period, metrics.per_app[a].period, 1e-9);
+    }
+  }
+}
+
+TEST(Simulator, SplitMappingsMatchClosedFormsBothModels) {
+  // Random 2-interval splits of a single application across processors.
+  util::Rng rng(4096);
+  for (int iter = 0; iter < 20; ++iter) {
+    gen::ProblemShape shape;
+    shape.applications = 1;
+    shape.processors = 2;
+    shape.app.min_stages = 2;
+    shape.app.max_stages = 6;
+    shape.platform_class = core::PlatformClass::CommHomogeneous;
+    shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+    const Problem p = gen::random_problem(rng, shape);
+    const std::size_t n = p.application(0).stage_count();
+    const std::size_t split = rng.index(n - 1);  // last stage of interval 0
+
+    const Mapping m({{0, 0, split, 0, p.platform().processor(0).max_mode()},
+                     {0, split + 1, n - 1, 1, p.platform().processor(1).max_mode()}});
+    const Metrics metrics = core::evaluate(p, m);
+    const SimResult sim = simulate(p, m, cfg(48));
+    EXPECT_NEAR(sim.apps[0].first_latency, metrics.per_app[0].latency, 1e-9);
+    EXPECT_NEAR(sim.apps[0].steady_period, metrics.per_app[0].period, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::sim

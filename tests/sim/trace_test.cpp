@@ -1,0 +1,52 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipeopt::sim {
+namespace {
+
+TEST(Trace, EmptyTrace) {
+  Trace t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_DOUBLE_EQ(t.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(t.compute_busy_time(0), 0.0);
+}
+
+TEST(Trace, MakespanIsMaxEnd) {
+  Trace t;
+  t.add({OpKind::Compute, 0, 0, 0, 1, 2, 0.0, 3.0});
+  t.add({OpKind::Transfer, 0, 0, 2, 2, 1, 3.0, 4.5});
+  EXPECT_DOUBLE_EQ(t.makespan(), 4.5);
+}
+
+TEST(Trace, ComputeBusyTimePerProcessor) {
+  Trace t;
+  t.add({OpKind::Compute, 0, 0, 0, 0, 1, 0.0, 2.0});
+  t.add({OpKind::Compute, 0, 1, 0, 0, 1, 2.0, 4.0});
+  t.add({OpKind::Compute, 0, 0, 1, 1, 2, 0.0, 1.0});
+  t.add({OpKind::Transfer, 0, 0, 1, 1, 1, 4.0, 9.0});  // transfers ignored
+  EXPECT_DOUBLE_EQ(t.compute_busy_time(1), 4.0);
+  EXPECT_DOUBLE_EQ(t.compute_busy_time(2), 1.0);
+}
+
+TEST(Trace, OpRecordDuration) {
+  const OpRecord r{OpKind::Compute, 0, 0, 0, 0, 0, 1.5, 4.0};
+  EXPECT_DOUBLE_EQ(r.duration(), 2.5);
+}
+
+TEST(Trace, CsvFormat) {
+  Trace t;
+  t.add({OpKind::Compute, 1, 2, 3, 4, 5, 0.5, 1.5});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("kind,app,dataset,first,last,proc,start,end"),
+            std::string::npos);
+  EXPECT_NE(csv.find("compute,1,2,3,4,5,0.5,1.5"), std::string::npos);
+}
+
+TEST(Trace, OpKindNames) {
+  EXPECT_STREQ(to_string(OpKind::Compute), "compute");
+  EXPECT_STREQ(to_string(OpKind::Transfer), "transfer");
+}
+
+}  // namespace
+}  // namespace pipeopt::sim

@@ -1,0 +1,114 @@
+#include "solvers/hopcroft_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "util/random.hpp"
+
+namespace pipeopt::solvers {
+namespace {
+
+/// Brute-force maximum matching size via augmenting-path DFS on every subset
+/// order (simple Kuhn's algorithm — an independent implementation).
+std::size_t kuhn_matching(const BipartiteGraph& g) {
+  std::vector<std::size_t> match_r(g.right_count(), MatchingResult::npos);
+  std::function<bool(std::size_t, std::vector<char>&)> try_kuhn =
+      [&](std::size_t l, std::vector<char>& visited) -> bool {
+    for (std::size_t r : g.neighbours(l)) {
+      if (visited[r]) continue;
+      visited[r] = 1;
+      if (match_r[r] == MatchingResult::npos ||
+          try_kuhn(match_r[r], visited)) {
+        match_r[r] = l;
+        return true;
+      }
+    }
+    return false;
+  };
+  std::size_t size = 0;
+  for (std::size_t l = 0; l < g.left_count(); ++l) {
+    std::vector<char> visited(g.right_count(), 0);
+    if (try_kuhn(l, visited)) ++size;
+  }
+  return size;
+}
+
+TEST(HopcroftKarp, SimplePerfectMatching) {
+  BipartiteGraph g(3, 3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 1);
+  g.add_edge(2, 2);
+  const MatchingResult r = hopcroft_karp(g);
+  EXPECT_EQ(r.size, 3u);
+  EXPECT_TRUE(has_left_perfect_matching(g));
+}
+
+TEST(HopcroftKarp, BlockedMatching) {
+  // Two left vertices compete for one right vertex.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  const MatchingResult r = hopcroft_karp(g);
+  EXPECT_EQ(r.size, 1u);
+  EXPECT_FALSE(has_left_perfect_matching(g));
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  BipartiteGraph g(0, 5);
+  EXPECT_EQ(hopcroft_karp(g).size, 0u);
+  EXPECT_TRUE(has_left_perfect_matching(g));
+}
+
+TEST(HopcroftKarp, NoEdges) {
+  BipartiteGraph g(3, 3);
+  EXPECT_EQ(hopcroft_karp(g).size, 0u);
+}
+
+TEST(HopcroftKarp, AugmentingPathNeeded) {
+  // Greedy left-to-right would match 0-0 and block 1; HK must augment.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(hopcroft_karp(g).size, 2u);
+}
+
+TEST(HopcroftKarp, MatchLeftConsistent) {
+  BipartiteGraph g(3, 4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const MatchingResult r = hopcroft_karp(g);
+  EXPECT_EQ(r.size, 3u);
+  EXPECT_EQ(r.match_left[0], 1u);
+  EXPECT_EQ(r.match_left[1], 2u);
+  EXPECT_EQ(r.match_left[2], 3u);
+}
+
+TEST(HopcroftKarp, EdgeBoundsChecked) {
+  BipartiteGraph g(2, 2);
+  EXPECT_THROW(g.add_edge(2, 0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+}
+
+class HopcroftKarpRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(HopcroftKarpRandomized, MatchesKuhnOracle) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  const std::size_t nl = 1 + rng.index(8);
+  const std::size_t nr = 1 + rng.index(8);
+  BipartiteGraph g(nl, nr);
+  for (std::size_t l = 0; l < nl; ++l) {
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (rng.chance(0.3)) g.add_edge(l, r);
+    }
+  }
+  EXPECT_EQ(hopcroft_karp(g).size, kuhn_matching(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HopcroftKarpRandomized, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace pipeopt::solvers

@@ -1,0 +1,110 @@
+#include "solvers/hungarian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/random.hpp"
+
+namespace pipeopt::solvers {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Brute-force oracle: min cost over all injections rows -> cols.
+double brute_force(const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  const std::size_t m = cost.front().size();
+  std::vector<std::size_t> cols(m);
+  std::iota(cols.begin(), cols.end(), std::size_t{0});
+  double best = kInf;
+  // Permute columns; use the first n as the assignment.
+  std::sort(cols.begin(), cols.end());
+  do {
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) total += cost[r][cols[r]];
+    best = std::min(best, total);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+TEST(Hungarian, SquareKnownCase) {
+  const std::vector<std::vector<double>> cost{
+      {4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  const auto result = solve_assignment(cost);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->total_cost, 5.0);  // 1 + 2 + 2
+}
+
+TEST(Hungarian, RectangularUsesBestColumns) {
+  const std::vector<std::vector<double>> cost{{10, 1, 10, 10}, {10, 10, 2, 10}};
+  const auto result = solve_assignment(cost);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->total_cost, 3.0);
+  EXPECT_EQ(result->column_of[0], 1u);
+  EXPECT_EQ(result->column_of[1], 2u);
+}
+
+TEST(Hungarian, InfeasibleWhenRowHasOnlyInfiniteEdges) {
+  const std::vector<std::vector<double>> cost{{kInf, kInf}, {1, 2}};
+  EXPECT_FALSE(solve_assignment(cost).has_value());
+}
+
+TEST(Hungarian, InfeasibleWhenForcedOntoInfiniteEdge) {
+  // Both rows can only use column 0 finitely -> no finite assignment.
+  const std::vector<std::vector<double>> cost{{1, kInf}, {1, kInf}};
+  EXPECT_FALSE(solve_assignment(cost).has_value());
+}
+
+TEST(Hungarian, EmptyProblem) {
+  const auto result = solve_assignment({});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->total_cost, 0.0);
+}
+
+TEST(Hungarian, RejectsBadShape) {
+  EXPECT_THROW((void)solve_assignment({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+  EXPECT_THROW((void)solve_assignment({{1.0}, {1.0}}), std::invalid_argument);
+}
+
+TEST(Hungarian, AssignmentIsInjective) {
+  util::Rng rng(123);
+  std::vector<std::vector<double>> cost(5, std::vector<double>(7));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.uniform(0.0, 10.0);
+  }
+  const auto result = solve_assignment(cost);
+  ASSERT_TRUE(result.has_value());
+  std::vector<std::size_t> cols = result->column_of;
+  std::sort(cols.begin(), cols.end());
+  EXPECT_EQ(std::adjacent_find(cols.begin(), cols.end()), cols.end());
+}
+
+class HungarianRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandomized, MatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 1 + rng.index(4);       // rows 1..4
+  const std::size_t m = n + rng.index(3);       // cols n..n+2
+  std::vector<std::vector<double>> cost(n, std::vector<double>(m));
+  for (auto& row : cost) {
+    for (double& c : row) {
+      c = rng.chance(0.15) ? kInf : std::floor(rng.uniform(0.0, 20.0));
+    }
+  }
+  const auto result = solve_assignment(cost);
+  const double oracle = brute_force(cost);
+  if (!std::isfinite(oracle)) {
+    EXPECT_FALSE(result.has_value());
+  } else {
+    ASSERT_TRUE(result.has_value());
+    EXPECT_DOUBLE_EQ(result->total_cost, oracle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HungarianRandomized, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace pipeopt::solvers

@@ -1,0 +1,58 @@
+#include "solvers/search.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipeopt::solvers {
+namespace {
+
+TEST(Search, NormalizeSortsAndDedups) {
+  const auto out = normalize_candidates({3.0, 1.0, 2.0, 1.0, 3.0});
+  EXPECT_EQ(out, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Search, FindsSmallestFeasible) {
+  const std::vector<double> candidates{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto result =
+      min_feasible_candidate(candidates, [](double t) { return t >= 3.0; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(*result, 3.0);
+}
+
+TEST(Search, AllFeasible) {
+  const std::vector<double> candidates{1.0, 2.0};
+  const auto result = min_feasible_candidate(candidates, [](double) { return true; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(*result, 1.0);
+}
+
+TEST(Search, NoneFeasible) {
+  const std::vector<double> candidates{1.0, 2.0};
+  EXPECT_FALSE(
+      min_feasible_candidate(candidates, [](double) { return false; }).has_value());
+}
+
+TEST(Search, EmptyCandidates) {
+  EXPECT_FALSE(min_feasible_candidate({}, [](double) { return true; }).has_value());
+}
+
+TEST(Search, OracleCallCountIsLogarithmic) {
+  std::vector<double> candidates;
+  for (int i = 0; i < 1024; ++i) candidates.push_back(static_cast<double>(i));
+  int calls = 0;
+  const auto result = min_feasible_candidate(candidates, [&](double t) {
+    ++calls;
+    return t >= 700.0;
+  });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(*result, 700.0);
+  EXPECT_LE(calls, 11);  // ceil(log2(1024)) + 1
+}
+
+TEST(Search, SingleCandidate) {
+  const auto yes = min_feasible_candidate({7.0}, [](double) { return true; });
+  ASSERT_TRUE(yes.has_value());
+  EXPECT_DOUBLE_EQ(*yes, 7.0);
+}
+
+}  // namespace
+}  // namespace pipeopt::solvers

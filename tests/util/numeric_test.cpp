@@ -1,0 +1,48 @@
+#include "util/numeric.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipeopt::util {
+namespace {
+
+TEST(Numeric, ApproxLeBasic) {
+  EXPECT_TRUE(approx_le(1.0, 2.0));
+  EXPECT_TRUE(approx_le(2.0, 2.0));
+  EXPECT_FALSE(approx_le(2.1, 2.0));
+}
+
+TEST(Numeric, ApproxLeToleratesUlps) {
+  const double t = 0.1 + 0.2;  // 0.30000000000000004
+  EXPECT_TRUE(approx_le(t, 0.3));
+  EXPECT_TRUE(approx_le(0.3, t));
+}
+
+TEST(Numeric, ApproxEqScalesWithMagnitude) {
+  EXPECT_TRUE(approx_eq(1e12, 1e12 * (1 + 1e-12)));
+  EXPECT_FALSE(approx_eq(1e12, 1e12 * (1 + 1e-6)));
+}
+
+TEST(Numeric, ApproxEqNearZeroUsesAbsoluteFloor) {
+  EXPECT_TRUE(approx_eq(0.0, 1e-13));
+  EXPECT_FALSE(approx_eq(0.0, 1e-6));
+}
+
+TEST(Numeric, ApproxLtExcludesTies) {
+  EXPECT_TRUE(approx_lt(1.0, 2.0));
+  EXPECT_FALSE(approx_lt(2.0, 2.0));
+  EXPECT_FALSE(approx_lt(2.0, 2.0 + 1e-15));
+}
+
+TEST(Numeric, FeasibleValue) {
+  EXPECT_TRUE(is_feasible_value(3.0));
+  EXPECT_FALSE(is_feasible_value(kInfinity));
+  EXPECT_FALSE(is_feasible_value(std::numeric_limits<double>::quiet_NaN()));
+}
+
+TEST(Numeric, InfinityComparisons) {
+  EXPECT_TRUE(approx_le(1e300, kInfinity));
+  EXPECT_FALSE(approx_le(kInfinity, 1e300));
+}
+
+}  // namespace
+}  // namespace pipeopt::util

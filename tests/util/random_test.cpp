@@ -1,0 +1,93 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pipeopt::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 5.0);
+  }
+}
+
+TEST(Rng, LogUniformInRangeAndSpansScales) {
+  Rng rng(7);
+  int low_decade = 0, high_decade = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.log_uniform(0.01, 100.0);
+    ASSERT_GE(x, 0.01);
+    ASSERT_LE(x, 100.0);
+    if (x < 0.1) ++low_decade;
+    if (x > 10.0) ++high_decade;
+  }
+  // Log-uniform puts ~25% of the mass in each of the four decades.
+  EXPECT_GT(low_decade, 200);
+  EXPECT_GT(high_decade, 200);
+}
+
+TEST(Rng, LogUniformRejectsNonPositive) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.log_uniform(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.log_uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(rng.uniform_int(1, 4));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{1, 2, 3, 4}));
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(rng.index(7), 7u);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(11);
+  const auto perm = rng.permutation(20);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.seed(), child.seed());
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::util

@@ -1,0 +1,98 @@
+#include "util/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+namespace pipeopt::util {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  Rational r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_TRUE(r.is_negative());
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational a(1, 3);
+  const Rational b(1, 6);
+  EXPECT_EQ(a + b, Rational(1, 2));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 18));
+  EXPECT_EQ(a / b, Rational(2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 2) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LE(Rational(5, 10), Rational(1, 2));
+}
+
+TEST(Rational, MaxMinHelpers) {
+  EXPECT_EQ(Rational::max(Rational(1, 3), Rational(1, 2)), Rational(1, 2));
+  EXPECT_EQ(Rational::min(Rational(1, 3), Rational(1, 2)), Rational(1, 3));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(3, 4).to_double(), 0.75);
+  EXPECT_DOUBLE_EQ(Rational(-7, 2).to_double(), -3.5);
+}
+
+TEST(Rational, Pow) {
+  EXPECT_EQ(Rational(2, 3).pow(0), Rational(1));
+  EXPECT_EQ(Rational(2, 3).pow(1), Rational(2, 3));
+  EXPECT_EQ(Rational(2, 3).pow(3), Rational(8, 27));
+  EXPECT_EQ(Rational(-2).pow(2), Rational(4));
+}
+
+TEST(Rational, OverflowDetected) {
+  const Rational big(INT64_MAX, 1);
+  EXPECT_THROW(big * big, RationalOverflow);
+  EXPECT_THROW(big + big, RationalOverflow);
+}
+
+TEST(Rational, CrossProductComparisonSurvivesLargeValues) {
+  // Cross products of these overflow int64; the exact 128-bit comparison
+  // must still distinguish values that differ by ~1 part in 2^126.
+  const Rational a(INT64_MAX, INT64_MAX - 1);      // 1 + 1/(M-1)
+  const Rational b(INT64_MAX - 1, INT64_MAX - 2);  // 1 + 1/(M-2) > a
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, a);
+}
+
+TEST(Rational, StreamOutput) {
+  std::ostringstream os;
+  os << Rational(3, 7) << " " << Rational(5);
+  EXPECT_EQ(os.str(), "3/7 5");
+}
+
+TEST(Rational, MirrorsPeriodExpressionExactly) {
+  // max(δ_in/b, Σw/s, δ_out/b) for the §2 example's P2 interval:
+  // max(0/1, (2+6)/8, 1/1) = 1.
+  const Rational in(0, 1);
+  const Rational comp = Rational(2 + 6) / Rational(8);
+  const Rational out(1, 1);
+  EXPECT_EQ(Rational::max(Rational::max(in, comp), out), Rational(1));
+}
+
+}  // namespace
+}  // namespace pipeopt::util

@@ -1,0 +1,96 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pipeopt::util {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Summary, Quantiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.25), 25.75, 1e-12);
+}
+
+TEST(Summary, Geomean) {
+  Summary s;
+  for (double x : {1.0, 10.0, 100.0}) s.add(x);
+  EXPECT_NEAR(s.geomean(), 10.0, 1e-12);
+}
+
+TEST(Summary, GeomeanRejectsNonPositive) {
+  Summary s;
+  s.add(-1.0);
+  EXPECT_THROW((void)s.geomean(), std::domain_error);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.median(), std::logic_error);
+}
+
+TEST(Summary, QuantileRangeChecked) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(PowerFit, RecoversExactLaw) {
+  // y = 3 * x^2.
+  std::vector<double> x{1, 2, 4, 8, 16}, y;
+  for (double v : x) y.push_back(3.0 * v * v);
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficient, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(PowerFit, DistinguishesCubicFromQuadratic) {
+  std::vector<double> x{2, 4, 8, 16, 32, 64}, y;
+  for (double v : x) y.push_back(0.5 * v * v * v);
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 3.0, 1e-9);
+}
+
+TEST(PowerFit, RejectsBadInput) {
+  EXPECT_THROW((void)fit_power_law({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_power_law({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_power_law({1.0, -2.0}, {1.0, 2.0}), std::domain_error);
+  EXPECT_THROW((void)fit_power_law({1.0, 1.0}, {1.0, 2.0}), std::domain_error);
+}
+
+TEST(PowerFit, ExponentialGrowthYieldsSuperpolynomialExponentOverRange) {
+  // 2^x sampled on doubling x: the fitted power-law exponent keeps growing
+  // with the range, which is how the exact-solver bench flags exponential
+  // scaling.
+  std::vector<double> x1{2, 4, 8}, x2{2, 4, 8, 16, 32};
+  auto make_y = [](const std::vector<double>& xs) {
+    std::vector<double> ys;
+    for (double v : xs) ys.push_back(std::pow(2.0, v));
+    return ys;
+  };
+  const double e1 = fit_power_law(x1, make_y(x1)).exponent;
+  const double e2 = fit_power_law(x2, make_y(x2)).exponent;
+  EXPECT_GT(e2, e1);
+  EXPECT_GT(e2, 5.0);
+}
+
+}  // namespace
+}  // namespace pipeopt::util

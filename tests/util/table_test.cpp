@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipeopt::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"period", "1"});
+  t.add_row({"latency", "2.75"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name    | value |"), std::string::npos);
+  EXPECT_NE(out.find("| period  | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| latency | 2.75  |"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, IndentAppliedToEveryLine) {
+  Table t({"x"});
+  t.add_row({"1"});
+  const std::string out = t.render("  ");
+  std::size_t lines = 0;
+  for (std::size_t pos = 0; (pos = out.find('\n', pos)) != std::string::npos; ++pos) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);  // header + rule + row
+  EXPECT_EQ(out.rfind("  |", 0), 0u);
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(2.75), "2.75");
+  EXPECT_EQ(format_double(14.0), "14");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(1.0 / 3.0, 4), "0.3333");
+}
+
+TEST(FormatDouble, SpecialValues) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+}  // namespace
+}  // namespace pipeopt::util

@@ -1,0 +1,188 @@
+/// \file pipeopt_cli.cpp
+/// Command-line front end: solve a problem file with any of the library's
+/// optimizers.
+///
+///   pipeopt <problem-file> <command> [args]
+///
+/// commands:
+///   show                         parse + echo the instance
+///   min-period [--exact]         interval period (Thm 3 / exact fallback)
+///   min-latency                  interval latency (Thm 12)
+///   min-energy T1,T2,...         min energy under per-app period bounds
+///                                (Thm 19/21 where polynomial, else exact)
+///   simulate D                   run the period-optimal mapping for D data
+///                                sets and report measured period/latency
+///
+/// Exit code 0 on success, 1 on infeasible, 2 on usage/parse errors.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "algorithms/energy_interval_dp.hpp"
+#include "algorithms/interval_period_multi.hpp"
+#include "algorithms/latency_algorithms.hpp"
+#include "core/evaluation.hpp"
+#include "exact/exact_solvers.hpp"
+#include "io/problem_io.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pipeopt;
+
+int usage() {
+  std::fputs(
+      "usage: pipeopt <problem-file> <command> [args]\n"
+      "  show                       echo the parsed instance\n"
+      "  min-period [--exact]       minimize max_a W_a*T_a (interval)\n"
+      "  min-latency                minimize max_a W_a*L_a (interval)\n"
+      "  min-energy T1,T2,...       minimize energy, per-app period bounds\n"
+      "  simulate <datasets>        execute the period-optimal mapping\n",
+      stderr);
+  return 2;
+}
+
+void print_solution(const core::Problem& problem, const char* objective,
+                    double value, const core::Mapping& mapping) {
+  const auto metrics = core::evaluate(problem, mapping);
+  std::printf("%s = %s\n", objective, util::format_double(value).c_str());
+  std::printf("mapping: %s\n", mapping.to_string(problem).c_str());
+  util::Table table({"application", "period", "latency"});
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    table.add_row({problem.application(a).name(),
+                   util::format_double(metrics.per_app[a].period, 4),
+                   util::format_double(metrics.per_app[a].latency, 4)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("energy: %s\n", util::format_double(metrics.energy).c_str());
+}
+
+/// Period minimization: the polynomial DP where the paper allows it,
+/// otherwise exhaustive search (with a size guard).
+std::optional<algorithms::Solution> solve_min_period(
+    const core::Problem& problem, bool force_exact) {
+  if (!force_exact &&
+      problem.platform().classify() == core::PlatformClass::FullyHomogeneous) {
+    return algorithms::interval_min_period(problem);
+  }
+  const auto exact_result =
+      exact::exact_min_period(problem, exact::MappingKind::Interval);
+  if (!exact_result) return std::nullopt;
+  return algorithms::Solution{exact_result->value, exact_result->mapping};
+}
+
+std::optional<algorithms::Solution> solve_min_energy(
+    const core::Problem& problem, const core::Thresholds& bounds) {
+  if (problem.platform().classify() == core::PlatformClass::FullyHomogeneous) {
+    return algorithms::interval_min_energy_under_period(problem, bounds);
+  }
+  const auto exact_result = exact::exact_min_energy_under_period(
+      problem, exact::MappingKind::Interval, bounds);
+  if (!exact_result) return std::nullopt;
+  return algorithms::Solution{exact_result->value, exact_result->mapping};
+}
+
+core::Thresholds parse_bounds(const core::Problem& problem, const char* text) {
+  std::vector<double> bounds;
+  std::string token;
+  for (const char* c = text;; ++c) {
+    if (*c == ',' || *c == '\0') {
+      if (!token.empty()) bounds.push_back(std::stod(token));
+      token.clear();
+      if (*c == '\0') break;
+    } else {
+      token += *c;
+    }
+  }
+  if (bounds.size() == 1) {
+    bounds.assign(problem.application_count(), bounds.front());
+  }
+  return core::Thresholds::per_app(std::move(bounds));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  core::Problem problem = [&] {
+    try {
+      return io::load_problem(argv[1]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error reading %s: %s\n", argv[1], e.what());
+      std::exit(2);
+    }
+  }();
+  const std::string command = argv[2];
+
+  try {
+    if (command == "show") {
+      std::fputs(io::format_problem(problem).c_str(), stdout);
+      std::printf("# platform class: %s, N=%zu stages on p=%zu processors\n",
+                  to_string(problem.platform().classify()),
+                  problem.total_stages(), problem.platform().processor_count());
+      return 0;
+    }
+    if (command == "min-period") {
+      const bool force_exact = argc > 3 && std::strcmp(argv[3], "--exact") == 0;
+      const auto solution = solve_min_period(problem, force_exact);
+      if (!solution) {
+        std::puts("infeasible");
+        return 1;
+      }
+      print_solution(problem, "min weighted period", solution->value,
+                     solution->mapping);
+      return 0;
+    }
+    if (command == "min-latency") {
+      const auto solution = algorithms::interval_min_latency(problem);
+      if (!solution) {
+        std::puts("infeasible");
+        return 1;
+      }
+      print_solution(problem, "min weighted latency", solution->value,
+                     solution->mapping);
+      return 0;
+    }
+    if (command == "min-energy") {
+      if (argc < 4) return usage();
+      const auto bounds = parse_bounds(problem, argv[3]);
+      const auto solution = solve_min_energy(problem, bounds);
+      if (!solution) {
+        std::puts("infeasible under the given period bounds");
+        return 1;
+      }
+      print_solution(problem, "min energy", solution->value, solution->mapping);
+      return 0;
+    }
+    if (command == "simulate") {
+      if (argc < 4) return usage();
+      const auto solution = solve_min_period(problem, false);
+      if (!solution) {
+        std::puts("infeasible");
+        return 1;
+      }
+      sim::SimConfig config;
+      config.datasets = static_cast<std::size_t>(std::stoul(argv[3]));
+      const auto result = sim::simulate(problem, solution->mapping, config);
+      std::printf("period-optimal mapping: %s\n",
+                  solution->mapping.to_string(problem).c_str());
+      util::Table table({"application", "steady period", "first latency",
+                         "max latency"});
+      for (std::size_t a = 0; a < result.apps.size(); ++a) {
+        table.add_row({problem.application(a).name(),
+                       util::format_double(result.apps[a].steady_period, 6),
+                       util::format_double(result.apps[a].first_latency, 6),
+                       util::format_double(result.apps[a].max_latency, 6)});
+      }
+      std::fputs(table.render().c_str(), stdout);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
