@@ -6,9 +6,12 @@
 /// medians.
 
 #include <cstdio>
+#include <optional>
 #include <string>
 
+#include "api/result.hpp"
 #include "gen/random_instances.hpp"
+#include "util/numeric.hpp"
 #include "util/stats.hpp"
 #include "util/timing.hpp"
 
@@ -81,5 +84,15 @@ struct CellReport {
     return std::to_string(optimal) + "/" + std::to_string(total);
   }
 };
+
+/// First diagnostic named `key` of a facade result, parsed as a number;
+/// nullopt when absent or non-numeric.
+inline std::optional<double> diagnostic_value(const api::SolveResult& result,
+                                              const char* key) {
+  for (const auto& [k, v] : result.diagnostics) {
+    if (k == key) return util::parse_number<double>(v);
+  }
+  return std::nullopt;
+}
 
 }  // namespace pipeopt::bench

@@ -1,30 +1,27 @@
 /// \file bench_table1_mono.cpp
-/// Experiment TAB1: reproduces Table 1 (mono-criterion complexity matrix).
+/// Experiment TAB1: reproduces Table 1 (mono-criterion complexity matrix),
+/// driven end-to-end through the `pipeopt::api` facade.
 ///
 /// For every (problem, platform-column) cell:
-///  * cells the paper proves polynomial — run the paper's algorithm against
-///    the exhaustive oracle on random instances (it must be optimal on all
-///    of them) and report its wall-clock;
+///  * cells the paper proves polynomial — issue the plain request and let
+///    capability dispatch pick the paper's algorithm (the cell text names
+///    the solver that won, verifying the registry routes each cell to its
+///    theorem), then compare against the exhaustive oracle on random
+///    instances (it must be optimal on all of them);
 ///  * cells the paper proves NP-complete — report the exhaustive solver's
 ///    node counts as the instance grows (the exponential wall) and the gap
-///    of a polynomial heuristic against the exact optimum.
+///    of a forced polynomial heuristic against the exact optimum.
 ///
 /// Both communication models are exercised (instances alternate).
 
 #include <cstdio>
-#include <functional>
 #include <optional>
+#include <set>
+#include <string>
 
-#include "algorithms/interval_period_multi.hpp"
-#include "algorithms/latency_algorithms.hpp"
-#include "algorithms/one_to_one_period.hpp"
+#include "api/registry.hpp"
 #include "bench_support.hpp"
 #include "util/numeric.hpp"
-#include "core/evaluation.hpp"
-#include "exact/exact_solvers.hpp"
-#include "heuristics/interval_greedy.hpp"
-#include "heuristics/list_heuristics.hpp"
-#include "heuristics/local_search.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -36,43 +33,74 @@ using bench::Column;
 constexpr int kPolyInstances = 30;
 constexpr int kHardInstances = 10;
 
-/// Runs a polynomial algorithm against the exhaustive oracle.
-/// `algo` returns the algorithm's optimal value (nullopt = infeasible);
-/// `kind` selects the oracle's mapping family.
-std::string poly_cell(
-    std::uint64_t seed, Column column, CellShape shape, exact::MappingKind kind,
-    exact::Objective objective,
-    const std::function<std::optional<double>(const core::Problem&)>& algo) {
+api::SolveRequest base_request(api::Objective objective, api::MappingKind kind) {
+  api::SolveRequest request;
+  request.objective = objective;
+  request.kind = kind;
+  return request;
+}
+
+/// Runs auto-dispatch against the forced exhaustive oracle. The winning
+/// solver must come from the Polynomial tier — escaping to exact search in
+/// a cell the paper proves tractable is reported as a routing failure.
+std::string poly_cell(std::uint64_t seed, Column column, CellShape shape,
+                      api::Objective objective, api::MappingKind kind) {
   util::Rng rng(seed);
   bench::CellReport report;
+  // Every distinct winner is reported: instances alternate communication
+  // models, and per-model routing differences must be visible.
+  std::set<std::string> dispatched;
+  int misrouted = 0;
   for (int i = 0; i < kPolyInstances; ++i) {
     shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
                               : core::CommModel::NoOverlap;
     const auto problem = bench::make_instance(rng, column, shape);
 
-    util::Stopwatch watch;
-    const auto fast = algo(problem);
-    report.algo_us.add(watch.elapsed_micros());
+    const auto request = base_request(objective, kind);
+    const auto fast = api::solve(problem, request);
+    report.algo_us.add(fast.wall_seconds * 1e6);
+    if (fast.solved()) {
+      const api::Solver* winner = api::default_registry().find(fast.solver);
+      if (winner == nullptr ||
+          winner->info().tier != api::CostTier::Polynomial) {
+        ++misrouted;
+        continue;
+      }
+      dispatched.insert(fast.solver);
+    }
 
-    exact::EnumerationOptions options;
-    options.kind = kind;
-    const auto oracle = exact::exact_minimize(problem, options, objective);
-    if (fast.has_value() != oracle.has_value()) continue;  // counted as miss
+    auto oracle_request = request;
+    oracle_request.solver = "exact-enumeration";
+    const auto oracle = api::solve(problem, oracle_request);
     ++report.total;
-    if (!fast || util::approx_eq(*fast, oracle->value)) ++report.optimal;
+    // A feasibility disagreement with the oracle is a miss.
+    if (fast.solved() == oracle.solved() &&
+        (!fast.solved() || util::approx_eq(fast.value, oracle.value))) {
+      ++report.optimal;
+    }
   }
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "poly: optimal %s, median %.0fus",
-                report.optimality().c_str(), report.algo_us.median());
+  std::string names;
+  for (const auto& name : dispatched) {
+    if (!names.empty()) names += ",";
+    names += name;
+  }
+  char buf[160];
+  if (misrouted > 0) {
+    std::snprintf(buf, sizeof(buf), "ROUTING FAILURE: %d/%d escaped poly tier",
+                  misrouted, kPolyInstances);
+  } else {
+    std::snprintf(buf, sizeof(buf), "poly[%s]: optimal %s, median %.0fus",
+                  names.c_str(), report.optimality().c_str(),
+                  report.algo_us.median());
+  }
   return buf;
 }
 
-/// Exact-blowup + heuristic-gap evidence for an NP-complete cell.
-/// `heuristic` returns the heuristic objective value for an instance.
-std::string hard_cell(
-    std::uint64_t seed, Column column, CellShape shape, exact::MappingKind kind,
-    exact::Objective objective,
-    const std::function<std::optional<double>(const core::Problem&)>& heuristic) {
+/// Exact-blowup + heuristic-gap evidence for an NP-complete cell; the
+/// heuristic is a forced facade solver.
+std::string hard_cell(std::uint64_t seed, Column column, CellShape shape,
+                      api::Objective objective, api::MappingKind kind,
+                      const char* heuristic_solver) {
   util::Rng rng(seed);
   bench::CellReport report;
   util::Summary nodes;
@@ -80,60 +108,40 @@ std::string hard_cell(
     shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
                               : core::CommModel::NoOverlap;
     const auto problem = bench::make_instance(rng, column, shape);
-    exact::EnumerationOptions options;
-    options.kind = kind;
-    const auto oracle = exact::exact_minimize(problem, options, objective);
-    if (!oracle) continue;
-    nodes.add(static_cast<double>(oracle->stats.nodes));
-    const auto value = heuristic(problem);
-    if (!value) continue;
+
+    auto oracle_request = base_request(objective, kind);
+    oracle_request.solver = "exact-enumeration";
+    const auto oracle = api::solve(problem, oracle_request);
+    if (!oracle.solved()) continue;
+    if (const auto n = bench::diagnostic_value(oracle, "nodes")) nodes.add(*n);
+
+    auto heuristic_request = base_request(objective, kind);
+    heuristic_request.solver = heuristic_solver;
+    const auto heuristic = api::solve(problem, heuristic_request);
+    if (!heuristic.solved()) continue;
     ++report.total;
-    report.gap.add(*value / oracle->value);
-    if (util::approx_eq(*value, oracle->value)) ++report.optimal;
+    report.gap.add(heuristic.value / oracle.value);
+    if (util::approx_eq(heuristic.value, oracle.value)) ++report.optimal;
   }
   char buf[160];
   if (report.total == 0) {
-    std::snprintf(buf, sizeof(buf), "NP-c: exact median %.0f nodes", nodes.median());
+    std::snprintf(buf, sizeof(buf), "NP-c: exact median %.0f nodes",
+                  nodes.median());
   } else {
     std::snprintf(buf, sizeof(buf),
-                  "NP-c: exact median %.0f nodes; heuristic gap med %.3fx "
-                  "(opt %s)",
-                  nodes.median(), report.gap.median(),
+                  "NP-c: exact median %.0f nodes; %s gap med %.3fx (opt %s)",
+                  nodes.median(), heuristic_solver, report.gap.median(),
                   report.optimality().c_str());
   }
   return buf;
-}
-
-/// Heuristics used as polynomial baselines in the hard cells.
-std::optional<double> heuristic_period_interval(const core::Problem& problem) {
-  const auto start = heuristics::greedy_interval_mapping(problem);
-  if (!start) return std::nullopt;
-  return heuristics::local_search(problem, *start, heuristics::Goal::Period)
-      .value;
-}
-std::optional<double> heuristic_latency_interval(const core::Problem& problem) {
-  const auto start = heuristics::greedy_interval_mapping(problem);
-  if (!start) return std::nullopt;
-  return heuristics::local_search(problem, *start, heuristics::Goal::Latency)
-      .value;
-}
-std::optional<double> heuristic_period_one_to_one(const core::Problem& problem) {
-  const auto mapping = heuristics::one_to_one_rank_matching(problem);
-  if (!mapping) return std::nullopt;
-  return core::evaluate(problem, *mapping).max_weighted_period;
-}
-std::optional<double> heuristic_latency_one_to_one(const core::Problem& problem) {
-  const auto mapping = heuristics::one_to_one_rank_matching(problem);
-  if (!mapping) return std::nullopt;
-  return core::evaluate(problem, *mapping).max_weighted_latency;
 }
 
 }  // namespace
 
 int main() {
   std::puts("=== TAB1: Table 1 — mono-criterion complexity matrix ===");
-  std::puts("(poly cells: algorithm vs exhaustive oracle; NP-c cells: exact");
-  std::puts(" node counts + polynomial-heuristic gap)\n");
+  std::puts("(all cells via api::solve; poly cells name the auto-dispatched");
+  std::puts(" solver and compare it with the exhaustive oracle)\n");
 
   CellShape small;          // shared by one-to-one rows (p >= N needed)
   small.applications = 2;
@@ -151,76 +159,53 @@ int main() {
                      bench::to_string(Column::FullyHet)});
 
   // --- Row 1: Period, one-to-one (Thm 1 poly; Thm 2 NP-c on com-het). ----
-  const auto one_to_one_period = [](const core::Problem& p) {
-    const auto s = algorithms::one_to_one_min_period(p);
-    return s ? std::optional<double>(s->value) : std::nullopt;
-  };
-  table.add_row(
-      {"Period 1-to-1",
-       poly_cell(11, Column::FullyHom, small, exact::MappingKind::OneToOne,
-                 exact::Objective::Period, one_to_one_period),
-       poly_cell(12, Column::SpecialApp, small, exact::MappingKind::OneToOne,
-                 exact::Objective::Period, one_to_one_period),
-       poly_cell(13, Column::CommHom, small, exact::MappingKind::OneToOne,
-                 exact::Objective::Period, one_to_one_period),
-       hard_cell(14, Column::FullyHet, small, exact::MappingKind::OneToOne,
-                 exact::Objective::Period, heuristic_period_one_to_one)});
+  table.add_row({"Period 1-to-1",
+                 poly_cell(11, Column::FullyHom, small, api::Objective::Period,
+                           api::MappingKind::OneToOne),
+                 poly_cell(12, Column::SpecialApp, small, api::Objective::Period,
+                           api::MappingKind::OneToOne),
+                 poly_cell(13, Column::CommHom, small, api::Objective::Period,
+                           api::MappingKind::OneToOne),
+                 hard_cell(14, Column::FullyHet, small, api::Objective::Period,
+                           api::MappingKind::OneToOne, "rank-matching")});
 
   // --- Row 2: Period, interval (Thm 3 poly on FH; Thms 4-5 NP-c). --------
-  const auto interval_period = [](const core::Problem& p) {
-    const auto s = algorithms::interval_min_period(p);
-    return s ? std::optional<double>(s->value) : std::nullopt;
-  };
-  table.add_row(
-      {"Period interval",
-       poly_cell(21, Column::FullyHom, interval_shape,
-                 exact::MappingKind::Interval, exact::Objective::Period,
-                 interval_period),
-       hard_cell(22, Column::SpecialApp, interval_shape,
-                 exact::MappingKind::Interval, exact::Objective::Period,
-                 heuristic_period_interval),
-       hard_cell(23, Column::CommHom, interval_shape,
-                 exact::MappingKind::Interval, exact::Objective::Period,
-                 heuristic_period_interval),
-       hard_cell(24, Column::FullyHet, interval_shape,
-                 exact::MappingKind::Interval, exact::Objective::Period,
-                 heuristic_period_interval)});
+  table.add_row({"Period interval",
+                 poly_cell(21, Column::FullyHom, interval_shape,
+                           api::Objective::Period, api::MappingKind::Interval),
+                 hard_cell(22, Column::SpecialApp, interval_shape,
+                           api::Objective::Period, api::MappingKind::Interval,
+                           "local-search"),
+                 hard_cell(23, Column::CommHom, interval_shape,
+                           api::Objective::Period, api::MappingKind::Interval,
+                           "local-search"),
+                 hard_cell(24, Column::FullyHet, interval_shape,
+                           api::Objective::Period, api::MappingKind::Interval,
+                           "local-search")});
 
   // --- Row 3: Latency, one-to-one (Thm 8 poly on FH; Thm 9 NP-c). --------
-  const auto one_to_one_latency = [](const core::Problem& p) {
-    const auto s = algorithms::one_to_one_min_latency_fully_hom(p);
-    return s ? std::optional<double>(s->value) : std::nullopt;
-  };
-  table.add_row(
-      {"Latency 1-to-1",
-       poly_cell(31, Column::FullyHom, small, exact::MappingKind::OneToOne,
-                 exact::Objective::Latency, one_to_one_latency),
-       hard_cell(32, Column::SpecialApp, small, exact::MappingKind::OneToOne,
-                 exact::Objective::Latency, heuristic_latency_one_to_one),
-       hard_cell(33, Column::CommHom, small, exact::MappingKind::OneToOne,
-                 exact::Objective::Latency, heuristic_latency_one_to_one),
-       hard_cell(34, Column::FullyHet, small, exact::MappingKind::OneToOne,
-                 exact::Objective::Latency, heuristic_latency_one_to_one)});
+  table.add_row({"Latency 1-to-1",
+                 poly_cell(31, Column::FullyHom, small, api::Objective::Latency,
+                           api::MappingKind::OneToOne),
+                 hard_cell(32, Column::SpecialApp, small,
+                           api::Objective::Latency, api::MappingKind::OneToOne,
+                           "rank-matching"),
+                 hard_cell(33, Column::CommHom, small, api::Objective::Latency,
+                           api::MappingKind::OneToOne, "rank-matching"),
+                 hard_cell(34, Column::FullyHet, small, api::Objective::Latency,
+                           api::MappingKind::OneToOne, "rank-matching")});
 
   // --- Row 4: Latency, interval (Thm 12 poly on com-hom; Thm 13 NP-c). ---
-  const auto interval_latency = [](const core::Problem& p) {
-    const auto s = algorithms::interval_min_latency(p);
-    return s ? std::optional<double>(s->value) : std::nullopt;
-  };
-  table.add_row(
-      {"Latency interval",
-       poly_cell(41, Column::FullyHom, interval_shape,
-                 exact::MappingKind::Interval, exact::Objective::Latency,
-                 interval_latency),
-       poly_cell(42, Column::SpecialApp, interval_shape,
-                 exact::MappingKind::Interval, exact::Objective::Latency,
-                 interval_latency),
-       poly_cell(43, Column::CommHom, interval_shape,
-                 exact::MappingKind::Interval, exact::Objective::Latency,
-                 interval_latency),
-       hard_cell(44, Column::FullyHet, interval_shape,
-                 exact::MappingKind::Interval, exact::Objective::Latency,
-                 heuristic_latency_interval)});
+  table.add_row({"Latency interval",
+                 poly_cell(41, Column::FullyHom, interval_shape,
+                           api::Objective::Latency, api::MappingKind::Interval),
+                 poly_cell(42, Column::SpecialApp, interval_shape,
+                           api::Objective::Latency, api::MappingKind::Interval),
+                 poly_cell(43, Column::CommHom, interval_shape,
+                           api::Objective::Latency, api::MappingKind::Interval),
+                 hard_cell(44, Column::FullyHet, interval_shape,
+                           api::Objective::Latency, api::MappingKind::Interval,
+                           "local-search")});
 
   std::fputs(table.render().c_str(), stdout);
   std::puts("\nPaper's Table 1 verdicts for comparison:");

@@ -1,30 +1,25 @@
 /// \file bench_table2_multi.cpp
 /// Experiment TAB2: reproduces Table 2 (multi-criteria complexity matrix)
-/// plus the §5.3.1 uni-modal tri-criteria row.
+/// plus the §5.3.1 uni-modal tri-criteria row, driven end-to-end through
+/// the `pipeopt::api` facade.
 ///
 /// Threshold construction per instance: the exhaustive performance optimum
 /// scaled by a random slack in [1, 2.5], so constraints genuinely bind on a
-/// fraction of the instances. Poly cells compare the paper's algorithm with
-/// the constrained exhaustive oracle; NP-c cells report the exact node
-/// count and the gap of the polynomial heuristics (DVFS scaling, local
-/// search).
+/// fraction of the instances. Poly cells issue the plain request and let
+/// capability dispatch pick the paper's algorithm (the cell text names the
+/// winner), comparing it with the constrained exhaustive oracle; NP-c cells
+/// report the exact node count and the gap of the forced heuristic-ladder
+/// solver (greedy -> DVFS scaling -> local search -> annealing).
 
 #include <cstdio>
 #include <functional>
 #include <optional>
+#include <set>
+#include <string>
 
-#include "algorithms/bicriteria_period_latency.hpp"
-#include "algorithms/energy_interval_dp.hpp"
-#include "algorithms/energy_matching.hpp"
-#include "algorithms/tricriteria_unimodal.hpp"
+#include "api/registry.hpp"
 #include "bench_support.hpp"
 #include "util/numeric.hpp"
-#include "core/evaluation.hpp"
-#include "exact/exact_solvers.hpp"
-#include "heuristics/interval_greedy.hpp"
-#include "heuristics/list_heuristics.hpp"
-#include "heuristics/local_search.hpp"
-#include "heuristics/speed_scaling.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -37,73 +32,144 @@ constexpr int kPolyInstances = 20;
 constexpr int kHardInstances = 8;
 
 /// One multi-criteria experiment: thresholds are derived per instance; the
-/// runner returns {algorithm value, oracle value} or nullopt to skip.
-struct CellOutcome {
-  std::optional<double> algo;
-  std::optional<double> oracle;
-  double exact_nodes = 0.0;
-};
-using CellRunner = std::function<std::optional<CellOutcome>(
+/// runner returns the constrained request or nullopt to skip the instance.
+using RequestBuilder = std::function<std::optional<api::SolveRequest>(
     const core::Problem&, util::Rng&)>;
 
+/// Median "nodes" diagnostic of an exact result, when present.
+void note_nodes(const api::SolveResult& result, util::Summary& nodes) {
+  if (const auto n = bench::diagnostic_value(result, "nodes")) nodes.add(*n);
+}
+
 std::string run_cell(std::uint64_t seed, Column column, CellShape shape,
-                     bool expect_poly, const CellRunner& runner) {
+                     bool expect_poly, const RequestBuilder& build) {
   util::Rng rng(seed);
   bench::CellReport report;
   util::Summary nodes;
+  // Every distinct winner is reported: instances alternate communication
+  // models, and per-model routing differences must be visible.
+  std::set<std::string> dispatched;
+  int misrouted = 0;
   const int instances = expect_poly ? kPolyInstances : kHardInstances;
   for (int i = 0; i < instances; ++i) {
     shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
                               : core::CommModel::NoOverlap;
     const auto problem = bench::make_instance(rng, column, shape);
-    const auto outcome = runner(problem, rng);
-    if (!outcome) continue;
-    nodes.add(outcome->exact_nodes);
-    if (outcome->algo.has_value() != outcome->oracle.has_value()) {
-      ++report.total;  // feasibility disagreement counts as a miss
+    const auto request = build(problem, rng);
+    if (!request) continue;
+
+    auto oracle_request = *request;
+    oracle_request.solver = "exact-enumeration";
+    const auto oracle = api::solve(problem, oracle_request);
+    if (oracle.solved()) note_nodes(oracle, nodes);
+
+    auto algo_request = *request;
+    if (!expect_poly) algo_request.solver = "heuristic-ladder";
+    const auto algo = api::solve(problem, algo_request);
+    if (expect_poly && algo.solved()) {
+      const api::Solver* winner = api::default_registry().find(algo.solver);
+      if (winner == nullptr ||
+          winner->info().tier != api::CostTier::Polynomial) {
+        ++misrouted;
+        continue;
+      }
+      dispatched.insert(algo.solver);
+    }
+
+    if (algo.solved() != oracle.solved()) {
+      // Poly cells: a feasibility disagreement is a miss. Hard cells: the
+      // ladder failing to find a feasible mapping is expected sometimes.
+      if (expect_poly || oracle.solved()) ++report.total;
       continue;
     }
-    if (!outcome->algo) continue;  // both infeasible: nothing to compare
+    if (!algo.solved()) continue;  // both infeasible: nothing to compare
     ++report.total;
-    report.gap.add(*outcome->algo / *outcome->oracle);
-    if (util::approx_eq(*outcome->algo, *outcome->oracle)) ++report.optimal;
+    report.gap.add(algo.value / oracle.value);
+    if (util::approx_eq(algo.value, oracle.value)) ++report.optimal;
+  }
+  std::string names;
+  for (const auto& name : dispatched) {
+    if (!names.empty()) names += ",";
+    names += name;
   }
   char buf[160];
-  if (report.total == 0) {
+  if (misrouted > 0) {
+    std::snprintf(buf, sizeof(buf), "ROUTING FAILURE: %d escaped poly tier",
+                  misrouted);
+  } else if (report.total == 0) {
     std::snprintf(buf, sizeof(buf), "(no comparable instances)");
   } else if (expect_poly) {
-    std::snprintf(buf, sizeof(buf), "poly: optimal %s",
+    std::snprintf(buf, sizeof(buf), "poly[%s]: optimal %s", names.c_str(),
                   report.optimality().c_str());
   } else if (report.gap.empty()) {
-    // Every comparable instance was a feasibility disagreement (the
-    // heuristic could not find a feasible start): exact evidence only.
     std::snprintf(buf, sizeof(buf), "NP-c: exact med %.0f nodes (heur n/a)",
                   nodes.median());
   } else {
     std::snprintf(buf, sizeof(buf),
-                  "NP-c: exact med %.0f nodes; heur gap med %.3fx (opt %s)",
+                  "NP-c: exact med %.0f nodes; ladder gap med %.3fx (opt %s)",
                   nodes.median(), report.gap.median(),
                   report.optimality().c_str());
   }
   return buf;
 }
 
-/// Shared threshold helper: exhaustive optimum of `objective` over interval
-/// (or one-to-one) mappings, scaled by slack.
+/// Exhaustive optimum of `objective` over the mapping family, scaled by
+/// `slack` — the per-instance threshold generator.
 std::optional<double> perf_bound(const core::Problem& problem,
-                                 exact::MappingKind kind,
-                                 exact::Objective objective, double slack) {
-  exact::EnumerationOptions options;
-  options.kind = kind;
-  const auto best = exact::exact_minimize(problem, options, objective);
-  if (!best) return std::nullopt;
-  return best->value * slack;
+                                 api::MappingKind kind,
+                                 api::Objective objective, double slack) {
+  api::SolveRequest request;
+  request.objective = objective;
+  request.kind = kind;
+  request.solver = "exact-enumeration";
+  const auto best = api::solve(problem, request);
+  if (!best.solved()) return std::nullopt;
+  return best.value * slack;
+}
+
+/// Slack range a threshold is drawn from. Poly cells include 1.0 (the
+/// constraint may sit exactly at the optimum — the algorithm must still
+/// match the oracle there); NP-c cells use a 1.2 floor so the heuristic is
+/// not gapped against thresholds no polynomial method could ever meet.
+struct Slack {
+  double lo = 1.0;
+  double hi = 2.5;
+};
+
+/// Builds the cell's request: minimize `objective` over `kind` mappings
+/// under thresholds derived from the exhaustive optimum of each bounded
+/// criterion, scaled by a random slack.
+RequestBuilder make_builder(api::Objective objective, api::MappingKind kind,
+                            std::optional<Slack> period_slack,
+                            std::optional<Slack> latency_slack) {
+  return [=](const core::Problem& problem,
+             util::Rng& rng) -> std::optional<api::SolveRequest> {
+    api::SolveRequest request;
+    request.objective = objective;
+    request.kind = kind;
+    if (period_slack) {
+      const auto bound =
+          perf_bound(problem, kind, api::Objective::Period,
+                     rng.uniform(period_slack->lo, period_slack->hi));
+      if (!bound) return std::nullopt;
+      request.constraints.period = core::Thresholds::uniform(problem, *bound);
+    }
+    if (latency_slack) {
+      const auto bound =
+          perf_bound(problem, kind, api::Objective::Latency,
+                     rng.uniform(latency_slack->lo, latency_slack->hi));
+      if (!bound) return std::nullopt;
+      request.constraints.latency = core::Thresholds::uniform(problem, *bound);
+    }
+    return request;
+  };
 }
 
 }  // namespace
 
 int main() {
-  std::puts("=== TAB2: Table 2 — multi-criteria complexity matrix ===\n");
+  std::puts("=== TAB2: Table 2 — multi-criteria complexity matrix ===");
+  std::puts("(all cells via api::solve; poly cells name the dispatched solver)\n");
 
   CellShape shape;
   shape.applications = 2;
@@ -120,243 +186,66 @@ int main() {
                      bench::to_string(Column::CommHom),
                      bench::to_string(Column::FullyHet)});
 
+  // Poly cells draw slack from [1.0, hi]; NP-c cells from [1.2, hi].
+  constexpr Slack kPolySlack{1.0, 2.5};
+  constexpr Slack kHardSlack{1.2, 2.5};
+  constexpr Slack kPolyTriSlack{1.0, 2.0};
+  constexpr Slack kHardTriSlack{1.2, 2.0};
+
   // --- Row 1: Period/Latency, interval (Thms 15-17). ---------------------
-  const CellRunner pl_poly = [&](const core::Problem& problem, util::Rng& rng)
-      -> std::optional<CellOutcome> {
-    const auto bound = perf_bound(problem, exact::MappingKind::Interval,
-                                  exact::Objective::Period,
-                                  rng.uniform(1.0, 2.5));
-    if (!bound) return std::nullopt;
-    const auto bounds = core::Thresholds::uniform(problem, *bound);
-    CellOutcome outcome;
-    if (const auto s =
-            algorithms::multi_min_latency_under_period(problem, bounds)) {
-      outcome.algo = s->value;
-    }
-    core::ConstraintSet cs;
-    cs.period = bounds;
-    exact::EnumerationOptions options;
-    options.kind = exact::MappingKind::Interval;
-    if (const auto o = exact::exact_minimize(problem, options,
-                                             exact::Objective::Latency, cs)) {
-      outcome.oracle = o->value;
-      outcome.exact_nodes = static_cast<double>(o->stats.nodes);
-    }
-    return outcome;
-  };
-  const CellRunner pl_hard = [&](const core::Problem& problem, util::Rng& rng)
-      -> std::optional<CellOutcome> {
-    const auto bound = perf_bound(problem, exact::MappingKind::Interval,
-                                  exact::Objective::Period,
-                                  rng.uniform(1.2, 2.5));
-    if (!bound) return std::nullopt;
-    const auto bounds = core::Thresholds::uniform(problem, *bound);
-    core::ConstraintSet cs;
-    cs.period = bounds;
-    CellOutcome outcome;
-    exact::EnumerationOptions options;
-    options.kind = exact::MappingKind::Interval;
-    const auto o =
-        exact::exact_minimize(problem, options, exact::Objective::Latency, cs);
-    if (!o) return std::nullopt;
-    outcome.oracle = o->value;
-    outcome.exact_nodes = static_cast<double>(o->stats.nodes);
-    // Heuristic: greedy construction + latency-goal local search from a
-    // feasible start (the oracle's mapping perturbed is not available to a
-    // real user, so start from greedy; skip when greedy is infeasible).
-    if (const auto start = heuristics::greedy_interval_mapping(problem)) {
-      const auto metrics = core::evaluate(problem, *start);
-      if (cs.satisfied_by(metrics)) {
-        outcome.algo =
-            heuristics::local_search(problem, *start, heuristics::Goal::Latency,
-                                     cs)
-                .value;
-      }
-    }
-    return outcome;
+  const auto pl = [&](Slack slack) {
+    return make_builder(api::Objective::Latency, api::MappingKind::Interval,
+                        slack, std::nullopt);
   };
   table.add_row({"Period/Latency interval",
-                 run_cell(211, Column::FullyHom, shape, true, pl_poly),
-                 run_cell(212, Column::SpecialApp, shape, false, pl_hard),
-                 run_cell(213, Column::CommHom, shape, false, pl_hard),
-                 run_cell(214, Column::FullyHet, shape, false, pl_hard)});
+                 run_cell(211, Column::FullyHom, shape, true, pl(kPolySlack)),
+                 run_cell(212, Column::SpecialApp, shape, false, pl(kHardSlack)),
+                 run_cell(213, Column::CommHom, shape, false, pl(kHardSlack)),
+                 run_cell(214, Column::FullyHet, shape, false, pl(kHardSlack))});
 
   // --- Row 2: Period/Energy, one-to-one (Thm 19 poly; Thm 20 NP-c). ------
-  const CellRunner pe_matching = [&](const core::Problem& problem,
-                                     util::Rng& rng)
-      -> std::optional<CellOutcome> {
-    const auto bound = perf_bound(problem, exact::MappingKind::OneToOne,
-                                  exact::Objective::Period,
-                                  rng.uniform(1.0, 2.5));
-    if (!bound) return std::nullopt;
-    const auto bounds = core::Thresholds::uniform(problem, *bound);
-    CellOutcome outcome;
-    if (const auto s =
-            algorithms::one_to_one_min_energy_under_period(problem, bounds)) {
-      outcome.algo = s->value;
-    }
-    if (const auto o = exact::exact_min_energy_under_period(
-            problem, exact::MappingKind::OneToOne, bounds)) {
-      outcome.oracle = o->value;
-      outcome.exact_nodes = static_cast<double>(o->stats.nodes);
-    }
-    return outcome;
+  const auto pe_one = [&](Slack slack) {
+    return make_builder(api::Objective::Energy, api::MappingKind::OneToOne,
+                        slack, std::nullopt);
   };
-  const CellRunner pe_one_hard = [&](const core::Problem& problem,
-                                     util::Rng& rng)
-      -> std::optional<CellOutcome> {
-    const auto bound = perf_bound(problem, exact::MappingKind::OneToOne,
-                                  exact::Objective::Period,
-                                  rng.uniform(1.2, 2.5));
-    if (!bound) return std::nullopt;
-    const auto bounds = core::Thresholds::uniform(problem, *bound);
-    CellOutcome outcome;
-    const auto o = exact::exact_min_energy_under_period(
-        problem, exact::MappingKind::OneToOne, bounds);
-    if (!o) return std::nullopt;
-    outcome.oracle = o->value;
-    outcome.exact_nodes = static_cast<double>(o->stats.nodes);
-    // Heuristic: rank matching at max speed + DVFS downscaling.
-    if (const auto start = heuristics::one_to_one_rank_matching(problem)) {
-      core::ConstraintSet cs;
-      cs.period = bounds;
-      const auto metrics = core::evaluate(problem, *start);
-      if (cs.satisfied_by(metrics)) {
-        outcome.algo =
-            heuristics::scale_down_speeds(problem, *start, cs).energy_after;
-      }
-    }
-    return outcome;
-  };
-  table.add_row({"Period/Energy 1-to-1",
-                 run_cell(221, Column::FullyHom, one_shape, true, pe_matching),
-                 run_cell(222, Column::SpecialApp, one_shape, true, pe_matching),
-                 run_cell(223, Column::CommHom, one_shape, true, pe_matching),
-                 run_cell(224, Column::FullyHet, one_shape, false, pe_one_hard)});
+  table.add_row(
+      {"Period/Energy 1-to-1",
+       run_cell(221, Column::FullyHom, one_shape, true, pe_one(kPolySlack)),
+       run_cell(222, Column::SpecialApp, one_shape, true, pe_one(kPolySlack)),
+       run_cell(223, Column::CommHom, one_shape, true, pe_one(kPolySlack)),
+       run_cell(224, Column::FullyHet, one_shape, false, pe_one(kHardSlack))});
 
   // --- Row 3: Period/Energy, interval (Thms 18/21 poly on FH; Thm 22). ---
-  const CellRunner pe_interval_poly = [&](const core::Problem& problem,
-                                          util::Rng& rng)
-      -> std::optional<CellOutcome> {
-    const auto bound = perf_bound(problem, exact::MappingKind::Interval,
-                                  exact::Objective::Period,
-                                  rng.uniform(1.0, 2.5));
-    if (!bound) return std::nullopt;
-    const auto bounds = core::Thresholds::uniform(problem, *bound);
-    CellOutcome outcome;
-    if (const auto s =
-            algorithms::interval_min_energy_under_period(problem, bounds)) {
-      outcome.algo = s->value;
-    }
-    if (const auto o = exact::exact_min_energy_under_period(
-            problem, exact::MappingKind::Interval, bounds)) {
-      outcome.oracle = o->value;
-      outcome.exact_nodes = static_cast<double>(o->stats.nodes);
-    }
-    return outcome;
-  };
-  const CellRunner pe_interval_hard = [&](const core::Problem& problem,
-                                          util::Rng& rng)
-      -> std::optional<CellOutcome> {
-    const auto bound = perf_bound(problem, exact::MappingKind::Interval,
-                                  exact::Objective::Period,
-                                  rng.uniform(1.2, 2.5));
-    if (!bound) return std::nullopt;
-    const auto bounds = core::Thresholds::uniform(problem, *bound);
-    CellOutcome outcome;
-    const auto o = exact::exact_min_energy_under_period(
-        problem, exact::MappingKind::Interval, bounds);
-    if (!o) return std::nullopt;
-    outcome.oracle = o->value;
-    outcome.exact_nodes = static_cast<double>(o->stats.nodes);
-    core::ConstraintSet cs;
-    cs.period = bounds;
-    if (const auto start = heuristics::greedy_interval_mapping(problem)) {
-      const auto metrics = core::evaluate(problem, *start);
-      if (cs.satisfied_by(metrics)) {
-        const auto scaled = heuristics::scale_down_speeds(problem, *start, cs);
-        outcome.algo = heuristics::local_search(problem, scaled.mapping,
-                                                heuristics::Goal::Energy, cs)
-                           .value;
-      }
-    }
-    return outcome;
+  const auto pe_interval = [&](Slack slack) {
+    return make_builder(api::Objective::Energy, api::MappingKind::Interval,
+                        slack, std::nullopt);
   };
   table.add_row(
       {"Period/Energy interval",
-       run_cell(231, Column::FullyHom, shape, true, pe_interval_poly),
-       run_cell(232, Column::SpecialApp, shape, false, pe_interval_hard),
-       run_cell(233, Column::CommHom, shape, false, pe_interval_hard),
-       run_cell(234, Column::FullyHet, shape, false, pe_interval_hard)});
+       run_cell(231, Column::FullyHom, shape, true, pe_interval(kPolySlack)),
+       run_cell(232, Column::SpecialApp, shape, false, pe_interval(kHardSlack)),
+       run_cell(233, Column::CommHom, shape, false, pe_interval(kHardSlack)),
+       run_cell(234, Column::FullyHet, shape, false, pe_interval(kHardSlack))});
 
-  // --- Row 4: tri-criteria, uni-modal (Thms 23-25). ----------------------
+  // --- Rows 4-5: tri-criteria (Thms 23-25 poly uni-modal; Thm 26-27). ----
+  const auto tri = [&](Slack slack) {
+    return make_builder(api::Objective::Energy, api::MappingKind::Interval,
+                        slack, slack);
+  };
   CellShape uni = shape;
   uni.modes = 1;
-  const CellRunner tri_uni = [&](const core::Problem& problem, util::Rng& rng)
-      -> std::optional<CellOutcome> {
-    const auto t_bound = perf_bound(problem, exact::MappingKind::Interval,
-                                    exact::Objective::Period,
-                                    rng.uniform(1.0, 2.0));
-    const auto l_bound = perf_bound(problem, exact::MappingKind::Interval,
-                                    exact::Objective::Latency,
-                                    rng.uniform(1.0, 2.0));
-    if (!t_bound || !l_bound) return std::nullopt;
-    const auto periods = core::Thresholds::uniform(problem, *t_bound);
-    const auto latencies = core::Thresholds::uniform(problem, *l_bound);
-    CellOutcome outcome;
-    if (const auto s = algorithms::interval_min_energy_tricriteria(
-            problem, periods, latencies)) {
-      outcome.algo = s->value;
-    }
-    if (const auto o = exact::exact_min_energy_tricriteria(
-            problem, exact::MappingKind::Interval, periods, latencies)) {
-      outcome.oracle = o->value;
-      outcome.exact_nodes = static_cast<double>(o->stats.nodes);
-    }
-    return outcome;
-  };
-  const CellRunner tri_uni_hard = [&](const core::Problem& problem,
-                                      util::Rng& rng)
-      -> std::optional<CellOutcome> {
-    const auto t_bound = perf_bound(problem, exact::MappingKind::Interval,
-                                    exact::Objective::Period,
-                                    rng.uniform(1.2, 2.0));
-    const auto l_bound = perf_bound(problem, exact::MappingKind::Interval,
-                                    exact::Objective::Latency,
-                                    rng.uniform(1.2, 2.0));
-    if (!t_bound || !l_bound) return std::nullopt;
-    const auto periods = core::Thresholds::uniform(problem, *t_bound);
-    const auto latencies = core::Thresholds::uniform(problem, *l_bound);
-    CellOutcome outcome;
-    const auto o = exact::exact_min_energy_tricriteria(
-        problem, exact::MappingKind::Interval, periods, latencies);
-    if (!o) return std::nullopt;
-    outcome.oracle = o->value;
-    outcome.exact_nodes = static_cast<double>(o->stats.nodes);
-    core::ConstraintSet cs;
-    cs.period = periods;
-    cs.latency = latencies;
-    if (const auto start = heuristics::greedy_interval_mapping(problem)) {
-      const auto metrics = core::evaluate(problem, *start);
-      if (cs.satisfied_by(metrics)) {
-        outcome.algo =
-            heuristics::scale_down_speeds(problem, *start, cs).energy_after;
-      }
-    }
-    return outcome;
-  };
-  table.add_row({"P/L/E uni-modal interval",
-                 run_cell(241, Column::FullyHom, uni, true, tri_uni),
-                 run_cell(242, Column::SpecialApp, uni, false, tri_uni_hard),
-                 run_cell(243, Column::CommHom, uni, false, tri_uni_hard),
-                 run_cell(244, Column::FullyHet, uni, false, tri_uni_hard)});
-
-  // --- Row 5: tri-criteria, multi-modal — NP-hard even on FH (Thm 26). ---
-  table.add_row({"P/L/E multi-modal interval",
-                 run_cell(251, Column::FullyHom, shape, false, tri_uni_hard),
-                 run_cell(252, Column::SpecialApp, shape, false, tri_uni_hard),
-                 run_cell(253, Column::CommHom, shape, false, tri_uni_hard),
-                 run_cell(254, Column::FullyHet, shape, false, tri_uni_hard)});
+  table.add_row(
+      {"P/L/E uni-modal interval",
+       run_cell(241, Column::FullyHom, uni, true, tri(kPolyTriSlack)),
+       run_cell(242, Column::SpecialApp, uni, false, tri(kHardTriSlack)),
+       run_cell(243, Column::CommHom, uni, false, tri(kHardTriSlack)),
+       run_cell(244, Column::FullyHet, uni, false, tri(kHardTriSlack))});
+  table.add_row(
+      {"P/L/E multi-modal interval",
+       run_cell(251, Column::FullyHom, shape, false, tri(kHardTriSlack)),
+       run_cell(252, Column::SpecialApp, shape, false, tri(kHardTriSlack)),
+       run_cell(253, Column::CommHom, shape, false, tri(kHardTriSlack)),
+       run_cell(254, Column::FullyHet, shape, false, tri(kHardTriSlack))});
 
   std::fputs(table.render().c_str(), stdout);
   std::puts("\nPaper's Table 2 verdicts for comparison:");

@@ -1,0 +1,57 @@
+#include "api/adapters.hpp"
+
+#include "core/evaluation.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::api {
+
+void register_all_solvers(SolverRegistry& registry) {
+  register_polynomial_solvers(registry);
+  register_exact_solvers(registry);
+  register_heuristic_solvers(registry);
+}
+
+namespace detail {
+
+double objective_value(Objective objective, const core::Metrics& metrics) {
+  switch (objective) {
+    case Objective::Period: return metrics.max_weighted_period;
+    case Objective::Latency: return metrics.max_weighted_latency;
+    case Objective::Energy: return metrics.energy;
+  }
+  return 0.0;
+}
+
+SolveResult solved(const core::Problem& problem, Objective objective,
+                   core::Mapping mapping, bool optimal) {
+  SolveResult result;
+  result.metrics = core::evaluate(problem, mapping);
+  result.value = objective_value(objective, result.metrics);
+  result.mapping = std::move(mapping);
+  result.status = optimal ? SolveStatus::Optimal : SolveStatus::Feasible;
+  return result;
+}
+
+SolveResult infeasible() {
+  SolveResult result;
+  result.status = SolveStatus::Infeasible;
+  result.value = util::kInfinity;
+  return result;
+}
+
+bool no_constraints(const core::ConstraintSet& cs) {
+  return !cs.period && !cs.latency && !cs.energy_budget;
+}
+
+bool only_period_bounds(const core::ConstraintSet& cs) {
+  return cs.period.has_value() && !cs.latency && !cs.energy_budget;
+}
+
+core::Thresholds thresholds_or_unconstrained(
+    const std::optional<core::Thresholds>& thresholds, std::size_t apps) {
+  return thresholds ? *thresholds : core::Thresholds::unconstrained(apps);
+}
+
+}  // namespace detail
+
+}  // namespace pipeopt::api

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file adapters.hpp
+/// Thin adapters wrapping every pre-existing optimizer entry point —
+/// src/algorithms/ (polynomial paper theorems), src/exact/ (enumeration and
+/// branch-and-bound) and src/heuristics/ (the greedy -> local-search ->
+/// annealing ladder) — behind the uniform `Solver` interface. No behavior
+/// change to the underlying math: each adapter only declares its Tables-1/2
+/// capability cell and converts the native result type to `SolveResult`.
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "api/registry.hpp"
+#include "api/solver.hpp"
+
+namespace pipeopt::api {
+
+/// Solver built from two callables; the construction idiom of every adapter
+/// (and of fake solvers in registry tests).
+class LambdaSolver final : public Solver {
+ public:
+  using ApplicableFn =
+      std::function<bool(const core::Problem&, const SolveRequest&)>;
+  using RunFn =
+      std::function<SolveResult(const core::Problem&, const SolveRequest&)>;
+
+  LambdaSolver(SolverInfo info, ApplicableFn applicable, RunFn run)
+      : Solver(std::move(info)),
+        applicable_(std::move(applicable)),
+        run_(std::move(run)) {}
+
+  [[nodiscard]] bool applicable(const core::Problem& problem,
+                                const SolveRequest& request) const override {
+    return applicable_(problem, request);
+  }
+  [[nodiscard]] SolveResult run(const core::Problem& problem,
+                                const SolveRequest& request) const override {
+    return run_(problem, request);
+  }
+
+ private:
+  ApplicableFn applicable_;
+  RunFn run_;
+};
+
+/// Registers the polynomial paper algorithms (Theorems 1-24 cells).
+void register_polynomial_solvers(SolverRegistry& registry);
+/// Registers exact search (branch-and-bound, exhaustive enumeration).
+void register_exact_solvers(SolverRegistry& registry);
+/// Registers the heuristic ladder and its individual rungs.
+void register_heuristic_solvers(SolverRegistry& registry);
+/// Everything above — the content of `default_registry()`.
+void register_all_solvers(SolverRegistry& registry);
+
+namespace detail {
+
+/// The achieved objective value of a metrics snapshot.
+[[nodiscard]] double objective_value(Objective objective,
+                                     const core::Metrics& metrics);
+
+/// Result for a produced mapping: evaluates it, fills value/metrics, sets
+/// Optimal (exact solvers) or Feasible (heuristics).
+[[nodiscard]] SolveResult solved(const core::Problem& problem,
+                                 Objective objective, core::Mapping mapping,
+                                 bool optimal);
+
+/// Typed infeasible result (value = +inf, no mapping).
+[[nodiscard]] SolveResult infeasible();
+
+/// Constraint-shape predicates used by the capability lambdas.
+[[nodiscard]] bool no_constraints(const core::ConstraintSet& cs);
+[[nodiscard]] bool only_period_bounds(const core::ConstraintSet& cs);
+
+/// The given thresholds, or fully unconstrained ones for `apps` applications.
+[[nodiscard]] core::Thresholds thresholds_or_unconstrained(
+    const std::optional<core::Thresholds>& thresholds, std::size_t apps);
+
+}  // namespace detail
+
+}  // namespace pipeopt::api

@@ -1,0 +1,110 @@
+/// \file adapters_exact.cpp
+/// Adapters over the exponential exact engines. These are the universal
+/// fallback of the dispatch order: applicable on every platform class, both
+/// communication models, any constraint shape — but bounded by the request's
+/// node budget. Blowing the budget returns SolveStatus::LimitExceeded, which
+/// auto-dispatch treats as "skip and degrade to the heuristic ladder".
+
+#include "api/adapters.hpp"
+
+#include <memory>
+#include <string>
+
+#include "exact/branch_and_bound.hpp"
+#include "exact/enumeration.hpp"
+#include "exact/exact_solvers.hpp"
+
+namespace pipeopt::api {
+
+namespace {
+
+exact::MappingKind to_exact_kind(MappingKind kind) {
+  return kind == MappingKind::OneToOne ? exact::MappingKind::OneToOne
+                                       : exact::MappingKind::Interval;
+}
+
+exact::Objective to_exact_objective(Objective objective) {
+  switch (objective) {
+    case Objective::Period: return exact::Objective::Period;
+    case Objective::Latency: return exact::Objective::Latency;
+    case Objective::Energy: return exact::Objective::Energy;
+  }
+  return exact::Objective::Period;
+}
+
+SolveResult limit_exceeded(std::uint64_t node_budget) {
+  SolveResult result = detail::infeasible();
+  result.status = SolveStatus::LimitExceeded;
+  result.diagnostics.emplace_back("node-budget",
+                                  std::to_string(node_budget) + " exhausted");
+  return result;
+}
+
+SolveResult from_exact(const core::Problem& problem, Objective objective,
+                       const std::optional<exact::ExactResult>& exact_result) {
+  if (!exact_result) return detail::infeasible();
+  SolveResult result =
+      detail::solved(problem, objective, exact_result->mapping, /*optimal=*/true);
+  result.diagnostics.emplace_back("nodes",
+                                  std::to_string(exact_result->stats.nodes));
+  result.diagnostics.emplace_back(
+      "mappings", std::to_string(exact_result->stats.complete));
+  return result;
+}
+
+}  // namespace
+
+void register_exact_solvers(SolverRegistry& registry) {
+  // Branch-and-bound period minimization: bit-identical to enumeration but
+  // with admissible pruning, so it is tried first within the Exact tier.
+  registry.add(std::make_unique<LambdaSolver>(
+      SolverInfo{.name = "branch-and-bound",
+                 .summary = "pruned exact period search, any platform",
+                 .tier = CostTier::Exact,
+                 .rank = 0,
+                 .family = std::nullopt,
+                 .exact = true},
+      [](const core::Problem&, const SolveRequest& r) {
+        return r.objective == Objective::Period &&
+               detail::no_constraints(r.constraints);
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        try {
+          return from_exact(p, r.objective,
+                            exact::branch_bound_min_period(
+                                p, to_exact_kind(r.kind), r.node_budget));
+        } catch (const exact::SearchLimitExceeded&) {
+          return limit_exceeded(r.node_budget);
+        }
+      }));
+
+  // Exhaustive enumeration: the optimality oracle. Handles every objective
+  // and constraint combination of the paper; speed modes are enumerated
+  // exactly when energy is involved (objective or budget), otherwise the §4
+  // max-speed normalization applies.
+  registry.add(std::make_unique<LambdaSolver>(
+      SolverInfo{.name = "exact-enumeration",
+                 .summary = "exhaustive search, any objective/constraints/platform",
+                 .tier = CostTier::Exact,
+                 .rank = 10,
+                 .family = std::nullopt,
+                 .exact = true},
+      [](const core::Problem&, const SolveRequest&) { return true; },
+      [](const core::Problem& p, const SolveRequest& r) {
+        exact::EnumerationOptions options;
+        options.kind = to_exact_kind(r.kind);
+        options.enumerate_modes = r.objective == Objective::Energy ||
+                                  r.constraints.energy_budget.has_value();
+        options.node_limit = r.node_budget;
+        try {
+          return from_exact(p, r.objective,
+                            exact::exact_minimize(p, options,
+                                                  to_exact_objective(r.objective),
+                                                  r.constraints));
+        } catch (const exact::SearchLimitExceeded&) {
+          return limit_exceeded(r.node_budget);
+        }
+      }));
+}
+
+}  // namespace pipeopt::api

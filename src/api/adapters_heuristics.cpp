@@ -1,0 +1,318 @@
+/// \file adapters_heuristics.cpp
+/// Adapters over the §6 heuristic ladder for the NP-hard cells. The
+/// "heuristic-ladder" solver is the graceful-degradation terminus of
+/// auto-dispatch: constructive start (greedy intervals / rank matching),
+/// DVFS downscaling when energy is the goal, best-improvement local search,
+/// then simulated annealing — keeping the best feasible incumbent and
+/// recording every rung's value in the diagnostics. The individual rungs are
+/// also registered as named solvers so benches and the CLI can force any of
+/// them in isolation.
+
+#include "api/adapters.hpp"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/evaluation.hpp"
+#include "util/numeric.hpp"
+#include "heuristics/annealing.hpp"
+#include "heuristics/interval_greedy.hpp"
+#include "heuristics/list_heuristics.hpp"
+#include "heuristics/local_search.hpp"
+#include "heuristics/speed_scaling.hpp"
+#include "heuristics/tabu_search.hpp"
+#include "util/random.hpp"
+#include "util/timing.hpp"
+
+namespace pipeopt::api {
+
+namespace {
+
+constexpr double kInf = util::kInfinity;
+
+heuristics::Goal to_goal(Objective objective) {
+  switch (objective) {
+    case Objective::Period: return heuristics::Goal::Period;
+    case Objective::Latency: return heuristics::Goal::Latency;
+    case Objective::Energy: return heuristics::Goal::Energy;
+  }
+  return heuristics::Goal::Period;
+}
+
+/// Structure-preserving copy of a mapping with every interval at its
+/// processor's slowest mode — the minimum-energy configuration of that
+/// placement, used to probe binding energy budgets a max-speed start
+/// violates (scale_down_speeds cannot repair an infeasible start).
+core::Mapping at_min_modes(const core::Mapping& mapping) {
+  std::vector<core::IntervalAssignment> intervals(mapping.intervals().begin(),
+                                                  mapping.intervals().end());
+  for (auto& interval : intervals) interval.mode = 0;
+  return core::Mapping(std::move(intervals));
+}
+
+/// Constructive start of the requested family: greedy interval mapping
+/// (needs p >= A) or LPT-style rank matching (needs p >= N).
+std::optional<core::Mapping> start_mapping(const core::Problem& problem,
+                                           MappingKind kind) {
+  return kind == MappingKind::OneToOne
+             ? heuristics::one_to_one_rank_matching(problem)
+             : heuristics::greedy_interval_mapping(problem);
+}
+
+/// A heuristic cannot prove infeasibility; every Infeasible it returns
+/// carries this caveat so callers do not over-read the status.
+SolveResult heuristic_infeasible(const char* what) {
+  SolveResult result = detail::infeasible();
+  result.diagnostics.emplace_back(
+      "caveat", std::string(what) + " (heuristic result, not a proof)");
+  return result;
+}
+
+/// Feasible-or-infeasible classification of one constructed mapping.
+SolveResult classify(const core::Problem& problem, const SolveRequest& request,
+                     core::Mapping mapping) {
+  const core::Metrics metrics = core::evaluate(problem, mapping);
+  if (!request.constraints.satisfied_by(metrics)) {
+    return heuristic_infeasible("constructed mapping violates the constraints");
+  }
+  return detail::solved(problem, request.objective, std::move(mapping),
+                        /*optimal=*/false);
+}
+
+void add(SolverRegistry& registry, SolverInfo info,
+         LambdaSolver::ApplicableFn applicable, LambdaSolver::RunFn run) {
+  registry.add(std::make_unique<LambdaSolver>(std::move(info),
+                                              std::move(applicable),
+                                              std::move(run)));
+}
+
+std::string fmt(double v) {
+  return v == kInf ? "inf" : std::to_string(v);
+}
+
+SolveResult run_ladder(const core::Problem& problem,
+                       const SolveRequest& request) {
+  const util::Stopwatch watch;
+  const auto out_of_time = [&] {
+    return request.time_budget_seconds &&
+           watch.elapsed_seconds() > *request.time_budget_seconds;
+  };
+  const heuristics::Goal goal = to_goal(request.objective);
+  // The shared neighbourhood's split/merge moves leave the one-to-one
+  // family, so for OneToOne requests the ladder stops after the
+  // structure-preserving rungs (rank matching + DVFS downscaling).
+  const bool search_rungs = request.kind == MappingKind::Interval;
+
+  auto start = start_mapping(problem, request.kind);
+  if (!start) {
+    return heuristic_infeasible("too few processors for a constructive start");
+  }
+
+  SolveResult result;
+  // Best feasible incumbent across the rungs.
+  std::optional<core::Mapping> best;
+  double best_value = kInf;
+  core::Mapping current = std::move(*start);
+  const auto consider = [&](const core::Mapping& mapping, const char* rung) {
+    const core::Metrics metrics = core::evaluate(problem, mapping);
+    const double value = detail::objective_value(request.objective, metrics);
+    result.diagnostics.emplace_back(rung, fmt(value));
+    if (request.constraints.satisfied_by(metrics) && value < best_value) {
+      best = mapping;
+      best_value = value;
+    }
+  };
+
+  consider(current, request.kind == MappingKind::OneToOne ? "rank-matching"
+                                                          : "greedy");
+  // A binding energy budget is almost always violated by the max-speed
+  // start; the same placement at the slowest modes is its minimum-energy
+  // configuration and preserves the mapping family.
+  if (!best && request.constraints.energy_budget) {
+    const core::Mapping floored = at_min_modes(current);
+    consider(floored, "min-modes");
+    if (best) current = floored;
+  }
+  const bool start_feasible = best.has_value();
+
+  // Energy goal: trade the performance slack of the max-speed start for
+  // energy before searching — scale_down_speeds needs a feasible mapping.
+  if (request.objective == Objective::Energy && start_feasible &&
+      !out_of_time()) {
+    const auto scaled =
+        heuristics::scale_down_speeds(problem, current, request.constraints);
+    current = scaled.mapping;
+    consider(current, "speed-scaling");
+  }
+
+  // Local search strictly improves from a feasible start only.
+  if (search_rungs && start_feasible && !out_of_time()) {
+    const auto improved = heuristics::local_search(problem, *best, goal,
+                                                   request.constraints);
+    current = improved.mapping;
+    consider(current, "local-search");
+  }
+
+  // Annealing explores from any start, feasible or not.
+  if (search_rungs && !out_of_time()) {
+    util::Rng rng(request.seed);
+    const auto annealed = heuristics::simulated_annealing(
+        problem, current, goal, request.constraints, rng);
+    if (annealed.value < kInf) consider(annealed.mapping, "annealing");
+  } else if (out_of_time()) {
+    result.diagnostics.emplace_back("budget", "time budget exhausted");
+  }
+
+  if (!best) {
+    SolveResult failed =
+        heuristic_infeasible("no rung found a constraint-satisfying mapping");
+    failed.diagnostics.insert(failed.diagnostics.begin(),
+                              result.diagnostics.begin(),
+                              result.diagnostics.end());
+    return failed;
+  }
+  SolveResult final_result = detail::solved(problem, request.objective,
+                                            std::move(*best), /*optimal=*/false);
+  final_result.diagnostics = std::move(result.diagnostics);
+  return final_result;
+}
+
+}  // namespace
+
+void register_heuristic_solvers(SolverRegistry& registry) {
+  // The degradation terminus: applicable to everything.
+  add(registry,
+      {.name = "heuristic-ladder",
+       .summary = "greedy -> speed-scaling -> local search -> annealing, "
+                  "best feasible incumbent",
+       .tier = CostTier::Heuristic,
+       .rank = 0,
+       .family = std::nullopt,
+       .exact = false},
+      [](const core::Problem&, const SolveRequest&) { return true; },
+      run_ladder);
+
+  // Individual rungs, each forcible by name.
+  add(registry,
+      {.name = "greedy-interval",
+       .summary = "constructive interval mapping (weighted-work allocation)",
+       .tier = CostTier::Heuristic,
+       .rank = 10,
+       .family = MappingKind::Interval,
+       .exact = false},
+      [](const core::Problem&, const SolveRequest& r) {
+        return r.kind == MappingKind::Interval;
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        auto mapping = heuristics::greedy_interval_mapping(p);
+        if (!mapping) {
+          return heuristic_infeasible("fewer processors than applications");
+        }
+        return classify(p, r, std::move(*mapping));
+      });
+
+  add(registry,
+      {.name = "rank-matching",
+       .summary = "LPT-style one-to-one rank matching",
+       .tier = CostTier::Heuristic,
+       .rank = 10,
+       .family = MappingKind::OneToOne,
+       .exact = false},
+      [](const core::Problem&, const SolveRequest& r) {
+        return r.kind == MappingKind::OneToOne;
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        auto mapping = heuristics::one_to_one_rank_matching(p);
+        if (!mapping) {
+          return heuristic_infeasible("fewer processors than stages");
+        }
+        return classify(p, r, std::move(*mapping));
+      });
+
+  add(registry,
+      {.name = "local-search",
+       .summary = "best-improvement hill climbing from a constructive start",
+       .tier = CostTier::Heuristic,
+       .rank = 20,
+       // The shared neighbourhood's split/merge moves leave the one-to-one
+       // family, so the search heuristics only serve interval requests.
+       .family = MappingKind::Interval,
+       .exact = false},
+      [](const core::Problem&, const SolveRequest& r) {
+        return r.kind == MappingKind::Interval;
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        const auto start = start_mapping(p, r.kind);
+        if (!start) {
+          return heuristic_infeasible("too few processors for a start");
+        }
+        if (!r.constraints.satisfied_by(core::evaluate(p, *start))) {
+          return heuristic_infeasible(
+              "constructive start violates the constraints; hill climbing "
+              "cannot repair it");
+        }
+        const auto improved = heuristics::local_search(
+            p, *start, to_goal(r.objective), r.constraints);
+        SolveResult result = detail::solved(p, r.objective, improved.mapping,
+                                            /*optimal=*/false);
+        result.diagnostics.emplace_back("steps", std::to_string(improved.steps));
+        return result;
+      });
+
+  add(registry,
+      {.name = "tabu-search",
+       .summary = "tabu search over the shared mapping neighbourhood",
+       .tier = CostTier::Heuristic,
+       .rank = 25,
+       .family = MappingKind::Interval,
+       .exact = false},
+      [](const core::Problem&, const SolveRequest& r) {
+        return r.kind == MappingKind::Interval;
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        const auto start = start_mapping(p, r.kind);
+        if (!start) {
+          return heuristic_infeasible("too few processors for a start");
+        }
+        const auto searched = heuristics::tabu_search(
+            p, *start, to_goal(r.objective), r.constraints);
+        if (searched.value == kInf) {
+          return heuristic_infeasible("no feasible state visited");
+        }
+        SolveResult result = detail::solved(p, r.objective, searched.mapping,
+                                            /*optimal=*/false);
+        result.diagnostics.emplace_back("moves", std::to_string(searched.moves));
+        return result;
+      });
+
+  add(registry,
+      {.name = "annealing",
+       .summary = "simulated annealing (seeded, penalty-guided)",
+       .tier = CostTier::Heuristic,
+       .rank = 30,
+       .family = MappingKind::Interval,
+       .exact = false},
+      [](const core::Problem&, const SolveRequest& r) {
+        return r.kind == MappingKind::Interval;
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        const auto start = start_mapping(p, r.kind);
+        if (!start) {
+          return heuristic_infeasible("too few processors for a start");
+        }
+        util::Rng rng(r.seed);
+        const auto annealed = heuristics::simulated_annealing(
+            p, *start, to_goal(r.objective), r.constraints, rng);
+        if (annealed.value == kInf) {
+          return heuristic_infeasible("no feasible state visited");
+        }
+        SolveResult result = detail::solved(p, r.objective, annealed.mapping,
+                                            /*optimal=*/false);
+        result.diagnostics.emplace_back("accepted",
+                                        std::to_string(annealed.accepted));
+        return result;
+      });
+}
+
+}  // namespace pipeopt::api

@@ -1,0 +1,283 @@
+/// \file adapters_polynomial.cpp
+/// Adapters over the paper's polynomial-time optimal algorithms. Each
+/// capability predicate states the exact Tables-1/2 cell the theorem proves
+/// tractable: platform class x mapping kind x objective x constraint shape.
+/// Outside its cell a solver is simply not applicable — dispatch then
+/// degrades to exact search or the heuristic ladder.
+
+#include "api/adapters.hpp"
+
+#include <memory>
+#include <optional>
+
+#include "algorithms/bicriteria_period_latency.hpp"
+#include "algorithms/energy_interval_dp.hpp"
+#include "algorithms/energy_matching.hpp"
+#include "algorithms/interval_period_multi.hpp"
+#include "algorithms/latency_algorithms.hpp"
+#include "algorithms/one_to_one_period.hpp"
+#include "algorithms/tricriteria_unimodal.hpp"
+
+namespace pipeopt::api {
+
+namespace {
+
+using detail::no_constraints;
+using detail::only_period_bounds;
+using detail::thresholds_or_unconstrained;
+
+bool fully_homogeneous(const core::Problem& problem) {
+  return problem.platform().classify() == core::PlatformClass::FullyHomogeneous;
+}
+
+/// Uniform bandwidth == comm-homogeneous or better (the classes nest).
+bool comm_homogeneous(const core::Problem& problem) {
+  return problem.platform().has_uniform_bandwidth();
+}
+
+bool uni_modal(const core::Problem& problem) {
+  return problem.platform().is_uni_modal();
+}
+
+/// Converts a native optional<Solution> (nullopt = infeasible) into the
+/// typed result. Polynomial solvers prove optimality within their cell.
+SolveResult from_solution(const core::Problem& problem, Objective objective,
+                          const std::optional<algorithms::Solution>& solution) {
+  if (!solution) return detail::infeasible();
+  return detail::solved(problem, objective, solution->mapping, /*optimal=*/true);
+}
+
+void add(SolverRegistry& registry, SolverInfo info,
+         LambdaSolver::ApplicableFn applicable, LambdaSolver::RunFn run) {
+  registry.add(std::make_unique<LambdaSolver>(std::move(info),
+                                              std::move(applicable),
+                                              std::move(run)));
+}
+
+}  // namespace
+
+void register_polynomial_solvers(SolverRegistry& registry) {
+  // Theorem 3: interval period on fully homogeneous platforms (chains-on-
+  // chains DP per application + Algorithm 2 processor allocation).
+  add(registry,
+      {.name = "interval-period-dp",
+       .summary = "Thm 3: interval period DP, fully homogeneous platforms",
+       .tier = CostTier::Polynomial,
+       .rank = 0,
+       .family = MappingKind::Interval,
+       .exact = true},
+      [](const core::Problem& p, const SolveRequest& r) {
+        return r.objective == Objective::Period &&
+               r.kind == MappingKind::Interval && fully_homogeneous(p) &&
+               no_constraints(r.constraints);
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        return from_solution(p, r.objective, algorithms::interval_min_period(p));
+      });
+
+  // Theorem 1: one-to-one period on communication-homogeneous platforms
+  // (binary search over the candidate set + Algorithm 1 greedy assignment).
+  add(registry,
+      {.name = "one-to-one-period",
+       .summary = "Thm 1: one-to-one period matching, comm-homogeneous platforms",
+       .tier = CostTier::Polynomial,
+       .rank = 0,
+       .family = MappingKind::OneToOne,
+       .exact = true},
+      [](const core::Problem& p, const SolveRequest& r) {
+        return r.objective == Objective::Period &&
+               r.kind == MappingKind::OneToOne && comm_homogeneous(p) &&
+               no_constraints(r.constraints);
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        return from_solution(p, r.objective,
+                             algorithms::one_to_one_min_period(p));
+      });
+
+  // Theorem 8: one-to-one latency on fully homogeneous platforms (all
+  // one-to-one mappings are equivalent).
+  add(registry,
+      {.name = "one-to-one-latency",
+       .summary = "Thm 8: one-to-one latency, fully homogeneous platforms",
+       .tier = CostTier::Polynomial,
+       .rank = 0,
+       .family = MappingKind::OneToOne,
+       .exact = true},
+      [](const core::Problem& p, const SolveRequest& r) {
+        return r.objective == Objective::Latency &&
+               r.kind == MappingKind::OneToOne && fully_homogeneous(p) &&
+               no_constraints(r.constraints);
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        return from_solution(p, r.objective,
+                             algorithms::one_to_one_min_latency_fully_hom(p));
+      });
+
+  // Theorem 12: interval latency on communication-homogeneous platforms
+  // (whole application per processor, fastest processors win).
+  add(registry,
+      {.name = "interval-latency",
+       .summary = "Thm 12: interval latency, comm-homogeneous platforms",
+       .tier = CostTier::Polynomial,
+       .rank = 0,
+       .family = MappingKind::Interval,
+       .exact = true},
+      [](const core::Problem& p, const SolveRequest& r) {
+        return r.objective == Objective::Latency &&
+               r.kind == MappingKind::Interval && comm_homogeneous(p) &&
+               no_constraints(r.constraints);
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        return from_solution(p, r.objective,
+                             algorithms::interval_min_latency(p));
+      });
+
+  // Theorems 18/21: interval energy under per-app period bounds on fully
+  // homogeneous (multi-modal) platforms — prefix DP + processor knapsack.
+  add(registry,
+      {.name = "energy-interval-dp",
+       .summary = "Thms 18/21: interval energy DP under period bounds, "
+                  "fully homogeneous platforms",
+       .tier = CostTier::Polynomial,
+       .rank = 10,
+       .family = MappingKind::Interval,
+       .exact = true},
+      [](const core::Problem& p, const SolveRequest& r) {
+        return r.objective == Objective::Energy &&
+               r.kind == MappingKind::Interval && fully_homogeneous(p) &&
+               only_period_bounds(r.constraints);
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        return from_solution(p, r.objective,
+                             algorithms::interval_min_energy_under_period(
+                                 p, *r.constraints.period));
+      });
+
+  // Theorem 19: one-to-one energy under period bounds on comm-homogeneous
+  // platforms, via minimum-weight bipartite matching.
+  add(registry,
+      {.name = "energy-matching",
+       .summary = "Thm 19: one-to-one energy matching under period bounds, "
+                  "comm-homogeneous platforms",
+       .tier = CostTier::Polynomial,
+       .rank = 10,
+       .family = MappingKind::OneToOne,
+       .exact = true},
+      [](const core::Problem& p, const SolveRequest& r) {
+        return r.objective == Objective::Energy &&
+               r.kind == MappingKind::OneToOne && comm_homogeneous(p) &&
+               only_period_bounds(r.constraints);
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        return from_solution(p, r.objective,
+                             algorithms::one_to_one_min_energy_under_period(
+                                 p, *r.constraints.period));
+      });
+
+  // Theorem 16: period/latency bi-criteria on fully homogeneous platforms
+  // (either criterion minimized under per-app bounds on the other).
+  add(registry,
+      {.name = "bicriteria-period-latency",
+       .summary = "Thm 16: period under latency bounds (and vice versa), "
+                  "fully homogeneous platforms",
+       .tier = CostTier::Polynomial,
+       .rank = 20,
+       .family = MappingKind::Interval,
+       .exact = true},
+      [](const core::Problem& p, const SolveRequest& r) {
+        if (r.kind != MappingKind::Interval || !fully_homogeneous(p) ||
+            r.constraints.energy_budget) {
+          return false;
+        }
+        if (r.objective == Objective::Period) {
+          return r.constraints.latency.has_value() && !r.constraints.period;
+        }
+        if (r.objective == Objective::Latency) {
+          return r.constraints.period.has_value() && !r.constraints.latency;
+        }
+        return false;
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        const auto solution =
+            r.objective == Objective::Period
+                ? algorithms::multi_min_period_under_latency(
+                      p, *r.constraints.latency)
+                : algorithms::multi_min_latency_under_period(
+                      p, *r.constraints.period);
+        return from_solution(p, r.objective, solution);
+      });
+
+  // Theorem 23: one-to-one tri-criteria on fully homogeneous uni-modal
+  // platforms — all one-to-one mappings are equivalent, so one evaluation
+  // decides feasibility (and is optimal for every objective).
+  add(registry,
+      {.name = "one-to-one-tricriteria",
+       .summary = "Thm 23: one-to-one tri-criteria feasibility, fully "
+                  "homogeneous uni-modal platforms",
+       .tier = CostTier::Polynomial,
+       .rank = 30,
+       .family = MappingKind::OneToOne,
+       .exact = true},
+      [](const core::Problem& p, const SolveRequest& r) {
+        return r.kind == MappingKind::OneToOne && fully_homogeneous(p) &&
+               uni_modal(p);
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        return from_solution(p, r.objective,
+                             algorithms::one_to_one_tricriteria_feasible(
+                                 p, r.constraints));
+      });
+
+  // Theorem 24: interval tri-criteria faces on fully homogeneous uni-modal
+  // platforms (energy budget == enrolled-processor budget).
+  add(registry,
+      {.name = "tricriteria-unimodal",
+       .summary = "Thm 24: interval tri-criteria faces, fully homogeneous "
+                  "uni-modal platforms",
+       .tier = CostTier::Polynomial,
+       .rank = 40,
+       .family = MappingKind::Interval,
+       .exact = true},
+      [](const core::Problem& p, const SolveRequest& r) {
+        if (r.kind != MappingKind::Interval || !fully_homogeneous(p) ||
+            !uni_modal(p)) {
+          return false;
+        }
+        switch (r.objective) {
+          case Objective::Period:
+            return r.constraints.energy_budget.has_value() &&
+                   !r.constraints.period;
+          case Objective::Latency:
+            return r.constraints.energy_budget.has_value() &&
+                   !r.constraints.latency;
+          case Objective::Energy:
+            return !r.constraints.energy_budget &&
+                   r.constraints.latency.has_value();
+        }
+        return false;
+      },
+      [](const core::Problem& p, const SolveRequest& r) {
+        const std::size_t apps = p.application_count();
+        std::optional<algorithms::Solution> solution;
+        switch (r.objective) {
+          case Objective::Period:
+            solution = algorithms::interval_min_period_tricriteria(
+                p, thresholds_or_unconstrained(r.constraints.latency, apps),
+                *r.constraints.energy_budget);
+            break;
+          case Objective::Latency:
+            solution = algorithms::interval_min_latency_tricriteria(
+                p, thresholds_or_unconstrained(r.constraints.period, apps),
+                *r.constraints.energy_budget);
+            break;
+          case Objective::Energy:
+            solution = algorithms::interval_min_energy_tricriteria(
+                p, thresholds_or_unconstrained(r.constraints.period, apps),
+                thresholds_or_unconstrained(r.constraints.latency, apps));
+            break;
+        }
+        return from_solution(p, r.objective, solution);
+      });
+}
+
+}  // namespace pipeopt::api

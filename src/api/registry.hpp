@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file registry.hpp
+/// Capability-based solver dispatch — the single entry point the CLI,
+/// benches and any future service front end call.
+///
+/// `SolverRegistry` owns a set of `Solver`s. `solve(problem, request)`
+/// resolves per-application weights (Eq. 6 policies), then either runs the
+/// solver named in `request.solver`, or walks every applicable solver in
+/// (CostTier, rank) order and returns the first conclusive result:
+/// polynomial paper algorithms first, exact search next, the heuristic
+/// ladder last. A solver that exhausts its budget (LimitExceeded) is skipped
+/// and the degradation continues; the skip is recorded in diagnostics.
+///
+/// `default_registry()` carries every optimizer in the library;
+/// `api::solve` is the one-call facade over it.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "api/solver.hpp"
+
+namespace pipeopt::api {
+
+class SolverRegistry {
+ public:
+  SolverRegistry() = default;
+  SolverRegistry(SolverRegistry&&) = default;
+  SolverRegistry& operator=(SolverRegistry&&) = default;
+
+  /// Registers a solver. \throws std::invalid_argument on a duplicate name.
+  void add(std::unique_ptr<Solver> solver);
+
+  /// Solver by name, nullptr when unknown.
+  [[nodiscard]] const Solver* find(std::string_view name) const noexcept;
+
+  /// All solvers in dispatch order (tier, then rank, then name).
+  [[nodiscard]] std::vector<const Solver*> solvers() const;
+
+  /// Applicable solvers for (problem, request), in dispatch order — the
+  /// auto-dispatch candidate list, exposed for tests and `list-solvers`.
+  [[nodiscard]] std::vector<const Solver*> candidates(
+      const core::Problem& problem, const SolveRequest& request) const;
+
+  /// Solves the request; see file comment. Never throws for infeasible or
+  /// unsupported requests — those come back as typed statuses.
+  [[nodiscard]] SolveResult solve(const core::Problem& problem,
+                                  const SolveRequest& request) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return solvers_.size(); }
+
+ private:
+  /// Applies request.weights, rebuilding applications with resolved W_a.
+  /// Stretch solo optima are computed through this registry itself; when a
+  /// solo solve is not provably optimal (NP-hard cell past its budget), the
+  /// approximation is recorded in `notes` and surfaces in the result's
+  /// diagnostics.
+  [[nodiscard]] std::optional<core::Problem> weighted_problem(
+      const core::Problem& problem, const SolveRequest& request,
+      SolveResult& failure,
+      std::vector<std::pair<std::string, std::string>>& notes) const;
+
+  std::vector<std::unique_ptr<Solver>> solvers_;
+};
+
+/// The registry holding every optimizer in the library (adapters over
+/// src/algorithms/, src/exact/ and src/heuristics/). Built once, immutable
+/// afterwards.
+[[nodiscard]] const SolverRegistry& default_registry();
+
+/// One-call facade: default_registry().solve(problem, request).
+[[nodiscard]] SolveResult solve(const core::Problem& problem,
+                                const SolveRequest& request);
+
+}  // namespace pipeopt::api

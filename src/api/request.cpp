@@ -1,0 +1,48 @@
+#include "api/request.hpp"
+
+#include "api/result.hpp"
+
+namespace pipeopt::api {
+
+const char* to_string(Objective o) noexcept {
+  switch (o) {
+    case Objective::Period: return "period";
+    case Objective::Latency: return "latency";
+    case Objective::Energy: return "energy";
+  }
+  return "?";
+}
+
+const char* to_string(MappingKind k) noexcept {
+  switch (k) {
+    case MappingKind::Interval: return "interval";
+    case MappingKind::OneToOne: return "one-to-one";
+  }
+  return "?";
+}
+
+const char* to_string(SolveStatus s) noexcept {
+  switch (s) {
+    case SolveStatus::Optimal: return "optimal";
+    case SolveStatus::Feasible: return "feasible";
+    case SolveStatus::Infeasible: return "infeasible";
+    case SolveStatus::LimitExceeded: return "limit-exceeded";
+    case SolveStatus::NoSolver: return "no-solver";
+  }
+  return "?";
+}
+
+std::optional<Objective> parse_objective(const std::string& text) {
+  if (text == "period") return Objective::Period;
+  if (text == "latency") return Objective::Latency;
+  if (text == "energy") return Objective::Energy;
+  return std::nullopt;
+}
+
+std::optional<MappingKind> parse_mapping_kind(const std::string& text) {
+  if (text == "interval") return MappingKind::Interval;
+  if (text == "one-to-one") return MappingKind::OneToOne;
+  return std::nullopt;
+}
+
+}  // namespace pipeopt::api

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file request.hpp
+/// The facade's input type: one `SolveRequest` describes any optimization
+/// problem of the paper's taxonomy (Tables 1 and 2) — which criterion to
+/// minimize, which thresholds bind the other criteria, which mapping family
+/// to search, how applications are weighted (Eq. 6), and the budgets that
+/// bound exact search and iterative heuristics. Every solver behind
+/// `SolverRegistry` consumes this one type; callers never name a concrete
+/// algorithm unless they force one via `solver`.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/objectives.hpp"
+
+namespace pipeopt::api {
+
+/// Criterion to minimize (paper §3.4-3.5). Period and latency are the
+/// weighted maxima of Eq. 6; energy is the Σ over enrolled processors.
+enum class Objective { Period, Latency, Energy };
+
+/// Mapping family to optimize over (paper §3.3). One-to-one mappings place
+/// every stage alone; interval mappings group consecutive stages.
+enum class MappingKind { Interval, OneToOne };
+
+[[nodiscard]] const char* to_string(Objective o) noexcept;
+[[nodiscard]] const char* to_string(MappingKind k) noexcept;
+
+/// Parses "period" / "latency" / "energy" (case-sensitive).
+[[nodiscard]] std::optional<Objective> parse_objective(const std::string& text);
+/// Parses "interval" / "one-to-one".
+[[nodiscard]] std::optional<MappingKind> parse_mapping_kind(const std::string& text);
+
+/// A complete solve request. Defaults describe the most common call: minimize
+/// the weighted period over interval mappings with the applications' own
+/// priority weights, auto-dispatching to the cheapest applicable solver.
+struct SolveRequest {
+  /// Criterion to minimize.
+  Objective objective = Objective::Period;
+
+  /// Thresholds on the non-optimized criteria (multi-criteria problems, §5):
+  /// per-application period/latency bounds and/or a global energy budget.
+  /// All parts optional; an absent part is unconstrained.
+  core::ConstraintSet constraints;
+
+  /// Mapping family to search.
+  MappingKind kind = MappingKind::Interval;
+
+  /// How per-application weights W_a (Eq. 6) are resolved: `Priority` uses
+  /// each Application's stored weight, `Unit` forces W_a = 1, `Stretch` uses
+  /// W_a = 1/X*_a where X*_a is application a's solo optimum (computed
+  /// through the facade itself, so it works on every platform class).
+  core::WeightPolicy weights = core::WeightPolicy::Priority;
+
+  /// Force a specific registered solver by name; empty = capability-based
+  /// auto-dispatch (cheapest applicable tier wins).
+  std::optional<std::string> solver;
+
+  /// Node budget for exact search; exceeding it yields
+  /// SolveStatus::LimitExceeded (auto-dispatch then degrades to heuristics).
+  std::uint64_t node_budget = 100'000'000;
+
+  /// Optional wall-clock budget consulted by iterative heuristics between
+  /// refinement rungs (greedy -> local search -> annealing).
+  std::optional<double> time_budget_seconds;
+
+  /// Seed for stochastic solvers (annealing); fixed default keeps results
+  /// reproducible run to run.
+  std::uint64_t seed = 42;
+};
+
+}  // namespace pipeopt::api

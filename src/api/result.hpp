@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file result.hpp
+/// The facade's output type. Every solver returns the same `SolveResult`:
+/// a typed feasibility status (never an exception for an infeasible
+/// request), the witness mapping with its full metrics, the achieved
+/// objective value, the name of the solver that produced it, wall time, and
+/// free-form solver diagnostics (node counts, heuristic rung values, ...).
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/mapping.hpp"
+
+namespace pipeopt::api {
+
+/// Outcome classification of one solve.
+enum class SolveStatus {
+  Optimal,        ///< mapping present and proved optimal for the request
+  Feasible,       ///< mapping present, constraints hold, no optimality proof
+  Infeasible,     ///< no mapping satisfies the request (proof by an exact
+                  ///< solver; heuristics report it with a caveat diagnostic)
+  LimitExceeded,  ///< node/time budget exhausted before a conclusion
+  NoSolver        ///< no registered solver can handle the request (or the
+                  ///< forced solver is unknown / inapplicable)
+};
+
+[[nodiscard]] const char* to_string(SolveStatus s) noexcept;
+
+/// Result of `SolverRegistry::solve` (or of one solver's `run`).
+struct SolveResult {
+  SolveStatus status = SolveStatus::NoSolver;
+
+  /// Witness mapping; present iff status is Optimal or Feasible.
+  std::optional<core::Mapping> mapping;
+
+  /// Achieved objective value (weighted period/latency or total energy);
+  /// +inf when no mapping was produced.
+  double value = 0.0;
+
+  /// Full evaluation of `mapping` (period, latency and energy at once, so
+  /// callers can inspect the non-optimized criteria); default-constructed
+  /// when no mapping was produced.
+  core::Metrics metrics;
+
+  /// Name of the solver that produced this result ("" when dispatch never
+  /// reached a solver).
+  std::string solver;
+
+  /// Wall-clock time of the solve, including dispatch.
+  double wall_seconds = 0.0;
+
+  /// Solver-specific key/value diagnostics (search nodes, rung values,
+  /// skipped candidates, ...). Keys are stable per solver; order preserved.
+  std::vector<std::pair<std::string, std::string>> diagnostics;
+
+  /// True when a mapping was produced (Optimal or Feasible).
+  [[nodiscard]] bool solved() const noexcept {
+    return status == SolveStatus::Optimal || status == SolveStatus::Feasible;
+  }
+
+  [[nodiscard]] const char* status_name() const noexcept {
+    return to_string(status);
+  }
+};
+
+}  // namespace pipeopt::api

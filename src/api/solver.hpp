@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file solver.hpp
+/// The solver interface behind the facade. A `Solver` couples three things:
+///
+///  * identity and cost metadata (`SolverInfo`) — name, one-line summary,
+///    cost tier and in-tier rank, which mapping family it searches, and
+///    whether it proves optimality;
+///  * a capability predicate (`applicable`) — the Tables-1/2 cell shape the
+///    algorithm is proved correct for (platform class, mapping kind,
+///    objective, constraint shape);
+///  * the solve itself (`run`), which must return a typed `SolveResult` and
+///    never throw for an infeasible request.
+///
+/// `SolverRegistry::solve` dispatches to the cheapest applicable solver in
+/// (tier, rank) order, so polynomial paper algorithms always outrank exact
+/// enumeration, which outranks the heuristic ladder.
+
+#include <optional>
+#include <string>
+
+#include "api/request.hpp"
+#include "api/result.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::api {
+
+/// Dispatch cost classes, cheapest first. Auto-dispatch tries every
+/// applicable Polynomial solver before any Exact one, and Exact before
+/// Heuristic (the NP-hard-cell degradation path).
+enum class CostTier {
+  Polynomial,  ///< the paper's poly-time optimal algorithms (Thms 1-24)
+  Exact,       ///< exponential search (enumeration, branch-and-bound)
+  Heuristic    ///< constructive + local-search ladder (no optimality proof)
+};
+
+[[nodiscard]] const char* to_string(CostTier t) noexcept;
+
+/// Static description of one solver.
+struct SolverInfo {
+  std::string name;      ///< unique registry key, e.g. "interval-period-dp"
+  std::string summary;   ///< one line for `pipeopt list-solvers`
+  CostTier tier = CostTier::Polynomial;
+  int rank = 0;          ///< dispatch order within the tier (lower first)
+  /// Mapping space the solver searches; nullopt when it follows the
+  /// request's kind (exact search and the generic heuristics do).
+  std::optional<MappingKind> family;
+  bool exact = true;     ///< true when results carry an optimality proof
+};
+
+/// Abstract solver. Implementations adapt the existing entry points in
+/// src/algorithms/, src/exact/ and src/heuristics/ without changing their
+/// math; see src/api/adapters_*.cpp.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  [[nodiscard]] const SolverInfo& info() const noexcept { return info_; }
+  [[nodiscard]] const std::string& name() const noexcept { return info_.name; }
+
+  /// True when this solver is proved correct for (problem, request): the
+  /// platform class, mapping kind, objective and constraint shape all match
+  /// its cell. `run` may only be called when this holds.
+  [[nodiscard]] virtual bool applicable(const core::Problem& problem,
+                                        const SolveRequest& request) const = 0;
+
+  /// Solves the request. Must return a typed status — in particular
+  /// Infeasible rather than throwing — and fill mapping/value/metrics when
+  /// a mapping is produced. The registry stamps solver name and wall time.
+  [[nodiscard]] virtual SolveResult run(const core::Problem& problem,
+                                        const SolveRequest& request) const = 0;
+
+ protected:
+  explicit Solver(SolverInfo info) : info_(std::move(info)) {}
+
+ private:
+  SolverInfo info_;
+};
+
+}  // namespace pipeopt::api

@@ -8,8 +8,14 @@
 /// candidate sets (values produced by the exact same arithmetic expressions
 /// as the quantities being tested) never fail by one ulp.
 
+#include <charconv>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
 
 namespace pipeopt::util {
 
@@ -58,6 +64,30 @@ inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
 /// Returns true when x stands for a feasible (finite) objective value.
 [[nodiscard]] inline bool is_feasible_value(double x) noexcept {
   return std::isfinite(x);
+}
+
+/// Strict number parsing shared by the CLI and the bench diagnostics: the
+/// whole token must be consumed (no trailing junk, no silent
+/// negative-to-unsigned wrap); empty or malformed input yields nullopt.
+/// Floating-point types go through strtod because libc++ shipped only the
+/// integral std::from_chars overloads for a long time.
+template <typename T>
+[[nodiscard]] std::optional<T> parse_number(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  if constexpr (std::is_floating_point_v<T>) {
+    const std::string token(text);  // strtod needs NUL termination
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    return static_cast<T>(value);
+  } else {
+    T value{};
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) return std::nullopt;
+    return value;
+  }
 }
 
 }  // namespace pipeopt::util

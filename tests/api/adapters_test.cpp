@@ -1,0 +1,194 @@
+/// Adapter fidelity: routing an algorithm through the facade must not
+/// change its math. Each polynomial adapter is cross-checked against the
+/// exhaustive oracle (forced "exact-enumeration") on seeded random
+/// instances of its home cell, and heuristic adapters must return valid,
+/// constraint-satisfying mappings.
+
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "core/evaluation.hpp"
+#include "gen/random_instances.hpp"
+#include "util/random.hpp"
+
+namespace pipeopt::api {
+namespace {
+
+constexpr int kInstances = 8;
+
+gen::ProblemShape small_shape(core::PlatformClass cls, std::size_t modes) {
+  gen::ProblemShape shape;
+  shape.applications = 2;
+  shape.processors = 4;
+  shape.platform_class = cls;
+  shape.platform.modes = modes;
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 3;
+  shape.app.weighted = true;
+  return shape;
+}
+
+/// Runs `request` twice — auto and forced exact — and requires agreement.
+void expect_matches_oracle(const core::Problem& problem, SolveRequest request,
+                           const char* expected_solver) {
+  const SolveResult automatic = default_registry().solve(problem, request);
+  request.solver = "exact-enumeration";
+  const SolveResult oracle = default_registry().solve(problem, request);
+  ASSERT_EQ(automatic.solved(), oracle.solved())
+      << expected_solver << ": feasibility disagrees with the oracle";
+  if (!automatic.solved()) return;
+  EXPECT_EQ(automatic.solver, expected_solver);
+  EXPECT_EQ(automatic.status, SolveStatus::Optimal);
+  EXPECT_NEAR(automatic.value, oracle.value, 1e-9 + 1e-9 * oracle.value)
+      << expected_solver << " is not optimal";
+  ASSERT_TRUE(automatic.mapping.has_value());
+  EXPECT_FALSE(automatic.mapping->validate(problem).has_value());
+}
+
+TEST(Adapters, IntervalPeriodDpMatchesOracle) {
+  util::Rng rng(2024);
+  for (int i = 0; i < kInstances; ++i) {
+    const auto problem = gen::random_problem(
+        rng, small_shape(core::PlatformClass::FullyHomogeneous, 1));
+    expect_matches_oracle(problem, SolveRequest{}, "interval-period-dp");
+  }
+}
+
+TEST(Adapters, OneToOnePeriodMatchesOracle) {
+  util::Rng rng(2025);
+  auto shape = small_shape(core::PlatformClass::CommHomogeneous, 2);
+  shape.processors = 7;  // >= N so one-to-one mappings exist
+  for (int i = 0; i < kInstances; ++i) {
+    const auto problem = gen::random_problem(rng, shape);
+    SolveRequest request;
+    request.kind = MappingKind::OneToOne;
+    expect_matches_oracle(problem, request, "one-to-one-period");
+  }
+}
+
+TEST(Adapters, IntervalLatencyMatchesOracle) {
+  util::Rng rng(2026);
+  for (int i = 0; i < kInstances; ++i) {
+    const auto problem = gen::random_problem(
+        rng, small_shape(core::PlatformClass::CommHomogeneous, 2));
+    SolveRequest request;
+    request.objective = Objective::Latency;
+    expect_matches_oracle(problem, request, "interval-latency");
+  }
+}
+
+TEST(Adapters, EnergyIntervalDpMatchesOracle) {
+  util::Rng rng(2027);
+  for (int i = 0; i < kInstances; ++i) {
+    const auto problem = gen::random_problem(
+        rng, small_shape(core::PlatformClass::FullyHomogeneous, 2));
+    SolveRequest request;
+    request.objective = Objective::Energy;
+    request.constraints.period =
+        core::Thresholds::per_app({8.0, 8.0});
+    expect_matches_oracle(problem, request, "energy-interval-dp");
+  }
+}
+
+TEST(Adapters, EnergyMatchingMatchesOracle) {
+  util::Rng rng(2028);
+  auto shape = small_shape(core::PlatformClass::CommHomogeneous, 2);
+  shape.processors = 7;
+  for (int i = 0; i < kInstances; ++i) {
+    const auto problem = gen::random_problem(rng, shape);
+    SolveRequest request;
+    request.objective = Objective::Energy;
+    request.kind = MappingKind::OneToOne;
+    request.constraints.period = core::Thresholds::per_app({12.0, 12.0});
+    expect_matches_oracle(problem, request, "energy-matching");
+  }
+}
+
+TEST(Adapters, BicriteriaMatchesOracle) {
+  util::Rng rng(2029);
+  for (int i = 0; i < kInstances; ++i) {
+    const auto problem = gen::random_problem(
+        rng, small_shape(core::PlatformClass::FullyHomogeneous, 1));
+    SolveRequest request;
+    request.constraints.latency = core::Thresholds::per_app({25.0, 25.0});
+    expect_matches_oracle(problem, request, "bicriteria-period-latency");
+  }
+}
+
+TEST(Adapters, TricriteriaUnimodalMatchesOracle) {
+  util::Rng rng(2030);
+  for (int i = 0; i < kInstances; ++i) {
+    const auto problem = gen::random_problem(
+        rng, small_shape(core::PlatformClass::FullyHomogeneous, 1));
+    SolveRequest request;
+    request.objective = Objective::Energy;
+    request.constraints.period = core::Thresholds::per_app({10.0, 10.0});
+    request.constraints.latency = core::Thresholds::per_app({30.0, 30.0});
+    expect_matches_oracle(problem, request, "tricriteria-unimodal");
+  }
+}
+
+TEST(Adapters, HeuristicsReturnValidConstraintSatisfyingMappings) {
+  util::Rng rng(2031);
+  const auto problem = gen::random_problem(
+      rng, small_shape(core::PlatformClass::FullyHeterogeneous, 2));
+  for (const char* name :
+       {"heuristic-ladder", "greedy-interval", "local-search", "tabu-search",
+        "annealing"}) {
+    SolveRequest request;
+    request.solver = name;
+    request.constraints.latency = core::Thresholds::per_app({1e6, 1e6});
+    const auto result = default_registry().solve(problem, request);
+    ASSERT_TRUE(result.solved()) << name;
+    EXPECT_EQ(result.status, SolveStatus::Feasible) << name;
+    ASSERT_TRUE(result.mapping.has_value()) << name;
+    EXPECT_FALSE(result.mapping->validate(problem).has_value()) << name;
+    EXPECT_TRUE(request.constraints.satisfied_by(result.metrics)) << name;
+  }
+}
+
+TEST(Adapters, OneToOneRequestsNeverGetIntervalMappings) {
+  // The shared neighbourhood's split/merge moves leave the one-to-one
+  // family, so the search heuristics must refuse OneToOne requests and the
+  // ladder must stop after its structure-preserving rungs.
+  util::Rng rng(2033);
+  auto shape = small_shape(core::PlatformClass::FullyHeterogeneous, 2);
+  shape.processors = 7;  // >= N so one-to-one mappings exist
+  const auto problem = gen::random_problem(rng, shape);
+  for (const char* name : {"heuristic-ladder", "rank-matching"}) {
+    SolveRequest request;
+    request.kind = MappingKind::OneToOne;
+    request.solver = name;
+    const auto result = default_registry().solve(problem, request);
+    ASSERT_TRUE(result.solved()) << name;
+    ASSERT_TRUE(result.mapping.has_value()) << name;
+    EXPECT_TRUE(result.mapping->is_one_to_one()) << name;
+  }
+  for (const char* name : {"local-search", "tabu-search", "annealing"}) {
+    SolveRequest request;
+    request.kind = MappingKind::OneToOne;
+    request.solver = name;
+    const auto result = default_registry().solve(problem, request);
+    EXPECT_EQ(result.status, SolveStatus::NoSolver) << name;
+  }
+}
+
+TEST(Adapters, LadderNeverWorseThanGreedyAlone) {
+  util::Rng rng(2032);
+  for (int i = 0; i < 4; ++i) {
+    const auto problem = gen::random_problem(
+        rng, small_shape(core::PlatformClass::FullyHeterogeneous, 2));
+    SolveRequest greedy;
+    greedy.solver = "greedy-interval";
+    SolveRequest ladder;
+    ladder.solver = "heuristic-ladder";
+    const auto greedy_result = default_registry().solve(problem, greedy);
+    const auto ladder_result = default_registry().solve(problem, ladder);
+    if (!greedy_result.solved()) continue;
+    ASSERT_TRUE(ladder_result.solved());
+    EXPECT_LE(ladder_result.value, greedy_result.value + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::api

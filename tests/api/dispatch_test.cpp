@@ -1,0 +1,282 @@
+/// End-to-end dispatch through the default registry: the ISSUE-level
+/// contract. Polynomial paper algorithms win on their home cells,
+/// heterogeneous instances degrade to exact search (and to the heuristic
+/// ladder when the node budget is exhausted), forced overrides reach every
+/// optimizer, and infeasible requests come back as typed statuses.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/registry.hpp"
+#include "core/objectives.hpp"
+#include "core/platform.hpp"
+#include "gen/motivating_example.hpp"
+
+namespace pipeopt::api {
+namespace {
+
+using gen::MotivatingExampleFacts;
+
+/// Fully homogeneous platform: p identical processors, uniform bandwidth.
+core::Problem fully_homogeneous_problem(std::size_t p = 4) {
+  std::vector<core::Processor> procs(p, core::Processor({2.0}, 0.5));
+  core::Platform platform(std::move(procs), /*uniform_bandwidth=*/1.0);
+  std::vector<core::Application> apps;
+  apps.emplace_back(1.0, std::vector<core::StageSpec>{{3.0, 1.0}, {2.0, 1.0}});
+  apps.emplace_back(0.5, std::vector<core::StageSpec>{{4.0, 0.5}, {1.0, 0.0}});
+  return core::Problem(std::move(apps), std::move(platform));
+}
+
+/// Fully homogeneous multi-modal platform (for the energy DP cell).
+core::Problem fully_homogeneous_multimodal(std::size_t p = 4) {
+  std::vector<core::Processor> procs(p, core::Processor({1.0, 2.0, 4.0}, 0.5));
+  core::Platform platform(std::move(procs), 1.0);
+  std::vector<core::Application> apps;
+  apps.emplace_back(1.0, std::vector<core::StageSpec>{{3.0, 1.0}, {2.0, 1.0}});
+  apps.emplace_back(0.5, std::vector<core::StageSpec>{{4.0, 0.5}, {1.0, 0.0}});
+  return core::Problem(std::move(apps), std::move(platform));
+}
+
+/// Comm-homogeneous platform with enough (heterogeneous) processors for
+/// one-to-one mappings of the 4 total stages.
+core::Problem comm_homogeneous_wide() {
+  std::vector<core::Processor> procs;
+  for (const double speed : {2.0, 3.0, 5.0, 7.0, 11.0}) {
+    procs.push_back(core::Processor({speed / 2.0, speed}, 0.25));
+  }
+  core::Platform platform(std::move(procs), 1.0);
+  std::vector<core::Application> apps;
+  apps.emplace_back(1.0, std::vector<core::StageSpec>{{3.0, 1.0}, {2.0, 1.0}});
+  apps.emplace_back(0.5, std::vector<core::StageSpec>{{4.0, 0.5}, {1.0, 0.0}});
+  return core::Problem(std::move(apps), std::move(platform));
+}
+
+// ---------------------------------------------------------------- dispatch --
+
+TEST(Dispatch, HomogeneousPeriodPicksIntervalPeriodDp) {
+  const auto result = solve(fully_homogeneous_problem(), SolveRequest{});
+  EXPECT_EQ(result.solver, "interval-period-dp");
+  EXPECT_EQ(result.status, SolveStatus::Optimal);
+  ASSERT_TRUE(result.mapping.has_value());
+}
+
+TEST(Dispatch, HomogeneousLatencyPicksIntervalLatency) {
+  SolveRequest request;
+  request.objective = Objective::Latency;
+  const auto result = solve(fully_homogeneous_problem(), request);
+  EXPECT_EQ(result.solver, "interval-latency");
+  EXPECT_EQ(result.status, SolveStatus::Optimal);
+}
+
+TEST(Dispatch, HomogeneousEnergyUnderPeriodPicksEnergyDp) {
+  SolveRequest request;
+  request.objective = Objective::Energy;
+  request.constraints.period = core::Thresholds::per_app({10.0, 10.0});
+  const auto result = solve(fully_homogeneous_multimodal(), request);
+  EXPECT_EQ(result.solver, "energy-interval-dp");
+  EXPECT_EQ(result.status, SolveStatus::Optimal);
+}
+
+TEST(Dispatch, PeriodUnderLatencyBoundsPicksBicriteria) {
+  SolveRequest request;
+  request.constraints.latency = core::Thresholds::per_app({20.0, 20.0});
+  const auto result = solve(fully_homogeneous_problem(), request);
+  EXPECT_EQ(result.solver, "bicriteria-period-latency");
+  EXPECT_EQ(result.status, SolveStatus::Optimal);
+}
+
+TEST(Dispatch, UniModalEnergyBudgetPicksTricriteria) {
+  SolveRequest request;
+  // Budget covers two enrolled processors (E_stat + s^alpha = 4.5 each).
+  request.constraints.energy_budget = 9.5;
+  const auto result = solve(fully_homogeneous_problem(), request);
+  EXPECT_EQ(result.solver, "tricriteria-unimodal");
+  EXPECT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_LE(result.metrics.energy, 9.5);
+}
+
+TEST(Dispatch, OneToOnePeriodOnCommHomogeneousPicksMatching) {
+  SolveRequest request;
+  request.kind = MappingKind::OneToOne;
+  const auto result = solve(comm_homogeneous_wide(), request);
+  EXPECT_EQ(result.solver, "one-to-one-period");
+  EXPECT_EQ(result.status, SolveStatus::Optimal);
+  ASSERT_TRUE(result.mapping.has_value());
+  EXPECT_TRUE(result.mapping->is_one_to_one());
+}
+
+TEST(Dispatch, HeterogeneousPeriodFallsBackToExact) {
+  // The §2 instance is comm-homogeneous with heterogeneous processors: the
+  // interval period cell is NP-hard there (Thm 5), so no polynomial solver
+  // applies and dispatch degrades to the Exact tier.
+  const auto result = solve(gen::motivating_example(), SolveRequest{});
+  EXPECT_EQ(result.solver, "branch-and-bound");
+  EXPECT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(result.value, MotivatingExampleFacts::kOptimalPeriod);
+}
+
+TEST(Dispatch, ExhaustedNodeBudgetDegradesToHeuristicLadder) {
+  SolveRequest request;
+  request.node_budget = 10;  // both exact engines blow this immediately
+  const auto result = solve(gen::motivating_example(), request);
+  EXPECT_EQ(result.solver, "heuristic-ladder");
+  EXPECT_EQ(result.status, SolveStatus::Feasible);
+  bool skipped_exact = false;
+  for (const auto& [key, value] : result.diagnostics) {
+    skipped_exact |= key == "skipped";
+  }
+  EXPECT_TRUE(skipped_exact);
+}
+
+TEST(Dispatch, EnergyUnderPeriodOnCommHomFallsBackToExact) {
+  // Interval energy minimization is polynomial only on fully homogeneous
+  // platforms (Thm 22 NP-hardness); §2's instance must go exact — and
+  // reproduce the paper's E=46 under period <= 2.
+  SolveRequest request;
+  request.objective = Objective::Energy;
+  request.constraints.period = core::Thresholds::per_app({2.0, 2.0});
+  const auto result = solve(gen::motivating_example(), request);
+  EXPECT_EQ(result.solver, "exact-enumeration");
+  EXPECT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(result.value, MotivatingExampleFacts::kEnergyUnderPeriod2);
+}
+
+// -------------------------------------------------------------- overrides --
+
+TEST(Dispatch, ForcedSolverOverridesAutoChoice) {
+  SolveRequest request;
+  request.solver = "exact-enumeration";
+  const auto result = solve(fully_homogeneous_problem(), request);
+  EXPECT_EQ(result.solver, "exact-enumeration");
+  EXPECT_EQ(result.status, SolveStatus::Optimal);
+}
+
+TEST(Dispatch, ForcedSolverAgreesWithPolynomialChoice) {
+  const auto automatic = solve(fully_homogeneous_problem(), SolveRequest{});
+  SolveRequest forced;
+  forced.solver = "exact-enumeration";
+  const auto exact = solve(fully_homogeneous_problem(), forced);
+  ASSERT_TRUE(automatic.solved());
+  ASSERT_TRUE(exact.solved());
+  EXPECT_NEAR(automatic.value, exact.value, 1e-9);
+}
+
+TEST(Dispatch, EveryAcceptanceOptimizerIsReachable) {
+  // ISSUE acceptance list: interval DP, one-to-one matching, energy DP,
+  // exact enumeration, greedy, local search, annealing — each reachable by
+  // name and solving its home instance.
+  struct Case {
+    const char* solver;
+    core::Problem problem;
+    SolveRequest request;
+  };
+  std::vector<Case> cases;
+  {
+    SolveRequest r;
+    cases.push_back({"interval-period-dp", fully_homogeneous_problem(), r});
+  }
+  {
+    SolveRequest r;
+    r.kind = MappingKind::OneToOne;
+    cases.push_back({"one-to-one-period", comm_homogeneous_wide(), r});
+  }
+  {
+    SolveRequest r;
+    r.objective = Objective::Energy;
+    r.constraints.period = core::Thresholds::per_app({10.0, 10.0});
+    cases.push_back({"energy-interval-dp", fully_homogeneous_multimodal(), r});
+  }
+  {
+    SolveRequest r;
+    cases.push_back({"exact-enumeration", gen::motivating_example(), r});
+  }
+  {
+    SolveRequest r;
+    cases.push_back({"greedy-interval", gen::motivating_example(), r});
+  }
+  {
+    SolveRequest r;
+    cases.push_back({"local-search", gen::motivating_example(), r});
+  }
+  {
+    SolveRequest r;
+    cases.push_back({"annealing", gen::motivating_example(), r});
+  }
+  for (auto& c : cases) {
+    c.request.solver = c.solver;
+    const auto result = solve(c.problem, c.request);
+    EXPECT_EQ(result.solver, c.solver);
+    EXPECT_TRUE(result.solved())
+        << c.solver << " -> " << result.status_name();
+  }
+}
+
+// ------------------------------------------------------------- infeasible --
+
+TEST(Dispatch, OneToOneWithTooFewProcessorsIsTypedInfeasible) {
+  // §2: N = 7 stages on p = 3 processors — no one-to-one mapping exists.
+  SolveRequest request;
+  request.kind = MappingKind::OneToOne;
+  const auto result = solve(gen::motivating_example(), request);
+  EXPECT_EQ(result.status, SolveStatus::Infeasible);
+  EXPECT_FALSE(result.mapping.has_value());
+}
+
+TEST(Dispatch, UnmeetablePeriodBoundIsTypedInfeasible) {
+  SolveRequest request;
+  request.objective = Objective::Energy;
+  request.constraints.period = core::Thresholds::per_app({1e-6, 1e-6});
+  const auto result = solve(fully_homogeneous_multimodal(), request);
+  EXPECT_EQ(result.solver, "energy-interval-dp");
+  EXPECT_EQ(result.status, SolveStatus::Infeasible);
+  EXPECT_FALSE(result.mapping.has_value());
+}
+
+TEST(Dispatch, InfeasibleNeverThrows) {
+  SolveRequest request;
+  request.objective = Objective::Energy;
+  request.constraints.period = core::Thresholds::per_app({1e-9, 1e-9});
+  EXPECT_NO_THROW({
+    const auto result = solve(gen::motivating_example(), request);
+    EXPECT_EQ(result.status, SolveStatus::Infeasible);
+  });
+}
+
+// ----------------------------------------------------------------- weights --
+
+TEST(Dispatch, UnitWeightsNeutralizePriorities) {
+  // Same instance, application weights 1 and 5: the priority-weighted
+  // optimum must dominate the unit-weighted one.
+  std::vector<core::Processor> procs(3, core::Processor({2.0}));
+  core::Platform platform(std::move(procs), 1.0);
+  std::vector<core::Application> apps;
+  apps.emplace_back(1.0, std::vector<core::StageSpec>{{3.0, 1.0}, {2.0, 1.0}},
+                    1.0);
+  apps.emplace_back(0.5, std::vector<core::StageSpec>{{4.0, 0.5}}, 5.0);
+  const core::Problem problem(std::move(apps), std::move(platform));
+
+  SolveRequest unit;
+  unit.weights = core::WeightPolicy::Unit;
+  const auto unit_result = solve(problem, unit);
+  SolveRequest priority;
+  priority.weights = core::WeightPolicy::Priority;
+  const auto priority_result = solve(problem, priority);
+  ASSERT_TRUE(unit_result.solved());
+  ASSERT_TRUE(priority_result.solved());
+  EXPECT_GT(priority_result.value, unit_result.value);
+}
+
+TEST(Dispatch, StretchWeightsNormalizeBySoloOptimum) {
+  // Max stretch >= 1 always (no application can beat its solo optimum when
+  // sharing the platform), and the §3.4 fairness objective stays finite.
+  SolveRequest request;
+  request.weights = core::WeightPolicy::Stretch;
+  const auto result = solve(fully_homogeneous_problem(), request);
+  ASSERT_TRUE(result.solved());
+  EXPECT_GE(result.value, 1.0 - 1e-9);
+  EXPECT_LT(result.value, 1e6);
+}
+
+}  // namespace
+}  // namespace pipeopt::api

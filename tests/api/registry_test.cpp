@@ -1,0 +1,181 @@
+/// Registry mechanics, exercised with fake solvers so dispatch order,
+/// capability filtering, forced overrides and LimitExceeded degradation are
+/// tested independently of the real algorithms.
+
+#include "api/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "api/adapters.hpp"
+#include "gen/motivating_example.hpp"
+
+namespace pipeopt::api {
+namespace {
+
+core::Problem example() { return gen::motivating_example(); }
+
+/// Fake solver: fixed applicability and a canned status.
+std::unique_ptr<LambdaSolver> fake(std::string name, CostTier tier, int rank,
+                                   bool applicable, SolveStatus status) {
+  SolverInfo info;
+  info.name = std::move(name);
+  info.tier = tier;
+  info.rank = rank;
+  info.exact = tier != CostTier::Heuristic;
+  return std::make_unique<LambdaSolver>(
+      std::move(info),
+      [applicable](const core::Problem&, const SolveRequest&) {
+        return applicable;
+      },
+      [status](const core::Problem&, const SolveRequest&) {
+        SolveResult result;
+        result.status = status;
+        result.value = status == SolveStatus::Optimal ? 1.0
+                       : std::numeric_limits<double>::infinity();
+        return result;
+      });
+}
+
+TEST(Registry, RejectsDuplicateNames) {
+  SolverRegistry registry;
+  registry.add(fake("a", CostTier::Polynomial, 0, true, SolveStatus::Optimal));
+  EXPECT_THROW(
+      registry.add(fake("a", CostTier::Exact, 0, true, SolveStatus::Optimal)),
+      std::invalid_argument);
+}
+
+TEST(Registry, FindByName) {
+  SolverRegistry registry;
+  registry.add(fake("x", CostTier::Exact, 0, true, SolveStatus::Optimal));
+  ASSERT_NE(registry.find("x"), nullptr);
+  EXPECT_EQ(registry.find("x")->name(), "x");
+  EXPECT_EQ(registry.find("y"), nullptr);
+}
+
+TEST(Registry, DispatchOrderIsTierThenRankThenName) {
+  SolverRegistry registry;
+  registry.add(fake("h", CostTier::Heuristic, 0, true, SolveStatus::Feasible));
+  registry.add(fake("e", CostTier::Exact, 0, true, SolveStatus::Optimal));
+  registry.add(fake("p2", CostTier::Polynomial, 1, true, SolveStatus::Optimal));
+  registry.add(fake("pb", CostTier::Polynomial, 0, true, SolveStatus::Optimal));
+  registry.add(fake("pa", CostTier::Polynomial, 0, true, SolveStatus::Optimal));
+  const auto order = registry.solvers();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0]->name(), "pa");  // rank 0, name tie-break
+  EXPECT_EQ(order[1]->name(), "pb");
+  EXPECT_EQ(order[2]->name(), "p2");
+  EXPECT_EQ(order[3]->name(), "e");
+  EXPECT_EQ(order[4]->name(), "h");
+}
+
+TEST(Registry, CandidatesFilterByApplicability) {
+  SolverRegistry registry;
+  registry.add(fake("yes", CostTier::Polynomial, 0, true, SolveStatus::Optimal));
+  registry.add(fake("no", CostTier::Polynomial, 1, false, SolveStatus::Optimal));
+  const auto candidates = registry.candidates(example(), SolveRequest{});
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0]->name(), "yes");
+}
+
+TEST(Registry, AutoDispatchPicksCheapestApplicable) {
+  SolverRegistry registry;
+  registry.add(fake("slow", CostTier::Exact, 0, true, SolveStatus::Optimal));
+  registry.add(fake("cheap", CostTier::Polynomial, 0, true, SolveStatus::Optimal));
+  registry.add(
+      fake("inapplicable", CostTier::Polynomial, 0, false, SolveStatus::Optimal));
+  const auto result = registry.solve(example(), SolveRequest{});
+  EXPECT_EQ(result.solver, "cheap");
+  EXPECT_EQ(result.status, SolveStatus::Optimal);
+}
+
+TEST(Registry, LimitExceededDegradesToNextTier) {
+  SolverRegistry registry;
+  registry.add(fake("exact", CostTier::Exact, 0, true,
+                    SolveStatus::LimitExceeded));
+  registry.add(fake("ladder", CostTier::Heuristic, 0, true,
+                    SolveStatus::Feasible));
+  const auto result = registry.solve(example(), SolveRequest{});
+  EXPECT_EQ(result.solver, "ladder");
+  EXPECT_EQ(result.status, SolveStatus::Feasible);
+  // The skipped exact solver is recorded in the diagnostics.
+  bool noted = false;
+  for (const auto& [key, value] : result.diagnostics) {
+    noted |= key == "skipped" && value.find("exact") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(Registry, AllCandidatesOverBudgetReportsLimitExceeded) {
+  SolverRegistry registry;
+  registry.add(fake("only", CostTier::Exact, 0, true,
+                    SolveStatus::LimitExceeded));
+  const auto result = registry.solve(example(), SolveRequest{});
+  EXPECT_EQ(result.status, SolveStatus::LimitExceeded);
+}
+
+TEST(Registry, NoApplicableSolverIsTypedNotThrown) {
+  SolverRegistry registry;
+  registry.add(fake("no", CostTier::Polynomial, 0, false, SolveStatus::Optimal));
+  const auto result = registry.solve(example(), SolveRequest{});
+  EXPECT_EQ(result.status, SolveStatus::NoSolver);
+}
+
+TEST(Registry, ForcedUnknownSolverIsTypedNoSolver) {
+  SolverRegistry registry;
+  registry.add(fake("real", CostTier::Polynomial, 0, true, SolveStatus::Optimal));
+  SolveRequest request;
+  request.solver = "imaginary";
+  const auto result = registry.solve(example(), request);
+  EXPECT_EQ(result.status, SolveStatus::NoSolver);
+}
+
+TEST(Registry, ForcedInapplicableSolverIsTypedNoSolver) {
+  SolverRegistry registry;
+  registry.add(fake("narrow", CostTier::Polynomial, 0, false,
+                    SolveStatus::Optimal));
+  SolveRequest request;
+  request.solver = "narrow";
+  const auto result = registry.solve(example(), request);
+  EXPECT_EQ(result.status, SolveStatus::NoSolver);
+}
+
+TEST(Registry, ForcedSolverBypassesCheaperCandidates) {
+  SolverRegistry registry;
+  registry.add(fake("cheap", CostTier::Polynomial, 0, true, SolveStatus::Optimal));
+  registry.add(fake("pricey", CostTier::Heuristic, 0, true,
+                    SolveStatus::Feasible));
+  SolveRequest request;
+  request.solver = "pricey";
+  const auto result = registry.solve(example(), request);
+  EXPECT_EQ(result.solver, "pricey");
+  EXPECT_EQ(result.status, SolveStatus::Feasible);
+}
+
+TEST(Registry, MismatchedThresholdSizesAreTypedNoSolver) {
+  SolverRegistry registry;
+  registry.add(fake("any", CostTier::Polynomial, 0, true, SolveStatus::Optimal));
+  SolveRequest request;
+  // The example has two applications; three bounds is a caller error.
+  request.constraints.period = core::Thresholds::per_app({1.0, 1.0, 1.0});
+  const auto result = registry.solve(example(), request);
+  EXPECT_EQ(result.status, SolveStatus::NoSolver);
+}
+
+TEST(Registry, DefaultRegistryHasEveryAcceptanceSolver) {
+  const SolverRegistry& registry = default_registry();
+  for (const char* name :
+       {"interval-period-dp", "one-to-one-period", "one-to-one-latency",
+        "interval-latency", "energy-interval-dp", "energy-matching",
+        "bicriteria-period-latency", "one-to-one-tricriteria",
+        "tricriteria-unimodal", "branch-and-bound", "exact-enumeration",
+        "heuristic-ladder", "greedy-interval", "rank-matching", "local-search",
+        "tabu-search", "annealing"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::api

@@ -1,0 +1,66 @@
+#include "api/request.hpp"
+
+#include <gtest/gtest.h>
+
+#include "api/result.hpp"
+
+namespace pipeopt::api {
+namespace {
+
+TEST(Request, Defaults) {
+  const SolveRequest request;
+  EXPECT_EQ(request.objective, Objective::Period);
+  EXPECT_EQ(request.kind, MappingKind::Interval);
+  EXPECT_EQ(request.weights, core::WeightPolicy::Priority);
+  EXPECT_FALSE(request.solver.has_value());
+  EXPECT_FALSE(request.constraints.period.has_value());
+  EXPECT_FALSE(request.constraints.latency.has_value());
+  EXPECT_FALSE(request.constraints.energy_budget.has_value());
+  EXPECT_FALSE(request.time_budget_seconds.has_value());
+  EXPECT_GT(request.node_budget, 0u);
+}
+
+TEST(Request, ObjectiveRoundTrip) {
+  for (const Objective o :
+       {Objective::Period, Objective::Latency, Objective::Energy}) {
+    const auto parsed = parse_objective(to_string(o));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, o);
+  }
+  EXPECT_FALSE(parse_objective("throughput").has_value());
+  EXPECT_FALSE(parse_objective("").has_value());
+}
+
+TEST(Request, MappingKindRoundTrip) {
+  for (const MappingKind k : {MappingKind::Interval, MappingKind::OneToOne}) {
+    const auto parsed = parse_mapping_kind(to_string(k));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(parse_mapping_kind("general").has_value());
+}
+
+TEST(Result, StatusNames) {
+  EXPECT_STREQ(to_string(SolveStatus::Optimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::Feasible), "feasible");
+  EXPECT_STREQ(to_string(SolveStatus::Infeasible), "infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::LimitExceeded), "limit-exceeded");
+  EXPECT_STREQ(to_string(SolveStatus::NoSolver), "no-solver");
+}
+
+TEST(Result, SolvedClassification) {
+  SolveResult result;
+  result.status = SolveStatus::Optimal;
+  EXPECT_TRUE(result.solved());
+  result.status = SolveStatus::Feasible;
+  EXPECT_TRUE(result.solved());
+  result.status = SolveStatus::Infeasible;
+  EXPECT_FALSE(result.solved());
+  result.status = SolveStatus::LimitExceeded;
+  EXPECT_FALSE(result.solved());
+  result.status = SolveStatus::NoSolver;
+  EXPECT_FALSE(result.solved());
+}
+
+}  // namespace
+}  // namespace pipeopt::api

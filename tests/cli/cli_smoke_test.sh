@@ -1,0 +1,60 @@
+#!/bin/sh
+# CLI smoke test: exit-code contract of the pipeopt binary.
+#   0 = solved, 1 = infeasible, 2 = usage / parse error.
+# Usage: cli_smoke_test.sh <path-to-pipeopt-binary>
+set -u
+BIN="$1"
+TMPDIR="${TMPDIR:-/tmp}/pipeopt_cli_smoke.$$"
+mkdir -p "$TMPDIR"
+trap 'rm -rf "$TMPDIR"' EXIT
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+cat > "$TMPDIR/ok.txt" <<'PROB'
+# paper §2 motivating example (comm-homogeneous, multi-modal)
+comm overlap
+alpha 2
+bandwidth 1
+processor P1 static=0 speeds=3,6
+processor P2 static=0 speeds=6,8
+processor P3 static=0 speeds=1,6
+app App1 weight=1 input=1 stages=3:3,2:2,1:0
+app App2 weight=1 input=0 stages=2:2,6:1,4:1,2:1
+PROB
+
+run() { "$BIN" "$@" >"$TMPDIR/out" 2>"$TMPDIR/err"; echo $?; }
+
+# --- exit 0: solvable requests -------------------------------------------
+[ "$(run "$TMPDIR/ok.txt" show)" = 0 ] || fail "show should exit 0"
+[ "$(run "$TMPDIR/ok.txt" solve --objective period)" = 0 ] \
+  || fail "solve --objective period should exit 0: $(cat "$TMPDIR/err")"
+grep -q "solver:" "$TMPDIR/out" || fail "solve output should name the solver"
+[ "$(run "$TMPDIR/ok.txt" solve --objective period --solver exact-enumeration)" = 0 ] \
+  || fail "forced exact-enumeration should exit 0"
+grep -q "exact-enumeration" "$TMPDIR/out" || fail "forced solver name should be reported"
+[ "$(run "$TMPDIR/ok.txt" solve --objective latency)" = 0 ] \
+  || fail "solve --objective latency should exit 0"
+[ "$(run "$TMPDIR/ok.txt" solve --objective energy --period-bounds 10)" = 0 ] \
+  || fail "solve --objective energy should exit 0"
+[ "$(run "$TMPDIR/ok.txt" list-solvers)" = 0 ] || fail "list-solvers should exit 0"
+grep -q "interval-period-dp" "$TMPDIR/out" || fail "list-solvers should list interval-period-dp"
+# legacy commands still work
+[ "$(run "$TMPDIR/ok.txt" min-period)" = 0 ] || fail "min-period should exit 0"
+
+# --- exit 1: infeasible ---------------------------------------------------
+[ "$(run "$TMPDIR/ok.txt" solve --objective energy --period-bounds 0.0001)" = 1 ] \
+  || fail "unmeetable period bound should exit 1"
+[ "$(run "$TMPDIR/ok.txt" solve --objective period --kind one-to-one)" = 1 ] \
+  || fail "one-to-one with p < N should exit 1"
+
+# --- exit 2: usage / parse errors ----------------------------------------
+[ "$(run "$TMPDIR/ok.txt")" = 2 ] || fail "missing command should exit 2"
+[ "$(run "$TMPDIR/ok.txt" solve)" = 2 ] || fail "solve without --objective should exit 2"
+[ "$(run "$TMPDIR/ok.txt" solve --objective nonsense)" = 2 ] \
+  || fail "bad objective should exit 2"
+[ "$(run "$TMPDIR/ok.txt" solve --objective period --solver no-such-solver)" = 2 ] \
+  || fail "unknown solver name should exit 2"
+echo "bandwidth" > "$TMPDIR/bad.txt"
+[ "$(run "$TMPDIR/bad.txt" show)" = 2 ] || fail "parse error should exit 2"
+[ "$(run /nonexistent/file.txt show)" = 2 ] || fail "unreadable file should exit 2"
+
+echo "cli smoke: all checks passed"

@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI entry point: the tier-1 verify line (see ROADMAP.md) with warnings
+# promoted to errors, then the full ctest suite (unit + property tests and
+# the CLI exit-code smoke test).
+#
+#   tools/ci.sh [build-dir]
+#
+# PIPEOPT_WERROR=ON applies -Wall -Wextra -Werror to every target,
+# including the new src/api/ facade layer.
+set -eu
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+
+cmake -B "$BUILD_DIR" -S . -DPIPEOPT_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+echo "ci: all green"

@@ -1,32 +1,46 @@
 /// \file pipeopt_cli.cpp
-/// Command-line front end: solve a problem file with any of the library's
-/// optimizers.
+/// Command-line front end over the `pipeopt::api` facade.
 ///
 ///   pipeopt <problem-file> <command> [args]
 ///
 /// commands:
 ///   show                         parse + echo the instance
-///   min-period [--exact]         interval period (Thm 3 / exact fallback)
-///   min-latency                  interval latency (Thm 12)
-///   min-energy T1,T2,...         min energy under per-app period bounds
-///                                (Thm 19/21 where polynomial, else exact)
+///   solve --objective period|latency|energy [options]
+///                                one call for every optimizer: capability
+///                                dispatch picks the cheapest applicable
+///                                solver unless --solver forces one
+///     --solver auto|<name>       force a registered solver (default auto)
+///     --kind interval|one-to-one mapping family (default interval)
+///     --period-bounds T[,T...]   per-app period thresholds
+///     --latency-bounds L[,L...]  per-app latency thresholds
+///     --energy-budget E          global energy budget
+///     --weights unit|priority|stretch   Eq. 6 weight policy
+///     --node-budget N            exact-search node budget
+///     --time-budget S            heuristic wall-clock budget (seconds)
+///     --seed N                   seed for stochastic solvers
+///   list-solvers                 registered solvers, dispatch order,
+///                                applicability for this instance
+///   min-period [--exact]         legacy alias of solve --objective period
+///   min-latency                  legacy alias of solve --objective latency
+///   min-energy T1,T2,...         legacy alias of solve --objective energy
 ///   simulate D                   run the period-optimal mapping for D data
 ///                                sets and report measured period/latency
 ///
-/// Exit code 0 on success, 1 on infeasible, 2 on usage/parse errors.
+/// Exit codes: 0 solved, 1 infeasible (or search budget exhausted),
+/// 2 usage/parse errors (including unknown or inapplicable solver names).
 
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
-#include "algorithms/energy_interval_dp.hpp"
-#include "algorithms/interval_period_multi.hpp"
-#include "algorithms/latency_algorithms.hpp"
+#include "api/adapters.hpp"
+#include "api/registry.hpp"
 #include "core/evaluation.hpp"
-#include "exact/exact_solvers.hpp"
 #include "io/problem_io.hpp"
 #include "sim/simulator.hpp"
+#include "util/numeric.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -37,70 +51,206 @@ int usage() {
   std::fputs(
       "usage: pipeopt <problem-file> <command> [args]\n"
       "  show                       echo the parsed instance\n"
-      "  min-period [--exact]       minimize max_a W_a*T_a (interval)\n"
-      "  min-latency                minimize max_a W_a*L_a (interval)\n"
-      "  min-energy T1,T2,...       minimize energy, per-app period bounds\n"
+      "  solve --objective period|latency|energy [--solver auto|<name>]\n"
+      "        [--kind interval|one-to-one] [--period-bounds T[,T...]]\n"
+      "        [--latency-bounds L[,L...]] [--energy-budget E]\n"
+      "        [--weights unit|priority|stretch] [--node-budget N]\n"
+      "        [--time-budget S] [--seed N]\n"
+      "  list-solvers               registered solvers in dispatch order\n"
+      "  min-period [--exact]       alias: solve --objective period\n"
+      "  min-latency                alias: solve --objective latency\n"
+      "  min-energy T1,T2,...       alias: solve --objective energy\n"
       "  simulate <datasets>        execute the period-optimal mapping\n",
       stderr);
   return 2;
 }
 
-void print_solution(const core::Problem& problem, const char* objective,
-                    double value, const core::Mapping& mapping) {
-  const auto metrics = core::evaluate(problem, mapping);
-  std::printf("%s = %s\n", objective, util::format_double(value).c_str());
-  std::printf("mapping: %s\n", mapping.to_string(problem).c_str());
-  util::Table table({"application", "period", "latency"});
-  for (std::size_t a = 0; a < problem.application_count(); ++a) {
-    table.add_row({problem.application(a).name(),
-                   util::format_double(metrics.per_app[a].period, 4),
-                   util::format_double(metrics.per_app[a].latency, 4)});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::printf("energy: %s\n", util::format_double(metrics.energy).c_str());
-}
+using util::parse_number;
 
-/// Period minimization: the polynomial DP where the paper allows it,
-/// otherwise exhaustive search (with a size guard).
-std::optional<algorithms::Solution> solve_min_period(
-    const core::Problem& problem, bool force_exact) {
-  if (!force_exact &&
-      problem.platform().classify() == core::PlatformClass::FullyHomogeneous) {
-    return algorithms::interval_min_period(problem);
-  }
-  const auto exact_result =
-      exact::exact_min_period(problem, exact::MappingKind::Interval);
-  if (!exact_result) return std::nullopt;
-  return algorithms::Solution{exact_result->value, exact_result->mapping};
-}
-
-std::optional<algorithms::Solution> solve_min_energy(
-    const core::Problem& problem, const core::Thresholds& bounds) {
-  if (problem.platform().classify() == core::PlatformClass::FullyHomogeneous) {
-    return algorithms::interval_min_energy_under_period(problem, bounds);
-  }
-  const auto exact_result = exact::exact_min_energy_under_period(
-      problem, exact::MappingKind::Interval, bounds);
-  if (!exact_result) return std::nullopt;
-  return algorithms::Solution{exact_result->value, exact_result->mapping};
-}
-
-core::Thresholds parse_bounds(const core::Problem& problem, const char* text) {
+/// Parses "T" or "T1,T2,..." into per-application thresholds. Empty tokens
+/// (",5", "5,,") are malformed — usage error per the exit-code contract.
+std::optional<core::Thresholds> parse_bounds(const core::Problem& problem,
+                                             const std::string& text) {
   std::vector<double> bounds;
   std::string token;
-  for (const char* c = text;; ++c) {
-    if (*c == ',' || *c == '\0') {
-      if (!token.empty()) bounds.push_back(std::stod(token));
+  for (std::size_t i = 0;; ++i) {
+    if (i == text.size() || text[i] == ',') {
+      const auto bound = parse_number<double>(token);
+      if (!bound) return std::nullopt;
+      bounds.push_back(*bound);
       token.clear();
-      if (*c == '\0') break;
+      if (i == text.size()) break;
     } else {
-      token += *c;
+      token += text[i];
     }
   }
+  if (bounds.empty()) return std::nullopt;
   if (bounds.size() == 1) {
     bounds.assign(problem.application_count(), bounds.front());
   }
+  if (bounds.size() != problem.application_count()) return std::nullopt;
   return core::Thresholds::per_app(std::move(bounds));
+}
+
+void print_result(const core::Problem& problem, const api::SolveRequest& request,
+                  const api::SolveResult& result) {
+  std::printf("solver: %s\n", result.solver.c_str());
+  std::printf("status: %s\n", result.status_name());
+  if (!result.solved()) {
+    for (const auto& [key, value] : result.diagnostics) {
+      std::printf("  %s: %s\n", key.c_str(), value.c_str());
+    }
+    return;
+  }
+  std::printf("min %s = %s\n", to_string(request.objective),
+              util::format_double(result.value).c_str());
+  std::printf("mapping: %s\n", result.mapping->to_string(problem).c_str());
+  util::Table table({"application", "period", "latency"});
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    table.add_row({problem.application(a).name(),
+                   util::format_double(result.metrics.per_app[a].period, 4),
+                   util::format_double(result.metrics.per_app[a].latency, 4)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("energy: %s\n", util::format_double(result.metrics.energy).c_str());
+  std::printf("wall: %.3fs\n", result.wall_seconds);
+  for (const auto& [key, value] : result.diagnostics) {
+    std::printf("  %s: %s\n", key.c_str(), value.c_str());
+  }
+}
+
+/// Maps a facade status to the exit-code contract.
+int exit_code(const api::SolveResult& result) {
+  switch (result.status) {
+    case api::SolveStatus::Optimal:
+    case api::SolveStatus::Feasible:
+      return 0;
+    case api::SolveStatus::Infeasible:
+    case api::SolveStatus::LimitExceeded:
+      return 1;
+    case api::SolveStatus::NoSolver:
+      return 2;
+  }
+  return 2;
+}
+
+int run_solve(const core::Problem& problem, const api::SolveRequest& request) {
+  const api::SolveResult result = api::solve(problem, request);
+  if (result.status == api::SolveStatus::NoSolver) {
+    std::fprintf(stderr, "error: no solver for this request\n");
+    for (const auto& [key, value] : result.diagnostics) {
+      std::fprintf(stderr, "  %s: %s\n", key.c_str(), value.c_str());
+    }
+    return 2;
+  }
+  print_result(problem, request, result);
+  return exit_code(result);
+}
+
+/// Parses `solve` flags into a request; nullopt on any usage error.
+std::optional<api::SolveRequest> parse_solve_args(
+    const core::Problem& problem, const std::vector<std::string>& args) {
+  api::SolveRequest request;
+  bool have_objective = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    const auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= args.size()) return std::nullopt;
+      return args[++i];
+    };
+    if (flag == "--objective") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      const auto objective = api::parse_objective(*value);
+      if (!objective) return std::nullopt;
+      request.objective = *objective;
+      have_objective = true;
+    } else if (flag == "--solver") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      // Last flag wins: "auto" must clear an earlier forced name.
+      if (*value == "auto") {
+        request.solver.reset();
+      } else {
+        request.solver = *value;
+      }
+    } else if (flag == "--kind") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      const auto kind = api::parse_mapping_kind(*value);
+      if (!kind) return std::nullopt;
+      request.kind = *kind;
+    } else if (flag == "--period-bounds") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      request.constraints.period = parse_bounds(problem, *value);
+      if (!request.constraints.period) return std::nullopt;
+    } else if (flag == "--latency-bounds") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      request.constraints.latency = parse_bounds(problem, *value);
+      if (!request.constraints.latency) return std::nullopt;
+    } else if (flag == "--energy-budget") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      request.constraints.energy_budget = parse_number<double>(*value);
+      if (!request.constraints.energy_budget) return std::nullopt;
+    } else if (flag == "--weights") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      if (*value == "unit") {
+        request.weights = core::WeightPolicy::Unit;
+      } else if (*value == "priority") {
+        request.weights = core::WeightPolicy::Priority;
+      } else if (*value == "stretch") {
+        request.weights = core::WeightPolicy::Stretch;
+      } else {
+        return std::nullopt;
+      }
+    } else if (flag == "--node-budget") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      const auto budget = parse_number<std::uint64_t>(*value);
+      if (!budget) return std::nullopt;
+      request.node_budget = *budget;
+    } else if (flag == "--time-budget") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      request.time_budget_seconds = parse_number<double>(*value);
+      if (!request.time_budget_seconds) return std::nullopt;
+    } else if (flag == "--seed") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      const auto seed = parse_number<std::uint64_t>(*value);
+      if (!seed) return std::nullopt;
+      request.seed = *seed;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_objective) return std::nullopt;
+  return request;
+}
+
+int run_list_solvers(const core::Problem& problem) {
+  const api::SolverRegistry& registry = api::default_registry();
+  util::Table table(
+      {"solver", "tier", "family", "optimal", "applicable*", "summary"});
+  api::SolveRequest probe;  // default request: interval period, no bounds
+  for (const api::Solver* solver : registry.solvers()) {
+    const api::SolverInfo& info = solver->info();
+    // Probe applicability in the solver's own family so one-to-one solvers
+    // are not all reported inapplicable under the default interval kind.
+    probe.kind = info.family.value_or(api::MappingKind::Interval);
+    table.add_row({info.name, to_string(info.tier),
+                   info.family ? to_string(*info.family) : "any",
+                   info.exact ? "yes" : "no",
+                   solver->applicable(problem, probe) ? "yes" : "no",
+                   info.summary});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("* for this instance, per family, period objective, no bounds");
+  return 0;
 }
 
 }  // namespace
@@ -116,6 +266,7 @@ int main(int argc, char** argv) {
     }
   }();
   const std::string command = argv[2];
+  std::vector<std::string> args(argv + 3, argv + argc);
 
   try {
     if (command == "show") {
@@ -125,50 +276,56 @@ int main(int argc, char** argv) {
                   problem.total_stages(), problem.platform().processor_count());
       return 0;
     }
+    if (command == "solve") {
+      const auto request = parse_solve_args(problem, args);
+      if (!request) return usage();
+      return run_solve(problem, *request);
+    }
+    if (command == "list-solvers") {
+      return run_list_solvers(problem);
+    }
     if (command == "min-period") {
-      const bool force_exact = argc > 3 && std::strcmp(argv[3], "--exact") == 0;
-      const auto solution = solve_min_period(problem, force_exact);
-      if (!solution) {
-        std::puts("infeasible");
-        return 1;
+      api::SolveRequest request;
+      request.objective = api::Objective::Period;
+      if (!args.empty() && args[0] == "--exact") {
+        request.solver = "exact-enumeration";
       }
-      print_solution(problem, "min weighted period", solution->value,
-                     solution->mapping);
-      return 0;
+      return run_solve(problem, request);
     }
     if (command == "min-latency") {
-      const auto solution = algorithms::interval_min_latency(problem);
-      if (!solution) {
-        std::puts("infeasible");
-        return 1;
-      }
-      print_solution(problem, "min weighted latency", solution->value,
-                     solution->mapping);
-      return 0;
+      api::SolveRequest request;
+      request.objective = api::Objective::Latency;
+      return run_solve(problem, request);
     }
     if (command == "min-energy") {
-      if (argc < 4) return usage();
-      const auto bounds = parse_bounds(problem, argv[3]);
-      const auto solution = solve_min_energy(problem, bounds);
-      if (!solution) {
-        std::puts("infeasible under the given period bounds");
-        return 1;
-      }
-      print_solution(problem, "min energy", solution->value, solution->mapping);
-      return 0;
+      if (args.empty()) return usage();
+      api::SolveRequest request;
+      request.objective = api::Objective::Energy;
+      request.constraints.period = parse_bounds(problem, args[0]);
+      if (!request.constraints.period) return usage();
+      return run_solve(problem, request);
     }
     if (command == "simulate") {
-      if (argc < 4) return usage();
-      const auto solution = solve_min_period(problem, false);
-      if (!solution) {
+      if (args.empty()) return usage();
+      api::SolveRequest request;  // defaults: period, interval, auto
+      const api::SolveResult solution = api::solve(problem, request);
+      if (!solution.solved()) {
         std::puts("infeasible");
-        return 1;
+        return exit_code(solution);
       }
+      const auto datasets = parse_number<std::size_t>(args[0]);
+      if (!datasets) return usage();
       sim::SimConfig config;
-      config.datasets = static_cast<std::size_t>(std::stoul(argv[3]));
-      const auto result = sim::simulate(problem, solution->mapping, config);
-      std::printf("period-optimal mapping: %s\n",
-                  solution->mapping.to_string(problem).c_str());
+      config.datasets = *datasets;
+      const auto result = sim::simulate(problem, *solution.mapping, config);
+      // Only an exact solve proves optimality; a heuristic fallback (e.g.
+      // past the node budget) yields a feasible, possibly suboptimal mapping.
+      std::printf("%s mapping (%s): %s\n",
+                  solution.status == api::SolveStatus::Optimal
+                      ? "period-optimal"
+                      : "period-feasible",
+                  solution.solver.c_str(),
+                  solution.mapping->to_string(problem).c_str());
       util::Table table({"application", "steady period", "first latency",
                          "max latency"});
       for (std::size_t a = 0; a < result.apps.size(); ++a) {
