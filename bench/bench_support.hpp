@@ -7,8 +7,10 @@
 
 #include <cstdio>
 #include <optional>
+#include <set>
 #include <string>
 
+#include "api/registry.hpp"
 #include "api/result.hpp"
 #include "gen/random_instances.hpp"
 #include "util/numeric.hpp"
@@ -94,5 +96,36 @@ inline std::optional<double> diagnostic_value(const api::SolveResult& result,
   }
   return std::nullopt;
 }
+
+/// Routing audit for the cells the paper proves polynomial: every distinct
+/// auto-dispatched winner is collected (instances alternate communication
+/// models, and per-model routing differences must stay visible), and a
+/// winner escaping the Polynomial tier counts as a routing failure.
+struct DispatchAudit {
+  std::set<std::string> dispatched;
+  int misrouted = 0;
+
+  /// Records the winner of one solved auto-dispatch result; false (and a
+  /// routing failure) when it is not a Polynomial-tier solver.
+  bool record(const api::SolveResult& result) {
+    const api::Solver* winner = api::default_registry().find(result.solver);
+    if (winner == nullptr || winner->info().tier != api::CostTier::Polynomial) {
+      ++misrouted;
+      return false;
+    }
+    dispatched.insert(result.solver);
+    return true;
+  }
+
+  /// Comma-joined winner names for the cell text.
+  [[nodiscard]] std::string names() const {
+    std::string joined;
+    for (const auto& name : dispatched) {
+      if (!joined.empty()) joined += ",";
+      joined += name;
+    }
+    return joined;
+  }
+};
 
 }  // namespace pipeopt::bench

@@ -16,7 +16,6 @@
 
 #include <cstdio>
 #include <optional>
-#include <set>
 #include <string>
 
 #include "api/registry.hpp"
@@ -47,10 +46,7 @@ std::string poly_cell(std::uint64_t seed, Column column, CellShape shape,
                       api::Objective objective, api::MappingKind kind) {
   util::Rng rng(seed);
   bench::CellReport report;
-  // Every distinct winner is reported: instances alternate communication
-  // models, and per-model routing differences must be visible.
-  std::set<std::string> dispatched;
-  int misrouted = 0;
+  bench::DispatchAudit audit;
   for (int i = 0; i < kPolyInstances; ++i) {
     shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
                               : core::CommModel::NoOverlap;
@@ -59,15 +55,7 @@ std::string poly_cell(std::uint64_t seed, Column column, CellShape shape,
     const auto request = base_request(objective, kind);
     const auto fast = api::solve(problem, request);
     report.algo_us.add(fast.wall_seconds * 1e6);
-    if (fast.solved()) {
-      const api::Solver* winner = api::default_registry().find(fast.solver);
-      if (winner == nullptr ||
-          winner->info().tier != api::CostTier::Polynomial) {
-        ++misrouted;
-        continue;
-      }
-      dispatched.insert(fast.solver);
-    }
+    if (fast.solved() && !audit.record(fast)) continue;
 
     auto oracle_request = request;
     oracle_request.solver = "exact-enumeration";
@@ -79,18 +67,13 @@ std::string poly_cell(std::uint64_t seed, Column column, CellShape shape,
       ++report.optimal;
     }
   }
-  std::string names;
-  for (const auto& name : dispatched) {
-    if (!names.empty()) names += ",";
-    names += name;
-  }
   char buf[160];
-  if (misrouted > 0) {
+  if (audit.misrouted > 0) {
     std::snprintf(buf, sizeof(buf), "ROUTING FAILURE: %d/%d escaped poly tier",
-                  misrouted, kPolyInstances);
+                  audit.misrouted, kPolyInstances);
   } else {
     std::snprintf(buf, sizeof(buf), "poly[%s]: optimal %s, median %.0fus",
-                  names.c_str(), report.optimality().c_str(),
+                  audit.names().c_str(), report.optimality().c_str(),
                   report.algo_us.median());
   }
   return buf;

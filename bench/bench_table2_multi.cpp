@@ -14,7 +14,6 @@
 #include <cstdio>
 #include <functional>
 #include <optional>
-#include <set>
 #include <string>
 
 #include "api/registry.hpp"
@@ -46,10 +45,7 @@ std::string run_cell(std::uint64_t seed, Column column, CellShape shape,
   util::Rng rng(seed);
   bench::CellReport report;
   util::Summary nodes;
-  // Every distinct winner is reported: instances alternate communication
-  // models, and per-model routing differences must be visible.
-  std::set<std::string> dispatched;
-  int misrouted = 0;
+  bench::DispatchAudit audit;
   const int instances = expect_poly ? kPolyInstances : kHardInstances;
   for (int i = 0; i < instances; ++i) {
     shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
@@ -66,15 +62,7 @@ std::string run_cell(std::uint64_t seed, Column column, CellShape shape,
     auto algo_request = *request;
     if (!expect_poly) algo_request.solver = "heuristic-ladder";
     const auto algo = api::solve(problem, algo_request);
-    if (expect_poly && algo.solved()) {
-      const api::Solver* winner = api::default_registry().find(algo.solver);
-      if (winner == nullptr ||
-          winner->info().tier != api::CostTier::Polynomial) {
-        ++misrouted;
-        continue;
-      }
-      dispatched.insert(algo.solver);
-    }
+    if (expect_poly && algo.solved() && !audit.record(algo)) continue;
 
     if (algo.solved() != oracle.solved()) {
       // Poly cells: a feasibility disagreement is a miss. Hard cells: the
@@ -87,20 +75,15 @@ std::string run_cell(std::uint64_t seed, Column column, CellShape shape,
     report.gap.add(algo.value / oracle.value);
     if (util::approx_eq(algo.value, oracle.value)) ++report.optimal;
   }
-  std::string names;
-  for (const auto& name : dispatched) {
-    if (!names.empty()) names += ",";
-    names += name;
-  }
   char buf[160];
-  if (misrouted > 0) {
+  if (audit.misrouted > 0) {
     std::snprintf(buf, sizeof(buf), "ROUTING FAILURE: %d escaped poly tier",
-                  misrouted);
+                  audit.misrouted);
   } else if (report.total == 0) {
     std::snprintf(buf, sizeof(buf), "(no comparable instances)");
   } else if (expect_poly) {
-    std::snprintf(buf, sizeof(buf), "poly[%s]: optimal %s", names.c_str(),
-                  report.optimality().c_str());
+    std::snprintf(buf, sizeof(buf), "poly[%s]: optimal %s",
+                  audit.names().c_str(), report.optimality().c_str());
   } else if (report.gap.empty()) {
     std::snprintf(buf, sizeof(buf), "NP-c: exact med %.0f nodes (heur n/a)",
                   nodes.median());

@@ -39,6 +39,13 @@ SolveResult infeasible() {
   return result;
 }
 
+SolveResult cancelled(const char* where) {
+  SolveResult result = infeasible();
+  result.status = SolveStatus::LimitExceeded;
+  result.diagnostics.emplace_back("cancelled", where);
+  return result;
+}
+
 bool no_constraints(const core::ConstraintSet& cs) {
   return !cs.period && !cs.latency && !cs.energy_budget;
 }

@@ -69,6 +69,11 @@ namespace detail {
 /// Typed infeasible result (value = +inf, no mapping).
 [[nodiscard]] SolveResult infeasible();
 
+/// Typed cancellation result: LimitExceeded with a "cancelled" diagnostic
+/// explaining where the token was observed — the one shape every layer
+/// (plan, exact adapters, heuristic ladder) reports a fired token with.
+[[nodiscard]] SolveResult cancelled(const char* where);
+
 /// Constraint-shape predicates used by the capability lambdas.
 [[nodiscard]] bool no_constraints(const core::ConstraintSet& cs);
 [[nodiscard]] bool only_period_bounds(const core::ConstraintSet& cs);

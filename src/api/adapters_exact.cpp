@@ -40,6 +40,12 @@ SolveResult limit_exceeded(std::uint64_t node_budget) {
   return result;
 }
 
+/// Cooperative cancellation unwinds through the same bounded-search exit as
+/// a blown budget, but is labelled so callers can tell the two apart.
+SolveResult cancelled() {
+  return detail::cancelled("cancel token fired mid-search");
+}
+
 SolveResult from_exact(const core::Problem& problem, Objective objective,
                        const std::optional<exact::ExactResult>& exact_result) {
   if (!exact_result) return detail::infeasible();
@@ -72,7 +78,10 @@ void register_exact_solvers(SolverRegistry& registry) {
         try {
           return from_exact(p, r.objective,
                             exact::branch_bound_min_period(
-                                p, to_exact_kind(r.kind), r.node_budget));
+                                p, to_exact_kind(r.kind), r.node_budget,
+                                r.cancel));
+        } catch (const exact::SearchCancelled&) {
+          return cancelled();
         } catch (const exact::SearchLimitExceeded&) {
           return limit_exceeded(r.node_budget);
         }
@@ -96,11 +105,14 @@ void register_exact_solvers(SolverRegistry& registry) {
         options.enumerate_modes = r.objective == Objective::Energy ||
                                   r.constraints.energy_budget.has_value();
         options.node_limit = r.node_budget;
+        options.cancel = r.cancel;
         try {
           return from_exact(p, r.objective,
                             exact::exact_minimize(p, options,
                                                   to_exact_objective(r.objective),
                                                   r.constraints));
+        } catch (const exact::SearchCancelled&) {
+          return cancelled();
         } catch (const exact::SearchLimitExceeded&) {
           return limit_exceeded(r.node_budget);
         }

@@ -10,6 +10,7 @@
 
 #include "api/adapters.hpp"
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -69,6 +70,23 @@ SolveResult heuristic_infeasible(const char* what) {
   return result;
 }
 
+/// Budget-check predicate shared by the rungs: the request's cancel token
+/// or its wall-clock budget, measured from `watch`.
+std::function<bool()> stop_check(const SolveRequest& request,
+                                 const util::Stopwatch& watch) {
+  return [&request, &watch] {
+    return request.cancel.cancelled() ||
+           (request.time_budget_seconds &&
+            watch.elapsed_seconds() > *request.time_budget_seconds);
+  };
+}
+
+/// A cancellation observed without any feasible incumbent: typed like a
+/// blown budget, never Infeasible (nothing was proved).
+SolveResult ladder_cancelled() {
+  return detail::cancelled("cancel token fired before any incumbent");
+}
+
 /// Feasible-or-infeasible classification of one constructed mapping.
 SolveResult classify(const core::Problem& problem, const SolveRequest& request,
                      core::Mapping mapping) {
@@ -94,10 +112,9 @@ std::string fmt(double v) {
 SolveResult run_ladder(const core::Problem& problem,
                        const SolveRequest& request) {
   const util::Stopwatch watch;
-  const auto out_of_time = [&] {
-    return request.time_budget_seconds &&
-           watch.elapsed_seconds() > *request.time_budget_seconds;
-  };
+  // One combined budget check — wall-clock and cancellation — consulted
+  // between rungs here and inside each rung's iteration loop.
+  const std::function<bool()> out_of_budget = stop_check(request, watch);
   const heuristics::Goal goal = to_goal(request.objective);
   // The shared neighbourhood's split/merge moves leave the one-to-one
   // family, so for OneToOne requests the ladder stops after the
@@ -139,7 +156,7 @@ SolveResult run_ladder(const core::Problem& problem,
   // Energy goal: trade the performance slack of the max-speed start for
   // energy before searching — scale_down_speeds needs a feasible mapping.
   if (request.objective == Objective::Energy && start_feasible &&
-      !out_of_time()) {
+      !out_of_budget()) {
     const auto scaled =
         heuristics::scale_down_speeds(problem, current, request.constraints);
     current = scaled.mapping;
@@ -147,26 +164,36 @@ SolveResult run_ladder(const core::Problem& problem,
   }
 
   // Local search strictly improves from a feasible start only.
-  if (search_rungs && start_feasible && !out_of_time()) {
+  if (search_rungs && start_feasible && !out_of_budget()) {
+    heuristics::LocalSearchOptions options;
+    options.should_stop = out_of_budget;
     const auto improved = heuristics::local_search(problem, *best, goal,
-                                                   request.constraints);
+                                                   request.constraints, options);
     current = improved.mapping;
     consider(current, "local-search");
   }
 
   // Annealing explores from any start, feasible or not.
-  if (search_rungs && !out_of_time()) {
+  if (search_rungs && !out_of_budget()) {
     util::Rng rng(request.seed);
+    heuristics::AnnealingOptions options;
+    options.should_stop = out_of_budget;
     const auto annealed = heuristics::simulated_annealing(
-        problem, current, goal, request.constraints, rng);
+        problem, current, goal, request.constraints, rng, options);
     if (annealed.value < kInf) consider(annealed.mapping, "annealing");
-  } else if (out_of_time()) {
-    result.diagnostics.emplace_back("budget", "time budget exhausted");
+  } else if (out_of_budget()) {
+    result.diagnostics.emplace_back(
+        "budget", request.cancel.cancelled() ? "cancelled" : "time budget exhausted");
   }
 
   if (!best) {
+    // Distinguish "searched and found nothing feasible" from "was told to
+    // stop": only the former may claim (heuristic) infeasibility.
     SolveResult failed =
-        heuristic_infeasible("no rung found a constraint-satisfying mapping");
+        request.cancel.cancelled()
+            ? ladder_cancelled()
+            : heuristic_infeasible(
+                  "no rung found a constraint-satisfying mapping");
     failed.diagnostics.insert(failed.diagnostics.begin(),
                               result.diagnostics.begin(),
                               result.diagnostics.end());
@@ -252,8 +279,11 @@ void register_heuristic_solvers(SolverRegistry& registry) {
               "constructive start violates the constraints; hill climbing "
               "cannot repair it");
         }
+        const util::Stopwatch watch;
+        heuristics::LocalSearchOptions options;
+        options.should_stop = stop_check(r, watch);
         const auto improved = heuristics::local_search(
-            p, *start, to_goal(r.objective), r.constraints);
+            p, *start, to_goal(r.objective), r.constraints, options);
         SolveResult result = detail::solved(p, r.objective, improved.mapping,
                                             /*optimal=*/false);
         result.diagnostics.emplace_back("steps", std::to_string(improved.steps));
@@ -275,8 +305,11 @@ void register_heuristic_solvers(SolverRegistry& registry) {
         if (!start) {
           return heuristic_infeasible("too few processors for a start");
         }
+        const util::Stopwatch watch;
+        heuristics::TabuOptions options;
+        options.should_stop = stop_check(r, watch);
         const auto searched = heuristics::tabu_search(
-            p, *start, to_goal(r.objective), r.constraints);
+            p, *start, to_goal(r.objective), r.constraints, options);
         if (searched.value == kInf) {
           return heuristic_infeasible("no feasible state visited");
         }
@@ -302,8 +335,11 @@ void register_heuristic_solvers(SolverRegistry& registry) {
           return heuristic_infeasible("too few processors for a start");
         }
         util::Rng rng(r.seed);
+        const util::Stopwatch watch;
+        heuristics::AnnealingOptions options;
+        options.should_stop = stop_check(r, watch);
         const auto annealed = heuristics::simulated_annealing(
-            p, *start, to_goal(r.objective), r.constraints, rng);
+            p, *start, to_goal(r.objective), r.constraints, rng, options);
         if (annealed.value == kInf) {
           return heuristic_infeasible("no feasible state visited");
         }

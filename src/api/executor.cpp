@@ -1,0 +1,122 @@
+#include "api/executor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/timing.hpp"
+
+namespace pipeopt::api {
+
+namespace {
+
+std::size_t resolve_jobs(std::size_t requested) {
+  if (requested > 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+Executor::Executor(ExecutorOptions options)
+    : Executor(default_registry(), options) {}
+
+Executor::Executor(const SolverRegistry& registry, ExecutorOptions options)
+    : registry_(&registry) {
+  const std::size_t jobs = resolve_jobs(options.jobs);
+  workers_.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t Executor::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + in_flight_;
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    std::packaged_task<SolveResult()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-on-shutdown: accepted jobs still run so their futures are
+      // always satisfied; only an empty queue ends the worker.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    job();  // packaged_task captures exceptions into the future
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+  }
+}
+
+std::future<SolveResult> Executor::enqueue(
+    std::packaged_task<SolveResult()> job) {
+  std::future<SolveResult> future = job.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+  return future;
+}
+
+std::future<SolveResult> Executor::solve_async(core::Problem problem,
+                                               SolveRequest request) {
+  return enqueue(std::packaged_task<SolveResult()>(
+      [registry = registry_, problem = std::move(problem),
+       request = std::move(request)] { return registry->solve(problem, request); }));
+}
+
+BatchResult Executor::solve_batch(std::span<const core::Problem> problems,
+                                  const SolveRequest& request) {
+  const util::Stopwatch watch;
+  BatchResult batch;
+  // The whole batch shares one request-level dispatch plan; each instance
+  // only binds (weights, applicability) and executes on the pool. Shared
+  // ownership keeps the plan alive until the last worker is done.
+  const auto dispatch =
+      std::make_shared<const DispatchPlan>(registry_->plan_request(request));
+  batch.dispatch_plans = 1;
+
+  std::vector<std::future<SolveResult>> futures;
+  futures.reserve(problems.size());
+  for (const core::Problem& problem : problems) {
+    futures.push_back(enqueue(std::packaged_task<SolveResult()>(
+        [dispatch, &problem] { return dispatch->bind(problem).execute(); })));
+  }
+  batch.results.reserve(futures.size());
+  for (auto& future : futures) batch.results.push_back(future.get());
+  batch.wall_seconds = watch.elapsed_seconds();
+  return batch;
+}
+
+Executor& default_executor() {
+  static Executor executor{ExecutorOptions{}};
+  return executor;
+}
+
+std::future<SolveResult> solve_async(core::Problem problem,
+                                     SolveRequest request) {
+  return default_executor().solve_async(std::move(problem), std::move(request));
+}
+
+BatchResult solve_batch(std::span<const core::Problem> problems,
+                        const SolveRequest& request) {
+  return default_executor().solve_batch(problems, request);
+}
+
+}  // namespace pipeopt::api

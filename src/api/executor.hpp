@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file executor.hpp
+/// Batch and asynchronous execution over the facade — the subsystem a
+/// service front end multiplexes requests through.
+///
+/// `Executor` owns a fixed pool of worker threads fed from one FIFO queue.
+/// Two entry points:
+///
+///  * `solve_batch(problems, request)` — solves many instances under one
+///    request, building the request-level `DispatchPlan` exactly once and
+///    binding it per instance on the pool. Results are bit-identical to
+///    per-call `api::solve` (same code path underneath), in input order.
+///  * `solve_async(problem, request)` — enqueues one solve and returns a
+///    `std::future<SolveResult>` immediately.
+///
+/// Cancellation is cooperative and caller-driven: put a
+/// `util::CancelSource`'s token into `request.cancel` before submitting,
+/// and `request_cancel()` whenever. Running solves observe it within one
+/// budget-check interval (`exact::kCancelCheckStride` nodes / one heuristic
+/// iteration) and come back as typed `SolveStatus::LimitExceeded` results
+/// with a "cancelled" diagnostic — futures never break, workers never die.
+///
+/// The destructor drains the queue (every accepted job still runs, so every
+/// future is satisfied) and joins the workers. `solve_batch` blocks and
+/// must not be called from one of this executor's own workers.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "api/registry.hpp"
+
+namespace pipeopt::api {
+
+struct ExecutorOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency (at least 1).
+  std::size_t jobs = 0;
+};
+
+/// Outcome of one `solve_batch` call.
+struct BatchResult {
+  /// One result per input problem, in input order.
+  std::vector<SolveResult> results;
+
+  /// Request-level dispatch plans built for the batch — 1 by construction,
+  /// exposed so tests and benches can assert the amortization happened.
+  std::size_t dispatch_plans = 0;
+
+  /// Wall-clock of the whole batch (planning + all executions).
+  double wall_seconds = 0.0;
+
+  /// True when every instance came back Optimal or Feasible.
+  [[nodiscard]] bool all_solved() const noexcept {
+    for (const auto& result : results) {
+      if (!result.solved()) return false;
+    }
+    return true;
+  }
+};
+
+/// Fixed worker pool with FIFO scheduling over one solver registry.
+class Executor {
+ public:
+  /// Pool over `default_registry()`.
+  explicit Executor(ExecutorOptions options = {});
+  /// Pool over a caller-owned registry (must outlive the executor).
+  Executor(const SolverRegistry& registry, ExecutorOptions options = {});
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return workers_.size(); }
+
+  /// Jobs accepted but not yet finished (queued + running).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// FIFO-enqueues one solve. The problem is copied into the job, so the
+  /// caller's instance may go away before the future resolves. The future
+  /// always yields a typed SolveResult — never an exception for infeasible,
+  /// cancelled or unsupported requests.
+  [[nodiscard]] std::future<SolveResult> solve_async(core::Problem problem,
+                                                     SolveRequest request);
+
+  /// Solves every instance under one request: one DispatchPlan for the
+  /// batch, one bind + execute per instance, fanned over the pool. Blocks
+  /// until all results are in. The problems span must stay valid for the
+  /// duration of the call (instances are NOT copied).
+  [[nodiscard]] BatchResult solve_batch(std::span<const core::Problem> problems,
+                                        const SolveRequest& request);
+
+ private:
+  void worker_loop();
+  std::future<SolveResult> enqueue(std::packaged_task<SolveResult()> job);
+
+  const SolverRegistry* registry_;
+  std::vector<std::thread> workers_;
+  // FIFO queue state, guarded by mutex_.
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::packaged_task<SolveResult()>> queue_;
+  std::size_t in_flight_ = 0;  ///< dequeued, still running
+  bool stopping_ = false;
+};
+
+/// Process-wide shared executor over `default_registry()` (hardware-sized
+/// pool, created on first use) — what the free functions below run on.
+[[nodiscard]] Executor& default_executor();
+
+/// `default_executor().solve_async(...)`.
+[[nodiscard]] std::future<SolveResult> solve_async(core::Problem problem,
+                                                   SolveRequest request);
+
+/// `default_executor().solve_batch(...)`.
+[[nodiscard]] BatchResult solve_batch(std::span<const core::Problem> problems,
+                                      const SolveRequest& request);
+
+}  // namespace pipeopt::api

@@ -1,0 +1,219 @@
+#include "api/plan.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "api/adapters.hpp"
+#include "api/registry.hpp"
+#include "api/solver.hpp"
+#include "util/numeric.hpp"
+#include "util/timing.hpp"
+
+namespace pipeopt::api {
+
+namespace {
+
+constexpr double kInf = util::kInfinity;
+
+SolveResult no_solver(std::string reason) {
+  SolveResult result;
+  result.status = SolveStatus::NoSolver;
+  result.value = kInf;
+  result.diagnostics.emplace_back("reason", std::move(reason));
+  return result;
+}
+
+/// Typed result of a cancellation observed by the plan itself (before or
+/// between candidates); solvers interrupted mid-run produce their own.
+SolveResult cancelled_result() {
+  return detail::cancelled("cancel token fired");
+}
+
+/// Per-application thresholds must match the instance; a mismatched request
+/// is a caller error reported as a typed status, not an exception.
+bool thresholds_match(const core::ConstraintSet& cs, std::size_t apps) {
+  if (cs.period && cs.period->size() != apps) return false;
+  if (cs.latency && cs.latency->size() != apps) return false;
+  return true;
+}
+
+/// Rebuilds an application with a new weight (Application is immutable).
+core::Application with_weight(const core::Application& app, double weight) {
+  return core::Application(
+      app.boundary_size(0),
+      std::vector<core::StageSpec>(app.stages().begin(), app.stages().end()),
+      weight, app.name());
+}
+
+}  // namespace
+
+DispatchPlan::DispatchPlan(const SolverRegistry& registry, SolveRequest request)
+    : registry_(&registry), request_(std::move(request)) {
+  if (request_.solver) {
+    forced_ = registry.find(*request_.solver);
+    forced_unknown_ = forced_ == nullptr;
+  } else {
+    ordered_ = registry.solvers();
+  }
+}
+
+SolvePlan::SolvePlan(const DispatchPlan& dispatch, const core::Problem& problem)
+    : request_(dispatch.request_), view_(&problem) {
+  if (!thresholds_match(request_.constraints, problem.application_count())) {
+    failure_ = no_solver("expected constraint thresholds sized for " +
+                         std::to_string(problem.application_count()) +
+                         " applications");
+    return;
+  }
+
+  // Eq. 6 weight resolution, done exactly once per plan. Energy is
+  // unweighted (§3.5) and Priority keeps the applications' stored weights,
+  // so both keep the caller's problem by reference — no copy; Unit and
+  // Stretch rebuild the applications with resolved W_a.
+  const bool fast_path = request_.weights == core::WeightPolicy::Priority ||
+                         request_.objective == Objective::Energy;
+  if (!fast_path) {
+    std::vector<core::Application> apps;
+    apps.reserve(problem.application_count());
+    if (request_.weights == core::WeightPolicy::Unit) {
+      for (const auto& app : problem.applications()) {
+        apps.push_back(with_weight(app, 1.0));
+      }
+    } else {
+      // Stretch: W_a = 1/X*_a where X*_a is a's solo optimum (§3.4). The
+      // solo optima run through the registry itself so stretch works on
+      // every platform class, not just cells with a closed-form solver.
+      for (std::size_t a = 0; a < problem.application_count(); ++a) {
+        core::Problem solo({with_weight(problem.application(a), 1.0)},
+                           problem.platform(), problem.comm_model());
+        SolveRequest solo_request;
+        solo_request.objective = request_.objective;
+        solo_request.kind = request_.kind;
+        solo_request.weights = core::WeightPolicy::Unit;  // no further recursion
+        solo_request.node_budget = request_.node_budget;
+        solo_request.time_budget_seconds = request_.time_budget_seconds;
+        solo_request.seed = request_.seed;
+        solo_request.cancel = request_.cancel;
+        const SolveResult solo_result =
+            dispatch.registry_->solve(solo, solo_request);
+        if (!solo_result.solved() || !(solo_result.value > 0.0)) {
+          if (request_.cancel.cancelled()) {
+            // A token firing during a solo solve says nothing about
+            // feasibility; keep the documented cancellation contract
+            // (typed LimitExceeded, "cancelled" diagnostic, CLI exit 1).
+            failure_ = cancelled_result();
+            failure_->diagnostics.emplace_back(
+                "stretch", "cancelled while solving application " +
+                               std::to_string(a) + "'s solo optimum");
+            return;
+          }
+          // An application that cannot be mapped even alone makes the whole
+          // instance infeasible — keep that status so the CLI exit-code
+          // contract (1 = infeasible, 2 = unusable request) holds.
+          failure_ =
+              no_solver("stretch weights: no solo optimum for application " +
+                        std::to_string(a) + " (" +
+                        to_string(solo_result.status) + ")");
+          if (solo_result.status == SolveStatus::Infeasible) {
+            failure_->status = SolveStatus::Infeasible;
+          }
+          return;
+        }
+        if (solo_result.status != SolveStatus::Optimal) {
+          // On an NP-hard cell past its budget the solo value is a heuristic
+          // upper bound, so W_a = 1/value underestimates the true stretch.
+          notes_.emplace_back("stretch",
+                              "solo value for application " +
+                                  std::to_string(a) + " is " +
+                                  to_string(solo_result.status) + " (" +
+                                  solo_result.solver + "), not proved optimal");
+        }
+        apps.push_back(
+            with_weight(problem.application(a), 1.0 / solo_result.value));
+      }
+    }
+    owned_ = std::make_shared<const core::Problem>(
+        std::move(apps), problem.platform(), problem.comm_model());
+    view_ = owned_.get();
+  }
+
+  platform_class_ = view_->platform().classify();
+
+  if (dispatch.forced_unknown_) {
+    failure_ = no_solver("unknown solver: " + *request_.solver);
+    return;
+  }
+  if (dispatch.forced_ != nullptr) {
+    if (!dispatch.forced_->applicable(*view_, request_)) {
+      failure_ = no_solver("solver " + *request_.solver +
+                           " is not applicable to this request (platform "
+                           "class, mapping kind or constraint shape mismatch)");
+      return;
+    }
+    forced_ = dispatch.forced_;
+    return;
+  }
+  // Capability filtering, done once: the auto-dispatch candidate list in
+  // (tier, rank, name) order.
+  for (const Solver* solver : dispatch.ordered_) {
+    if (solver->applicable(*view_, request_)) candidates_.push_back(solver);
+  }
+}
+
+SolveResult SolvePlan::execute() const { return execute(request_.cancel); }
+
+SolveResult SolvePlan::execute(util::CancelToken cancel) const {
+  const util::Stopwatch watch;
+  auto notes = notes_;
+  const auto finish = [&](SolveResult r) {
+    r.diagnostics.insert(r.diagnostics.end(), notes.begin(), notes.end());
+    r.wall_seconds = watch.elapsed_seconds();
+    return r;
+  };
+  // Planning failures carry the planning-time notes too (a stretch solo
+  // may have accumulated caveats before the failure).
+  if (failure_) return finish(*failure_);
+  if (cancel.cancelled()) return finish(cancelled_result());
+
+  // Solvers see the plan's request with this execution's token spliced in.
+  SolveRequest request = request_;
+  request.cancel = std::move(cancel);
+
+  if (forced_ != nullptr) {
+    SolveResult result = forced_->run(*view_, request);
+    result.solver = forced_->name();
+    return finish(std::move(result));
+  }
+
+  SolveResult result;
+  bool exact_budget_blown = false;
+  for (const Solver* candidate : candidates_) {
+    if (request.cancel.cancelled()) return finish(cancelled_result());
+    if (exact_budget_blown && candidate->info().tier == CostTier::Exact) {
+      // The exact engines share the node budget; once one exhausted it, a
+      // broader search over the same space is guaranteed to as well.
+      notes.emplace_back("skipped",
+                         candidate->name() + ": exact node budget exhausted");
+      continue;
+    }
+    result = candidate->run(*view_, request);
+    result.solver = candidate->name();
+    if (result.status == SolveStatus::LimitExceeded) {
+      // Cancellation also surfaces as LimitExceeded — but it aborts the
+      // whole solve rather than degrading to the next tier.
+      if (request.cancel.cancelled()) return finish(std::move(result));
+      // Degrade to the next tier (e.g. exact search out of budget falls
+      // through to the heuristic ladder); remember why.
+      notes.emplace_back("skipped", candidate->name() + ": budget exhausted");
+      if (candidate->info().tier == CostTier::Exact) exact_budget_blown = true;
+      continue;
+    }
+    return finish(std::move(result));
+  }
+  if (result.status != SolveStatus::LimitExceeded) {
+    result = no_solver("no registered solver matches this request");
+  }
+  return finish(std::move(result));
+}
+
+}  // namespace pipeopt::api

@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file plan.hpp
+/// The plan half of the facade's plan/execute split.
+///
+/// `SolverRegistry::solve` used to re-resolve Eq. 6 weights, re-run every
+/// capability predicate and re-rank candidates on each call — fine for one
+/// solve, wasteful for the service-scale traffic the ROADMAP targets. The
+/// split factors that work into two immutable, reusable plan objects:
+///
+///  * `DispatchPlan` — the problem-independent half, built once per
+///    `SolveRequest`: a validated request copy, the forced solver resolved
+///    by name (or its typed failure), and a snapshot of the registry's
+///    dispatch-ordered solver table. One DispatchPlan serves a whole batch.
+///  * `SolvePlan` — a DispatchPlan bound to one instance: Eq. 6 weights
+///    resolved exactly once (including the Stretch policy's solo solves),
+///    the applicable-candidate list filtered once, and platform metadata
+///    (class, modality) classified once. `execute()` then only runs
+///    solvers; it can be called any number of times, from any thread, and
+///    always reproduces what a fresh `SolverRegistry::solve` would return.
+///
+/// Lifetimes: a plan stores raw pointers into the registry it came from and
+/// — on the fast path where no weight rebuild is needed — a pointer to the
+/// caller's problem instead of a copy. Both must outlive the plan.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/request.hpp"
+#include "api/result.hpp"
+#include "core/problem.hpp"
+#include "util/cancel.hpp"
+
+namespace pipeopt::api {
+
+class Solver;
+class SolverRegistry;
+class DispatchPlan;
+
+/// A DispatchPlan bound to one problem instance: everything per-solve
+/// dispatch work done once, ready to execute many times. Immutable after
+/// construction and safe to execute concurrently from several threads.
+class SolvePlan {
+ public:
+  SolvePlan(SolvePlan&&) = default;
+  SolvePlan& operator=(SolvePlan&&) = default;
+
+  /// Runs the plan once using the request's own cancel token; the same
+  /// typed-result contract as `SolverRegistry::solve`, minus the planning
+  /// cost. `wall_seconds` covers this execution only.
+  [[nodiscard]] SolveResult execute() const;
+
+  /// Runs the plan once with `cancel` in place of the request's token —
+  /// the plan-reuse idiom: one plan, a fresh token per execution.
+  [[nodiscard]] SolveResult execute(util::CancelToken cancel) const;
+
+  /// The resolved problem solvers run on. On the Priority/Energy fast path
+  /// this is the caller's instance itself (no copy was made); under the
+  /// Unit/Stretch policies it is the plan-owned reweighted rebuild.
+  [[nodiscard]] const core::Problem& problem() const noexcept { return *view_; }
+
+  /// True when planning kept the caller's problem by reference instead of
+  /// rebuilding it (the Priority/Energy fast path).
+  [[nodiscard]] bool borrows_problem() const noexcept { return !owned_; }
+
+  [[nodiscard]] const SolveRequest& request() const noexcept { return request_; }
+
+  /// Auto-dispatch candidates in execution order (empty when a solver is
+  /// forced or planning failed).
+  [[nodiscard]] std::span<const Solver* const> candidates() const noexcept {
+    return candidates_;
+  }
+
+  /// The forced solver, when the request names one that exists and applies.
+  [[nodiscard]] const Solver* forced() const noexcept { return forced_; }
+
+  /// False when planning itself already produced a typed failure (unknown
+  /// or inapplicable forced solver, mismatched thresholds, no stretch solo
+  /// optimum); execute() then returns that failure.
+  [[nodiscard]] bool viable() const noexcept { return !failure_.has_value(); }
+
+  /// Platform classification, computed once at bind time.
+  [[nodiscard]] core::PlatformClass platform_class() const noexcept {
+    return platform_class_;
+  }
+
+ private:
+  friend class DispatchPlan;
+  SolvePlan(const DispatchPlan& dispatch, const core::Problem& problem);
+
+  SolveRequest request_;
+  /// Plan-owned reweighted problem; null on the fast path. A shared_ptr so
+  /// moving the plan never invalidates `view_`.
+  std::shared_ptr<const core::Problem> owned_;
+  const core::Problem* view_ = nullptr;
+  const Solver* forced_ = nullptr;
+  std::vector<const Solver*> candidates_;
+  /// Planning-time diagnostics (stretch solo caveats), appended to every
+  /// execution's result.
+  std::vector<std::pair<std::string, std::string>> notes_;
+  std::optional<SolveResult> failure_;
+  core::PlatformClass platform_class_ = core::PlatformClass::FullyHomogeneous;
+};
+
+/// The problem-independent half of a plan: one validated request, resolved
+/// against a registry's solver table. Built by
+/// `SolverRegistry::plan_request`; `bind` it to each instance. Immutable
+/// and safe to bind from several threads — `api::Executor::solve_batch`
+/// builds exactly one per batch.
+class DispatchPlan {
+ public:
+  DispatchPlan(DispatchPlan&&) = default;
+  DispatchPlan& operator=(DispatchPlan&&) = default;
+  DispatchPlan(const DispatchPlan&) = default;
+  DispatchPlan& operator=(const DispatchPlan&) = default;
+
+  /// Binds the dispatch state to one instance: resolves weights, filters
+  /// candidates, classifies the platform. The problem (and the registry
+  /// this plan came from) must outlive the returned SolvePlan.
+  [[nodiscard]] SolvePlan bind(const core::Problem& problem) const {
+    return SolvePlan(*this, problem);
+  }
+
+  [[nodiscard]] const SolveRequest& request() const noexcept { return request_; }
+
+ private:
+  friend class SolverRegistry;
+  friend class SolvePlan;
+  DispatchPlan(const SolverRegistry& registry, SolveRequest request);
+
+  const SolverRegistry* registry_;
+  SolveRequest request_;
+  const Solver* forced_ = nullptr;   ///< resolved once for the whole batch
+  bool forced_unknown_ = false;      ///< request named a non-existent solver
+  std::vector<const Solver*> ordered_;  ///< dispatch-ordered solver snapshot
+};
+
+}  // namespace pipeopt::api

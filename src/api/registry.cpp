@@ -5,14 +5,11 @@
 #include <utility>
 
 #include "api/adapters.hpp"
-#include "util/numeric.hpp"
 #include "util/timing.hpp"
 
 namespace pipeopt::api {
 
 namespace {
-
-constexpr double kInf = util::kInfinity;
 
 /// Dispatch order: cheapest tier first, then rank, then name (total order so
 /// dispatch is deterministic regardless of registration order). `solvers_`
@@ -23,30 +20,6 @@ bool dispatch_before(const Solver* a, const Solver* b) {
   if (ia.tier != ib.tier) return ia.tier < ib.tier;
   if (ia.rank != ib.rank) return ia.rank < ib.rank;
   return ia.name < ib.name;
-}
-
-SolveResult no_solver(std::string reason) {
-  SolveResult result;
-  result.status = SolveStatus::NoSolver;
-  result.value = kInf;
-  result.diagnostics.emplace_back("reason", std::move(reason));
-  return result;
-}
-
-/// Per-application thresholds must match the instance; a mismatched request
-/// is a caller error reported as a typed status, not an exception.
-bool thresholds_match(const core::ConstraintSet& cs, std::size_t apps) {
-  if (cs.period && cs.period->size() != apps) return false;
-  if (cs.latency && cs.latency->size() != apps) return false;
-  return true;
-}
-
-/// Rebuilds an application with a new weight (Application is immutable).
-core::Application with_weight(const core::Application& app, double weight) {
-  return core::Application(
-      app.boundary_size(0),
-      std::vector<core::StageSpec>(app.stages().begin(), app.stages().end()),
-      weight, app.name());
 }
 
 }  // namespace
@@ -95,127 +68,23 @@ std::vector<const Solver*> SolverRegistry::candidates(
   return out;
 }
 
-std::optional<core::Problem> SolverRegistry::weighted_problem(
-    const core::Problem& problem, const SolveRequest& request,
-    SolveResult& failure,
-    std::vector<std::pair<std::string, std::string>>& notes) const {
-  // Energy is unweighted (§3.5); only the weighted maxima of Eq. 6 care.
-  if (request.weights == core::WeightPolicy::Priority ||
-      request.objective == Objective::Energy) {
-    return problem;
-  }
-  std::vector<core::Application> apps;
-  apps.reserve(problem.application_count());
-  if (request.weights == core::WeightPolicy::Unit) {
-    for (const auto& app : problem.applications()) {
-      apps.push_back(with_weight(app, 1.0));
-    }
-    return core::Problem(std::move(apps), problem.platform(),
-                         problem.comm_model());
-  }
-  // Stretch: W_a = 1/X*_a where X*_a is a's solo optimum (§3.4). The solo
-  // optima are computed through this registry so stretch works on every
-  // platform class, not just the cells with a closed-form solo solver.
-  for (std::size_t a = 0; a < problem.application_count(); ++a) {
-    core::Problem solo({with_weight(problem.application(a), 1.0)},
-                       problem.platform(), problem.comm_model());
-    SolveRequest solo_request;
-    solo_request.objective = request.objective;
-    solo_request.kind = request.kind;
-    solo_request.weights = core::WeightPolicy::Unit;  // no further recursion
-    solo_request.node_budget = request.node_budget;
-    solo_request.time_budget_seconds = request.time_budget_seconds;
-    solo_request.seed = request.seed;
-    const SolveResult solo_result = solve(solo, solo_request);
-    if (!solo_result.solved() || !(solo_result.value > 0.0)) {
-      // An application that cannot be mapped even alone makes the whole
-      // instance infeasible — keep that status so the CLI exit-code
-      // contract (1 = infeasible, 2 = unusable request) holds.
-      failure = no_solver("stretch weights: no solo optimum for application " +
-                          std::to_string(a) + " (" +
-                          to_string(solo_result.status) + ")");
-      if (solo_result.status == SolveStatus::Infeasible) {
-        failure.status = SolveStatus::Infeasible;
-      }
-      return std::nullopt;
-    }
-    if (solo_result.status != SolveStatus::Optimal) {
-      // On an NP-hard cell past its budget the solo value is a heuristic
-      // upper bound, so W_a = 1/value underestimates the true stretch.
-      notes.emplace_back("stretch",
-                         "solo value for application " + std::to_string(a) +
-                             " is " + to_string(solo_result.status) + " (" +
-                             solo_result.solver + "), not proved optimal");
-    }
-    apps.push_back(with_weight(problem.application(a), 1.0 / solo_result.value));
-  }
-  return core::Problem(std::move(apps), problem.platform(), problem.comm_model());
+DispatchPlan SolverRegistry::plan_request(SolveRequest request) const {
+  return DispatchPlan(*this, std::move(request));
+}
+
+SolvePlan SolverRegistry::plan(const core::Problem& problem,
+                               const SolveRequest& request) const {
+  return plan_request(request).bind(problem);
 }
 
 SolveResult SolverRegistry::solve(const core::Problem& problem,
                                   const SolveRequest& request) const {
   const util::Stopwatch watch;
-  SolveResult result;
-  const auto finish = [&](SolveResult r) {
-    r.wall_seconds = watch.elapsed_seconds();
-    return r;
-  };
-  if (!thresholds_match(request.constraints, problem.application_count())) {
-    return finish(no_solver(
-        "expected constraint thresholds sized for " +
-        std::to_string(problem.application_count()) + " applications"));
-  }
-
-  std::vector<std::pair<std::string, std::string>> notes;
-  const std::optional<core::Problem> weighted =
-      weighted_problem(problem, request, result, notes);
-  if (!weighted) return finish(std::move(result));
-
-  if (request.solver) {
-    const Solver* forced = find(*request.solver);
-    if (forced == nullptr) {
-      result = no_solver("unknown solver: " + *request.solver);
-    } else if (!forced->applicable(*weighted, request)) {
-      result = no_solver("solver " + *request.solver +
-                         " is not applicable to this request (platform "
-                         "class, mapping kind or constraint shape mismatch)");
-    } else {
-      result = forced->run(*weighted, request);
-      result.solver = forced->name();
-    }
-    result.diagnostics.insert(result.diagnostics.end(), notes.begin(),
-                              notes.end());
-    return finish(std::move(result));
-  }
-
-  bool exact_budget_blown = false;
-  for (const Solver* candidate : candidates(*weighted, request)) {
-    if (exact_budget_blown && candidate->info().tier == CostTier::Exact) {
-      // The exact engines share the node budget; once one exhausted it, a
-      // broader search over the same space is guaranteed to as well.
-      notes.emplace_back("skipped",
-                         candidate->name() + ": exact node budget exhausted");
-      continue;
-    }
-    result = candidate->run(*weighted, request);
-    result.solver = candidate->name();
-    if (result.status == SolveStatus::LimitExceeded) {
-      // Degrade to the next tier (e.g. exact search out of budget falls
-      // through to the heuristic ladder); remember why.
-      notes.emplace_back("skipped", candidate->name() + ": budget exhausted");
-      if (candidate->info().tier == CostTier::Exact) exact_budget_blown = true;
-      continue;
-    }
-    result.diagnostics.insert(result.diagnostics.end(), notes.begin(),
-                              notes.end());
-    return finish(std::move(result));
-  }
-  if (result.status != SolveStatus::LimitExceeded) {
-    result = no_solver("no registered solver matches this request");
-  }
-  result.diagnostics.insert(result.diagnostics.end(), notes.begin(),
-                            notes.end());
-  return finish(std::move(result));
+  SolveResult result = plan(problem, request).execute();
+  // One-shot calls report planning (weight resolution, capability
+  // filtering) and execution as one wall time, as before the split.
+  result.wall_seconds = watch.elapsed_seconds();
+  return result;
 }
 
 const SolverRegistry& default_registry() {

@@ -12,6 +12,12 @@
 /// ladder last. A solver that exhausts its budget (LimitExceeded) is skipped
 /// and the degradation continues; the skip is recorded in diagnostics.
 ///
+/// `solve` is itself just plan + execute: `plan_request(request)` resolves
+/// the problem-independent dispatch state once, `bind(problem)` resolves
+/// weights and applicability once per instance, and the resulting
+/// `SolvePlan` can be executed any number of times (see plan.hpp). Sweeps
+/// and services amortize through those; `solve` stays the one-shot path.
+///
 /// `default_registry()` carries every optimizer in the library;
 /// `api::solve` is the one-call facade over it.
 
@@ -21,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/plan.hpp"
 #include "api/solver.hpp"
 
 namespace pipeopt::api {
@@ -45,24 +52,28 @@ class SolverRegistry {
   [[nodiscard]] std::vector<const Solver*> candidates(
       const core::Problem& problem, const SolveRequest& request) const;
 
-  /// Solves the request; see file comment. Never throws for infeasible or
-  /// unsupported requests — those come back as typed statuses.
+  /// Resolves the problem-independent dispatch state for one request:
+  /// forced-solver lookup and the dispatch-ordered solver snapshot. Build
+  /// it once per request shape and `bind` it to each instance — this is
+  /// what `Executor::solve_batch` shares across a whole batch. The
+  /// registry must outlive the plan.
+  [[nodiscard]] DispatchPlan plan_request(SolveRequest request) const;
+
+  /// One-call planning: plan_request + bind. The problem and registry must
+  /// outlive the returned plan (on the Priority/Energy fast path the plan
+  /// holds the caller's problem by reference, not a copy).
+  [[nodiscard]] SolvePlan plan(const core::Problem& problem,
+                               const SolveRequest& request) const;
+
+  /// Solves the request; see file comment. Exactly plan + execute. Never
+  /// throws for infeasible or unsupported requests — those come back as
+  /// typed statuses.
   [[nodiscard]] SolveResult solve(const core::Problem& problem,
                                   const SolveRequest& request) const;
 
   [[nodiscard]] std::size_t size() const noexcept { return solvers_.size(); }
 
  private:
-  /// Applies request.weights, rebuilding applications with resolved W_a.
-  /// Stretch solo optima are computed through this registry itself; when a
-  /// solo solve is not provably optimal (NP-hard cell past its budget), the
-  /// approximation is recorded in `notes` and surfaces in the result's
-  /// diagnostics.
-  [[nodiscard]] std::optional<core::Problem> weighted_problem(
-      const core::Problem& problem, const SolveRequest& request,
-      SolveResult& failure,
-      std::vector<std::pair<std::string, std::string>>& notes) const;
-
   std::vector<std::unique_ptr<Solver>> solvers_;
 };
 

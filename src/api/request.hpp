@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/objectives.hpp"
+#include "util/cancel.hpp"
 
 namespace pipeopt::api {
 
@@ -69,6 +70,16 @@ struct SolveRequest {
   /// Seed for stochastic solvers (annealing); fixed default keeps results
   /// reproducible run to run.
   std::uint64_t seed = 42;
+
+  /// Cooperative cancellation, polled by exact search every
+  /// `exact::kCancelCheckStride` nodes and by the heuristic ladder between
+  /// iterations. A fired token makes the solve return a typed
+  /// SolveStatus::LimitExceeded with a "cancelled" diagnostic and no
+  /// mapping — except the heuristic ladder, which still returns a feasible
+  /// incumbent it found before the token fired (an interrupted exact
+  /// search proves nothing, so its partial incumbent is withheld).
+  /// Default: never cancels.
+  util::CancelToken cancel;
 };
 
 }  // namespace pipeopt::api

@@ -18,6 +18,7 @@ struct BranchBound {
   const Problem& problem;
   const MappingKind kind;
   const std::uint64_t node_limit;
+  const util::CancelToken cancel;
 
   EnumerationStats stats;
   std::vector<IntervalAssignment> placed;
@@ -31,8 +32,9 @@ struct BranchBound {
   // entry per placed interval for O(1) undo.
   std::vector<double> finalized_max;
 
-  explicit BranchBound(const Problem& p, MappingKind k, std::uint64_t limit)
-      : problem(p), kind(k), node_limit(limit) {
+  BranchBound(const Problem& p, MappingKind k, std::uint64_t limit,
+              util::CancelToken token)
+      : problem(p), kind(k), node_limit(limit), cancel(std::move(token)) {
     proc_used.assign(p.platform().processor_count(), 0);
     procs_fast_first = p.platform().processors_by_max_speed_desc();
     suffix_max_w.resize(p.application_count());
@@ -100,6 +102,9 @@ struct BranchBound {
 
   void recurse(std::size_t app, std::size_t stage) {
     if (++stats.nodes > node_limit) throw SearchLimitExceeded{};
+    if (stats.nodes % kCancelCheckStride == 0 && cancel.cancelled()) {
+      throw SearchCancelled{};
+    }
     if (app == problem.application_count()) {
       // Complete: the last interval of the last app was finalized on
       // placement (sink out-comm), so finalized_max.back() is the value.
@@ -158,8 +163,9 @@ struct BranchBound {
 
 std::optional<ExactResult> branch_bound_min_period(const Problem& problem,
                                                    MappingKind kind,
-                                                   std::uint64_t node_limit) {
-  BranchBound search(problem, kind, node_limit);
+                                                   std::uint64_t node_limit,
+                                                   util::CancelToken cancel) {
+  BranchBound search(problem, kind, node_limit, std::move(cancel));
   search.run();
   if (!search.best_mapping) return std::nullopt;
   ExactResult result;

@@ -26,9 +26,10 @@ namespace pipeopt::exact {
 
 /// Branch-and-bound minimum of max_a W_a·T_a (processors at maximum speed).
 /// Works on every platform class and both communication models.
-/// \throws SearchLimitExceeded past node_limit.
+/// \throws SearchLimitExceeded past node_limit; SearchCancelled when the
+/// token fires (polled every kCancelCheckStride nodes).
 [[nodiscard]] std::optional<ExactResult> branch_bound_min_period(
     const core::Problem& problem, MappingKind kind,
-    std::uint64_t node_limit = 2'000'000'000);
+    std::uint64_t node_limit = 2'000'000'000, util::CancelToken cancel = {});
 
 }  // namespace pipeopt::exact

@@ -24,6 +24,9 @@ struct Searcher {
 
   void recurse(std::size_t app, std::size_t stage) {
     if (++stats.nodes > options.node_limit) throw SearchLimitExceeded{};
+    if (stats.nodes % kCancelCheckStride == 0 && options.cancel.cancelled()) {
+      throw SearchCancelled{};
+    }
     if (app == problem.application_count()) {
       ++stats.complete;
       visit(placed);

@@ -21,6 +21,7 @@
 
 #include "core/mapping.hpp"
 #include "core/problem.hpp"
+#include "util/cancel.hpp"
 
 namespace pipeopt::exact {
 
@@ -39,13 +40,32 @@ struct EnumerationOptions {
   bool enumerate_modes = false;
   /// Upper bound on recursion nodes; exceeded -> SearchLimitExceeded.
   std::uint64_t node_limit = 100'000'000;
+  /// Cooperative cancellation, polled every `kCancelCheckStride` nodes;
+  /// fired -> SearchCancelled. Default token never cancels.
+  util::CancelToken cancel;
 };
+
+/// How many recursion nodes the exact engines visit between cancellation
+/// polls — the "budget check interval" a cancel is honored within.
+inline constexpr std::uint64_t kCancelCheckStride = 1024;
 
 /// Thrown when the enumeration exceeds its node budget.
 class SearchLimitExceeded : public std::runtime_error {
  public:
   SearchLimitExceeded()
       : std::runtime_error("pipeopt::exact enumeration node limit exceeded") {}
+
+ protected:
+  explicit SearchLimitExceeded(const char* what) : std::runtime_error(what) {}
+};
+
+/// Thrown when the caller's CancelToken fires mid-search. Derives from
+/// SearchLimitExceeded so call sites that only know about bounded search
+/// keep treating a cancelled run as one that hit its budget.
+class SearchCancelled : public SearchLimitExceeded {
+ public:
+  SearchCancelled()
+      : SearchLimitExceeded("pipeopt::exact search cancelled") {}
 };
 
 /// Statistics of one enumeration run.

@@ -58,6 +58,7 @@ AnnealingResult simulated_annealing(const core::Problem& problem,
 
   double temperature = options.initial_temperature;
   for (std::size_t it = 0; it < options.iterations; ++it) {
+    if (options.should_stop && options.should_stop()) break;
     const auto candidate = random_neighbour(problem, current, rng);
     if (!candidate) break;
     const core::Metrics m = core::evaluate(problem, *candidate, false);

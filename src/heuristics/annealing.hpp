@@ -7,6 +7,7 @@
 /// during the walk via a penalty term so the search can cross infeasible
 /// ridges, but only feasible states are recorded as incumbents.
 
+#include <functional>
 #include <optional>
 
 #include "core/mapping.hpp"
@@ -23,6 +24,9 @@ struct AnnealingOptions {
   double initial_temperature = 1.0;  ///< relative to the start's goal value
   double cooling = 0.995;            ///< geometric factor per iteration
   double penalty = 10.0;             ///< weight of relative constraint violation
+  /// Polled every iteration; returning true ends the walk with the best
+  /// feasible incumbent so far (time budgets, cancellation). Null = never.
+  std::function<bool()> should_stop;
 };
 
 /// Annealing outcome; `value` is +inf when no feasible state was ever seen.

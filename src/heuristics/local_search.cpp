@@ -31,6 +31,7 @@ LocalSearchResult local_search(const core::Problem& problem,
   result.value = goal_value(goal, metrics);
 
   while (result.steps < options.max_steps) {
+    if (options.should_stop && options.should_stop()) break;
     core::Mapping best_neighbour;
     double best_value = result.value;
     bool improved = false;

@@ -24,6 +24,9 @@ enum class Goal { Period, Latency, Energy };
 /// Search controls.
 struct LocalSearchOptions {
   std::size_t max_steps = 200;  ///< cap on accepted improvements
+  /// Polled before every step; returning true ends the search with the best
+  /// mapping found so far (time budgets, cancellation). Null = never stop.
+  std::function<bool()> should_stop;
 };
 
 /// Search outcome.

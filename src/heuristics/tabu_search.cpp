@@ -77,6 +77,7 @@ TabuResult tabu_search(const core::Problem& problem, const core::Mapping& start,
   push_tabu(signature(current));
 
   for (std::size_t it = 0; it < options.iterations; ++it) {
+    if (options.should_stop && options.should_stop()) break;
     core::Mapping best_neighbour;
     core::Metrics best_metrics;
     double best_score = util::kInfinity;

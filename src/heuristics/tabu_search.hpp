@@ -7,6 +7,8 @@
 /// climbing (cheap, myopic) and simulated annealing (stochastic) in the
 /// §6 heuristic ladder; deterministic given its options.
 
+#include <functional>
+
 #include "core/mapping.hpp"
 #include "core/objectives.hpp"
 #include "core/problem.hpp"
@@ -18,6 +20,9 @@ namespace pipeopt::heuristics {
 struct TabuOptions {
   std::size_t iterations = 300;  ///< total moves taken
   std::size_t tenure = 25;       ///< signatures kept tabu
+  /// Polled every iteration; returning true ends the search with the best
+  /// feasible incumbent so far (time budgets, cancellation). Null = never.
+  std::function<bool()> should_stop;
 };
 
 /// Tabu outcome; `value` is +inf when no feasible state was ever seen.

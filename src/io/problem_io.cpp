@@ -1,7 +1,9 @@
 #include "io/problem_io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "util/table.hpp"
@@ -160,6 +162,168 @@ core::Problem load_problem(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open '" + path + "'");
   return parse_problem(in);
+}
+
+namespace {
+
+/// Parses one JSON string literal starting at in[pos] == '"'; advances pos
+/// past the closing quote. Supports the standard escapes plus ASCII \uXXXX.
+std::string json_string(const std::string& in, std::size_t& pos,
+                        std::size_t line_no) {
+  if (pos >= in.size() || in[pos] != '"') {
+    throw ParseError(line_no, "expected '\"'");
+  }
+  ++pos;
+  std::string out;
+  while (pos < in.size() && in[pos] != '"') {
+    char c = in[pos++];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (pos >= in.size()) throw ParseError(line_no, "dangling escape");
+    const char esc = in[pos++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (pos + 4 > in.size()) throw ParseError(line_no, "bad \\u escape");
+        const std::string hex = in.substr(pos, 4);
+        pos += 4;
+        unsigned code = 0;
+        for (const char h : hex) {
+          if (!std::isxdigit(static_cast<unsigned char>(h))) {
+            throw ParseError(line_no, "bad \\u escape '" + hex + "'");
+          }
+          code = code * 16 + static_cast<unsigned>(
+                                 h <= '9'   ? h - '0'
+                                 : h <= 'F' ? h - 'A' + 10
+                                            : h - 'a' + 10);
+        }
+        if (code > 0x7F) {
+          throw ParseError(line_no,
+                           "unsupported \\u escape '" + hex + "' (ASCII only)");
+        }
+        out += static_cast<char>(code);
+        break;
+      }
+      default:
+        throw ParseError(line_no, std::string("unknown escape '\\") + esc + "'");
+    }
+  }
+  if (pos >= in.size()) throw ParseError(line_no, "unterminated string");
+  ++pos;  // closing quote
+  return out;
+}
+
+void skip_spaces(const std::string& in, std::size_t& pos) {
+  while (pos < in.size() && (in[pos] == ' ' || in[pos] == '\t' ||
+                             in[pos] == '\r')) {
+    ++pos;
+  }
+}
+
+/// Parses one flat JSON object of string values: {"key": "value", ...}.
+std::vector<std::pair<std::string, std::string>> json_object(
+    const std::string& line, std::size_t line_no) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::size_t pos = 0;
+  skip_spaces(line, pos);
+  if (pos >= line.size() || line[pos] != '{') {
+    throw ParseError(line_no, "expected a JSON object");
+  }
+  ++pos;
+  skip_spaces(line, pos);
+  if (pos < line.size() && line[pos] == '}') {
+    ++pos;
+  } else {
+    for (;;) {
+      std::string key = json_string(line, pos, line_no);
+      skip_spaces(line, pos);
+      if (pos >= line.size() || line[pos] != ':') {
+        throw ParseError(line_no, "expected ':' after key '" + key + "'");
+      }
+      ++pos;
+      skip_spaces(line, pos);
+      std::string value = json_string(line, pos, line_no);
+      fields.emplace_back(std::move(key), std::move(value));
+      skip_spaces(line, pos);
+      if (pos < line.size() && line[pos] == ',') {
+        ++pos;
+        skip_spaces(line, pos);
+        continue;
+      }
+      if (pos < line.size() && line[pos] == '}') {
+        ++pos;
+        break;
+      }
+      throw ParseError(line_no, "expected ',' or '}'");
+    }
+  }
+  skip_spaces(line, pos);
+  if (pos != line.size()) {
+    throw ParseError(line_no, "trailing characters after the object");
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::vector<core::Problem> parse_batch_jsonl(std::istream& in,
+                                             const std::string& base_dir) {
+  std::vector<core::Problem> problems;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    bool blank = true;
+    for (const char c : line) blank &= c == ' ' || c == '\t' || c == '\r';
+    if (blank) continue;
+    const auto fields = json_object(line, line_no);
+    std::string path, inline_text;
+    for (const auto& [key, value] : fields) {
+      if (key == "path") {
+        path = value;
+      } else if (key == "problem") {
+        inline_text = value;
+      } else {
+        throw ParseError(line_no, "unknown key '" + key +
+                                      "' (expected \"path\" or \"problem\")");
+      }
+    }
+    if (path.empty() == inline_text.empty()) {
+      throw ParseError(line_no,
+                       "exactly one of \"path\" or \"problem\" is required");
+    }
+    try {
+      if (!path.empty()) {
+        if (!base_dir.empty() && path.front() != '/') {
+          path = base_dir + "/" + path;
+        }
+        problems.push_back(load_problem(path));
+      } else {
+        problems.push_back(parse_problem_string(inline_text));
+      }
+    } catch (const std::exception& e) {
+      throw ParseError(line_no, std::string("instance error: ") + e.what());
+    }
+  }
+  return problems;
+}
+
+std::vector<core::Problem> load_batch(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  const auto slash = path.find_last_of('/');
+  return parse_batch_jsonl(in,
+                           slash == std::string::npos ? std::string()
+                                                      : path.substr(0, slash));
 }
 
 std::string format_problem(const core::Problem& problem) {

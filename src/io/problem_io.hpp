@@ -23,6 +23,7 @@
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/problem.hpp"
 
@@ -43,6 +44,25 @@ class ParseError : public std::runtime_error {
 
 /// Parses from a file. \throws std::runtime_error when unreadable.
 [[nodiscard]] core::Problem load_problem(const std::string& path);
+
+/// Parses a JSONL batch: one JSON object per line, blank lines skipped.
+/// Each object names one instance, either by file or inline:
+///
+/// ```jsonl
+/// {"path": "instances/grid_a.txt"}
+/// {"problem": "comm overlap\nbandwidth 1\nprocessor P1 speeds=1\n..."}
+/// ```
+///
+/// Relative "path" entries resolve against `base_dir` (the JSONL file's own
+/// directory in `load_batch`). Only flat objects with string values are
+/// accepted — this is the batch manifest format of `pipeopt solve-batch`,
+/// not a general JSON parser. \throws ParseError naming the offending line.
+[[nodiscard]] std::vector<core::Problem> parse_batch_jsonl(
+    std::istream& in, const std::string& base_dir = {});
+
+/// `parse_batch_jsonl` over a file. \throws std::runtime_error when
+/// unreadable, ParseError on malformed content.
+[[nodiscard]] std::vector<core::Problem> load_batch(const std::string& path);
 
 /// Serializes a problem back to the text format (round-trips through
 /// parse_problem for comm-homogeneous platforms).

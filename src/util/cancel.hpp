@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file cancel.hpp
+/// Cooperative cancellation for long-running solves.
+///
+/// A `CancelSource` owns one cancellation flag; `CancelToken`s are cheap
+/// copyable views of it that long-running loops poll between units of work
+/// (exact-search nodes, heuristic iterations). Cancellation is cooperative:
+/// requesting it never interrupts a computation, it only makes the next
+/// poll observe the flag — so a cancelled solve unwinds through its normal
+/// bounded-search exit and returns a typed result, never leaks.
+///
+/// Both types are thread-safe: any thread may request cancellation while
+/// worker threads poll, which is exactly how the api::Executor threads a
+/// caller-held token through its pool.
+
+#include <atomic>
+#include <memory>
+
+namespace pipeopt::util {
+
+/// View of a cancellation flag. Default-constructed tokens belong to no
+/// source and never report cancellation, so APIs can take one by value with
+/// "not cancellable" as the natural default.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// True when the owning source requested cancellation. A relaxed atomic
+  /// load — cheap enough to poll every few search nodes.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True when this token is connected to a source.
+  [[nodiscard]] bool cancellable() const noexcept { return flag_ != nullptr; }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag) noexcept
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Owner of a cancellation flag. Tokens remain valid (and permanently
+/// cancelled, if requested) even after the source is destroyed.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() noexcept {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CancelToken token() const noexcept {
+    return CancelToken(flag_);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace pipeopt::util

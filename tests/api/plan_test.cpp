@@ -1,0 +1,213 @@
+/// Plan/execute split: a SolvePlan must reproduce SolverRegistry::solve
+/// exactly, be reusable, keep the fast path copy-free, and carry typed
+/// planning failures and cancellation.
+
+#include "api/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
+#include "util/cancel.hpp"
+
+namespace pipeopt::api {
+namespace {
+
+core::Problem example() { return gen::motivating_example(); }
+
+/// Everything but wall time, which legitimately differs run to run.
+void expect_same_result(const SolveResult& a, const SolveResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.solver, b.solver);
+  EXPECT_EQ(a.value, b.value);  // bit-identical, no tolerance
+  ASSERT_EQ(a.mapping.has_value(), b.mapping.has_value());
+  if (a.mapping) {
+    ASSERT_EQ(a.mapping->interval_count(), b.mapping->interval_count());
+    for (std::size_t i = 0; i < a.mapping->interval_count(); ++i) {
+      EXPECT_EQ(a.mapping->intervals()[i], b.mapping->intervals()[i]);
+    }
+  }
+  EXPECT_EQ(a.diagnostics, b.diagnostics);
+}
+
+TEST(Plan, ExecuteMatchesSolveAcrossPlatformClasses) {
+  const SolverRegistry& registry = default_registry();
+  util::Rng rng(7);
+  for (const core::PlatformClass cls :
+       {core::PlatformClass::FullyHomogeneous,
+        core::PlatformClass::CommHomogeneous,
+        core::PlatformClass::FullyHeterogeneous}) {
+    gen::ProblemShape shape;
+    shape.platform_class = cls;
+    const core::Problem problem = gen::random_problem(rng, shape);
+    for (const Objective objective :
+         {Objective::Period, Objective::Latency}) {
+      SolveRequest request;
+      request.objective = objective;
+      expect_same_result(registry.plan(problem, request).execute(),
+                         registry.solve(problem, request));
+    }
+  }
+}
+
+TEST(Plan, IsReusable) {
+  const core::Problem problem = example();
+  SolveRequest request;
+  const SolvePlan plan = default_registry().plan(problem, request);
+  const SolveResult first = plan.execute();
+  const SolveResult second = plan.execute();
+  ASSERT_TRUE(first.solved());
+  expect_same_result(first, second);
+}
+
+TEST(Plan, FastPathBorrowsTheProblem) {
+  const core::Problem problem = example();
+  // Priority weights (the default) and the unweighted energy objective must
+  // not copy the instance into the plan.
+  SolveRequest priority;
+  const SolvePlan fast = default_registry().plan(problem, priority);
+  EXPECT_TRUE(fast.borrows_problem());
+  EXPECT_EQ(&fast.problem(), &problem);
+
+  SolveRequest energy;
+  energy.objective = Objective::Energy;
+  energy.weights = core::WeightPolicy::Unit;
+  EXPECT_TRUE(default_registry().plan(problem, energy).borrows_problem());
+}
+
+TEST(Plan, UnitWeightsRebuildTheProblemOnce) {
+  const core::Problem problem = example();
+  SolveRequest request;
+  request.weights = core::WeightPolicy::Unit;
+  const SolvePlan plan = default_registry().plan(problem, request);
+  EXPECT_FALSE(plan.borrows_problem());
+  EXPECT_NE(&plan.problem(), &problem);
+  for (const auto& app : plan.problem().applications()) {
+    EXPECT_EQ(app.weight(), 1.0);
+  }
+  expect_same_result(plan.execute(), default_registry().solve(problem, request));
+}
+
+TEST(Plan, StretchWeightsMatchPerCallSolve) {
+  const core::Problem problem = example();
+  SolveRequest request;
+  request.weights = core::WeightPolicy::Stretch;
+  const SolvePlan plan = default_registry().plan(problem, request);
+  EXPECT_FALSE(plan.borrows_problem());
+  expect_same_result(plan.execute(), default_registry().solve(problem, request));
+}
+
+TEST(Plan, CandidatesAreFilteredAtBindTime) {
+  const core::Problem problem = example();
+  SolveRequest request;
+  const SolvePlan plan = default_registry().plan(problem, request);
+  const auto reference = default_registry().candidates(problem, request);
+  ASSERT_EQ(plan.candidates().size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(plan.candidates()[i], reference[i]);
+  }
+  EXPECT_EQ(plan.forced(), nullptr);
+}
+
+TEST(Plan, ForcedSolverIsResolvedAtPlanTime) {
+  const core::Problem problem = example();
+  SolveRequest request;
+  request.solver = "exact-enumeration";
+  const SolvePlan plan = default_registry().plan(problem, request);
+  ASSERT_NE(plan.forced(), nullptr);
+  EXPECT_EQ(plan.forced()->name(), "exact-enumeration");
+  EXPECT_TRUE(plan.candidates().empty());
+  const SolveResult result = plan.execute();
+  EXPECT_EQ(result.solver, "exact-enumeration");
+  EXPECT_EQ(result.status, SolveStatus::Optimal);
+}
+
+TEST(Plan, UnknownForcedSolverIsATypedPlanningFailure) {
+  const core::Problem problem = example();
+  SolveRequest request;
+  request.solver = "imaginary";
+  const SolvePlan plan = default_registry().plan(problem, request);
+  EXPECT_FALSE(plan.viable());
+  EXPECT_EQ(plan.execute().status, SolveStatus::NoSolver);
+  expect_same_result(plan.execute(), default_registry().solve(problem, request));
+}
+
+TEST(Plan, MismatchedThresholdsAreATypedPlanningFailure) {
+  const core::Problem problem = example();  // two applications
+  SolveRequest request;
+  request.constraints.period = core::Thresholds::per_app({1.0, 1.0, 1.0});
+  const SolvePlan plan = default_registry().plan(problem, request);
+  EXPECT_FALSE(plan.viable());
+  EXPECT_EQ(plan.execute().status, SolveStatus::NoSolver);
+}
+
+TEST(Plan, PlatformClassIsClassifiedAtBindTime) {
+  const core::Problem problem = example();
+  const SolvePlan plan = default_registry().plan(problem, SolveRequest{});
+  EXPECT_EQ(plan.platform_class(), problem.platform().classify());
+}
+
+TEST(Plan, PreCancelledTokenShortCircuitsExecution) {
+  const core::Problem problem = example();
+  util::CancelSource source;
+  source.request_cancel();
+  const SolvePlan plan = default_registry().plan(problem, SolveRequest{});
+  const SolveResult result = plan.execute(source.token());
+  EXPECT_EQ(result.status, SolveStatus::LimitExceeded);
+  bool noted = false;
+  for (const auto& [key, value] : result.diagnostics) noted |= key == "cancelled";
+  EXPECT_TRUE(noted);
+}
+
+TEST(Plan, CancelledStretchSoloSolvesKeepTheCancellationContract) {
+  // A token firing during the bind-time solo solves must surface as the
+  // documented LimitExceeded + "cancelled" (CLI exit 1), never as NoSolver
+  // (exit 2, the usage-error code).
+  const core::Problem problem = example();
+  util::CancelSource source;
+  source.request_cancel();
+  SolveRequest request;
+  request.weights = core::WeightPolicy::Stretch;
+  request.cancel = source.token();
+  const SolvePlan plan = default_registry().plan(problem, request);
+  EXPECT_FALSE(plan.viable());
+  const SolveResult result = plan.execute();
+  EXPECT_EQ(result.status, SolveStatus::LimitExceeded);
+  bool noted = false;
+  for (const auto& [key, value] : result.diagnostics) noted |= key == "cancelled";
+  EXPECT_TRUE(noted);
+}
+
+TEST(Plan, ExecuteWithFreshTokenAfterACancelledOne) {
+  // Plan reuse across executions with independent tokens: a cancelled
+  // execution must not poison the plan.
+  const core::Problem problem = example();
+  const SolvePlan plan = default_registry().plan(problem, SolveRequest{});
+  util::CancelSource cancelled;
+  cancelled.request_cancel();
+  EXPECT_EQ(plan.execute(cancelled.token()).status,
+            SolveStatus::LimitExceeded);
+  util::CancelSource fresh;
+  const SolveResult ok = plan.execute(fresh.token());
+  EXPECT_TRUE(ok.solved());
+}
+
+TEST(DispatchPlan, BindsManyInstances) {
+  const SolverRegistry& registry = default_registry();
+  SolveRequest request;
+  const DispatchPlan dispatch = registry.plan_request(request);
+  util::Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    gen::ProblemShape shape;
+    shape.platform_class = (i % 2 == 0)
+                               ? core::PlatformClass::FullyHomogeneous
+                               : core::PlatformClass::FullyHeterogeneous;
+    const core::Problem problem = gen::random_problem(rng, shape);
+    expect_same_result(dispatch.bind(problem).execute(),
+                       registry.solve(problem, request));
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::api

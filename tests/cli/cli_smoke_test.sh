@@ -40,6 +40,34 @@ grep -q "interval-period-dp" "$TMPDIR/out" || fail "list-solvers should list int
 # legacy commands still work
 [ "$(run "$TMPDIR/ok.txt" min-period)" = 0 ] || fail "min-period should exit 0"
 
+# --- solve-batch: one JSONL manifest, one request, aggregated exit code ---
+cat > "$TMPDIR/batch.jsonl" <<PROB
+{"path": "ok.txt"}
+{"path": "$TMPDIR/ok.txt"}
+{"problem": "comm overlap\nbandwidth 1\nprocessor P1 static=0 speeds=2\nprocessor P2 static=0 speeds=4\nprocessor P3 static=0 speeds=1\napp A weight=1 input=0 stages=2:1,3:0\napp B weight=2 input=1 stages=5:0\n"}
+PROB
+[ "$(run "$TMPDIR/batch.jsonl" solve-batch --objective period --jobs 2)" = 0 ] \
+  || fail "solve-batch should exit 0 when every instance solves: $(cat "$TMPDIR/err")"
+grep -q "dispatch plans=1" "$TMPDIR/out" \
+  || fail "solve-batch should report the shared dispatch plan"
+grep -q "3 instances" "$TMPDIR/out" || fail "solve-batch should solve all instances"
+# any infeasible instance makes the batch exit 1
+[ "$(run "$TMPDIR/batch.jsonl" solve-batch --objective energy --period-bounds 0.0001)" = 1 ] \
+  || fail "solve-batch with an unmeetable bound should exit 1"
+# usage/parse errors exit 2
+[ "$(run "$TMPDIR/batch.jsonl" solve-batch)" = 2 ] \
+  || fail "solve-batch without --objective should exit 2"
+[ "$(run "$TMPDIR/batch.jsonl" solve-batch --objective period --jobs nonsense)" = 2 ] \
+  || fail "solve-batch with a bad --jobs should exit 2"
+[ "$(run "$TMPDIR/batch.jsonl" solve-batch --objective period --solver no-such-solver)" = 2 ] \
+  || fail "solve-batch with an unknown solver should exit 2"
+echo '{"path": }' > "$TMPDIR/bad.jsonl"
+[ "$(run "$TMPDIR/bad.jsonl" solve-batch --objective period)" = 2 ] \
+  || fail "malformed JSONL should exit 2"
+: > "$TMPDIR/empty.jsonl"
+[ "$(run "$TMPDIR/empty.jsonl" solve-batch --objective period)" = 2 ] \
+  || fail "empty batch manifest should exit 2"
+
 # --- exit 1: infeasible ---------------------------------------------------
 [ "$(run "$TMPDIR/ok.txt" solve --objective energy --period-bounds 0.0001)" = 1 ] \
   || fail "unmeetable period bound should exit 1"

@@ -1,0 +1,104 @@
+/// JSONL batch manifest parsing: path and inline entries, escapes, and the
+/// typed ParseError contract with line numbers.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "io/problem_io.hpp"
+
+namespace pipeopt::io {
+namespace {
+
+constexpr const char* kInstanceText =
+    "comm overlap\n"
+    "bandwidth 1\n"
+    "processor P1 static=0 speeds=2\n"
+    "processor P2 static=0 speeds=3\n"
+    "processor P3 static=0 speeds=1\n"
+    "app A weight=1 input=0 stages=2:1,3:0\n";
+
+TEST(BatchIo, ParsesInlineProblems) {
+  std::istringstream in(
+      "{\"problem\": \"comm overlap\\nbandwidth 1\\n"
+      "processor P1 static=0 speeds=2\\nprocessor P2 static=0 speeds=1\\n"
+      "app A weight=1 input=0 stages=2:0\\n\"}\n"
+      "\n"  // blank lines are skipped
+      "{\"problem\": \"comm no-overlap\\nbandwidth 2\\n"
+      "processor P1 static=0 speeds=2\\nprocessor P2 static=0 speeds=1\\n"
+      "app B weight=1 input=0 stages=4:0,1:0\\n\"}\n");
+  const auto problems = parse_batch_jsonl(in);
+  ASSERT_EQ(problems.size(), 2u);
+  EXPECT_EQ(problems[0].application_count(), 1u);
+  EXPECT_EQ(problems[0].comm_model(), core::CommModel::Overlap);
+  EXPECT_EQ(problems[1].comm_model(), core::CommModel::NoOverlap);
+  EXPECT_EQ(problems[1].application(0).stage_count(), 2u);
+}
+
+TEST(BatchIo, ResolvesRelativePathsAgainstBaseDir) {
+  const std::string dir = ::testing::TempDir() + "pipeopt_batch_io";
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  {
+    std::ofstream instance(dir + "/inst.txt");
+    instance << kInstanceText;
+  }
+  {
+    std::ofstream manifest(dir + "/batch.jsonl");
+    manifest << "{\"path\": \"inst.txt\"}\n";
+    manifest << "{\"path\": \"" << dir << "/inst.txt\"}\n";  // absolute too
+  }
+  const auto problems = load_batch(dir + "/batch.jsonl");
+  ASSERT_EQ(problems.size(), 2u);
+  EXPECT_EQ(problems[0].total_stages(), 2u);
+  EXPECT_EQ(problems[1].total_stages(), 2u);
+}
+
+TEST(BatchIo, SupportsStandardEscapes) {
+  std::istringstream in(
+      "{\"problem\": \"comm overlap\\nbandwidth 1\\n"
+      "processor \\u0050X static=0 speeds=1\\n"
+      "app \\\"Q\\\" weight=1 input=0 stages=1:0\\n\"}\n");
+  const auto problems = parse_batch_jsonl(in);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_EQ(problems[0].platform().processor(0).name(), "PX");
+}
+
+TEST(BatchIo, RejectsMalformedLinesWithLineNumbers) {
+  const auto line_of = [](const std::string& text) -> std::string {
+    std::istringstream in(text);
+    try {
+      (void)parse_batch_jsonl(in);
+    } catch (const ParseError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(line_of("not json\n"), "");
+  EXPECT_NE(line_of("{\"path\": \"a\", \"problem\": \"b\"}\n"), "");
+  EXPECT_NE(line_of("{}\n"), "");
+  EXPECT_NE(line_of("{\"unknown\": \"x\"}\n"), "");
+  EXPECT_NE(line_of("{\"path\": \"x\"} trailing\n"), "");
+  EXPECT_NE(line_of("{\"problem\": \"bad instance\"}\n"), "");
+  // Malformed \u payloads must be a ParseError too, not a stray
+  // std::invalid_argument escaping the documented contract.
+  EXPECT_NE(line_of("{\"problem\": \"\\uQQQQ\"}\n"), "");
+  EXPECT_NE(line_of("{\"problem\": \"\\u00e9\"}\n"), "");  // non-ASCII
+  EXPECT_NE(line_of("{\"problem\": \"\\u12\"}\n"), "");    // truncated
+  // The error names the offending line.
+  EXPECT_NE(line_of("{\"problem\": \"comm overlap\\nbandwidth 1\\n"
+                    "processor P static=0 speeds=1\\n"
+                    "app A weight=1 input=0 stages=1:0\\n\"}\n"
+                    "garbage\n")
+                .find("line 2"),
+            std::string::npos);
+}
+
+TEST(BatchIo, LoadBatchThrowsOnMissingFile) {
+  EXPECT_THROW((void)load_batch("/nonexistent/batch.jsonl"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pipeopt::io

@@ -1,12 +1,13 @@
 #!/bin/sh
 # CI entry point: the tier-1 verify line (see ROADMAP.md) with warnings
 # promoted to errors, then the full ctest suite (unit + property tests and
-# the CLI exit-code smoke test).
+# the CLI exit-code smoke test, including solve-batch), then a
+# ThreadSanitizer pass over the threaded executor/plan subsystem.
 #
 #   tools/ci.sh [build-dir]
 #
 # PIPEOPT_WERROR=ON applies -Wall -Wextra -Werror to every target,
-# including the new src/api/ facade layer.
+# including the src/api/ facade and executor layers.
 set -eu
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-ci}"
@@ -14,4 +15,19 @@ BUILD_DIR="${1:-build-ci}"
 cmake -B "$BUILD_DIR" -S . -DPIPEOPT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# ThreadSanitizer build of the executor, plan and cancellation tests — the
+# code that actually runs worker pools. Skipped (loudly) when the toolchain
+# has no libtsan; everything above has already gated the merge. The probe
+# uses the same compiler CMake will ($CXX when set), so probe and build
+# cannot disagree.
+if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - -o "${TMPDIR:-/tmp}/pipeopt_tsan_probe.$$" 2>/dev/null; then
+  rm -f "${TMPDIR:-/tmp}/pipeopt_tsan_probe.$$"
+  cmake -B "$BUILD_DIR-tsan" -S . -DPIPEOPT_WERROR=ON -DPIPEOPT_TSAN=ON
+  cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" --target pipeopt_tests
+  "$BUILD_DIR-tsan/pipeopt_tests" --gtest_filter='Executor.*:Plan.*:DispatchPlan.*'
+else
+  echo "ci: ThreadSanitizer unavailable, skipping the tsan pass" >&2
+fi
+
 echo "ci: all green"

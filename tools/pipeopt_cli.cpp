@@ -18,6 +18,12 @@
 ///     --node-budget N            exact-search node budget
 ///     --time-budget S            heuristic wall-clock budget (seconds)
 ///     --seed N                   seed for stochastic solvers
+///   solve-batch --objective ... [--jobs N] [solve options]
+///                                <problem-file> is a JSONL manifest (one
+///                                {"path": ...} or {"problem": ...} object
+///                                per line); all instances are solved under
+///                                one request, sharing one dispatch plan
+///                                across a worker pool of N threads
 ///   list-solvers                 registered solvers, dispatch order,
 ///                                applicability for this instance
 ///   min-period [--exact]         legacy alias of solve --objective period
@@ -28,7 +34,10 @@
 ///
 /// Exit codes: 0 solved, 1 infeasible (or search budget exhausted),
 /// 2 usage/parse errors (including unknown or inapplicable solver names).
+/// solve-batch aggregates per-instance codes: the worst one wins
+/// (2 > 1 > 0), so a batch exits 0 only when every instance solved.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -36,6 +45,7 @@
 #include <vector>
 
 #include "api/adapters.hpp"
+#include "api/executor.hpp"
 #include "api/registry.hpp"
 #include "core/evaluation.hpp"
 #include "io/problem_io.hpp"
@@ -56,6 +66,9 @@ int usage() {
       "        [--latency-bounds L[,L...]] [--energy-budget E]\n"
       "        [--weights unit|priority|stretch] [--node-budget N]\n"
       "        [--time-budget S] [--seed N]\n"
+      "  solve-batch --objective ... [--jobs N] [solve options]\n"
+      "                             problem-file is a JSONL manifest; one\n"
+      "                             request, one dispatch plan, N workers\n"
       "  list-solvers               registered solvers in dispatch order\n"
       "  min-period [--exact]       alias: solve --objective period\n"
       "  min-latency                alias: solve --objective latency\n"
@@ -232,6 +245,63 @@ std::optional<api::SolveRequest> parse_solve_args(
   return request;
 }
 
+/// Solves a JSONL manifest of instances under one shared request on a
+/// worker pool; exits with the worst per-instance code (2 > 1 > 0).
+int run_solve_batch(const std::string& manifest_path,
+                    const std::vector<std::string>& args) {
+  const std::vector<core::Problem> problems = io::load_batch(manifest_path);
+  if (problems.empty()) {
+    std::fprintf(stderr, "error: empty batch manifest\n");
+    return 2;
+  }
+
+  // Split --jobs from the shared solve flags.
+  std::size_t jobs = 0;
+  std::vector<std::string> solve_args;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--jobs") {
+      if (i + 1 >= args.size()) return usage();
+      const auto parsed = parse_number<std::size_t>(args[++i]);
+      if (!parsed) return usage();
+      jobs = *parsed;  // 0 = hardware concurrency
+    } else {
+      solve_args.push_back(args[i]);
+    }
+  }
+  const auto request = parse_solve_args(problems.front(), solve_args);
+  if (!request) return usage();
+  if (request->constraints.period || request->constraints.latency) {
+    // One request serves the whole batch, so per-application thresholds
+    // only make sense when every instance has the same application count.
+    for (const core::Problem& problem : problems) {
+      if (problem.application_count() != problems.front().application_count()) {
+        std::fprintf(stderr,
+                     "error: per-application bounds require a uniform "
+                     "application count across the batch\n");
+        return 2;
+      }
+    }
+  }
+
+  api::Executor executor(api::ExecutorOptions{jobs});
+  const api::BatchResult batch = executor.solve_batch(problems, *request);
+
+  util::Table table({"#", "status", "solver", "value", "wall"});
+  int worst = 0;
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    const api::SolveResult& result = batch.results[i];
+    worst = std::max(worst, exit_code(result));
+    table.add_row({std::to_string(i), result.status_name(), result.solver,
+                   result.solved() ? util::format_double(result.value) : "-",
+                   util::format_double(result.wall_seconds, 4) + "s"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("batch: %zu instances, jobs=%zu, dispatch plans=%zu, wall=%.3fs\n",
+              batch.results.size(), executor.jobs(), batch.dispatch_plans,
+              batch.wall_seconds);
+  return worst;
+}
+
 int run_list_solvers(const core::Problem& problem) {
   const api::SolverRegistry& registry = api::default_registry();
   util::Table table(
@@ -257,6 +327,19 @@ int run_list_solvers(const core::Problem& problem) {
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
+  const std::string command = argv[2];
+  std::vector<std::string> args(argv + 3, argv + argc);
+
+  // solve-batch reads a JSONL manifest, not a single instance file.
+  if (command == "solve-batch") {
+    try {
+      return run_solve_batch(argv[1], args);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error reading %s: %s\n", argv[1], e.what());
+      return 2;
+    }
+  }
+
   core::Problem problem = [&] {
     try {
       return io::load_problem(argv[1]);
@@ -265,8 +348,6 @@ int main(int argc, char** argv) {
       std::exit(2);
     }
   }();
-  const std::string command = argv[2];
-  std::vector<std::string> args(argv + 3, argv + argc);
 
   try {
     if (command == "show") {
