@@ -1,0 +1,179 @@
+/// \file bench_server_throughput.cpp
+/// Experiment SERVE: protocol overhead and sustained request rate of
+/// pipeopt-server against the raw executor path.
+///
+/// Three measurements over the same request stream (Table 1/2 instance
+/// grid, period objective, auto dispatch):
+///
+///  1. direct `api::solve` — no pool, no wire: the floor;
+///  2. `Executor::solve_async` — the pool alone (what the server
+///     multiplexes onto);
+///  3. the full server loop — in-process `server::Server` on an ephemeral
+///     port, real sockets, one JSONL request per solve, lock-step clients.
+///
+/// The wire results of mode 3 are cross-checked bit-identical against
+/// mode 1 (the server contract), and the per-request overhead of the
+/// serialization + socket round trip is reported. Concurrency here means
+/// concurrent *connections*; on a single-core container the rate is
+/// protocol-bound, not solver-bound, which is exactly what this isolates.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "api/registry.hpp"
+#include "bench_support.hpp"
+#include "io/request_io.hpp"
+#include "io/result_io.hpp"
+#include "server/server.hpp"
+#include "util/fdio.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using namespace pipeopt;
+using bench::CellShape;
+using bench::Column;
+
+constexpr int kInstancesPerColumn = 40;
+constexpr std::size_t kClients = 2;
+
+std::vector<core::Problem> make_grid() {
+  CellShape shape;
+  shape.applications = 2;
+  shape.min_stages = 1;
+  shape.max_stages = 3;
+  shape.processors = 5;
+
+  std::vector<core::Problem> problems;
+  util::Rng rng(20260728);
+  for (const Column column : {Column::FullyHom, Column::SpecialApp,
+                              Column::CommHom, Column::FullyHet}) {
+    for (int i = 0; i < kInstancesPerColumn; ++i) {
+      shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
+                                : core::CommModel::NoOverlap;
+      problems.push_back(bench::make_instance(rng, column, shape));
+    }
+  }
+  return problems;
+}
+
+/// One lock-step client: sends its slice of request lines, collects the
+/// wall-less comparable form of every response.
+std::vector<std::string> drive_client(std::uint16_t port,
+                                      const std::vector<std::string>& lines) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::perror("bench_server_throughput: connect");
+    std::exit(1);
+  }
+  std::vector<std::string> responses;
+  util::FdLineReader reader(fd);
+  for (const std::string& line : lines) {
+    std::string response;
+    if (!util::write_line(fd, line) || !reader.next_line(response)) {
+      std::fprintf(stderr, "bench_server_throughput: connection lost\n");
+      std::exit(1);
+    }
+    responses.push_back(io::format_result(io::parse_result_line(response).result,
+                                          "", /*include_wall=*/false));
+  }
+  ::close(fd);
+  return responses;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<core::Problem> grid = make_grid();
+  const api::SolveRequest request;  // period over intervals, auto dispatch
+  std::printf("SERVE: %zu requests over the Table 1/2 grid, %zu client(s)\n\n",
+              grid.size(), kClients);
+
+  // Mode 1: direct api::solve, also the bit-identity reference.
+  std::vector<std::string> reference;
+  reference.reserve(grid.size());
+  const util::Stopwatch direct_watch;
+  for (const core::Problem& problem : grid) {
+    reference.push_back(
+        io::format_result(api::solve(problem, request), "", false));
+  }
+  const double direct_s = direct_watch.elapsed_seconds();
+
+  // Mode 2: the executor pool alone.
+  const double pool_s = [&] {
+    api::Executor executor;
+    std::vector<std::future<api::SolveResult>> futures;
+    futures.reserve(grid.size());
+    const util::Stopwatch watch;
+    for (const core::Problem& problem : grid) {
+      futures.push_back(executor.solve_async(problem, request));
+    }
+    for (auto& future : futures) (void)future.get();
+    return watch.elapsed_seconds();
+  }();
+
+  // Mode 3: the full server loop over real sockets.
+  server::Server server;
+  const std::uint16_t port = server.listen();
+  std::thread accept_thread([&server] { server.serve(); });
+
+  std::vector<std::vector<std::string>> slices(kClients);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    slices[i % kClients].push_back(io::format_solve_request(grid[i], request));
+  }
+  std::vector<std::future<std::vector<std::string>>> clients;
+  const util::Stopwatch serve_watch;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.push_back(std::async(std::launch::async, drive_client, port,
+                                 std::cref(slices[c])));
+  }
+  std::vector<std::vector<std::string>> responses;
+  for (auto& client : clients) responses.push_back(client.get());
+  const double serve_s = serve_watch.elapsed_seconds();
+  server.shutdown();
+  accept_thread.join();
+
+  // Bit-identity cross-check: every wire response equals its reference.
+  std::size_t mismatches = 0;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    for (std::size_t j = 0; j < responses[c].size(); ++j) {
+      if (responses[c][j] != reference[c + j * kClients]) ++mismatches;
+    }
+  }
+  if (mismatches != 0) {
+    std::printf("BIT-IDENTITY FAILED: %zu mismatching responses\n", mismatches);
+    return 1;
+  }
+
+  const double n = static_cast<double>(grid.size());
+  util::Table table({"mode", "wall", "req/s", "us/req"});
+  const auto row = [&](const char* mode, double seconds) {
+    table.add_row({mode, util::format_double(seconds, 3) + "s",
+                   util::format_double(n / seconds, 0),
+                   util::format_double(1e6 * seconds / n, 1)});
+  };
+  row("direct api::solve", direct_s);
+  row("executor pool", pool_s);
+  row("server (JSONL/TCP)", serve_s);
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nprotocol overhead: %.1f us/request over the pool path "
+      "(serialize + socket + watch loop)\nbit-identity: all %zu wire "
+      "responses equal per-call api::solve\n",
+      1e6 * (serve_s - pool_s) / n, grid.size());
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "api/plan.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "api/adapters.hpp"
@@ -27,6 +28,17 @@ SolveResult no_solver(std::string reason) {
 /// between candidates); solvers interrupted mid-run produce their own.
 SolveResult cancelled_result() {
   return detail::cancelled("cancel token fired");
+}
+
+/// True when a result is the typed cancellation outcome — a fired token or
+/// an expired deadline (the deadline arms on a token copy inside execute,
+/// so the caller's own token may never report it).
+bool was_cancelled(const SolveResult& result) {
+  if (result.status != SolveStatus::LimitExceeded) return false;
+  for (const auto& [key, value] : result.diagnostics) {
+    if (key == "cancelled") return true;
+  }
+  return false;
 }
 
 /// Per-application thresholds must match the instance; a mismatched request
@@ -94,10 +106,11 @@ SolvePlan::SolvePlan(const DispatchPlan& dispatch, const core::Problem& problem)
         solo_request.time_budget_seconds = request_.time_budget_seconds;
         solo_request.seed = request_.seed;
         solo_request.cancel = request_.cancel;
+        solo_request.deadline_ms = request_.deadline_ms;
         const SolveResult solo_result =
             dispatch.registry_->solve(solo, solo_request);
         if (!solo_result.solved() || !(solo_result.value > 0.0)) {
-          if (request_.cancel.cancelled()) {
+          if (request_.cancel.cancelled() || was_cancelled(solo_result)) {
             // A token firing during a solo solve says nothing about
             // feasibility; keep the documented cancellation contract
             // (typed LimitExceeded, "cancelled" diagnostic, CLI exit 1).
@@ -164,6 +177,11 @@ SolveResult SolvePlan::execute() const { return execute(request_.cancel); }
 
 SolveResult SolvePlan::execute(util::CancelToken cancel) const {
   const util::Stopwatch watch;
+  // Arm the request's wall-clock deadline now: every execution of a reused
+  // plan gets its own full window, folded into the token the solvers poll.
+  if (request_.deadline_ms) {
+    cancel = cancel.with_timeout(std::chrono::milliseconds(*request_.deadline_ms));
+  }
   auto notes = notes_;
   const auto finish = [&](SolveResult r) {
     r.diagnostics.insert(r.diagnostics.end(), notes.begin(), notes.end());

@@ -71,6 +71,16 @@ struct SolveRequest {
   /// reproducible run to run.
   std::uint64_t seed = 42;
 
+  /// Wall-clock deadline for one execution, in milliseconds. Armed at
+  /// execute time: `SolvePlan::execute` folds `now + deadline_ms` into the
+  /// cancel token it hands the solvers, so an expired deadline surfaces
+  /// exactly like a fired `cancel` — a typed SolveStatus::LimitExceeded
+  /// with a "cancelled" diagnostic. Each execution of a reused plan (and
+  /// each stretch solo solve at bind time) gets its own full window.
+  /// Unlike `time_budget_seconds` (a soft budget only iterative heuristics
+  /// consult between rungs), the deadline also aborts exact search.
+  std::optional<std::uint64_t> deadline_ms;
+
   /// Cooperative cancellation, polled by exact search every
   /// `exact::kCancelCheckStride` nodes and by the heuristic ladder between
   /// iterations. A fired token makes the solve return a typed

@@ -1,0 +1,182 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace pipeopt::io {
+namespace {
+
+/// Parses one JSON string literal starting at in[pos] == '"'; advances pos
+/// past the closing quote. Supports the standard escapes plus ASCII \uXXXX.
+std::string json_string(const std::string& in, std::size_t& pos,
+                        std::size_t line_no) {
+  if (pos >= in.size() || in[pos] != '"') {
+    throw ParseError(line_no, "expected '\"'");
+  }
+  ++pos;
+  std::string out;
+  while (pos < in.size() && in[pos] != '"') {
+    char c = in[pos++];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (pos >= in.size()) throw ParseError(line_no, "dangling escape");
+    const char esc = in[pos++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (pos + 4 > in.size()) throw ParseError(line_no, "bad \\u escape");
+        const std::string hex = in.substr(pos, 4);
+        pos += 4;
+        unsigned code = 0;
+        for (const char h : hex) {
+          if (!std::isxdigit(static_cast<unsigned char>(h))) {
+            throw ParseError(line_no, "bad \\u escape '" + hex + "'");
+          }
+          code = code * 16 + static_cast<unsigned>(
+                                 h <= '9'   ? h - '0'
+                                 : h <= 'F' ? h - 'A' + 10
+                                            : h - 'a' + 10);
+        }
+        if (code > 0x7F) {
+          throw ParseError(line_no,
+                           "unsupported \\u escape '" + hex + "' (ASCII only)");
+        }
+        out += static_cast<char>(code);
+        break;
+      }
+      default:
+        throw ParseError(line_no, std::string("unknown escape '\\") + esc + "'");
+    }
+  }
+  if (pos >= in.size()) throw ParseError(line_no, "unterminated string");
+  ++pos;  // closing quote
+  return out;
+}
+
+void skip_spaces(const std::string& in, std::size_t& pos) {
+  while (pos < in.size() &&
+         (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\r')) {
+    ++pos;
+  }
+}
+
+}  // namespace
+
+JsonFields parse_flat_json(const std::string& line, std::size_t line_no) {
+  JsonFields fields;
+  std::size_t pos = 0;
+  skip_spaces(line, pos);
+  if (pos >= line.size() || line[pos] != '{') {
+    throw ParseError(line_no, "expected a JSON object");
+  }
+  ++pos;
+  skip_spaces(line, pos);
+  if (pos < line.size() && line[pos] == '}') {
+    ++pos;
+  } else {
+    for (;;) {
+      std::string key = json_string(line, pos, line_no);
+      skip_spaces(line, pos);
+      if (pos >= line.size() || line[pos] != ':') {
+        throw ParseError(line_no, "expected ':' after key '" + key + "'");
+      }
+      ++pos;
+      skip_spaces(line, pos);
+      std::string value = json_string(line, pos, line_no);
+      fields.emplace_back(std::move(key), std::move(value));
+      skip_spaces(line, pos);
+      if (pos < line.size() && line[pos] == ',') {
+        ++pos;
+        skip_spaces(line, pos);
+        continue;
+      }
+      if (pos < line.size() && line[pos] == '}') {
+        ++pos;
+        break;
+      }
+      throw ParseError(line_no, "expected ',' or '}'");
+    }
+  }
+  skip_spaces(line, pos);
+  if (pos != line.size()) {
+    throw ParseError(line_no, "trailing characters after the object");
+  }
+  return fields;
+}
+
+std::string json_quote(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<double> parse_wire_list(const std::string& key,
+                                    const std::string& value,
+                                    std::size_t line_no) {
+  std::vector<double> values;
+  std::string token;
+  for (std::size_t i = 0;; ++i) {
+    if (i == value.size() || value[i] == ',') {
+      values.push_back(parse_wire_number<double>(key, token, line_no));
+      token.clear();
+      if (i == value.size()) break;
+    } else {
+      token += value[i];
+    }
+  }
+  return values;
+}
+
+std::string format_double_exact(double value) {
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  if (std::isnan(value)) return "nan";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  return std::string(buf, ptr);
+}
+
+void FlatJsonWriter::field(const std::string& key, const std::string& value) {
+  body_ += body_.empty() ? "{" : ",";
+  body_ += json_quote(key);
+  body_ += ':';
+  body_ += json_quote(value);
+}
+
+std::string FlatJsonWriter::str() && {
+  if (body_.empty()) return "{}";
+  return std::move(body_) + "}";
+}
+
+}  // namespace pipeopt::io

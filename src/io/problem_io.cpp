@@ -1,12 +1,9 @@
 #include "io/problem_io.hpp"
 
-#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <utility>
 #include <vector>
-
-#include "util/table.hpp"
 
 namespace pipeopt::io {
 namespace {
@@ -66,12 +63,74 @@ std::vector<double> parse_list(const std::string& text, std::size_t line_no) {
 
 }  // namespace
 
+namespace {
+
+/// One indexed bandwidth row ("link 2 1,2,3"): row index + p values.
+struct BandwidthRow {
+  std::size_t index = 0;
+  std::vector<double> values;
+  std::size_t line_no = 0;
+};
+
+/// Parses "link|input|output INDEX v0,v1,..." into a BandwidthRow.
+BandwidthRow parse_bandwidth_row(const std::vector<std::string>& tokens,
+                                 std::size_t line_no) {
+  if (tokens.size() != 3) {
+    throw ParseError(line_no, tokens.front() + " takes an index and a list");
+  }
+  BandwidthRow row;
+  row.line_no = line_no;
+  const double index = parse_number(tokens[1], line_no);
+  if (index < 0 || index != static_cast<double>(static_cast<std::size_t>(index))) {
+    throw ParseError(line_no, "bad index '" + tokens[1] + "'");
+  }
+  row.index = static_cast<std::size_t>(index);
+  row.values = parse_list(tokens[2], line_no);
+  return row;
+}
+
+/// Assembles indexed rows into a dense `count`-row matrix, demanding every
+/// row exactly once and a uniform width.
+std::vector<std::vector<double>> dense_rows(const std::vector<BandwidthRow>& rows,
+                                            std::size_t count, std::size_t width,
+                                            const std::string& what,
+                                            std::size_t line_no) {
+  std::vector<std::vector<double>> dense(count);
+  for (const BandwidthRow& row : rows) {
+    if (row.index >= count) {
+      throw ParseError(row.line_no, what + " index " + std::to_string(row.index) +
+                                        " out of range (have " +
+                                        std::to_string(count) + ")");
+    }
+    if (!dense[row.index].empty()) {
+      throw ParseError(row.line_no,
+                       "duplicate " + what + " row " + std::to_string(row.index));
+    }
+    if (row.values.size() != width) {
+      throw ParseError(row.line_no, what + " row " + std::to_string(row.index) +
+                                        " needs " + std::to_string(width) +
+                                        " values, got " +
+                                        std::to_string(row.values.size()));
+    }
+    dense[row.index] = row.values;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (dense[i].empty()) {
+      throw ParseError(line_no, "missing " + what + " row " + std::to_string(i));
+    }
+  }
+  return dense;
+}
+
+}  // namespace
+
 core::Problem parse_problem(std::istream& in) {
   core::CommModel comm = core::CommModel::Overlap;
   double alpha = 2.0;
   double bandwidth = 0.0;
   std::vector<core::Processor> processors;
   std::vector<core::Application> applications;
+  std::vector<BandwidthRow> link_rows, input_rows, output_rows;
 
   std::string raw;
   std::size_t line_no = 0;
@@ -136,6 +195,12 @@ core::Problem parse_problem(std::istream& in) {
       } catch (const std::exception& e) {
         throw ParseError(line_no, e.what());
       }
+    } else if (kind == "link") {
+      link_rows.push_back(parse_bandwidth_row(tokens, line_no));
+    } else if (kind == "input") {
+      input_rows.push_back(parse_bandwidth_row(tokens, line_no));
+    } else if (kind == "output") {
+      output_rows.push_back(parse_bandwidth_row(tokens, line_no));
     } else {
       throw ParseError(line_no, "unknown directive '" + kind + "'");
     }
@@ -143,11 +208,30 @@ core::Problem parse_problem(std::istream& in) {
 
   if (processors.empty()) throw ParseError(line_no, "no processors declared");
   if (applications.empty()) throw ParseError(line_no, "no applications declared");
-  if (!(bandwidth > 0.0)) throw ParseError(line_no, "bandwidth not declared");
+
+  const bool heterogeneous =
+      !link_rows.empty() || !input_rows.empty() || !output_rows.empty();
+  if (heterogeneous && bandwidth > 0.0) {
+    throw ParseError(line_no,
+                     "bandwidth and link/input/output rows are exclusive");
+  }
+  if (!heterogeneous && !(bandwidth > 0.0)) {
+    throw ParseError(line_no, "bandwidth not declared");
+  }
+  const std::size_t p = processors.size();
+  const std::size_t apps = applications.size();
   try {
-    return core::Problem(std::move(applications),
-                         core::Platform(std::move(processors), bandwidth, alpha),
-                         comm);
+    core::Platform platform =
+        heterogeneous
+            ? core::Platform(std::move(processors),
+                             dense_rows(link_rows, p, p, "link", line_no),
+                             dense_rows(input_rows, apps, p, "input", line_no),
+                             dense_rows(output_rows, apps, p, "output", line_no),
+                             alpha)
+            : core::Platform(std::move(processors), bandwidth, alpha);
+    return core::Problem(std::move(applications), std::move(platform), comm);
+  } catch (const ParseError&) {
+    throw;
   } catch (const std::exception& e) {
     throw ParseError(line_no, e.what());
   }
@@ -164,117 +248,6 @@ core::Problem load_problem(const std::string& path) {
   return parse_problem(in);
 }
 
-namespace {
-
-/// Parses one JSON string literal starting at in[pos] == '"'; advances pos
-/// past the closing quote. Supports the standard escapes plus ASCII \uXXXX.
-std::string json_string(const std::string& in, std::size_t& pos,
-                        std::size_t line_no) {
-  if (pos >= in.size() || in[pos] != '"') {
-    throw ParseError(line_no, "expected '\"'");
-  }
-  ++pos;
-  std::string out;
-  while (pos < in.size() && in[pos] != '"') {
-    char c = in[pos++];
-    if (c != '\\') {
-      out += c;
-      continue;
-    }
-    if (pos >= in.size()) throw ParseError(line_no, "dangling escape");
-    const char esc = in[pos++];
-    switch (esc) {
-      case '"': out += '"'; break;
-      case '\\': out += '\\'; break;
-      case '/': out += '/'; break;
-      case 'n': out += '\n'; break;
-      case 't': out += '\t'; break;
-      case 'r': out += '\r'; break;
-      case 'b': out += '\b'; break;
-      case 'f': out += '\f'; break;
-      case 'u': {
-        if (pos + 4 > in.size()) throw ParseError(line_no, "bad \\u escape");
-        const std::string hex = in.substr(pos, 4);
-        pos += 4;
-        unsigned code = 0;
-        for (const char h : hex) {
-          if (!std::isxdigit(static_cast<unsigned char>(h))) {
-            throw ParseError(line_no, "bad \\u escape '" + hex + "'");
-          }
-          code = code * 16 + static_cast<unsigned>(
-                                 h <= '9'   ? h - '0'
-                                 : h <= 'F' ? h - 'A' + 10
-                                            : h - 'a' + 10);
-        }
-        if (code > 0x7F) {
-          throw ParseError(line_no,
-                           "unsupported \\u escape '" + hex + "' (ASCII only)");
-        }
-        out += static_cast<char>(code);
-        break;
-      }
-      default:
-        throw ParseError(line_no, std::string("unknown escape '\\") + esc + "'");
-    }
-  }
-  if (pos >= in.size()) throw ParseError(line_no, "unterminated string");
-  ++pos;  // closing quote
-  return out;
-}
-
-void skip_spaces(const std::string& in, std::size_t& pos) {
-  while (pos < in.size() && (in[pos] == ' ' || in[pos] == '\t' ||
-                             in[pos] == '\r')) {
-    ++pos;
-  }
-}
-
-/// Parses one flat JSON object of string values: {"key": "value", ...}.
-std::vector<std::pair<std::string, std::string>> json_object(
-    const std::string& line, std::size_t line_no) {
-  std::vector<std::pair<std::string, std::string>> fields;
-  std::size_t pos = 0;
-  skip_spaces(line, pos);
-  if (pos >= line.size() || line[pos] != '{') {
-    throw ParseError(line_no, "expected a JSON object");
-  }
-  ++pos;
-  skip_spaces(line, pos);
-  if (pos < line.size() && line[pos] == '}') {
-    ++pos;
-  } else {
-    for (;;) {
-      std::string key = json_string(line, pos, line_no);
-      skip_spaces(line, pos);
-      if (pos >= line.size() || line[pos] != ':') {
-        throw ParseError(line_no, "expected ':' after key '" + key + "'");
-      }
-      ++pos;
-      skip_spaces(line, pos);
-      std::string value = json_string(line, pos, line_no);
-      fields.emplace_back(std::move(key), std::move(value));
-      skip_spaces(line, pos);
-      if (pos < line.size() && line[pos] == ',') {
-        ++pos;
-        skip_spaces(line, pos);
-        continue;
-      }
-      if (pos < line.size() && line[pos] == '}') {
-        ++pos;
-        break;
-      }
-      throw ParseError(line_no, "expected ',' or '}'");
-    }
-  }
-  skip_spaces(line, pos);
-  if (pos != line.size()) {
-    throw ParseError(line_no, "trailing characters after the object");
-  }
-  return fields;
-}
-
-}  // namespace
-
 std::vector<core::Problem> parse_batch_jsonl(std::istream& in,
                                              const std::string& base_dir) {
   std::vector<core::Problem> problems;
@@ -285,7 +258,7 @@ std::vector<core::Problem> parse_batch_jsonl(std::istream& in,
     bool blank = true;
     for (const char c : line) blank &= c == ' ' || c == '\t' || c == '\r';
     if (blank) continue;
-    const auto fields = json_object(line, line_no);
+    const auto fields = parse_flat_json(line, line_no);
     std::string path, inline_text;
     for (const auto& [key, value] : fields) {
       if (key == "path") {
@@ -327,36 +300,61 @@ std::vector<core::Problem> load_batch(const std::string& path) {
 }
 
 std::string format_problem(const core::Problem& problem) {
+  // Shortest round-trip number formatting throughout: the emitted text
+  // parses back to the bit-identical instance, which is what lets the
+  // server wire format guarantee bit-identical solve results.
   const auto& platform = problem.platform();
-  if (!platform.has_uniform_bandwidth()) {
-    throw std::invalid_argument(
-        "format_problem: only comm-homogeneous platforms are expressible");
-  }
   std::ostringstream os;
   os << "comm " << to_string(problem.comm_model()) << '\n';
-  os << "alpha " << util::format_double(platform.alpha()) << '\n';
-  os << "bandwidth " << util::format_double(platform.uniform_bandwidth())
-     << '\n';
+  os << "alpha " << format_double_exact(platform.alpha()) << '\n';
+  if (platform.has_uniform_bandwidth()) {
+    os << "bandwidth " << format_double_exact(platform.uniform_bandwidth())
+       << '\n';
+  }
   for (std::size_t u = 0; u < platform.processor_count(); ++u) {
     const auto& proc = platform.processor(u);
     os << "processor "
        << (proc.name().empty() ? "P" + std::to_string(u) : proc.name())
-       << " static=" << util::format_double(proc.static_energy()) << " speeds=";
+       << " static=" << format_double_exact(proc.static_energy())
+       << " speeds=";
     for (std::size_t m = 0; m < proc.mode_count(); ++m) {
-      os << (m ? "," : "") << util::format_double(proc.speed(m));
+      os << (m ? "," : "") << format_double_exact(proc.speed(m));
     }
     os << '\n';
   }
   for (std::size_t a = 0; a < problem.application_count(); ++a) {
     const auto& app = problem.application(a);
     os << "app " << (app.name().empty() ? "App" + std::to_string(a) : app.name())
-       << " weight=" << util::format_double(app.weight())
-       << " input=" << util::format_double(app.boundary_size(0)) << " stages=";
+       << " weight=" << format_double_exact(app.weight())
+       << " input=" << format_double_exact(app.boundary_size(0)) << " stages=";
     for (std::size_t k = 0; k < app.stage_count(); ++k) {
-      os << (k ? "," : "") << util::format_double(app.compute(k)) << ':'
-         << util::format_double(app.boundary_size(k + 1));
+      os << (k ? "," : "") << format_double_exact(app.compute(k)) << ':'
+         << format_double_exact(app.boundary_size(k + 1));
     }
     os << '\n';
+  }
+  if (!platform.has_uniform_bandwidth()) {
+    const std::size_t p = platform.processor_count();
+    for (std::size_t u = 0; u < p; ++u) {
+      os << "link " << u << ' ';
+      for (std::size_t v = 0; v < p; ++v) {
+        os << (v ? "," : "") << format_double_exact(platform.bandwidth(u, v));
+      }
+      os << '\n';
+    }
+    for (std::size_t a = 0; a < problem.application_count(); ++a) {
+      os << "input " << a << ' ';
+      for (std::size_t u = 0; u < p; ++u) {
+        os << (u ? "," : "") << format_double_exact(platform.in_bandwidth(a, u));
+      }
+      os << '\n';
+      os << "output " << a << ' ';
+      for (std::size_t u = 0; u < p; ++u) {
+        os << (u ? "," : "")
+           << format_double_exact(platform.out_bandwidth(a, u));
+      }
+      os << '\n';
+    }
   }
   return os.str();
 }

@@ -8,7 +8,7 @@
 /// # the paper's §2 example
 /// comm overlap              # or no-overlap (default overlap)
 /// alpha 2                   # energy exponent (default 2)
-/// bandwidth 1               # uniform link bandwidth (required)
+/// bandwidth 1               # uniform link bandwidth
 /// processor P1 static=0 speeds=3,6
 /// processor P2 static=0 speeds=6,8
 /// processor P3 static=0 speeds=1,6
@@ -16,25 +16,30 @@
 /// app App2 weight=1 input=0 stages=2:2,6:1,4:1,2:1
 /// ```
 ///
-/// Only communication-homogeneous platforms are expressible (uniform
-/// `bandwidth`); heterogeneous-link instances are constructed in code.
-/// `parse_problem` reports the offending line on error.
+/// Fully heterogeneous platforms replace the single `bandwidth` line with
+/// explicit per-link rows (0-based indices in declaration order; exactly
+/// one of the two styles per instance):
+///
+/// ```text
+/// link 0 1,2.5,4            # row u of the symmetric p×p matrix
+/// input 0 1,1,0.5           # app a's source-to-P_u bandwidths (p values)
+/// output 0 2,1,1            # app a's P_u-to-sink bandwidths (p values)
+/// ```
+///
+/// All p `link` rows and all A `input`/`output` rows are then required.
+/// Numbers are emitted by `format_problem` in shortest round-trip form, so
+/// parse(format(problem)) reproduces the instance bit for bit — the
+/// property the pipeopt-server wire format builds on. `parse_problem`
+/// reports the offending line on error (io::ParseError, from json.hpp).
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/problem.hpp"
+#include "io/json.hpp"
 
 namespace pipeopt::io {
-
-/// Thrown on malformed input; the message names the line number.
-class ParseError : public std::runtime_error {
- public:
-  ParseError(std::size_t line, const std::string& what)
-      : std::runtime_error("line " + std::to_string(line) + ": " + what) {}
-};
 
 /// Parses the text format from a stream.
 [[nodiscard]] core::Problem parse_problem(std::istream& in);
@@ -64,8 +69,9 @@ class ParseError : public std::runtime_error {
 /// unreadable, ParseError on malformed content.
 [[nodiscard]] std::vector<core::Problem> load_batch(const std::string& path);
 
-/// Serializes a problem back to the text format (round-trips through
-/// parse_problem for comm-homogeneous platforms).
+/// Serializes a problem back to the text format, uniform-bandwidth or
+/// fully heterogeneous alike; parse_problem(format_problem(p)) rebuilds the
+/// identical instance (shortest round-trip number formatting).
 [[nodiscard]] std::string format_problem(const core::Problem& problem);
 
 }  // namespace pipeopt::io

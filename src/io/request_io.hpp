@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file request_io.hpp
+/// Wire form of one solve request — the request side of the pipeopt-server
+/// protocol, shared by the CLI `client` subcommand and the tests. One flat
+/// JSON object per line (json.hpp dialect, every value a string):
+///
+/// ```json
+/// {"type":"solve","objective":"energy","kind":"interval",
+///  "weights":"unit","solver":"branch-and-bound",
+///  "period_bounds":"2,2","latency_bounds":"5,5","energy_budget":"10",
+///  "node_budget":"1000000","time_budget_s":"1.5","seed":"7",
+///  "deadline_ms":"500","id":"42","problem":"comm overlap\n..."}
+/// ```
+///
+/// `problem` carries the instance inline in the text format of
+/// problem_io.hpp (lossless for every platform class); `path` loads it
+/// from a file instead — exactly one of the two. Every other field is
+/// optional and defaults to the corresponding `SolveRequest` default;
+/// bounds are comma lists with either one value (replicated per
+/// application, like the CLI) or one value per application. `id` is an
+/// opaque client tag the server echoes into the matching result line.
+///
+/// `parse_solve_request(format_solve_request(problem, request))` rebuilds
+/// both the instance and the request bit for bit (shortest round-trip
+/// number formatting) — the foundation of the server's bit-identity
+/// guarantee. Malformed input throws io::ParseError; the server maps that
+/// to a structured `{"type":"error",...}` line instead of dying.
+
+#include <cstddef>
+#include <string>
+
+#include "api/request.hpp"
+#include "core/problem.hpp"
+#include "io/json.hpp"
+
+namespace pipeopt::io {
+
+/// One decoded wire request: the instance, the facade request, and the
+/// client's correlation id ("" when absent).
+struct WireSolveRequest {
+  core::Problem problem;
+  api::SolveRequest request;
+  std::string id;
+};
+
+/// Decodes already-parsed fields (the server parses the line once to read
+/// "type", then hands the fields over). Relative "path" values resolve
+/// against `base_dir`. \throws ParseError naming `line_no`.
+[[nodiscard]] WireSolveRequest parse_solve_request(
+    const JsonFields& fields, std::size_t line_no = 1,
+    const std::string& base_dir = {});
+
+/// `parse_flat_json` + `parse_solve_request`.
+[[nodiscard]] WireSolveRequest parse_solve_request_line(
+    const std::string& line, std::size_t line_no = 1,
+    const std::string& base_dir = {});
+
+/// One request as a single JSONL line (no trailing newline), instance
+/// inline. Fields equal to the SolveRequest defaults are omitted; the
+/// cancel token does not travel (arm deadlines via `deadline_ms`).
+[[nodiscard]] std::string format_solve_request(
+    const core::Problem& problem, const api::SolveRequest& request,
+    const std::string& id = {});
+
+}  // namespace pipeopt::io

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file result_io.hpp
+/// Wire form of one solve result — the response side of the pipeopt-server
+/// protocol, and the format of CLI `solve-batch --out` JSONL files, so the
+/// batch path and the server share one result serialization. One flat JSON
+/// object per line (json.hpp dialect):
+///
+/// ```json
+/// {"type":"result","id":"42","status":"optimal","solver":"interval-period-dp",
+///  "value":"2.5","mapping":"0:0-2@1/1;1:0-0@2/0",
+///  "periods":"2.5,2","latencies":"4,3","weighted_period":"2.5",
+///  "weighted_latency":"4","energy":"12","wall_s":"0.0012",
+///  "diag.nodes":"123"}
+/// ```
+///
+/// The mapping travels as `app:first-last@proc/mode` interval terms joined
+/// by ';'. `mapping` and the metrics fields appear only when the solve
+/// produced a mapping; diagnostics keep their order under `diag.`-prefixed
+/// keys. Numbers are shortest-round-trip (json.hpp), so
+/// `parse_result(format_result(r))` reproduces the result bit for bit —
+/// except `wall_s`, which is honest wall time and can be omitted
+/// (`include_wall = false`) when lines are compared across runs.
+
+#include <cstddef>
+#include <string>
+
+#include "api/result.hpp"
+#include "core/mapping.hpp"
+#include "io/json.hpp"
+
+namespace pipeopt::io {
+
+/// One decoded wire result with its correlation id ("" when absent).
+struct WireResult {
+  api::SolveResult result;
+  std::string id;
+};
+
+/// One result as a single JSONL line (no trailing newline).
+[[nodiscard]] std::string format_result(const api::SolveResult& result,
+                                        const std::string& id = {},
+                                        bool include_wall = true);
+
+/// Decodes already-parsed fields. \throws ParseError naming `line_no`.
+[[nodiscard]] WireResult parse_result(const JsonFields& fields,
+                                      std::size_t line_no = 1);
+
+/// `parse_flat_json` + `parse_result`.
+[[nodiscard]] WireResult parse_result_line(const std::string& line,
+                                           std::size_t line_no = 1);
+
+/// Mapping wire form: interval terms `app:first-last@proc/mode` joined by
+/// ';' ("0:0-2@1/1;1:0-0@2/0").
+[[nodiscard]] std::string format_mapping(const core::Mapping& mapping);
+
+/// Inverse of format_mapping. \throws ParseError on malformed text.
+[[nodiscard]] core::Mapping parse_mapping(const std::string& text,
+                                          std::size_t line_no = 1);
+
+}  // namespace pipeopt::io

@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file server.hpp
+/// pipeopt-server: a long-lived JSONL-over-TCP solve service on top of
+/// `api::Executor` — the ROADMAP's server front end.
+///
+/// Protocol: newline-delimited JSON, one flat object per line (json.hpp
+/// dialect). Request lines:
+///
+///  * `{"type":"solve", ...}` — a request_io.hpp solve request (instance
+///    inline or by path). Answered with one result_io.hpp
+///    `{"type":"result", ...}` line; the optional `id` is echoed back.
+///  * `{"type":"stats"}` — answered with `{"type":"stats", ...}`: the
+///    ServerStats counters plus the executor pool's size and occupancy.
+///  * `{"type":"ping"}` — answered with `{"type":"pong"}` (liveness).
+///
+/// A malformed or unsupported line is answered with a structured
+/// `{"type":"error","message":...}` line — the connection (and the server)
+/// survives. Requests on one connection are served strictly in order;
+/// concurrency comes from concurrent connections multiplexed over one
+/// shared `api::Executor` pool.
+///
+/// Cancellation: each solve runs under its own `util::CancelSource`. The
+/// wire `deadline_ms` arms a wall-clock deadline inside the plan
+/// (`SolveRequest::deadline_ms`), and while a solve is in flight the
+/// session watches its TCP connection — a client that disconnects cancels
+/// its in-flight solve within one watch interval, without touching other
+/// connections. Both paths surface as the typed LimitExceeded "cancelled"
+/// result (the disconnected client just never reads it). The protocol
+/// contract for TCP clients is therefore: keep the write side open until
+/// every pending response has arrived — closing the connection (half- or
+/// full-close alike; the two are indistinguishable at FIN time) tells the
+/// server the answers are unwanted. In --stdio mode there is no such
+/// watch: EOF on stdin only ends the request stream, and everything
+/// already read is still solved and flushed to stdout.
+///
+/// Shutdown: `shutdown()` (also wired to SIGINT/SIGTERM by
+/// `install_signal_handlers`) stops accepting, half-closes every session
+/// so no further requests are read, lets in-flight solves finish and their
+/// responses flush, then `serve()` returns — the executor pool drains, no
+/// future is abandoned.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "server/stats.hpp"
+
+namespace pipeopt::server {
+
+struct ServerOptions {
+  /// Listen address (TCP mode).
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 picks an ephemeral port (read it back via `port()`).
+  std::uint16_t port = 0;
+  /// Executor pool size; 0 = hardware concurrency.
+  std::size_t jobs = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  /// Joins the accept loop if still running (via shutdown) and the pool.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens; returns the bound port (the ephemeral one when
+  /// options.port was 0). \throws std::runtime_error on bind failures.
+  std::uint16_t listen();
+
+  /// Accept loop: serves connections until `shutdown()`. Call from the
+  /// thread that owns the server's lifetime; sessions run on their own
+  /// threads. Implies `listen()` when not yet listening. When this
+  /// returns, every session is joined and every response flushed.
+  void serve();
+
+  /// Serves one already-open stream (the --stdio mode: in_fd = stdin,
+  /// out_fd = stdout) until EOF on in_fd. Does not require listen().
+  void serve_stream(int in_fd, int out_fd);
+
+  /// Initiates graceful shutdown: stop accepting, half-close sessions,
+  /// finish in-flight solves. Thread-safe, idempotent, returns
+  /// immediately; `serve()` returning marks the drain complete.
+  void shutdown();
+
+  /// Routes SIGINT/SIGTERM to this server's `shutdown()` (one server per
+  /// process; the last call wins). Also ignores SIGPIPE, so a client that
+  /// vanishes mid-response surfaces as a write error, not a process kill.
+  static void install_signal_handlers(Server& server);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] api::Executor& executor() noexcept { return executor_; }
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
+  /// One connection's read-dispatch-respond loop. `is_socket` enables the
+  /// disconnect watch (TCP sessions only; see the file comment).
+  void session_loop(int in_fd, int out_fd, bool is_socket, Session* session);
+
+  /// Handles one request line, writing exactly one response line.
+  void handle_line(const std::string& line, int out_fd, int watch_fd,
+                   bool is_socket, bool input_buffered);
+
+  /// Joins sessions that have finished (`done` set); `all` joins the rest.
+  void reap_sessions(bool all);
+
+  ServerOptions options_;
+  api::Executor executor_;
+  ServerStats stats_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< shutdown/signal wakeup for the poll loop
+  std::atomic<bool> stopping_{false};
+  std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace pipeopt::server

@@ -1,0 +1,39 @@
+#include "server/stats.hpp"
+
+namespace pipeopt::server {
+
+void ServerStats::record_result(const api::SolveResult& result) {
+  for (const auto& [key, value] : result.diagnostics) {
+    if (key == "cancelled") {
+      ++cancelled_;
+      break;
+    }
+  }
+  const std::string solver = result.solver.empty() ? "(none)" : result.solver;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, count] : per_solver_) {
+    if (name == solver) {
+      ++count;
+      return;
+    }
+  }
+  per_solver_.emplace_back(solver, 1);
+}
+
+std::vector<std::pair<std::string, std::string>> ServerStats::snapshot() const {
+  std::vector<std::pair<std::string, std::string>> fields;
+  fields.emplace_back("requests", std::to_string(requests_.load()));
+  fields.emplace_back("solves", std::to_string(solves_.load()));
+  fields.emplace_back("errors", std::to_string(errors_.load()));
+  fields.emplace_back("cancelled", std::to_string(cancelled_.load()));
+  fields.emplace_back("disconnect_cancels",
+                      std::to_string(disconnect_cancels_.load()));
+  fields.emplace_back("connections", std::to_string(connections_.load()));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, count] : per_solver_) {
+    fields.emplace_back("solver." + name, std::to_string(count));
+  }
+  return fields;
+}
+
+}  // namespace pipeopt::server

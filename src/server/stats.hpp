@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file stats.hpp
+/// Live counters of one pipeopt-server process, answered over the wire by
+/// the `{"type":"stats"}` request: lines served, solves dispatched,
+/// cancellations (deadline- or disconnect-driven), structured errors, and
+/// per-solver dispatch counts. All counters are monotone and thread-safe —
+/// every session thread records into the same instance while other
+/// sessions snapshot it.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/result.hpp"
+
+namespace pipeopt::server {
+
+class ServerStats {
+ public:
+  /// One accepted connection (TCP) or attached stream (--stdio).
+  void record_connection() noexcept { ++connections_; }
+
+  /// One request line handled (any type, well-formed or not).
+  void record_request() noexcept { ++requests_; }
+
+  /// One malformed or unsupported line answered with a structured error.
+  void record_error() noexcept { ++errors_; }
+
+  /// One solve dispatched into the executor pool.
+  void record_dispatch() noexcept { ++solves_; }
+
+  /// One solve finished: bumps the producing solver's dispatch count and
+  /// the cancellation counter when the result carries the "cancelled"
+  /// diagnostic (expired deadline, fired token or vanished client alike).
+  void record_result(const api::SolveResult& result);
+
+  /// One in-flight solve cancelled because its client disconnected.
+  void record_disconnect_cancel() noexcept { ++disconnect_cancels_; }
+
+  /// Ordered wire fields for the stats response (decimal-string values):
+  /// requests, solves, errors, cancelled, disconnect_cancels, connections,
+  /// then one "solver.<name>" field per solver in first-dispatch order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> snapshot() const;
+
+  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+  [[nodiscard]] std::uint64_t solves() const noexcept { return solves_; }
+  [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
+  [[nodiscard]] std::uint64_t cancelled() const noexcept { return cancelled_; }
+  [[nodiscard]] std::uint64_t disconnect_cancels() const noexcept {
+    return disconnect_cancels_;
+  }
+
+ private:
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> solves_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> disconnect_cancels_{0};
+  mutable std::mutex mutex_;  ///< guards per_solver_
+  std::vector<std::pair<std::string, std::uint64_t>> per_solver_;
+};
+
+}  // namespace pipeopt::server

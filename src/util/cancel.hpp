@@ -10,11 +10,17 @@
 /// poll observe the flag — so a cancelled solve unwinds through its normal
 /// bounded-search exit and returns a typed result, never leaks.
 ///
+/// A token may additionally carry a wall-clock deadline
+/// (`with_deadline`): once the deadline passes, `cancelled()` reports true
+/// with no source involved, so per-request timeouts need no timer thread —
+/// the same polls that observe a fired source observe the expired clock.
+///
 /// Both types are thread-safe: any thread may request cancellation while
 /// worker threads poll, which is exactly how the api::Executor threads a
 /// caller-held token through its pool.
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 namespace pipeopt::util {
@@ -26,14 +32,35 @@ class CancelToken {
  public:
   CancelToken() = default;
 
-  /// True when the owning source requested cancellation. A relaxed atomic
-  /// load — cheap enough to poll every few search nodes.
+  /// True when the owning source requested cancellation or the token's
+  /// deadline (if any) has passed. A relaxed atomic load plus at most one
+  /// steady-clock read — cheap enough to poll every few search nodes.
   [[nodiscard]] bool cancelled() const noexcept {
-    return flag_ && flag_->load(std::memory_order_relaxed);
+    if (flag_ && flag_->load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
   }
 
-  /// True when this token is connected to a source.
-  [[nodiscard]] bool cancellable() const noexcept { return flag_ != nullptr; }
+  /// True when this token is connected to a source or carries a deadline.
+  [[nodiscard]] bool cancellable() const noexcept {
+    return flag_ != nullptr || has_deadline_;
+  }
+
+  /// Copy of this token that additionally cancels once `deadline` passes.
+  /// The source link (if any) is preserved: whichever fires first wins. A
+  /// second call replaces the deadline rather than stacking.
+  [[nodiscard]] CancelToken with_deadline(
+      std::chrono::steady_clock::time_point deadline) const noexcept {
+    CancelToken token = *this;
+    token.deadline_ = deadline;
+    token.has_deadline_ = true;
+    return token;
+  }
+
+  /// `with_deadline(now + timeout)`.
+  [[nodiscard]] CancelToken with_timeout(
+      std::chrono::steady_clock::duration timeout) const noexcept {
+    return with_deadline(std::chrono::steady_clock::now() + timeout);
+  }
 
  private:
   friend class CancelSource;
@@ -41,6 +68,8 @@ class CancelToken {
       : flag_(std::move(flag)) {}
 
   std::shared_ptr<const std::atomic<bool>> flag_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
 };
 
 /// Owner of a cancellation flag. Tokens remain valid (and permanently

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file fdio.hpp
+/// Newline-framed I/O over raw file descriptors — the one line
+/// reader/writer every JSONL wire endpoint shares (server sessions, the
+/// CLI client, tests and benches), so framing behavior (EINTR retries,
+/// final unterminated lines, partial writes) cannot drift between copies.
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <string>
+
+namespace pipeopt::util {
+
+/// Blocking buffered line reader. Reads are retried on EINTR; any other
+/// read failure (including a receive timeout on a socket) ends the stream
+/// like EOF.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  /// Next '\n'-terminated line (terminator stripped; a final unterminated
+  /// line is returned too); false on end of stream with nothing pending.
+  bool next_line(std::string& line) {
+    for (;;) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line.assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (buffer_.empty()) return false;
+      line = std::move(buffer_);
+      buffer_.clear();
+      return true;
+    }
+  }
+
+  /// True when input beyond the current line is already buffered (for the
+  /// server: the client is pipelining, so it is demonstrably alive).
+  [[nodiscard]] bool buffered() const noexcept { return !buffer_.empty(); }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Writes `line` plus the '\n' frame, retrying on EINTR and short writes;
+/// false when the peer is gone (for sockets, make sure SIGPIPE is ignored
+/// so a vanished reader surfaces here instead of killing the process).
+inline bool write_line(int fd, std::string line) {
+  line += '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace pipeopt::util

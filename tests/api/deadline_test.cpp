@@ -1,0 +1,132 @@
+/// `SolveRequest::deadline_ms` — the wall-clock deadline armed by
+/// `SolvePlan::execute`: an expired deadline aborts even an exact search
+/// and comes back as the typed LimitExceeded "cancelled" result, exactly
+/// like a fired cancel token; a generous deadline changes nothing.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <limits>
+
+#include "api/executor.hpp"
+#include "api/registry.hpp"
+#include "gen/motivating_example.hpp"
+#include "util/cancel.hpp"
+
+namespace pipeopt::api {
+namespace {
+
+/// The PR 2 needle: a deterministically long branch-and-bound search. All
+/// costs are tiny except the final stage's output link on a fully-het
+/// platform, which the compute-only lower bounds never see — one-to-one
+/// search degenerates to near-full enumeration (>10^7 nodes, proved by the
+/// calibration guard in executor_test.cpp).
+core::Problem needle_instance() {
+  std::vector<core::StageSpec> cheap(5, {0.01, 0.0});
+  std::vector<core::StageSpec> tail = cheap;
+  tail.back().output_size = 100.0;
+  std::vector<core::Application> apps;
+  apps.emplace_back(0.0, cheap, 1.0, "A");
+  apps.emplace_back(0.0, tail, 1.0, "B");
+  const std::size_t p = 12;
+  std::vector<core::Processor> procs(p, core::Processor({1.0}));
+  std::vector<std::vector<double>> link(p, std::vector<double>(p, 1.0));
+  std::vector<std::vector<double>> in(2, std::vector<double>(p, 1.0));
+  std::vector<std::vector<double>> out(2, std::vector<double>(p, 1.0));
+  for (std::size_t u = 0; u < p; ++u) out[1][u] = 0.5 + 0.09 * u;
+  return core::Problem(std::move(apps),
+                       core::Platform(std::move(procs), std::move(link),
+                                      std::move(in), std::move(out)),
+                       core::CommModel::Overlap);
+}
+
+SolveRequest needle_request() {
+  SolveRequest request;
+  request.solver = "branch-and-bound";
+  request.kind = MappingKind::OneToOne;
+  request.node_budget = std::numeric_limits<std::uint64_t>::max();
+  return request;
+}
+
+bool has_diagnostic(const SolveResult& result, const char* key) {
+  for (const auto& [k, v] : result.diagnostics) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+TEST(Deadline, ExpiredDeadlineReturnsTypedCancelledResult) {
+  // 50ms of wall clock is far below the needle's >10^7-node search on any
+  // plausible machine, so the deadline always lands mid-search.
+  SolveRequest request = needle_request();
+  request.deadline_ms = 50;
+  const SolveResult result = solve(needle_instance(), request);
+  EXPECT_EQ(result.status, SolveStatus::LimitExceeded);
+  EXPECT_TRUE(has_diagnostic(result, "cancelled"));
+  EXPECT_FALSE(result.mapping.has_value());
+}
+
+TEST(Deadline, GenerousDeadlineLeavesTheSolveAlone) {
+  SolveRequest plain;
+  SolveRequest timed;
+  timed.deadline_ms = 3'600'000;  // an hour: never fires
+  const core::Problem problem = gen::motivating_example();
+  const SolveResult a = solve(problem, plain);
+  const SolveResult b = solve(problem, timed);
+  ASSERT_TRUE(a.solved());
+  ASSERT_TRUE(b.solved());
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.solver, b.solver);
+  EXPECT_EQ(a.value, b.value);
+}
+
+TEST(Deadline, WorksThroughTheExecutorPool) {
+  // The service path: deadline armed on the worker thread that executes the
+  // plan, not on the submitting thread.
+  Executor executor(ExecutorOptions{.jobs = 1});
+  SolveRequest request = needle_request();
+  request.deadline_ms = 50;
+  std::future<SolveResult> future =
+      executor.solve_async(needle_instance(), request);
+  const SolveResult result = future.get();
+  EXPECT_EQ(result.status, SolveStatus::LimitExceeded);
+  EXPECT_TRUE(has_diagnostic(result, "cancelled"));
+
+  // The pool survives and solves on.
+  EXPECT_TRUE(
+      executor.solve_async(gen::motivating_example(), SolveRequest{}).get().solved());
+}
+
+TEST(Deadline, StretchSoloSolveCancelledByDeadlineStaysTyped) {
+  // The stretch policy solves each application's solo optimum at bind
+  // time. A deadline that expires during those solo solves must surface as
+  // the documented typed cancellation (LimitExceeded + "cancelled", CLI
+  // exit 1), not as a NoSolver "no solo optimum" planning failure — the
+  // deadline arms on a token copy inside the inner execute, so the outer
+  // request's own token never reports it.
+  SolveRequest request;
+  request.weights = core::WeightPolicy::Stretch;
+  request.deadline_ms = 0;  // expires immediately, before any solo solve
+  const SolveResult result = solve(gen::motivating_example(), request);
+  EXPECT_EQ(result.status, SolveStatus::LimitExceeded);
+  EXPECT_TRUE(has_diagnostic(result, "cancelled"));
+  EXPECT_TRUE(has_diagnostic(result, "stretch"));
+}
+
+TEST(Deadline, CallerTokenStillWinsUnderADeadline) {
+  // Deadline and caller token compose: the earlier of the two cancels.
+  Executor executor(ExecutorOptions{.jobs = 1});
+  util::CancelSource source;
+  source.request_cancel();  // pre-fired: cancels long before the hour is up
+  SolveRequest request = needle_request();
+  request.deadline_ms = 3'600'000;
+  request.cancel = source.token();
+  const SolveResult result =
+      executor.solve_async(needle_instance(), request).get();
+  EXPECT_EQ(result.status, SolveStatus::LimitExceeded);
+  EXPECT_TRUE(has_diagnostic(result, "cancelled"));
+}
+
+}  // namespace
+}  // namespace pipeopt::api

@@ -68,6 +68,39 @@ echo '{"path": }' > "$TMPDIR/bad.jsonl"
 [ "$(run "$TMPDIR/empty.jsonl" solve-batch --objective period)" = 2 ] \
   || fail "empty batch manifest should exit 2"
 
+# --- solve-batch --out: the server wire format, one line per instance ----
+[ "$(run "$TMPDIR/batch.jsonl" solve-batch --objective period --out "$TMPDIR/results.jsonl")" = 0 ] \
+  || fail "solve-batch --out should exit 0"
+[ "$(wc -l < "$TMPDIR/results.jsonl")" = 3 ] \
+  || fail "--out should write one JSONL line per instance"
+grep -q '"type":"result"' "$TMPDIR/results.jsonl" \
+  || fail "--out lines should be result_io wire objects"
+[ "$(run "$TMPDIR/batch.jsonl" solve-batch --objective period --out)" = 2 ] \
+  || fail "--out without a path should exit 2"
+
+# --- serve / client / --timeout-ms exit-code paths ------------------------
+[ "$(run serve --help)" = 0 ] || fail "serve --help should exit 0"
+grep -q "stdio" "$TMPDIR/out" || fail "serve --help should document --stdio"
+[ "$(run serve --port nonsense)" = 2 ] || fail "bad serve --port should exit 2"
+[ "$(run serve --port 0 --nonsense)" = 2 ] || fail "unknown serve flag should exit 2"
+# client against a dead port fails cleanly with exit 2
+[ "$(run client --port 1 --manifest "$TMPDIR/batch.jsonl" --objective period)" = 2 ] \
+  || fail "client against a dead port should exit 2"
+[ "$(run client --manifest "$TMPDIR/batch.jsonl" --objective period)" = 2 ] \
+  || fail "client without --port should exit 2"
+[ "$(run client --port 1)" = 2 ] || fail "client without input should exit 2"
+# a deadline long enough to never fire leaves the solve untouched
+[ "$(run "$TMPDIR/ok.txt" solve --objective period --timeout-ms 60000)" = 0 ] \
+  || fail "solve --timeout-ms with a generous deadline should exit 0"
+[ "$(run "$TMPDIR/ok.txt" solve --objective period --timeout-ms)" = 2 ] \
+  || fail "--timeout-ms without a value should exit 2"
+# one full request/response round trip through serve --stdio
+printf '{"type":"ping","id":"smoke"}\n' | "$BIN" serve --stdio \
+  > "$TMPDIR/stdio.out" 2>/dev/null \
+  || fail "serve --stdio should exit 0 at EOF"
+grep -q '"type":"pong"' "$TMPDIR/stdio.out" \
+  || fail "serve --stdio should answer the ping"
+
 # --- exit 1: infeasible ---------------------------------------------------
 [ "$(run "$TMPDIR/ok.txt" solve --objective energy --period-bounds 0.0001)" = 1 ] \
   || fail "unmeetable period bound should exit 1"

@@ -121,17 +121,51 @@ TEST(ProblemIo, DomainValidationPropagates) {
   }
 }
 
-TEST(ProblemIo, FormatRejectsHeterogeneousLinks) {
+TEST(ProblemIo, HeterogeneousLinksRoundTripThroughText) {
+  // Fully heterogeneous platforms travel as link/input/output rows (the
+  // wire-format extension); format -> parse preserves every bandwidth.
   std::vector<core::Processor> procs;
   procs.emplace_back(std::vector<double>{1.0});
-  procs.emplace_back(std::vector<double>{1.0});
-  std::vector<std::vector<double>> links{{1.0, 2.0}, {2.0, 1.0}};
-  std::vector<std::vector<double>> io_table{{1.0, 1.0}};
-  core::Platform het(std::move(procs), links, io_table, io_table);
+  procs.emplace_back(std::vector<double>{2.0});
+  std::vector<std::vector<double>> links{{1.0, 2.5}, {2.5, 1.0}};
+  std::vector<std::vector<double>> in_table{{1.0, 4.0}};
+  std::vector<std::vector<double>> out_table{{0.5, 3.0}};
+  core::Platform het(std::move(procs), links, in_table, out_table);
   std::vector<core::Application> apps;
   apps.push_back(core::Application(0.0, {core::StageSpec{1.0, 0.0}}));
   const core::Problem p(std::move(apps), std::move(het));
-  EXPECT_THROW((void)format_problem(p), std::invalid_argument);
+
+  const core::Problem back = parse_problem_string(format_problem(p));
+  EXPECT_EQ(back.platform().classify(), core::PlatformClass::FullyHeterogeneous);
+  EXPECT_EQ(back.platform().bandwidth(0, 1), 2.5);
+  EXPECT_EQ(back.platform().in_bandwidth(0, 1), 4.0);
+  EXPECT_EQ(back.platform().out_bandwidth(0, 0), 0.5);
+  EXPECT_EQ(format_problem(back), format_problem(p));
+}
+
+TEST(ProblemIo, HeterogeneousRowsMustBeComplete) {
+  // A het instance with a missing or conflicting row is rejected with a
+  // line-numbered error, like every other malformed directive.
+  const std::string base =
+      "comm overlap\n"
+      "processor P static=0 speeds=1\nprocessor Q static=0 speeds=1\n"
+      "app A weight=1 input=0 stages=1:0\n";
+  EXPECT_THROW((void)parse_problem_string(base + "link 0 1,1\ninput 0 1,1\n"),
+               ParseError);  // missing link row 1 and output row 0
+  EXPECT_THROW((void)parse_problem_string(base + "bandwidth 1\nlink 0 1,1\n"),
+               ParseError);  // uniform and per-link styles are exclusive
+  EXPECT_THROW(
+      (void)parse_problem_string(base + "link 0 1,1\nlink 0 1,1\nlink 1 1,1\n" +
+                                 "input 0 1,1\noutput 0 1,1\n"),
+      ParseError);  // duplicate row
+  EXPECT_THROW(
+      (void)parse_problem_string(base + "link 0 1\nlink 1 1,1\n" +
+                                 "input 0 1,1\noutput 0 1,1\n"),
+      ParseError);  // short row
+  EXPECT_THROW(
+      (void)parse_problem_string(base + "link 0 1,1\nlink 7 1,1\n" +
+                                 "input 0 1,1\noutput 0 1,1\n"),
+      ParseError);  // index out of range
 }
 
 TEST(ProblemIo, MissingFileReported) {

@@ -1,0 +1,187 @@
+/// Wire-format property tests for the request side: every objective ×
+/// mapping kind × weight policy × constraint shape round-trips through
+/// `format_solve_request` / `parse_solve_request_line` bit for bit, for
+/// instances of every platform class (the heterogeneous text extension);
+/// malformed input throws ParseError instead of crashing.
+
+#include "io/request_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
+#include "io/problem_io.hpp"
+#include "util/random.hpp"
+
+namespace pipeopt::io {
+namespace {
+
+/// Field-by-field request equality (the cancel token does not travel).
+void expect_same_request(const api::SolveRequest& a, const api::SolveRequest& b) {
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_EQ(a.solver, b.solver);
+  EXPECT_EQ(a.node_budget, b.node_budget);
+  EXPECT_EQ(a.time_budget_seconds, b.time_budget_seconds);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+  EXPECT_EQ(a.constraints.energy_budget, b.constraints.energy_budget);
+  ASSERT_EQ(a.constraints.period.has_value(), b.constraints.period.has_value());
+  if (a.constraints.period) {
+    ASSERT_EQ(a.constraints.period->size(), b.constraints.period->size());
+    for (std::size_t i = 0; i < a.constraints.period->size(); ++i) {
+      EXPECT_EQ(a.constraints.period->bound(i), b.constraints.period->bound(i));
+    }
+  }
+  ASSERT_EQ(a.constraints.latency.has_value(), b.constraints.latency.has_value());
+  if (a.constraints.latency) {
+    ASSERT_EQ(a.constraints.latency->size(), b.constraints.latency->size());
+    for (std::size_t i = 0; i < a.constraints.latency->size(); ++i) {
+      EXPECT_EQ(a.constraints.latency->bound(i), b.constraints.latency->bound(i));
+    }
+  }
+}
+
+/// Bit-exact problem equality via the (lossless) text serialization.
+void expect_same_problem(const core::Problem& a, const core::Problem& b) {
+  EXPECT_EQ(format_problem(a), format_problem(b));
+}
+
+TEST(RequestIo, RoundTripsEveryObjectiveKindAndWeightPolicy) {
+  const core::Problem problem = gen::motivating_example();
+  for (const api::Objective objective :
+       {api::Objective::Period, api::Objective::Latency, api::Objective::Energy}) {
+    for (const api::MappingKind kind :
+         {api::MappingKind::Interval, api::MappingKind::OneToOne}) {
+      for (const core::WeightPolicy weights :
+           {core::WeightPolicy::Unit, core::WeightPolicy::Priority,
+            core::WeightPolicy::Stretch}) {
+        api::SolveRequest request;
+        request.objective = objective;
+        request.kind = kind;
+        request.weights = weights;
+        const WireSolveRequest wire = parse_solve_request_line(
+            format_solve_request(problem, request));
+        expect_same_request(request, wire.request);
+        expect_same_problem(problem, wire.problem);
+        EXPECT_TRUE(wire.id.empty());
+      }
+    }
+  }
+}
+
+TEST(RequestIo, RoundTripsEveryConstraintAndBudgetShape) {
+  const core::Problem problem = gen::motivating_example();  // 2 applications
+  std::vector<api::SolveRequest> shapes;
+  {
+    api::SolveRequest r;  // defaults only
+    shapes.push_back(r);
+    r.constraints.period = core::Thresholds::per_app({2.0, 0.125});
+    shapes.push_back(r);
+    r.constraints.latency = core::Thresholds::per_app({5.5, 1e-3});
+    shapes.push_back(r);
+    r.constraints.energy_budget = 17.25;
+    shapes.push_back(r);
+    r.solver = "branch-and-bound";
+    r.node_budget = 123456789;
+    shapes.push_back(r);
+    r.time_budget_seconds = 0.1;
+    r.seed = 7;
+    r.deadline_ms = 250;
+    shapes.push_back(r);
+    // Unconstrained entries are +inf and must survive the wire too.
+    api::SolveRequest inf;
+    inf.constraints.period = core::Thresholds::unconstrained(2);
+    shapes.push_back(inf);
+  }
+  for (const api::SolveRequest& request : shapes) {
+    const WireSolveRequest wire =
+        parse_solve_request_line(format_solve_request(problem, request, "tag-9"));
+    expect_same_request(request, wire.request);
+    expect_same_problem(problem, wire.problem);
+    EXPECT_EQ(wire.id, "tag-9");
+  }
+}
+
+TEST(RequestIo, RoundTripsInstancesOfEveryPlatformClass) {
+  // The server must carry the whole Tables 1/2 grid, so the text format's
+  // heterogeneous extension (link/input/output rows) must be lossless too.
+  util::Rng rng(20260728);
+  for (const core::PlatformClass cls :
+       {core::PlatformClass::FullyHomogeneous,
+        core::PlatformClass::CommHomogeneous,
+        core::PlatformClass::FullyHeterogeneous}) {
+    for (int i = 0; i < 4; ++i) {
+      gen::ProblemShape shape;
+      shape.platform_class = cls;
+      shape.applications = 2 + static_cast<std::size_t>(i % 2);
+      shape.processors = 4;
+      shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
+                                : core::CommModel::NoOverlap;
+      const core::Problem problem = gen::random_problem(rng, shape);
+      const WireSolveRequest wire = parse_solve_request_line(
+          format_solve_request(problem, api::SolveRequest{}));
+      expect_same_problem(problem, wire.problem);
+      EXPECT_EQ(problem.platform().classify(), wire.problem.platform().classify());
+    }
+  }
+}
+
+TEST(RequestIo, SingleBoundReplicatesPerApplication) {
+  const std::string line =
+      R"({"type":"solve","period_bounds":"3.5","problem":")"
+      R"(comm overlap\nbandwidth 1\nprocessor P static=0 speeds=1\n)"
+      R"(processor Q static=0 speeds=1\napp A weight=1 input=0 stages=1:0\n)"
+      R"(app B weight=1 input=0 stages=1:0\n"})";
+  const WireSolveRequest wire = parse_solve_request_line(line);
+  ASSERT_TRUE(wire.request.constraints.period.has_value());
+  ASSERT_EQ(wire.request.constraints.period->size(), 2u);
+  EXPECT_EQ(wire.request.constraints.period->bound(0), 3.5);
+  EXPECT_EQ(wire.request.constraints.period->bound(1), 3.5);
+}
+
+TEST(RequestIo, MalformedInputThrowsParseError) {
+  const core::Problem problem = gen::motivating_example();
+  const std::string ok = format_solve_request(problem, api::SolveRequest{});
+  const std::vector<std::string> bad = {
+      "",                                         // not an object
+      "solve",                                    // not JSON at all
+      "{\"type\":\"solve\"}",                     // no instance
+      "{\"type\":\"nonsense\",\"problem\":\"x\"}",  // wrong type tag
+      "{\"type\":\"solve\",\"problem\":\"bandwidth\"}",  // bad instance text
+      "{\"type\":\"solve\",\"objective\":\"speed\",\"problem\":\"x\"}",
+      "{\"type\":\"solve\",\"nonsense\":\"1\",\"problem\":\"x\"}",
+      "{\"type\":\"solve\",\"deadline_ms\":\"-5\",\"problem\":\"x\"}",
+      "{\"type\":\"solve\",\"period_bounds\":\"1,2,3\",\"problem\":\"" +
+          std::string("comm overlap\\nbandwidth 1\\nprocessor P static=0 ") +
+          "speeds=1\\napp A weight=1 input=0 stages=1:0\\n\"}",  // arity
+      ok + "trailing",                            // junk after the object
+  };
+  for (const std::string& line : bad) {
+    EXPECT_THROW((void)parse_solve_request_line(line), ParseError)
+        << "should reject: " << line;
+  }
+}
+
+TEST(RequestIo, PathFieldResolvesAgainstBaseDir) {
+  // Written to a temp dir, loaded back through the relative-path branch.
+  const core::Problem problem = gen::motivating_example();
+  const std::string dir = ::testing::TempDir() + "request_io_test";
+  ASSERT_EQ(0, std::system(("mkdir -p " + dir).c_str()));
+  {
+    std::ofstream out(dir + "/inst.txt");
+    out << format_problem(problem);
+  }
+  const WireSolveRequest wire = parse_solve_request_line(
+      R"({"type":"solve","path":"inst.txt"})", 1, dir);
+  expect_same_problem(problem, wire.problem);
+}
+
+}  // namespace
+}  // namespace pipeopt::io

@@ -1,0 +1,161 @@
+/// Wire-format property tests for the result side: every status, every
+/// limit/diagnostic variant and real solver outputs round-trip through
+/// `format_result` / `parse_result_line` bit for bit; the mapping wire form
+/// inverts exactly; malformed lines throw ParseError.
+
+#include "io/result_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "core/evaluation.hpp"
+#include "gen/motivating_example.hpp"
+#include "util/numeric.hpp"
+
+namespace pipeopt::io {
+namespace {
+
+void expect_same_result(const api::SolveResult& a, const api::SolveResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.solver, b.solver);
+  EXPECT_EQ(a.value, b.value);  // bit-identical, no tolerance
+  EXPECT_EQ(a.wall_seconds, b.wall_seconds);
+  EXPECT_EQ(a.diagnostics, b.diagnostics);
+  ASSERT_EQ(a.mapping.has_value(), b.mapping.has_value());
+  if (a.mapping) {
+    ASSERT_EQ(a.mapping->interval_count(), b.mapping->interval_count());
+    for (std::size_t i = 0; i < a.mapping->interval_count(); ++i) {
+      EXPECT_EQ(a.mapping->intervals()[i], b.mapping->intervals()[i]);
+    }
+  }
+  ASSERT_EQ(a.metrics.per_app.size(), b.metrics.per_app.size());
+  for (std::size_t i = 0; i < a.metrics.per_app.size(); ++i) {
+    EXPECT_EQ(a.metrics.per_app[i].period, b.metrics.per_app[i].period);
+    EXPECT_EQ(a.metrics.per_app[i].latency, b.metrics.per_app[i].latency);
+  }
+  EXPECT_EQ(a.metrics.max_weighted_period, b.metrics.max_weighted_period);
+  EXPECT_EQ(a.metrics.max_weighted_latency, b.metrics.max_weighted_latency);
+  EXPECT_EQ(a.metrics.energy, b.metrics.energy);
+}
+
+TEST(ResultIo, RoundTripsARealSolveOfEveryObjective) {
+  const core::Problem problem = gen::motivating_example();
+  for (const api::Objective objective :
+       {api::Objective::Period, api::Objective::Latency, api::Objective::Energy}) {
+    api::SolveRequest request;
+    request.objective = objective;
+    if (objective == api::Objective::Energy) {
+      request.constraints.period = core::Thresholds::per_app({10.0, 10.0});
+    }
+    const api::SolveResult result = api::solve(problem, request);
+    ASSERT_TRUE(result.solved());
+    const WireResult wire = parse_result_line(format_result(result, "id-1"));
+    expect_same_result(result, wire.result);
+    EXPECT_EQ(wire.id, "id-1");
+  }
+}
+
+TEST(ResultIo, RoundTripsEveryStatusAndDiagnosticVariant) {
+  std::vector<api::SolveResult> variants;
+  {
+    api::SolveResult optimal;
+    optimal.status = api::SolveStatus::Optimal;
+    optimal.solver = "interval-period-dp";
+    optimal.value = 0.1 + 0.2;  // a value with no short decimal form
+    optimal.mapping = core::Mapping(std::vector<core::IntervalAssignment>{
+        {0, 0, 2, 1, 1}, {1, 0, 0, 2, 0}});
+    optimal.metrics.per_app = {{1.5, 2.25}, {1.0 / 3.0, 7.0}};
+    optimal.metrics.max_weighted_period = 1.5;
+    optimal.metrics.max_weighted_latency = 7.0;
+    optimal.metrics.energy = 42.0;
+    optimal.wall_seconds = 0.00123;
+    optimal.diagnostics = {{"nodes", "123"}, {"rung", "greedy"}};
+    variants.push_back(optimal);
+
+    api::SolveResult feasible = optimal;
+    feasible.status = api::SolveStatus::Feasible;
+    feasible.diagnostics = {{"caveat", "heuristic, no optimality proof"}};
+    variants.push_back(feasible);
+
+    api::SolveResult infeasible;
+    infeasible.status = api::SolveStatus::Infeasible;
+    infeasible.solver = "exact-enumeration";
+    infeasible.value = util::kInfinity;  // +inf must survive the wire
+    infeasible.diagnostics = {{"nodes", "40320"}};
+    variants.push_back(infeasible);
+
+    api::SolveResult limit;
+    limit.status = api::SolveStatus::LimitExceeded;
+    limit.solver = "branch-and-bound";
+    limit.value = util::kInfinity;
+    limit.diagnostics = {{"node-budget", "exhausted after 1000000 nodes"}};
+    variants.push_back(limit);
+
+    api::SolveResult cancelled = limit;
+    cancelled.diagnostics = {{"cancelled", "cancel token fired"}};
+    variants.push_back(cancelled);
+
+    api::SolveResult no_solver;
+    no_solver.status = api::SolveStatus::NoSolver;
+    no_solver.value = util::kInfinity;
+    no_solver.diagnostics = {
+        {"reason", "unknown solver: nope"},
+        {"spicy \"quotes\"\n\tand controls", "survive\\the wire"}};
+    variants.push_back(no_solver);
+  }
+  for (const api::SolveResult& result : variants) {
+    expect_same_result(result, parse_result_line(format_result(result)).result);
+  }
+}
+
+TEST(ResultIo, MappingWireFormInvertsExactly) {
+  const core::Problem problem = gen::motivating_example();
+  const api::SolveResult result = api::solve(problem, api::SolveRequest{});
+  ASSERT_TRUE(result.solved());
+  const core::Mapping& mapping = *result.mapping;
+  const core::Mapping back = parse_mapping(format_mapping(mapping));
+  ASSERT_EQ(back.interval_count(), mapping.interval_count());
+  for (std::size_t i = 0; i < mapping.interval_count(); ++i) {
+    EXPECT_EQ(back.intervals()[i], mapping.intervals()[i]);
+  }
+  // The round-tripped mapping is still valid and evaluates identically.
+  EXPECT_FALSE(back.validate(problem).has_value());
+  EXPECT_EQ(core::evaluate(problem, back).energy, result.metrics.energy);
+}
+
+TEST(ResultIo, OmittingWallMakesLinesComparableAcrossRuns) {
+  const core::Problem problem = gen::motivating_example();
+  const api::SolveResult a = api::solve(problem, api::SolveRequest{});
+  api::SolveResult b = a;
+  b.wall_seconds = a.wall_seconds + 1.0;  // a different run's honest wall
+  EXPECT_NE(format_result(a), format_result(b));
+  EXPECT_EQ(format_result(a, "", /*include_wall=*/false),
+            format_result(b, "", /*include_wall=*/false));
+  // Parsing a wall-less line leaves wall at zero.
+  EXPECT_EQ(parse_result_line(format_result(a, "", false)).result.wall_seconds,
+            0.0);
+}
+
+TEST(ResultIo, MalformedLinesThrowParseError) {
+  const std::vector<std::string> bad = {
+      "",
+      "{}",                                    // missing status
+      "{\"status\":\"victorious\"}",           // unknown status
+      "{\"type\":\"solve\",\"status\":\"optimal\"}",  // wrong type tag
+      "{\"status\":\"optimal\",\"value\":\"abc\"}",
+      "{\"status\":\"optimal\",\"mapping\":\"0:0-2\"}",   // truncated term
+      "{\"status\":\"optimal\",\"mapping\":\"0:2-0@0/0\"}",  // inverted interval
+      "{\"status\":\"optimal\",\"periods\":\"1\"}",  // periods without latencies
+      "{\"status\":\"optimal\",\"nonsense\":\"1\"}",
+  };
+  for (const std::string& line : bad) {
+    EXPECT_THROW((void)parse_result_line(line), ParseError)
+        << "should reject: " << line;
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::io

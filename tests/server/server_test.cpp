@@ -1,0 +1,480 @@
+/// End-to-end tests of pipeopt-server over real sockets: responses over
+/// the Table 1/2 grid are bit-identical to per-call `api::solve`, malformed
+/// lines get structured errors instead of killing the process, deadlines
+/// expire into typed cancelled results, a client that disconnects
+/// mid-solve cancels its in-flight search (the PR 2 needle instance)
+/// without affecting other connections, and shutdown drains gracefully.
+
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
+#include "io/request_io.hpp"
+#include "io/result_io.hpp"
+#include "util/fdio.hpp"
+
+namespace pipeopt::server {
+namespace {
+
+/// A listening server with its accept loop on a background thread.
+class TestServer {
+ public:
+  explicit TestServer(std::size_t jobs = 2) : server_(ServerOptions{.jobs = jobs}) {
+    ::signal(SIGPIPE, SIG_IGN);  // a test client may vanish mid-response
+    port_ = server_.listen();
+    thread_ = std::thread([this] { server_.serve(); });
+  }
+
+  ~TestServer() {
+    server_.shutdown();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] Server& server() noexcept { return server_; }
+
+  /// Joins the accept loop (after shutdown()): proves serve() returned.
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  Server server_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Minimal blocking JSONL client.
+class WireClient {
+ public:
+  explicit WireClient(std::uint16_t port) : fd_(connect_fd(port)), reader_(fd_) {
+    connected_ = fd_ >= 0;
+    timeval timeout{30, 0};  // a hung server fails the test, not the suite
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  }
+
+  ~WireClient() { close(); }
+
+  [[nodiscard]] bool connected() const noexcept { return connected_; }
+
+  void send_line(const std::string& line) {
+    ASSERT_TRUE(util::write_line(fd_, line));
+  }
+
+  /// Next response line; nullopt on EOF/timeout.
+  std::optional<std::string> recv_line() {
+    std::string line;
+    if (!reader_.next_line(line)) return std::nullopt;
+    return line;
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  static int connect_fd(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+  util::FdLineReader reader_;
+};
+
+/// The Table 1 grid shape: every platform column, alternating communication
+/// models, deterministic seeds (mirrors the executor tests).
+std::vector<core::Problem> table_grid(std::size_t per_class) {
+  std::vector<core::Problem> problems;
+  util::Rng rng(424242);
+  for (const core::PlatformClass cls :
+       {core::PlatformClass::FullyHomogeneous,
+        core::PlatformClass::CommHomogeneous,
+        core::PlatformClass::FullyHeterogeneous}) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      gen::ProblemShape shape;
+      shape.platform_class = cls;
+      shape.applications = 2;
+      shape.processors = 5;
+      shape.app.min_stages = 1;
+      shape.app.max_stages = 3;
+      shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
+                                : core::CommModel::NoOverlap;
+      problems.push_back(gen::random_problem(rng, shape));
+    }
+  }
+  return problems;
+}
+
+/// The PR 2 needle: a deterministically long branch-and-bound search (see
+/// executor_test.cpp for the calibration guard proving > 10^7 nodes).
+core::Problem needle_instance() {
+  std::vector<core::StageSpec> cheap(5, {0.01, 0.0});
+  std::vector<core::StageSpec> tail = cheap;
+  tail.back().output_size = 100.0;
+  std::vector<core::Application> apps;
+  apps.emplace_back(0.0, cheap, 1.0, "A");
+  apps.emplace_back(0.0, tail, 1.0, "B");
+  const std::size_t p = 12;
+  std::vector<core::Processor> procs(p, core::Processor({1.0}));
+  std::vector<std::vector<double>> link(p, std::vector<double>(p, 1.0));
+  std::vector<std::vector<double>> in(2, std::vector<double>(p, 1.0));
+  std::vector<std::vector<double>> out(2, std::vector<double>(p, 1.0));
+  for (std::size_t u = 0; u < p; ++u) out[1][u] = 0.5 + 0.09 * u;
+  return core::Problem(std::move(apps),
+                       core::Platform(std::move(procs), std::move(link),
+                                      std::move(in), std::move(out)),
+                       core::CommModel::Overlap);
+}
+
+api::SolveRequest needle_request() {
+  api::SolveRequest request;
+  request.solver = "branch-and-bound";
+  request.kind = api::MappingKind::OneToOne;
+  // Large enough that only cancellation ends the search in test time, small
+  // enough that a cancellation bug stalls minutes, not forever.
+  request.node_budget = 1'000'000'000;
+  return request;
+}
+
+/// Canonical wall-less wire line for comparing results across processes.
+std::string comparable(const api::SolveResult& result) {
+  return io::format_result(result, "", /*include_wall=*/false);
+}
+
+std::string comparable(const std::string& wire_line) {
+  return comparable(io::parse_result_line(wire_line).result);
+}
+
+TEST(Server, ResponsesBitIdenticalToPerCallSolveOverTheGrid) {
+  TestServer harness(/*jobs=*/2);
+  WireClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+
+  const std::vector<core::Problem> grid = table_grid(3);
+  std::vector<api::SolveRequest> requests;
+  {
+    api::SolveRequest period;  // defaults: weighted period over intervals
+    requests.push_back(period);
+    api::SolveRequest latency;
+    latency.objective = api::Objective::Latency;
+    requests.push_back(latency);
+    api::SolveRequest energy;
+    energy.objective = api::Objective::Energy;
+    energy.constraints.period = core::Thresholds::per_app({100.0, 100.0});
+    requests.push_back(energy);
+  }
+
+  for (const core::Problem& problem : grid) {
+    for (const api::SolveRequest& request : requests) {
+      client.send_line(io::format_solve_request(problem, request));
+      const auto response = client.recv_line();
+      ASSERT_TRUE(response.has_value());
+      EXPECT_EQ(comparable(*response), comparable(api::solve(problem, request)))
+          << "wire solve diverged from api::solve on: " << *response;
+    }
+  }
+}
+
+TEST(Server, EchoesTheRequestId) {
+  TestServer harness;
+  WireClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  client.send_line(io::format_solve_request(gen::motivating_example(),
+                                            api::SolveRequest{}, "req-17"));
+  const auto response = client.recv_line();
+  ASSERT_TRUE(response.has_value());
+  const io::WireResult wire = io::parse_result_line(*response);
+  EXPECT_EQ(wire.id, "req-17");
+  EXPECT_TRUE(wire.result.solved());
+}
+
+TEST(Server, MalformedLineGetsStructuredErrorAndConnectionSurvives) {
+  TestServer harness;
+  WireClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+
+  // Three ways to be wrong: not JSON, bad request field, unknown type.
+  for (const std::string& bad :
+       {std::string("this is not json"),
+        std::string(R"({"type":"solve","objective":"sideways","problem":"x"})"),
+        std::string(R"({"type":"dance","id":"d1"})")}) {
+    client.send_line(bad);
+    const auto response = client.recv_line();
+    ASSERT_TRUE(response.has_value());
+    const io::JsonFields fields = io::parse_flat_json(*response);
+    ASSERT_FALSE(fields.empty());
+    EXPECT_EQ(fields.front().first, "type");
+    EXPECT_EQ(fields.front().second, "error");
+  }
+
+  // The connection (and the server) is still fine afterwards.
+  client.send_line(
+      io::format_solve_request(gen::motivating_example(), api::SolveRequest{}));
+  const auto response = client.recv_line();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(io::parse_result_line(*response).result.solved());
+  EXPECT_EQ(harness.server().stats().errors(), 3u);
+}
+
+TEST(Server, PingAndStatsAnswerInline) {
+  TestServer harness;
+  WireClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+
+  client.send_line(R"({"type":"ping","id":"p1"})");
+  auto response = client.recv_line();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(*response, R"({"type":"pong","id":"p1"})");
+
+  client.send_line(
+      io::format_solve_request(gen::motivating_example(), api::SolveRequest{}));
+  ASSERT_TRUE(client.recv_line().has_value());
+
+  client.send_line(R"({"type":"stats"})");
+  response = client.recv_line();
+  ASSERT_TRUE(response.has_value());
+  const io::JsonFields fields = io::parse_flat_json(*response);
+  auto value_of = [&](const std::string& key) -> std::optional<std::string> {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  };
+  EXPECT_EQ(value_of("type"), "stats");
+  EXPECT_EQ(value_of("solves"), "1");
+  EXPECT_EQ(value_of("cancelled"), "0");
+  EXPECT_EQ(value_of("requests"), "3");  // ping + solve + this stats line
+  EXPECT_TRUE(value_of("jobs").has_value());
+  EXPECT_TRUE(value_of("pending").has_value());
+  // The dispatched solver shows up as a per-solver count.
+  const api::SolveResult local =
+      api::solve(gen::motivating_example(), api::SolveRequest{});
+  EXPECT_EQ(value_of("solver." + local.solver), "1");
+}
+
+TEST(Server, DeadlineExpiresIntoTypedCancelledResultOverTheWire) {
+  TestServer harness;
+  WireClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+
+  api::SolveRequest request = needle_request();
+  request.deadline_ms = 50;
+  client.send_line(io::format_solve_request(needle_instance(), request));
+  const auto response = client.recv_line();
+  ASSERT_TRUE(response.has_value());
+  const io::WireResult wire = io::parse_result_line(*response);
+  EXPECT_EQ(wire.result.status, api::SolveStatus::LimitExceeded);
+  bool cancelled = false;
+  for (const auto& [key, value] : wire.result.diagnostics) {
+    cancelled |= key == "cancelled";
+  }
+  EXPECT_TRUE(cancelled);
+  EXPECT_EQ(harness.server().stats().cancelled(), 1u);
+}
+
+TEST(Server, DisconnectCancelsInFlightSolveWithoutAffectingOthers) {
+  TestServer harness(/*jobs=*/2);
+
+  // Connection A starts the needle search (provably > 10^7 nodes) ...
+  auto victim = std::make_unique<WireClient>(harness.port());
+  ASSERT_TRUE(victim->connected());
+  victim->send_line(
+      io::format_solve_request(needle_instance(), needle_request()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // ... and vanishes mid-solve. The session's watch fires its
+  // CancelSource; the worker comes back within one check stride.
+  victim->close();
+  victim.reset();
+
+  // Connection B is untouched: it solves while A's cancellation lands.
+  WireClient other(harness.port());
+  ASSERT_TRUE(other.connected());
+  other.send_line(
+      io::format_solve_request(gen::motivating_example(), api::SolveRequest{}));
+  const auto response = other.recv_line();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(io::parse_result_line(*response).result.solved());
+
+  // The cancellation is observable in the stats (bounded wait: the watch
+  // interval plus one cancel-check stride, with a generous margin).
+  const auto& stats = harness.server().stats();
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while ((stats.disconnect_cancels() < 1 || stats.cancelled() < 1) &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(stats.disconnect_cancels(), 1u);
+  EXPECT_EQ(stats.cancelled(), 1u);
+
+  // And the pool survives: B can still solve.
+  other.send_line(
+      io::format_solve_request(gen::motivating_example(), api::SolveRequest{}));
+  const auto again = other.recv_line();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(io::parse_result_line(*again).result.solved());
+}
+
+TEST(Server, PipelinedRequestsAreAllAnsweredInOrder) {
+  TestServer harness;
+  WireClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  const core::Problem problem = gen::motivating_example();
+  std::string burst;
+  for (int i = 0; i < 3; ++i) {
+    burst += io::format_solve_request(problem, api::SolveRequest{},
+                                      "burst-" + std::to_string(i)) +
+             "\n";
+  }
+  // One write, three requests: exercises the buffered-input path where the
+  // disconnect watch must stand down.
+  client.send_line(burst.substr(0, burst.size() - 1));
+  for (int i = 0; i < 3; ++i) {
+    const auto response = client.recv_line();
+    ASSERT_TRUE(response.has_value());
+    const io::WireResult wire = io::parse_result_line(*response);
+    EXPECT_EQ(wire.id, "burst-" + std::to_string(i));
+    EXPECT_TRUE(wire.result.solved());
+  }
+}
+
+TEST(Server, GracefulShutdownDrainsAndStopsAccepting) {
+  TestServer harness;
+  const std::uint16_t port = harness.port();
+  {
+    WireClient client(port);
+    ASSERT_TRUE(client.connected());
+    client.send_line(
+        io::format_solve_request(gen::motivating_example(), api::SolveRequest{}));
+    ASSERT_TRUE(client.recv_line().has_value());
+
+    harness.server().shutdown();
+    harness.join();  // serve() returned: sessions joined, drain complete
+  }
+  WireClient late(port);
+  // Either the connect fails outright or the half-open socket yields EOF.
+  if (late.connected()) {
+    late.send_line(R"({"type":"ping"})");
+    EXPECT_FALSE(late.recv_line().has_value());
+  }
+}
+
+TEST(Server, StdioEofDoesNotCancelTheInFlightSolve) {
+  // The one-shot pipe idiom: `printf <request> | pipeopt serve --stdio`.
+  // The writer closes stdin immediately, but the stdout reader is still
+  // there — EOF on the request stream must end the session AFTER the
+  // in-flight solve completes, never cancel it. The needle under a node
+  // budget takes well over one watch interval, so a disconnect-cancel bug
+  // would return "cancelled" here instead of the budget result.
+  int in_pipe[2], out_pipe[2];
+  ASSERT_EQ(::pipe(in_pipe), 0);
+  ASSERT_EQ(::pipe(out_pipe), 0);
+
+  Server server(ServerOptions{.jobs = 1});
+  api::SolveRequest request = needle_request();
+  request.node_budget = 2'000'000;  // >> one 10ms watch tick, << test budget
+  const std::string input =
+      io::format_solve_request(needle_instance(), request) + "\n";
+  ASSERT_EQ(::write(in_pipe[1], input.data(), input.size()),
+            static_cast<ssize_t>(input.size()));
+  ::close(in_pipe[1]);  // writer gone before the solve even starts
+
+  server.serve_stream(in_pipe[0], out_pipe[1]);
+  ::close(out_pipe[1]);
+  ::close(in_pipe[0]);
+
+  std::string output;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(out_pipe[0], chunk, sizeof chunk)) > 0) {
+    output.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(out_pipe[0]);
+
+  ASSERT_FALSE(output.empty());
+  const io::WireResult wire =
+      io::parse_result_line(output.substr(0, output.find('\n')));
+  EXPECT_EQ(wire.result.status, api::SolveStatus::LimitExceeded);
+  bool budget = false, cancelled = false;
+  for (const auto& [key, value] : wire.result.diagnostics) {
+    budget |= key == "node-budget";
+    cancelled |= key == "cancelled";
+  }
+  EXPECT_TRUE(budget);      // the honest end of the bounded search ...
+  EXPECT_FALSE(cancelled);  // ... not a misread "client disconnected"
+  EXPECT_EQ(server.stats().disconnect_cancels(), 0u);
+}
+
+TEST(Server, StdioStreamServesBufferedRequestsToEof) {
+  // The --stdio mode: requests piped in, write end closed immediately —
+  // buffered requests must all be answered, not mistaken for a disconnect.
+  int in_pipe[2], out_pipe[2];
+  ASSERT_EQ(::pipe(in_pipe), 0);
+  ASSERT_EQ(::pipe(out_pipe), 0);
+
+  Server server(ServerOptions{.jobs = 1});
+  const core::Problem problem = gen::motivating_example();
+  std::string input;
+  input += io::format_solve_request(problem, api::SolveRequest{}, "s0") + "\n";
+  input += R"({"type":"stats","id":"s1"})" "\n";
+  ASSERT_EQ(::write(in_pipe[1], input.data(), input.size()),
+            static_cast<ssize_t>(input.size()));
+  ::close(in_pipe[1]);
+
+  server.serve_stream(in_pipe[0], out_pipe[1]);
+  ::close(out_pipe[1]);
+  ::close(in_pipe[0]);
+
+  std::string output;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(out_pipe[0], chunk, sizeof chunk)) > 0) {
+    output.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(out_pipe[0]);
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    if (output[i] == '\n') {
+      lines.push_back(output.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  const io::WireResult solve = io::parse_result_line(lines[0]);
+  EXPECT_EQ(solve.id, "s0");
+  EXPECT_TRUE(solve.result.solved());
+  EXPECT_NE(lines[1].find("\"type\":\"stats\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\":\"s1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipeopt::server

@@ -1,0 +1,96 @@
+/// CancelSource/CancelToken semantics, including the deadline-carrying
+/// tokens behind `SolveRequest::deadline_ms`: a token cancels when its
+/// source fires OR its wall-clock deadline passes, whichever comes first.
+
+#include "util/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace pipeopt::util {
+namespace {
+
+using std::chrono::hours;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+TEST(Cancel, DefaultTokenNeverCancels) {
+  const CancelToken token;
+  EXPECT_FALSE(token.cancellable());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Cancel, SourceFiresItsTokens) {
+  CancelSource source;
+  const CancelToken token = source.token();
+  EXPECT_TRUE(token.cancellable());
+  EXPECT_FALSE(token.cancelled());
+  source.request_cancel();
+  EXPECT_TRUE(source.cancel_requested());
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(Cancel, TokenOutlivesItsSource) {
+  CancelToken token;
+  {
+    CancelSource source;
+    token = source.token();
+    source.request_cancel();
+  }  // the source dies; the flag is shared, so the token stays cancelled
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(Cancel, PastDeadlineCancelsWithoutASource) {
+  const CancelToken token =
+      CancelToken{}.with_deadline(steady_clock::now() - milliseconds(1));
+  EXPECT_TRUE(token.cancellable());
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(Cancel, FutureDeadlineDoesNotCancelYet) {
+  const CancelToken token = CancelToken{}.with_timeout(hours(1));
+  EXPECT_TRUE(token.cancellable());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Cancel, DeadlineExpiryIsObservedByPolling) {
+  const CancelToken token = CancelToken{}.with_timeout(milliseconds(10));
+  // Poll like a solver would; the token flips within the timeout plus one
+  // sleep quantum. Generous bound keeps this robust on a loaded machine.
+  const auto give_up = steady_clock::now() + std::chrono::seconds(10);
+  while (!token.cancelled() && steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(Cancel, SourceStillWinsOnADeadlineToken) {
+  CancelSource source;
+  const CancelToken token = source.token().with_timeout(hours(1));
+  EXPECT_FALSE(token.cancelled());
+  source.request_cancel();
+  EXPECT_TRUE(token.cancelled());  // far before the deadline
+}
+
+TEST(Cancel, WithDeadlineReplacesNotStacks) {
+  // A second with_deadline overrides the first — the plan re-arms a fresh
+  // window per execution, so an earlier (already expired) deadline must not
+  // linger on the copied token.
+  const CancelToken expired =
+      CancelToken{}.with_deadline(steady_clock::now() - milliseconds(1));
+  const CancelToken rearmed = expired.with_timeout(hours(1));
+  EXPECT_TRUE(expired.cancelled());
+  EXPECT_FALSE(rearmed.cancelled());
+}
+
+TEST(Cancel, WithDeadlineLeavesTheOriginalAlone) {
+  const CancelToken plain;
+  const CancelToken timed = plain.with_timeout(milliseconds(0));
+  EXPECT_FALSE(plain.cancellable());
+  EXPECT_TRUE(timed.cancellable());
+}
+
+}  // namespace
+}  // namespace pipeopt::util

@@ -2,12 +2,15 @@
 # CI entry point: the tier-1 verify line (see ROADMAP.md) with warnings
 # promoted to errors, then the full ctest suite (unit + property tests and
 # the CLI exit-code smoke test, including solve-batch), then a
-# ThreadSanitizer pass over the threaded executor/plan subsystem.
+# pipeopt-server smoke stage (live TCP server driven by the client
+# subcommand, responses diffed bit-identical against solve-batch --out),
+# then a ThreadSanitizer pass over the threaded executor/plan/server
+# subsystems.
 #
 #   tools/ci.sh [build-dir]
 #
 # PIPEOPT_WERROR=ON applies -Wall -Wextra -Werror to every target,
-# including the src/api/ facade and executor layers.
+# including the src/api/ facade, executor and server layers.
 set -eu
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-ci}"
@@ -16,16 +19,82 @@ cmake -B "$BUILD_DIR" -S . -DPIPEOPT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# ThreadSanitizer build of the executor, plan and cancellation tests — the
-# code that actually runs worker pools. Skipped (loudly) when the toolchain
-# has no libtsan; everything above has already gated the merge. The probe
-# uses the same compiler CMake will ($CXX when set), so probe and build
-# cannot disagree.
+# Server smoke: start pipeopt-server on an ephemeral port, drive it with
+# the client subcommand over a small Table 1-shaped manifest for every
+# objective, and require the wire results to be byte-identical to
+# solve-batch --out (same wire format; wall time is the one honest field
+# stripped before the diff). SIGTERM must drain and exit 0.
+SMOKE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/pipeopt_server_smoke.XXXXXX")
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+BIN="$BUILD_DIR/pipeopt"
+
+cat > "$SMOKE_DIR/hom.txt" <<'PROB'
+comm overlap
+bandwidth 1
+processor P1 static=0 speeds=2
+processor P2 static=0 speeds=2
+processor P3 static=0 speeds=2
+app A weight=1 input=1 stages=3:1,2:1
+app B weight=2 input=0 stages=4:1
+PROB
+cat > "$SMOKE_DIR/het.txt" <<'PROB'
+# comm-homogeneous, multi-modal (the paper's motivating shape)
+comm no-overlap
+alpha 3
+bandwidth 2
+processor P1 static=0.5 speeds=3,6
+processor P2 static=1 speeds=6,8
+processor P3 static=0 speeds=1,6
+app A weight=1 input=1 stages=3:3,2:2,1:0
+app B weight=1 input=0 stages=2:2,6:1,4:1,2:1
+PROB
+cat > "$SMOKE_DIR/batch.jsonl" <<PROB
+{"path": "hom.txt"}
+{"path": "het.txt"}
+{"path": "hom.txt"}
+PROB
+
+"$BIN" serve --port 0 --jobs 2 > "$SMOKE_DIR/server.out" 2>"$SMOKE_DIR/server.err" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SMOKE_DIR/server.out")
+  [ -n "$PORT" ] && break
+  i=$((i + 1)); sleep 0.1
+done
+[ -n "$PORT" ] || { echo "ci: server never announced its port" >&2; exit 1; }
+
+for OBJECTIVE in period latency energy; do
+  EXTRA=""
+  [ "$OBJECTIVE" = energy ] && EXTRA="--period-bounds 100"
+  "$BIN" client --port "$PORT" --manifest "$SMOKE_DIR/batch.jsonl" \
+      --objective "$OBJECTIVE" $EXTRA > "$SMOKE_DIR/wire.jsonl"
+  "$BIN" "$SMOKE_DIR/batch.jsonl" solve-batch --objective "$OBJECTIVE" $EXTRA \
+      --out "$SMOKE_DIR/local.jsonl" > /dev/null
+  sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/wire.jsonl" > "$SMOKE_DIR/wire.cmp"
+  sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/local.jsonl" > "$SMOKE_DIR/local.cmp"
+  diff "$SMOKE_DIR/wire.cmp" "$SMOKE_DIR/local.cmp" || {
+    echo "ci: server results diverged from solve-batch ($OBJECTIVE)" >&2; exit 1;
+  }
+done
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "ci: server did not drain cleanly on SIGTERM" >&2; exit 1; }
+echo "ci: server smoke green (3 objectives bit-identical over TCP)"
+
+# ThreadSanitizer build of the executor, plan, cancellation and server
+# tests — the code that actually runs worker pools and session threads.
+# Skipped (loudly) when the toolchain has no libtsan; everything above has
+# already gated the merge. The probe uses the same compiler CMake will
+# ($CXX when set), so probe and build cannot disagree.
 if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - -o "${TMPDIR:-/tmp}/pipeopt_tsan_probe.$$" 2>/dev/null; then
   rm -f "${TMPDIR:-/tmp}/pipeopt_tsan_probe.$$"
   cmake -B "$BUILD_DIR-tsan" -S . -DPIPEOPT_WERROR=ON -DPIPEOPT_TSAN=ON
   cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" --target pipeopt_tests
-  "$BUILD_DIR-tsan/pipeopt_tests" --gtest_filter='Executor.*:Plan.*:DispatchPlan.*'
+  "$BUILD_DIR-tsan/pipeopt_tests" \
+      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*'
 else
   echo "ci: ThreadSanitizer unavailable, skipping the tsan pass" >&2
 fi

@@ -18,12 +18,15 @@
 ///     --node-budget N            exact-search node budget
 ///     --time-budget S            heuristic wall-clock budget (seconds)
 ///     --seed N                   seed for stochastic solvers
-///   solve-batch --objective ... [--jobs N] [solve options]
+///   solve-batch --objective ... [--jobs N] [--out results.jsonl]
+///                                [solve options]
 ///                                <problem-file> is a JSONL manifest (one
 ///                                {"path": ...} or {"problem": ...} object
 ///                                per line); all instances are solved under
 ///                                one request, sharing one dispatch plan
-///                                across a worker pool of N threads
+///                                across a worker pool of N threads; --out
+///                                writes one result_io JSONL line per
+///                                instance (the server wire format)
 ///   list-solvers                 registered solvers, dispatch order,
 ///                                applicability for this instance
 ///   min-period [--exact]         legacy alias of solve --objective period
@@ -32,15 +35,41 @@
 ///   simulate D                   run the period-optimal mapping for D data
 ///                                sets and report measured period/latency
 ///
+/// Two commands take no problem file (they come first on the command line):
+///
+///   pipeopt serve [--host H] [--port N] [--jobs N] [--stdio]
+///                                long-lived JSONL solve service over TCP
+///                                (src/server/); --port 0 picks an
+///                                ephemeral port, announced on stdout;
+///                                --stdio serves stdin/stdout instead
+///   pipeopt client [--host H] --port N (--manifest M [solve options] | F)
+///                                scripted load generator: with --manifest,
+///                                one solve request per manifest instance
+///                                under shared solve flags; otherwise raw
+///                                JSONL request lines from file F ("-" =
+///                                stdin). Lock-step send/receive; responses
+///                                echo to stdout
+///
 /// Exit codes: 0 solved, 1 infeasible (or search budget exhausted),
 /// 2 usage/parse errors (including unknown or inapplicable solver names).
 /// solve-batch aggregates per-instance codes: the worst one wins
-/// (2 > 1 > 0), so a batch exits 0 only when every instance solved.
+/// (2 > 1 > 0), so a batch exits 0 only when every instance solved; the
+/// client aggregates its responses the same way (a server-side error line
+/// or a failed connection counts as 2).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -49,7 +78,11 @@
 #include "api/registry.hpp"
 #include "core/evaluation.hpp"
 #include "io/problem_io.hpp"
+#include "io/request_io.hpp"
+#include "io/result_io.hpp"
+#include "server/server.hpp"
 #include "sim/simulator.hpp"
+#include "util/fdio.hpp"
 #include "util/numeric.hpp"
 #include "util/table.hpp"
 
@@ -60,20 +93,26 @@ using namespace pipeopt;
 int usage() {
   std::fputs(
       "usage: pipeopt <problem-file> <command> [args]\n"
+      "       pipeopt serve|client [args]\n"
       "  show                       echo the parsed instance\n"
       "  solve --objective period|latency|energy [--solver auto|<name>]\n"
       "        [--kind interval|one-to-one] [--period-bounds T[,T...]]\n"
       "        [--latency-bounds L[,L...]] [--energy-budget E]\n"
       "        [--weights unit|priority|stretch] [--node-budget N]\n"
-      "        [--time-budget S] [--seed N]\n"
-      "  solve-batch --objective ... [--jobs N] [solve options]\n"
+      "        [--time-budget S] [--seed N] [--timeout-ms MS]\n"
+      "  solve-batch --objective ... [--jobs N] [--out results.jsonl]\n"
       "                             problem-file is a JSONL manifest; one\n"
       "                             request, one dispatch plan, N workers\n"
       "  list-solvers               registered solvers in dispatch order\n"
       "  min-period [--exact]       alias: solve --objective period\n"
       "  min-latency                alias: solve --objective latency\n"
       "  min-energy T1,T2,...       alias: solve --objective energy\n"
-      "  simulate <datasets>        execute the period-optimal mapping\n",
+      "  simulate <datasets>        execute the period-optimal mapping\n"
+      "  serve [--host H] [--port N] [--jobs N] [--stdio]\n"
+      "                             JSONL-over-TCP solve service (no\n"
+      "                             problem file; --port 0 = ephemeral)\n"
+      "  client [--host H] --port N (--manifest M [solve opts] | F | -)\n"
+      "                             send request lines, echo responses\n",
       stderr);
   return 2;
 }
@@ -237,6 +276,11 @@ std::optional<api::SolveRequest> parse_solve_args(
       const auto seed = parse_number<std::uint64_t>(*value);
       if (!seed) return std::nullopt;
       request.seed = *seed;
+    } else if (flag == "--timeout-ms") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      request.deadline_ms = parse_number<std::uint64_t>(*value);
+      if (!request.deadline_ms) return std::nullopt;
     } else {
       return std::nullopt;
     }
@@ -255,8 +299,9 @@ int run_solve_batch(const std::string& manifest_path,
     return 2;
   }
 
-  // Split --jobs from the shared solve flags.
+  // Split --jobs / --out from the shared solve flags.
   std::size_t jobs = 0;
+  std::string out_path;
   std::vector<std::string> solve_args;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--jobs") {
@@ -264,6 +309,9 @@ int run_solve_batch(const std::string& manifest_path,
       const auto parsed = parse_number<std::size_t>(args[++i]);
       if (!parsed) return usage();
       jobs = *parsed;  // 0 = hardware concurrency
+    } else if (args[i] == "--out") {
+      if (i + 1 >= args.size()) return usage();
+      out_path = args[++i];
     } else {
       solve_args.push_back(args[i]);
     }
@@ -286,6 +334,19 @@ int run_solve_batch(const std::string& manifest_path,
   api::Executor executor(api::ExecutorOptions{jobs});
   const api::BatchResult batch = executor.solve_batch(problems, *request);
 
+  if (!out_path.empty()) {
+    // One result_io line per instance — the same wire format the server
+    // speaks, so batch outputs and server responses diff directly.
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+      return 2;
+    }
+    for (const api::SolveResult& result : batch.results) {
+      out << io::format_result(result) << '\n';
+    }
+  }
+
   util::Table table({"#", "status", "solver", "value", "wall"});
   int worst = 0;
   for (std::size_t i = 0; i < batch.results.size(); ++i) {
@@ -299,6 +360,191 @@ int run_solve_batch(const std::string& manifest_path,
   std::printf("batch: %zu instances, jobs=%zu, dispatch plans=%zu, wall=%.3fs\n",
               batch.results.size(), executor.jobs(), batch.dispatch_plans,
               batch.wall_seconds);
+  return worst;
+}
+
+/// `pipeopt serve`: the long-lived JSONL solve service (src/server/).
+int run_serve(const std::vector<std::string>& args) {
+  server::ServerOptions options;
+  bool stdio = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--help") {
+      std::fputs(
+          "usage: pipeopt serve [--host H] [--port N] [--jobs N] [--stdio]\n"
+          "JSONL-over-TCP solve service over the api::Executor pool.\n"
+          "  --host H    listen address (default 127.0.0.1)\n"
+          "  --port N    listen port; 0 picks an ephemeral port (default),\n"
+          "              announced as 'pipeopt-server listening on H:P'\n"
+          "  --jobs N    worker pool size (default: hardware concurrency)\n"
+          "  --stdio     serve one session on stdin/stdout instead of TCP\n"
+          "Protocol: one JSON object per line; see src/server/server.hpp.\n"
+          "SIGINT/SIGTERM drain in-flight solves, then exit 0.\n",
+          stdout);
+      return 0;
+    }
+    if (flag == "--stdio") {
+      stdio = true;
+    } else if (flag == "--host") {
+      if (i + 1 >= args.size()) return usage();
+      options.host = args[++i];
+    } else if (flag == "--port") {
+      if (i + 1 >= args.size()) return usage();
+      const auto port = parse_number<std::uint16_t>(args[++i]);
+      if (!port) return usage();
+      options.port = *port;
+    } else if (flag == "--jobs") {
+      if (i + 1 >= args.size()) return usage();
+      const auto jobs = parse_number<std::size_t>(args[++i]);
+      if (!jobs) return usage();
+      options.jobs = *jobs;
+    } else {
+      return usage();
+    }
+  }
+  try {
+    server::Server server(options);
+    if (stdio) {
+      // A consumer that stops reading stdout must surface as a write
+      // error, not a SIGPIPE kill (TCP mode gets this from
+      // install_signal_handlers).
+      std::signal(SIGPIPE, SIG_IGN);
+      server.serve_stream(STDIN_FILENO, STDOUT_FILENO);
+      return 0;
+    }
+    const std::uint16_t port = server.listen();
+    std::printf("pipeopt-server listening on %s:%u\n", options.host.c_str(),
+                port);
+    std::fflush(stdout);  // scripts watch for this line to learn the port
+    server::Server::install_signal_handlers(server);
+    server.serve();
+    std::fprintf(stderr, "pipeopt-server: drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+/// Connects to host:port; -1 on failure.
+int connect_to(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Maps one server response line onto the CLI exit-code contract: error
+/// lines (or unparseable ones) are 2, results map like local solves, and
+/// pong/stats lines are 0.
+int response_exit_code(const std::string& line) {
+  try {
+    const io::JsonFields fields = io::parse_flat_json(line);
+    std::string type = "result";
+    for (const auto& [key, value] : fields) {
+      if (key == "type") type = value;
+    }
+    if (type == "error") return 2;
+    if (type != "result") return 0;
+    return exit_code(io::parse_result(fields).result);
+  } catch (const std::exception&) {
+    return 2;
+  }
+}
+
+/// `pipeopt client`: scripted load generation against a running server.
+int run_client(const std::vector<std::string>& args) {
+  std::string host = "127.0.0.1";
+  std::optional<std::uint16_t> port;
+  std::string manifest, raw_file;
+  std::vector<std::string> solve_args;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--host") {
+      if (i + 1 >= args.size()) return usage();
+      host = args[++i];
+    } else if (flag == "--port") {
+      if (i + 1 >= args.size()) return usage();
+      port = parse_number<std::uint16_t>(args[++i]);
+      if (!port) return usage();
+    } else if (flag == "--manifest") {
+      if (i + 1 >= args.size()) return usage();
+      manifest = args[++i];
+    } else if (!manifest.empty()) {
+      solve_args.push_back(flag);  // shared solve flags for --manifest mode
+    } else if (raw_file.empty()) {
+      raw_file = flag;  // positional: raw JSONL request lines ("-" = stdin)
+    } else {
+      return usage();
+    }
+  }
+  if (!port || (manifest.empty() && raw_file.empty())) return usage();
+
+  // Build the request lines before connecting: a usage error should not
+  // show up server-side as half a session.
+  std::vector<std::string> lines;
+  if (!manifest.empty()) {
+    const std::vector<core::Problem> problems = io::load_batch(manifest);
+    if (problems.empty()) {
+      std::fprintf(stderr, "error: empty manifest\n");
+      return 2;
+    }
+    const auto request = parse_solve_args(problems.front(), solve_args);
+    if (!request) return usage();
+    for (const core::Problem& problem : problems) {
+      lines.push_back(io::format_solve_request(problem, *request));
+    }
+  } else {
+    std::ifstream file;
+    if (raw_file != "-") {
+      file.open(raw_file);
+      if (!file) {
+        std::fprintf(stderr, "error: cannot read '%s'\n", raw_file.c_str());
+        return 2;
+      }
+    }
+    std::istream& in = raw_file == "-" ? std::cin : file;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+  }
+
+  const int fd = connect_to(host, *port);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to %s:%u\n", host.c_str(),
+                 *port);
+    return 2;
+  }
+
+  // Lock-step request/response keeps the output aligned with the input
+  // order (the server answers each connection's lines in order anyway).
+  std::signal(SIGPIPE, SIG_IGN);  // a dying server is exit 2, not a kill
+  int worst = 0;
+  util::FdLineReader reader(fd);
+  for (const std::string& line : lines) {
+    if (!util::write_line(fd, line)) {
+      std::fprintf(stderr, "error: connection lost mid-request\n");
+      ::close(fd);
+      return 2;
+    }
+    std::string response;
+    if (!reader.next_line(response)) {
+      std::fprintf(stderr, "error: connection closed before a response\n");
+      ::close(fd);
+      return 2;
+    }
+    std::printf("%s\n", response.c_str());
+    worst = std::max(worst, response_exit_code(response));
+  }
+  ::close(fd);
   return worst;
 }
 
@@ -326,6 +572,18 @@ int run_list_solvers(const core::Problem& problem) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // serve/client run without a problem file and come first on the line.
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    return run_serve(std::vector<std::string>(argv + 2, argv + argc));
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "client") == 0) {
+    try {
+      return run_client(std::vector<std::string>(argv + 2, argv + argc));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
   if (argc < 3) return usage();
   const std::string command = argv[2];
   std::vector<std::string> args(argv + 3, argv + argc);
