@@ -1,15 +1,18 @@
 /// \file bench_pareto_front.cpp
 /// Experiment PARETO: period/energy trade-off curves — the quantitative
 /// form of the paper's laptop/server narrative (§1) and of the §2 example's
-/// 136 -> 46 -> 10 progression. Sweeps period thresholds, solves the
-/// energy-minimization problem at each, and prints the resulting fronts.
+/// 136 -> 46 -> 10 progression. Drives `api::sweep` (the same facade path
+/// the server's {"type":"pareto"} request and the CLI `pareto` subcommand
+/// use): each sweep minimizes energy under a grid of period bounds, with a
+/// round of adaptive refinement, and prints the resulting fronts with the
+/// dispatched solver names.
 
 #include <cstdio>
+#include <vector>
 
-#include "algorithms/energy_interval_dp.hpp"
-#include "algorithms/interval_period_multi.hpp"
+#include "api/registry.hpp"
+#include "api/sweep.hpp"
 #include "core/pareto.hpp"
-#include "exact/exact_solvers.hpp"
 #include "gen/motivating_example.hpp"
 #include "gen/workloads.hpp"
 #include "util/table.hpp"
@@ -18,18 +21,36 @@ namespace {
 
 using namespace pipeopt;
 
-void print_front(const char* title, const std::vector<core::ParetoPoint>& pts) {
-  const auto front = core::pareto_front(pts, /*use_latency=*/false);
+void print_front(const char* title, const api::ParetoFront& front) {
   std::printf("%s (%zu sweep points -> %zu Pareto-optimal):\n", title,
-              pts.size(), front.size());
-  util::Table table({"period <=", "min energy"});
-  for (const auto& pt : front) {
-    table.add_row({util::format_double(pt.period, 4),
-                   util::format_double(pt.energy, 2)});
+              front.evaluations.size(), front.front.size());
+  util::Table table({"period <=", "min energy", "solver"});
+  for (const std::size_t index : front.front) {
+    const api::SweepEvaluation& evaluation = front.evaluations[index];
+    table.add_row({util::format_double(evaluation.bound, 4),
+                   util::format_double(evaluation.result.metrics.energy, 2),
+                   evaluation.result.solver});
   }
   std::fputs(table.render("  ").c_str(), stdout);
   std::printf("  energy monotone non-increasing in period: %s\n\n",
-              core::energy_monotone_in_period(front) ? "yes" : "NO");
+              front.monotone() ? "yes" : "NO");
+}
+
+/// Energy-minimization sweep over the given period-bound grid (the
+/// SweepRequest defaults), one adaptive refinement round.
+api::ParetoFront energy_sweep(const core::Problem& problem,
+                              std::vector<double> bounds) {
+  api::SweepRequest request;  // defaults: minimize energy, sweep period
+  request.bounds = std::move(bounds);
+  request.refine = 1;
+  return api::sweep(problem, request);
+}
+
+/// The fastest achievable weighted period — the natural left edge of a
+/// sweep grid — obtained through the facade like everything else.
+double min_period(const core::Problem& problem) {
+  const api::SolveResult fastest = api::solve(problem, api::SolveRequest{});
+  return fastest.value;
 }
 
 }  // namespace
@@ -40,18 +61,9 @@ int main() {
   // --- 1. The §2 example, exact front. ------------------------------------
   {
     const auto problem = gen::motivating_example();
-    std::vector<core::ParetoPoint> points;
-    for (double bound : {1.0, 1.25, 1.5, 1.75, 2.0, 3.0, 4.0, 7.0, 14.0}) {
-      const auto result = exact::exact_min_energy_under_period(
-          problem, exact::MappingKind::Interval,
-          core::Thresholds::per_app({bound, bound}));
-      if (!result) continue;
-      core::ParetoPoint pt;
-      pt.period = bound;
-      pt.energy = result->value;
-      points.push_back(pt);
-    }
-    print_front("Motivating example (exact; paper anchors 136/46/10)", points);
+    print_front(
+        "Motivating example (facade sweep; paper anchors 136/46/10)",
+        energy_sweep(problem, {1.0, 1.25, 1.5, 1.75, 2.0, 3.0, 4.0, 7.0, 14.0}));
   }
 
   // --- 2. Video service on a homogeneous DVFS cluster (Theorem 21 DP). ---
@@ -61,19 +73,13 @@ int main() {
     const core::Platform cluster =
         gen::homogeneous_cluster(10, 4, 2.0, 4.0, 16.0, 1.0);
     const core::Problem problem(streams, cluster, core::CommModel::Overlap);
-    const auto fastest = algorithms::interval_min_period(problem);
-    std::vector<core::ParetoPoint> points;
+    const double fastest = min_period(problem);
+    std::vector<double> bounds;
     for (double factor = 1.0; factor <= 4.01; factor += 0.25) {
-      const auto result = algorithms::interval_min_energy_under_period(
-          problem, core::Thresholds::uniform(problem, fastest->value * factor));
-      if (!result) continue;
-      core::ParetoPoint pt;
-      pt.period = fastest->value * factor;
-      pt.energy = result->value;
-      points.push_back(pt);
+      bounds.push_back(fastest * factor);
     }
-    print_front("Video cluster (Theorem 21 DP, 10 nodes x 4 DVFS modes)",
-                points);
+    print_front("Video cluster (10 nodes x 4 DVFS modes)",
+                energy_sweep(problem, std::move(bounds)));
   }
 
   // --- 3. Overlap vs no-overlap ablation on the same sweep. ---------------
@@ -83,22 +89,15 @@ int main() {
         gen::homogeneous_cluster(6, 3, 2.0, 3.0, 8.0, 0.5);
     for (const auto comm : {core::CommModel::Overlap, core::CommModel::NoOverlap}) {
       const core::Problem problem(streams, cluster, comm);
-      const auto fastest = algorithms::interval_min_period(problem);
-      std::vector<core::ParetoPoint> points;
+      const double fastest = min_period(problem);
+      std::vector<double> bounds;
       for (double factor = 1.0; factor <= 3.01; factor += 0.5) {
-        const auto result = algorithms::interval_min_energy_under_period(
-            problem,
-            core::Thresholds::uniform(problem, fastest->value * factor));
-        if (!result) continue;
-        core::ParetoPoint pt;
-        pt.period = fastest->value * factor;
-        pt.energy = result->value;
-        points.push_back(pt);
+        bounds.push_back(fastest * factor);
       }
       print_front(comm == core::CommModel::Overlap
                       ? "Ablation: overlap model (Eq. 3)"
                       : "Ablation: no-overlap model (Eq. 4)",
-                  points);
+                  energy_sweep(problem, std::move(bounds)));
     }
   }
   return 0;

@@ -104,6 +104,28 @@ BatchResult Executor::solve_batch(std::span<const core::Problem> problems,
   return batch;
 }
 
+ParetoFront Executor::sweep(const core::Problem& problem,
+                            const SweepRequest& request) {
+  // The shared driver supplies each round's per-point requests; this round
+  // evaluator is the only difference from the sequential api::sweep — one
+  // pool job per bound, futures gathered back in bound order.
+  return detail::run_sweep(
+      problem, request, [this, &problem](std::vector<SolveRequest> requests) {
+        std::vector<std::future<SolveResult>> futures;
+        futures.reserve(requests.size());
+        for (SolveRequest& point : requests) {
+          futures.push_back(enqueue(std::packaged_task<SolveResult()>(
+              [registry = registry_, &problem, point = std::move(point)] {
+                return registry->solve(problem, point);
+              })));
+        }
+        std::vector<SolveResult> results;
+        results.reserve(futures.size());
+        for (auto& future : futures) results.push_back(future.get());
+        return results;
+      });
+}
+
 Executor& default_executor() {
   static Executor executor{ExecutorOptions{}};
   return executor;

@@ -13,6 +13,13 @@
 ///    per-call `api::solve` (same code path underneath), in input order.
 ///  * `solve_async(problem, request)` — enqueues one solve and returns a
 ///    `std::future<SolveResult>` immediately.
+///  * `sweep(problem, sweep_request)` — a Pareto-front sweep (sweep.hpp)
+///    whose grid points fan over the same pool, one job per bound, round by
+///    refinement round. For sweeps that run to completion, results are
+///    bit-identical to the sequential `api::sweep` (same driver, same
+///    per-point solve underneath); a token that fires mid-round may cut
+///    the two at different grid points, since the pool evaluates a round's
+///    bounds concurrently.
 ///
 /// Cancellation is cooperative and caller-driven: put a
 /// `util::CancelSource`'s token into `request.cancel` before submitting,
@@ -35,6 +42,7 @@
 #include <vector>
 
 #include "api/registry.hpp"
+#include "api/sweep.hpp"
 
 namespace pipeopt::api {
 
@@ -94,6 +102,17 @@ class Executor {
   /// duration of the call (instances are NOT copied).
   [[nodiscard]] BatchResult solve_batch(std::span<const core::Problem> problems,
                                         const SolveRequest& request);
+
+  /// Evaluates a Pareto-front sweep with each refinement round's grid
+  /// points fanned over the pool (one job per bound, results gathered in
+  /// bound order). Blocks until the front is in; like `solve_batch`, it
+  /// must not be called from one of this executor's own workers (the
+  /// server drives it from a session-side thread for exactly that reason).
+  /// Bit-identical to the sequential `api::sweep` for sweeps that run to
+  /// completion (see the file comment for the mid-sweep-cancellation
+  /// caveat).
+  [[nodiscard]] ParetoFront sweep(const core::Problem& problem,
+                                  const SweepRequest& request);
 
  private:
   void worker_loop();

@@ -30,17 +30,6 @@ SolveResult cancelled_result() {
   return detail::cancelled("cancel token fired");
 }
 
-/// True when a result is the typed cancellation outcome — a fired token or
-/// an expired deadline (the deadline arms on a token copy inside execute,
-/// so the caller's own token may never report it).
-bool was_cancelled(const SolveResult& result) {
-  if (result.status != SolveStatus::LimitExceeded) return false;
-  for (const auto& [key, value] : result.diagnostics) {
-    if (key == "cancelled") return true;
-  }
-  return false;
-}
-
 /// Per-application thresholds must match the instance; a mismatched request
 /// is a caller error reported as a typed status, not an exception.
 bool thresholds_match(const core::ConstraintSet& cs, std::size_t apps) {
@@ -110,7 +99,7 @@ SolvePlan::SolvePlan(const DispatchPlan& dispatch, const core::Problem& problem)
         const SolveResult solo_result =
             dispatch.registry_->solve(solo, solo_request);
         if (!solo_result.solved() || !(solo_result.value > 0.0)) {
-          if (request_.cancel.cancelled() || was_cancelled(solo_result)) {
+          if (request_.cancel.cancelled() || solo_result.was_cancelled()) {
             // A token firing during a solo solve says nothing about
             // feasibility; keep the documented cancellation contract
             // (typed LimitExceeded, "cancelled" diagnostic, CLI exit 1).

@@ -71,24 +71,29 @@ struct SolveRequest {
   /// reproducible run to run.
   std::uint64_t seed = 42;
 
-  /// Wall-clock deadline for one execution, in milliseconds. Armed at
+  /// \brief Wall-clock deadline for one execution, in milliseconds.
+  ///
+  /// Armed at
   /// execute time: `SolvePlan::execute` folds `now + deadline_ms` into the
   /// cancel token it hands the solvers, so an expired deadline surfaces
   /// exactly like a fired `cancel` — a typed SolveStatus::LimitExceeded
   /// with a "cancelled" diagnostic. Each execution of a reused plan (and
   /// each stretch solo solve at bind time) gets its own full window.
   /// Unlike `time_budget_seconds` (a soft budget only iterative heuristics
-  /// consult between rungs), the deadline also aborts exact search.
+  /// consult between rungs), the deadline also aborts exact search. In a
+  /// `SweepRequest` the deadline is armed once for the whole sweep instead
+  /// (api/sweep.hpp).
   std::optional<std::uint64_t> deadline_ms;
 
-  /// Cooperative cancellation, polled by exact search every
+  /// \brief Cooperative cancellation token; default never cancels.
+  ///
+  /// Polled by exact search every
   /// `exact::kCancelCheckStride` nodes and by the heuristic ladder between
   /// iterations. A fired token makes the solve return a typed
   /// SolveStatus::LimitExceeded with a "cancelled" diagnostic and no
   /// mapping — except the heuristic ladder, which still returns a feasible
   /// incumbent it found before the token fired (an interrupted exact
   /// search proves nothing, so its partial incumbent is withheld).
-  /// Default: never cancels.
   util::CancelToken cancel;
 };
 

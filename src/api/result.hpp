@@ -62,6 +62,19 @@ struct SolveResult {
     return status == SolveStatus::Optimal || status == SolveStatus::Feasible;
   }
 
+  /// True for the typed cancellation outcome — LimitExceeded carrying the
+  /// "cancelled" diagnostic (a fired token or an expired deadline; the
+  /// deadline arms on a token copy inside execute, so the caller's own
+  /// token may never report it). The one predicate the plan, the sweep
+  /// driver and the server stats all share.
+  [[nodiscard]] bool was_cancelled() const noexcept {
+    if (status != SolveStatus::LimitExceeded) return false;
+    for (const auto& [key, value] : diagnostics) {
+      if (key == "cancelled") return true;
+    }
+    return false;
+  }
+
   [[nodiscard]] const char* status_name() const noexcept {
     return to_string(status);
   }

@@ -1,0 +1,255 @@
+#include "api/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "api/registry.hpp"
+#include "util/timing.hpp"
+
+namespace pipeopt::api {
+
+namespace {
+
+/// The request one grid point solves: the base request with the swept
+/// criterion bounded at `bound` and the sweep-wide token spliced in.
+/// Period/latency bounds replicate per application (the single-value wire
+/// and CLI semantics); the per-execution deadline stays unset — the
+/// sweep-wide deadline is already folded into `token`.
+SolveRequest point_request(const core::Problem& problem,
+                           const SweepRequest& sweep, double bound,
+                           const util::CancelToken& token) {
+  SolveRequest request = sweep.base;
+  request.cancel = token;
+  request.deadline_ms.reset();
+  switch (sweep.swept) {
+    case Objective::Period:
+      request.constraints.period = core::Thresholds::per_app(
+          std::vector<double>(problem.application_count(), bound));
+      break;
+    case Objective::Latency:
+      request.constraints.latency = core::Thresholds::per_app(
+          std::vector<double>(problem.application_count(), bound));
+      break;
+    case Objective::Energy:
+      request.constraints.energy_budget = bound;
+      break;
+  }
+  return request;
+}
+
+/// The trade-off point one solved evaluation achieves (weighted metrics,
+/// not the bound — several bounds reaching the same mapping dedupe away).
+core::ParetoPoint achieved_point(const SweepEvaluation& evaluation,
+                                 bool with_mapping) {
+  core::ParetoPoint point;
+  point.period = evaluation.result.metrics.max_weighted_period;
+  point.latency = evaluation.result.metrics.max_weighted_latency;
+  point.energy = evaluation.result.metrics.energy;
+  if (with_mapping) point.mapping = evaluation.result.mapping;
+  return point;
+}
+
+}  // namespace
+
+std::string validate_sweep(const SweepRequest& request) {
+  if (request.bounds.empty()) {
+    return "sweep needs at least one bound value";
+  }
+  for (const double bound : request.bounds) {
+    if (bound != bound) return "sweep bounds must not be NaN";
+  }
+  if (request.base.objective == request.swept) {
+    return std::string("swept criterion equals the objective (") +
+           to_string(request.swept) + "); the pair must differ";
+  }
+  switch (request.swept) {
+    case Objective::Period:
+      if (request.base.constraints.period) {
+        return "base request already carries period bounds; the sweep owns "
+               "the swept criterion's constraint";
+      }
+      break;
+    case Objective::Latency:
+      if (request.base.constraints.latency) {
+        return "base request already carries latency bounds; the sweep owns "
+               "the swept criterion's constraint";
+      }
+      break;
+    case Objective::Energy:
+      if (request.base.constraints.energy_budget) {
+        return "base request already carries an energy budget; the sweep "
+               "owns the swept criterion's constraint";
+      }
+      break;
+  }
+  return {};
+}
+
+std::vector<core::ParetoPoint> ParetoFront::front_points() const {
+  std::vector<core::ParetoPoint> points;
+  points.reserve(front.size());
+  for (const std::size_t index : front) {
+    points.push_back(achieved_point(evaluations[index], /*with_mapping=*/true));
+  }
+  return points;
+}
+
+bool ParetoFront::monotone() const {
+  if (use_latency) return true;
+  std::vector<core::ParetoPoint> points;
+  points.reserve(front.size());
+  for (const std::size_t index : front) {
+    points.push_back(achieved_point(evaluations[index], /*with_mapping=*/false));
+  }
+  return core::energy_monotone_in_period(points);
+}
+
+namespace detail {
+
+ParetoFront run_sweep(const core::Problem& problem, const SweepRequest& request,
+                      const SweepRoundFn& evaluate_round) {
+  const util::Stopwatch watch;
+  ParetoFront out;
+  out.use_latency = request.base.objective == Objective::Latency ||
+                    request.swept == Objective::Latency;
+  out.error = validate_sweep(request);
+  if (!out.error.empty()) {
+    out.wall_seconds = watch.elapsed_seconds();
+    return out;
+  }
+
+  // The sweep-wide token: the caller's token plus the whole-sweep deadline,
+  // armed exactly once here (each point request carries a copy and no
+  // per-execution deadline of its own).
+  util::CancelToken token = request.base.cancel;
+  if (request.base.deadline_ms) {
+    token = token.with_timeout(
+        std::chrono::milliseconds(*request.base.deadline_ms));
+  }
+
+  const auto evaluated = [&](double bound) {
+    for (const SweepEvaluation& evaluation : out.evaluations) {
+      if (evaluation.bound == bound) return true;
+    }
+    return false;
+  };
+  const auto run_round = [&](std::vector<double> bounds) {
+    std::vector<SolveRequest> requests;
+    requests.reserve(bounds.size());
+    for (const double bound : bounds) {
+      requests.push_back(point_request(problem, request, bound, token));
+    }
+    std::vector<SolveResult> results = evaluate_round(std::move(requests));
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      SweepEvaluation evaluation;
+      evaluation.bound = bounds[i];
+      evaluation.result = std::move(results[i]);
+      const auto at = std::upper_bound(
+          out.evaluations.begin(), out.evaluations.end(), evaluation.bound,
+          [](double b, const SweepEvaluation& e) { return b < e.bound; });
+      out.evaluations.insert(at, std::move(evaluation));
+    }
+  };
+
+  // Initial grid: sorted ascending, exact duplicates dropped.
+  std::vector<double> grid = request.bounds;
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  run_round(std::move(grid));
+
+  // Adaptive refinement: bisect every adjacent pair of solved bounds whose
+  // objective values differ — the gaps where the front still has structure.
+  bool refinement_cut_short = false;
+  for (std::size_t round = 0; round < request.refine; ++round) {
+    std::vector<double> midpoints;
+    for (std::size_t i = 1; i < out.evaluations.size(); ++i) {
+      const SweepEvaluation& lo = out.evaluations[i - 1];
+      const SweepEvaluation& hi = out.evaluations[i];
+      if (!lo.result.solved() || !hi.result.solved()) continue;
+      if (lo.result.value == hi.result.value) continue;
+      const double mid = lo.bound + (hi.bound - lo.bound) / 2.0;
+      // No room left at double resolution, or already covered.
+      if (mid == lo.bound || mid == hi.bound || evaluated(mid)) continue;
+      midpoints.push_back(mid);
+    }
+    if (midpoints.empty()) break;  // converged: no gap left to bisect
+    if (token.cancelled()) {
+      // Requested refinement work remains but the sweep-wide token fired:
+      // the front is an honest prefix, not the converged one — report it
+      // cut short even though every *evaluated* point finished cleanly.
+      refinement_cut_short = true;
+      break;
+    }
+    run_round(std::move(midpoints));
+  }
+
+  // Bookkeeping over the finished evaluations.
+  for (const SweepEvaluation& evaluation : out.evaluations) {
+    if (evaluation.result.was_cancelled()) ++out.cancelled_points;
+    if (evaluation.result.status == SolveStatus::Infeasible) {
+      ++out.infeasible_points;
+    }
+  }
+  out.cancelled = out.cancelled_points > 0 || refinement_cut_short;
+
+  // Front selection over the solved evaluations: the core::pareto dominance
+  // rules (duplicates keep the earliest bound), tracked by index so every
+  // front point keeps its producing bound and witness mapping. The sort is
+  // fully tie-broken, so in-process and wire fronts order identically.
+  std::vector<std::size_t> solved;
+  std::vector<core::ParetoPoint> points;
+  for (std::size_t i = 0; i < out.evaluations.size(); ++i) {
+    if (!out.evaluations[i].result.solved()) continue;
+    solved.push_back(i);
+    points.push_back(achieved_point(out.evaluations[i], /*with_mapping=*/false));
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool keep = true;
+    for (std::size_t j = 0; j < points.size() && keep; ++j) {
+      if (i == j) continue;
+      if (core::dominates(points[j], points[i], out.use_latency)) keep = false;
+      if (j < i && points[j].period == points[i].period &&
+          points[j].energy == points[i].energy &&
+          (!out.use_latency || points[j].latency == points[i].latency)) {
+        keep = false;  // exact tie: the earlier bound already owns the point
+      }
+    }
+    if (keep) out.front.push_back(solved[i]);
+  }
+  std::sort(out.front.begin(), out.front.end(),
+            [&](std::size_t a, std::size_t b) {
+              const core::ParetoPoint pa =
+                  achieved_point(out.evaluations[a], false);
+              const core::ParetoPoint pb =
+                  achieved_point(out.evaluations[b], false);
+              if (pa.period != pb.period) return pa.period < pb.period;
+              if (pa.energy != pb.energy) return pa.energy < pb.energy;
+              if (pa.latency != pb.latency) return pa.latency < pb.latency;
+              return a < b;
+            });
+
+  out.wall_seconds = watch.elapsed_seconds();
+  return out;
+}
+
+}  // namespace detail
+
+ParetoFront sweep(const SolverRegistry& registry, const core::Problem& problem,
+                  const SweepRequest& request) {
+  return detail::run_sweep(
+      problem, request, [&](std::vector<SolveRequest> requests) {
+        std::vector<SolveResult> results;
+        results.reserve(requests.size());
+        for (const SolveRequest& point : requests) {
+          results.push_back(registry.solve(problem, point));
+        }
+        return results;
+      });
+}
+
+ParetoFront sweep(const core::Problem& problem, const SweepRequest& request) {
+  return sweep(default_registry(), problem, request);
+}
+
+}  // namespace pipeopt::api

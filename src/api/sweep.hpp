@@ -1,0 +1,173 @@
+#pragma once
+
+/// \file sweep.hpp
+/// Pareto-front sweeps over the facade — the trade-off space of the paper's
+/// §1 laptop/server narrative (and the §2 example's 136 → 46 → 10
+/// energy-vs-period progression) as a first-class request.
+///
+/// A `SweepRequest` names an objective pair: the criterion each grid point
+/// minimizes (`base.objective`) and the criterion whose bound the grid
+/// walks (`swept`). Evaluating the sweep solves one bound-constrained
+/// problem per grid value — each exactly the `SolveRequest` a caller would
+/// have issued by hand, so every point result is bit-identical to a
+/// per-call `api::solve` — optionally refines the grid adaptively, and
+/// filters the solved points through the `core::pareto` dominance rules
+/// into a `ParetoFront` whose points carry their witness mappings.
+///
+/// Cancellation and deadlines are sweep-wide: `base.cancel` (and
+/// `base.deadline_ms`, armed once onto the token when the sweep starts)
+/// bound the *whole* sweep, not each point. A token that fires mid-sweep
+/// makes the remaining grid points come back as typed cancelled results;
+/// they are counted (`cancelled_points`) and excluded from the front, and
+/// the partial front over the points that did finish is still returned.
+///
+/// Entry points: `api::sweep` evaluates sequentially on a registry;
+/// `Executor::sweep` (executor.hpp) fans each refinement round's grid
+/// points over the worker pool — same evaluation order, and bit-identical
+/// results for sweeps that run to completion (a token firing mid-round may
+/// cut the sequential and pooled variants at different grid points). The
+/// server's `{"type":"pareto"}` request streams the resulting front over
+/// the wire (docs/PROTOCOL.md).
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/request.hpp"
+#include "api/result.hpp"
+#include "core/pareto.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::api {
+
+class SolverRegistry;
+
+/// \brief A Pareto-front sweep: minimize one criterion at each point of a
+/// bound grid walked along another criterion.
+struct SweepRequest {
+  /// \brief Per-point solve settings: objective minimized at every grid
+  /// point, mapping family, weight policy, forced solver, budgets and seed.
+  ///
+  /// `base.constraints` may carry fixed thresholds on the *other* criteria
+  /// (they apply to every grid point); the swept criterion's slot must stay
+  /// unset — the sweep fills it per point. `base.cancel` and
+  /// `base.deadline_ms` bound the whole sweep (see file comment), unlike a
+  /// plain solve where `deadline_ms` is per execution. Defaults to
+  /// energy-minimization, the paper's §2 progression.
+  SolveRequest base = default_base();
+
+  /// \brief Criterion whose bound the grid walks; must differ from
+  /// `base.objective`. Period and latency bounds replicate each grid value
+  /// per application (the single-value semantics of the wire and CLI
+  /// bounds); an energy bound is the global budget.
+  Objective swept = Objective::Period;
+
+  /// \brief Grid of bound values. Sorted ascending and deduplicated before
+  /// evaluation; at least one value is required.
+  std::vector<double> bounds;
+
+  /// \brief Adaptive refinement rounds after the initial grid: each round
+  /// bisects every adjacent pair of evaluated bounds whose solved objective
+  /// values differ, until no pair does or the rounds are spent. 0 = grid
+  /// only.
+  std::size_t refine = 0;
+
+  /// The `base` defaults: minimize energy (everything else as SolveRequest).
+  [[nodiscard]] static SolveRequest default_base() {
+    SolveRequest request;
+    request.objective = Objective::Energy;
+    return request;
+  }
+};
+
+/// \brief One evaluated grid point: the bound value and the full solve
+/// result it produced (bit-identical to `api::solve` under that bound).
+struct SweepEvaluation {
+  double bound = 0.0;
+  SolveResult result;
+};
+
+/// \brief Result of one sweep: every evaluation in ascending bound order
+/// and the indices of the Pareto-optimal ones.
+///
+/// The front is exactly `core::pareto_front` over the solved evaluations'
+/// achieved metrics (weighted period/latency, energy), duplicates removed
+/// keeping the earliest bound, sorted by ascending period (ties by energy,
+/// latency, then bound order — fully deterministic).
+struct ParetoFront {
+  /// All evaluated grid points, ascending by bound (refinement points
+  /// merged in). Cancelled and infeasible points are kept here — they tell
+  /// the caller which bounds were tried — but never enter the front.
+  std::vector<SweepEvaluation> evaluations;
+
+  /// Indices into `evaluations` of the Pareto-optimal points, in front
+  /// order (ascending achieved period).
+  std::vector<std::size_t> front;
+
+  /// True when latency takes part in dominance (the objective pair touches
+  /// it); otherwise fronts are 2-D period/energy.
+  bool use_latency = false;
+
+  /// True when the sweep-wide token fired (deadline or cancel) before the
+  /// sweep finished — some grid points came back cancelled, or requested
+  /// refinement rounds still had gaps to bisect; the front covers only the
+  /// points that completed.
+  bool cancelled = false;
+
+  /// Evaluations that came back as typed cancelled results.
+  std::size_t cancelled_points = 0;
+
+  /// Evaluations proved infeasible under their bound.
+  std::size_t infeasible_points = 0;
+
+  /// Non-empty when the request itself was unusable (empty grid, objective
+  /// equal to the swept criterion, a pre-constrained swept axis); no
+  /// evaluation happens then.
+  std::string error;
+
+  /// Wall-clock of the whole sweep (all rounds, filtering included).
+  double wall_seconds = 0.0;
+
+  /// The front as `core::ParetoPoint`s, witness mappings included.
+  [[nodiscard]] std::vector<core::ParetoPoint> front_points() const;
+
+  /// True for 2-D fronts that satisfy the §2 monotone trade-off (energy
+  /// non-increasing in period); vacuously true when `use_latency`.
+  [[nodiscard]] bool monotone() const;
+};
+
+/// Validates a sweep request against an instance; empty string when usable.
+/// (The same check `sweep` runs — exposed so wire/CLI layers can reject
+/// unusable requests before dispatching work.)
+[[nodiscard]] std::string validate_sweep(const SweepRequest& request);
+
+/// Evaluates the sweep sequentially on `registry` (ascending bound order,
+/// one `registry.solve` per grid point).
+[[nodiscard]] ParetoFront sweep(const SolverRegistry& registry,
+                                const core::Problem& problem,
+                                const SweepRequest& request);
+
+/// `sweep(default_registry(), ...)`.
+[[nodiscard]] ParetoFront sweep(const core::Problem& problem,
+                                const SweepRequest& request);
+
+namespace detail {
+
+/// Evaluates one refinement round: the per-point requests, in bound order,
+/// mapped to their results (same order). `Executor::sweep` fans this over
+/// its pool; the sequential path solves in place.
+using SweepRoundFn =
+    std::function<std::vector<SolveResult>(std::vector<SolveRequest>)>;
+
+/// The shared sweep driver: grid preparation, sweep-wide token arming,
+/// refinement rounds through `evaluate_round`, and front selection. Both
+/// `api::sweep` and `Executor::sweep` are this function with different
+/// round evaluators, which is what makes them bit-identical.
+[[nodiscard]] ParetoFront run_sweep(const core::Problem& problem,
+                                    const SweepRequest& request,
+                                    const SweepRoundFn& evaluate_round);
+
+}  // namespace detail
+
+}  // namespace pipeopt::api

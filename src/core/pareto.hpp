@@ -3,7 +3,9 @@
 /// \file pareto.hpp
 /// Pareto-front utilities for the period/latency/energy trade-off space
 /// (the paper's §1 laptop-problem / server-problem narrative, and the §2
-/// example's 136 → 46 → 10 energy-vs-period progression).
+/// example's 136 → 46 → 10 energy-vs-period progression). The facade-level
+/// sweep machinery that drives solvers across a bound grid and filters
+/// through these rules lives in api/sweep.hpp.
 
 #include <cstddef>
 #include <optional>
@@ -13,8 +15,11 @@
 
 namespace pipeopt::core {
 
-/// One point of the trade-off space. Unused criteria are set to 0 by
-/// producers and ignored by dominance when `use_latency` is false.
+/// One point of the trade-off space. Produced by the `api::sweep` /
+/// `Executor::sweep` drivers (which attach witness mappings) and by the
+/// bench sweeps (`bench_pareto_front`, values only); unused criteria are
+/// set to 0 by those producers and ignored by dominance when `use_latency`
+/// is false.
 struct ParetoPoint {
   double period = 0.0;
   double latency = 0.0;

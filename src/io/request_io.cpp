@@ -39,28 +39,33 @@ const char* to_string(core::WeightPolicy policy) noexcept {
   return "?";
 }
 
-}  // namespace
+/// Accumulates the solve fields shared by the "solve" and "pareto" request
+/// lines, so the two parsers cannot drift: each `consume` call handles one
+/// field, `finish` resolves the instance-dependent pieces (bounds need the
+/// application count, so they resolve after the instance).
+struct SolveFieldReader {
+  SolveFieldReader(std::size_t line_no, const std::string& base_dir)
+      : line_no(line_no), base_dir(base_dir) {}
 
-WireSolveRequest parse_solve_request(const JsonFields& fields,
-                                     std::size_t line_no,
-                                     const std::string& base_dir) {
+  std::size_t line_no;
+  const std::string& base_dir;
+
   std::optional<core::Problem> problem;
-  std::string period_bounds, latency_bounds;
-  bool have_period_bounds = false, have_latency_bounds = false;
   api::SolveRequest request;
   std::string id;
+  std::string period_bounds, latency_bounds;
+  bool have_period_bounds = false, have_latency_bounds = false;
+  bool have_objective = false;
 
-  for (const auto& [key, value] : fields) {
-    if (key == "type") {
-      if (value != "solve") {
-        throw ParseError(line_no, "expected \"type\":\"solve\", got '" + value + "'");
-      }
-    } else if (key == "id") {
+  /// Consumes one shared field; false when `key` is not a solve field.
+  bool consume(const std::string& key, const std::string& value) {
+    if (key == "id") {
       id = value;
     } else if (key == "objective") {
       const auto objective = api::parse_objective(value);
       if (!objective) throw ParseError(line_no, "bad \"objective\": '" + value + "'");
       request.objective = *objective;
+      have_objective = true;
     } else if (key == "kind") {
       const auto kind = api::parse_mapping_kind(value);
       if (!kind) throw ParseError(line_no, "bad \"kind\": '" + value + "'");
@@ -104,38 +109,33 @@ WireSolveRequest parse_solve_request(const JsonFields& fields,
         throw ParseError(line_no, std::string("instance error: ") + e.what());
       }
     } else {
-      throw ParseError(line_no, "unknown request field \"" + key + "\"");
+      return false;
     }
+    return true;
   }
 
-  if (!problem) {
-    throw ParseError(line_no, "exactly one of \"problem\" or \"path\" is required");
+  /// Resolves the accumulated fields into the decoded request.
+  WireSolveRequest finish() {
+    if (!problem) {
+      throw ParseError(line_no, "exactly one of \"problem\" or \"path\" is required");
+    }
+    if (have_period_bounds) {
+      request.constraints.period = wire_bounds(
+          "period_bounds", period_bounds, problem->application_count(), line_no);
+    }
+    if (have_latency_bounds) {
+      request.constraints.latency = wire_bounds(
+          "latency_bounds", latency_bounds, problem->application_count(), line_no);
+    }
+    return WireSolveRequest{std::move(*problem), std::move(request), std::move(id)};
   }
-  // Bounds need the application count, so they resolve after the instance.
-  if (have_period_bounds) {
-    request.constraints.period = wire_bounds(
-        "period_bounds", period_bounds, problem->application_count(), line_no);
-  }
-  if (have_latency_bounds) {
-    request.constraints.latency = wire_bounds(
-        "latency_bounds", latency_bounds, problem->application_count(), line_no);
-  }
-  return WireSolveRequest{std::move(*problem), std::move(request), std::move(id)};
-}
+};
 
-WireSolveRequest parse_solve_request_line(const std::string& line,
-                                          std::size_t line_no,
-                                          const std::string& base_dir) {
-  return parse_solve_request(parse_flat_json(line, line_no), line_no, base_dir);
-}
-
-std::string format_solve_request(const core::Problem& problem,
-                                 const api::SolveRequest& request,
-                                 const std::string& id) {
-  const api::SolveRequest defaults;
-  FlatJsonWriter out;
-  out.field("type", "solve");
-  if (!id.empty()) out.field("id", id);
+/// Shared formatting of the solve fields (everything but type/sweep
+/// machinery and the trailing instance); fields equal to `defaults` are
+/// omitted, mirroring SolveFieldReader.
+void write_solve_fields(FlatJsonWriter& out, const api::SolveRequest& request,
+                        const api::SolveRequest& defaults) {
   out.field("objective", api::to_string(request.objective));
   if (request.kind != defaults.kind) {
     out.field("kind", api::to_string(request.kind));
@@ -173,6 +173,107 @@ std::string format_solve_request(const core::Problem& problem,
   if (request.deadline_ms) {
     out.field("deadline_ms", std::to_string(*request.deadline_ms));
   }
+}
+
+}  // namespace
+
+WireSolveRequest parse_solve_request(const JsonFields& fields,
+                                     std::size_t line_no,
+                                     const std::string& base_dir) {
+  SolveFieldReader reader{line_no, base_dir};
+  for (const auto& [key, value] : fields) {
+    if (key == "type") {
+      if (value != "solve") {
+        throw ParseError(line_no, "expected \"type\":\"solve\", got '" + value + "'");
+      }
+    } else if (!reader.consume(key, value)) {
+      throw ParseError(line_no, "unknown request field \"" + key + "\"");
+    }
+  }
+  return reader.finish();
+}
+
+WireSolveRequest parse_solve_request_line(const std::string& line,
+                                          std::size_t line_no,
+                                          const std::string& base_dir) {
+  return parse_solve_request(parse_flat_json(line, line_no), line_no, base_dir);
+}
+
+std::string format_solve_request(const core::Problem& problem,
+                                 const api::SolveRequest& request,
+                                 const std::string& id) {
+  FlatJsonWriter out;
+  out.field("type", "solve");
+  if (!id.empty()) out.field("id", id);
+  write_solve_fields(out, request, api::SolveRequest{});
+  out.field("problem", format_problem(problem));
+  return std::move(out).str();
+}
+
+WireParetoRequest parse_pareto_request(const JsonFields& fields,
+                                       std::size_t line_no,
+                                       const std::string& base_dir) {
+  SolveFieldReader reader{line_no, base_dir};
+  api::SweepRequest sweep;
+  bool have_bounds = false;
+  for (const auto& [key, value] : fields) {
+    if (key == "type") {
+      if (value != "pareto") {
+        throw ParseError(line_no,
+                         "expected \"type\":\"pareto\", got '" + value + "'");
+      }
+    } else if (key == "sweep") {
+      const auto swept = api::parse_objective(value);
+      if (!swept) throw ParseError(line_no, "bad \"sweep\": '" + value + "'");
+      sweep.swept = *swept;
+    } else if (key == "sweep_bounds") {
+      sweep.bounds = parse_wire_list(key, value, line_no);
+      have_bounds = true;
+    } else if (key == "refine") {
+      sweep.refine = parse_wire_number<std::size_t>(key, value, line_no);
+    } else if (!reader.consume(key, value)) {
+      throw ParseError(line_no, "unknown pareto request field \"" + key + "\"");
+    }
+  }
+  if (!have_bounds) {
+    throw ParseError(line_no, "pareto request needs \"sweep_bounds\"");
+  }
+  // Sweeps default to energy minimization (the §2 progression); an explicit
+  // "objective" overrides it through the shared reader.
+  if (!reader.have_objective) {
+    reader.request.objective = api::Objective::Energy;
+  }
+  WireSolveRequest base = reader.finish();
+  sweep.base = std::move(base.request);
+  return WireParetoRequest{std::move(base.problem), std::move(sweep),
+                           std::move(base.id)};
+}
+
+WireParetoRequest parse_pareto_request_line(const std::string& line,
+                                            std::size_t line_no,
+                                            const std::string& base_dir) {
+  return parse_pareto_request(parse_flat_json(line, line_no), line_no, base_dir);
+}
+
+std::string format_pareto_request(const core::Problem& problem,
+                                  const api::SweepRequest& request,
+                                  const std::string& id) {
+  const api::SweepRequest defaults;
+  FlatJsonWriter out;
+  out.field("type", "pareto");
+  if (!id.empty()) out.field("id", id);
+  if (request.swept != defaults.swept) {
+    out.field("sweep", api::to_string(request.swept));
+  }
+  std::string grid;
+  for (std::size_t i = 0; i < request.bounds.size(); ++i) {
+    grid += (i ? "," : "") + format_double_exact(request.bounds[i]);
+  }
+  out.field("sweep_bounds", grid);
+  if (request.refine != defaults.refine) {
+    out.field("refine", std::to_string(request.refine));
+  }
+  write_solve_fields(out, request.base, defaults.base);
   out.field("problem", format_problem(problem));
   return std::move(out).str();
 }

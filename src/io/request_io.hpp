@@ -1,8 +1,9 @@
 #pragma once
 
 /// \file request_io.hpp
-/// Wire form of one solve request — the request side of the pipeopt-server
-/// protocol, shared by the CLI `client` subcommand and the tests. One flat
+/// Wire form of one solve or sweep request — the request side of the
+/// pipeopt-server protocol (documented end to end in docs/PROTOCOL.md),
+/// shared by the CLI `client`/`pareto` subcommands and the tests. One flat
 /// JSON object per line (json.hpp dialect, every value a string):
 ///
 /// ```json
@@ -21,16 +22,24 @@
 /// application, like the CLI) or one value per application. `id` is an
 /// opaque client tag the server echoes into the matching result line.
 ///
+/// A Pareto-front sweep travels as `{"type":"pareto", ...}` with the same
+/// shared fields plus `sweep` (the bounded criterion walked by the grid,
+/// default "period"), `sweep_bounds` (the comma-separated grid, required)
+/// and `refine` (adaptive refinement rounds); `objective` defaults to
+/// "energy" for sweeps, and `deadline_ms` bounds the whole sweep.
+///
 /// `parse_solve_request(format_solve_request(problem, request))` rebuilds
 /// both the instance and the request bit for bit (shortest round-trip
 /// number formatting) — the foundation of the server's bit-identity
-/// guarantee. Malformed input throws io::ParseError; the server maps that
-/// to a structured `{"type":"error",...}` line instead of dying.
+/// guarantee; the pareto pair round-trips the same way. Malformed input
+/// throws io::ParseError; the server maps that to a structured
+/// `{"type":"error",...}` line instead of dying.
 
 #include <cstddef>
 #include <string>
 
 #include "api/request.hpp"
+#include "api/sweep.hpp"
 #include "core/problem.hpp"
 #include "io/json.hpp"
 
@@ -61,6 +70,33 @@ struct WireSolveRequest {
 /// cancel token does not travel (arm deadlines via `deadline_ms`).
 [[nodiscard]] std::string format_solve_request(
     const core::Problem& problem, const api::SolveRequest& request,
+    const std::string& id = {});
+
+/// One decoded `{"type":"pareto"}` wire request: the instance, the facade
+/// sweep request, and the client's correlation id ("" when absent).
+struct WireParetoRequest {
+  core::Problem problem;
+  api::SweepRequest request;
+  std::string id;
+};
+
+/// Decodes already-parsed fields of a pareto request line. The grid
+/// (`sweep_bounds`) is required; semantic sweep validation (objective pair,
+/// pre-constrained axis) stays in `api::validate_sweep`, which the server
+/// and CLI run before dispatching. \throws ParseError naming `line_no`.
+[[nodiscard]] WireParetoRequest parse_pareto_request(
+    const JsonFields& fields, std::size_t line_no = 1,
+    const std::string& base_dir = {});
+
+/// `parse_flat_json` + `parse_pareto_request`.
+[[nodiscard]] WireParetoRequest parse_pareto_request_line(
+    const std::string& line, std::size_t line_no = 1,
+    const std::string& base_dir = {});
+
+/// One sweep request as a single JSONL line (no trailing newline),
+/// instance inline; round-trips bit for bit through parse_pareto_request.
+[[nodiscard]] std::string format_pareto_request(
+    const core::Problem& problem, const api::SweepRequest& request,
     const std::string& id = {});
 
 }  // namespace pipeopt::io

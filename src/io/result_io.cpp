@@ -86,11 +86,15 @@ core::Mapping parse_mapping(const std::string& text, std::size_t line_no) {
   }
 }
 
-std::string format_result(const api::SolveResult& result, const std::string& id,
-                          bool include_wall) {
+namespace {
+
+std::string format_result_impl(const api::SolveResult& result,
+                               const std::string& id, bool include_wall,
+                               const std::optional<double>& bound) {
   FlatJsonWriter out;
   out.field("type", "result");
   if (!id.empty()) out.field("id", id);
+  if (bound) out.field("bound", format_double_exact(*bound));
   out.field("status", result.status_name());
   out.field("solver", result.solver);
   out.field("value", format_double_exact(result.value));
@@ -120,6 +124,18 @@ std::string format_result(const api::SolveResult& result, const std::string& id,
   return std::move(out).str();
 }
 
+}  // namespace
+
+std::string format_result(const api::SolveResult& result, const std::string& id,
+                          bool include_wall) {
+  return format_result_impl(result, id, include_wall, std::nullopt);
+}
+
+std::string format_front_point(const api::SolveResult& result, double bound,
+                               const std::string& id, bool include_wall) {
+  return format_result_impl(result, id, include_wall, bound);
+}
+
 WireResult parse_result(const JsonFields& fields, std::size_t line_no) {
   WireResult wire;
   api::SolveResult& result = wire.result;
@@ -133,6 +149,8 @@ WireResult parse_result(const JsonFields& fields, std::size_t line_no) {
       }
     } else if (key == "id") {
       wire.id = value;
+    } else if (key == "bound") {
+      wire.bound = parse_wire_number<double>(key, value, line_no);
     } else if (key == "status") {
       result.status = wire_status(value, line_no);
       have_status = true;
@@ -176,6 +194,67 @@ WireResult parse_result(const JsonFields& fields, std::size_t line_no) {
 
 WireResult parse_result_line(const std::string& line, std::size_t line_no) {
   return parse_result(parse_flat_json(line, line_no), line_no);
+}
+
+std::string format_pareto_summary(const api::ParetoFront& front,
+                                  const std::string& id, bool include_wall) {
+  FlatJsonWriter out;
+  out.field("type", "pareto");
+  if (!id.empty()) out.field("id", id);
+  out.field("status", front.cancelled ? "cancelled" : "complete");
+  out.field("points", std::to_string(front.front.size()));
+  out.field("evaluated", std::to_string(front.evaluations.size()));
+  out.field("infeasible", std::to_string(front.infeasible_points));
+  out.field("cancelled", std::to_string(front.cancelled_points));
+  if (include_wall) {
+    out.field("wall_s", format_double_exact(front.wall_seconds));
+  }
+  return std::move(out).str();
+}
+
+WireParetoSummary parse_pareto_summary(const JsonFields& fields,
+                                       std::size_t line_no) {
+  WireParetoSummary summary;
+  bool have_status = false;
+  for (const auto& [key, value] : fields) {
+    if (key == "type") {
+      if (value != "pareto") {
+        throw ParseError(line_no,
+                         "expected \"type\":\"pareto\", got '" + value + "'");
+      }
+    } else if (key == "id") {
+      summary.id = value;
+    } else if (key == "status") {
+      if (value == "complete") {
+        summary.complete = true;
+      } else if (value == "cancelled") {
+        summary.complete = false;
+      } else {
+        throw ParseError(line_no, "bad \"status\": '" + value + "'");
+      }
+      have_status = true;
+    } else if (key == "points") {
+      summary.points = parse_wire_number<std::uint64_t>(key, value, line_no);
+    } else if (key == "evaluated") {
+      summary.evaluated = parse_wire_number<std::uint64_t>(key, value, line_no);
+    } else if (key == "infeasible") {
+      summary.infeasible = parse_wire_number<std::uint64_t>(key, value, line_no);
+    } else if (key == "cancelled") {
+      summary.cancelled_points =
+          parse_wire_number<std::uint64_t>(key, value, line_no);
+    } else if (key == "wall_s") {
+      summary.wall_seconds = parse_wire_number<double>(key, value, line_no);
+    } else {
+      throw ParseError(line_no, "unknown summary field \"" + key + "\"");
+    }
+  }
+  if (!have_status) throw ParseError(line_no, "missing \"status\"");
+  return summary;
+}
+
+WireParetoSummary parse_pareto_summary_line(const std::string& line,
+                                            std::size_t line_no) {
+  return parse_pareto_summary(parse_flat_json(line, line_no), line_no);
 }
 
 }  // namespace pipeopt::io

@@ -21,11 +21,20 @@
 /// `parse_result(format_result(r))` reproduces the result bit for bit —
 /// except `wall_s`, which is honest wall time and can be omitted
 /// (`include_wall = false`) when lines are compared across runs.
+///
+/// A `{"type":"pareto"}` exchange streams one such result line per front
+/// point — identical except for one extra `"bound"` field (the swept-bound
+/// value that produced the point), placed right after `id` — followed by a
+/// terminal `{"type":"pareto"}` summary line (`format_pareto_summary`).
+/// docs/PROTOCOL.md documents the full exchange.
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "api/result.hpp"
+#include "api/sweep.hpp"
 #include "core/mapping.hpp"
 #include "io/json.hpp"
 
@@ -35,6 +44,8 @@ namespace pipeopt::io {
 struct WireResult {
   api::SolveResult result;
   std::string id;
+  /// The swept-bound value, present only on pareto front-point lines.
+  std::optional<double> bound;
 };
 
 /// One result as a single JSONL line (no trailing newline).
@@ -57,5 +68,39 @@ struct WireResult {
 /// Inverse of format_mapping. \throws ParseError on malformed text.
 [[nodiscard]] core::Mapping parse_mapping(const std::string& text,
                                           std::size_t line_no = 1);
+
+/// One pareto front point as a result line with its producing `bound`
+/// value; decoded by `parse_result` (WireResult::bound set).
+[[nodiscard]] std::string format_front_point(const api::SolveResult& result,
+                                             double bound,
+                                             const std::string& id = {},
+                                             bool include_wall = true);
+
+/// Decoded terminal line of one pareto exchange.
+struct WireParetoSummary {
+  std::string id;
+  /// False when the sweep was cut short (deadline, cancel or disconnect)
+  /// and the streamed front covers only the evaluated prefix.
+  bool complete = true;
+  std::uint64_t points = 0;            ///< front points streamed
+  std::uint64_t evaluated = 0;         ///< grid points solved or attempted
+  std::uint64_t infeasible = 0;        ///< grid points proved infeasible
+  std::uint64_t cancelled_points = 0;  ///< grid points lost to cancellation
+  double wall_seconds = 0.0;
+};
+
+/// The `{"type":"pareto","status":...}` summary line closing one streamed
+/// front; counts taken from the sweep result. `include_wall` as above.
+[[nodiscard]] std::string format_pareto_summary(const api::ParetoFront& front,
+                                                const std::string& id = {},
+                                                bool include_wall = true);
+
+/// Decodes already-parsed summary fields. \throws ParseError naming `line_no`.
+[[nodiscard]] WireParetoSummary parse_pareto_summary(const JsonFields& fields,
+                                                     std::size_t line_no = 1);
+
+/// `parse_flat_json` + `parse_pareto_summary`.
+[[nodiscard]] WireParetoSummary parse_pareto_summary_line(
+    const std::string& line, std::size_t line_no = 1);
 
 }  // namespace pipeopt::io

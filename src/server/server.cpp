@@ -254,6 +254,59 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
     write_line(out_fd, std::move(out).str());
     return;
   }
+  if (type == "pareto") {
+    std::optional<io::WireParetoRequest> wire;
+    try {
+      wire = io::parse_pareto_request(fields);
+    } catch (const io::ParseError& e) {
+      stats_.record_error();
+      write_line(out_fd, error_line(id, e.what()));
+      return;
+    }
+    // Reject unusable sweeps before spawning any work (the driver would
+    // re-check, but an error line beats an empty front).
+    if (const std::string error = api::validate_sweep(wire->request);
+        !error.empty()) {
+      stats_.record_error();
+      write_line(out_fd, error_line(id, error));
+      return;
+    }
+
+    // One source per sweep; the sweep-wide deadline arms inside the
+    // driver. Executor::sweep blocks, so it runs on a session-side thread
+    // (its grid points ride the shared pool — it must not run *on* the
+    // pool) while this thread keeps the disconnect watch.
+    util::CancelSource source;
+    wire->request.base.cancel = source.token();
+    stats_.record_sweep();
+    std::future<api::ParetoFront> future =
+        std::async(std::launch::async, [this, w = std::move(*wire)] {
+          return executor_.sweep(w.problem, w.request);
+        });
+    const bool watching = is_socket && !input_buffered;
+    await_with_watch(
+        [&future](std::chrono::milliseconds interval) {
+          return future.wait_for(interval) == std::future_status::ready;
+        },
+        source, watch_fd, watching);
+
+    const api::ParetoFront front = future.get();
+    // Every grid point was one solve through the pool: count each (a
+    // disconnect mid-sweep is thus observable as `cancelled` growing by
+    // the number of grid points it killed).
+    for (const api::SweepEvaluation& evaluation : front.evaluations) {
+      stats_.record_dispatch();
+      stats_.record_result(evaluation.result);
+    }
+    for (const std::size_t index : front.front) {
+      const api::SweepEvaluation& evaluation = front.evaluations[index];
+      write_line(out_fd,
+                 io::format_front_point(evaluation.result, evaluation.bound, id));
+    }
+    write_line(out_fd, io::format_pareto_summary(front, id));
+    return;
+  }
+
   if (type != "solve") {
     stats_.record_error();
     write_line(out_fd, error_line(id, "unknown request type '" + type + "'"));
@@ -270,14 +323,28 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
   }
 
   // Every solve runs under its own source: the deadline (if any) arms
-  // inside the plan, and the disconnect watch below fires this source.
+  // inside the plan, and the disconnect watch fires this source.
   util::CancelSource source;
   wire->request.cancel = source.token();
   stats_.record_dispatch();
   std::future<api::SolveResult> future = executor_.solve_async(
       std::move(wire->problem), std::move(wire->request));
 
-  // While the solve is in flight, watch the connection. The watch only
+  await_with_watch(
+      [&future](std::chrono::milliseconds interval) {
+        return future.wait_for(interval) == std::future_status::ready;
+      },
+      source, watch_fd, is_socket && !input_buffered);
+
+  const api::SolveResult result = future.get();
+  stats_.record_result(result);
+  write_line(out_fd, io::format_result(result, id));
+}
+
+bool Server::await_with_watch(
+    const std::function<bool(std::chrono::milliseconds)>& ready,
+    util::CancelSource& source, int watch_fd, bool watching) {
+  // While the work is in flight, watch the connection. The watch only
   // makes sense on sockets: closing a TCP connection signals the client
   // abandoned its pending responses (the protocol contract — keep the
   // write side open until the answers arrive), whereas in --stdio mode
@@ -285,13 +352,12 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
   // is usually still there. Pipelined input means the client is
   // demonstrably alive (and the probe would misread the buffered bytes),
   // so the watch only runs on an idle connection.
-  bool watching = is_socket && !input_buffered;
   bool cancelled_by_disconnect = false;
   for (;;) {
-    if (future.wait_for(kWatchInterval) == std::future_status::ready) break;
+    if (ready(kWatchInterval)) return cancelled_by_disconnect;
     if (!watching || cancelled_by_disconnect ||
         stopping_.load(std::memory_order_relaxed)) {
-      continue;  // graceful drain: let the solve finish, never cancel it
+      continue;  // graceful drain: let the work finish, never cancel it
     }
     pollfd probe{watch_fd, static_cast<short>(POLLIN | kHupEvents), 0};
     if (::poll(&probe, 1, 0) <= 0) continue;
@@ -318,10 +384,6 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
       // record_result counts even though the client will never read it.
     }
   }
-
-  const api::SolveResult result = future.get();
-  stats_.record_result(result);
-  write_line(out_fd, io::format_result(result, id));
 }
 
 }  // namespace pipeopt::server

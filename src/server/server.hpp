@@ -10,6 +10,12 @@
 ///  * `{"type":"solve", ...}` — a request_io.hpp solve request (instance
 ///    inline or by path). Answered with one result_io.hpp
 ///    `{"type":"result", ...}` line; the optional `id` is echoed back.
+///  * `{"type":"pareto", ...}` — a Pareto-front sweep (api/sweep.hpp over
+///    the wire). Answered with one `{"type":"result", ...}` line *per
+///    front point* (each carrying its producing `bound`), streamed in
+///    front order on the same connection, then one terminal
+///    `{"type":"pareto", ...}` summary line. `deadline_ms` bounds the
+///    whole sweep; grid points ride the shared executor pool.
 ///  * `{"type":"stats"}` — answered with `{"type":"stats", ...}`: the
 ///    ServerStats counters plus the executor pool's size and occupancy.
 ///  * `{"type":"ping"}` — answered with `{"type":"pong"}` (liveness).
@@ -20,12 +26,14 @@
 /// concurrency comes from concurrent connections multiplexed over one
 /// shared `api::Executor` pool.
 ///
-/// Cancellation: each solve runs under its own `util::CancelSource`. The
-/// wire `deadline_ms` arms a wall-clock deadline inside the plan
-/// (`SolveRequest::deadline_ms`), and while a solve is in flight the
-/// session watches its TCP connection — a client that disconnects cancels
-/// its in-flight solve within one watch interval, without touching other
-/// connections. Both paths surface as the typed LimitExceeded "cancelled"
+/// Cancellation: each solve or sweep runs under its own
+/// `util::CancelSource`. The wire `deadline_ms` arms a wall-clock deadline
+/// inside the plan (`SolveRequest::deadline_ms`; sweep-wide for pareto),
+/// and while a solve or sweep is in flight the session watches its TCP
+/// connection — a client that disconnects cancels its in-flight work
+/// within one watch interval (for a sweep, the remaining grid points come
+/// back as typed cancelled results and never reach the front), without
+/// touching other connections. Both paths surface as the typed LimitExceeded "cancelled"
 /// result (the disconnected client just never reads it). The protocol
 /// contract for TCP clients is therefore: keep the write side open until
 /// every pending response has arrived — closing the connection (half- or
@@ -41,7 +49,9 @@
 /// future is abandoned.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +60,7 @@
 
 #include "api/executor.hpp"
 #include "server/stats.hpp"
+#include "util/cancel.hpp"
 
 namespace pipeopt::server {
 
@@ -110,9 +121,20 @@ class Server {
   /// disconnect watch (TCP sessions only; see the file comment).
   void session_loop(int in_fd, int out_fd, bool is_socket, Session* session);
 
-  /// Handles one request line, writing exactly one response line.
+  /// Handles one request line. Every request type answers with exactly one
+  /// response line except `pareto`, which streams one line per front point
+  /// plus a terminal summary.
   void handle_line(const std::string& line, int out_fd, int watch_fd,
                    bool is_socket, bool input_buffered);
+
+  /// Waits until `ready(interval)` reports the in-flight work done,
+  /// watching the client connection meanwhile (`watching`: TCP sessions
+  /// with no pipelined input only): a client that disconnects has `source`
+  /// fired, and the wait continues until the worker's typed cancelled
+  /// result lands. Returns true when the watch cancelled.
+  bool await_with_watch(
+      const std::function<bool(std::chrono::milliseconds)>& ready,
+      util::CancelSource& source, int watch_fd, bool watching);
 
   /// Joins sessions that have finished (`done` set); `all` joins the rest.
   void reap_sessions(bool all);

@@ -3,12 +3,7 @@
 namespace pipeopt::server {
 
 void ServerStats::record_result(const api::SolveResult& result) {
-  for (const auto& [key, value] : result.diagnostics) {
-    if (key == "cancelled") {
-      ++cancelled_;
-      break;
-    }
-  }
+  if (result.was_cancelled()) ++cancelled_;
   const std::string solver = result.solver.empty() ? "(none)" : result.solver;
   const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, count] : per_solver_) {
@@ -24,6 +19,7 @@ std::vector<std::pair<std::string, std::string>> ServerStats::snapshot() const {
   std::vector<std::pair<std::string, std::string>> fields;
   fields.emplace_back("requests", std::to_string(requests_.load()));
   fields.emplace_back("solves", std::to_string(solves_.load()));
+  fields.emplace_back("sweeps", std::to_string(sweeps_.load()));
   fields.emplace_back("errors", std::to_string(errors_.load()));
   fields.emplace_back("cancelled", std::to_string(cancelled_.load()));
   fields.emplace_back("disconnect_cancels",

@@ -2,7 +2,8 @@
 
 /// \file stats.hpp
 /// Live counters of one pipeopt-server process, answered over the wire by
-/// the `{"type":"stats"}` request: lines served, solves dispatched,
+/// the `{"type":"stats"}` request: lines served, solves dispatched
+/// (pareto sweeps count one solve per grid point), sweeps accepted,
 /// cancellations (deadline- or disconnect-driven), structured errors, and
 /// per-solver dispatch counts. All counters are monotone and thread-safe —
 /// every session thread records into the same instance while other
@@ -30,8 +31,12 @@ class ServerStats {
   /// One malformed or unsupported line answered with a structured error.
   void record_error() noexcept { ++errors_; }
 
-  /// One solve dispatched into the executor pool.
+  /// One solve dispatched into the executor pool. Pareto sweeps record one
+  /// dispatch per evaluated grid point (each is a full solve).
   void record_dispatch() noexcept { ++solves_; }
+
+  /// One `{"type":"pareto"}` sweep accepted.
+  void record_sweep() noexcept { ++sweeps_; }
 
   /// One solve finished: bumps the producing solver's dispatch count and
   /// the cancellation counter when the result carries the "cancelled"
@@ -42,12 +47,14 @@ class ServerStats {
   void record_disconnect_cancel() noexcept { ++disconnect_cancels_; }
 
   /// Ordered wire fields for the stats response (decimal-string values):
-  /// requests, solves, errors, cancelled, disconnect_cancels, connections,
-  /// then one "solver.<name>" field per solver in first-dispatch order.
+  /// requests, solves, sweeps, errors, cancelled, disconnect_cancels,
+  /// connections, then one "solver.<name>" field per solver in
+  /// first-dispatch order.
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> snapshot() const;
 
   [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
   [[nodiscard]] std::uint64_t solves() const noexcept { return solves_; }
+  [[nodiscard]] std::uint64_t sweeps() const noexcept { return sweeps_; }
   [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
   [[nodiscard]] std::uint64_t cancelled() const noexcept { return cancelled_; }
   [[nodiscard]] std::uint64_t disconnect_cancels() const noexcept {
@@ -59,6 +66,7 @@ class ServerStats {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> solves_{0};
+  std::atomic<std::uint64_t> sweeps_{0};
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> disconnect_cancels_{0};
   mutable std::mutex mutex_;  ///< guards per_solver_

@@ -45,9 +45,12 @@ class CancelToken {
     return flag_ != nullptr || has_deadline_;
   }
 
-  /// Copy of this token that additionally cancels once `deadline` passes.
+  /// \brief Copy of this token that additionally cancels once `deadline`
+  /// passes.
+  ///
   /// The source link (if any) is preserved: whichever fires first wins. A
-  /// second call replaces the deadline rather than stacking.
+  /// second call replaces the deadline rather than stacking — which is how
+  /// every execution of a reused `SolvePlan` gets its own full window.
   [[nodiscard]] CancelToken with_deadline(
       std::chrono::steady_clock::time_point deadline) const noexcept {
     CancelToken token = *this;
@@ -56,7 +59,7 @@ class CancelToken {
     return token;
   }
 
-  /// `with_deadline(now + timeout)`.
+  /// \brief `with_deadline(now + timeout)`.
   [[nodiscard]] CancelToken with_timeout(
       std::chrono::steady_clock::duration timeout) const noexcept {
     return with_deadline(std::chrono::steady_clock::now() + timeout);

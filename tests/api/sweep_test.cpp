@@ -1,0 +1,228 @@
+/// Tests of the Pareto-front sweep subsystem (api/sweep.hpp): grid
+/// preparation, the §2 anchors through the facade, agreement with
+/// `core::pareto_front`, adaptive refinement, sweep-wide cancellation and
+/// deadlines, and bit-identity between the sequential `api::sweep` and the
+/// pool-fanned `Executor::sweep`.
+
+#include "api/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "api/registry.hpp"
+#include "core/pareto.hpp"
+#include "gen/motivating_example.hpp"
+#include "io/result_io.hpp"
+#include "util/cancel.hpp"
+
+namespace pipeopt::api {
+namespace {
+
+/// Energy-under-period sweep over the §2 example (the SweepRequest
+/// defaults) with the given grid.
+SweepRequest energy_sweep(std::vector<double> bounds, std::size_t refine = 0) {
+  SweepRequest request;
+  request.bounds = std::move(bounds);
+  request.refine = refine;
+  return request;
+}
+
+/// Canonical wall-less wire line — the same comparator the server tests
+/// use for bit-identity.
+std::string comparable(const SolveResult& result) {
+  return io::format_result(result, "", /*include_wall=*/false);
+}
+
+TEST(Sweep, RejectsUnusableRequests) {
+  // No grid at all.
+  EXPECT_FALSE(validate_sweep(energy_sweep({})).empty());
+  // Objective pair collapsed.
+  SweepRequest same = energy_sweep({1.0});
+  same.base.objective = Objective::Period;
+  same.swept = Objective::Period;
+  EXPECT_FALSE(validate_sweep(same).empty());
+  // The swept axis is already constrained by the base request.
+  SweepRequest constrained = energy_sweep({1.0});
+  constrained.base.constraints.period = core::Thresholds::per_app({1.0, 1.0});
+  EXPECT_FALSE(validate_sweep(constrained).empty());
+  SweepRequest budget = energy_sweep({1.0});
+  budget.base.objective = Objective::Period;
+  budget.swept = Objective::Energy;
+  budget.base.constraints.energy_budget = 10.0;
+  EXPECT_FALSE(validate_sweep(budget).empty());
+  // A good request passes, and an unusable one evaluates nothing.
+  EXPECT_TRUE(validate_sweep(energy_sweep({1.0, 2.0})).empty());
+  const ParetoFront failed = sweep(gen::motivating_example(), same);
+  EXPECT_FALSE(failed.error.empty());
+  EXPECT_TRUE(failed.evaluations.empty());
+  EXPECT_TRUE(failed.front.empty());
+}
+
+TEST(Sweep, MotivatingExampleReproducesThePaperAnchors) {
+  // §2: periods 1 / 2 / 14 cost 136 / 46 / 10 — the progression the whole
+  // trade-off narrative hangs on, now one facade call.
+  const ParetoFront front =
+      sweep(gen::motivating_example(), energy_sweep({1.0, 2.0, 14.0}));
+  EXPECT_TRUE(front.error.empty());
+  EXPECT_FALSE(front.cancelled);
+  ASSERT_EQ(front.front.size(), 3u);
+  const std::vector<double> energies = {136.0, 46.0, 10.0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const SweepEvaluation& evaluation = front.evaluations[front.front[i]];
+    EXPECT_EQ(evaluation.result.metrics.energy, energies[i]);
+    EXPECT_TRUE(evaluation.result.solved());
+    EXPECT_TRUE(evaluation.result.mapping.has_value());
+  }
+  EXPECT_TRUE(front.monotone());
+  // The witness mappings travel into the ParetoPoint view too.
+  for (const core::ParetoPoint& point : front.front_points()) {
+    EXPECT_TRUE(point.mapping.has_value());
+  }
+}
+
+TEST(Sweep, GridIsSortedAndDeduplicated) {
+  const ParetoFront front = sweep(gen::motivating_example(),
+                                  energy_sweep({14.0, 1.0, 2.0, 2.0, 1.0}));
+  ASSERT_EQ(front.evaluations.size(), 3u);
+  EXPECT_EQ(front.evaluations[0].bound, 1.0);
+  EXPECT_EQ(front.evaluations[1].bound, 2.0);
+  EXPECT_EQ(front.evaluations[2].bound, 14.0);
+}
+
+TEST(Sweep, FrontAgreesWithCoreParetoFront) {
+  const ParetoFront front = sweep(
+      gen::motivating_example(),
+      energy_sweep({1.0, 1.25, 1.5, 1.75, 2.0, 3.0, 4.0, 7.0, 14.0}, 1));
+  // Re-filter every solved evaluation's achieved point through the core
+  // routine: the sweep's selection must match it value for value.
+  std::vector<core::ParetoPoint> points;
+  for (const SweepEvaluation& evaluation : front.evaluations) {
+    if (!evaluation.result.solved()) continue;
+    core::ParetoPoint point;
+    point.period = evaluation.result.metrics.max_weighted_period;
+    point.latency = evaluation.result.metrics.max_weighted_latency;
+    point.energy = evaluation.result.metrics.energy;
+    points.push_back(point);
+  }
+  const std::vector<core::ParetoPoint> expected =
+      core::pareto_front(points, front.use_latency);
+  const std::vector<core::ParetoPoint> got = front.front_points();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].period, expected[i].period);
+    EXPECT_EQ(got[i].energy, expected[i].energy);
+  }
+  EXPECT_TRUE(front.monotone());
+}
+
+TEST(Sweep, RefinementBisectsWhereTheFrontHasStructure) {
+  const ParetoFront coarse =
+      sweep(gen::motivating_example(), energy_sweep({1.0, 14.0}));
+  const ParetoFront refined =
+      sweep(gen::motivating_example(), energy_sweep({1.0, 14.0}, 3));
+  EXPECT_EQ(coarse.evaluations.size(), 2u);
+  EXPECT_GT(refined.evaluations.size(), coarse.evaluations.size());
+  EXPECT_GE(refined.front.size(), coarse.front.size());
+  // Refinement only ever inserts between existing bounds.
+  for (const SweepEvaluation& evaluation : refined.evaluations) {
+    EXPECT_GE(evaluation.bound, 1.0);
+    EXPECT_LE(evaluation.bound, 14.0);
+  }
+}
+
+TEST(Sweep, InfeasibleBoundsAreCountedAndExcluded) {
+  const ParetoFront front = sweep(gen::motivating_example(),
+                                  energy_sweep({1e-4, 2.0, 14.0}));
+  EXPECT_EQ(front.infeasible_points, 1u);
+  EXPECT_EQ(front.front.size(), 2u);
+  EXPECT_EQ(front.evaluations.size(), 3u);
+  EXPECT_FALSE(front.cancelled);
+}
+
+TEST(Sweep, LatencyInThePairEnablesThreeDimensionalDominance) {
+  SweepRequest request = energy_sweep({5.0, 20.0});
+  request.swept = Objective::Latency;
+  const ParetoFront front = sweep(gen::motivating_example(), request);
+  EXPECT_TRUE(front.error.empty());
+  EXPECT_TRUE(front.use_latency);
+  EXPECT_TRUE(front.monotone());  // vacuously: 3-D fronts skip the 2-D check
+}
+
+TEST(Sweep, PrefiredTokenCancelsEveryGridPoint) {
+  util::CancelSource source;
+  source.request_cancel();
+  SweepRequest request = energy_sweep({1.0, 2.0, 14.0});
+  request.base.cancel = source.token();
+  const ParetoFront front = sweep(gen::motivating_example(), request);
+  EXPECT_TRUE(front.cancelled);
+  EXPECT_EQ(front.cancelled_points, 3u);
+  EXPECT_TRUE(front.front.empty());
+  EXPECT_EQ(front.evaluations.size(), 3u);  // every bound still reported
+}
+
+TEST(Sweep, DeadlineIsArmedOnceForTheWholeSweep) {
+  // An already-expired deadline: every grid point observes the same
+  // sweep-wide token (a per-point window would grant each solve a fresh
+  // 0ms clock too, but the distinction that matters here is that the
+  // deadline cancels typed results instead of hanging or throwing).
+  SweepRequest request = energy_sweep({1.0, 2.0, 14.0});
+  request.base.deadline_ms = 0;
+  const ParetoFront front = sweep(gen::motivating_example(), request);
+  EXPECT_TRUE(front.cancelled);
+  EXPECT_EQ(front.cancelled_points, 3u);
+  EXPECT_TRUE(front.front.empty());
+}
+
+TEST(Sweep, RefinementCutShortByTheTokenIsReportedCancelled) {
+  // The token fires after the initial grid completes but before the
+  // requested refinement rounds run: every evaluated point finished
+  // cleanly, yet the front is not the converged one — the sweep must say
+  // so instead of reporting "complete".
+  util::CancelSource source;
+  SweepRequest request = energy_sweep({1.0, 14.0}, /*refine=*/2);
+  request.base.cancel = source.token();
+  const core::Problem problem = gen::motivating_example();
+  std::size_t rounds = 0;
+  const ParetoFront front = detail::run_sweep(
+      problem, request, [&](std::vector<SolveRequest> requests) {
+        ++rounds;
+        std::vector<SolveResult> results;
+        for (const SolveRequest& point : requests) {
+          results.push_back(default_registry().solve(problem, point));
+        }
+        source.request_cancel();  // fire once this round's results are in
+        return results;
+      });
+  EXPECT_EQ(rounds, 1u);                  // refinement never ran
+  EXPECT_EQ(front.cancelled_points, 0u);  // no evaluated point was lost
+  EXPECT_TRUE(front.cancelled);           // ... but the sweep was cut short
+  EXPECT_EQ(front.evaluations.size(), 2u);
+  EXPECT_EQ(front.front.size(), 2u);      // the honest prefix still returns
+}
+
+TEST(Sweep, ExecutorSweepIsBitIdenticalToSequentialSweep) {
+  const core::Problem problem = gen::motivating_example();
+  const SweepRequest request =
+      energy_sweep({1.0, 1.5, 2.0, 3.0, 7.0, 14.0}, 2);
+  const ParetoFront sequential = sweep(problem, request);
+  Executor executor(ExecutorOptions{2});
+  const ParetoFront pooled = executor.sweep(problem, request);
+  ASSERT_EQ(pooled.evaluations.size(), sequential.evaluations.size());
+  for (std::size_t i = 0; i < pooled.evaluations.size(); ++i) {
+    EXPECT_EQ(pooled.evaluations[i].bound, sequential.evaluations[i].bound);
+    EXPECT_EQ(comparable(pooled.evaluations[i].result),
+              comparable(sequential.evaluations[i].result))
+        << "pool and sequential sweeps diverged at bound "
+        << pooled.evaluations[i].bound;
+  }
+  EXPECT_EQ(pooled.front, sequential.front);
+  EXPECT_EQ(pooled.cancelled, sequential.cancelled);
+  EXPECT_EQ(pooled.infeasible_points, sequential.infeasible_points);
+}
+
+}  // namespace
+}  // namespace pipeopt::api

@@ -101,6 +101,44 @@ printf '{"type":"ping","id":"smoke"}\n' | "$BIN" serve --stdio \
 grep -q '"type":"pong"' "$TMPDIR/stdio.out" \
   || fail "serve --stdio should answer the ping"
 
+# --- pareto: Pareto-front sweeps through the facade -----------------------
+[ "$(run "$TMPDIR/ok.txt" pareto --sweep-bounds 1,2,14)" = 0 ] \
+  || fail "pareto with a solvable grid should exit 0: $(cat "$TMPDIR/err")"
+grep -q "front: " "$TMPDIR/out" || fail "pareto should report the front size"
+grep -q "monotone" "$TMPDIR/out" || fail "pareto should report monotonicity"
+# the full option surface: explicit pair, refinement, jobs, fixed bounds
+[ "$(run "$TMPDIR/ok.txt" pareto --objective energy --sweep period \
+      --sweep-bounds 1,14 --refine 2 --jobs 2)" = 0 ] \
+  || fail "pareto with explicit pair and refinement should exit 0"
+# --out writes the wire lines the server streams: N front points + summary
+[ "$(run "$TMPDIR/ok.txt" pareto --sweep-bounds 1,2,14 --out "$TMPDIR/front.jsonl")" = 0 ] \
+  || fail "pareto --out should exit 0"
+grep -q '"type":"result"' "$TMPDIR/front.jsonl" \
+  || fail "pareto --out should write result_io front points"
+grep -q '"bound":' "$TMPDIR/front.jsonl" \
+  || fail "pareto --out front points should carry their bound"
+[ "$(tail -n 1 "$TMPDIR/front.jsonl" | grep -c '"type":"pareto"')" = 1 ] \
+  || fail "pareto --out should end with the summary line"
+# an all-infeasible grid leaves an empty front: exit 1
+[ "$(run "$TMPDIR/ok.txt" pareto --sweep-bounds 0.0001)" = 1 ] \
+  || fail "pareto with an unmeetable grid should exit 1"
+# usage errors exit 2
+[ "$(run "$TMPDIR/ok.txt" pareto)" = 2 ] \
+  || fail "pareto without --sweep-bounds should exit 2"
+[ "$(run "$TMPDIR/ok.txt" pareto --sweep-bounds nonsense)" = 2 ] \
+  || fail "pareto with a malformed grid should exit 2"
+[ "$(run "$TMPDIR/ok.txt" pareto --sweep sideways --sweep-bounds 1)" = 2 ] \
+  || fail "pareto with a bad --sweep should exit 2"
+[ "$(run "$TMPDIR/ok.txt" pareto --sweep energy --sweep-bounds 1)" = 2 ] \
+  || fail "pareto with objective == swept criterion should exit 2"
+[ "$(run "$TMPDIR/ok.txt" pareto --sweep-bounds 1 --period-bounds 2)" = 2 ] \
+  || fail "pareto with a pre-constrained swept axis should exit 2"
+# client --pareto shares the sweep flags and the exit-code contract
+[ "$(run client --port 1 --manifest "$TMPDIR/batch.jsonl" --pareto --sweep-bounds 1,2)" = 2 ] \
+  || fail "client --pareto against a dead port should exit 2"
+[ "$(run client --port 1 --pareto "$TMPDIR/batch.jsonl")" = 2 ] \
+  || fail "client --pareto without --manifest should exit 2"
+
 # --- exit 1: infeasible ---------------------------------------------------
 [ "$(run "$TMPDIR/ok.txt" solve --objective energy --period-bounds 0.0001)" = 1 ] \
   || fail "unmeetable period bound should exit 1"

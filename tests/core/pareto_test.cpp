@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "core/mapping.hpp"
+
 namespace pipeopt::core {
 namespace {
 
@@ -60,6 +64,59 @@ TEST(Pareto, EmptyAndSingleton) {
 
 TEST(Pareto, MonotoneViolationDetected) {
   EXPECT_FALSE(energy_monotone_in_period({pt(1, 10), pt(2, 20)}));
+}
+
+TEST(Pareto, DuplicateTiesKeepTheFirstWitnessMapping) {
+  // Two identical points whose witnesses differ: dedup must keep the
+  // earlier one, mapping included (the sweep relies on "earliest bound
+  // owns the point").
+  ParetoPoint first = pt(2, 10);
+  first.mapping = Mapping({{0, 0, 0, 0, 0}});
+  ParetoPoint second = pt(2, 10);
+  second.mapping = Mapping({{0, 0, 0, 1, 0}});
+  auto front = pareto_front({first, second}, false);
+  ASSERT_EQ(front.size(), 1u);
+  ASSERT_TRUE(front[0].mapping.has_value());
+  EXPECT_EQ(front[0].mapping->intervals()[0].proc, 0u);
+}
+
+TEST(Pareto, DuplicateTiesWithoutMappingsStillDeduplicate) {
+  // Witness-less producers (benches that only track values) get the same
+  // dedup semantics; the surviving point simply has no mapping.
+  auto front = pareto_front({pt(2, 10), pt(2, 10)}, false);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_FALSE(front[0].mapping.has_value());
+}
+
+TEST(Pareto, ThreeDDominanceNeedsAllThreeCriteria) {
+  // Better on two criteria, worse on latency: no dominance in 3-D.
+  EXPECT_FALSE(dominates(pt(1, 9, 8), pt(2, 10, 5), true));
+  // Equal latency, better elsewhere: dominates.
+  EXPECT_TRUE(dominates(pt(1, 9, 5), pt(2, 10, 5), true));
+  // Latency alone provides the strict part when the rest ties.
+  EXPECT_TRUE(dominates(pt(2, 10, 4), pt(2, 10, 5), true));
+  EXPECT_FALSE(dominates(pt(2, 10, 5), pt(2, 10, 5), true));
+  // A 3-D front can keep a point the 2-D filter would drop.
+  auto front3d =
+      pareto_front({pt(1, 10, 2), pt(2, 8, 9), pt(3, 9, 1)}, true);
+  EXPECT_EQ(front3d.size(), 3u);
+  auto front2d =
+      pareto_front({pt(1, 10, 2), pt(2, 8, 9), pt(3, 9, 1)}, false);
+  EXPECT_EQ(front2d.size(), 2u);  // (3,9) dominated by (2,8) in 2-D
+}
+
+TEST(Pareto, NonMonotoneFrontIsDetected) {
+  // A deliberately non-monotone "front": valid 3-D output (latency buys
+  // back the energy increase) whose 2-D projection violates the §2
+  // monotone trade-off — exactly what energy_monotone_in_period flags.
+  const std::vector<ParetoPoint> points = {pt(1, 10, 9), pt(2, 12, 3),
+                                           pt(3, 15, 1)};
+  const auto front = pareto_front(points, true);
+  ASSERT_EQ(front.size(), 3u);  // all survive 3-D dominance
+  EXPECT_FALSE(energy_monotone_in_period(front));
+  // Monotone prefixes do not mask a later violation.
+  EXPECT_FALSE(energy_monotone_in_period(
+      {pt(1, 10), pt(2, 5), pt(3, 7), pt(4, 1)}));
 }
 
 TEST(Pareto, ThreeDFrontKeepsLatencyTradeoffs) {

@@ -169,6 +169,84 @@ TEST(RequestIo, MalformedInputThrowsParseError) {
   }
 }
 
+/// Field-by-field sweep-request equality on top of the solve-field check.
+void expect_same_sweep(const api::SweepRequest& a, const api::SweepRequest& b) {
+  expect_same_request(a.base, b.base);
+  EXPECT_EQ(a.swept, b.swept);
+  EXPECT_EQ(a.bounds, b.bounds);
+  EXPECT_EQ(a.refine, b.refine);
+}
+
+TEST(RequestIo, ParetoRequestRoundTripsEveryShape) {
+  const core::Problem problem = gen::motivating_example();
+  std::vector<api::SweepRequest> shapes;
+  {
+    api::SweepRequest r;  // defaults: minimize energy, sweep period
+    r.bounds = {1.0, 2.0, 14.0};
+    shapes.push_back(r);
+    r.refine = 3;
+    r.base.solver = "exact-enumeration";
+    r.base.seed = 11;
+    shapes.push_back(r);
+    api::SweepRequest latency;  // 3-D pair with a fixed latency threshold
+    latency.base.objective = api::Objective::Period;
+    latency.swept = api::Objective::Energy;
+    latency.bounds = {10.0, 100.5};
+    latency.base.constraints.latency = core::Thresholds::per_app({5.0, 6.0});
+    latency.base.deadline_ms = 750;  // sweep-wide deadline travels too
+    shapes.push_back(latency);
+  }
+  for (const api::SweepRequest& request : shapes) {
+    const WireParetoRequest wire = parse_pareto_request_line(
+        format_pareto_request(problem, request, "sweep-1"));
+    expect_same_sweep(request, wire.request);
+    expect_same_problem(problem, wire.problem);
+    EXPECT_EQ(wire.id, "sweep-1");
+  }
+}
+
+TEST(RequestIo, ParetoObjectiveDefaultsToEnergyOnTheWire) {
+  const std::string instance =
+      R"(comm overlap\nbandwidth 1\nprocessor P static=0 speeds=1\n)"
+      R"(processor Q static=0 speeds=1\napp A weight=1 input=0 stages=1:0\n)";
+  const WireParetoRequest defaulted = parse_pareto_request_line(
+      R"({"type":"pareto","sweep_bounds":"1,2","problem":")" + instance + "\"}");
+  EXPECT_EQ(defaulted.request.base.objective, api::Objective::Energy);
+  EXPECT_EQ(defaulted.request.swept, api::Objective::Period);
+  EXPECT_EQ(defaulted.request.bounds, (std::vector<double>{1.0, 2.0}));
+  // An explicit objective still wins.
+  const WireParetoRequest explicit_objective = parse_pareto_request_line(
+      R"({"type":"pareto","sweep":"energy","objective":"period",)"
+      R"("sweep_bounds":"9","problem":")" + instance + "\"}");
+  EXPECT_EQ(explicit_objective.request.base.objective, api::Objective::Period);
+  EXPECT_EQ(explicit_objective.request.swept, api::Objective::Energy);
+}
+
+TEST(RequestIo, MalformedParetoRequestsThrowParseError) {
+  const std::string instance =
+      R"(comm overlap\nbandwidth 1\nprocessor P static=0 speeds=1\n)"
+      R"(app A weight=1 input=0 stages=1:0\n)";
+  const std::vector<std::string> bad = {
+      // No grid at all.
+      R"({"type":"pareto","problem":")" + instance + "\"}",
+      // Empty / malformed grids.
+      R"({"type":"pareto","sweep_bounds":"","problem":")" + instance + "\"}",
+      R"({"type":"pareto","sweep_bounds":"1,,2","problem":")" + instance + "\"}",
+      // Bad swept criterion / unknown field / wrong type tag.
+      R"({"type":"pareto","sweep":"speed","sweep_bounds":"1","problem":")" +
+          instance + "\"}",
+      R"({"type":"pareto","sweep_bounds":"1","grid":"x","problem":")" +
+          instance + "\"}",
+      R"({"type":"solve","sweep_bounds":"1","problem":")" + instance + "\"}",
+      // No instance.
+      R"({"type":"pareto","sweep_bounds":"1"})",
+  };
+  for (const std::string& line : bad) {
+    EXPECT_THROW((void)parse_pareto_request_line(line), ParseError)
+        << "should reject: " << line;
+  }
+}
+
 TEST(RequestIo, PathFieldResolvesAgainstBaseDir) {
   // Written to a temp dir, loaded back through the relative-path branch.
   const core::Problem problem = gen::motivating_example();

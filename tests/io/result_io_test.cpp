@@ -157,5 +157,63 @@ TEST(ResultIo, MalformedLinesThrowParseError) {
   }
 }
 
+TEST(ResultIo, FrontPointLinesCarryTheBoundAndRoundTrip) {
+  const core::Problem problem = gen::motivating_example();
+  api::SolveRequest request;
+  request.objective = api::Objective::Energy;
+  request.constraints.period = core::Thresholds::per_app({2.0, 2.0});
+  const api::SolveResult result = api::solve(problem, request);
+  ASSERT_TRUE(result.solved());
+
+  const std::string line = format_front_point(result, 2.0, "p-1");
+  const WireResult wire = parse_result_line(line);
+  expect_same_result(result, wire.result);
+  EXPECT_EQ(wire.id, "p-1");
+  ASSERT_TRUE(wire.bound.has_value());
+  EXPECT_EQ(*wire.bound, 2.0);
+  // A plain result line has no bound, and the two formats agree otherwise.
+  EXPECT_FALSE(parse_result_line(format_result(result)).bound.has_value());
+  EXPECT_THROW((void)parse_result_line(
+                   R"({"status":"optimal","bound":"nope"})"),
+               ParseError);
+}
+
+TEST(ResultIo, ParetoSummaryRoundTripsBothStatuses) {
+  api::ParetoFront front;
+  front.evaluations.resize(9);
+  front.front = {0, 2, 5};
+  front.infeasible_points = 2;
+  front.cancelled_points = 0;
+  front.wall_seconds = 0.125;
+
+  const WireParetoSummary complete =
+      parse_pareto_summary_line(format_pareto_summary(front, "sum-1"));
+  EXPECT_EQ(complete.id, "sum-1");
+  EXPECT_TRUE(complete.complete);
+  EXPECT_EQ(complete.points, 3u);
+  EXPECT_EQ(complete.evaluated, 9u);
+  EXPECT_EQ(complete.infeasible, 2u);
+  EXPECT_EQ(complete.cancelled_points, 0u);
+  EXPECT_EQ(complete.wall_seconds, 0.125);
+
+  front.cancelled = true;
+  front.cancelled_points = 4;
+  const WireParetoSummary cancelled = parse_pareto_summary_line(
+      format_pareto_summary(front, "", /*include_wall=*/false));
+  EXPECT_FALSE(cancelled.complete);
+  EXPECT_EQ(cancelled.cancelled_points, 4u);
+  EXPECT_EQ(cancelled.wall_seconds, 0.0);
+
+  for (const std::string& bad :
+       {std::string(R"({"type":"pareto","points":"1"})"),  // missing status
+        std::string(R"({"type":"pareto","status":"half"})"),
+        std::string(R"({"type":"result","status":"complete"})"),
+        std::string(R"({"type":"pareto","status":"complete","points":"x"})"),
+        std::string(R"({"type":"pareto","status":"complete","extra":"1"})")}) {
+    EXPECT_THROW((void)parse_pareto_summary_line(bad), ParseError)
+        << "should reject: " << bad;
+  }
+}
+
 }  // namespace
 }  // namespace pipeopt::io

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "api/registry.hpp"
+#include "api/sweep.hpp"
+#include "core/pareto.hpp"
 #include "gen/motivating_example.hpp"
 #include "gen/random_instances.hpp"
 #include "io/request_io.hpp"
@@ -340,6 +342,149 @@ TEST(Server, DisconnectCancelsInFlightSolveWithoutAffectingOthers) {
   const auto again = other.recv_line();
   ASSERT_TRUE(again.has_value());
   EXPECT_TRUE(io::parse_result_line(*again).result.solved());
+}
+
+TEST(Server, StreamedParetoFrontBitIdenticalToInProcessSweepOverTheGrid) {
+  TestServer harness(/*jobs=*/2);
+  WireClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+
+  api::SweepRequest request;  // defaults: minimize energy, sweep period
+  request.bounds = {1.0, 2.0, 4.0, 100.0};
+  request.refine = 1;
+
+  for (const core::Problem& problem : table_grid(2)) {
+    client.send_line(io::format_pareto_request(problem, request, "g"));
+    // Drain the streamed exchange: front-point result lines, then the
+    // terminal summary.
+    std::vector<io::WireResult> streamed;
+    std::optional<io::WireParetoSummary> summary;
+    for (;;) {
+      const auto response = client.recv_line();
+      ASSERT_TRUE(response.has_value());
+      const io::JsonFields fields = io::parse_flat_json(*response);
+      std::string type;
+      for (const auto& [key, value] : fields) {
+        if (key == "type") type = value;
+      }
+      ASSERT_NE(type, "error") << *response;
+      if (type == "pareto") {
+        summary = io::parse_pareto_summary(fields);
+        break;
+      }
+      streamed.push_back(io::parse_result(fields));
+    }
+
+    const api::ParetoFront local = api::sweep(problem, request);
+    ASSERT_TRUE(summary.has_value());
+    EXPECT_TRUE(summary->complete);
+    EXPECT_EQ(summary->id, "g");
+    EXPECT_EQ(summary->points, local.front.size());
+    EXPECT_EQ(summary->evaluated, local.evaluations.size());
+    EXPECT_EQ(summary->infeasible, local.infeasible_points);
+
+    ASSERT_EQ(streamed.size(), local.front.size());
+    std::vector<core::ParetoPoint> wire_points;
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+      const api::SweepEvaluation& evaluation =
+          local.evaluations[local.front[i]];
+      EXPECT_EQ(streamed[i].id, "g");
+      ASSERT_TRUE(streamed[i].bound.has_value());
+      // Bit-identity, point by point: the wall-less canonical line of the
+      // wire result equals the in-process sweep's.
+      EXPECT_EQ(io::format_front_point(streamed[i].result, *streamed[i].bound,
+                                       "", /*include_wall=*/false),
+                io::format_front_point(evaluation.result, evaluation.bound,
+                                       "", /*include_wall=*/false))
+          << "wire front diverged from api::sweep";
+      core::ParetoPoint point;
+      point.period = streamed[i].result.metrics.max_weighted_period;
+      point.energy = streamed[i].result.metrics.energy;
+      wire_points.push_back(point);
+    }
+    // Every returned 2-D front satisfies the §2 monotone trade-off, on
+    // both sides of the wire.
+    EXPECT_TRUE(local.monotone());
+    EXPECT_TRUE(core::energy_monotone_in_period(wire_points));
+  }
+  EXPECT_EQ(harness.server().stats().errors(), 0u);
+}
+
+TEST(Server, DisconnectCancelsRemainingSweepGridPoints) {
+  TestServer harness(/*jobs=*/2);
+
+  // A sweep of three needle searches (each deterministically enormous;
+  // exact-enumeration takes the bound constraints branch-and-bound
+  // refuses). The client vanishes mid-front ...
+  auto victim = std::make_unique<WireClient>(harness.port());
+  ASSERT_TRUE(victim->connected());
+  api::SweepRequest request;
+  request.base.objective = api::Objective::Period;
+  request.base.kind = api::MappingKind::OneToOne;
+  request.base.solver = "exact-enumeration";
+  request.base.node_budget = 1'000'000'000;
+  request.swept = api::Objective::Energy;
+  request.bounds = {1e6, 1e7, 1e8};
+  victim->send_line(io::format_pareto_request(needle_instance(), request));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  victim->close();
+  victim.reset();
+
+  // ... so the session watch fires the sweep's CancelSource: the running
+  // grid points unwind within one check stride and the queued one never
+  // really starts. All of it is observable in the stats.
+  const auto& stats = harness.server().stats();
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while ((stats.disconnect_cancels() < 1 || stats.cancelled() < 3) &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(stats.disconnect_cancels(), 1u);
+  EXPECT_EQ(stats.cancelled(), 3u);  // every remaining grid point died
+  EXPECT_EQ(stats.sweeps(), 1u);
+  EXPECT_EQ(stats.solves(), 3u);  // one dispatch per grid point
+
+  // The cancellation is visible over the wire too, and the pool survives.
+  WireClient other(harness.port());
+  ASSERT_TRUE(other.connected());
+  other.send_line(R"({"type":"stats"})");
+  const auto response = other.recv_line();
+  ASSERT_TRUE(response.has_value());
+  const io::JsonFields fields = io::parse_flat_json(*response);
+  auto value_of = [&](const std::string& key) -> std::optional<std::string> {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  };
+  EXPECT_EQ(value_of("sweeps"), "1");
+  EXPECT_EQ(value_of("cancelled"), "3");
+  EXPECT_EQ(value_of("disconnect_cancels"), "1");
+  other.send_line(
+      io::format_solve_request(gen::motivating_example(), api::SolveRequest{}));
+  const auto solved = other.recv_line();
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_TRUE(io::parse_result_line(*solved).result.solved());
+}
+
+TEST(Server, UnusableSweepAnswersWithAStructuredError) {
+  TestServer harness;
+  WireClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  // Well-formed JSON, parseable sweep, semantically unusable: the swept
+  // criterion equals the objective.
+  client.send_line(
+      R"({"type":"pareto","id":"bad","sweep":"energy","sweep_bounds":"1,2",)"
+      R"("problem":"comm overlap\nbandwidth 1\nprocessor P static=0 )"
+      R"(speeds=1\napp A weight=1 input=0 stages=1:0\n"})");
+  const auto response = client.recv_line();
+  ASSERT_TRUE(response.has_value());
+  const io::JsonFields fields = io::parse_flat_json(*response);
+  EXPECT_EQ(fields.front().first, "type");
+  EXPECT_EQ(fields.front().second, "error");
+  EXPECT_EQ(harness.server().stats().errors(), 1u);
+  EXPECT_EQ(harness.server().stats().sweeps(), 0u);
 }
 
 TEST(Server, PipelinedRequestsAreAllAnsweredInOrder) {

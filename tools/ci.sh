@@ -1,11 +1,12 @@
 #!/bin/sh
 # CI entry point: the tier-1 verify line (see ROADMAP.md) with warnings
 # promoted to errors, then the full ctest suite (unit + property tests and
-# the CLI exit-code smoke test, including solve-batch), then a
+# the CLI exit-code smoke test, including solve-batch and pareto), then a
 # pipeopt-server smoke stage (live TCP server driven by the client
-# subcommand, responses diffed bit-identical against solve-batch --out),
-# then a ThreadSanitizer pass over the threaded executor/plan/server
-# subsystems.
+# subcommand, responses diffed bit-identical against solve-batch --out,
+# plus one streamed Pareto sweep diffed against the CLI pareto --out
+# file), then a ThreadSanitizer pass over the threaded
+# executor/plan/sweep/server subsystems.
 #
 #   tools/ci.sh [build-dir]
 #
@@ -80,9 +81,27 @@ for OBJECTIVE in period latency energy; do
   }
 done
 
+# Pareto smoke: one sweep streamed over live TCP (client --pareto), then
+# the same sweep through the in-process CLI (pareto --out). The wire
+# format is identical by design, so after stripping the honest wall_s
+# field the two captures must be byte-identical: front points, bounds,
+# witness mappings, summary counters and all.
+cat > "$SMOKE_DIR/pareto.jsonl" <<PROB
+{"path": "het.txt"}
+PROB
+"$BIN" client --port "$PORT" --manifest "$SMOKE_DIR/pareto.jsonl" --pareto \
+    --sweep-bounds 1,2,4,8 --refine 1 > "$SMOKE_DIR/pareto_wire.jsonl"
+"$BIN" "$SMOKE_DIR/het.txt" pareto --sweep-bounds 1,2,4,8 --refine 1 \
+    --out "$SMOKE_DIR/pareto_local.jsonl" > /dev/null
+sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/pareto_wire.jsonl" > "$SMOKE_DIR/pareto_wire.cmp"
+sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/pareto_local.jsonl" > "$SMOKE_DIR/pareto_local.cmp"
+diff "$SMOKE_DIR/pareto_wire.cmp" "$SMOKE_DIR/pareto_local.cmp" || {
+  echo "ci: streamed pareto front diverged from the CLI sweep" >&2; exit 1;
+}
+
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "ci: server did not drain cleanly on SIGTERM" >&2; exit 1; }
-echo "ci: server smoke green (3 objectives bit-identical over TCP)"
+echo "ci: server smoke green (3 objectives + 1 pareto sweep bit-identical over TCP)"
 
 # ThreadSanitizer build of the executor, plan, cancellation and server
 # tests — the code that actually runs worker pools and session threads.
@@ -94,7 +113,7 @@ if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - -o "${TMPDIR:-
   cmake -B "$BUILD_DIR-tsan" -S . -DPIPEOPT_WERROR=ON -DPIPEOPT_TSAN=ON
   cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" --target pipeopt_tests
   "$BUILD_DIR-tsan/pipeopt_tests" \
-      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*'
+      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*'
 else
   echo "ci: ThreadSanitizer unavailable, skipping the tsan pass" >&2
 fi

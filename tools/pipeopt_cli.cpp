@@ -27,6 +27,17 @@
 ///                                across a worker pool of N threads; --out
 ///                                writes one result_io JSONL line per
 ///                                instance (the server wire format)
+///   pareto --sweep-bounds B,...  Pareto-front sweep (api/sweep.hpp):
+///         [--sweep period|latency|energy] [--refine N] [--jobs N]
+///         [--out front.jsonl] [solve options]
+///                                minimize --objective (default energy) at
+///                                each bound of the swept criterion
+///                                (default period), filter to the Pareto
+///                                front, print it with witness solver
+///                                names; --out writes one result_io wire
+///                                line per front point plus the terminal
+///                                pareto summary line (exactly what the
+///                                server streams for {"type":"pareto"})
 ///   list-solvers                 registered solvers, dispatch order,
 ///                                applicability for this instance
 ///   min-period [--exact]         legacy alias of solve --objective period
@@ -42,13 +53,18 @@
 ///                                (src/server/); --port 0 picks an
 ///                                ephemeral port, announced on stdout;
 ///                                --stdio serves stdin/stdout instead
-///   pipeopt client [--host H] --port N (--manifest M [solve options] | F)
+///   pipeopt client [--host H] --port N
+///                  (--manifest M [--pareto] [solve/sweep options] | F)
 ///                                scripted load generator: with --manifest,
 ///                                one solve request per manifest instance
-///                                under shared solve flags; otherwise raw
-///                                JSONL request lines from file F ("-" =
-///                                stdin). Lock-step send/receive; responses
-///                                echo to stdout
+///                                under shared solve flags (--pareto sends
+///                                pareto sweep requests instead, with the
+///                                sweep flags above); otherwise raw JSONL
+///                                request lines from file F ("-" = stdin).
+///                                Lock-step send/receive; responses echo to
+///                                stdout, and a pareto request drains its
+///                                streamed front through the terminal
+///                                summary line
 ///
 /// Exit codes: 0 solved, 1 infeasible (or search budget exhausted),
 /// 2 usage/parse errors (including unknown or inapplicable solver names).
@@ -76,6 +92,7 @@
 #include "api/adapters.hpp"
 #include "api/executor.hpp"
 #include "api/registry.hpp"
+#include "api/sweep.hpp"
 #include "core/evaluation.hpp"
 #include "io/problem_io.hpp"
 #include "io/request_io.hpp"
@@ -103,6 +120,11 @@ int usage() {
       "  solve-batch --objective ... [--jobs N] [--out results.jsonl]\n"
       "                             problem-file is a JSONL manifest; one\n"
       "                             request, one dispatch plan, N workers\n"
+      "  pareto --sweep-bounds B1[,B2...] [--sweep period|latency|energy]\n"
+      "         [--refine N] [--jobs N] [--out front.jsonl] [solve opts]\n"
+      "                             Pareto-front sweep: minimize the\n"
+      "                             objective (default energy) under each\n"
+      "                             swept bound (default period)\n"
       "  list-solvers               registered solvers in dispatch order\n"
       "  min-period [--exact]       alias: solve --objective period\n"
       "  min-latency                alias: solve --objective latency\n"
@@ -111,7 +133,8 @@ int usage() {
       "  serve [--host H] [--port N] [--jobs N] [--stdio]\n"
       "                             JSONL-over-TCP solve service (no\n"
       "                             problem file; --port 0 = ephemeral)\n"
-      "  client [--host H] --port N (--manifest M [solve opts] | F | -)\n"
+      "  client [--host H] --port N\n"
+      "         (--manifest M [--pareto] [solve/sweep opts] | F | -)\n"
       "                             send request lines, echo responses\n",
       stderr);
   return 2;
@@ -289,6 +312,143 @@ std::optional<api::SolveRequest> parse_solve_args(
   return request;
 }
 
+/// Parses "B1,B2,..." into raw doubles (no replication); nullopt on any
+/// malformed or empty token.
+std::optional<std::vector<double>> parse_double_list(const std::string& text) {
+  std::vector<double> values;
+  std::string token;
+  for (std::size_t i = 0;; ++i) {
+    if (i == text.size() || text[i] == ',') {
+      const auto value = parse_number<double>(token);
+      if (!value) return std::nullopt;
+      values.push_back(*value);
+      token.clear();
+      if (i == text.size()) break;
+    } else {
+      token += text[i];
+    }
+  }
+  if (values.empty()) return std::nullopt;
+  return values;
+}
+
+/// Parses `pareto` flags into a sweep request: the sweep-specific flags
+/// here, everything else through parse_solve_args (with the sweep default
+/// of --objective energy when none is given); nullopt on any usage error.
+std::optional<api::SweepRequest> parse_sweep_args(
+    const core::Problem& problem, const std::vector<std::string>& args) {
+  api::SweepRequest sweep;
+  std::vector<std::string> solve_args;
+  bool have_bounds = false;
+  bool have_objective = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--sweep") {
+      if (i + 1 >= args.size()) return std::nullopt;
+      const auto swept = api::parse_objective(args[++i]);
+      if (!swept) return std::nullopt;
+      sweep.swept = *swept;
+    } else if (flag == "--sweep-bounds") {
+      if (i + 1 >= args.size()) return std::nullopt;
+      const auto bounds = parse_double_list(args[++i]);
+      if (!bounds) return std::nullopt;
+      sweep.bounds = *bounds;
+      have_bounds = true;
+    } else if (flag == "--refine") {
+      if (i + 1 >= args.size()) return std::nullopt;
+      const auto refine = parse_number<std::size_t>(args[++i]);
+      if (!refine) return std::nullopt;
+      sweep.refine = *refine;
+    } else {
+      if (flag == "--objective") have_objective = true;
+      solve_args.push_back(flag);
+    }
+  }
+  if (!have_bounds) return std::nullopt;
+  if (!have_objective) {
+    solve_args.insert(solve_args.begin(), {"--objective", "energy"});
+  }
+  const auto base = parse_solve_args(problem, solve_args);
+  if (!base) return std::nullopt;
+  sweep.base = *base;
+  return sweep;
+}
+
+/// `pareto`: evaluates the sweep on a worker pool, prints the front and
+/// optionally writes the wire lines the server would stream. Exit codes:
+/// 0 = non-empty complete front, 1 = empty or cut-short front, 2 = usage.
+int run_pareto(const core::Problem& problem,
+               const std::vector<std::string>& args) {
+  std::size_t jobs = 0;
+  std::string out_path;
+  std::vector<std::string> sweep_args;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--jobs") {
+      if (i + 1 >= args.size()) return usage();
+      const auto parsed = parse_number<std::size_t>(args[++i]);
+      if (!parsed) return usage();
+      jobs = *parsed;
+    } else if (args[i] == "--out") {
+      if (i + 1 >= args.size()) return usage();
+      out_path = args[++i];
+    } else {
+      sweep_args.push_back(args[i]);
+    }
+  }
+  const auto request = parse_sweep_args(problem, sweep_args);
+  if (!request) return usage();
+  if (const std::string error = api::validate_sweep(*request); !error.empty()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  api::Executor executor(api::ExecutorOptions{jobs});
+  const api::ParetoFront front = executor.sweep(problem, *request);
+
+  if (!out_path.empty()) {
+    // Exactly the lines a server streams for the same {"type":"pareto"}
+    // request (no id), so captures diff directly once wall_s is stripped.
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+      return 2;
+    }
+    for (const std::size_t index : front.front) {
+      const api::SweepEvaluation& evaluation = front.evaluations[index];
+      out << io::format_front_point(evaluation.result, evaluation.bound)
+          << '\n';
+    }
+    out << io::format_pareto_summary(front) << '\n';
+  }
+
+  std::vector<std::string> columns{to_string(request->swept) +
+                                   std::string(" <=")};
+  columns.insert(columns.end(), {"period", "latency", "energy", "solver"});
+  util::Table table(columns);
+  for (const std::size_t index : front.front) {
+    const api::SweepEvaluation& evaluation = front.evaluations[index];
+    table.add_row({util::format_double(evaluation.bound, 6),
+                   util::format_double(
+                       evaluation.result.metrics.max_weighted_period, 6),
+                   util::format_double(
+                       evaluation.result.metrics.max_weighted_latency, 6),
+                   util::format_double(evaluation.result.metrics.energy, 6),
+                   evaluation.result.solver});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "front: %zu points from %zu evaluations (%zu infeasible, %zu "
+      "cancelled)%s\n",
+      front.front.size(), front.evaluations.size(), front.infeasible_points,
+      front.cancelled_points, front.cancelled ? " [sweep cut short]" : "");
+  if (!front.use_latency) {
+    std::printf("energy monotone non-increasing in period: %s\n",
+                front.monotone() ? "yes" : "NO");
+  }
+  std::printf("wall: %.3fs\n", front.wall_seconds);
+  return front.front.empty() || front.cancelled ? 1 : 0;
+}
+
 /// Solves a JSONL manifest of instances under one shared request on a
 /// worker pool; exits with the worst per-instance code (2 > 1 > 0).
 int run_solve_batch(const std::string& manifest_path,
@@ -442,8 +602,9 @@ int connect_to(const std::string& host, std::uint16_t port) {
 }
 
 /// Maps one server response line onto the CLI exit-code contract: error
-/// lines (or unparseable ones) are 2, results map like local solves, and
-/// pong/stats lines are 0.
+/// lines (or unparseable ones) are 2, results map like local solves,
+/// pareto summaries map like the local `pareto` command (1 when empty or
+/// cut short), and pong/stats lines are 0.
 int response_exit_code(const std::string& line) {
   try {
     const io::JsonFields fields = io::parse_flat_json(line);
@@ -452,6 +613,10 @@ int response_exit_code(const std::string& line) {
       if (key == "type") type = value;
     }
     if (type == "error") return 2;
+    if (type == "pareto") {
+      const io::WireParetoSummary summary = io::parse_pareto_summary(fields);
+      return summary.complete && summary.points > 0 ? 0 : 1;
+    }
     if (type != "result") return 0;
     return exit_code(io::parse_result(fields).result);
   } catch (const std::exception&) {
@@ -459,11 +624,26 @@ int response_exit_code(const std::string& line) {
   }
 }
 
+/// The "type" field of one JSONL line ("solve", the wire default, when
+/// absent or unparseable) — how the client knows a request streams a
+/// multi-line pareto response.
+std::string line_type(const std::string& line) {
+  std::string type = "solve";
+  try {
+    for (const auto& [key, value] : io::parse_flat_json(line)) {
+      if (key == "type") type = value;
+    }
+  } catch (const std::exception&) {
+  }
+  return type;
+}
+
 /// `pipeopt client`: scripted load generation against a running server.
 int run_client(const std::vector<std::string>& args) {
   std::string host = "127.0.0.1";
   std::optional<std::uint16_t> port;
   std::string manifest, raw_file;
+  bool pareto = false;
   std::vector<std::string> solve_args;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -477,6 +657,8 @@ int run_client(const std::vector<std::string>& args) {
     } else if (flag == "--manifest") {
       if (i + 1 >= args.size()) return usage();
       manifest = args[++i];
+    } else if (flag == "--pareto") {
+      pareto = true;  // manifest lines become {"type":"pareto"} sweeps
     } else if (!manifest.empty()) {
       solve_args.push_back(flag);  // shared solve flags for --manifest mode
     } else if (raw_file.empty()) {
@@ -486,6 +668,7 @@ int run_client(const std::vector<std::string>& args) {
     }
   }
   if (!port || (manifest.empty() && raw_file.empty())) return usage();
+  if (pareto && manifest.empty()) return usage();
 
   // Build the request lines before connecting: a usage error should not
   // show up server-side as half a session.
@@ -496,10 +679,18 @@ int run_client(const std::vector<std::string>& args) {
       std::fprintf(stderr, "error: empty manifest\n");
       return 2;
     }
-    const auto request = parse_solve_args(problems.front(), solve_args);
-    if (!request) return usage();
-    for (const core::Problem& problem : problems) {
-      lines.push_back(io::format_solve_request(problem, *request));
+    if (pareto) {
+      const auto request = parse_sweep_args(problems.front(), solve_args);
+      if (!request) return usage();
+      for (const core::Problem& problem : problems) {
+        lines.push_back(io::format_pareto_request(problem, *request));
+      }
+    } else {
+      const auto request = parse_solve_args(problems.front(), solve_args);
+      if (!request) return usage();
+      for (const core::Problem& problem : problems) {
+        lines.push_back(io::format_solve_request(problem, *request));
+      }
     }
   } else {
     std::ifstream file;
@@ -535,14 +726,20 @@ int run_client(const std::vector<std::string>& args) {
       ::close(fd);
       return 2;
     }
-    std::string response;
-    if (!reader.next_line(response)) {
-      std::fprintf(stderr, "error: connection closed before a response\n");
-      ::close(fd);
-      return 2;
+    // A pareto request streams result lines until its terminal summary (or
+    // an error); everything else answers with exactly one line.
+    const bool streamed = line_type(line) == "pareto";
+    for (;;) {
+      std::string response;
+      if (!reader.next_line(response)) {
+        std::fprintf(stderr, "error: connection closed before a response\n");
+        ::close(fd);
+        return 2;
+      }
+      std::printf("%s\n", response.c_str());
+      worst = std::max(worst, response_exit_code(response));
+      if (!streamed || line_type(response) != "result") break;
     }
-    std::printf("%s\n", response.c_str());
-    worst = std::max(worst, response_exit_code(response));
   }
   ::close(fd);
   return worst;
@@ -619,6 +816,9 @@ int main(int argc, char** argv) {
       const auto request = parse_solve_args(problem, args);
       if (!request) return usage();
       return run_solve(problem, *request);
+    }
+    if (command == "pareto") {
+      return run_pareto(problem, args);
     }
     if (command == "list-solvers") {
       return run_list_solvers(problem);
