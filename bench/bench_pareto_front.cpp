@@ -6,25 +6,42 @@
 /// use): each sweep minimizes energy under a grid of period bounds, with a
 /// round of adaptive refinement, and prints the resulting fronts with the
 /// dispatched solver names.
+///
+/// Since the plan-reuse PR each sweep also reports its **per-point
+/// amortization**: the sweep binds one `SolvePlan` (Eq. 6 weights,
+/// candidate filtering, platform class) and warm-starts refinement points,
+/// where the old driver re-planned every grid point. The "cold" column
+/// replays the same evaluated bounds through per-point `registry.solve`
+/// calls — exactly the pre-PR work — and the bench cross-checks the two
+/// bit-identical before trusting the speedup. A final section isolates the
+/// **warm-start** win on branch-and-bound (the adjacent-grid-point seeding
+/// the sweep driver performs): same optimum, same mapping, a fraction of
+/// the nodes.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "api/registry.hpp"
 #include "api/sweep.hpp"
 #include "core/pareto.hpp"
 #include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
 #include "gen/workloads.hpp"
+#include "io/result_io.hpp"
+#include "util/random.hpp"
 #include "util/table.hpp"
+#include "util/timing.hpp"
 
 namespace {
 
 using namespace pipeopt;
 
-void print_front(const char* title, const api::ParetoFront& front) {
+void print_front(const char* title, const api::ParetoFront& front,
+                 const char* swept = "period") {
   std::printf("%s (%zu sweep points -> %zu Pareto-optimal):\n", title,
               front.evaluations.size(), front.front.size());
-  util::Table table({"period <=", "min energy", "solver"});
+  util::Table table({std::string(swept) + " <=", "min energy", "solver"});
   for (const std::size_t index : front.front) {
     const api::SweepEvaluation& evaluation = front.evaluations[index];
     table.add_row({util::format_double(evaluation.bound, 4),
@@ -32,18 +49,64 @@ void print_front(const char* title, const api::ParetoFront& front) {
                    evaluation.result.solver});
   }
   std::fputs(table.render("  ").c_str(), stdout);
-  std::printf("  energy monotone non-increasing in period: %s\n\n",
+  std::printf("  energy monotone non-increasing in period: %s\n",
               front.monotone() ? "yes" : "NO");
+}
+
+/// Replays the sweep's evaluated bounds the pre-plan-reuse way — one
+/// `registry.solve` per point, each re-resolving weights and re-filtering
+/// candidates — and cross-checks bit-identity with the sweep's results.
+/// Returns the cold wall seconds (negative on divergence).
+double cold_replay(const core::Problem& problem,
+                   const api::SweepRequest& request,
+                   const api::ParetoFront& front) {
+  const api::SolverRegistry& registry = api::default_registry();
+  const util::Stopwatch watch;
+  std::size_t diverged = 0;
+  for (const api::SweepEvaluation& evaluation : front.evaluations) {
+    const api::SolveRequest cold = api::detail::sweep_point_request(
+        problem, request, evaluation.bound, request.base.cancel);
+    const api::SolveResult result = registry.solve(problem, cold);
+    if (io::format_result(result, "", false) !=
+        io::format_result(evaluation.result, "", false)) {
+      ++diverged;
+    }
+  }
+  const double seconds = watch.elapsed_seconds();
+  return diverged == 0 ? seconds : -1.0;
+}
+
+/// Evaluates the sweep through the shared plan-reusing driver, then prints
+/// the front plus the planned-vs-cold amortization line.
+api::ParetoFront timed_sweep(const char* title, const core::Problem& problem,
+                             api::SweepRequest request) {
+  const util::Stopwatch watch;
+  api::ParetoFront front = api::sweep(problem, request);
+  const double planned_s = watch.elapsed_seconds();
+  print_front(title, front, to_string(request.swept));
+  const double cold_s = cold_replay(problem, request, front);
+  if (cold_s < 0.0) {
+    std::printf("  BIT-IDENTITY FAILED: plan-reused sweep diverged from "
+                "cold per-point solves\n\n");
+    return front;
+  }
+  std::printf(
+      "  per-point amortization: planned %.2f us/pt vs cold %.2f us/pt "
+      "(%.2fx, bit-identical)\n\n",
+      1e6 * planned_s / static_cast<double>(front.evaluations.size()),
+      1e6 * cold_s / static_cast<double>(front.evaluations.size()),
+      cold_s / planned_s);
+  return front;
 }
 
 /// Energy-minimization sweep over the given period-bound grid (the
 /// SweepRequest defaults), one adaptive refinement round.
-api::ParetoFront energy_sweep(const core::Problem& problem,
+api::ParetoFront energy_sweep(const char* title, const core::Problem& problem,
                               std::vector<double> bounds) {
   api::SweepRequest request;  // defaults: minimize energy, sweep period
   request.bounds = std::move(bounds);
   request.refine = 1;
-  return api::sweep(problem, request);
+  return timed_sweep(title, problem, std::move(request));
 }
 
 /// The fastest achievable weighted period — the natural left edge of a
@@ -61,9 +124,9 @@ int main() {
   // --- 1. The §2 example, exact front. ------------------------------------
   {
     const auto problem = gen::motivating_example();
-    print_front(
-        "Motivating example (facade sweep; paper anchors 136/46/10)",
-        energy_sweep(problem, {1.0, 1.25, 1.5, 1.75, 2.0, 3.0, 4.0, 7.0, 14.0}));
+    (void)energy_sweep(
+        "Motivating example (facade sweep; paper anchors 136/46/10)", problem,
+        {1.0, 1.25, 1.5, 1.75, 2.0, 3.0, 4.0, 7.0, 14.0});
   }
 
   // --- 2. Video service on a homogeneous DVFS cluster (Theorem 21 DP). ---
@@ -78,8 +141,8 @@ int main() {
     for (double factor = 1.0; factor <= 4.01; factor += 0.25) {
       bounds.push_back(fastest * factor);
     }
-    print_front("Video cluster (10 nodes x 4 DVFS modes)",
-                energy_sweep(problem, std::move(bounds)));
+    (void)energy_sweep("Video cluster (10 nodes x 4 DVFS modes)", problem,
+                       std::move(bounds));
   }
 
   // --- 3. Overlap vs no-overlap ablation on the same sweep. ---------------
@@ -94,11 +157,82 @@ int main() {
       for (double factor = 1.0; factor <= 3.01; factor += 0.5) {
         bounds.push_back(fastest * factor);
       }
-      print_front(comm == core::CommModel::Overlap
-                      ? "Ablation: overlap model (Eq. 3)"
-                      : "Ablation: no-overlap model (Eq. 4)",
-                  energy_sweep(problem, std::move(bounds)));
+      (void)energy_sweep(comm == core::CommModel::Overlap
+                             ? "Ablation: overlap model (Eq. 3)"
+                             : "Ablation: no-overlap model (Eq. 4)",
+                         problem, std::move(bounds));
     }
+  }
+
+  // --- 4. Bind-heavy sweep: Stretch weights. ------------------------------
+  // Stretch resolves W_a = 1/X*_a through per-application solo solves at
+  // bind time. The plan-reusing driver pays that once per sweep; the old
+  // driver paid it once per grid point — this is where the amortization
+  // line stops being microseconds and becomes the dominant cost.
+  {
+    const auto problem = gen::motivating_example();
+    api::SweepRequest request;
+    request.base.objective = api::Objective::Period;
+    request.base.weights = core::WeightPolicy::Stretch;
+    request.swept = api::Objective::Energy;
+    request.bounds = {10.0, 20.0, 46.0, 136.0};
+    request.refine = 2;
+    (void)timed_sweep("Stretch-weighted period sweep (solo solves at bind)",
+                      problem, std::move(request));
+  }
+
+  // --- 5. Warm-start isolation: branch-and-bound node counts. -------------
+  // The sweep driver seeds each refinement point's SolveRequest::warm_start
+  // with the adjacent tighter bound's achieved value. Isolate that effect
+  // on the engine that consumes the hint: an unconstrained period
+  // minimization (branch-and-bound's cell) solved cold, then re-solved
+  // seeded with its own optimum — the exact situation of two adjacent grid
+  // points whose optima coincide or tighten slowly.
+  {
+    const auto warm_start_demo = [](const char* title,
+                                    const core::Problem& problem) {
+      api::SolveRequest request;
+      request.solver = "branch-and-bound";
+
+      const util::Stopwatch cold_watch;
+      const api::SolveResult cold = api::solve(problem, request);
+      const double cold_s = cold_watch.elapsed_seconds();
+      request.warm_start = cold.value;
+      const util::Stopwatch warm_watch;
+      const api::SolveResult warm = api::solve(problem, request);
+      const double warm_s = warm_watch.elapsed_seconds();
+
+      const auto nodes = [](const api::SolveResult& result) {
+        for (const auto& [key, value] : result.diagnostics) {
+          if (key == "nodes") return value;
+        }
+        return std::string("?");
+      };
+      const bool same = cold.value == warm.value &&
+                        cold.mapping.has_value() == warm.mapping.has_value();
+      std::printf(
+          "  %-28s cold %8s nodes %8.0f us -> seeded %8s nodes %8.0f us; "
+          "optimum %s (%s)\n",
+          title, nodes(cold).c_str(), 1e6 * cold_s, nodes(warm).c_str(),
+          1e6 * warm_s, util::format_double(warm.value).c_str(),
+          same ? "identical" : "DIVERGED");
+      return same;
+    };
+
+    std::puts("Warm-start isolation (branch-and-bound, interval mappings):");
+    bool all_same = warm_start_demo("motivating example", gen::motivating_example());
+    util::Rng rng(7);
+    gen::ProblemShape shape;
+    shape.applications = 2;
+    shape.app.min_stages = 3;
+    shape.app.max_stages = 4;
+    shape.processors = 7;
+    shape.platform_class = core::PlatformClass::FullyHeterogeneous;
+    for (int i = 0; i < 3; ++i) {
+      const auto problem = gen::random_problem(rng, shape);
+      all_same = warm_start_demo("random fully-het", problem) && all_same;
+    }
+    if (!all_same) return 1;
   }
   return 0;
 }

@@ -76,10 +76,12 @@ void register_exact_solvers(SolverRegistry& registry) {
       },
       [](const core::Problem& p, const SolveRequest& r) {
         try {
+          // The warm-start hint prunes strictly-worse subtrees only, so the
+          // returned value/mapping equal an unhinted solve (request.hpp).
           return from_exact(p, r.objective,
                             exact::branch_bound_min_period(
                                 p, to_exact_kind(r.kind), r.node_budget,
-                                r.cancel));
+                                r.cancel, r.warm_start));
         } catch (const exact::SearchCancelled&) {
           return cancelled();
         } catch (const exact::SearchLimitExceeded&) {

@@ -1,0 +1,91 @@
+#include "api/cache.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "io/request_io.hpp"
+
+namespace pipeopt::api {
+
+SolveCache::SolveCache(std::size_t capacity, std::size_t shards)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  // Never more shards than entries: a zero-capacity shard could store
+  // nothing and would turn every insert routed to it into a silent drop.
+  const std::size_t count =
+      std::max<std::size_t>(1, std::min(shards, capacity_));
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Split the total capacity as evenly as possible (the first
+    // `capacity_ % count` shards take the remainder).
+    shard->capacity = capacity_ / count + (i < capacity_ % count ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::string SolveCache::key(const core::Problem& problem,
+                            const SolveRequest& request) {
+  return io::format_solve_key(problem, request);
+}
+
+bool SolveCache::cacheable(const SolveRequest& request) noexcept {
+  return !request.time_budget_seconds && !request.deadline_ms &&
+         !request.cancel.has_deadline();
+}
+
+SolveCache::Shard& SolveCache::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<SolveResult> SolveCache::lookup(const std::string& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result;
+}
+
+void SolveCache::insert(const std::string& key, const SolveResult& result) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    // Deterministic solves make a refresh a no-op content-wise; just renew
+    // the recency so concurrent duplicate misses don't churn the LRU tail.
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return;
+  }
+  shard.order.push_front(Entry{key, result});
+  shard.index.emplace(key, shard.order.begin());
+  while (shard.order.size() > shard.capacity) {
+    shard.index.erase(shard.order.back().key);
+    shard.order.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t SolveCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->order.size();
+  }
+  return total;
+}
+
+CacheCounters SolveCache::counters() const {
+  CacheCounters counters;
+  counters.hits = hits();
+  counters.misses = misses();
+  counters.evictions = evictions();
+  counters.entries = size();
+  counters.capacity = capacity_;
+  return counters;
+}
+
+}  // namespace pipeopt::api

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file cache.hpp
+/// The solve cache — redundant-work elimination for service-scale replay
+/// traffic (the ROADMAP's "result caching keyed by canonical request_io
+/// lines" item).
+///
+/// `SolveCache` is a sharded, thread-safe LRU from canonical request bytes
+/// (`io::format_solve_key`: the wire solve fields plus the canonical
+/// instance text — see request_io.hpp) to complete `SolveResult`s. A hit
+/// returns the stored result verbatim, `wall_seconds` included, so a replay
+/// of a byte-identical request stream produces byte-identical response
+/// streams — the property the CI smoke stage asserts against a live
+/// cache-enabled server.
+///
+/// Correctness rests on solves being deterministic functions of the key
+/// bytes. Three request shapes break that determinism, so the cache refuses
+/// them wholesale (`cacheable`): wall-clock deadlines (`deadline_ms` or a
+/// deadline-bearing token — iterative heuristics stop early on the clock
+/// without reporting cancellation), soft time budgets
+/// (`time_budget_seconds`), and results that observed a fired cancel token
+/// (never stored). Everything else — including budget-exhausted
+/// LimitExceeded results, which are deterministic in the node budget — is
+/// served and stored.
+///
+/// Sharding bounds contention: the key hash picks a shard, each shard owns
+/// an independent mutex + LRU list, and the global capacity is split across
+/// shards at construction. Counters (hits/misses/evictions) are lock-free
+/// atomics. Opt in through `ExecutorOptions::cache_entries` /
+/// `serve --cache-entries N`; the default everywhere is off.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/request.hpp"
+#include "api/result.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::api {
+
+/// One consistent reading of the cache counters.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;   ///< live entries across all shards
+  std::size_t capacity = 0;  ///< configured total capacity
+};
+
+/// Sharded LRU of solve results; see the file comment. All methods are
+/// thread-safe.
+class SolveCache {
+ public:
+  /// `capacity` total entries, split across `shards` independent LRUs
+  /// (clamped so every shard holds at least one entry).
+  explicit SolveCache(std::size_t capacity, std::size_t shards = 8);
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  /// The canonical key of one (problem, request) pair —
+  /// `io::format_solve_key` (the cancel token does not participate).
+  [[nodiscard]] static std::string key(const core::Problem& problem,
+                                       const SolveRequest& request);
+
+  /// True when `request`'s result is a deterministic function of its key
+  /// bytes: no wall-clock deadline (field or token-borne) and no soft time
+  /// budget. Non-cacheable requests must bypass the cache entirely — both
+  /// lookup and insert.
+  [[nodiscard]] static bool cacheable(const SolveRequest& request) noexcept;
+
+  /// The stored result for `key`, refreshed to most-recently-used; counts a
+  /// hit. std::nullopt (counting a miss) when absent.
+  [[nodiscard]] std::optional<SolveResult> lookup(const std::string& key);
+
+  /// Stores (or refreshes) `key -> result`, evicting the shard's
+  /// least-recently-used entry when over capacity. Callers must not insert
+  /// results that observed a fired cancel token (see file comment).
+  void insert(const std::string& key, const SolveResult& result);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.load(); }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_.load(); }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Live entries across all shards (takes every shard lock briefly).
+  [[nodiscard]] std::size_t size() const;
+
+  /// All counters in one snapshot.
+  [[nodiscard]] CacheCounters counters() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    SolveResult result;
+  };
+
+  /// One independent LRU: list front = most recently used; the map points
+  /// into the list for O(1) lookup + splice.
+  struct Shard {
+    std::mutex mutex;
+    std::size_t capacity = 0;
+    std::list<Entry> order;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& key);
+
+  std::size_t capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace pipeopt::api

@@ -21,6 +21,9 @@ Executor::Executor(ExecutorOptions options)
 
 Executor::Executor(const SolverRegistry& registry, ExecutorOptions options)
     : registry_(&registry) {
+  if (options.cache_entries > 0) {
+    cache_ = std::make_unique<SolveCache>(options.cache_entries);
+  }
   const std::size_t jobs = resolve_jobs(options.jobs);
   workers_.reserve(jobs);
   for (std::size_t i = 0; i < jobs; ++i) {
@@ -74,8 +77,41 @@ std::future<SolveResult> Executor::enqueue(
   return future;
 }
 
+bool Executor::cache_usable(const SolveRequest& request) const {
+  // An already-fired token keeps the cold semantics (the plan returns the
+  // typed cancelled result) by bypassing the cache entirely.
+  return cache_ != nullptr && SolveCache::cacheable(request) &&
+         !request.cancel.cancelled();
+}
+
+void Executor::cache_store(const std::string& key, const SolveRequest& request,
+                           const SolveResult& result) {
+  // A result that observed a fired token mid-run is wall-clock noise, not
+  // a function of the key bytes — never store it.
+  if (!result.was_cancelled() && !request.cancel.cancelled()) {
+    cache_->insert(key, result);
+  }
+}
+
 std::future<SolveResult> Executor::solve_async(core::Problem problem,
                                                SolveRequest request) {
+  // Cache fast path: a hit answers synchronously with the stored result —
+  // no pool round trip, no solve.
+  if (cache_usable(request)) {
+    std::string key = SolveCache::key(problem, request);
+    if (std::optional<SolveResult> hit = cache_->lookup(key)) {
+      std::promise<SolveResult> ready;
+      ready.set_value(std::move(*hit));
+      return ready.get_future();
+    }
+    return enqueue(std::packaged_task<SolveResult()>(
+        [this, problem = std::move(problem), request = std::move(request),
+         key = std::move(key)] {
+          SolveResult result = registry_->solve(problem, request);
+          cache_store(key, request, result);
+          return result;
+        }));
+  }
   return enqueue(std::packaged_task<SolveResult()>(
       [registry = registry_, problem = std::move(problem),
        request = std::move(request)] { return registry->solve(problem, request); }));
@@ -92,9 +128,28 @@ BatchResult Executor::solve_batch(std::span<const core::Problem> problems,
       std::make_shared<const DispatchPlan>(registry_->plan_request(request));
   batch.dispatch_plans = 1;
 
+  // One cacheability decision serves the whole batch (the request is
+  // shared); keys still differ per instance.
+  const bool use_cache = cache_usable(request);
   std::vector<std::future<SolveResult>> futures;
   futures.reserve(problems.size());
   for (const core::Problem& problem : problems) {
+    if (use_cache) {
+      std::string key = SolveCache::key(problem, request);
+      if (std::optional<SolveResult> hit = cache_->lookup(key)) {
+        std::promise<SolveResult> ready;
+        ready.set_value(std::move(*hit));
+        futures.push_back(ready.get_future());
+        continue;
+      }
+      futures.push_back(enqueue(std::packaged_task<SolveResult()>(
+          [this, dispatch, &request, &problem, key = std::move(key)] {
+            SolveResult result = dispatch->bind(problem).execute();
+            cache_store(key, request, result);
+            return result;
+          })));
+      continue;
+    }
     futures.push_back(enqueue(std::packaged_task<SolveResult()>(
         [dispatch, &problem] { return dispatch->bind(problem).execute(); })));
   }
@@ -104,19 +159,34 @@ BatchResult Executor::solve_batch(std::span<const core::Problem> problems,
   return batch;
 }
 
+SolveResult Executor::execute_point(const SolvePlan& plan,
+                                    const core::Problem& problem,
+                                    const SolveRequest& point) {
+  if (!cache_usable(point)) return plan.execute_for(point);
+  const std::string key = SolveCache::key(problem, point);
+  if (std::optional<SolveResult> hit = cache_->lookup(key)) return *hit;
+  const SolveResult result = plan.execute_for(point);
+  cache_store(key, point, result);
+  return result;
+}
+
 ParetoFront Executor::sweep(const core::Problem& problem,
                             const SweepRequest& request) {
-  // The shared driver supplies each round's per-point requests; this round
-  // evaluator is the only difference from the sequential api::sweep — one
-  // pool job per bound, futures gathered back in bound order.
+  // The shared driver builds one SolvePlan per sweep and supplies each
+  // round's per-point requests; this round evaluator is the only
+  // difference from the sequential api::sweep — one pool job per bound,
+  // futures gathered back in bound order, each executing through the same
+  // sweep-shared plan (cache-aware when the executor has one).
   return detail::run_sweep(
-      problem, request, [this, &problem](std::vector<SolveRequest> requests) {
+      *registry_, problem, request,
+      [this, &problem](const SolvePlan& plan,
+                       std::vector<SolveRequest> requests) {
         std::vector<std::future<SolveResult>> futures;
         futures.reserve(requests.size());
         for (SolveRequest& point : requests) {
           futures.push_back(enqueue(std::packaged_task<SolveResult()>(
-              [registry = registry_, &problem, point = std::move(point)] {
-                return registry->solve(problem, point);
+              [this, &plan, &problem, point = std::move(point)] {
+                return execute_point(plan, problem, point);
               })));
         }
         std::vector<SolveResult> results;

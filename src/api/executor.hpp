@@ -21,6 +21,12 @@
 ///    the two at different grid points, since the pool evaluates a round's
 ///    bounds concurrently.
 ///
+/// With `ExecutorOptions::cache_entries > 0` the executor also owns a
+/// `SolveCache` (cache.hpp): all three entry points serve deterministic
+/// repeat requests from it — byte-identical stored results, no pool round
+/// trip — and store their misses. This is the redundant-work elimination
+/// layer the server's `--cache-entries` flag switches on.
+///
 /// Cancellation is cooperative and caller-driven: put a
 /// `util::CancelSource`'s token into `request.cancel` before submitting,
 /// and `request_cancel()` whenever. Running solves observe it within one
@@ -36,11 +42,14 @@
 #include <cstddef>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "api/cache.hpp"
 #include "api/registry.hpp"
 #include "api/sweep.hpp"
 
@@ -49,6 +58,15 @@ namespace pipeopt::api {
 struct ExecutorOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency (at least 1).
   std::size_t jobs = 0;
+
+  /// Solve-cache capacity in entries; 0 (the default) disables caching.
+  /// When enabled, `solve_async`, `solve_batch` and `sweep` consult a
+  /// shared `SolveCache` keyed by the canonical request bytes: hits return
+  /// the stored result verbatim (wall time included) without touching the
+  /// pool, misses solve normally and store their result. Requests the
+  /// cache cannot serve deterministically (deadlines, time budgets,
+  /// already-fired tokens) bypass it; cancelled results are never stored.
+  std::size_t cache_entries = 0;
 };
 
 /// Outcome of one `solve_batch` call.
@@ -114,11 +132,37 @@ class Executor {
   [[nodiscard]] ParetoFront sweep(const core::Problem& problem,
                                   const SweepRequest& request);
 
+  /// The solve cache, or nullptr when `cache_entries` was 0. Exposed so
+  /// the server can surface hit/miss/eviction counters and tests can
+  /// assert on them.
+  [[nodiscard]] const SolveCache* cache() const noexcept {
+    return cache_.get();
+  }
+
  private:
   void worker_loop();
   std::future<SolveResult> enqueue(std::packaged_task<SolveResult()> job);
 
+  /// The shared cache policy, split into its two decision points so
+  /// solve_async, solve_batch and execute_point cannot drift: whether this
+  /// request may consult the cache at all...
+  [[nodiscard]] bool cache_usable(const SolveRequest& request) const;
+  /// ...and whether a finished result may be stored (only call when
+  /// `cache_usable(request)` held at lookup time).
+  void cache_store(const std::string& key, const SolveRequest& request,
+                   const SolveResult& result);
+
+  /// Cache-aware execution of one sweep point through the sweep-shared
+  /// plan; falls through to `plan.execute_for(point)` on a miss or when
+  /// the point is not cacheable. `problem` is the caller's original
+  /// instance (cache keys are always canonical caller bytes, never the
+  /// plan's reweighted rebuild).
+  [[nodiscard]] SolveResult execute_point(const SolvePlan& plan,
+                                          const core::Problem& problem,
+                                          const SolveRequest& point);
+
   const SolverRegistry* registry_;
+  std::unique_ptr<SolveCache> cache_;  ///< null when caching is off
   std::vector<std::thread> workers_;
   // FIFO queue state, guarded by mutex_.
   mutable std::mutex mutex_;

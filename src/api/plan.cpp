@@ -165,11 +165,20 @@ SolvePlan::SolvePlan(const DispatchPlan& dispatch, const core::Problem& problem)
 SolveResult SolvePlan::execute() const { return execute(request_.cancel); }
 
 SolveResult SolvePlan::execute(util::CancelToken cancel) const {
+  return run(request_, std::move(cancel));
+}
+
+SolveResult SolvePlan::execute_for(const SolveRequest& sibling) const {
+  return run(sibling, sibling.cancel);
+}
+
+SolveResult SolvePlan::run(const SolveRequest& planned,
+                           util::CancelToken cancel) const {
   const util::Stopwatch watch;
   // Arm the request's wall-clock deadline now: every execution of a reused
   // plan gets its own full window, folded into the token the solvers poll.
-  if (request_.deadline_ms) {
-    cancel = cancel.with_timeout(std::chrono::milliseconds(*request_.deadline_ms));
+  if (planned.deadline_ms) {
+    cancel = cancel.with_timeout(std::chrono::milliseconds(*planned.deadline_ms));
   }
   auto notes = notes_;
   const auto finish = [&](SolveResult r) {
@@ -182,8 +191,9 @@ SolveResult SolvePlan::execute(util::CancelToken cancel) const {
   if (failure_) return finish(*failure_);
   if (cancel.cancelled()) return finish(cancelled_result());
 
-  // Solvers see the plan's request with this execution's token spliced in.
-  SolveRequest request = request_;
+  // Solvers see the executed request (the plan's own, or an execute_for
+  // sibling) with this execution's token spliced in.
+  SolveRequest request = planned;
   request.cancel = std::move(cancel);
 
   if (forced_ != nullptr) {

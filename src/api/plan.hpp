@@ -58,6 +58,20 @@ class SolvePlan {
   /// the plan-reuse idiom: one plan, a fresh token per execution.
   [[nodiscard]] SolveResult execute(util::CancelToken cancel) const;
 
+  /// Runs the plan once for `sibling`, a request that may differ from the
+  /// planned one only in constraint *values* (same shape: the same slots
+  /// set, thresholds of the same size), `warm_start`, `cancel` and
+  /// `deadline_ms` — the sweep plan-reuse idiom (api/sweep.hpp): one bind
+  /// per sweep, one execute_for per grid point. Solvers see `sibling`
+  /// itself, so the result is bit-identical to a fresh
+  /// `SolverRegistry::solve(problem, sibling)` (modulo wall time): the
+  /// bind-time work this skips — Eq. 6 weights, candidate filtering,
+  /// platform class — depends on the request only through fields that must
+  /// not differ. `Solver::applicable` is shape-only by contract
+  /// (solver.hpp), which is what makes the shared candidate list valid for
+  /// every sibling.
+  [[nodiscard]] SolveResult execute_for(const SolveRequest& sibling) const;
+
   /// The resolved problem solvers run on. On the Priority/Energy fast path
   /// this is the caller's instance itself (no copy was made); under the
   /// Unit/Stretch policies it is the plan-owned reweighted rebuild.
@@ -91,6 +105,11 @@ class SolvePlan {
  private:
   friend class DispatchPlan;
   SolvePlan(const DispatchPlan& dispatch, const core::Problem& problem);
+
+  /// Shared body of execute/execute_for: runs the planned candidates for
+  /// `request` with `cancel` spliced in (deadline armed from the request).
+  [[nodiscard]] SolveResult run(const SolveRequest& request,
+                                util::CancelToken cancel) const;
 
   SolveRequest request_;
   /// Plan-owned reweighted problem; null on the fast path. A shared_ptr so

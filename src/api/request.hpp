@@ -85,6 +85,21 @@ struct SolveRequest {
   /// (api/sweep.hpp).
   std::optional<std::uint64_t> deadline_ms;
 
+  /// \brief Optional warm-start hint: a known-achievable objective value
+  /// for this exact (problem, request) pair.
+  ///
+  /// Hint-honoring exact engines (currently `exact::branch_and_bound`)
+  /// prune every subtree whose admissible lower bound strictly exceeds the
+  /// hint. Because only strictly-worse subtrees die, the returned value and
+  /// mapping are bit-identical to an unhinted solve — only the node and
+  /// complete-mapping counters shrink. The natural producer is the sweep
+  /// driver (api/sweep.hpp), which seeds each refinement point with the
+  /// value achieved at the nearest tighter bound: that mapping stays
+  /// feasible when the constraint loosens, so its value is achievable by
+  /// construction. The hint MUST be achievable — a value below the true
+  /// optimum prunes every mapping and the engine reports infeasible.
+  std::optional<double> warm_start;
+
   /// \brief Cooperative cancellation token; default never cancels.
   ///
   /// Polled by exact search every

@@ -61,6 +61,12 @@ class Solver {
   /// True when this solver is proved correct for (problem, request): the
   /// platform class, mapping kind, objective and constraint shape all match
   /// its cell. `run` may only be called when this holds.
+  ///
+  /// Contract: applicability may depend on the constraint *shape* (which
+  /// slots are set, threshold sizes) but never on the bound *values*. That
+  /// invariant is what lets `SolvePlan::execute_for` reuse one bind-time
+  /// candidate list across a whole sweep, whose grid points differ only in
+  /// the swept bound's value.
   [[nodiscard]] virtual bool applicable(const core::Problem& problem,
                                         const SolveRequest& request) const = 0;
 

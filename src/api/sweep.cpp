@@ -5,38 +5,12 @@
 #include <utility>
 
 #include "api/registry.hpp"
+#include "util/numeric.hpp"
 #include "util/timing.hpp"
 
 namespace pipeopt::api {
 
 namespace {
-
-/// The request one grid point solves: the base request with the swept
-/// criterion bounded at `bound` and the sweep-wide token spliced in.
-/// Period/latency bounds replicate per application (the single-value wire
-/// and CLI semantics); the per-execution deadline stays unset — the
-/// sweep-wide deadline is already folded into `token`.
-SolveRequest point_request(const core::Problem& problem,
-                           const SweepRequest& sweep, double bound,
-                           const util::CancelToken& token) {
-  SolveRequest request = sweep.base;
-  request.cancel = token;
-  request.deadline_ms.reset();
-  switch (sweep.swept) {
-    case Objective::Period:
-      request.constraints.period = core::Thresholds::per_app(
-          std::vector<double>(problem.application_count(), bound));
-      break;
-    case Objective::Latency:
-      request.constraints.latency = core::Thresholds::per_app(
-          std::vector<double>(problem.application_count(), bound));
-      break;
-    case Objective::Energy:
-      request.constraints.energy_budget = bound;
-      break;
-  }
-  return request;
-}
 
 /// The trade-off point one solved evaluation achieves (weighted metrics,
 /// not the bound — several bounds reaching the same mapping dedupe away).
@@ -107,7 +81,30 @@ bool ParetoFront::monotone() const {
 
 namespace detail {
 
-ParetoFront run_sweep(const core::Problem& problem, const SweepRequest& request,
+SolveRequest sweep_point_request(const core::Problem& problem,
+                                 const SweepRequest& sweep, double bound,
+                                 const util::CancelToken& token) {
+  SolveRequest request = sweep.base;
+  request.cancel = token;
+  request.deadline_ms.reset();
+  switch (sweep.swept) {
+    case Objective::Period:
+      request.constraints.period = core::Thresholds::per_app(
+          std::vector<double>(problem.application_count(), bound));
+      break;
+    case Objective::Latency:
+      request.constraints.latency = core::Thresholds::per_app(
+          std::vector<double>(problem.application_count(), bound));
+      break;
+    case Objective::Energy:
+      request.constraints.energy_budget = bound;
+      break;
+  }
+  return request;
+}
+
+ParetoFront run_sweep(const SolverRegistry& registry,
+                      const core::Problem& problem, const SweepRequest& request,
                       const SweepRoundFn& evaluate_round) {
   const util::Stopwatch watch;
   ParetoFront out;
@@ -128,19 +125,63 @@ ParetoFront run_sweep(const core::Problem& problem, const SweepRequest& request,
         std::chrono::milliseconds(*request.base.deadline_ms));
   }
 
+  // Initial grid: sorted ascending, exact duplicates dropped. Prepared
+  // before the plan so the plan's representative point is the real first
+  // grid point (any bound would do — binding only looks at the shape).
+  std::vector<double> grid = request.bounds;
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+
+  // One plan for the whole sweep: grid points share the request modulo the
+  // swept bound's value (and the warm-start hint), so Eq. 6 weight
+  // resolution — including the Stretch policy's solo solves — candidate
+  // filtering and platform classification happen here, exactly once,
+  // instead of once per grid point. Applicability is shape-only by the
+  // Solver contract, which is what keeps the shared candidate list valid
+  // (and every point result bit-identical to a cold registry.solve).
+  const DispatchPlan dispatch = registry.plan_request(
+      sweep_point_request(problem, request, grid.front(), token));
+  const SolvePlan plan = dispatch.bind(problem);
+
   const auto evaluated = [&](double bound) {
     for (const SweepEvaluation& evaluation : out.evaluations) {
       if (evaluation.bound == bound) return true;
     }
     return false;
   };
+  // Warm-start seed for a point at `bound`: the objective value achieved at
+  // the nearest tighter (smaller) solved bound. That mapping remains
+  // feasible when the swept constraint loosens, so its value is achievable
+  // at `bound` by construction — exactly the contract
+  // SolveRequest::warm_start demands. Evaluations are kept sorted by
+  // bound, so the last solved entry below `bound` wins. Seeds are resolved
+  // against *completed* rounds only (requests for one round are built
+  // before any of them runs), which keeps sequential and pooled sweeps
+  // issuing identical requests: the initial grid runs cold, refinement
+  // midpoints warm-start off their tighter neighbour. Note the hint only
+  // takes effect when dispatch lands on a hint-honoring engine (see the
+  // file comment in sweep.hpp) — any consumer must keep results, wire
+  // bytes included, identical to an unhinted solve.
+  const auto warm_seed = [&](double bound) {
+    std::optional<double> seed;
+    for (const SweepEvaluation& evaluation : out.evaluations) {
+      if (evaluation.bound >= bound) break;
+      if (evaluation.result.solved() &&
+          evaluation.result.value < util::kInfinity) {
+        seed = evaluation.result.value;
+      }
+    }
+    return seed;
+  };
   const auto run_round = [&](std::vector<double> bounds) {
     std::vector<SolveRequest> requests;
     requests.reserve(bounds.size());
     for (const double bound : bounds) {
-      requests.push_back(point_request(problem, request, bound, token));
+      SolveRequest point = sweep_point_request(problem, request, bound, token);
+      point.warm_start = warm_seed(bound);
+      requests.push_back(std::move(point));
     }
-    std::vector<SolveResult> results = evaluate_round(std::move(requests));
+    std::vector<SolveResult> results = evaluate_round(plan, std::move(requests));
     for (std::size_t i = 0; i < bounds.size(); ++i) {
       SweepEvaluation evaluation;
       evaluation.bound = bounds[i];
@@ -152,10 +193,6 @@ ParetoFront run_sweep(const core::Problem& problem, const SweepRequest& request,
     }
   };
 
-  // Initial grid: sorted ascending, exact duplicates dropped.
-  std::vector<double> grid = request.bounds;
-  std::sort(grid.begin(), grid.end());
-  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
   run_round(std::move(grid));
 
   // Adaptive refinement: bisect every adjacent pair of solved bounds whose
@@ -237,12 +274,16 @@ ParetoFront run_sweep(const core::Problem& problem, const SweepRequest& request,
 
 ParetoFront sweep(const SolverRegistry& registry, const core::Problem& problem,
                   const SweepRequest& request) {
+  // Same plan objects as the pool-fanned Executor::sweep — the sequential
+  // path executes each point in place through the sweep-shared plan, so
+  // the two differ only in scheduling, never in planning work.
   return detail::run_sweep(
-      problem, request, [&](std::vector<SolveRequest> requests) {
+      registry, problem, request,
+      [](const SolvePlan& plan, std::vector<SolveRequest> requests) {
         std::vector<SolveResult> results;
         results.reserve(requests.size());
         for (const SolveRequest& point : requests) {
-          results.push_back(registry.solve(problem, point));
+          results.push_back(plan.execute_for(point));
         }
         return results;
       });

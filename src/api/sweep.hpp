@@ -25,9 +25,22 @@
 /// `Executor::sweep` (executor.hpp) fans each refinement round's grid
 /// points over the worker pool — same evaluation order, and bit-identical
 /// results for sweeps that run to completion (a token firing mid-round may
-/// cut the sequential and pooled variants at different grid points). The
-/// server's `{"type":"pareto"}` request streams the resulting front over
-/// the wire (docs/PROTOCOL.md).
+/// cut the sequential and pooled variants at different grid points). Both
+/// share one `detail::run_sweep` driver, which binds a single `SolvePlan`
+/// for the whole sweep (grid points differ only in the swept bound's
+/// value, and solver applicability is shape-only by contract) and seeds
+/// refinement points with `SolveRequest::warm_start` from the nearest
+/// tighter solved bound — so per-point planning cost is paid once per
+/// sweep, while every point result stays bit-identical to the per-call
+/// `api::solve` it replaces. The warm-start seed is request-level
+/// plumbing: it is consumed only by hint-honoring exact engines
+/// (currently branch-and-bound, whose unconstrained-period cell never
+/// matches a bound-carrying sweep point), and by design a consumer MUST
+/// be result-preserving — the bit-identity tests compare full wire bytes,
+/// node diagnostics included, so a solver that let a hint change its
+/// reported bytes inside a sweep would fail them. The server's
+/// `{"type":"pareto"}` request streams the resulting front over the wire
+/// (docs/PROTOCOL.md).
 
 #include <cstddef>
 #include <functional>
@@ -42,6 +55,7 @@
 namespace pipeopt::api {
 
 class SolverRegistry;
+class SolvePlan;
 
 /// \brief A Pareto-front sweep: minimize one criterion at each point of a
 /// bound grid walked along another criterion.
@@ -155,18 +169,38 @@ struct ParetoFront {
 namespace detail {
 
 /// Evaluates one refinement round: the per-point requests, in bound order,
-/// mapped to their results (same order). `Executor::sweep` fans this over
-/// its pool; the sequential path solves in place.
-using SweepRoundFn =
-    std::function<std::vector<SolveResult>(std::vector<SolveRequest>)>;
+/// mapped to their results (same order). `plan` is the sweep-shared
+/// `SolvePlan` (one bind for the whole sweep); evaluators run each point
+/// through `plan.execute_for(point)`. `Executor::sweep` fans the points
+/// over its pool; the sequential path executes in place.
+using SweepRoundFn = std::function<std::vector<SolveResult>(
+    const SolvePlan& plan, std::vector<SolveRequest> requests)>;
 
 /// The shared sweep driver: grid preparation, sweep-wide token arming,
-/// refinement rounds through `evaluate_round`, and front selection. Both
-/// `api::sweep` and `Executor::sweep` are this function with different
-/// round evaluators, which is what makes them bit-identical.
-[[nodiscard]] ParetoFront run_sweep(const core::Problem& problem,
+/// one `DispatchPlan`/`SolvePlan` bind for the whole sweep (Eq. 6 weights,
+/// candidate filtering and platform classification happen once, not once
+/// per grid point), warm-start seeding of refinement points (each gets the
+/// value achieved at the nearest tighter solved bound as
+/// `SolveRequest::warm_start` — achievable by constraint monotonicity, so
+/// results stay bit-identical to unseeded solves), refinement rounds
+/// through `evaluate_round`, and front selection. Both `api::sweep` and
+/// `Executor::sweep` are this function with different round evaluators,
+/// which is what makes them bit-identical.
+[[nodiscard]] ParetoFront run_sweep(const SolverRegistry& registry,
+                                    const core::Problem& problem,
                                     const SweepRequest& request,
                                     const SweepRoundFn& evaluate_round);
+
+/// The request one grid point solves: the base request with the swept
+/// criterion bounded at `bound` (period/latency bounds replicate per
+/// application — the single-value wire and CLI semantics) and `token`
+/// spliced in; the per-execution deadline stays unset because the
+/// sweep-wide deadline is already folded into the token. Exposed so tests
+/// and benches can rebuild the exact per-point request a sweep issued.
+[[nodiscard]] SolveRequest sweep_point_request(const core::Problem& problem,
+                                              const SweepRequest& sweep,
+                                              double bound,
+                                              const util::CancelToken& token);
 
 }  // namespace detail
 

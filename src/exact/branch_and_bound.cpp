@@ -19,6 +19,10 @@ struct BranchBound {
   const MappingKind kind;
   const std::uint64_t node_limit;
   const util::CancelToken cancel;
+  /// Warm-start cap: subtrees with lower bound strictly above it are dead.
+  /// +inf when no hint was given, which makes every `> prune_above` test
+  /// vacuously false — the unhinted search is bit-for-bit unchanged.
+  const double prune_above;
 
   EnumerationStats stats;
   std::vector<IntervalAssignment> placed;
@@ -33,8 +37,12 @@ struct BranchBound {
   std::vector<double> finalized_max;
 
   BranchBound(const Problem& p, MappingKind k, std::uint64_t limit,
-              util::CancelToken token)
-      : problem(p), kind(k), node_limit(limit), cancel(std::move(token)) {
+              util::CancelToken token, std::optional<double> warm_start)
+      : problem(p),
+        kind(k),
+        node_limit(limit),
+        cancel(std::move(token)),
+        prune_above(warm_start.value_or(util::kInfinity)) {
     proc_used.assign(p.platform().processor_count(), 0);
     procs_fast_first = p.platform().processors_by_max_speed_desc();
     suffix_max_w.resize(p.application_count());
@@ -42,7 +50,15 @@ struct BranchBound {
       const auto& app = p.application(a);
       suffix_max_w[a].assign(app.stage_count() + 1, 0.0);
       for (std::size_t s = app.stage_count(); s-- > 0;) {
-        suffix_max_w[a][s] = std::max(suffix_max_w[a][s + 1], app.compute(s));
+        // total_compute(s, s) — the prefix-sum difference interval_value
+        // evaluates — not compute(s): the two can differ by one ULP, and a
+        // bound built from the larger spelling would not be admissible in
+        // floating point (it could prune a bit-exact incumbent or
+        // warm-start cap; interval sums dominate single-stage prefix
+        // differences monotonically, so this spelling is safe for every
+        // interval containing stage s).
+        suffix_max_w[a][s] =
+            std::max(suffix_max_w[a][s + 1], app.total_compute(s, s));
       }
     }
     finalized_max.push_back(0.0);
@@ -84,6 +100,11 @@ struct BranchBound {
   }
 
   /// Admissible bound from the stages not yet placed (apps `app` onward).
+  /// Computed as W * (w / s) — the same association order interval_value
+  /// uses for W * (compute / speed) — so the bound is admissible *in
+  /// floating point*, not just in real arithmetic: (W * w) / s can round
+  /// one ULP above the value the completion actually evaluates to, which
+  /// would overprune against a bit-exact incumbent or warm-start cap.
   [[nodiscard]] double remaining_bound(std::size_t app, std::size_t stage) const {
     const double s_max = fastest_unused_speed();
     if (s_max <= 0.0) return 0.0;
@@ -91,7 +112,7 @@ struct BranchBound {
     for (std::size_t a = app; a < problem.application_count(); ++a) {
       const std::size_t from = (a == app) ? stage : 0;
       bound = std::max(bound, problem.application(a).weight() *
-                                  suffix_max_w[a][from] / s_max);
+                                  (suffix_max_w[a][from] / s_max));
     }
     return bound;
   }
@@ -123,11 +144,10 @@ struct BranchBound {
       return;
     }
 
-    if (finalized_max.back() >= best_value ||
-        std::max(finalized_max.back(), remaining_bound(app, stage)) >=
-            best_value) {
-      return;  // prune
-    }
+    const double finalized = finalized_max.back();
+    if (finalized >= best_value || finalized > prune_above) return;  // prune
+    const double lower = std::max(finalized, remaining_bound(app, stage));
+    if (lower >= best_value || lower > prune_above) return;  // prune
 
     const std::size_t last_max = kind == MappingKind::OneToOne ? stage : n - 1;
     for (std::size_t last = stage; last <= last_max; ++last) {
@@ -149,7 +169,9 @@ struct BranchBound {
         new_max = std::max(new_max, interval_value(idx, closes_app));
         finalized_max.push_back(new_max);
 
-        if (new_max < best_value) recurse(app, last + 1);
+        if (new_max < best_value && new_max <= prune_above) {
+          recurse(app, last + 1);
+        }
 
         finalized_max.pop_back();
         placed.pop_back();
@@ -161,11 +183,11 @@ struct BranchBound {
 
 }  // namespace
 
-std::optional<ExactResult> branch_bound_min_period(const Problem& problem,
-                                                   MappingKind kind,
-                                                   std::uint64_t node_limit,
-                                                   util::CancelToken cancel) {
-  BranchBound search(problem, kind, node_limit, std::move(cancel));
+std::optional<ExactResult> branch_bound_min_period(
+    const Problem& problem, MappingKind kind, std::uint64_t node_limit,
+    util::CancelToken cancel, std::optional<double> warm_start) {
+  BranchBound search(problem, kind, node_limit, std::move(cancel),
+                     warm_start);
   search.run();
   if (!search.best_mapping) return std::nullopt;
   ExactResult result;

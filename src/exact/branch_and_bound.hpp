@@ -26,10 +26,21 @@ namespace pipeopt::exact {
 
 /// Branch-and-bound minimum of max_a W_a·T_a (processors at maximum speed).
 /// Works on every platform class and both communication models.
+///
+/// `warm_start` is an optional incumbent-value hint: a value known to be
+/// achievable on this instance (e.g. the optimum of an adjacent, more
+/// tightly constrained sweep point). When set, subtrees whose admissible
+/// lower bound *strictly* exceeds the hint are pruned in addition to the
+/// usual incumbent pruning. Strictness is what keeps results bit-identical:
+/// the optimal mapping's path bounds never exceed the optimum (≤ hint), so
+/// the same first-in-DFS-order optimal mapping is returned — only
+/// `stats.nodes`/`stats.complete` shrink. A hint below the true optimum
+/// violates the contract and makes the search return std::nullopt.
 /// \throws SearchLimitExceeded past node_limit; SearchCancelled when the
 /// token fires (polled every kCancelCheckStride nodes).
 [[nodiscard]] std::optional<ExactResult> branch_bound_min_period(
     const core::Problem& problem, MappingKind kind,
-    std::uint64_t node_limit = 2'000'000'000, util::CancelToken cancel = {});
+    std::uint64_t node_limit = 2'000'000'000, util::CancelToken cancel = {},
+    std::optional<double> warm_start = std::nullopt);
 
 }  // namespace pipeopt::exact

@@ -90,6 +90,8 @@ struct SolveFieldReader {
       request.seed = parse_wire_number<std::uint64_t>(key, value, line_no);
     } else if (key == "deadline_ms") {
       request.deadline_ms = parse_wire_number<std::uint64_t>(key, value, line_no);
+    } else if (key == "warm_start") {
+      request.warm_start = parse_wire_number<double>(key, value, line_no);
     } else if (key == "problem") {
       if (problem) throw ParseError(line_no, "duplicate instance field");
       try {
@@ -173,9 +175,26 @@ void write_solve_fields(FlatJsonWriter& out, const api::SolveRequest& request,
   if (request.deadline_ms) {
     out.field("deadline_ms", std::to_string(*request.deadline_ms));
   }
+  if (request.warm_start) {
+    out.field("warm_start", format_double_exact(*request.warm_start));
+  }
 }
 
 }  // namespace
+
+std::string format_solve_key(const core::Problem& problem,
+                             const api::SolveRequest& request) {
+  // Exactly the wire fields of format_solve_request minus "type" and "id":
+  // two requests that differ only in presentation (field order on the wire,
+  // replicated vs per-app bound lists, instance-text whitespace) collapse
+  // to the same bytes, while anything that can change the result — the
+  // objective pair, constraint values, budgets, seed, warm-start hint, the
+  // instance itself — keeps its exact canonical form.
+  FlatJsonWriter out;
+  write_solve_fields(out, request, api::SolveRequest{});
+  out.field("problem", format_problem(problem));
+  return std::move(out).str();
+}
 
 WireSolveRequest parse_solve_request(const JsonFields& fields,
                                      std::size_t line_no,

@@ -72,6 +72,19 @@ struct WireSolveRequest {
     const core::Problem& problem, const api::SolveRequest& request,
     const std::string& id = {});
 
+/// Canonical cache-key bytes of one (problem, request) pair: the solve
+/// fields of `format_solve_request` (same omit-defaults rules, including
+/// `warm_start`) followed by the canonical instance text — no "type", no
+/// "id". Two requests that differ only in wire presentation (field order,
+/// a replicated bound vs the explicit per-application list, instance-text
+/// comments/whitespace) produce identical keys; anything that can change
+/// the solve result produces different ones. This is the key
+/// `api::SolveCache` shards on. The cancel token is deliberately excluded:
+/// cacheability of token-bearing requests is the cache's policy, not the
+/// key's.
+[[nodiscard]] std::string format_solve_key(const core::Problem& problem,
+                                           const api::SolveRequest& request);
+
 /// One decoded `{"type":"pareto"}` wire request: the instance, the facade
 /// sweep request, and the client's correlation id ("" when absent).
 struct WireParetoRequest {

@@ -71,7 +71,11 @@ std::string peek_id(const io::JsonFields& fields) {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      executor_(api::ExecutorOptions{options_.jobs}) {
+      executor_(api::ExecutorOptions{.jobs = options_.jobs,
+                                     .cache_entries = options_.cache_entries}) {
+  // Stats snapshots include the cache counters iff the cache exists, so a
+  // cache-disabled server's stats line keeps its exact historical bytes.
+  stats_.attach_cache(executor_.cache());
   if (::pipe(wake_pipe_) != 0) {
     throw std::runtime_error("pipeopt-server: cannot create wake pipe");
   }

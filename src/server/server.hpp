@@ -71,6 +71,13 @@ struct ServerOptions {
   std::uint16_t port = 0;
   /// Executor pool size; 0 = hardware concurrency.
   std::size_t jobs = 0;
+  /// Solve-cache capacity in entries (`serve --cache-entries N`); 0 = off.
+  /// When on, repeated byte-identical requests — including every grid
+  /// point of a replayed sweep — are answered from the executor's
+  /// `api::SolveCache` with the stored result verbatim, and the
+  /// `{"type":"stats"}` response grows `cache_hits` / `cache_misses` /
+  /// `cache_evictions` / `cache_entries` counters.
+  std::size_t cache_entries = 0;
 };
 
 class Server {

@@ -1,5 +1,7 @@
 #include "server/stats.hpp"
 
+#include "api/cache.hpp"
+
 namespace pipeopt::server {
 
 void ServerStats::record_result(const api::SolveResult& result) {
@@ -25,6 +27,13 @@ std::vector<std::pair<std::string, std::string>> ServerStats::snapshot() const {
   fields.emplace_back("disconnect_cancels",
                       std::to_string(disconnect_cancels_.load()));
   fields.emplace_back("connections", std::to_string(connections_.load()));
+  if (cache_ != nullptr) {
+    const api::CacheCounters counters = cache_->counters();
+    fields.emplace_back("cache_hits", std::to_string(counters.hits));
+    fields.emplace_back("cache_misses", std::to_string(counters.misses));
+    fields.emplace_back("cache_evictions", std::to_string(counters.evictions));
+    fields.emplace_back("cache_entries", std::to_string(counters.entries));
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, count] : per_solver_) {
     fields.emplace_back("solver." + name, std::to_string(count));

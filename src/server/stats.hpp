@@ -4,8 +4,10 @@
 /// Live counters of one pipeopt-server process, answered over the wire by
 /// the `{"type":"stats"}` request: lines served, solves dispatched
 /// (pareto sweeps count one solve per grid point), sweeps accepted,
-/// cancellations (deadline- or disconnect-driven), structured errors, and
-/// per-solver dispatch counts. All counters are monotone and thread-safe —
+/// cancellations (deadline- or disconnect-driven), structured errors,
+/// per-solver dispatch counts, and — when the server runs with
+/// `--cache-entries` — the solve cache's hit/miss/eviction counters. All
+/// counters are monotone and thread-safe —
 /// every session thread records into the same instance while other
 /// sessions snapshot it.
 
@@ -17,6 +19,10 @@
 #include <vector>
 
 #include "api/result.hpp"
+
+namespace pipeopt::api {
+class SolveCache;
+}  // namespace pipeopt::api
 
 namespace pipeopt::server {
 
@@ -46,10 +52,16 @@ class ServerStats {
   /// One in-flight solve cancelled because its client disconnected.
   void record_disconnect_cancel() noexcept { ++disconnect_cancels_; }
 
+  /// Surfaces a solve cache's counters in every future `snapshot()`; a
+  /// null pointer (no cache configured) keeps the historical field set.
+  /// The cache must outlive this stats object (the server owns both).
+  void attach_cache(const api::SolveCache* cache) noexcept { cache_ = cache; }
+
   /// Ordered wire fields for the stats response (decimal-string values):
   /// requests, solves, sweeps, errors, cancelled, disconnect_cancels,
-  /// connections, then one "solver.<name>" field per solver in
-  /// first-dispatch order.
+  /// connections, then — when a cache is attached — cache_hits,
+  /// cache_misses, cache_evictions, cache_entries, then one
+  /// "solver.<name>" field per solver in first-dispatch order.
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> snapshot() const;
 
   [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
@@ -69,6 +81,7 @@ class ServerStats {
   std::atomic<std::uint64_t> sweeps_{0};
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> disconnect_cancels_{0};
+  const api::SolveCache* cache_ = nullptr;  ///< set once at server start
   mutable std::mutex mutex_;  ///< guards per_solver_
   std::vector<std::pair<std::string, std::uint64_t>> per_solver_;
 };

@@ -45,6 +45,12 @@ class CancelToken {
     return flag_ != nullptr || has_deadline_;
   }
 
+  /// True when this token carries a wall-clock deadline. Deadline-bearing
+  /// tokens make otherwise-deterministic solves time-dependent (iterative
+  /// heuristics stop early without reporting cancellation), which is why
+  /// the solve cache refuses to serve or store them.
+  [[nodiscard]] bool has_deadline() const noexcept { return has_deadline_; }
+
   /// \brief Copy of this token that additionally cancels once `deadline`
   /// passes.
   ///

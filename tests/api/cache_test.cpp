@@ -1,0 +1,279 @@
+/// Solve-cache subsystem (api/cache.hpp): canonical key equivalence (two
+/// textually different wire requests share one entry), LRU eviction order,
+/// bit-identical hits, concurrent hit/miss hammering (run under TSan by
+/// tools/ci.sh), the cacheability policy for non-deterministic request
+/// shapes, and the end-to-end guarantee that a hit skips the search
+/// entirely (near-zero latency on the needle instance).
+
+#include "api/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "api/registry.hpp"
+#include "gen/motivating_example.hpp"
+#include "io/problem_io.hpp"
+#include "io/request_io.hpp"
+#include "io/result_io.hpp"
+#include "util/cancel.hpp"
+#include "util/timing.hpp"
+
+namespace pipeopt::api {
+namespace {
+
+/// A distinguishable stand-in result (the cache stores whatever it is
+/// given; these tests only need to tell entries apart).
+SolveResult marker(double value) {
+  SolveResult result;
+  result.status = SolveStatus::Optimal;
+  result.value = value;
+  result.solver = "marker";
+  return result;
+}
+
+/// The PR 2 needle (see executor_test.cpp): branch-and-bound one-to-one
+/// search whose only expensive edge is the last stage's output link, so
+/// the compute-only lower bounds prune nothing and the tree is enormous.
+core::Problem needle_instance() {
+  std::vector<core::StageSpec> cheap(5, {0.01, 0.0});
+  std::vector<core::StageSpec> tail = cheap;
+  tail.back().output_size = 100.0;
+  std::vector<core::Application> apps;
+  apps.emplace_back(0.0, cheap, 1.0, "A");
+  apps.emplace_back(0.0, tail, 1.0, "B");
+  const std::size_t p = 12;
+  std::vector<core::Processor> procs(p, core::Processor({1.0}));
+  std::vector<std::vector<double>> link(p, std::vector<double>(p, 1.0));
+  std::vector<std::vector<double>> in(2, std::vector<double>(p, 1.0));
+  std::vector<std::vector<double>> out(2, std::vector<double>(p, 1.0));
+  for (std::size_t u = 0; u < p; ++u) out[1][u] = 0.5 + 0.09 * u;
+  return core::Problem(std::move(apps),
+                       core::Platform(std::move(procs), std::move(link),
+                                      std::move(in), std::move(out)),
+                       core::CommModel::Overlap);
+}
+
+TEST(Cache, KeyCanonicalizesTextuallyDifferentButEqualRequests) {
+  // Two wire lines that could not be more different textually — field
+  // order, a replicated bound vs the explicit per-application list, a
+  // comment and an id in one of them — but mean the same solve.
+  const core::Problem problem = gen::motivating_example();
+  const std::string text = io::format_problem(problem);
+  std::string commented = "# a caller's comment\n" + text;
+
+  io::FlatJsonWriter a;
+  a.field("type", "solve");
+  a.field("objective", "energy");
+  a.field("period_bounds", "5");  // one value replicates per application
+  a.field("problem", text);
+  io::FlatJsonWriter b;
+  b.field("type", "solve");
+  b.field("id", "replay-7");  // ids never enter the key
+  b.field("problem", commented);
+  b.field("period_bounds", "5,5");
+  b.field("objective", "energy");
+
+  const io::WireSolveRequest wire_a =
+      io::parse_solve_request_line(std::move(a).str());
+  const io::WireSolveRequest wire_b =
+      io::parse_solve_request_line(std::move(b).str());
+  const std::string key_a = SolveCache::key(wire_a.problem, wire_a.request);
+  const std::string key_b = SolveCache::key(wire_b.problem, wire_b.request);
+  EXPECT_EQ(key_a, key_b);
+
+  // And the canonical equality is what the cache actually shards on: an
+  // entry stored under one spelling is a hit under the other.
+  SolveCache cache(4);
+  cache.insert(key_a, marker(46.0));
+  const auto hit = cache.lookup(key_b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->value, 46.0);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(Cache, KeySeparatesEverythingThatCanChangeTheResult) {
+  const core::Problem problem = gen::motivating_example();
+  SolveRequest base;
+  const std::string key = SolveCache::key(problem, base);
+
+  SolveRequest objective = base;
+  objective.objective = Objective::Energy;
+  EXPECT_NE(SolveCache::key(problem, objective), key);
+  SolveRequest budget = base;
+  budget.node_budget = 1234;
+  EXPECT_NE(SolveCache::key(problem, budget), key);
+  SolveRequest hinted = base;
+  hinted.warm_start = 1.0;  // hints change diagnostics, so they key apart
+  EXPECT_NE(SolveCache::key(problem, hinted), key);
+  SolveRequest bounded = base;
+  bounded.constraints.period = core::Thresholds::per_app({2.0, 2.0});
+  EXPECT_NE(SolveCache::key(problem, bounded), key);
+
+  // The cancel token is policy, not identity: a token-bearing request has
+  // the same key (cacheability is decided separately).
+  util::CancelSource source;
+  SolveRequest with_token = base;
+  with_token.cancel = source.token();
+  EXPECT_EQ(SolveCache::key(problem, with_token), key);
+}
+
+TEST(Cache, LruEvictsTheLeastRecentlyUsedEntry) {
+  SolveCache cache(/*capacity=*/2, /*shards=*/1);  // one shard: total order
+  cache.insert("a", marker(1.0));
+  cache.insert("b", marker(2.0));
+  ASSERT_TRUE(cache.lookup("a").has_value());  // refresh: "b" is now LRU
+  cache.insert("c", marker(3.0));              // evicts "b"
+
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  ASSERT_TRUE(cache.lookup("a").has_value());
+  ASSERT_TRUE(cache.lookup("c").has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);  // only the evicted "b"
+  EXPECT_EQ(cache.hits(), 3u);
+
+  // Re-inserting an existing key refreshes recency instead of duplicating.
+  cache.insert("a", marker(1.0));
+  cache.insert("d", marker(4.0));  // now "c" is the LRU entry
+  EXPECT_FALSE(cache.lookup("c").has_value());
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(Cache, HitsReturnTheStoredResultBitForBit) {
+  const core::Problem problem = gen::motivating_example();
+  const SolveRequest request;
+  const SolveResult solved = solve(problem, request);
+
+  SolveCache cache(8);
+  const std::string key = SolveCache::key(problem, request);
+  cache.insert(key, solved);
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  // Verbatim, wall time included: a replayed stream is byte-stable.
+  EXPECT_EQ(io::format_result(*hit, "", /*include_wall=*/true),
+            io::format_result(solved, "", /*include_wall=*/true));
+}
+
+TEST(Cache, ConcurrentHitMissHammeringStaysConsistent) {
+  // Four threads hammer a 4-shard cache with overlapping key sets —
+  // intentionally more keys than capacity so inserts, refreshes, hits,
+  // misses and evictions all race. Run under TSan by tools/ci.sh.
+  SolveCache cache(/*capacity=*/16, /*shards=*/4);
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 2000;
+  constexpr int kKeys = 48;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string key =
+            "key-" + std::to_string((i * (t + 1) + t) % kKeys);
+        if (const auto hit = cache.lookup(key)) {
+          ASSERT_EQ(hit->solver, "marker");
+        } else {
+          cache.insert(key, marker(static_cast<double>(i)));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Every lookup was a hit or a miss, nothing lost; occupancy is bounded.
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(Cache, NonDeterministicRequestShapesAreNotCacheable) {
+  SolveRequest deterministic;
+  EXPECT_TRUE(SolveCache::cacheable(deterministic));
+
+  SolveRequest deadline = deterministic;
+  deadline.deadline_ms = 100;
+  EXPECT_FALSE(SolveCache::cacheable(deadline));
+  SolveRequest soft_budget = deterministic;
+  soft_budget.time_budget_seconds = 0.5;
+  EXPECT_FALSE(SolveCache::cacheable(soft_budget));
+  SolveRequest deadline_token = deterministic;
+  deadline_token.cancel =
+      util::CancelToken{}.with_timeout(std::chrono::hours(1));
+  EXPECT_FALSE(SolveCache::cacheable(deadline_token));
+
+  // A plain source-connected token is fine: it only matters if it fires,
+  // and fired results are never stored.
+  util::CancelSource source;
+  SolveRequest with_token = deterministic;
+  with_token.cancel = source.token();
+  EXPECT_TRUE(SolveCache::cacheable(with_token));
+}
+
+TEST(Cache, ExecutorBypassesTheCacheForNonCacheableRequests) {
+  Executor executor(ExecutorOptions{.jobs = 1, .cache_entries = 8});
+  ASSERT_NE(executor.cache(), nullptr);
+  const core::Problem problem = gen::motivating_example();
+
+  SolveRequest deadline;
+  deadline.deadline_ms = 10'000;  // far away, but enough to disqualify
+  EXPECT_TRUE(executor.solve_async(problem, deadline).get().solved());
+  EXPECT_EQ(executor.cache()->hits(), 0u);
+  EXPECT_EQ(executor.cache()->misses(), 0u);
+  EXPECT_EQ(executor.cache()->size(), 0u);
+
+  // A pre-fired token keeps the cold semantics (typed cancelled result)
+  // and leaves the cache untouched.
+  util::CancelSource source;
+  source.request_cancel();
+  SolveRequest fired;
+  fired.cancel = source.token();
+  const SolveResult cancelled = executor.solve_async(problem, fired).get();
+  EXPECT_TRUE(cancelled.was_cancelled());
+  EXPECT_EQ(executor.cache()->misses(), 0u);
+  EXPECT_EQ(executor.cache()->size(), 0u);
+}
+
+TEST(Cache, HitSkipsTheSearchEntirelyOnTheNeedleInstance) {
+  // First solve: a deterministically long branch-and-bound search that
+  // exhausts a 5M-node budget (a typed, deterministic LimitExceeded —
+  // cacheable). Second solve: byte-identical request, answered from the
+  // cache with the identical bytes at near-zero latency.
+  Executor executor(ExecutorOptions{.jobs = 1, .cache_entries = 4});
+  const core::Problem problem = needle_instance();
+  SolveRequest request;
+  request.solver = "branch-and-bound";
+  request.kind = MappingKind::OneToOne;
+  request.node_budget = 5'000'000;
+
+  const util::Stopwatch cold_watch;
+  const SolveResult cold = executor.solve_async(problem, request).get();
+  const double cold_s = cold_watch.elapsed_seconds();
+  ASSERT_EQ(cold.status, SolveStatus::LimitExceeded);
+
+  const util::Stopwatch warm_watch;
+  const SolveResult warm = executor.solve_async(problem, request).get();
+  const double warm_s = warm_watch.elapsed_seconds();
+
+  // Identical bytes — wall time included, because the stored result is
+  // returned verbatim (the replayed-stream byte-stability guarantee).
+  EXPECT_EQ(io::format_result(warm, "", /*include_wall=*/true),
+            io::format_result(cold, "", /*include_wall=*/true));
+  EXPECT_EQ(executor.cache()->hits(), 1u);
+  EXPECT_EQ(executor.cache()->misses(), 1u);
+  // "Skips the search": a 5M-node search costs real time; a hit costs one
+  // key format + one map probe. Generous margins for a loaded CI box.
+  EXPECT_LT(warm_s, std::max(cold_s / 10.0, 0.002));
+}
+
+}  // namespace
+}  // namespace pipeopt::api

@@ -16,6 +16,7 @@
 #include "api/registry.hpp"
 #include "core/pareto.hpp"
 #include "gen/motivating_example.hpp"
+#include "gen/random_instances.hpp"
 #include "io/result_io.hpp"
 #include "util/cancel.hpp"
 
@@ -35,6 +36,30 @@ SweepRequest energy_sweep(std::vector<double> bounds, std::size_t refine = 0) {
 /// use for bit-identity.
 std::string comparable(const SolveResult& result) {
   return io::format_result(result, "", /*include_wall=*/false);
+}
+
+/// The Table 1 grid shape: every platform column, alternating communication
+/// models, deterministic seeds (mirrors the executor/server tests).
+std::vector<core::Problem> table_grid(std::size_t per_class) {
+  std::vector<core::Problem> problems;
+  util::Rng rng(424242);
+  for (const core::PlatformClass cls :
+       {core::PlatformClass::FullyHomogeneous,
+        core::PlatformClass::CommHomogeneous,
+        core::PlatformClass::FullyHeterogeneous}) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      gen::ProblemShape shape;
+      shape.platform_class = cls;
+      shape.applications = 2;
+      shape.processors = 5;
+      shape.app.min_stages = 1;
+      shape.app.max_stages = 3;
+      shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
+                                : core::CommModel::NoOverlap;
+      problems.push_back(gen::random_problem(rng, shape));
+    }
+  }
+  return problems;
 }
 
 TEST(Sweep, RejectsUnusableRequests) {
@@ -188,11 +213,12 @@ TEST(Sweep, RefinementCutShortByTheTokenIsReportedCancelled) {
   const core::Problem problem = gen::motivating_example();
   std::size_t rounds = 0;
   const ParetoFront front = detail::run_sweep(
-      problem, request, [&](std::vector<SolveRequest> requests) {
+      default_registry(), problem, request,
+      [&](const SolvePlan& plan, std::vector<SolveRequest> requests) {
         ++rounds;
         std::vector<SolveResult> results;
         for (const SolveRequest& point : requests) {
-          results.push_back(default_registry().solve(problem, point));
+          results.push_back(plan.execute_for(point));
         }
         source.request_cancel();  // fire once this round's results are in
         return results;
@@ -202,6 +228,151 @@ TEST(Sweep, RefinementCutShortByTheTokenIsReportedCancelled) {
   EXPECT_TRUE(front.cancelled);           // ... but the sweep was cut short
   EXPECT_EQ(front.evaluations.size(), 2u);
   EXPECT_EQ(front.front.size(), 2u);      // the honest prefix still returns
+}
+
+TEST(Sweep, PlanReusedWarmStartedSweepIsBitIdenticalToColdPerPointSolves) {
+  // The acceptance anchor for the PR's redundant-work elimination: a sweep
+  // now binds ONE SolvePlan and warm-starts refinement points, and must
+  // still produce exactly what the old driver did — one cold
+  // registry.solve per grid point, no shared plan, no warm_start. Checked
+  // over the Table 1/2 grid and the §2 example, for the default
+  // energy-under-period pair, a latency pair (3-D dominance) and the
+  // bind-heavy Stretch weight policy: every evaluation's wall-less wire
+  // bytes, the front indices, and the witness mappings.
+  std::vector<core::Problem> problems = table_grid(2);
+  problems.push_back(gen::motivating_example());
+
+  std::vector<SweepRequest> requests;
+  requests.push_back(energy_sweep({1.0, 2.0, 4.0, 100.0}, /*refine=*/2));
+  {
+    SweepRequest latency = energy_sweep({5.0, 20.0, 100.0}, /*refine=*/1);
+    latency.swept = Objective::Latency;
+    requests.push_back(latency);
+    SweepRequest stretch = energy_sweep({2.0, 8.0, 100.0}, /*refine=*/1);
+    stretch.base.weights = core::WeightPolicy::Stretch;
+    stretch.base.objective = Objective::Period;
+    stretch.swept = Objective::Energy;
+    requests.push_back(stretch);
+  }
+
+  const SolverRegistry& registry = default_registry();
+  for (const core::Problem& problem : problems) {
+    for (const SweepRequest& request : requests) {
+      const ParetoFront front = sweep(registry, problem, request);
+      ASSERT_TRUE(front.error.empty());
+      for (const SweepEvaluation& evaluation : front.evaluations) {
+        // The cold reference: the exact per-point request the old driver
+        // issued — swept bound filled in, no warm_start, its own plan.
+        const SolveRequest cold = detail::sweep_point_request(
+            problem, request, evaluation.bound, request.base.cancel);
+        EXPECT_EQ(comparable(evaluation.result),
+                  comparable(registry.solve(problem, cold)))
+            << "sweep diverged from cold per-point solve at bound "
+            << evaluation.bound;
+      }
+      // Front selection is a pure function of the evaluations, but assert
+      // the witness side too: every front point carries its mapping.
+      for (const std::size_t index : front.front) {
+        EXPECT_TRUE(front.evaluations[index].result.mapping.has_value());
+      }
+    }
+  }
+}
+
+TEST(Sweep, RefinementPointsCarryWarmStartSeedsFromTheTighterNeighbour) {
+  // The driver seeds every refinement midpoint with the value achieved at
+  // the nearest tighter solved bound; the initial grid runs cold (seeds
+  // resolve against completed rounds only, so sequential and pooled
+  // sweeps issue identical requests).
+  const core::Problem problem = gen::motivating_example();
+  const SweepRequest request = energy_sweep({1.0, 14.0}, /*refine=*/2);
+
+  struct Captured {
+    std::size_t round;
+    double bound;
+    std::optional<double> warm_start;
+    double value = 0.0;
+    bool solved = false;
+  };
+  std::vector<Captured> captured;
+  std::size_t round = 0;
+  const ParetoFront front = detail::run_sweep(
+      default_registry(), problem, request,
+      [&](const SolvePlan& plan, std::vector<SolveRequest> requests) {
+        std::vector<SolveResult> results;
+        for (const SolveRequest& point : requests) {
+          EXPECT_TRUE(point.constraints.period.has_value());
+          const double bound =
+              point.constraints.period ? point.constraints.period->bound(0) : -1.0;
+          results.push_back(plan.execute_for(point));
+          captured.push_back(Captured{round, bound, point.warm_start,
+                                      results.back().value,
+                                      results.back().solved()});
+        }
+        ++round;
+        return results;
+      });
+  ASSERT_TRUE(front.error.empty());
+  ASSERT_GT(round, 1u) << "refinement never ran";
+
+  for (const Captured& point : captured) {
+    if (point.round == 0) {
+      EXPECT_FALSE(point.warm_start.has_value())
+          << "initial grid points must run cold (bound " << point.bound << ")";
+      continue;
+    }
+    // The seed must be the value achieved at the nearest tighter (smaller)
+    // solved bound among the points of *earlier* rounds — requests for one
+    // round are built before any of them runs, so same-round siblings
+    // never feed each other (the property that keeps sequential and
+    // pooled sweeps issuing identical requests).
+    ASSERT_TRUE(point.warm_start.has_value())
+        << "refinement point at bound " << point.bound << " ran unseeded";
+    double best_bound = -1.0;
+    double expected = 0.0;
+    for (const Captured& earlier : captured) {
+      if (earlier.round < point.round && earlier.solved &&
+          earlier.bound < point.bound && earlier.bound > best_bound) {
+        best_bound = earlier.bound;
+        expected = earlier.value;
+      }
+    }
+    ASSERT_GE(best_bound, 0.0);
+    EXPECT_EQ(*point.warm_start, expected);
+    // And achievability (the warm_start contract): the seed never lies
+    // below the value actually achieved at this point.
+    if (point.solved) {
+      EXPECT_GE(*point.warm_start, point.value);
+    }
+  }
+}
+
+TEST(Sweep, CacheEnabledExecutorSweepIsBitIdenticalToSequentialSweep) {
+  // A cache-enabled executor replays the same sweep twice: the second run
+  // is served from the cache point by point and must still match the
+  // (uncached) sequential sweep wall-lessly — and byte-for-byte match its
+  // own first run, stored wall times included.
+  const core::Problem problem = gen::motivating_example();
+  const SweepRequest request = energy_sweep({1.0, 2.0, 14.0}, /*refine=*/1);
+  const ParetoFront sequential = sweep(problem, request);
+
+  Executor executor(ExecutorOptions{.jobs = 2, .cache_entries = 64});
+  const ParetoFront first = executor.sweep(problem, request);
+  const ParetoFront replay = executor.sweep(problem, request);
+  ASSERT_NE(executor.cache(), nullptr);
+  EXPECT_GT(executor.cache()->hits(), 0u);
+
+  ASSERT_EQ(first.evaluations.size(), sequential.evaluations.size());
+  ASSERT_EQ(replay.evaluations.size(), sequential.evaluations.size());
+  for (std::size_t i = 0; i < sequential.evaluations.size(); ++i) {
+    EXPECT_EQ(comparable(first.evaluations[i].result),
+              comparable(sequential.evaluations[i].result));
+    // The replay returns the stored results verbatim.
+    EXPECT_EQ(io::format_result(replay.evaluations[i].result, "", true),
+              io::format_result(first.evaluations[i].result, "", true));
+  }
+  EXPECT_EQ(first.front, sequential.front);
+  EXPECT_EQ(replay.front, sequential.front);
 }
 
 TEST(Sweep, ExecutorSweepIsBitIdenticalToSequentialSweep) {

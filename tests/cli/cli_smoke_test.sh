@@ -81,8 +81,14 @@ grep -q '"type":"result"' "$TMPDIR/results.jsonl" \
 # --- serve / client / --timeout-ms exit-code paths ------------------------
 [ "$(run serve --help)" = 0 ] || fail "serve --help should exit 0"
 grep -q "stdio" "$TMPDIR/out" || fail "serve --help should document --stdio"
+grep -q "cache-entries" "$TMPDIR/out" \
+  || fail "serve --help should document --cache-entries"
 [ "$(run serve --port nonsense)" = 2 ] || fail "bad serve --port should exit 2"
 [ "$(run serve --port 0 --nonsense)" = 2 ] || fail "unknown serve flag should exit 2"
+[ "$(run serve --cache-entries nonsense)" = 2 ] \
+  || fail "bad serve --cache-entries should exit 2"
+[ "$(run serve --cache-entries)" = 2 ] \
+  || fail "serve --cache-entries without a value should exit 2"
 # client against a dead port fails cleanly with exit 2
 [ "$(run client --port 1 --manifest "$TMPDIR/batch.jsonl" --objective period)" = 2 ] \
   || fail "client against a dead port should exit 2"
@@ -100,6 +106,16 @@ printf '{"type":"ping","id":"smoke"}\n' | "$BIN" serve --stdio \
   || fail "serve --stdio should exit 0 at EOF"
 grep -q '"type":"pong"' "$TMPDIR/stdio.out" \
   || fail "serve --stdio should answer the ping"
+# the solve cache answers a repeated request byte-identically (wall_s and
+# all: hits return the stored result verbatim)
+printf '{"objective":"period","path":"%s"}\n{"objective":"period","path":"%s"}\n' \
+    "$TMPDIR/ok.txt" "$TMPDIR/ok.txt" \
+  | "$BIN" serve --stdio --cache-entries 8 > "$TMPDIR/stdio_cache.out" 2>/dev/null \
+  || fail "serve --stdio --cache-entries should exit 0 at EOF"
+[ "$(wc -l < "$TMPDIR/stdio_cache.out")" = 2 ] \
+  || fail "both cached-path requests should be answered"
+[ "$(sort -u "$TMPDIR/stdio_cache.out" | wc -l)" = 1 ] \
+  || fail "a repeated request should be answered byte-identically from the cache"
 
 # --- pareto: Pareto-front sweeps through the facade -----------------------
 [ "$(run "$TMPDIR/ok.txt" pareto --sweep-bounds 1,2,14)" = 0 ] \

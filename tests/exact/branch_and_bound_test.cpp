@@ -51,6 +51,48 @@ TEST(BranchBound, NodeLimitHonored) {
                SearchLimitExceeded);
 }
 
+TEST(BranchBound, WarmStartHintPreservesTheResultWithFewerNodes) {
+  // Seeding with the known optimum (the sweep idiom: the adjacent tighter
+  // grid point's value) may only remove strictly-worse subtrees, so value
+  // and mapping are bit-identical while the node count shrinks.
+  const auto problem = gen::motivating_example();
+  const auto cold = branch_bound_min_period(problem, MappingKind::Interval);
+  ASSERT_TRUE(cold.has_value());
+  const auto warm =
+      branch_bound_min_period(problem, MappingKind::Interval,
+                              2'000'000'000, {}, cold->value);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->value, cold->value);  // bit-identical, no tolerance
+  ASSERT_EQ(warm->mapping.interval_count(), cold->mapping.interval_count());
+  for (std::size_t i = 0; i < warm->mapping.interval_count(); ++i) {
+    EXPECT_EQ(warm->mapping.intervals()[i], cold->mapping.intervals()[i]);
+  }
+  EXPECT_LT(warm->stats.nodes, cold->stats.nodes);
+
+  // A loose (but achievable) hint helps less yet still never changes the
+  // answer; an unhinted call is the hint-at-infinity degenerate case.
+  const auto loose =
+      branch_bound_min_period(problem, MappingKind::Interval,
+                              2'000'000'000, {}, cold->value * 4.0);
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_EQ(loose->value, cold->value);
+  EXPECT_LE(loose->stats.nodes, cold->stats.nodes);
+  EXPECT_GE(loose->stats.nodes, warm->stats.nodes);
+}
+
+TEST(BranchBound, WarmStartHintBelowTheOptimumPrunesEverything) {
+  // The documented contract violation: a hint below the true optimum kills
+  // every complete mapping, so the search honestly reports "nothing under
+  // the cap" — which is why hints must be achievable values (the sweep
+  // driver only seeds with values witnessed by an actual mapping).
+  const auto problem = gen::motivating_example();
+  const auto cold = branch_bound_min_period(problem, MappingKind::Interval);
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_FALSE(branch_bound_min_period(problem, MappingKind::Interval,
+                                       2'000'000'000, {}, cold->value * 0.5)
+                   .has_value());
+}
+
 class BranchBoundOracle : public ::testing::TestWithParam<int> {};
 
 TEST_P(BranchBoundOracle, MatchesPlainEnumerationEverywhere) {
@@ -76,6 +118,21 @@ TEST_P(BranchBoundOracle, MatchesPlainEnumerationEverywhere) {
       EXPECT_NEAR(plain->value, pruned->value, 1e-9)
           << GetParam() << " kind " << static_cast<int>(kind);
       EXPECT_LE(pruned->stats.nodes, plain->stats.nodes);
+
+      // Warm-starting with the optimum is mapping-preserving everywhere,
+      // not just on hand-picked instances.
+      const auto hinted = branch_bound_min_period(problem, kind,
+                                                  2'000'000'000, {},
+                                                  pruned->value);
+      ASSERT_TRUE(hinted.has_value());
+      EXPECT_EQ(hinted->value, pruned->value);
+      ASSERT_EQ(hinted->mapping.interval_count(),
+                pruned->mapping.interval_count());
+      for (std::size_t i = 0; i < hinted->mapping.interval_count(); ++i) {
+        EXPECT_EQ(hinted->mapping.intervals()[i],
+                  pruned->mapping.intervals()[i]);
+      }
+      EXPECT_LE(hinted->stats.nodes, pruned->stats.nodes);
     }
   }
 }

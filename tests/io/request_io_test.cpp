@@ -31,6 +31,7 @@ void expect_same_request(const api::SolveRequest& a, const api::SolveRequest& b)
   EXPECT_EQ(a.time_budget_seconds, b.time_budget_seconds);
   EXPECT_EQ(a.seed, b.seed);
   EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+  EXPECT_EQ(a.warm_start, b.warm_start);
   EXPECT_EQ(a.constraints.energy_budget, b.constraints.energy_budget);
   ASSERT_EQ(a.constraints.period.has_value(), b.constraints.period.has_value());
   if (a.constraints.period) {
@@ -94,6 +95,9 @@ TEST(RequestIo, RoundTripsEveryConstraintAndBudgetShape) {
     r.time_budget_seconds = 0.1;
     r.seed = 7;
     r.deadline_ms = 250;
+    shapes.push_back(r);
+    // The warm-start hint travels too (and enters the canonical cache key).
+    r.warm_start = 1.0 / 3.0;
     shapes.push_back(r);
     // Unconstrained entries are +inf and must survive the wire too.
     api::SolveRequest inf;

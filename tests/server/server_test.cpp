@@ -37,7 +37,10 @@ namespace {
 /// A listening server with its accept loop on a background thread.
 class TestServer {
  public:
-  explicit TestServer(std::size_t jobs = 2) : server_(ServerOptions{.jobs = jobs}) {
+  explicit TestServer(std::size_t jobs = 2)
+      : TestServer(ServerOptions{.jobs = jobs}) {}
+
+  explicit TestServer(ServerOptions options) : server_(std::move(options)) {
     ::signal(SIGPIPE, SIG_IGN);  // a test client may vanish mid-response
     port_ = server_.listen();
     thread_ = std::thread([this] { server_.serve(); });
@@ -279,6 +282,78 @@ TEST(Server, PingAndStatsAnswerInline) {
   const api::SolveResult local =
       api::solve(gen::motivating_example(), api::SolveRequest{});
   EXPECT_EQ(value_of("solver." + local.solver), "1");
+}
+
+TEST(Server, CacheEnabledServerRepliesByteIdenticallyOnReplay) {
+  // serve --cache-entries: the same request stream replayed against a
+  // cache-enabled server must produce the byte-identical response stream —
+  // wall_s included, because hits return the stored result verbatim — and
+  // the stats line must surface the cache counters.
+  TestServer harness(ServerOptions{.jobs = 2, .cache_entries = 64});
+  WireClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+
+  std::vector<std::string> lines;
+  for (const core::Problem& problem : table_grid(2)) {
+    api::SolveRequest energy;
+    energy.objective = api::Objective::Energy;
+    energy.constraints.period = core::Thresholds::per_app({100.0, 100.0});
+    lines.push_back(io::format_solve_request(problem, api::SolveRequest{}));
+    lines.push_back(io::format_solve_request(problem, energy));
+  }
+
+  const auto replay = [&]() {
+    std::vector<std::string> responses;
+    for (const std::string& line : lines) {
+      client.send_line(line);
+      const auto response = client.recv_line();
+      EXPECT_TRUE(response.has_value());
+      responses.push_back(response.value_or(""));
+    }
+    return responses;
+  };
+  const std::vector<std::string> first = replay();
+  const std::vector<std::string> second = replay();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(second[i], first[i])
+        << "cache replay diverged on request " << lines[i];
+  }
+  // And the first pass itself is bit-identical (wall-lessly) to per-call
+  // api::solve — the cache never changes what a cold server would say.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const io::WireSolveRequest wire = io::parse_solve_request_line(lines[i]);
+    EXPECT_EQ(comparable(first[i]),
+              comparable(api::solve(wire.problem, wire.request)));
+  }
+
+  client.send_line(R"({"type":"stats"})");
+  const auto stats_line = client.recv_line();
+  ASSERT_TRUE(stats_line.has_value());
+  const io::JsonFields fields = io::parse_flat_json(*stats_line);
+  auto value_of = [&](const std::string& key) -> std::optional<std::string> {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  };
+  EXPECT_EQ(value_of("cache_hits"), std::to_string(lines.size()));
+  EXPECT_EQ(value_of("cache_misses"), std::to_string(lines.size()));
+  EXPECT_EQ(value_of("cache_evictions"), "0");
+  const api::SolveCache* cache = harness.server().executor().cache();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->hits(), lines.size());
+}
+
+TEST(Server, CacheDisabledServerKeepsTheHistoricalStatsFields) {
+  TestServer harness;
+  WireClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  client.send_line(R"({"type":"stats"})");
+  const auto response = client.recv_line();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->find("cache_"), std::string::npos);
+  EXPECT_EQ(harness.server().executor().cache(), nullptr);
 }
 
 TEST(Server, DeadlineExpiresIntoTypedCancelledResultOverTheWire) {

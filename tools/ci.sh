@@ -5,8 +5,11 @@
 # pipeopt-server smoke stage (live TCP server driven by the client
 # subcommand, responses diffed bit-identical against solve-batch --out,
 # plus one streamed Pareto sweep diffed against the CLI pareto --out
-# file), then a ThreadSanitizer pass over the threaded
-# executor/plan/sweep/server subsystems.
+# file), then a solve-cache smoke stage (the same manifest replayed twice
+# against a --cache-entries server: replays must be byte-identical,
+# cache-on must match cache-off modulo wall_s, and cache_hits must be
+# nonzero), then a ThreadSanitizer pass over the threaded
+# executor/plan/sweep/server/cache subsystems.
 #
 #   tools/ci.sh [build-dir]
 #
@@ -99,9 +102,51 @@ diff "$SMOKE_DIR/pareto_wire.cmp" "$SMOKE_DIR/pareto_local.cmp" || {
   echo "ci: streamed pareto front diverged from the CLI sweep" >&2; exit 1;
 }
 
+# Cache smoke: replay the same manifest twice against a --cache-entries
+# server. The two replays must be byte-identical INCLUDING wall_s (hits
+# return the stored result verbatim), the cache-enabled responses must
+# equal the cache-disabled server's (modulo wall_s, the one honest field),
+# and the stats line must show a nonzero cache_hits counter.
+"$BIN" client --port "$PORT" --manifest "$SMOKE_DIR/batch.jsonl" \
+    --objective period > "$SMOKE_DIR/off.jsonl"
+
+"$BIN" serve --port 0 --jobs 2 --cache-entries 256 \
+    > "$SMOKE_DIR/cache_server.out" 2>"$SMOKE_DIR/cache_server.err" &
+CACHE_PID=$!
+trap 'kill "$SERVER_PID" "$CACHE_PID" 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
+CPORT=""
+i=0
+while [ $i -lt 100 ]; do
+  CPORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SMOKE_DIR/cache_server.out")
+  [ -n "$CPORT" ] && break
+  i=$((i + 1)); sleep 0.1
+done
+[ -n "$CPORT" ] || { echo "ci: cache server never announced its port" >&2; exit 1; }
+
+"$BIN" client --port "$CPORT" --manifest "$SMOKE_DIR/batch.jsonl" \
+    --objective period > "$SMOKE_DIR/replay1.jsonl"
+"$BIN" client --port "$CPORT" --manifest "$SMOKE_DIR/batch.jsonl" \
+    --objective period > "$SMOKE_DIR/replay2.jsonl"
+diff "$SMOKE_DIR/replay1.jsonl" "$SMOKE_DIR/replay2.jsonl" || {
+  echo "ci: cache replay was not byte-identical (wall_s included)" >&2; exit 1;
+}
+sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/off.jsonl" > "$SMOKE_DIR/off.cmp"
+sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/replay1.jsonl" > "$SMOKE_DIR/replay1.cmp"
+diff "$SMOKE_DIR/off.cmp" "$SMOKE_DIR/replay1.cmp" || {
+  echo "ci: cache-enabled responses diverged from the cache-disabled server" >&2; exit 1;
+}
+printf '{"type":"stats"}\n' | "$BIN" client --port "$CPORT" - \
+    > "$SMOKE_DIR/cache_stats.jsonl"
+HITS=$(sed -n 's/.*"cache_hits":"\([0-9]*\)".*/\1/p' "$SMOKE_DIR/cache_stats.jsonl")
+[ -n "$HITS" ] && [ "$HITS" -gt 0 ] || {
+  echo "ci: expected a nonzero cache_hits counter, got '${HITS:-absent}'" >&2; exit 1;
+}
+kill -TERM "$CACHE_PID"
+wait "$CACHE_PID" || { echo "ci: cache server did not drain cleanly on SIGTERM" >&2; exit 1; }
+
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "ci: server did not drain cleanly on SIGTERM" >&2; exit 1; }
-echo "ci: server smoke green (3 objectives + 1 pareto sweep bit-identical over TCP)"
+echo "ci: server smoke green (3 objectives + 1 pareto sweep bit-identical over TCP; cache replay byte-identical, cache_hits=$HITS)"
 
 # ThreadSanitizer build of the executor, plan, cancellation and server
 # tests — the code that actually runs worker pools and session threads.
@@ -113,7 +158,7 @@ if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - -o "${TMPDIR:-
   cmake -B "$BUILD_DIR-tsan" -S . -DPIPEOPT_WERROR=ON -DPIPEOPT_TSAN=ON
   cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" --target pipeopt_tests
   "$BUILD_DIR-tsan/pipeopt_tests" \
-      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*'
+      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*:Cache.*'
 else
   echo "ci: ThreadSanitizer unavailable, skipping the tsan pass" >&2
 fi

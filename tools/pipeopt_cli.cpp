@@ -48,11 +48,15 @@
 ///
 /// Two commands take no problem file (they come first on the command line):
 ///
-///   pipeopt serve [--host H] [--port N] [--jobs N] [--stdio]
+///   pipeopt serve [--host H] [--port N] [--jobs N] [--cache-entries N]
+///                 [--stdio]
 ///                                long-lived JSONL solve service over TCP
 ///                                (src/server/); --port 0 picks an
 ///                                ephemeral port, announced on stdout;
-///                                --stdio serves stdin/stdout instead
+///                                --cache-entries N switches the solve
+///                                cache on (repeat requests answer
+///                                byte-identically from it); --stdio
+///                                serves stdin/stdout instead
 ///   pipeopt client [--host H] --port N
 ///                  (--manifest M [--pareto] [solve/sweep options] | F)
 ///                                scripted load generator: with --manifest,
@@ -130,9 +134,10 @@ int usage() {
       "  min-latency                alias: solve --objective latency\n"
       "  min-energy T1,T2,...       alias: solve --objective energy\n"
       "  simulate <datasets>        execute the period-optimal mapping\n"
-      "  serve [--host H] [--port N] [--jobs N] [--stdio]\n"
-      "                             JSONL-over-TCP solve service (no\n"
-      "                             problem file; --port 0 = ephemeral)\n"
+      "  serve [--host H] [--port N] [--jobs N] [--cache-entries N]\n"
+      "        [--stdio]            JSONL-over-TCP solve service (no\n"
+      "                             problem file; --port 0 = ephemeral;\n"
+      "                             --cache-entries N = solve cache on)\n"
       "  client [--host H] --port N\n"
       "         (--manifest M [--pareto] [solve/sweep opts] | F | -)\n"
       "                             send request lines, echo responses\n",
@@ -531,14 +536,20 @@ int run_serve(const std::vector<std::string>& args) {
     const std::string& flag = args[i];
     if (flag == "--help") {
       std::fputs(
-          "usage: pipeopt serve [--host H] [--port N] [--jobs N] [--stdio]\n"
+          "usage: pipeopt serve [--host H] [--port N] [--jobs N]\n"
+          "                     [--cache-entries N] [--stdio]\n"
           "JSONL-over-TCP solve service over the api::Executor pool.\n"
           "  --host H    listen address (default 127.0.0.1)\n"
           "  --port N    listen port; 0 picks an ephemeral port (default),\n"
           "              announced as 'pipeopt-server listening on H:P'\n"
           "  --jobs N    worker pool size (default: hardware concurrency)\n"
+          "  --cache-entries N\n"
+          "              solve-cache capacity; repeated identical requests\n"
+          "              (and replayed sweep grid points) answer from the\n"
+          "              cache byte-identically; 0 = off (default). Stats\n"
+          "              gain cache_hits/cache_misses/cache_evictions.\n"
           "  --stdio     serve one session on stdin/stdout instead of TCP\n"
-          "Protocol: one JSON object per line; see src/server/server.hpp.\n"
+          "Protocol: one JSON object per line; see docs/PROTOCOL.md.\n"
           "SIGINT/SIGTERM drain in-flight solves, then exit 0.\n",
           stdout);
       return 0;
@@ -558,6 +569,11 @@ int run_serve(const std::vector<std::string>& args) {
       const auto jobs = parse_number<std::size_t>(args[++i]);
       if (!jobs) return usage();
       options.jobs = *jobs;
+    } else if (flag == "--cache-entries") {
+      if (i + 1 >= args.size()) return usage();
+      const auto entries = parse_number<std::size_t>(args[++i]);
+      if (!entries) return usage();
+      options.cache_entries = *entries;
     } else {
       return usage();
     }
