@@ -257,4 +257,14 @@ WireParetoSummary parse_pareto_summary_line(const std::string& line,
   return parse_pareto_summary(parse_flat_json(line, line_no), line_no);
 }
 
+std::string format_error(const std::string& message, const std::string& id,
+                         const std::string& code) {
+  FlatJsonWriter out;
+  out.field("type", "error");
+  if (!id.empty()) out.field("id", id);
+  if (!code.empty()) out.field("code", code);
+  out.field("message", message);
+  return std::move(out).str();
+}
+
 }  // namespace pipeopt::io

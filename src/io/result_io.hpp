@@ -103,4 +103,14 @@ struct WireParetoSummary {
 [[nodiscard]] WireParetoSummary parse_pareto_summary_line(
     const std::string& line, std::size_t line_no = 1);
 
+/// One structured `{"type":"error",...}` response line — the shared error
+/// serialization of the server and the router, so their bytes cannot
+/// drift. Field order: type, id (omitted when empty), code (omitted when
+/// empty — the server's parse/validation errors carry none; the router's
+/// typed failures use "overloaded", "unavailable" and "shard-lost"),
+/// message.
+[[nodiscard]] std::string format_error(const std::string& message,
+                                       const std::string& id = {},
+                                       const std::string& code = {});
+
 }  // namespace pipeopt::io

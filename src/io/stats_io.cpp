@@ -1,0 +1,54 @@
+#include "io/stats_io.hpp"
+
+#include <cstdint>
+#include <utility>
+
+namespace pipeopt::io {
+
+JsonFields merge_stats_fields(const std::vector<JsonFields>& lines,
+                              std::size_t line_no) {
+  // Sums keep first-appearance order: counters every shard reports stay in
+  // the familiar server order, per-shard extras (solver.*, cache_*) join
+  // the tail as they first show up.
+  std::vector<std::pair<std::string, std::uint64_t>> sums;
+  for (const JsonFields& fields : lines) {
+    for (const auto& [key, value] : fields) {
+      if (key == "type" || key == "id") continue;
+      const std::uint64_t count =
+          parse_wire_number<std::uint64_t>(key, value, line_no);
+      bool found = false;
+      for (auto& [name, sum] : sums) {
+        if (name == key) {
+          sum += count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) sums.emplace_back(key, count);
+    }
+  }
+  JsonFields merged;
+  merged.reserve(sums.size());
+  for (const auto& [name, sum] : sums) {
+    merged.emplace_back(name, std::to_string(sum));
+  }
+  return merged;
+}
+
+JsonFields merge_stats_lines(const std::vector<std::string>& lines) {
+  std::vector<JsonFields> parsed;
+  parsed.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    parsed.push_back(parse_flat_json(lines[i], i + 1));
+  }
+  return merge_stats_fields(parsed);
+}
+
+std::string stats_field(const JsonFields& fields, const std::string& key) {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+}  // namespace pipeopt::io

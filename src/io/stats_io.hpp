@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file stats_io.hpp
+/// Fleet-level aggregation of `{"type":"stats"}` response lines — the io
+/// half of the router's stats fan-out. A router asks every shard for its
+/// counters and answers the client with one merged line; this header owns
+/// the merge semantics so the router, its tests and any future fleet tool
+/// agree on them:
+///
+///  * every field is summed across the lines it appears in (all server
+///    stats values are decimal counters — `requests`, `solves`,
+///    `solver.<name>`, `jobs`, `pending`, the cache counters, ...);
+///  * `type` and `id` are framing, not counters, and are skipped;
+///  * field order is first-appearance order across the input lines, so a
+///    shard fleet with disjoint `solver.*` sets merges into their union
+///    and fields no shard reports (e.g. `cache_*` when every shard runs
+///    cache-off) stay absent — presence itself is information;
+///  * a non-numeric value is malformed input and throws ParseError.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace pipeopt::io {
+
+/// Merges the ordered fields of several stats lines field-wise (see the
+/// file comment for the exact semantics). An empty input merges to an
+/// empty field list. \throws ParseError (naming `line_no`) on a
+/// non-numeric counter value.
+[[nodiscard]] JsonFields merge_stats_fields(
+    const std::vector<JsonFields>& lines, std::size_t line_no = 1);
+
+/// Convenience over raw response lines: `parse_flat_json` each, then
+/// `merge_stats_fields`.
+[[nodiscard]] JsonFields merge_stats_lines(
+    const std::vector<std::string>& lines);
+
+/// The value of `key` in `fields`, or "" when absent — the lookup every
+/// stats consumer (tests, ci polling, the router) repeats.
+[[nodiscard]] std::string stats_field(const JsonFields& fields,
+                                      const std::string& key);
+
+}  // namespace pipeopt::io

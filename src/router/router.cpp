@@ -1,0 +1,888 @@
+#include "router/router.hpp"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "io/request_io.hpp"
+#include "io/result_io.hpp"
+#include "io/stats_io.hpp"
+
+namespace pipeopt::router {
+
+namespace {
+
+/// How often an in-flight forward's session polls for client disconnect,
+/// and how often a slot waiter rechecks the fleet.
+constexpr auto kWatchInterval = std::chrono::milliseconds(10);
+constexpr auto kSlotWaitInterval = std::chrono::milliseconds(50);
+/// How long a spawned child gets to announce its port before the spawn
+/// counts as failed (solver registration is cheap; this is pure margin).
+constexpr auto kSpawnDeadline = std::chrono::seconds(10);
+
+#ifdef POLLRDHUP
+constexpr short kHupEvents = POLLRDHUP | POLLHUP | POLLERR;
+#else
+constexpr short kHupEvents = POLLHUP | POLLERR;
+#endif
+
+/// Signal-handler target of install_signal_handlers (same pattern as the
+/// server: one byte into the wake pipe, the poll loop does the shutdown).
+std::atomic<int> g_signal_wake_fd{-1};
+
+void signal_to_pipe(int) {
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+using util::FdLineReader;
+using util::write_line;
+
+/// Every router fd is close-on-exec: the health thread forks shard
+/// children concurrently with accepts, and a child that inherits the
+/// front listener or a client socket keeps it alive past its owner.
+int connect_endpoint(const std::string& host, std::uint16_t port,
+                     std::chrono::milliseconds timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (timeout.count() > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// The "type" of a server response line. Every server-written line starts
+/// with `{"type":"..."` (FlatJsonWriter field order), so a prefix scan is
+/// enough — and cheap enough to run per relayed line.
+std::string response_type(const std::string& line) {
+  constexpr const char kPrefix[] = "{\"type\":\"";
+  constexpr std::size_t kPrefixLen = sizeof kPrefix - 1;
+  if (line.compare(0, kPrefixLen, kPrefix) != 0) return {};
+  const std::size_t end = line.find('"', kPrefixLen);
+  if (end == std::string::npos) return {};
+  return line.substr(kPrefixLen, end - kPrefixLen);
+}
+
+enum class ClientProbe { Idle, Gone, Busy };
+
+/// One non-blocking look at the client connection while its response is
+/// pending elsewhere — the server's await_with_watch probe, shared
+/// semantics: orderly EOF or reset = Gone, pipelined input = Busy
+/// (demonstrably alive; stop probing, the bytes are a request).
+ClientProbe probe_client(int fd) {
+  pollfd probe{fd, static_cast<short>(POLLIN | kHupEvents), 0};
+  if (::poll(&probe, 1, 0) <= 0) return ClientProbe::Idle;
+  if (probe.revents & POLLIN) {
+    char byte;
+    const ssize_t n = ::recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n == 0) return ClientProbe::Gone;
+    if (n > 0) return ClientProbe::Busy;
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return ClientProbe::Gone;
+    }
+    return ClientProbe::Idle;
+  }
+  if (probe.revents & kHupEvents) return ClientProbe::Gone;
+  return ClientProbe::Idle;
+}
+
+std::size_t line_hash(const std::string& text) {
+  return std::hash<std::string>{}(text);
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      started_(std::chrono::steady_clock::now()) {
+  const bool endpoint_mode = !options_.shards.empty();
+  const bool spawn_mode = options_.spawn > 0;
+  if (endpoint_mode == spawn_mode) {
+    throw std::runtime_error(
+        "pipeopt-router: configure either --shards or --spawn (exactly one)");
+  }
+  if (options_.window == 0) {
+    throw std::runtime_error("pipeopt-router: --window must be positive");
+  }
+  if (spawn_mode) {
+    for (std::size_t i = 0; i < options_.spawn; ++i) {
+      auto shard = std::make_unique<Shard>();
+      shard->host = "127.0.0.1";
+      shard->healthy = false;  // up once spawned and announced
+      shards_.push_back(std::move(shard));
+    }
+  } else {
+    for (const ShardAddress& address : options_.shards) {
+      auto shard = std::make_unique<Shard>();
+      shard->host = address.host;
+      shard->port = address.port;
+      shards_.push_back(std::move(shard));
+    }
+  }
+  if (::pipe2(wake_pipe_, O_CLOEXEC) != 0) {
+    throw std::runtime_error("pipeopt-router: cannot create wake pipe");
+  }
+}
+
+Router::~Router() {
+  shutdown();
+  reap_sessions(/*all=*/true);
+  stop_health_thread();
+  terminate_children();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+std::size_t Router::shard_count() const noexcept { return shards_.size(); }
+
+std::vector<ShardInfo> Router::shard_infos() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  std::vector<ShardInfo> infos;
+  infos.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    infos.push_back(ShardInfo{shard->host, shard->port, shard->pid,
+                              shard->healthy, shard->in_flight});
+  }
+  return infos;
+}
+
+std::uint64_t Router::up_transitions() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->up_transitions;
+  return total;
+}
+
+std::uint64_t Router::down_transitions() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->down_transitions;
+  return total;
+}
+
+std::uint16_t Router::listen() {
+  if (listen_fd_ >= 0) return port_;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("pipeopt-router: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("pipeopt-router: bad listen address '" +
+                             options_.host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, options_.backlog) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("pipeopt-router: cannot listen on " +
+                             options_.host + ":" +
+                             std::to_string(options_.port) + ": " + reason);
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw std::runtime_error("pipeopt-router: getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+
+  // Spawn before serving: a front tier with no backend would shed every
+  // request of its first clients for one health interval.
+  if (options_.spawn > 0) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) spawn_shard(i);
+  }
+  health_thread_ = std::thread([this] { health_loop(); });
+  return port_;
+}
+
+void Router::serve() {
+  listen();
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // shutdown() or a signal woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client < 0) continue;
+    auto session = std::make_unique<Session>();
+    Session* raw = session.get();
+    raw->fd = client;
+    raw->conns.resize(shards_.size());
+    raw->thread = std::thread([this, raw] { session_loop(raw); });
+    {
+      const std::lock_guard<std::mutex> lock(sessions_mutex_);
+      sessions_.push_back(std::move(session));
+    }
+    reap_sessions(/*all=*/false);
+  }
+  // Drain in dependency order: refuse new connections, half-close the
+  // sessions so no further requests are read, let the in-flight forwards
+  // finish and flush — and only then take the shard fleet down, so every
+  // accepted request that can complete does.
+  stopping_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (const auto& session : sessions_) {
+      if (session->fd >= 0) ::shutdown(session->fd, SHUT_RD);
+    }
+  }
+  reap_sessions(/*all=*/true);
+  stop_health_thread();
+  terminate_children();
+}
+
+void Router::shutdown() {
+  stopping_.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void Router::install_signal_handlers(Router& router) {
+  g_signal_wake_fd.store(router.wake_pipe_[1], std::memory_order_relaxed);
+  struct sigaction action{};
+  action.sa_handler = signal_to_pipe;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+void Router::reap_sessions(bool all) {
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (all || (*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& session : finished) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+}
+
+void Router::session_loop(Session* session) {
+  FdLineReader reader(session->fd);
+  std::string line;
+  while (reader.next_line(line)) {
+    if (line.empty() || line == "\r") continue;
+    if (handle_line(line, *session, reader.buffered()) == Relay::ClientGone) {
+      break;
+    }
+    if (stopping_.load(std::memory_order_relaxed)) break;
+  }
+  // Closing the shard connections first propagates the disconnect: a shard
+  // still computing for this client sees its own session vanish and
+  // cancels, exactly as if the client had connected to it directly.
+  for (ShardConn& conn : session->conns) {
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+      conn.fd = -1;
+      conn.reader.reset();
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    ::close(session->fd);
+    session->fd = -1;
+  }
+  session->done.store(true, std::memory_order_release);
+}
+
+Router::Relay Router::handle_line(const std::string& line, Session& session,
+                                  bool input_buffered) {
+  io::JsonFields fields;
+  bool parsed = true;
+  try {
+    fields = io::parse_flat_json(line);
+  } catch (const io::ParseError&) {
+    parsed = false;  // forward anyway: the shard's error line is the answer
+  }
+  std::string id;
+  std::string type = "solve";
+  if (parsed) {
+    for (const auto& [key, value] : fields) {
+      if (key == "id") id = value;
+      if (key == "type") type = value;
+    }
+  }
+  if (parsed && type == "ping") {
+    io::FlatJsonWriter out;
+    out.field("type", "pong");
+    if (!id.empty()) out.field("id", id);
+    return write_line(session.fd, std::move(out).str()) ? Relay::Done
+                                                        : Relay::ClientGone;
+  }
+  if (parsed && type == "health") {
+    answer_health(id, session.fd);
+    return Relay::Done;
+  }
+  if (parsed && type == "stats") {
+    answer_stats(id, session.fd);
+    return Relay::Done;
+  }
+
+  // The routing key: canonical request bytes where the line parses (so
+  // wire-presentation differences — field order, whitespace, an `id` —
+  // cannot split byte-equivalent work across shards), raw bytes otherwise
+  // (identical garbage still lands on one shard).
+  std::size_t key_hash = line_hash(line);
+  bool streamed = false;
+  if (parsed && type == "solve") {
+    try {
+      const io::WireSolveRequest wire = io::parse_solve_request(fields);
+      key_hash = line_hash(io::format_solve_key(wire.problem, wire.request));
+    } catch (const std::exception&) {
+    }
+  } else if (parsed && type == "pareto") {
+    streamed = true;
+    try {
+      const io::WireParetoRequest wire = io::parse_pareto_request(fields);
+      key_hash = line_hash(io::format_pareto_request(wire.problem, wire.request));
+    } catch (const std::exception&) {
+    }
+  }
+  return forward_line(line, id, streamed, key_hash, session, input_buffered);
+}
+
+Router::Admit Router::acquire_slot(std::size_t key_hash,
+                                   std::size_t& shard_index, int client_fd,
+                                   bool watching) {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  for (;;) {
+    const std::size_t n = shards_.size();
+    std::size_t healthy = 0;
+    std::size_t sticky = n;
+    bool any_free = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = (key_hash + k) % n;
+      if (!shards_[i]->healthy) continue;
+      ++healthy;
+      if (sticky == n) sticky = i;
+      if (shards_[i]->in_flight < options_.window) any_free = true;
+    }
+    if (healthy == 0) return Admit::Unavailable;
+    if (shards_[sticky]->in_flight < options_.window) {
+      ++shards_[sticky]->in_flight;
+      shard_index = sticky;
+      return Admit::Ok;
+    }
+    // Sticky target saturated. With the whole fleet saturated the request
+    // is shed now (queueing would just move the overload into the router);
+    // with room elsewhere it WAITS for its sticky shard instead of
+    // spilling — stickiness is what keeps the shard caches coherent, and
+    // a saturated-but-alive shard frees a slot soon.
+    if (!any_free) return Admit::Overloaded;
+    state_changed_.wait_for(lock, kSlotWaitInterval);
+    if (watching) {
+      lock.unlock();
+      const ClientProbe probe = probe_client(client_fd);
+      lock.lock();
+      if (probe == ClientProbe::Gone) return Admit::ClientGone;
+      if (probe == ClientProbe::Busy) watching = false;
+    }
+  }
+}
+
+void Router::release_slot(std::size_t shard_index) {
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    Shard& shard = *shards_[shard_index];
+    if (shard.in_flight > 0) --shard.in_flight;
+  }
+  state_changed_.notify_all();
+}
+
+void Router::mark_down(std::size_t shard_index) {
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    Shard& shard = *shards_[shard_index];
+    if (!shard.healthy) return;
+    shard.healthy = false;
+    ++shard.down_transitions;
+  }
+  // Waiters re-resolve their sticky target (or flip to Overloaded/
+  // Unavailable) against the new fleet shape.
+  state_changed_.notify_all();
+}
+
+void Router::mark_up(std::size_t shard_index) {
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    Shard& shard = *shards_[shard_index];
+    if (shard.healthy) return;
+    shard.healthy = true;
+    ++shard.up_transitions;
+  }
+  state_changed_.notify_all();
+}
+
+bool Router::ensure_conn(Session& session, std::size_t shard_index) {
+  ShardConn& conn = session.conns[shard_index];
+  if (conn.fd >= 0) return true;
+  std::string host;
+  std::uint16_t port = 0;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    host = shards_[shard_index]->host;
+    port = shards_[shard_index]->port;
+  }
+  if (port == 0) return false;  // spawn pending: no endpoint yet
+  const int fd = connect_endpoint(host, port, std::chrono::milliseconds(0));
+  if (fd < 0) return false;
+  conn.fd = fd;
+  conn.reader = std::make_unique<FdLineReader>(fd);
+  return true;
+}
+
+Router::Relay Router::forward_line(const std::string& line,
+                                   const std::string& id, bool streamed,
+                                   std::size_t key_hash, Session& session,
+                                   bool input_buffered) {
+  // Each failover consumes one attempt; the +1 covers the stale-connection
+  // retry against the first shard. Exhaustion means every shard failed
+  // this request even though probes say some are up — answer typed, don't
+  // spin.
+  std::size_t attempts_left = shards_.size() + 1;
+  const auto respond_error = [&](const std::string& code,
+                                 const std::string& message) {
+    ++shed_;
+    return write_line(session.fd, io::format_error(message, id, code))
+               ? Relay::Done
+               : Relay::ClientGone;
+  };
+  for (;;) {
+    std::size_t shard = 0;
+    switch (acquire_slot(key_hash, shard, session.fd, !input_buffered)) {
+      case Admit::Overloaded:
+        return respond_error("overloaded",
+                             "every shard is at its in-flight window");
+      case Admit::Unavailable:
+        return respond_error("unavailable", "no healthy shard available");
+      case Admit::ClientGone:
+        return Relay::ClientGone;
+      case Admit::Ok:
+        break;
+    }
+
+    // A connection that existed before this attempt may be stale (the
+    // shard restarted since); its failure earns one retry on a fresh
+    // connection to the SAME shard before the shard is condemned.
+    const bool reused = session.conns[shard].fd >= 0;
+    const auto drop_conn = [&] {
+      ShardConn& conn = session.conns[shard];
+      if (conn.fd >= 0) ::close(conn.fd);
+      conn.fd = -1;
+      conn.reader.reset();
+    };
+    if (!ensure_conn(session, shard)) {
+      release_slot(shard);
+      mark_down(shard);
+      ++retries_;
+      if (--attempts_left == 0) {
+        return respond_error("unavailable", "request failed on every shard");
+      }
+      continue;
+    }
+    ShardConn& conn = session.conns[shard];
+
+    bool shard_dead = !write_line(conn.fd, line);
+    bool relayed_bytes = false;
+    bool watching = !input_buffered;
+    std::string response;
+    while (!shard_dead) {
+      // Wait until the shard connection is readable, watching the client
+      // meanwhile: a vanished client gets its shard connection closed,
+      // which cancels the in-flight work shard-side.
+      for (;;) {
+        if (conn.reader->buffered()) break;
+        pollfd probe{conn.fd, static_cast<short>(POLLIN | kHupEvents), 0};
+        const int ready =
+            ::poll(&probe, 1, static_cast<int>(kWatchInterval.count()));
+        if (ready > 0) break;
+        if (ready < 0 && errno != EINTR) break;
+        if (watching) {
+          switch (probe_client(session.fd)) {
+            case ClientProbe::Gone:
+              drop_conn();
+              release_slot(shard);
+              return Relay::ClientGone;
+            case ClientProbe::Busy:
+              watching = false;
+              break;
+            case ClientProbe::Idle:
+              break;
+          }
+        }
+      }
+      if (!conn.reader->next_line(response)) {
+        shard_dead = true;
+        break;
+      }
+      if (!write_line(session.fd, response)) {
+        drop_conn();  // mid-response client loss: cancel shard-side too
+        release_slot(shard);
+        return Relay::ClientGone;
+      }
+      relayed_bytes = true;
+      if (!streamed || response_type(response) != "result") {
+        // Single-line response, the pareto terminal summary, or a typed
+        // error line: the response is complete.
+        release_slot(shard);
+        ++routed_;
+        return Relay::Done;
+      }
+    }
+
+    // The shard connection died. With response bytes already relayed the
+    // request cannot be retried (the client would see a torn stream); a
+    // typed error closes the response instead.
+    drop_conn();
+    release_slot(shard);
+    if (relayed_bytes) {
+      mark_down(shard);
+      ++shard_lost_errors_;
+      return write_line(session.fd,
+                        io::format_error("shard connection lost mid-response",
+                                         id, "shard-lost"))
+                 ? Relay::Done
+                 : Relay::ClientGone;
+    }
+    // Nothing relayed: safe to resend. A reused connection's death is
+    // first blamed on the connection (shard may have restarted behind
+    // it); a fresh connection's death condemns the shard.
+    if (!reused) mark_down(shard);
+    ++retries_;
+    if (--attempts_left == 0) {
+      return respond_error("unavailable", "request failed on every shard");
+    }
+  }
+}
+
+void Router::answer_health(const std::string& id, int out_fd) {
+  const double uptime = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started_)
+                            .count();
+  std::size_t up = 0;
+  std::size_t in_flight = 0;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    for (const auto& shard : shards_) {
+      if (shard->healthy) ++up;
+      in_flight += shard->in_flight;
+    }
+  }
+  io::FlatJsonWriter out;
+  out.field("type", "health");
+  if (!id.empty()) out.field("id", id);
+  out.field("pid", std::to_string(::getpid()));
+  out.field("uptime_s", io::format_double_exact(uptime));
+  out.field("in_flight", std::to_string(in_flight));
+  out.field("shards", std::to_string(shards_.size()));
+  out.field("shards_up", std::to_string(up));
+  write_line(out_fd, std::move(out).str());
+}
+
+void Router::answer_stats(const std::string& id, int out_fd) {
+  // Fan out to the healthy shards over short-lived probe connections (the
+  // session's cached connections would work too, but a down shard must
+  // not stall the merge — the probe timeout bounds each leg).
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints;
+  std::size_t up = 0;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    for (const auto& shard : shards_) {
+      if (!shard->healthy) continue;
+      ++up;
+      endpoints.emplace_back(shard->host, shard->port);
+    }
+  }
+  std::vector<std::string> lines;
+  for (const auto& [host, port] : endpoints) {
+    const int fd = connect_endpoint(host, port, options_.probe_timeout);
+    if (fd < 0) continue;
+    if (write_line(fd, "{\"type\":\"stats\"}")) {
+      FdLineReader reader(fd);
+      std::string response;
+      if (reader.next_line(response) && response_type(response) == "stats") {
+        lines.push_back(std::move(response));
+      }
+    }
+    ::close(fd);
+  }
+  io::JsonFields merged;
+  try {
+    merged = io::merge_stats_lines(lines);
+  } catch (const std::exception&) {
+    merged.clear();  // a torn shard line must not kill the whole answer
+  }
+
+  io::FlatJsonWriter out;
+  out.field("type", "stats");
+  if (!id.empty()) out.field("id", id);
+  out.field("shards", std::to_string(shards_.size()));
+  out.field("shards_up", std::to_string(up));
+  out.field("routed", std::to_string(routed_.load()));
+  out.field("shed", std::to_string(shed_.load()));
+  out.field("retries", std::to_string(retries_.load()));
+  out.field("restarts", std::to_string(restarts_.load()));
+  out.field("shard_up_transitions", std::to_string(up_transitions()));
+  out.field("shard_down_transitions", std::to_string(down_transitions()));
+  out.field("shard_lost_errors", std::to_string(shard_lost_errors_.load()));
+  for (const auto& [key, value] : merged) out.field(key, value);
+  write_line(out_fd, std::move(out).str());
+}
+
+void Router::health_loop() {
+  std::unique_lock<std::mutex> lock(health_mutex_);
+  while (!health_stop_) {
+    health_wake_.wait_for(lock, options_.health_interval);
+    if (health_stop_) break;
+    lock.unlock();
+    check_shards();
+    lock.lock();
+  }
+}
+
+void Router::check_shards() {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::string host;
+    std::uint16_t port = 0;
+    pid_t pid = -1;
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      host = shards_[i]->host;
+      port = shards_[i]->port;
+      pid = shards_[i]->pid;
+    }
+    if (options_.spawn > 0) {
+      if (pid > 0) {
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid) {
+          // The child is gone (killed, crashed, OOMed). Mark it down first
+          // so no new request targets the dead port, then respawn.
+          mark_down(i);
+          {
+            const std::lock_guard<std::mutex> lock(state_mutex_);
+            shards_[i]->pid = -1;
+            if (shards_[i]->stdout_fd >= 0) {
+              ::close(shards_[i]->stdout_fd);
+              shards_[i]->stdout_fd = -1;
+            }
+          }
+          pid = -1;
+        }
+      }
+      if (pid <= 0) {
+        try {
+          spawn_shard(i);
+          ++restarts_;
+        } catch (const std::exception&) {
+          continue;  // stays down; retried next interval
+        }
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        host = shards_[i]->host;
+        port = shards_[i]->port;
+      }
+    }
+    if (port == 0) {
+      mark_down(i);
+      continue;
+    }
+    // The probe: connect, ping `{"type":"health"}`, expect the typed
+    // answer within the probe timeout. The health handler is constant-time
+    // server-side, so a timeout means wedged, not busy.
+    bool alive = false;
+    const int fd = connect_endpoint(host, port, options_.probe_timeout);
+    if (fd >= 0) {
+      if (write_line(fd, "{\"type\":\"health\"}")) {
+        FdLineReader reader(fd);
+        std::string response;
+        alive = reader.next_line(response) &&
+                response_type(response) == "health";
+      }
+      ::close(fd);
+    }
+    if (alive) {
+      mark_up(i);
+    } else {
+      mark_down(i);
+    }
+  }
+}
+
+void Router::spawn_shard(std::size_t shard_index) {
+  int announce[2];
+  if (::pipe2(announce, O_CLOEXEC) != 0) {
+    throw std::runtime_error("pipeopt-router: cannot create announce pipe");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(announce[0]);
+    ::close(announce[1]);
+    throw std::runtime_error("pipeopt-router: fork() failed");
+  }
+  if (pid == 0) {
+    // Child: stdout carries the port announcement to the router (dup2
+    // clears close-on-exec on the duplicate); stderr stays shared.
+    ::dup2(announce[1], STDOUT_FILENO);
+    std::vector<std::string> args{options_.spawn_binary, "serve",
+                                  "--host",             "127.0.0.1",
+                                  "--port",             "0"};
+    if (options_.spawn_jobs > 0) {
+      args.push_back("--jobs");
+      args.push_back(std::to_string(options_.spawn_jobs));
+    }
+    if (options_.spawn_cache_entries > 0) {
+      args.push_back("--cache-entries");
+      args.push_back(std::to_string(options_.spawn_cache_entries));
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(options_.spawn_binary.c_str(), argv.data());
+    ::_exit(127);  // exec failed; the parent sees EOF before any announce
+  }
+  ::close(announce[1]);
+
+  // Parent: wait for "pipeopt-server listening on H:P" on the child's
+  // stdout, bounded by kSpawnDeadline (a child that dies first closes the
+  // pipe and fails the parse immediately).
+  const auto deadline = std::chrono::steady_clock::now() + kSpawnDeadline;
+  std::string buffered;
+  std::uint16_t port = 0;
+  bool announced = false;
+  while (!announced) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) break;
+    pollfd probe{announce[0], POLLIN, 0};
+    const int ready = ::poll(&probe, 1, static_cast<int>(remaining.count()));
+    if (ready <= 0) {
+      if (ready < 0 && errno == EINTR) continue;
+      break;
+    }
+    char chunk[256];
+    const ssize_t n = ::read(announce[0], chunk, sizeof chunk);
+    if (n <= 0) break;  // EOF: the child died before announcing
+    buffered.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while (!announced && (newline = buffered.find('\n')) != std::string::npos) {
+      const std::string line = buffered.substr(0, newline);
+      buffered.erase(0, newline + 1);
+      constexpr const char kMarker[] = " listening on ";
+      const std::size_t at = line.find(kMarker);
+      const std::size_t colon = line.rfind(':');
+      if (at == std::string::npos || colon == std::string::npos) continue;
+      unsigned long value = 0;
+      bool numeric = colon + 1 < line.size();
+      for (std::size_t j = colon + 1; j < line.size(); ++j) {
+        if (line[j] < '0' || line[j] > '9') {
+          numeric = false;
+          break;
+        }
+        value = value * 10 + static_cast<unsigned long>(line[j] - '0');
+      }
+      if (!numeric || value == 0 || value > 65535) continue;
+      port = static_cast<std::uint16_t>(value);
+      announced = true;
+    }
+  }
+  if (!announced) {
+    ::close(announce[0]);
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    throw std::runtime_error("pipeopt-router: spawned shard " +
+                             std::to_string(shard_index) +
+                             " failed to announce a port");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    Shard& shard = *shards_[shard_index];
+    shard.host = "127.0.0.1";
+    shard.port = port;
+    shard.pid = pid;
+    // Keep the announce pipe open for the child's lifetime: closing it
+    // would turn any later stdout write in the child into EPIPE noise.
+    shard.stdout_fd = announce[0];
+  }
+  mark_up(shard_index);
+}
+
+void Router::stop_health_thread() {
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    health_stop_ = true;
+  }
+  health_wake_.notify_all();
+  if (health_thread_.joinable()) health_thread_.join();
+}
+
+void Router::terminate_children() {
+  if (options_.spawn == 0) return;
+  // SIGTERM everyone first (they drain concurrently), then reap.
+  std::vector<pid_t> pids;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    for (const auto& shard : shards_) {
+      if (shard->pid > 0) {
+        ::kill(shard->pid, SIGTERM);
+        pids.push_back(shard->pid);
+        shard->pid = -1;
+      }
+      if (shard->stdout_fd >= 0) {
+        ::close(shard->stdout_fd);
+        shard->stdout_fd = -1;
+      }
+      shard->healthy = false;
+    }
+  }
+  for (const pid_t pid : pids) ::waitpid(pid, nullptr, 0);
+}
+
+}  // namespace pipeopt::router

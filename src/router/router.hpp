@@ -1,0 +1,257 @@
+#pragma once
+
+/// \file router.hpp
+/// pipeopt-router: the sharded front tier in front of N `pipeopt-server`
+/// processes — the horizontal half of the serving story (CLI:
+/// `pipeopt route --shards host:port,... | --spawn N`).
+///
+/// The router speaks the exact server wire protocol on its front side
+/// (docs/PROTOCOL.md) and forwards almost every line verbatim to one
+/// backend shard, streaming the response bytes back untouched — a routed
+/// solve, batch stream or pareto stream is byte-identical to what a
+/// single `pipeopt-server` would have answered. Three request types are
+/// answered at the router itself:
+///
+///  * `{"type":"ping"}` — router liveness, answered inline.
+///  * `{"type":"health"}` — router pid/uptime/in-flight plus shard counts.
+///  * `{"type":"stats"}` — fanned out to every healthy shard; the shard
+///    counters come back merged field-wise (io/stats_io.hpp), prefixed by
+///    the router-level fields: shards, shards_up, routed, shed, retries,
+///    restarts, shard_up_transitions, shard_down_transitions,
+///    shard_lost_errors.
+///
+/// Routing is sticky by request identity: a solve line hashes its
+/// canonical cache-key bytes (`io::format_solve_key` — already the
+/// `api::SolveCache` key), a pareto line its canonical sweep form, so
+/// byte-equivalent requests always land on the same shard and the
+/// per-shard solve caches are shard-coherent for free — a fleet of
+/// cache-enabled shards behaves like one big cache with no invalidation
+/// protocol. An unparseable line hashes its raw bytes and is forwarded
+/// anyway: the shard produces the exact error line a single server would.
+///
+/// Robustness:
+///
+///  * A health thread probes every shard each `health_interval` with
+///    `{"type":"health"}`, marking shards in/out of rotation (a request
+///    whose sticky shard is down fails over to the next healthy one in
+///    hash order). In `--spawn` mode the probe loop also reaps dead
+///    children and restarts them on a fresh ephemeral port.
+///  * Each shard carries a bounded in-flight window. A request whose
+///    sticky shard is saturated waits (backpressure — stickiness is worth
+///    more than latency while any slot may free); when EVERY healthy
+///    shard is saturated it is shed immediately with a typed
+///    `{"type":"error","code":"overloaded"}` line, and with no healthy
+///    shard at all with `code":"unavailable"`. The connection survives
+///    either way.
+///  * A shard that dies mid-request: if no response byte was relayed yet
+///    the request is retried — first on a fresh connection to the same
+///    shard (a restarted shard's stale connections heal transparently),
+///    then failing over — and only a mid-stream loss surfaces as a typed
+///    `{"type":"error","code":"shard-lost"}` line.
+///  * While a forward is in flight the session watches the client
+///    connection exactly like the server does; a vanished client gets its
+///    shard connection closed, which propagates the disconnect (and the
+///    in-flight cancellation) to the shard.
+///
+/// Shutdown mirrors the server: `shutdown()` (wired to SIGINT/SIGTERM by
+/// `install_signal_handlers`) stops accepting, half-closes sessions, lets
+/// in-flight forwards finish, then — spawn mode — SIGTERMs the shards and
+/// reaps them: requests drain first, shards second.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <sys/types.h>
+#include <thread>
+#include <vector>
+
+#include "io/json.hpp"
+#include "util/fdio.hpp"
+
+namespace pipeopt::router {
+
+/// One backend `pipeopt-server` endpoint.
+struct ShardAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct RouterOptions {
+  /// Listen address of the front tier.
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 picks an ephemeral port (read it back via `port()`).
+  std::uint16_t port = 0;
+  /// Endpoint mode: route across these already-running servers. Mutually
+  /// exclusive with `spawn`.
+  std::vector<ShardAddress> shards;
+  /// Spawn mode: fork/exec this many local `pipeopt-server` children on
+  /// ephemeral ports and supervise them (restart on death).
+  std::size_t spawn = 0;
+  /// Binary to exec in spawn mode. The default re-execs the running
+  /// binary (Linux), which is exactly right for the `pipeopt route` CLI.
+  std::string spawn_binary = "/proc/self/exe";
+  /// `serve --jobs` for spawned shards; 0 = hardware concurrency.
+  std::size_t spawn_jobs = 0;
+  /// `serve --cache-entries` for spawned shards; 0 = cache off.
+  std::size_t spawn_cache_entries = 0;
+  /// Max in-flight requests per shard before backpressure/shedding.
+  std::size_t window = 64;
+  /// Health probe period (also the shard-restart detection latency).
+  std::chrono::milliseconds health_interval{250};
+  /// Socket send/receive timeout on health probes: a wedged shard must
+  /// fail the probe, not hang the probe loop.
+  std::chrono::milliseconds probe_timeout{2000};
+  /// listen(2) backlog of the front tier.
+  int backlog = 128;
+};
+
+/// Live view of one shard, for announcements, tests and the CLI.
+struct ShardInfo {
+  std::string host;
+  std::uint16_t port = 0;
+  pid_t pid = -1;  ///< -1 in endpoint mode
+  bool healthy = false;
+  std::size_t in_flight = 0;
+};
+
+class Router {
+ public:
+  /// Validates options; spawn-mode children are NOT started here but in
+  /// `listen()` (so a constructed-but-never-served router owns no
+  /// processes). \throws std::runtime_error on empty/ambiguous shard
+  /// configuration.
+  explicit Router(RouterOptions options);
+  /// Joins everything still running (via shutdown) and, in spawn mode,
+  /// terminates and reaps the children.
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds and listens, spawns the shards (spawn mode) and starts the
+  /// health thread; returns the bound front port. \throws
+  /// std::runtime_error on bind or spawn failures.
+  std::uint16_t listen();
+
+  /// Accept loop until `shutdown()`; implies `listen()`. When this
+  /// returns, every session is joined, every response flushed, and spawn
+  /// mode shards are terminated and reaped.
+  void serve();
+
+  /// Initiates graceful shutdown (see the file comment). Thread-safe,
+  /// idempotent, returns immediately.
+  void shutdown();
+
+  /// Routes SIGINT/SIGTERM to `shutdown()` (one router per process; the
+  /// last call wins) and ignores SIGPIPE.
+  static void install_signal_handlers(Router& router);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept;
+  [[nodiscard]] std::vector<ShardInfo> shard_infos() const;
+
+  // Router-level counters (the `stats` fields of the same name).
+  [[nodiscard]] std::uint64_t routed() const noexcept { return routed_; }
+  [[nodiscard]] std::uint64_t shed() const noexcept { return shed_; }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
+  [[nodiscard]] std::uint64_t shard_lost_errors() const noexcept {
+    return shard_lost_errors_;
+  }
+  [[nodiscard]] std::uint64_t up_transitions() const;
+  [[nodiscard]] std::uint64_t down_transitions() const;
+
+ private:
+  /// One backend shard. Endpoint, health and window state are guarded by
+  /// `state_mutex_` (the endpoint moves when a spawned shard restarts).
+  struct Shard {
+    std::string host;
+    std::uint16_t port = 0;
+    pid_t pid = -1;       ///< spawn mode only; -1 = no live child
+    int stdout_fd = -1;   ///< spawn mode: the child's announce pipe
+    bool healthy = true;
+    std::size_t in_flight = 0;
+    std::uint64_t up_transitions = 0;
+    std::uint64_t down_transitions = 0;
+  };
+
+  /// One cached session→shard connection (its reader keeps the framing
+  /// buffer across requests).
+  struct ShardConn {
+    int fd = -1;
+    std::unique_ptr<util::FdLineReader> reader;
+  };
+
+  /// One client connection's state.
+  struct Session {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+    std::vector<ShardConn> conns;  ///< one slot per shard, lazily opened
+  };
+
+  enum class Admit { Ok, Overloaded, Unavailable, ClientGone };
+  enum class Relay { Done, ClientGone };
+
+  void session_loop(Session* session);
+  /// Handles one client line: router-level answers or `forward_line`.
+  Relay handle_line(const std::string& line, Session& session,
+                    bool input_buffered);
+  /// Forwards one line to its sticky shard and relays the response
+  /// stream; implements retry, failover and shedding.
+  Relay forward_line(const std::string& line, const std::string& id,
+                     bool streamed, std::size_t key_hash, Session& session,
+                     bool input_buffered);
+  /// Sticky slot acquisition under backpressure (see file comment); while
+  /// waiting it keeps the client-disconnect watch (`watching`).
+  Admit acquire_slot(std::size_t key_hash, std::size_t& shard_index,
+                     int client_fd, bool watching);
+  void release_slot(std::size_t shard_index);
+  void mark_down(std::size_t shard_index);
+  void mark_up(std::size_t shard_index);
+  bool ensure_conn(Session& session, std::size_t shard_index);
+  /// `{"type":"stats"}`: fan out, merge, answer.
+  void answer_stats(const std::string& id, int out_fd);
+  void answer_health(const std::string& id, int out_fd);
+
+  void health_loop();
+  /// One probe/restart pass over every shard.
+  void check_shards();
+  /// Fork/execs one shard server and parses its announced port. \throws
+  /// std::runtime_error when the child fails to come up.
+  void spawn_shard(std::size_t shard_index);
+  void stop_health_thread();
+  void terminate_children();
+  void reap_sessions(bool all);
+
+  RouterOptions options_;
+  std::chrono::steady_clock::time_point started_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex state_mutex_;
+  std::condition_variable state_changed_;  ///< slots freed / health flips
+
+  std::thread health_thread_;
+  std::mutex health_mutex_;
+  std::condition_variable health_wake_;
+  bool health_stop_ = false;
+
+  std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  std::atomic<std::uint64_t> routed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint64_t> shard_lost_errors_{0};
+};
+
+}  // namespace pipeopt::router

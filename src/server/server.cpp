@@ -51,11 +51,7 @@ using util::FdLineReader;
 using util::write_line;
 
 std::string error_line(const std::string& id, const std::string& message) {
-  io::FlatJsonWriter out;
-  out.field("type", "error");
-  if (!id.empty()) out.field("id", id);
-  out.field("message", message);
-  return std::move(out).str();
+  return io::format_error(message, id);
 }
 
 /// Best-effort id extraction so even a semantically broken request gets
@@ -72,7 +68,8 @@ std::string peek_id(const io::JsonFields& fields) {
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       executor_(api::ExecutorOptions{.jobs = options_.jobs,
-                                     .cache_entries = options_.cache_entries}) {
+                                     .cache_entries = options_.cache_entries}),
+      started_(std::chrono::steady_clock::now()) {
   // Stats snapshots include the cache counters iff the cache exists, so a
   // cache-disabled server's stats line keeps its exact historical bytes.
   stats_.attach_cache(executor_.cache());
@@ -105,7 +102,7 @@ std::uint16_t Server::listen() {
                              options_.host + "'");
   }
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(fd, 64) != 0) {
+      ::listen(fd, options_.backlog) != 0) {
     const std::string reason = std::strerror(errno);
     ::close(fd);
     throw std::runtime_error("pipeopt-server: cannot listen on " +
@@ -245,6 +242,22 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
     io::FlatJsonWriter out;
     out.field("type", "pong");
     if (!id.empty()) out.field("id", id);
+    write_line(out_fd, std::move(out).str());
+    return;
+  }
+  if (type == "health") {
+    // Constant-time by contract: the router probes this at every health
+    // interval, so it must answer instantly even when the pool is buried.
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+    io::FlatJsonWriter out;
+    out.field("type", "health");
+    if (!id.empty()) out.field("id", id);
+    out.field("pid", std::to_string(::getpid()));
+    out.field("uptime_s", io::format_double_exact(uptime));
+    out.field("in_flight", std::to_string(executor_.pending()));
     write_line(out_fd, std::move(out).str());
     return;
   }

@@ -18,6 +18,10 @@
 ///    whole sweep; grid points ride the shared executor pool.
 ///  * `{"type":"stats"}` — answered with `{"type":"stats", ...}`: the
 ///    ServerStats counters plus the executor pool's size and occupancy.
+///  * `{"type":"health"}` — answered with `{"type":"health", ...}`: pid,
+///    uptime and in-flight count, assembled in constant time (no pool
+///    round trip, no per-solver scan) — the probe the router's health
+///    loop beats on, cheap enough to answer at any load.
 ///  * `{"type":"ping"}` — answered with `{"type":"pong"}` (liveness).
 ///
 /// A malformed or unsupported line is answered with a structured
@@ -78,6 +82,10 @@ struct ServerOptions {
   /// `{"type":"stats"}` response grows `cache_hits` / `cache_misses` /
   /// `cache_evictions` / `cache_entries` counters.
   std::size_t cache_entries = 0;
+  /// listen(2) backlog. The historical 64 suits direct clients; a router
+  /// front tier multiplies connection bursts onto each shard, so the
+  /// fan-in side raises it (`serve --backlog N`).
+  int backlog = 64;
 };
 
 class Server {
@@ -149,6 +157,8 @@ class Server {
   ServerOptions options_;
   api::Executor executor_;
   ServerStats stats_;
+  /// Construction time — the zero point of the health response's uptime.
+  std::chrono::steady_clock::time_point started_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  ///< shutdown/signal wakeup for the poll loop

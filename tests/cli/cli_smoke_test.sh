@@ -1,6 +1,7 @@
 #!/bin/sh
 # CLI smoke test: exit-code contract of the pipeopt binary.
-#   0 = solved, 1 = infeasible, 2 = usage / parse error.
+#   0 = solved, 1 = infeasible, 2 = usage / parse error, 3 = transport
+#   failure (client cannot connect, or the connection is lost mid-request).
 # Usage: cli_smoke_test.sh <path-to-pipeopt-binary>
 set -u
 BIN="$1"
@@ -89,9 +90,14 @@ grep -q "cache-entries" "$TMPDIR/out" \
   || fail "bad serve --cache-entries should exit 2"
 [ "$(run serve --cache-entries)" = 2 ] \
   || fail "serve --cache-entries without a value should exit 2"
-# client against a dead port fails cleanly with exit 2
-[ "$(run client --port 1 --manifest "$TMPDIR/batch.jsonl" --objective period)" = 2 ] \
-  || fail "client against a dead port should exit 2"
+# client against a dead port is a transport failure: exit 3, with a hint
+[ "$(run client --port 1 --manifest "$TMPDIR/batch.jsonl" --objective period)" = 3 ] \
+  || fail "client against a dead port should exit 3"
+grep -q "cannot connect" "$TMPDIR/err" \
+  || fail "dead-port client should say it cannot connect"
+grep -q "listening" "$TMPDIR/err" \
+  || fail "dead-port client should hint at starting a server or router"
+# ... but usage errors stay exit 2 even when the port is also dead
 [ "$(run client --manifest "$TMPDIR/batch.jsonl" --objective period)" = 2 ] \
   || fail "client without --port should exit 2"
 [ "$(run client --port 1)" = 2 ] || fail "client without input should exit 2"
@@ -150,10 +156,24 @@ grep -q '"bound":' "$TMPDIR/front.jsonl" \
 [ "$(run "$TMPDIR/ok.txt" pareto --sweep-bounds 1 --period-bounds 2)" = 2 ] \
   || fail "pareto with a pre-constrained swept axis should exit 2"
 # client --pareto shares the sweep flags and the exit-code contract
-[ "$(run client --port 1 --manifest "$TMPDIR/batch.jsonl" --pareto --sweep-bounds 1,2)" = 2 ] \
-  || fail "client --pareto against a dead port should exit 2"
+[ "$(run client --port 1 --manifest "$TMPDIR/batch.jsonl" --pareto --sweep-bounds 1,2)" = 3 ] \
+  || fail "client --pareto against a dead port should exit 3"
 [ "$(run client --port 1 --pareto "$TMPDIR/batch.jsonl")" = 2 ] \
   || fail "client --pareto without --manifest should exit 2"
+
+# --- route: the sharded front tier ----------------------------------------
+[ "$(run route --help)" = 0 ] || fail "route --help should exit 0"
+grep -q -- "--shards" "$TMPDIR/out" || fail "route --help should document --shards"
+grep -q -- "--spawn" "$TMPDIR/out" || fail "route --help should document --spawn"
+grep -q -- "--window" "$TMPDIR/out" || fail "route --help should document --window"
+[ "$(run route)" = 2 ] || fail "route without --shards/--spawn should exit 2"
+[ "$(run route --shards 127.0.0.1:1 --spawn 2)" = 2 ] \
+  || fail "route with both --shards and --spawn should exit 2"
+[ "$(run route --shards nonsense)" = 2 ] \
+  || fail "route with a malformed shard list should exit 2"
+[ "$(run route --spawn 2 --window 0)" = 2 ] \
+  || fail "route with a zero window should exit 2"
+[ "$(run route --spawn nonsense)" = 2 ] || fail "bad route --spawn should exit 2"
 
 # --- exit 1: infeasible ---------------------------------------------------
 [ "$(run "$TMPDIR/ok.txt" solve --objective energy --period-bounds 0.0001)" = 1 ] \

@@ -1,0 +1,118 @@
+/// Unit tests of the fleet stats merge (io/stats_io.hpp): the semantics
+/// the router's `{"type":"stats"}` fan-out relies on — counters sum
+/// field-wise, framing fields are skipped, field order is the
+/// first-appearance union (so fields no shard reports stay absent), and
+/// malformed counters fail loudly.
+
+#include "io/stats_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace pipeopt::io {
+namespace {
+
+TEST(StatsMerge, SumsEveryCounterAcrossLines) {
+  // Two shard-shaped stats lines (the server's real field set).
+  const std::vector<std::string> lines = {
+      R"({"type":"stats","requests":"10","solves":"7","errors":"1",)"
+      R"("connections":"3","solver.interval-period-dp":"5","jobs":"2",)"
+      R"("pending":"1"})",
+      R"({"type":"stats","requests":"4","solves":"2","errors":"0",)"
+      R"("connections":"1","solver.interval-period-dp":"2","jobs":"2",)"
+      R"("pending":"0"})",
+  };
+  const JsonFields merged = merge_stats_lines(lines);
+  EXPECT_EQ(stats_field(merged, "requests"), "14");
+  EXPECT_EQ(stats_field(merged, "solves"), "9");
+  EXPECT_EQ(stats_field(merged, "errors"), "1");
+  EXPECT_EQ(stats_field(merged, "connections"), "4");
+  EXPECT_EQ(stats_field(merged, "solver.interval-period-dp"), "7");
+  EXPECT_EQ(stats_field(merged, "jobs"), "4");  // pool sizes sum too
+  EXPECT_EQ(stats_field(merged, "pending"), "1");
+}
+
+TEST(StatsMerge, SkipsTypeAndIdFraming) {
+  const JsonFields merged = merge_stats_lines(
+      {R"({"type":"stats","id":"s1","requests":"1"})",
+       R"({"type":"stats","id":"s2","requests":"2"})"});
+  EXPECT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged.front().first, "requests");
+  EXPECT_EQ(merged.front().second, "3");
+  EXPECT_EQ(stats_field(merged, "type"), "");
+  EXPECT_EQ(stats_field(merged, "id"), "");
+}
+
+TEST(StatsMerge, FieldOrderIsFirstAppearanceUnion) {
+  // Shards with disjoint per-solver counters: the merge is their union in
+  // the order the fields first appear across the input lines.
+  const JsonFields merged = merge_stats_lines(
+      {R"({"type":"stats","requests":"1","solver.a":"1"})",
+       R"({"type":"stats","requests":"2","solver.b":"3","solver.a":"1"})"});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].first, "requests");
+  EXPECT_EQ(merged[0].second, "3");
+  EXPECT_EQ(merged[1].first, "solver.a");
+  EXPECT_EQ(merged[1].second, "2");
+  EXPECT_EQ(merged[2].first, "solver.b");
+  EXPECT_EQ(merged[2].second, "3");
+}
+
+TEST(StatsMerge, CacheFieldsStayAbsentWhenNoShardReportsThem) {
+  // Presence is information: a cache-off fleet's merged stats line must
+  // not invent cache_* fields (each shard's own line omits them, and the
+  // merged line keeps that contract).
+  const std::vector<std::string> cache_off = {
+      R"({"type":"stats","requests":"5","solves":"5"})",
+      R"({"type":"stats","requests":"3","solves":"3"})"};
+  const JsonFields merged = merge_stats_lines(cache_off);
+  EXPECT_EQ(stats_field(merged, "cache_hits"), "");
+  EXPECT_EQ(stats_field(merged, "cache_misses"), "");
+  for (const auto& [key, value] : merged) {
+    EXPECT_EQ(key.find("cache_"), std::string::npos) << key;
+  }
+
+  // One cache-on shard is enough to surface the counters — summed with
+  // implicit zero for the shards that lack them.
+  const JsonFields mixed = merge_stats_lines(
+      {R"({"type":"stats","requests":"5","cache_hits":"4"})",
+       R"({"type":"stats","requests":"3"})"});
+  EXPECT_EQ(stats_field(mixed, "cache_hits"), "4");
+}
+
+TEST(StatsMerge, EmptyInputMergesToEmpty) {
+  EXPECT_TRUE(merge_stats_lines({}).empty());
+  EXPECT_TRUE(merge_stats_fields({}).empty());
+}
+
+TEST(StatsMerge, SingleLineMergesToItselfMinusFraming) {
+  const JsonFields merged = merge_stats_lines(
+      {R"({"type":"stats","requests":"7","errors":"0"})"});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].first, "requests");
+  EXPECT_EQ(merged[0].second, "7");
+  EXPECT_EQ(merged[1].first, "errors");
+  EXPECT_EQ(merged[1].second, "0");
+}
+
+TEST(StatsMerge, NonNumericCounterThrowsParseError) {
+  EXPECT_THROW(merge_stats_lines({R"({"type":"stats","requests":"many"})"}),
+               ParseError);
+  EXPECT_THROW(merge_stats_lines({R"({"type":"stats","requests":""})"}),
+               ParseError);
+}
+
+TEST(StatsMerge, StatsFieldLooksUpOrEmpty) {
+  const JsonFields fields = parse_flat_json(
+      R"({"type":"stats","requests":"7"})");
+  EXPECT_EQ(stats_field(fields, "requests"), "7");
+  EXPECT_EQ(stats_field(fields, "type"), "stats");
+  EXPECT_EQ(stats_field(fields, "absent"), "");
+}
+
+}  // namespace
+}  // namespace pipeopt::io

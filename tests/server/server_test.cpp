@@ -7,16 +7,13 @@
 
 #include "server/server.hpp"
 
-#include <arpa/inet.h>
 #include <gtest/gtest.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
-#include <csignal>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -29,153 +26,19 @@
 #include "gen/random_instances.hpp"
 #include "io/request_io.hpp"
 #include "io/result_io.hpp"
-#include "util/fdio.hpp"
+#include "tests/server/wire_harness.hpp"
 
 namespace pipeopt::server {
 namespace {
 
-/// A listening server with its accept loop on a background thread.
-class TestServer {
- public:
-  explicit TestServer(std::size_t jobs = 2)
-      : TestServer(ServerOptions{.jobs = jobs}) {}
-
-  explicit TestServer(ServerOptions options) : server_(std::move(options)) {
-    ::signal(SIGPIPE, SIG_IGN);  // a test client may vanish mid-response
-    port_ = server_.listen();
-    thread_ = std::thread([this] { server_.serve(); });
-  }
-
-  ~TestServer() {
-    server_.shutdown();
-    if (thread_.joinable()) thread_.join();
-  }
-
-  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
-  [[nodiscard]] Server& server() noexcept { return server_; }
-
-  /// Joins the accept loop (after shutdown()): proves serve() returned.
-  void join() {
-    if (thread_.joinable()) thread_.join();
-  }
-
- private:
-  Server server_;
-  std::uint16_t port_ = 0;
-  std::thread thread_;
-};
-
-/// Minimal blocking JSONL client.
-class WireClient {
- public:
-  explicit WireClient(std::uint16_t port) : fd_(connect_fd(port)), reader_(fd_) {
-    connected_ = fd_ >= 0;
-    timeval timeout{30, 0};  // a hung server fails the test, not the suite
-    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
-  }
-
-  ~WireClient() { close(); }
-
-  [[nodiscard]] bool connected() const noexcept { return connected_; }
-
-  void send_line(const std::string& line) {
-    ASSERT_TRUE(util::write_line(fd_, line));
-  }
-
-  /// Next response line; nullopt on EOF/timeout.
-  std::optional<std::string> recv_line() {
-    std::string line;
-    if (!reader_.next_line(line)) return std::nullopt;
-    return line;
-  }
-
-  void close() {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = -1;
-  }
-
- private:
-  static int connect_fd(std::uint16_t port) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-      ::close(fd);
-      return -1;
-    }
-    return fd;
-  }
-
-  int fd_ = -1;
-  bool connected_ = false;
-  util::FdLineReader reader_;
-};
-
-/// The Table 1 grid shape: every platform column, alternating communication
-/// models, deterministic seeds (mirrors the executor tests).
-std::vector<core::Problem> table_grid(std::size_t per_class) {
-  std::vector<core::Problem> problems;
-  util::Rng rng(424242);
-  for (const core::PlatformClass cls :
-       {core::PlatformClass::FullyHomogeneous,
-        core::PlatformClass::CommHomogeneous,
-        core::PlatformClass::FullyHeterogeneous}) {
-    for (std::size_t i = 0; i < per_class; ++i) {
-      gen::ProblemShape shape;
-      shape.platform_class = cls;
-      shape.applications = 2;
-      shape.processors = 5;
-      shape.app.min_stages = 1;
-      shape.app.max_stages = 3;
-      shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
-                                : core::CommModel::NoOverlap;
-      problems.push_back(gen::random_problem(rng, shape));
-    }
-  }
-  return problems;
-}
-
-/// The PR 2 needle: a deterministically long branch-and-bound search (see
-/// executor_test.cpp for the calibration guard proving > 10^7 nodes).
-core::Problem needle_instance() {
-  std::vector<core::StageSpec> cheap(5, {0.01, 0.0});
-  std::vector<core::StageSpec> tail = cheap;
-  tail.back().output_size = 100.0;
-  std::vector<core::Application> apps;
-  apps.emplace_back(0.0, cheap, 1.0, "A");
-  apps.emplace_back(0.0, tail, 1.0, "B");
-  const std::size_t p = 12;
-  std::vector<core::Processor> procs(p, core::Processor({1.0}));
-  std::vector<std::vector<double>> link(p, std::vector<double>(p, 1.0));
-  std::vector<std::vector<double>> in(2, std::vector<double>(p, 1.0));
-  std::vector<std::vector<double>> out(2, std::vector<double>(p, 1.0));
-  for (std::size_t u = 0; u < p; ++u) out[1][u] = 0.5 + 0.09 * u;
-  return core::Problem(std::move(apps),
-                       core::Platform(std::move(procs), std::move(link),
-                                      std::move(in), std::move(out)),
-                       core::CommModel::Overlap);
-}
-
-api::SolveRequest needle_request() {
-  api::SolveRequest request;
-  request.solver = "branch-and-bound";
-  request.kind = api::MappingKind::OneToOne;
-  // Large enough that only cancellation ends the search in test time, small
-  // enough that a cancellation bug stalls minutes, not forever.
-  request.node_budget = 1'000'000'000;
-  return request;
-}
-
-/// Canonical wall-less wire line for comparing results across processes.
-std::string comparable(const api::SolveResult& result) {
-  return io::format_result(result, "", /*include_wall=*/false);
-}
-
-std::string comparable(const std::string& wire_line) {
-  return comparable(io::parse_result_line(wire_line).result);
-}
+// The wire-level harness (in-process server, JSONL client, problem grids)
+// lives in wire_harness.hpp, shared with the router suite.
+using testing_wire::TestServer;
+using testing_wire::WireClient;
+using testing_wire::comparable;
+using testing_wire::needle_instance;
+using testing_wire::needle_request;
+using testing_wire::table_grid;
 
 TEST(Server, ResponsesBitIdenticalToPerCallSolveOverTheGrid) {
   TestServer harness(/*jobs=*/2);
@@ -282,6 +145,78 @@ TEST(Server, PingAndStatsAnswerInline) {
   const api::SolveResult local =
       api::solve(gen::motivating_example(), api::SolveRequest{});
   EXPECT_EQ(value_of("solver." + local.solver), "1");
+}
+
+TEST(Server, HealthAnswersPidUptimeAndInFlightInline) {
+  // The router's probe: `{"type":"health"}` must answer instantly (no pool
+  // round trip) with the process identity and load of this very server.
+  TestServer harness;
+  WireClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+
+  client.send_line(R"({"type":"health","id":"h1"})");
+  const auto response = client.recv_line();
+  ASSERT_TRUE(response.has_value());
+  const io::JsonFields fields = io::parse_flat_json(*response);
+  auto value_of = [&](const std::string& key) -> std::optional<std::string> {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  };
+  ASSERT_FALSE(fields.empty());
+  EXPECT_EQ(fields.front().first, "type");
+  EXPECT_EQ(fields.front().second, "health");
+  EXPECT_EQ(value_of("id"), "h1");
+  // In-process server: the reported pid is ours.
+  EXPECT_EQ(value_of("pid"), std::to_string(::getpid()));
+  EXPECT_EQ(value_of("in_flight"), "0");
+  ASSERT_TRUE(value_of("uptime_s").has_value());
+  EXPECT_GE(std::stod(*value_of("uptime_s")), 0.0);
+
+  // Without an id the field is omitted, like every other response type.
+  client.send_line(R"({"type":"health"})");
+  const auto anonymous = client.recv_line();
+  ASSERT_TRUE(anonymous.has_value());
+  EXPECT_EQ(anonymous->find("\"id\""), std::string::npos);
+
+  // While a solve is in flight, in_flight reports it — this is the signal
+  // a router's probe reads under load.
+  api::SolveRequest slow = needle_request();
+  slow.deadline_ms = 2000;
+  client.send_line(io::format_solve_request(needle_instance(), slow, "n"));
+  // The solve needs a moment to be read off the socket and dispatched
+  // (and under a loaded test host, more than one): poll until the probe
+  // sees it, bounded by the needle's own deadline.
+  WireClient prober(harness.port());
+  ASSERT_TRUE(prober.connected());
+  bool saw_in_flight = false;
+  const auto probe_deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1500);
+  while (!saw_in_flight && std::chrono::steady_clock::now() < probe_deadline) {
+    prober.send_line(R"({"type":"health"})");
+    const auto busy = prober.recv_line();
+    ASSERT_TRUE(busy.has_value());
+    saw_in_flight = busy->find("\"in_flight\":\"1\"") != std::string::npos;
+    if (!saw_in_flight) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(saw_in_flight);
+  ASSERT_TRUE(client.recv_line().has_value());  // drain the needle result
+}
+
+TEST(Server, BacklogOptionIsHonoredAndServesNormally) {
+  // ServerOptions::backlog feeds listen(2); a minimal queue must still
+  // accept and serve sequential connections (semantics, not saturation —
+  // the kernel rounds the value, so only behavior is assertable).
+  TestServer harness(ServerOptions{.jobs = 1, .backlog = 1});
+  for (int i = 0; i < 3; ++i) {
+    WireClient client(harness.port());
+    ASSERT_TRUE(client.connected());
+    client.send_line(R"({"type":"ping"})");
+    const auto response = client.recv_line();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(*response, R"({"type":"pong"})");
+  }
 }
 
 TEST(Server, CacheEnabledServerRepliesByteIdenticallyOnReplay) {

@@ -1,0 +1,176 @@
+/// Shared wire-level test harness: an in-process listening server on a
+/// background thread, a minimal blocking JSONL client, the Table 1/2
+/// problem grid, and the PR 2 "needle" instance (a deterministically long
+/// branch-and-bound search for cancellation/saturation tests). Used by the
+/// server suite and the router suite — both speak the same protocol, so
+/// they share one harness.
+
+#pragma once
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "gen/random_instances.hpp"
+#include "io/result_io.hpp"
+#include "server/server.hpp"
+#include "util/fdio.hpp"
+
+namespace pipeopt::testing_wire {
+
+/// A listening server with its accept loop on a background thread.
+class TestServer {
+ public:
+  explicit TestServer(std::size_t jobs = 2)
+      : TestServer(server::ServerOptions{.jobs = jobs}) {}
+
+  explicit TestServer(server::ServerOptions options)
+      : server_(std::move(options)) {
+    ::signal(SIGPIPE, SIG_IGN);  // a test client may vanish mid-response
+    port_ = server_.listen();
+    thread_ = std::thread([this] { server_.serve(); });
+  }
+
+  ~TestServer() {
+    server_.shutdown();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] server::Server& server() noexcept { return server_; }
+
+  /// Joins the accept loop (after shutdown()): proves serve() returned.
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  server::Server server_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Minimal blocking JSONL client.
+class WireClient {
+ public:
+  explicit WireClient(std::uint16_t port) : fd_(connect_fd(port)), reader_(fd_) {
+    connected_ = fd_ >= 0;
+    timeval timeout{30, 0};  // a hung server fails the test, not the suite
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  }
+
+  ~WireClient() { close(); }
+
+  [[nodiscard]] bool connected() const noexcept { return connected_; }
+
+  void send_line(const std::string& line) {
+    ASSERT_TRUE(util::write_line(fd_, line));
+  }
+
+  /// Next response line; nullopt on EOF/timeout.
+  std::optional<std::string> recv_line() {
+    std::string line;
+    if (!reader_.next_line(line)) return std::nullopt;
+    return line;
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  static int connect_fd(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+  util::FdLineReader reader_;
+};
+
+/// The Table 1 grid shape: every platform column, alternating communication
+/// models, deterministic seeds (mirrors the executor tests).
+inline std::vector<core::Problem> table_grid(std::size_t per_class) {
+  std::vector<core::Problem> problems;
+  util::Rng rng(424242);
+  for (const core::PlatformClass cls :
+       {core::PlatformClass::FullyHomogeneous,
+        core::PlatformClass::CommHomogeneous,
+        core::PlatformClass::FullyHeterogeneous}) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      gen::ProblemShape shape;
+      shape.platform_class = cls;
+      shape.applications = 2;
+      shape.processors = 5;
+      shape.app.min_stages = 1;
+      shape.app.max_stages = 3;
+      shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
+                                : core::CommModel::NoOverlap;
+      problems.push_back(gen::random_problem(rng, shape));
+    }
+  }
+  return problems;
+}
+
+/// The PR 2 needle: a deterministically long branch-and-bound search (see
+/// executor_test.cpp for the calibration guard proving > 10^7 nodes).
+inline core::Problem needle_instance() {
+  std::vector<core::StageSpec> cheap(5, {0.01, 0.0});
+  std::vector<core::StageSpec> tail = cheap;
+  tail.back().output_size = 100.0;
+  std::vector<core::Application> apps;
+  apps.emplace_back(0.0, cheap, 1.0, "A");
+  apps.emplace_back(0.0, tail, 1.0, "B");
+  const std::size_t p = 12;
+  std::vector<core::Processor> procs(p, core::Processor({1.0}));
+  std::vector<std::vector<double>> link(p, std::vector<double>(p, 1.0));
+  std::vector<std::vector<double>> in(2, std::vector<double>(p, 1.0));
+  std::vector<std::vector<double>> out(2, std::vector<double>(p, 1.0));
+  for (std::size_t u = 0; u < p; ++u) out[1][u] = 0.5 + 0.09 * u;
+  return core::Problem(std::move(apps),
+                       core::Platform(std::move(procs), std::move(link),
+                                      std::move(in), std::move(out)),
+                       core::CommModel::Overlap);
+}
+
+inline api::SolveRequest needle_request() {
+  api::SolveRequest request;
+  request.solver = "branch-and-bound";
+  request.kind = api::MappingKind::OneToOne;
+  // Large enough that only cancellation ends the search in test time, small
+  // enough that a cancellation bug stalls minutes, not forever.
+  request.node_budget = 1'000'000'000;
+  return request;
+}
+
+/// Canonical wall-less wire line for comparing results across processes.
+inline std::string comparable(const api::SolveResult& result) {
+  return io::format_result(result, "", /*include_wall=*/false);
+}
+
+inline std::string comparable(const std::string& wire_line) {
+  return comparable(io::parse_result_line(wire_line).result);
+}
+
+}  // namespace pipeopt::testing_wire

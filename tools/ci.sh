@@ -8,8 +8,11 @@
 # file), then a solve-cache smoke stage (the same manifest replayed twice
 # against a --cache-entries server: replays must be byte-identical,
 # cache-on must match cache-off modulo wall_s, and cache_hits must be
-# nonzero), then a ThreadSanitizer pass over the threaded
-# executor/plan/sweep/server/cache subsystems.
+# nonzero), then a pipeopt-router smoke stage (route --spawn fleet:
+# byte-identity through the front tier, SIGKILL a shard under traffic and
+# assert the supervisor restarts it, SIGTERM drains), then a
+# ThreadSanitizer pass over the threaded executor/plan/sweep/server/cache/
+# router subsystems.
 #
 #   tools/ci.sh [build-dir]
 #
@@ -60,7 +63,7 @@ PROB
 
 "$BIN" serve --port 0 --jobs 2 > "$SMOKE_DIR/server.out" 2>"$SMOKE_DIR/server.err" &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
 PORT=""
 i=0
 while [ $i -lt 100 ]; do
@@ -113,7 +116,7 @@ diff "$SMOKE_DIR/pareto_wire.cmp" "$SMOKE_DIR/pareto_local.cmp" || {
 "$BIN" serve --port 0 --jobs 2 --cache-entries 256 \
     > "$SMOKE_DIR/cache_server.out" 2>"$SMOKE_DIR/cache_server.err" &
 CACHE_PID=$!
-trap 'kill "$SERVER_PID" "$CACHE_PID" 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
+trap 'kill "$SERVER_PID" "$CACHE_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
 CPORT=""
 i=0
 while [ $i -lt 100 ]; do
@@ -148,8 +151,97 @@ kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "ci: server did not drain cleanly on SIGTERM" >&2; exit 1; }
 echo "ci: server smoke green (3 objectives + 1 pareto sweep bit-identical over TCP; cache replay byte-identical, cache_hits=$HITS)"
 
-# ThreadSanitizer build of the executor, plan, cancellation and server
-# tests — the code that actually runs worker pools and session threads.
+# Router smoke: a spawn-mode fleet (route --spawn forks two pipeopt-server
+# children and supervises them). Byte-identity through the front tier for
+# every objective and a streamed pareto sweep, then the recovery story:
+# SIGKILL one shard, drive traffic through the failover path (every
+# request must still be answered — the router retries admitted requests on
+# the surviving shard), and poll the merged stats until the supervisor has
+# respawned the child (restarts >= 1, shards_up back to 2). Post-recovery
+# traffic must be byte-identical again. SIGTERM must drain and exit 0.
+"$BIN" route --spawn 2 --jobs 2 --health-interval-ms 100 \
+    > "$SMOKE_DIR/router.out" 2>"$SMOKE_DIR/router.err" &
+ROUTER_PID=$!
+trap 'kill "$SERVER_PID" "$CACHE_PID" "$ROUTER_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+RPORT=""
+i=0
+while [ $i -lt 100 ]; do
+  RPORT=$(sed -n 's/.*router listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SMOKE_DIR/router.out")
+  [ -n "$RPORT" ] && break
+  i=$((i + 1)); sleep 0.1
+done
+[ -n "$RPORT" ] || { echo "ci: router never announced its port" >&2; exit 1; }
+
+for OBJECTIVE in period latency energy; do
+  EXTRA=""
+  [ "$OBJECTIVE" = energy ] && EXTRA="--period-bounds 100"
+  "$BIN" client --port "$RPORT" --manifest "$SMOKE_DIR/batch.jsonl" \
+      --objective "$OBJECTIVE" $EXTRA > "$SMOKE_DIR/routed.jsonl"
+  "$BIN" "$SMOKE_DIR/batch.jsonl" solve-batch --objective "$OBJECTIVE" $EXTRA \
+      --out "$SMOKE_DIR/local.jsonl" > /dev/null
+  sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/routed.jsonl" > "$SMOKE_DIR/routed.cmp"
+  sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/local.jsonl" > "$SMOKE_DIR/local.cmp"
+  diff "$SMOKE_DIR/routed.cmp" "$SMOKE_DIR/local.cmp" || {
+    echo "ci: routed results diverged from solve-batch ($OBJECTIVE)" >&2; exit 1;
+  }
+done
+"$BIN" client --port "$RPORT" --manifest "$SMOKE_DIR/pareto.jsonl" --pareto \
+    --sweep-bounds 1,2,4,8 --refine 1 > "$SMOKE_DIR/routed_pareto.jsonl"
+sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/routed_pareto.jsonl" > "$SMOKE_DIR/routed_pareto.cmp"
+diff "$SMOKE_DIR/routed_pareto.cmp" "$SMOKE_DIR/pareto_local.cmp" || {
+  echo "ci: routed pareto front diverged from the CLI sweep" >&2; exit 1;
+}
+
+# SIGKILL-recovery: murder shard 0 (its pid is in the announce lines),
+# immediately push traffic through the failover path, then wait for the
+# supervisor to respawn it.
+SHARD0_PID=$(sed -n 's/.*shard 0 at [^ ]* pid \([0-9]*\).*/\1/p' "$SMOKE_DIR/router.out")
+[ -n "$SHARD0_PID" ] || { echo "ci: router never announced shard 0's pid" >&2; exit 1; }
+kill -KILL "$SHARD0_PID"
+"$BIN" client --port "$RPORT" --manifest "$SMOKE_DIR/batch.jsonl" \
+    --objective period > "$SMOKE_DIR/failover.jsonl" || {
+  echo "ci: traffic through the failover path failed" >&2; exit 1;
+}
+sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/failover.jsonl" > "$SMOKE_DIR/failover.cmp"
+"$BIN" "$SMOKE_DIR/batch.jsonl" solve-batch --objective period \
+    --out "$SMOKE_DIR/local.jsonl" > /dev/null
+sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/local.jsonl" > "$SMOKE_DIR/local.cmp"
+diff "$SMOKE_DIR/failover.cmp" "$SMOKE_DIR/local.cmp" || {
+  echo "ci: failover results diverged from solve-batch" >&2; exit 1;
+}
+RESTARTS=""
+i=0
+while [ $i -lt 100 ]; do
+  printf '{"type":"stats"}\n' | "$BIN" client --port "$RPORT" - \
+      > "$SMOKE_DIR/router_stats.jsonl" 2>/dev/null || true
+  RESTARTS=$(sed -n 's/.*"restarts":"\([0-9]*\)".*/\1/p' "$SMOKE_DIR/router_stats.jsonl")
+  UP=$(sed -n 's/.*"shards_up":"\([0-9]*\)".*/\1/p' "$SMOKE_DIR/router_stats.jsonl")
+  [ "${RESTARTS:-0}" -ge 1 ] && [ "${UP:-0}" = 2 ] && break
+  i=$((i + 1)); sleep 0.1
+done
+[ "${RESTARTS:-0}" -ge 1 ] && [ "${UP:-0}" = 2 ] || {
+  echo "ci: shard was not respawned (restarts='${RESTARTS:-absent}', shards_up='${UP:-absent}')" >&2
+  exit 1
+}
+# Post-recovery traffic is byte-identical again (the respawned shard
+# serves its key range afresh).
+"$BIN" client --port "$RPORT" --manifest "$SMOKE_DIR/batch.jsonl" \
+    --objective period > "$SMOKE_DIR/recovered.jsonl"
+sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/recovered.jsonl" > "$SMOKE_DIR/recovered.cmp"
+diff "$SMOKE_DIR/recovered.cmp" "$SMOKE_DIR/local.cmp" || {
+  echo "ci: post-recovery results diverged from solve-batch" >&2; exit 1;
+}
+
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID" || { echo "ci: router did not drain cleanly on SIGTERM" >&2; exit 1; }
+grep -q "drained" "$SMOKE_DIR/router.err" || {
+  echo "ci: router did not report a drained exit" >&2; exit 1;
+}
+echo "ci: router smoke green (3 objectives + 1 pareto bit-identical through the front tier; SIGKILL recovery restarts=$RESTARTS)"
+
+# ThreadSanitizer build of the executor, plan, cancellation, server and
+# router tests — the code that actually runs worker pools, session threads
+# and the router's relay/health threads.
 # Skipped (loudly) when the toolchain has no libtsan; everything above has
 # already gated the merge. The probe uses the same compiler CMake will
 # ($CXX when set), so probe and build cannot disagree.
@@ -158,7 +250,7 @@ if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - -o "${TMPDIR:-
   cmake -B "$BUILD_DIR-tsan" -S . -DPIPEOPT_WERROR=ON -DPIPEOPT_TSAN=ON
   cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" --target pipeopt_tests
   "$BUILD_DIR-tsan/pipeopt_tests" \
-      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*:Cache.*'
+      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*:Cache.*:Router.*:StatsMerge.*'
 else
   echo "ci: ThreadSanitizer unavailable, skipping the tsan pass" >&2
 fi

@@ -49,14 +49,30 @@
 /// Two commands take no problem file (they come first on the command line):
 ///
 ///   pipeopt serve [--host H] [--port N] [--jobs N] [--cache-entries N]
-///                 [--stdio]
+///                 [--backlog N] [--stdio]
 ///                                long-lived JSONL solve service over TCP
 ///                                (src/server/); --port 0 picks an
 ///                                ephemeral port, announced on stdout;
 ///                                --cache-entries N switches the solve
 ///                                cache on (repeat requests answer
-///                                byte-identically from it); --stdio
-///                                serves stdin/stdout instead
+///                                byte-identically from it); --backlog N
+///                                sizes the listen(2) queue (raise it
+///                                behind a router); --stdio serves
+///                                stdin/stdout instead
+///   pipeopt route (--shards H:P,H:P,... | --spawn N) [--host H] [--port N]
+///                 [--jobs N] [--cache-entries N] [--window N]
+///                 [--health-interval-ms MS] [--backlog N]
+///                                sharded front tier (src/router/): speaks
+///                                the server protocol, routes each request
+///                                to a shard by its canonical solve key
+///                                (byte-identical responses, shard-coherent
+///                                caches), health-checks the shards, and in
+///                                --spawn mode forks N local servers and
+///                                restarts them when they die; answers
+///                                ping/health itself and merges stats
+///                                across the fleet; when every shard is at
+///                                its --window in-flight cap, requests shed
+///                                with {"type":"error","code":"overloaded"}
 ///   pipeopt client [--host H] --port N
 ///                  (--manifest M [--pareto] [solve/sweep options] | F)
 ///                                scripted load generator: with --manifest,
@@ -71,11 +87,13 @@
 ///                                summary line
 ///
 /// Exit codes: 0 solved, 1 infeasible (or search budget exhausted),
-/// 2 usage/parse errors (including unknown or inapplicable solver names).
-/// solve-batch aggregates per-instance codes: the worst one wins
-/// (2 > 1 > 0), so a batch exits 0 only when every instance solved; the
-/// client aggregates its responses the same way (a server-side error line
-/// or a failed connection counts as 2).
+/// 2 usage/parse errors (including unknown or inapplicable solver names),
+/// 3 transport failures (the client cannot connect, or the connection is
+/// lost before a response arrives — scripts distinguish "the server said
+/// no" from "there was no server to ask"). solve-batch aggregates
+/// per-instance codes: the worst one wins (2 > 1 > 0), so a batch exits 0
+/// only when every instance solved; the client aggregates its responses
+/// the same way (a server-side error line counts as 2).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -101,6 +119,7 @@
 #include "io/problem_io.hpp"
 #include "io/request_io.hpp"
 #include "io/result_io.hpp"
+#include "router/router.hpp"
 #include "server/server.hpp"
 #include "sim/simulator.hpp"
 #include "util/fdio.hpp"
@@ -114,7 +133,7 @@ using namespace pipeopt;
 int usage() {
   std::fputs(
       "usage: pipeopt <problem-file> <command> [args]\n"
-      "       pipeopt serve|client [args]\n"
+      "       pipeopt serve|route|client [args]\n"
       "  show                       echo the parsed instance\n"
       "  solve --objective period|latency|energy [--solver auto|<name>]\n"
       "        [--kind interval|one-to-one] [--period-bounds T[,T...]]\n"
@@ -135,9 +154,17 @@ int usage() {
       "  min-energy T1,T2,...       alias: solve --objective energy\n"
       "  simulate <datasets>        execute the period-optimal mapping\n"
       "  serve [--host H] [--port N] [--jobs N] [--cache-entries N]\n"
-      "        [--stdio]            JSONL-over-TCP solve service (no\n"
+      "        [--backlog N] [--stdio]\n"
+      "                             JSONL-over-TCP solve service (no\n"
       "                             problem file; --port 0 = ephemeral;\n"
       "                             --cache-entries N = solve cache on)\n"
+      "  route (--shards H:P,... | --spawn N) [--host H] [--port N]\n"
+      "        [--jobs N] [--cache-entries N] [--window N]\n"
+      "        [--health-interval-ms MS] [--backlog N]\n"
+      "                             sharded front tier over N servers:\n"
+      "                             sticky key-hash routing, health checks,\n"
+      "                             restarts (--spawn), load shedding,\n"
+      "                             merged stats\n"
       "  client [--host H] --port N\n"
       "         (--manifest M [--pareto] [solve/sweep opts] | F | -)\n"
       "                             send request lines, echo responses\n",
@@ -537,7 +564,7 @@ int run_serve(const std::vector<std::string>& args) {
     if (flag == "--help") {
       std::fputs(
           "usage: pipeopt serve [--host H] [--port N] [--jobs N]\n"
-          "                     [--cache-entries N] [--stdio]\n"
+          "                     [--cache-entries N] [--backlog N] [--stdio]\n"
           "JSONL-over-TCP solve service over the api::Executor pool.\n"
           "  --host H    listen address (default 127.0.0.1)\n"
           "  --port N    listen port; 0 picks an ephemeral port (default),\n"
@@ -548,6 +575,8 @@ int run_serve(const std::vector<std::string>& args) {
           "              (and replayed sweep grid points) answer from the\n"
           "              cache byte-identically; 0 = off (default). Stats\n"
           "              gain cache_hits/cache_misses/cache_evictions.\n"
+          "  --backlog N listen(2) queue depth (default 64; raise it when\n"
+          "              a router front tier multiplies connection bursts)\n"
           "  --stdio     serve one session on stdin/stdout instead of TCP\n"
           "Protocol: one JSON object per line; see docs/PROTOCOL.md.\n"
           "SIGINT/SIGTERM drain in-flight solves, then exit 0.\n",
@@ -574,6 +603,11 @@ int run_serve(const std::vector<std::string>& args) {
       const auto entries = parse_number<std::size_t>(args[++i]);
       if (!entries) return usage();
       options.cache_entries = *entries;
+    } else if (flag == "--backlog") {
+      if (i + 1 >= args.size()) return usage();
+      const auto backlog = parse_number<int>(args[++i]);
+      if (!backlog || *backlog <= 0) return usage();
+      options.backlog = *backlog;
     } else {
       return usage();
     }
@@ -602,16 +636,158 @@ int run_serve(const std::vector<std::string>& args) {
   }
 }
 
-/// Connects to host:port; -1 on failure.
+/// Parses "H:P,H:P,..." into shard endpoints; nullopt on any malformed
+/// entry (a bare port is malformed on purpose — routing to the wrong host
+/// because a colon went missing should be loud).
+std::optional<std::vector<router::ShardAddress>> parse_shard_list(
+    const std::string& text) {
+  std::vector<router::ShardAddress> shards;
+  std::string token;
+  for (std::size_t i = 0;; ++i) {
+    if (i == text.size() || text[i] == ',') {
+      const std::size_t colon = token.rfind(':');
+      if (colon == std::string::npos || colon == 0) return std::nullopt;
+      const auto port = parse_number<std::uint16_t>(token.substr(colon + 1));
+      if (!port || *port == 0) return std::nullopt;
+      shards.push_back(router::ShardAddress{token.substr(0, colon), *port});
+      token.clear();
+      if (i == text.size()) break;
+    } else {
+      token += text[i];
+    }
+  }
+  if (shards.empty()) return std::nullopt;
+  return shards;
+}
+
+/// `pipeopt route`: the sharded front tier (src/router/).
+int run_route(const std::vector<std::string>& args) {
+  router::RouterOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--help") {
+      std::fputs(
+          "usage: pipeopt route (--shards H:P,H:P,... | --spawn N)\n"
+          "                     [--host H] [--port N] [--jobs N]\n"
+          "                     [--cache-entries N] [--window N]\n"
+          "                     [--health-interval-ms MS] [--backlog N]\n"
+          "Sharded front tier over N pipeopt servers: speaks the same\n"
+          "protocol, routes each request to a shard by its canonical\n"
+          "solve key (sticky: byte-equivalent requests share a shard, so\n"
+          "per-shard caches stay coherent), streams responses back\n"
+          "byte-identically, and answers ping/health itself; stats merge\n"
+          "the whole fleet's counters plus router-level ones.\n"
+          "  --shards H:P,...  route across these running servers\n"
+          "  --spawn N         fork N local servers on ephemeral ports and\n"
+          "                    supervise them: health probes every\n"
+          "                    interval, dead shards restart, in-flight\n"
+          "                    requests fail over or return typed errors\n"
+          "  --jobs N          --jobs for spawned shards\n"
+          "  --cache-entries N --cache-entries for spawned shards\n"
+          "  --window N        per-shard in-flight cap (default 64); when\n"
+          "                    every shard is full, requests shed with\n"
+          "                    {\"type\":\"error\",\"code\":\"overloaded\"}\n"
+          "  --health-interval-ms MS\n"
+          "                    probe period (default 250)\n"
+          "  --backlog N       front-tier listen(2) queue (default 128)\n"
+          "SIGINT/SIGTERM drain in-flight requests, then the shards.\n",
+          stdout);
+      return 0;
+    }
+    if (flag == "--shards") {
+      if (i + 1 >= args.size()) return usage();
+      const auto shards = parse_shard_list(args[++i]);
+      if (!shards) return usage();
+      options.shards = *shards;
+    } else if (flag == "--spawn") {
+      if (i + 1 >= args.size()) return usage();
+      const auto spawn = parse_number<std::size_t>(args[++i]);
+      if (!spawn || *spawn == 0) return usage();
+      options.spawn = *spawn;
+    } else if (flag == "--host") {
+      if (i + 1 >= args.size()) return usage();
+      options.host = args[++i];
+    } else if (flag == "--port") {
+      if (i + 1 >= args.size()) return usage();
+      const auto port = parse_number<std::uint16_t>(args[++i]);
+      if (!port) return usage();
+      options.port = *port;
+    } else if (flag == "--jobs") {
+      if (i + 1 >= args.size()) return usage();
+      const auto jobs = parse_number<std::size_t>(args[++i]);
+      if (!jobs) return usage();
+      options.spawn_jobs = *jobs;
+    } else if (flag == "--cache-entries") {
+      if (i + 1 >= args.size()) return usage();
+      const auto entries = parse_number<std::size_t>(args[++i]);
+      if (!entries) return usage();
+      options.spawn_cache_entries = *entries;
+    } else if (flag == "--window") {
+      if (i + 1 >= args.size()) return usage();
+      const auto window = parse_number<std::size_t>(args[++i]);
+      if (!window || *window == 0) return usage();
+      options.window = *window;
+    } else if (flag == "--health-interval-ms") {
+      if (i + 1 >= args.size()) return usage();
+      const auto interval = parse_number<std::uint64_t>(args[++i]);
+      if (!interval || *interval == 0) return usage();
+      options.health_interval = std::chrono::milliseconds(*interval);
+    } else if (flag == "--backlog") {
+      if (i + 1 >= args.size()) return usage();
+      const auto backlog = parse_number<int>(args[++i]);
+      if (!backlog || *backlog <= 0) return usage();
+      options.backlog = *backlog;
+    } else {
+      return usage();
+    }
+  }
+  if (options.shards.empty() == (options.spawn == 0)) return usage();
+  const std::string host = options.host;
+  try {
+    router::Router router(std::move(options));
+    const std::uint16_t port = router.listen();
+    const std::vector<router::ShardInfo> shards = router.shard_infos();
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (shards[i].pid > 0) {
+        std::printf("pipeopt-router: shard %zu at %s:%u pid %d\n", i,
+                    shards[i].host.c_str(), shards[i].port,
+                    static_cast<int>(shards[i].pid));
+      } else {
+        std::printf("pipeopt-router: shard %zu at %s:%u\n", i,
+                    shards[i].host.c_str(), shards[i].port);
+      }
+    }
+    std::printf("pipeopt-router listening on %s:%u over %zu shards\n",
+                host.c_str(), port, shards.size());
+    std::fflush(stdout);  // scripts watch for this line to learn the port
+    router::Router::install_signal_handlers(router);
+    router.serve();
+    std::fprintf(stderr, "pipeopt-router: drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+/// Connects to host:port; -1 on failure with errno describing why (the
+/// close must not clobber it — "connection refused" vs "network
+/// unreachable" is the whole point of the exit-3 message).
 int connect_to(const std::string& host, std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
+    errno = EINVAL;
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
     return -1;
   }
   return fd;
@@ -726,21 +902,23 @@ int run_client(const std::vector<std::string>& args) {
 
   const int fd = connect_to(host, *port);
   if (fd < 0) {
-    std::fprintf(stderr, "error: cannot connect to %s:%u\n", host.c_str(),
-                 *port);
-    return 2;
+    std::fprintf(stderr,
+                 "error: cannot connect to %s:%u: %s\n"
+                 "       is a pipeopt server (or router) listening there?\n",
+                 host.c_str(), *port, std::strerror(errno));
+    return 3;
   }
 
   // Lock-step request/response keeps the output aligned with the input
   // order (the server answers each connection's lines in order anyway).
-  std::signal(SIGPIPE, SIG_IGN);  // a dying server is exit 2, not a kill
+  std::signal(SIGPIPE, SIG_IGN);  // a dying server is exit 3, not a kill
   int worst = 0;
   util::FdLineReader reader(fd);
   for (const std::string& line : lines) {
     if (!util::write_line(fd, line)) {
       std::fprintf(stderr, "error: connection lost mid-request\n");
       ::close(fd);
-      return 2;
+      return 3;
     }
     // A pareto request streams result lines until its terminal summary (or
     // an error); everything else answers with exactly one line.
@@ -750,7 +928,7 @@ int run_client(const std::vector<std::string>& args) {
       if (!reader.next_line(response)) {
         std::fprintf(stderr, "error: connection closed before a response\n");
         ::close(fd);
-        return 2;
+        return 3;
       }
       std::printf("%s\n", response.c_str());
       worst = std::max(worst, response_exit_code(response));
@@ -788,6 +966,9 @@ int main(int argc, char** argv) {
   // serve/client run without a problem file and come first on the line.
   if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
     return run_serve(std::vector<std::string>(argv + 2, argv + argc));
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "route") == 0) {
+    return run_route(std::vector<std::string>(argv + 2, argv + argc));
   }
   if (argc >= 2 && std::strcmp(argv[1], "client") == 0) {
     try {
