@@ -1,0 +1,360 @@
+/// \file bench_eval_hot_path.cpp
+/// Experiment EVAL: the evaluation hot path before and after the SoA
+/// batch/delta rework. Three measurements, every one cross-checked
+/// bit-identical (exact double equality — the contract of
+/// core::BatchEvaluator) before any clock starts:
+///
+///  1. **Neighborhood sweep** — every move of `heuristics::neighbour_moves`
+///     on multi-application instances, evaluated three ways: the scalar
+///     `core::evaluate` object-graph walk (the pre-PR hot path), the SoA
+///     full evaluation, and the incremental delta evaluation the searches
+///     now use (recompute touched apps only). Headline: delta evals/sec ÷
+///     scalar evals/sec, PR gate >= 3x.
+///  2. **Enumeration leaves** — the exact tier's per-leaf cost: Mapping
+///     construction + `core::evaluate` (before) vs span evaluation on the
+///     bound workspace (after).
+///  3. **Branch-and-bound nodes/sec** — the identical search driven by
+///     scalar object-graph lookups vs the bind-once SoA tables, over the
+///     Table 1/2 platform columns; values and node counts must match
+///     exactly.
+///
+/// `--quick` shrinks rounds/instances for the ci.sh smoke stage (the
+/// bit-identity gate still applies; the 3x speedup gate is only enforced in
+/// full runs, where timings are stable). `--json PATH` writes the numbers
+/// as BENCH_eval.json for trend tracking.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "core/eval_batch.hpp"
+#include "core/evaluation.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "exact/enumeration.hpp"
+#include "gen/random_instances.hpp"
+#include "heuristics/interval_greedy.hpp"
+#include "heuristics/neighborhood.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using namespace pipeopt;
+using bench::CellShape;
+using bench::Column;
+
+/// Exact comparison — any differing bit is a contract violation.
+bool same_metrics(const core::Metrics& a, const core::Metrics& b) {
+  if (a.per_app.size() != b.per_app.size()) return false;
+  for (std::size_t i = 0; i < a.per_app.size(); ++i) {
+    if (a.per_app[i].period != b.per_app[i].period) return false;
+    if (a.per_app[i].latency != b.per_app[i].latency) return false;
+  }
+  return a.max_weighted_period == b.max_weighted_period &&
+         a.max_weighted_latency == b.max_weighted_latency &&
+         a.energy == b.energy;
+}
+
+/// One neighborhood workload: a start mapping and its full move list.
+struct Workload {
+  core::Problem problem;
+  core::Mapping start;
+  std::vector<heuristics::Neighbour> moves;
+};
+
+std::vector<Workload> make_neighborhood_workloads(int instances) {
+  // Four applications: a move touches at most two, so the delta path skips
+  // at least half the work — the regime the searches actually run in.
+  std::vector<Workload> workloads;
+  util::Rng rng(20260808);
+  CellShape shape;
+  shape.applications = 4;
+  shape.min_stages = 3;
+  shape.max_stages = 5;
+  shape.processors = 10;
+  shape.modes = 2;
+  const Column columns[] = {Column::FullyHom, Column::CommHom,
+                            Column::FullyHet};
+  for (int i = 0; i < instances; ++i) {
+    shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
+                              : core::CommModel::NoOverlap;
+    core::Problem problem =
+        bench::make_instance(rng, columns[i % 3], shape);
+    auto start = heuristics::greedy_interval_mapping(problem);
+    if (!start) continue;
+    auto moves = heuristics::neighbour_moves(problem, *start);
+    workloads.push_back(
+        {std::move(problem), std::move(*start), std::move(moves)});
+  }
+  return workloads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const int instances = quick ? 4 : 12;
+  const int rounds = quick ? 20 : 200;
+  std::printf("EVAL: hot-path throughput, %d instance(s) x %d round(s)%s\n\n",
+              instances, rounds, quick ? " (quick)" : "");
+
+  // --- 1. Neighborhood sweep: scalar vs batch vs delta. ---------------------
+  const std::vector<Workload> workloads = make_neighborhood_workloads(instances);
+  std::size_t total_moves = 0;
+  for (const Workload& w : workloads) total_moves += w.moves.size();
+  if (total_moves == 0) {
+    std::fprintf(stderr, "no neighborhood moves generated\n");
+    return 1;
+  }
+
+  // Untimed verification pass: every move, all three paths, exact equality.
+  std::size_t mismatches = 0;
+  for (const Workload& w : workloads) {
+    core::BatchEvaluator evaluator(w.problem);
+    evaluator.bind_base(w.start);
+    for (const auto& move : w.moves) {
+      const core::Metrics scalar = core::evaluate(w.problem, move.mapping, false);
+      if (!same_metrics(scalar, evaluator.evaluate(move.mapping))) ++mismatches;
+      if (!same_metrics(scalar,
+                        evaluator.evaluate_delta(move.mapping, move.touched()))) {
+        ++mismatches;
+      }
+    }
+  }
+  if (mismatches != 0) {
+    std::printf("BIT-IDENTITY FAILED: %zu evaluations diverged from the "
+                "scalar path\n", mismatches);
+    return 1;
+  }
+
+  double sink = 0.0;  // defeat dead-code elimination
+  const util::Stopwatch scalar_watch;
+  for (int r = 0; r < rounds; ++r) {
+    for (const Workload& w : workloads) {
+      for (const auto& move : w.moves) {
+        sink += core::evaluate(w.problem, move.mapping, false).max_weighted_period;
+      }
+    }
+  }
+  const double scalar_s = scalar_watch.elapsed_seconds();
+
+  double batch_s = 0.0;
+  double delta_s = 0.0;
+  {
+    // Bind-once evaluators outside the clock (one per problem, as the
+    // executor holds them); the timed region is evaluation only.
+    std::vector<core::BatchEvaluator> evaluators;
+    evaluators.reserve(workloads.size());
+    for (const Workload& w : workloads) evaluators.emplace_back(w.problem);
+
+    const util::Stopwatch batch_watch;
+    for (int r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < workloads.size(); ++i) {
+        for (const auto& move : workloads[i].moves) {
+          sink += evaluators[i].evaluate(move.mapping).max_weighted_period;
+        }
+      }
+    }
+    batch_s = batch_watch.elapsed_seconds();
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      evaluators[i].bind_base(workloads[i].start);
+    }
+    const util::Stopwatch delta_watch;
+    for (int r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < workloads.size(); ++i) {
+        for (const auto& move : workloads[i].moves) {
+          sink += evaluators[i]
+                      .evaluate_delta(move.mapping, move.touched())
+                      .max_weighted_period;
+        }
+      }
+    }
+    delta_s = delta_watch.elapsed_seconds();
+  }
+
+  const double evals = static_cast<double>(total_moves) * rounds;
+  const double scalar_rate = evals / scalar_s;
+  const double batch_rate = evals / batch_s;
+  const double delta_rate = evals / delta_s;
+  const double delta_speedup = delta_rate / scalar_rate;
+
+  util::Table table({"path", "wall", "evals/s", "vs scalar"});
+  const auto row = [&](const char* path, double seconds) {
+    table.add_row({path, util::format_double(seconds, 4) + "s",
+                   util::format_double(evals / seconds, 0),
+                   util::format_double((evals / seconds) / scalar_rate, 2) + "x"});
+  };
+  row("scalar core::evaluate", scalar_s);
+  row("SoA full (evaluate)", batch_s);
+  row("SoA delta (evaluate_delta)", delta_s);
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n%zu moves/sweep, delta speedup %.1fx — gate >= 3x: %s\n\n",
+              total_moves, delta_speedup,
+              delta_speedup >= 3.0 ? "PASS" : (quick ? "SKIP (quick)" : "FAIL"));
+
+  // --- 2. Enumeration leaves: Mapping+evaluate vs span on the workspace. ---
+  double leaf_before_rate = 0.0;
+  double leaf_after_rate = 0.0;
+  {
+    util::Rng rng(7);
+    CellShape shape;
+    shape.applications = 2;
+    shape.min_stages = 3;
+    shape.max_stages = 4;
+    shape.processors = 7;
+    shape.modes = 2;
+    const core::Problem problem =
+        bench::make_instance(rng, Column::CommHom, shape);
+    exact::EnumerationOptions options;
+    options.kind = exact::MappingKind::Interval;
+    options.enumerate_modes = true;
+    options.node_limit = quick ? 400'000 : 4'000'000;
+
+    std::size_t leaves = 0;
+    const util::Stopwatch before_watch;
+    try {
+      exact::enumerate_mappings(
+          problem, options,
+          [&](std::span<const core::IntervalAssignment> ivs) {
+            ++leaves;
+            const core::Mapping mapping(
+                std::vector<core::IntervalAssignment>(ivs.begin(), ivs.end()));
+            sink += core::evaluate(problem, mapping, false).max_weighted_period;
+          });
+    } catch (const exact::SearchLimitExceeded&) {
+    }
+    const double before_s = before_watch.elapsed_seconds();
+
+    core::BatchEvaluator evaluator(problem);
+    std::size_t leaves_after = 0;
+    const util::Stopwatch after_watch;
+    try {
+      exact::enumerate_mappings(
+          problem, options,
+          [&](std::span<const core::IntervalAssignment> ivs) {
+            ++leaves_after;
+            sink += evaluator.evaluate(ivs).max_weighted_period;
+          });
+    } catch (const exact::SearchLimitExceeded&) {
+    }
+    const double after_s = after_watch.elapsed_seconds();
+
+    leaf_before_rate = static_cast<double>(leaves) / before_s;
+    leaf_after_rate = static_cast<double>(leaves_after) / after_s;
+    std::printf("enumeration leaves: %zu leaves — before %.0f/s (Mapping + "
+                "core::evaluate), after %.0f/s (span on workspace), %.1fx\n\n",
+                leaves, leaf_before_rate, leaf_after_rate,
+                leaf_after_rate / leaf_before_rate);
+  }
+
+  // --- 3. Branch-and-bound nodes/sec: scalar tables vs SoA tables. ----------
+  double bb_scalar_rate = 0.0;
+  double bb_soa_rate = 0.0;
+  bool bb_identical = true;
+  {
+    util::Rng rng(20260108);
+    CellShape shape;
+    shape.applications = 2;
+    shape.min_stages = quick ? 3 : 4;
+    shape.max_stages = quick ? 4 : 6;
+    shape.processors = quick ? 7 : 8;
+    std::vector<core::Problem> grid;
+    for (const Column column : {Column::FullyHom, Column::SpecialApp,
+                                Column::CommHom, Column::FullyHet}) {
+      for (int i = 0; i < (quick ? 1 : 3); ++i) {
+        shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
+                                  : core::CommModel::NoOverlap;
+        grid.push_back(bench::make_instance(rng, column, shape));
+      }
+    }
+
+    std::uint64_t nodes = 0;
+    const util::Stopwatch scalar_bb_watch;
+    std::vector<std::optional<exact::ExactResult>> scalar_results;
+    for (const core::Problem& problem : grid) {
+      auto result = exact::branch_bound_min_period_scalar(
+          problem, exact::MappingKind::Interval);
+      if (result) nodes += result->stats.nodes;
+      scalar_results.push_back(std::move(result));
+    }
+    const double scalar_bb_s = scalar_bb_watch.elapsed_seconds();
+
+    std::uint64_t soa_nodes = 0;
+    const util::Stopwatch soa_bb_watch;
+    std::vector<std::optional<exact::ExactResult>> soa_results;
+    for (const core::Problem& problem : grid) {
+      auto result =
+          exact::branch_bound_min_period(problem, exact::MappingKind::Interval);
+      if (result) soa_nodes += result->stats.nodes;
+      soa_results.push_back(std::move(result));
+    }
+    const double soa_bb_s = soa_bb_watch.elapsed_seconds();
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto& a = scalar_results[i];
+      const auto& b = soa_results[i];
+      if (a.has_value() != b.has_value()) bb_identical = false;
+      if (a && b &&
+          (a->value != b->value || a->stats.nodes != b->stats.nodes ||
+           a->stats.complete != b->stats.complete)) {
+        bb_identical = false;
+      }
+    }
+    if (!bb_identical || nodes != soa_nodes) {
+      std::printf("BIT-IDENTITY FAILED: branch-and-bound diverged between "
+                  "lookup paths\n");
+      return 1;
+    }
+
+    bb_scalar_rate = static_cast<double>(nodes) / scalar_bb_s;
+    bb_soa_rate = static_cast<double>(soa_nodes) / soa_bb_s;
+    std::printf("branch-and-bound (%zu Table 1/2 cells, %llu nodes): scalar "
+                "tables %.0f nodes/s, SoA tables %.0f nodes/s, %.2fx\n",
+                grid.size(), static_cast<unsigned long long>(nodes),
+                bb_scalar_rate, bb_soa_rate, bb_soa_rate / bb_scalar_rate);
+  }
+
+  std::printf("(sink %.3g)\n", sink);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\"bench\":\"eval_hot_path\",\"quick\":%s,\"bit_identity\":\"pass\","
+        "\"neighborhood\":{\"scalar_evals_per_sec\":%.0f,"
+        "\"batch_evals_per_sec\":%.0f,\"delta_evals_per_sec\":%.0f,"
+        "\"delta_speedup\":%.2f},"
+        "\"enumeration\":{\"leaf_evals_per_sec_before\":%.0f,"
+        "\"leaf_evals_per_sec_after\":%.0f},"
+        "\"branch_bound\":{\"scalar_nodes_per_sec\":%.0f,"
+        "\"soa_nodes_per_sec\":%.0f}}\n",
+        quick ? "true" : "false", scalar_rate, batch_rate, delta_rate,
+        delta_speedup, leaf_before_rate, leaf_after_rate, bb_scalar_rate,
+        bb_soa_rate);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  // The speedup gate needs stable timings; quick mode gates identity only.
+  if (!quick && delta_speedup < 3.0) return 1;
+  return 0;
+}

@@ -55,6 +55,12 @@ SolveResult from_exact(const core::Problem& problem, Objective objective,
                                   std::to_string(exact_result->stats.nodes));
   result.diagnostics.emplace_back(
       "mappings", std::to_string(exact_result->stats.complete));
+  // Every complete mapping reached is one evaluation: per-leaf batch
+  // evaluation in the enumerator, incremental finalized-max evaluation in
+  // branch-and-bound. Surfaced so ServerStats can aggregate fleet-wide
+  // evaluation throughput on the stats wire line.
+  result.diagnostics.emplace_back(
+      "evals", std::to_string(exact_result->stats.complete));
   return result;
 }
 

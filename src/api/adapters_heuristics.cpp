@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 
+#include "core/eval_batch.hpp"
 #include "core/evaluation.hpp"
 #include "util/numeric.hpp"
 #include "heuristics/annealing.hpp"
@@ -94,8 +95,10 @@ SolveResult classify(const core::Problem& problem, const SolveRequest& request,
   if (!request.constraints.satisfied_by(metrics)) {
     return heuristic_infeasible("constructed mapping violates the constraints");
   }
-  return detail::solved(problem, request.objective, std::move(mapping),
-                        /*optimal=*/false);
+  SolveResult result = detail::solved(problem, request.objective,
+                                      std::move(mapping), /*optimal=*/false);
+  result.diagnostics.emplace_back("evals", "1");
+  return result;
 }
 
 void add(SolverRegistry& registry, SolverInfo info,
@@ -126,13 +129,21 @@ SolveResult run_ladder(const core::Problem& problem,
     return heuristic_infeasible("too few processors for a constructive start");
   }
 
+  // One evaluation workspace for the whole ladder: bind-time SoA work and
+  // the evals count are shared across rungs, and structural validation runs
+  // exactly once — here, on the constructive start. Every rung preserves
+  // validity (the neighbourhood and mode moves are validity-preserving), so
+  // the rungs are told to skip their own start re-validation.
+  core::BatchEvaluator evaluator(problem);
+  start->validate_or_throw(problem);
+
   SolveResult result;
   // Best feasible incumbent across the rungs.
   std::optional<core::Mapping> best;
   double best_value = kInf;
   core::Mapping current = std::move(*start);
   const auto consider = [&](const core::Mapping& mapping, const char* rung) {
-    const core::Metrics metrics = core::evaluate(problem, mapping);
+    const core::Metrics& metrics = evaluator.evaluate(mapping);
     const double value = detail::objective_value(request.objective, metrics);
     result.diagnostics.emplace_back(rung, fmt(value));
     if (request.constraints.satisfied_by(metrics) && value < best_value) {
@@ -157,8 +168,11 @@ SolveResult run_ladder(const core::Problem& problem,
   // energy before searching — scale_down_speeds needs a feasible mapping.
   if (request.objective == Objective::Energy && start_feasible &&
       !out_of_budget()) {
-    const auto scaled =
-        heuristics::scale_down_speeds(problem, current, request.constraints);
+    heuristics::SpeedScalingOptions options;
+    options.evaluator = &evaluator;
+    options.validate_start = false;
+    const auto scaled = heuristics::scale_down_speeds(problem, current,
+                                                      request.constraints, options);
     current = scaled.mapping;
     consider(current, "speed-scaling");
   }
@@ -167,6 +181,8 @@ SolveResult run_ladder(const core::Problem& problem,
   if (search_rungs && start_feasible && !out_of_budget()) {
     heuristics::LocalSearchOptions options;
     options.should_stop = out_of_budget;
+    options.evaluator = &evaluator;
+    options.validate_start = false;
     const auto improved = heuristics::local_search(problem, *best, goal,
                                                    request.constraints, options);
     current = improved.mapping;
@@ -178,6 +194,8 @@ SolveResult run_ladder(const core::Problem& problem,
     util::Rng rng(request.seed);
     heuristics::AnnealingOptions options;
     options.should_stop = out_of_budget;
+    options.evaluator = &evaluator;
+    options.validate_start = false;
     const auto annealed = heuristics::simulated_annealing(
         problem, current, goal, request.constraints, rng, options);
     if (annealed.value < kInf) consider(annealed.mapping, "annealing");
@@ -185,6 +203,8 @@ SolveResult run_ladder(const core::Problem& problem,
     result.diagnostics.emplace_back(
         "budget", request.cancel.cancelled() ? "cancelled" : "time budget exhausted");
   }
+
+  result.diagnostics.emplace_back("evals", std::to_string(evaluator.evals()));
 
   if (!best) {
     // Distinguish "searched and found nothing feasible" from "was told to
@@ -274,7 +294,9 @@ void register_heuristic_solvers(SolverRegistry& registry) {
         if (!start) {
           return heuristic_infeasible("too few processors for a start");
         }
-        if (!r.constraints.satisfied_by(core::evaluate(p, *start))) {
+        core::BatchEvaluator evaluator(p);
+        start->validate_or_throw(p);
+        if (!r.constraints.satisfied_by(evaluator.evaluate(*start))) {
           return heuristic_infeasible(
               "constructive start violates the constraints; hill climbing "
               "cannot repair it");
@@ -282,11 +304,15 @@ void register_heuristic_solvers(SolverRegistry& registry) {
         const util::Stopwatch watch;
         heuristics::LocalSearchOptions options;
         options.should_stop = stop_check(r, watch);
+        options.evaluator = &evaluator;
+        options.validate_start = false;  // validated once above
         const auto improved = heuristics::local_search(
             p, *start, to_goal(r.objective), r.constraints, options);
         SolveResult result = detail::solved(p, r.objective, improved.mapping,
                                             /*optimal=*/false);
         result.diagnostics.emplace_back("steps", std::to_string(improved.steps));
+        result.diagnostics.emplace_back("evals",
+                                        std::to_string(evaluator.evals()));
         return result;
       });
 
@@ -305,9 +331,11 @@ void register_heuristic_solvers(SolverRegistry& registry) {
         if (!start) {
           return heuristic_infeasible("too few processors for a start");
         }
+        core::BatchEvaluator evaluator(p);
         const util::Stopwatch watch;
         heuristics::TabuOptions options;
         options.should_stop = stop_check(r, watch);
+        options.evaluator = &evaluator;
         const auto searched = heuristics::tabu_search(
             p, *start, to_goal(r.objective), r.constraints, options);
         if (searched.value == kInf) {
@@ -316,6 +344,8 @@ void register_heuristic_solvers(SolverRegistry& registry) {
         SolveResult result = detail::solved(p, r.objective, searched.mapping,
                                             /*optimal=*/false);
         result.diagnostics.emplace_back("moves", std::to_string(searched.moves));
+        result.diagnostics.emplace_back("evals",
+                                        std::to_string(searched.evals));
         return result;
       });
 
@@ -334,10 +364,12 @@ void register_heuristic_solvers(SolverRegistry& registry) {
         if (!start) {
           return heuristic_infeasible("too few processors for a start");
         }
+        core::BatchEvaluator evaluator(p);
         util::Rng rng(r.seed);
         const util::Stopwatch watch;
         heuristics::AnnealingOptions options;
         options.should_stop = stop_check(r, watch);
+        options.evaluator = &evaluator;
         const auto annealed = heuristics::simulated_annealing(
             p, *start, to_goal(r.objective), r.constraints, rng, options);
         if (annealed.value == kInf) {
@@ -347,6 +379,8 @@ void register_heuristic_solvers(SolverRegistry& registry) {
                                             /*optimal=*/false);
         result.diagnostics.emplace_back("accepted",
                                         std::to_string(annealed.accepted));
+        result.diagnostics.emplace_back("evals",
+                                        std::to_string(annealed.evals));
         return result;
       });
 }

@@ -1,0 +1,210 @@
+#include "core/eval_batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pipeopt::core {
+
+BatchEvaluator::BatchEvaluator(const Problem& problem)
+    : problem_(&problem),
+      comm_(problem.comm_model()),
+      app_count_(problem.application_count()),
+      proc_count_(problem.platform().processor_count()) {
+  // ---- applications: weights, prefix sums, boundary sizes ----
+  weights_.reserve(app_count_);
+  stage_count_.reserve(app_count_);
+  app_offset_.reserve(app_count_ + 1);
+  app_offset_.push_back(0);
+  for (std::size_t a = 0; a < app_count_; ++a) {
+    const Application& app = problem.application(a);
+    const std::size_t n = app.stage_count();
+    weights_.push_back(app.weight());
+    stage_count_.push_back(n);
+    app_offset_.push_back(app_offset_.back() + n + 1);
+    // Rebuild the prefix sums with the same left-to-right additions the
+    // Application constructor performs, so compute_sum() reproduces
+    // total_compute() bit-for-bit.
+    compute_prefix_.push_back(0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      compute_prefix_.push_back(compute_prefix_.back() + app.compute(k));
+    }
+    for (std::size_t i = 0; i <= n; ++i) {
+      boundaries_.push_back(app.boundary_size(i));
+    }
+  }
+
+  // ---- platform: per-mode speed/energy tables, dense bandwidths ----
+  const Platform& platform = problem.platform();
+  mode_offset_.reserve(proc_count_ + 1);
+  mode_offset_.push_back(0);
+  for (std::size_t u = 0; u < proc_count_; ++u) {
+    const Processor& proc = platform.processor(u);
+    mode_offset_.push_back(mode_offset_.back() + proc.mode_count());
+    for (std::size_t m = 0; m < proc.mode_count(); ++m) {
+      const double s = proc.speed(m);
+      speeds_.push_back(s);
+      // Same expression as Platform::processor_energy — identical doubles.
+      energies_.push_back(proc.static_energy() + platform.dynamic_energy(s));
+    }
+  }
+  link_bw_.resize(proc_count_ * proc_count_);
+  for (std::size_t u = 0; u < proc_count_; ++u) {
+    for (std::size_t v = 0; v < proc_count_; ++v) {
+      link_bw_[u * proc_count_ + v] = platform.bandwidth(u, v);
+    }
+  }
+  in_bw_.resize(app_count_ * proc_count_);
+  out_bw_.resize(app_count_ * proc_count_);
+  for (std::size_t a = 0; a < app_count_; ++a) {
+    for (std::size_t u = 0; u < proc_count_; ++u) {
+      in_bw_[a * proc_count_ + u] = platform.in_bandwidth(a, u);
+      out_bw_[a * proc_count_ + u] = platform.out_bandwidth(a, u);
+    }
+  }
+
+  metrics_.per_app.resize(app_count_);
+  base_per_app_.resize(app_count_);
+}
+
+void BatchEvaluator::app_metrics(std::span<const IntervalAssignment> ivs,
+                                 std::size_t a, AppMetrics& out) const {
+  // Fusion of the scalar application_period / application_latency loops:
+  // interval j's cost pieces are computed once and fed to both accumulators.
+  // Each accumulator sees the operand sequence of its scalar counterpart,
+  // so both results are bit-identical to the two-pass version.
+  const std::size_t off = app_offset_[a];
+  const std::size_t m = ivs.size();
+  double period = 0.0;
+  double latency = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const IntervalAssignment& iv = ivs[j];
+    const double s = speeds_[mode_offset_[iv.proc] + iv.mode];
+    const double compute =
+        (compute_prefix_[off + iv.last + 1] - compute_prefix_[off + iv.first]) / s;
+    const double in_b = (j == 0) ? in_bw_[a * proc_count_ + iv.proc]
+                                 : link_bw_[ivs[j - 1].proc * proc_count_ + iv.proc];
+    const double in_comm = boundaries_[off + iv.first] / in_b;
+    const double out_b = (j + 1 == m)
+                             ? out_bw_[a * proc_count_ + iv.proc]
+                             : link_bw_[iv.proc * proc_count_ + ivs[j + 1].proc];
+    const double out_comm = boundaries_[off + iv.last + 1] / out_b;
+    const double cycle = (comm_ == CommModel::Overlap)
+                             ? std::max({in_comm, compute, out_comm})
+                             : in_comm + compute + out_comm;
+    period = std::max(period, cycle);
+    if (j == 0) latency += in_comm;
+    latency += compute + out_comm;
+  }
+  out.period = period;
+  out.latency = latency;
+}
+
+void BatchEvaluator::combine(std::span<const IntervalAssignment> intervals) {
+  // Scalar combination order: weighted maxima in ascending app order, then
+  // energy summed over the (app, first)-sorted interval list.
+  metrics_.max_weighted_period = 0.0;
+  metrics_.max_weighted_latency = 0.0;
+  for (std::size_t a = 0; a < app_count_; ++a) {
+    metrics_.max_weighted_period = std::max(
+        metrics_.max_weighted_period, weights_[a] * metrics_.per_app[a].period);
+    metrics_.max_weighted_latency = std::max(
+        metrics_.max_weighted_latency, weights_[a] * metrics_.per_app[a].latency);
+  }
+  double energy = 0.0;
+  for (const IntervalAssignment& iv : intervals) {
+    energy += energies_[mode_offset_[iv.proc] + iv.mode];
+  }
+  metrics_.energy = energy;
+}
+
+const Metrics& BatchEvaluator::eval_full(std::span<const IntervalAssignment> intervals) {
+  std::size_t i = 0;
+  for (std::size_t a = 0; a < app_count_; ++a) {
+    const std::size_t begin = i;
+    while (i < intervals.size() && intervals[i].app == a) ++i;
+    if (i == begin) {
+      throw std::invalid_argument(
+          "BatchEvaluator: application without intervals (span must cover "
+          "every application, grouped in ascending order)");
+    }
+    app_metrics(intervals.subspan(begin, i - begin), a, metrics_.per_app[a]);
+  }
+  if (i != intervals.size()) {
+    throw std::invalid_argument(
+        "BatchEvaluator: intervals not grouped by ascending application");
+  }
+  combine(intervals);
+  ++evals_;
+  return metrics_;
+}
+
+const Metrics& BatchEvaluator::evaluate(const Mapping& mapping) {
+  return eval_full(mapping.intervals());
+}
+
+const Metrics& BatchEvaluator::evaluate(std::span<const IntervalAssignment> intervals) {
+  return eval_full(intervals);
+}
+
+void BatchEvaluator::evaluate_batch(std::span<const Mapping> candidates,
+                                    std::vector<Metrics>& out) {
+  out.resize(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    out[i] = eval_full(candidates[i].intervals());
+  }
+}
+
+void BatchEvaluator::bind_base(const Mapping& base) { bind_base(base.intervals()); }
+
+void BatchEvaluator::bind_base(std::span<const IntervalAssignment> intervals) {
+  eval_full(intervals);
+  base_per_app_ = metrics_.per_app;
+  has_base_ = true;
+}
+
+void BatchEvaluator::adopt_base(const Metrics& metrics) {
+  if (metrics.per_app.size() != app_count_) {
+    throw std::invalid_argument("BatchEvaluator::adopt_base: wrong per-app size");
+  }
+  base_per_app_ = metrics.per_app;
+  has_base_ = true;
+}
+
+const Metrics& BatchEvaluator::evaluate_delta(
+    const Mapping& candidate, std::span<const std::size_t> touched_apps) {
+  return evaluate_delta(candidate.intervals(), touched_apps);
+}
+
+const Metrics& BatchEvaluator::evaluate_delta(
+    std::span<const IntervalAssignment> intervals,
+    std::span<const std::size_t> touched_apps) {
+  if (!has_base_) {
+    throw std::logic_error("BatchEvaluator::evaluate_delta: no base bound");
+  }
+  metrics_.per_app = base_per_app_;
+  for (std::size_t t = 0; t < touched_apps.size(); ++t) {
+    const std::size_t a = touched_apps[t];
+    if (a >= app_count_) {
+      throw std::out_of_range("BatchEvaluator::evaluate_delta: touched app index");
+    }
+    bool seen = false;
+    for (std::size_t s = 0; s < t; ++s) seen = seen || touched_apps[s] == a;
+    if (seen) continue;
+    const auto begin = std::lower_bound(
+        intervals.begin(), intervals.end(), a,
+        [](const IntervalAssignment& iv, std::size_t app) { return iv.app < app; });
+    auto end = begin;
+    while (end != intervals.end() && end->app == a) ++end;
+    if (begin == end) {
+      throw std::invalid_argument(
+          "BatchEvaluator::evaluate_delta: touched application has no intervals");
+    }
+    app_metrics(std::span<const IntervalAssignment>(begin, end), a,
+                metrics_.per_app[a]);
+  }
+  combine(intervals);
+  ++evals_;
+  return metrics_;
+}
+
+}  // namespace pipeopt::core

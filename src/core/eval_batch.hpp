@@ -1,0 +1,197 @@
+#pragma once
+
+/// \file eval_batch.hpp
+/// The evaluation hot path: a structure-of-arrays workspace bound once per
+/// Problem that evaluates candidate mappings allocation-free and supports
+/// incremental (delta) re-evaluation of neighborhood moves.
+///
+/// `core::evaluate` is executed millions of times inside branch-and-bound,
+/// the heuristic ladder and Pareto sweeps. Each call walks the object graph
+/// (`Problem` → `Application`/`Platform` accessors, all bounds-checked) and
+/// allocates a fresh `Metrics::per_app` plus one `intervals_of` vector per
+/// application. `BatchEvaluator` flattens everything those calls ever read
+/// into dense arrays at bind time — per-app compute prefix sums and boundary
+/// sizes δ^0..δ^n, per-(processor, mode) speed and E_stat + s^α energy
+/// tables, dense p×p link and A×p source/sink bandwidth matrices — and then
+/// serves evaluations out of one reusable `Metrics` workspace.
+///
+/// **Bit-exactness contract.** Every number produced here is byte-identical
+/// to the scalar path: the tables are built with the same operations in the
+/// same order as the `Application`/`Platform` constructors, and the
+/// evaluation kernel replays `core::evaluate`'s exact floating-point
+/// association order (the PR 5 1-ULP lessons — FP addition is not
+/// associative, so the operation *order* is the spec). Tests and the ci.sh
+/// bench gate assert `evaluate`/`evaluate_delta` ≡ `core::evaluate` with
+/// `memcmp`-style double equality on every integrated path.
+///
+/// **Delta evaluation.** All neighborhood moves (split/merge/relocate/swap/
+/// mode changes) touch the intervals of at most two applications, and an
+/// application's period/latency depend only on its *own* intervals (inter-
+/// application coupling exists only through the shared-processor constraint,
+/// not through Eqs. 3–5). `bind_base` caches the per-app metrics of the
+/// incumbent; `evaluate_delta` recomputes just the touched applications and
+/// re-combines the cached remainder — O(affected app) divisions instead of
+/// O(whole mapping) — then re-derives the weighted maxima and energy with
+/// the scalar combination order so the result stays bit-identical.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/mapping.hpp"
+#include "core/problem.hpp"
+
+namespace pipeopt::core {
+
+/// Bind-once, evaluate-many workspace. Not thread-safe (one per worker);
+/// the bound Problem must outlive the evaluator. References returned by
+/// the evaluate calls point into the internal workspace and are invalidated
+/// by the next evaluation.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(const Problem& problem);
+
+  BatchEvaluator(const BatchEvaluator&) = delete;
+  BatchEvaluator& operator=(const BatchEvaluator&) = delete;
+  BatchEvaluator(BatchEvaluator&&) = default;
+  BatchEvaluator& operator=(BatchEvaluator&&) = default;
+
+  [[nodiscard]] const Problem& problem() const noexcept { return *problem_; }
+
+  // ---- full evaluation (allocation-free after the first call) ----
+
+  /// Evaluates a mapping; bit-identical to `core::evaluate(problem, mapping,
+  /// /*check_valid=*/false)`. The returned reference is the internal
+  /// workspace — copy it if it must survive the next call.
+  const Metrics& evaluate(const Mapping& mapping);
+
+  /// Same, over a raw interval span sorted by (app, first stage) — the order
+  /// `Mapping::intervals()` stores and `exact::enumerate_mappings` emits.
+  /// Lets exact leaves skip `Mapping` construction entirely. Throws
+  /// std::invalid_argument when some application has no interval or the span
+  /// is not grouped by ascending application.
+  const Metrics& evaluate(std::span<const IntervalAssignment> intervals);
+
+  /// Evaluates a contiguous batch; `out` is resized to `candidates.size()`.
+  void evaluate_batch(std::span<const Mapping> candidates, std::vector<Metrics>& out);
+
+  // ---- incremental (delta) evaluation ----
+
+  /// Caches the per-application metrics of `base` (one full evaluation) so
+  /// subsequent `evaluate_delta` calls only recompute touched applications.
+  void bind_base(const Mapping& base);
+  void bind_base(std::span<const IntervalAssignment> intervals);
+  /// Binds the base from an already-computed evaluation of it (no
+  /// recomputation, no eval counted). Typical use: a search accepts the
+  /// candidate it just delta-evaluated and adopts that result as the new
+  /// base. The caller vouches that `metrics` belongs to the new base.
+  void adopt_base(const Metrics& metrics);
+  [[nodiscard]] bool has_base() const noexcept { return has_base_; }
+
+  /// Evaluates a candidate that differs from the bound base only in the
+  /// intervals of `touched_apps` (at most a handful; duplicates allowed).
+  /// Bit-identical to a full evaluation of the candidate. The caller owns
+  /// the touched-set contract — passing a stale/incomplete set silently
+  /// reuses wrong cached values (the property test covers every
+  /// neighborhood move kind).
+  const Metrics& evaluate_delta(const Mapping& candidate,
+                                std::span<const std::size_t> touched_apps);
+  const Metrics& evaluate_delta(std::span<const IntervalAssignment> intervals,
+                                std::span<const std::size_t> touched_apps);
+
+  /// Evaluations served (full + batch + delta + base binds) since
+  /// construction — the `evals` diagnostic surfaced on the stats wire line.
+  [[nodiscard]] std::uint64_t evals() const noexcept { return evals_; }
+
+  // ---- flat SoA lookups (bit-identical to the Problem accessors) ----
+  // Branch-and-bound reads these in its inner loop instead of the
+  // bounds-checked object-graph accessors; indices must be in range.
+
+  [[nodiscard]] std::size_t application_count() const noexcept { return app_count_; }
+  [[nodiscard]] std::size_t processor_count() const noexcept { return proc_count_; }
+  [[nodiscard]] CommModel comm_model() const noexcept { return comm_; }
+
+  [[nodiscard]] double weight(std::size_t a) const noexcept { return weights_[a]; }
+  [[nodiscard]] std::size_t stage_count(std::size_t a) const noexcept {
+    return stage_count_[a];
+  }
+  /// Σ w over the inclusive stage range — the same prefix-sum difference
+  /// `Application::total_compute` computes (identical doubles).
+  [[nodiscard]] double compute_sum(std::size_t a, std::size_t first,
+                                   std::size_t last) const noexcept {
+    const std::size_t off = app_offset_[a];
+    return compute_prefix_[off + last + 1] - compute_prefix_[off + first];
+  }
+  /// δ^i of application a, i ∈ [0, n_a].
+  [[nodiscard]] double boundary(std::size_t a, std::size_t i) const noexcept {
+    return boundaries_[app_offset_[a] + i];
+  }
+  [[nodiscard]] double link_bandwidth(std::size_t u, std::size_t v) const noexcept {
+    return link_bw_[u * proc_count_ + v];
+  }
+  [[nodiscard]] double input_bandwidth(std::size_t a, std::size_t u) const noexcept {
+    return in_bw_[a * proc_count_ + u];
+  }
+  [[nodiscard]] double output_bandwidth(std::size_t a, std::size_t u) const noexcept {
+    return out_bw_[a * proc_count_ + u];
+  }
+  [[nodiscard]] std::size_t mode_count(std::size_t u) const noexcept {
+    return mode_offset_[u + 1] - mode_offset_[u];
+  }
+  [[nodiscard]] std::size_t max_mode(std::size_t u) const noexcept {
+    return mode_count(u) - 1;
+  }
+  [[nodiscard]] double speed(std::size_t u, std::size_t m) const noexcept {
+    return speeds_[mode_offset_[u] + m];
+  }
+  [[nodiscard]] double max_speed(std::size_t u) const noexcept {
+    return speeds_[mode_offset_[u + 1] - 1];
+  }
+  /// E_stat(u) + s_{u,m}^α — identical to `Platform::processor_energy`.
+  [[nodiscard]] double processor_energy(std::size_t u, std::size_t m) const noexcept {
+    return energies_[mode_offset_[u] + m];
+  }
+
+ private:
+  /// Period/latency of one application's ordered interval run — the scalar
+  /// `application_period` + `application_latency` loops fused into one pass
+  /// (each accumulator still sees the exact scalar operand sequence).
+  void app_metrics(std::span<const IntervalAssignment> ivs, std::size_t a,
+                   AppMetrics& out) const;
+  /// Full evaluation into the workspace (common core of the public calls).
+  const Metrics& eval_full(std::span<const IntervalAssignment> intervals);
+  /// Weighted-maxima + energy combination pass shared by full and delta.
+  void combine(std::span<const IntervalAssignment> intervals);
+
+  const Problem* problem_;
+  CommModel comm_;
+  std::size_t app_count_ = 0;
+  std::size_t proc_count_ = 0;
+
+  // Applications: per-app weight; concatenated prefix sums / boundary sizes,
+  // both n_a+1 long per app at offset app_offset_[a].
+  std::vector<double> weights_;
+  std::vector<std::size_t> stage_count_;
+  std::vector<std::size_t> app_offset_;
+  std::vector<double> compute_prefix_;
+  std::vector<double> boundaries_;
+
+  // Platform: concatenated per-mode speed/energy tables at mode_offset_[u];
+  // dense bandwidth matrices (uniform platforms expanded).
+  std::vector<std::size_t> mode_offset_;
+  std::vector<double> speeds_;
+  std::vector<double> energies_;
+  std::vector<double> link_bw_;
+  std::vector<double> in_bw_;
+  std::vector<double> out_bw_;
+
+  // Workspace + delta state.
+  Metrics metrics_;
+  std::vector<AppMetrics> base_per_app_;
+  bool has_base_ = false;
+  std::uint64_t evals_ = 0;
+};
+
+}  // namespace pipeopt::core

@@ -73,12 +73,34 @@ double application_latency(const Problem& problem,
 Metrics evaluate(const Problem& problem, const Mapping& mapping, bool check_valid) {
   if (check_valid) mapping.validate_or_throw(problem);
 
+  // One pass over the (app, first)-sorted interval list: each application's
+  // run is located without the intervals_of copy, and each interval's cost
+  // pieces are computed once and shared between the period and latency
+  // accumulators (the two-pass version recomputed interval_cost per
+  // accumulator). Both accumulators still see the operand sequence of their
+  // standalone application_period/application_latency loops, so the results
+  // are bit-identical.
+  const std::span<const IntervalAssignment> all = mapping.intervals();
   Metrics metrics;
   metrics.per_app.resize(problem.application_count());
+  std::size_t i = 0;
   for (std::size_t a = 0; a < problem.application_count(); ++a) {
-    const std::vector<IntervalAssignment> ivs = mapping.intervals_of(a);
-    metrics.per_app[a].period = application_period(problem, ivs);
-    metrics.per_app[a].latency = application_latency(problem, ivs);
+    const std::size_t begin = i;
+    while (i < all.size() && all[i].app == a) ++i;
+    const std::span<const IntervalAssignment> ivs = all.subspan(begin, i - begin);
+    if (ivs.empty()) {
+      throw std::invalid_argument("application_period: empty interval list");
+    }
+    double period = 0.0;
+    double latency = 0.0;
+    for (std::size_t j = 0; j < ivs.size(); ++j) {
+      const IntervalCost cost = interval_cost(problem, ivs, j);
+      period = std::max(period, cost.cycle_time(problem.comm_model()));
+      if (j == 0) latency += cost.in_comm;
+      latency += cost.compute + cost.out_comm;
+    }
+    metrics.per_app[a].period = period;
+    metrics.per_app[a].latency = latency;
     const double w = problem.application(a).weight();
     metrics.max_weighted_period =
         std::max(metrics.max_weighted_period, w * metrics.per_app[a].period);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/eval_batch.hpp"
 #include "core/evaluation.hpp"
 #include "util/numeric.hpp"
 
@@ -14,8 +15,51 @@ using core::IntervalAssignment;
 using core::Mapping;
 using core::Problem;
 
+/// Scalar lookup policy: the bounds-checked object-graph accessors the
+/// search used before the SoA tables. Kept for the nodes/sec before/after
+/// comparison (and the bit-identity cross-check) in bench_eval_hot_path —
+/// both policies return identical doubles for every query, so the two
+/// searches are bit-for-bit the same and only nodes/sec differs.
+struct ScalarTables {
+  const Problem& p;
+
+  [[nodiscard]] double weight(std::size_t a) const {
+    return p.application(a).weight();
+  }
+  [[nodiscard]] std::size_t stage_count(std::size_t a) const {
+    return p.application(a).stage_count();
+  }
+  [[nodiscard]] double compute_sum(std::size_t a, std::size_t first,
+                                   std::size_t last) const {
+    return p.application(a).total_compute(first, last);
+  }
+  [[nodiscard]] double boundary(std::size_t a, std::size_t i) const {
+    return p.application(a).boundary_size(i);
+  }
+  [[nodiscard]] double link_bandwidth(std::size_t u, std::size_t v) const {
+    return p.platform().bandwidth(u, v);
+  }
+  [[nodiscard]] double input_bandwidth(std::size_t a, std::size_t u) const {
+    return p.platform().in_bandwidth(a, u);
+  }
+  [[nodiscard]] double output_bandwidth(std::size_t a, std::size_t u) const {
+    return p.platform().out_bandwidth(a, u);
+  }
+  [[nodiscard]] double max_speed(std::size_t u) const {
+    return p.platform().processor(u).max_speed();
+  }
+  [[nodiscard]] std::size_t max_mode(std::size_t u) const {
+    return p.platform().processor(u).max_mode();
+  }
+};
+
+/// `Tables` is either ScalarTables or core::BatchEvaluator (the flat SoA
+/// lookups) — same query interface, identical doubles.
+template <class Tables>
 struct BranchBound {
   const Problem& problem;
+  const Tables& tables;
+  const core::CommModel comm;
   const MappingKind kind;
   const std::uint64_t node_limit;
   const util::CancelToken cancel;
@@ -36,9 +80,12 @@ struct BranchBound {
   // entry per placed interval for O(1) undo.
   std::vector<double> finalized_max;
 
-  BranchBound(const Problem& p, MappingKind k, std::uint64_t limit,
-              util::CancelToken token, std::optional<double> warm_start)
+  BranchBound(const Problem& p, const Tables& t, MappingKind k,
+              std::uint64_t limit, util::CancelToken token,
+              std::optional<double> warm_start)
       : problem(p),
+        tables(t),
+        comm(p.comm_model()),
         kind(k),
         node_limit(limit),
         cancel(std::move(token)),
@@ -47,10 +94,10 @@ struct BranchBound {
     procs_fast_first = p.platform().processors_by_max_speed_desc();
     suffix_max_w.resize(p.application_count());
     for (std::size_t a = 0; a < p.application_count(); ++a) {
-      const auto& app = p.application(a);
-      suffix_max_w[a].assign(app.stage_count() + 1, 0.0);
-      for (std::size_t s = app.stage_count(); s-- > 0;) {
-        // total_compute(s, s) — the prefix-sum difference interval_value
+      const std::size_t n = tables.stage_count(a);
+      suffix_max_w[a].assign(n + 1, 0.0);
+      for (std::size_t s = n; s-- > 0;) {
+        // compute_sum(s, s) — the prefix-sum difference interval_value
         // evaluates — not compute(s): the two can differ by one ULP, and a
         // bound built from the larger spelling would not be admissible in
         // floating point (it could prune a bit-exact incumbent or
@@ -58,7 +105,7 @@ struct BranchBound {
         // differences monotonically, so this spelling is safe for every
         // interval containing stage s).
         suffix_max_w[a][s] =
-            std::max(suffix_max_w[a][s + 1], app.total_compute(s, s));
+            std::max(suffix_max_w[a][s + 1], tables.compute_sum(a, s, s));
       }
     }
     finalized_max.push_back(0.0);
@@ -66,7 +113,7 @@ struct BranchBound {
 
   [[nodiscard]] double fastest_unused_speed() const {
     for (std::size_t u : procs_fast_first) {
-      if (!proc_used[u]) return problem.platform().processor(u).max_speed();
+      if (!proc_used[u]) return tables.max_speed(u);
     }
     return 0.0;  // no processor left: caller prunes via placement failure
   }
@@ -75,28 +122,26 @@ struct BranchBound {
   /// included only when `final_out` (successor known or sink reached).
   [[nodiscard]] double interval_value(std::size_t idx, bool final_out) const {
     const IntervalAssignment& iv = placed[idx];
-    const auto& app = problem.application(iv.app);
-    const auto& platform = problem.platform();
-    const double speed = platform.processor(iv.proc).max_speed();
+    const double speed = tables.max_speed(iv.proc);
 
     const bool has_prev = idx > 0 && placed[idx - 1].app == iv.app;
     const double in_bw = has_prev
-                             ? platform.bandwidth(placed[idx - 1].proc, iv.proc)
-                             : platform.in_bandwidth(iv.app, iv.proc);
-    const double in = app.boundary_size(iv.first) / in_bw;
-    const double comp = app.total_compute(iv.first, iv.last) / speed;
+                             ? tables.link_bandwidth(placed[idx - 1].proc, iv.proc)
+                             : tables.input_bandwidth(iv.app, iv.proc);
+    const double in = tables.boundary(iv.app, iv.first) / in_bw;
+    const double comp = tables.compute_sum(iv.app, iv.first, iv.last) / speed;
     double out = 0.0;
     if (final_out) {
-      const bool is_last = iv.last + 1 == app.stage_count();
+      const bool is_last = iv.last + 1 == tables.stage_count(iv.app);
       const double out_bw =
-          is_last ? platform.out_bandwidth(iv.app, iv.proc)
-                  : platform.bandwidth(iv.proc, placed[idx + 1].proc);
-      out = app.boundary_size(iv.last + 1) / out_bw;
+          is_last ? tables.output_bandwidth(iv.app, iv.proc)
+                  : tables.link_bandwidth(iv.proc, placed[idx + 1].proc);
+      out = tables.boundary(iv.app, iv.last + 1) / out_bw;
     }
-    const double cycle = problem.comm_model() == core::CommModel::Overlap
+    const double cycle = comm == core::CommModel::Overlap
                              ? std::max({in, comp, out})
                              : in + comp + out;
-    return app.weight() * cycle;
+    return tables.weight(iv.app) * cycle;
   }
 
   /// Admissible bound from the stages not yet placed (apps `app` onward).
@@ -111,8 +156,7 @@ struct BranchBound {
     double bound = 0.0;
     for (std::size_t a = app; a < problem.application_count(); ++a) {
       const std::size_t from = (a == app) ? stage : 0;
-      bound = std::max(bound, problem.application(a).weight() *
-                                  (suffix_max_w[a][from] / s_max));
+      bound = std::max(bound, tables.weight(a) * (suffix_max_w[a][from] / s_max));
     }
     return bound;
   }
@@ -137,8 +181,7 @@ struct BranchBound {
       ++stats.complete;
       return;
     }
-    const auto& application = problem.application(app);
-    const std::size_t n = application.stage_count();
+    const std::size_t n = tables.stage_count(app);
     if (stage == n) {
       recurse(app + 1, 0);
       return;
@@ -154,8 +197,7 @@ struct BranchBound {
       for (std::size_t u : procs_fast_first) {
         if (proc_used[u]) continue;
         proc_used[u] = 1;
-        placed.push_back({app, stage, last, u,
-                          problem.platform().processor(u).max_mode()});
+        placed.push_back({app, stage, last, u, tables.max_mode(u)});
         const std::size_t idx = placed.size() - 1;
 
         // Finalize the predecessor interval (its out-link is now known) and
@@ -181,13 +223,15 @@ struct BranchBound {
   }
 };
 
-}  // namespace
-
-std::optional<ExactResult> branch_bound_min_period(
-    const Problem& problem, MappingKind kind, std::uint64_t node_limit,
-    util::CancelToken cancel, std::optional<double> warm_start) {
-  BranchBound search(problem, kind, node_limit, std::move(cancel),
-                     warm_start);
+template <class Tables>
+std::optional<ExactResult> run_branch_bound(const Problem& problem,
+                                            const Tables& tables,
+                                            MappingKind kind,
+                                            std::uint64_t node_limit,
+                                            util::CancelToken cancel,
+                                            std::optional<double> warm_start) {
+  BranchBound<Tables> search(problem, tables, kind, node_limit,
+                             std::move(cancel), warm_start);
   search.run();
   if (!search.best_mapping) return std::nullopt;
   ExactResult result;
@@ -195,6 +239,24 @@ std::optional<ExactResult> branch_bound_min_period(
   result.mapping = std::move(*search.best_mapping);
   result.stats = search.stats;
   return result;
+}
+
+}  // namespace
+
+std::optional<ExactResult> branch_bound_min_period(
+    const Problem& problem, MappingKind kind, std::uint64_t node_limit,
+    util::CancelToken cancel, std::optional<double> warm_start) {
+  const core::BatchEvaluator tables(problem);
+  return run_branch_bound(problem, tables, kind, node_limit, std::move(cancel),
+                          warm_start);
+}
+
+std::optional<ExactResult> branch_bound_min_period_scalar(
+    const Problem& problem, MappingKind kind, std::uint64_t node_limit,
+    util::CancelToken cancel, std::optional<double> warm_start) {
+  const ScalarTables tables{problem};
+  return run_branch_bound(problem, tables, kind, node_limit, std::move(cancel),
+                          warm_start);
 }
 
 }  // namespace pipeopt::exact

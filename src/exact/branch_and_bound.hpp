@@ -43,4 +43,15 @@ namespace pipeopt::exact {
     std::uint64_t node_limit = 2'000'000'000, util::CancelToken cancel = {},
     std::optional<double> warm_start = std::nullopt);
 
+/// Benchmark/test hook: the same search driven by the scalar object-graph
+/// accessors instead of the bind-once SoA tables branch_bound_min_period
+/// reads (core::BatchEvaluator). Both lookup paths return identical doubles
+/// for every query, so results — value, mapping, node counts — are
+/// bit-identical; only nodes/sec differs. bench_eval_hot_path measures the
+/// two against each other and asserts the identity.
+[[nodiscard]] std::optional<ExactResult> branch_bound_min_period_scalar(
+    const core::Problem& problem, MappingKind kind,
+    std::uint64_t node_limit = 2'000'000'000, util::CancelToken cancel = {},
+    std::optional<double> warm_start = std::nullopt);
+
 }  // namespace pipeopt::exact

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/eval_batch.hpp"
 #include "core/evaluation.hpp"
 #include "util/numeric.hpp"
 
@@ -29,18 +30,23 @@ std::optional<ExactResult> exact_minimize(const Problem& problem,
                                           Objective objective,
                                           const ConstraintSet& constraints) {
   std::optional<ExactResult> best;
+  // One bound workspace for the whole enumeration. Leaves are evaluated
+  // straight off the enumerator's span — already (app, first)-ordered, so
+  // the result is bit-identical to constructing the Mapping first — and a
+  // Mapping is only materialized for a new incumbent.
+  core::BatchEvaluator evaluator(problem);
   EnumerationStats stats = enumerate_mappings(
       problem, options,
       [&](std::span<const core::IntervalAssignment> intervals) {
-        Mapping mapping(
-            std::vector<core::IntervalAssignment>(intervals.begin(), intervals.end()));
-        // The enumerator only produces structurally valid mappings; skip the
-        // re-validation on this hot path.
-        const Metrics metrics = core::evaluate(problem, mapping, false);
+        const Metrics& metrics = evaluator.evaluate(intervals);
         if (!constraints.satisfied_by(metrics)) return;
         const double value = objective_value(objective, metrics);
         if (!best || value < best->value) {
-          best = ExactResult{value, std::move(mapping), {}};
+          best = ExactResult{
+              value,
+              Mapping(std::vector<core::IntervalAssignment>(intervals.begin(),
+                                                            intervals.end())),
+              {}};
         }
       });
   if (best) best->stats = stats;

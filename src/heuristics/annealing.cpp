@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/eval_batch.hpp"
 #include "core/evaluation.hpp"
 #include "heuristics/neighborhood.hpp"
 #include "util/numeric.hpp"
@@ -40,8 +41,14 @@ AnnealingResult simulated_annealing(const core::Problem& problem,
                                     const core::ConstraintSet& constraints,
                                     util::Rng& rng,
                                     const AnnealingOptions& options) {
+  std::optional<core::BatchEvaluator> owned;
+  core::BatchEvaluator& ev =
+      options.evaluator ? *options.evaluator : owned.emplace(problem);
+  if (options.validate_start) start.validate_or_throw(problem);
+  const std::uint64_t evals_before = ev.evals();
+
   core::Mapping current = start;
-  core::Metrics metrics = core::evaluate(problem, current);
+  core::Metrics metrics = ev.evaluate(current);
   const double scale = std::max(goal_value(goal, metrics), 1e-9);
   auto score = [&](const core::Metrics& m) {
     return goal_value(goal, m) / scale +
@@ -56,27 +63,32 @@ AnnealingResult simulated_annealing(const core::Problem& problem,
     result.value = goal_value(goal, metrics);
   }
 
+  ev.adopt_base(metrics);
   double temperature = options.initial_temperature;
   for (std::size_t it = 0; it < options.iterations; ++it) {
     if (options.should_stop && options.should_stop()) break;
-    const auto candidate = random_neighbour(problem, current, rng);
+    auto candidate = random_neighbour_move(problem, current, rng);
     if (!candidate) break;
-    const core::Metrics m = core::evaluate(problem, *candidate, false);
+    const core::Metrics& m =
+        ev.evaluate_delta(candidate->mapping, candidate->touched());
     const double cand_score = score(m);
     const double delta = cand_score - current_score;
     if (delta <= 0.0 ||
         rng.uniform(0.0, 1.0) < std::exp(-delta / std::max(temperature, 1e-12))) {
-      current = *candidate;
+      current = std::move(candidate->mapping);
       current_score = cand_score;
-      metrics = m;
+      const bool feasible = constraints.satisfied_by(m);
+      const double value = goal_value(goal, m);
+      ev.adopt_base(m);  // the candidate just evaluated is the new base
       ++result.accepted;
-      if (constraints.satisfied_by(m) && goal_value(goal, m) < result.value) {
+      if (feasible && value < result.value) {
         result.mapping = current;
-        result.value = goal_value(goal, m);
+        result.value = value;
       }
     }
     temperature *= options.cooling;
   }
+  result.evals = ev.evals() - evals_before;
   return result;
 }
 

@@ -7,6 +7,7 @@
 /// during the walk via a penalty term so the search can cross infeasible
 /// ridges, but only feasible states are recorded as incumbents.
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 
@@ -27,6 +28,11 @@ struct AnnealingOptions {
   /// Polled every iteration; returning true ends the walk with the best
   /// feasible incumbent so far (time budgets, cancellation). Null = never.
   std::function<bool()> should_stop;
+  /// Shared evaluation workspace; the walk binds its own when null.
+  core::BatchEvaluator* evaluator = nullptr;
+  /// The walk structurally validates `start` exactly once, up front (see
+  /// LocalSearchOptions::validate_start); false skips the re-validation.
+  bool validate_start = true;
 };
 
 /// Annealing outcome; `value` is +inf when no feasible state was ever seen.
@@ -34,6 +40,7 @@ struct AnnealingResult {
   core::Mapping mapping;
   double value = 0.0;
   std::size_t accepted = 0;  ///< accepted moves (diagnostics)
+  std::uint64_t evals = 0;   ///< evaluations performed by this walk
 };
 
 /// Runs simulated annealing from `start` (need not satisfy the constraints).

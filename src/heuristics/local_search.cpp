@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/eval_batch.hpp"
 #include "core/evaluation.hpp"
 #include "heuristics/neighborhood.hpp"
 #include "util/numeric.hpp"
@@ -21,27 +22,35 @@ LocalSearchResult local_search(const core::Problem& problem,
                                const core::Mapping& start, Goal goal,
                                const core::ConstraintSet& constraints,
                                const LocalSearchOptions& options) {
-  core::Metrics metrics = core::evaluate(problem, start);
-  if (!constraints.satisfied_by(metrics)) {
+  std::optional<core::BatchEvaluator> owned;
+  core::BatchEvaluator& ev =
+      options.evaluator ? *options.evaluator : owned.emplace(problem);
+  if (options.validate_start) start.validate_or_throw(problem);
+  const std::uint64_t evals_before = ev.evals();
+
+  const core::Metrics& start_metrics = ev.evaluate(start);
+  if (!constraints.satisfied_by(start_metrics)) {
     throw std::invalid_argument("local_search: infeasible starting mapping");
   }
 
   LocalSearchResult result;
   result.mapping = start;
-  result.value = goal_value(goal, metrics);
+  result.value = goal_value(goal, start_metrics);
 
   while (result.steps < options.max_steps) {
     if (options.should_stop && options.should_stop()) break;
+    ev.bind_base(result.mapping);
     core::Mapping best_neighbour;
     double best_value = result.value;
     bool improved = false;
-    for (core::Mapping& candidate : neighbours(problem, result.mapping)) {
-      const core::Metrics m = core::evaluate(problem, candidate, false);
+    for (Neighbour& candidate : neighbour_moves(problem, result.mapping)) {
+      const core::Metrics& m =
+          ev.evaluate_delta(candidate.mapping, candidate.touched());
       if (!constraints.satisfied_by(m)) continue;
       const double value = goal_value(goal, m);
       if (value < best_value && !util::approx_eq(value, best_value)) {
         best_value = value;
-        best_neighbour = std::move(candidate);
+        best_neighbour = std::move(candidate.mapping);
         improved = true;
       }
     }
@@ -50,6 +59,7 @@ LocalSearchResult local_search(const core::Problem& problem,
     result.value = best_value;
     ++result.steps;
   }
+  result.evals = ev.evals() - evals_before;
   return result;
 }
 

@@ -6,12 +6,17 @@
 /// Polynomial per step; used as the mid-tier heuristic on the NP-hard cells
 /// (quality between the constructive greedy and simulated annealing).
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 
 #include "core/mapping.hpp"
 #include "core/objectives.hpp"
 #include "core/problem.hpp"
+
+namespace pipeopt::core {
+class BatchEvaluator;
+}
 
 namespace pipeopt::heuristics {
 
@@ -27,6 +32,15 @@ struct LocalSearchOptions {
   /// Polled before every step; returning true ends the search with the best
   /// mapping found so far (time budgets, cancellation). Null = never stop.
   std::function<bool()> should_stop;
+  /// Shared evaluation workspace; the search binds its own when null. Pass
+  /// one per solve so bind-time work and the evals count are shared across
+  /// ladder rungs.
+  core::BatchEvaluator* evaluator = nullptr;
+  /// Validation contract: the search structurally validates `start` exactly
+  /// once, up front — never per candidate (candidates come from the
+  /// validity-preserving neighbourhood). Callers that already validated the
+  /// start (the ladder validates once per solve) pass false to skip it.
+  bool validate_start = true;
 };
 
 /// Search outcome.
@@ -34,6 +48,7 @@ struct LocalSearchResult {
   core::Mapping mapping;
   double value = 0.0;
   std::size_t steps = 0;
+  std::uint64_t evals = 0;  ///< evaluations performed by this search
 };
 
 /// Hill-climbs from `start` (which must satisfy the constraints). Every

@@ -58,8 +58,13 @@ std::size_t clamp_mode(const Problem& problem, std::size_t proc, std::size_t mod
 
 enum class MoveKind { Split, Merge, Relocate, Swap, ModeUp, ModeDown };
 
+/// Emit signature: the candidate plus the one or two applications whose
+/// intervals the move rewrote (only swaps can touch two).
+using EmitMove =
+    std::function<void(Mapping, std::size_t, std::optional<std::size_t>)>;
+
 void collect_moves(const Problem& problem, const Mapping& mapping,
-                   const std::function<void(Mapping)>& emit) {
+                   const EmitMove& emit) {
   const auto ivs = mapping.intervals();
   const auto free = free_processors(problem, mapping);
   const auto fastest = fastest_free(problem, mapping);
@@ -76,7 +81,7 @@ void collect_moves(const Problem& problem, const Mapping& mapping,
         second.proc = *fastest;
         second.mode = problem.platform().processor(*fastest).max_mode();
         next.push_back(second);
-        emit(Mapping(std::move(next)));
+        emit(Mapping(std::move(next)), ivs[i].app, std::nullopt);
       }
     }
   }
@@ -93,7 +98,7 @@ void collect_moves(const Problem& problem, const Mapping& mapping,
     merged.last = next[j].last;
     next[keep_first ? i : j] = merged;
     next.erase(next.begin() + static_cast<std::ptrdiff_t>(keep_first ? j : i));
-    emit(Mapping(std::move(next)));
+    emit(Mapping(std::move(next)), merged.app, std::nullopt);
   }
 
   // Relocations: move interval i to each free processor, at every mode of
@@ -106,7 +111,7 @@ void collect_moves(const Problem& problem, const Mapping& mapping,
         auto next = to_vec(mapping);
         next[i].proc = u;
         next[i].mode = m;
-        emit(Mapping(std::move(next)));
+        emit(Mapping(std::move(next)), ivs[i].app, std::nullopt);
       }
     }
   }
@@ -119,7 +124,9 @@ void collect_moves(const Problem& problem, const Mapping& mapping,
       std::swap(next[i].mode, next[j].mode);
       next[i].mode = clamp_mode(problem, next[i].proc, next[i].mode);
       next[j].mode = clamp_mode(problem, next[j].proc, next[j].mode);
-      emit(Mapping(std::move(next)));
+      emit(Mapping(std::move(next)), ivs[i].app,
+           ivs[j].app == ivs[i].app ? std::nullopt
+                                    : std::optional<std::size_t>(ivs[j].app));
     }
   }
 
@@ -129,29 +136,54 @@ void collect_moves(const Problem& problem, const Mapping& mapping,
     if (ivs[i].mode < max_mode) {
       auto next = to_vec(mapping);
       ++next[i].mode;
-      emit(Mapping(std::move(next)));
+      emit(Mapping(std::move(next)), ivs[i].app, std::nullopt);
     }
     if (ivs[i].mode > 0) {
       auto next = to_vec(mapping);
       --next[i].mode;
-      emit(Mapping(std::move(next)));
+      emit(Mapping(std::move(next)), ivs[i].app, std::nullopt);
     }
   }
 }
 
 }  // namespace
 
+std::vector<Neighbour> neighbour_moves(const Problem& problem,
+                                       const Mapping& mapping) {
+  std::vector<Neighbour> result;
+  collect_moves(problem, mapping,
+                [&](Mapping m, std::size_t app_a, std::optional<std::size_t> app_b) {
+                  Neighbour nb;
+                  nb.mapping = std::move(m);
+                  nb.touched_apps[nb.touched_count++] = app_a;
+                  if (app_b) nb.touched_apps[nb.touched_count++] = *app_b;
+                  result.push_back(std::move(nb));
+                });
+  return result;
+}
+
+std::optional<Neighbour> random_neighbour_move(const Problem& problem,
+                                               const Mapping& mapping,
+                                               util::Rng& rng) {
+  std::vector<Neighbour> all = neighbour_moves(problem, mapping);
+  if (all.empty()) return std::nullopt;
+  return std::move(all[rng.index(all.size())]);
+}
+
 std::vector<Mapping> neighbours(const Problem& problem, const Mapping& mapping) {
   std::vector<Mapping> result;
-  collect_moves(problem, mapping, [&](Mapping m) { result.push_back(std::move(m)); });
+  collect_moves(problem, mapping,
+                [&](Mapping m, std::size_t, std::optional<std::size_t>) {
+                  result.push_back(std::move(m));
+                });
   return result;
 }
 
 std::optional<Mapping> random_neighbour(const Problem& problem,
                                         const Mapping& mapping, util::Rng& rng) {
-  std::vector<Mapping> all = neighbours(problem, mapping);
-  if (all.empty()) return std::nullopt;
-  return std::move(all[rng.index(all.size())]);
+  auto move = random_neighbour_move(problem, mapping, rng);
+  if (!move) return std::nullopt;
+  return std::move(move->mapping);
 }
 
 }  // namespace pipeopt::heuristics

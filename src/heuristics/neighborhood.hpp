@@ -12,7 +12,10 @@
 ///
 /// Every move preserves structural validity (tiling, distinct processors).
 
+#include <array>
+#include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/mapping.hpp"
@@ -21,13 +24,38 @@
 
 namespace pipeopt::heuristics {
 
+/// One legal move: the resulting mapping plus the applications whose
+/// intervals differ from the source mapping. Every move kind rewrites the
+/// intervals of at most two applications (swap; one for all others), which
+/// is exactly the touched set `core::BatchEvaluator::evaluate_delta` needs
+/// to re-evaluate the candidate in O(affected app).
+struct Neighbour {
+  core::Mapping mapping;
+  std::array<std::size_t, 2> touched_apps{};
+  std::size_t touched_count = 0;
+
+  [[nodiscard]] std::span<const std::size_t> touched() const noexcept {
+    return {touched_apps.data(), touched_count};
+  }
+};
+
 /// All neighbours of `mapping` (bounded: splits only target the fastest free
-/// processor to keep the neighbourhood polynomial).
+/// processor to keep the neighbourhood polynomial), with touched-app sets.
+[[nodiscard]] std::vector<Neighbour> neighbour_moves(const core::Problem& problem,
+                                                     const core::Mapping& mapping);
+
+/// One uniformly random move, or std::nullopt when the mapping has no legal
+/// move (rare: single interval, no free processors, single mode). Draws the
+/// same rng sequence (one index over the full move list) as
+/// `random_neighbour` always has, so seeded searches are unchanged.
+[[nodiscard]] std::optional<Neighbour> random_neighbour_move(
+    const core::Problem& problem, const core::Mapping& mapping, util::Rng& rng);
+
+/// All neighbours of `mapping`, mappings only (wrapper over neighbour_moves).
 [[nodiscard]] std::vector<core::Mapping> neighbours(const core::Problem& problem,
                                                     const core::Mapping& mapping);
 
-/// One uniformly random neighbour, or std::nullopt when the mapping has no
-/// legal move (rare: single interval, no free processors, single mode).
+/// One uniformly random neighbour, mapping only.
 [[nodiscard]] std::optional<core::Mapping> random_neighbour(
     const core::Problem& problem, const core::Mapping& mapping, util::Rng& rng);
 

@@ -1,16 +1,25 @@
 #include "heuristics/speed_scaling.hpp"
 
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "core/eval_batch.hpp"
 #include "core/evaluation.hpp"
 
 namespace pipeopt::heuristics {
 
 SpeedScalingResult scale_down_speeds(const core::Problem& problem,
                                      const core::Mapping& mapping,
-                                     const core::ConstraintSet& constraints) {
-  core::Metrics metrics = core::evaluate(problem, mapping);
+                                     const core::ConstraintSet& constraints,
+                                     const SpeedScalingOptions& options) {
+  std::optional<core::BatchEvaluator> owned;
+  core::BatchEvaluator& ev =
+      options.evaluator ? *options.evaluator : owned.emplace(problem);
+  if (options.validate_start) mapping.validate_or_throw(problem);
+  const std::uint64_t evals_before = ev.evals();
+
+  core::Metrics metrics = ev.evaluate(mapping);
   if (!constraints.satisfied_by(metrics)) {
     throw std::invalid_argument(
         "scale_down_speeds: the starting mapping violates the constraints");
@@ -23,16 +32,19 @@ SpeedScalingResult scale_down_speeds(const core::Problem& problem,
 
   for (;;) {
     // Try every single-step mode reduction; keep the one saving the most
-    // energy among those that stay feasible.
+    // energy among those that stay feasible. Each trial flips one interval's
+    // mode in place (the (app, first) order is untouched) and delta-evaluates
+    // just that interval's application against the incumbent base.
+    ev.adopt_base(metrics);
     double best_saving = 0.0;
     std::size_t best_interval = current.size();
     core::Metrics best_metrics;
     for (std::size_t i = 0; i < current.size(); ++i) {
       if (current[i].mode == 0) continue;
-      auto candidate = current;
-      --candidate[i].mode;
-      const core::Mapping trial{std::vector<core::IntervalAssignment>(candidate)};
-      const core::Metrics m = core::evaluate(problem, trial, false);
+      --current[i].mode;
+      const std::size_t touched = current[i].app;
+      const core::Metrics& m = ev.evaluate_delta(current, {&touched, 1});
+      ++current[i].mode;
       if (!constraints.satisfied_by(m)) continue;
       const double saving = metrics.energy - m.energy;
       if (saving > best_saving) {
@@ -43,12 +55,13 @@ SpeedScalingResult scale_down_speeds(const core::Problem& problem,
     }
     if (best_interval == current.size()) break;  // no feasible reduction left
     --current[best_interval].mode;
-    metrics = best_metrics;
+    metrics = std::move(best_metrics);
     ++result.steps;
   }
 
   result.energy_after = metrics.energy;
   result.mapping = core::Mapping(std::move(current));
+  result.evals = ev.evals() - evals_before;
   return result;
 }
 

@@ -7,18 +7,35 @@
 /// platforms (where the exact problem is NP-hard, Theorems 26-27): solve the
 /// performance problem at full speed first, then trade the slack for energy.
 
+#include <cstdint>
+
 #include "core/mapping.hpp"
 #include "core/objectives.hpp"
 #include "core/problem.hpp"
 
+namespace pipeopt::core {
+class BatchEvaluator;
+}
+
 namespace pipeopt::heuristics {
+
+/// Downscaling controls.
+struct SpeedScalingOptions {
+  /// Shared evaluation workspace; the pass binds its own when null. Each
+  /// mode-step trial is a single-application delta evaluation.
+  core::BatchEvaluator* evaluator = nullptr;
+  /// The pass structurally validates the input exactly once, up front (see
+  /// LocalSearchOptions::validate_start); false skips the re-validation.
+  bool validate_start = true;
+};
 
 /// Result of a downscaling pass.
 struct SpeedScalingResult {
   core::Mapping mapping;
   double energy_before = 0.0;
   double energy_after = 0.0;
-  std::size_t steps = 0;  ///< accepted single-mode reductions
+  std::size_t steps = 0;    ///< accepted single-mode reductions
+  std::uint64_t evals = 0;  ///< evaluations performed by this pass
 };
 
 /// Greedily lowers modes while `constraints` stay satisfied. The input
@@ -27,6 +44,7 @@ struct SpeedScalingResult {
 /// start).
 [[nodiscard]] SpeedScalingResult scale_down_speeds(
     const core::Problem& problem, const core::Mapping& mapping,
-    const core::ConstraintSet& constraints);
+    const core::ConstraintSet& constraints,
+    const SpeedScalingOptions& options = {});
 
 }  // namespace pipeopt::heuristics

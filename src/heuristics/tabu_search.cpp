@@ -1,9 +1,11 @@
 #include "heuristics/tabu_search.hpp"
 
 #include <deque>
+#include <optional>
 #include <set>
 #include <sstream>
 
+#include "core/eval_batch.hpp"
 #include "core/evaluation.hpp"
 #include "heuristics/neighborhood.hpp"
 #include "util/numeric.hpp"
@@ -53,8 +55,14 @@ double score(const core::Problem& problem, const core::Metrics& metrics,
 TabuResult tabu_search(const core::Problem& problem, const core::Mapping& start,
                        Goal goal, const core::ConstraintSet& constraints,
                        const TabuOptions& options) {
+  std::optional<core::BatchEvaluator> owned;
+  core::BatchEvaluator& ev =
+      options.evaluator ? *options.evaluator : owned.emplace(problem);
+  if (options.validate_start) start.validate_or_throw(problem);
+  const std::uint64_t evals_before = ev.evals();
+
   core::Mapping current = start;
-  core::Metrics metrics = core::evaluate(problem, current);
+  core::Metrics metrics = ev.evaluate(current);
   const double scale = std::max(goal_value(goal, metrics), 1e-9);
 
   TabuResult result;
@@ -78,13 +86,15 @@ TabuResult tabu_search(const core::Problem& problem, const core::Mapping& start,
 
   for (std::size_t it = 0; it < options.iterations; ++it) {
     if (options.should_stop && options.should_stop()) break;
+    ev.adopt_base(metrics);
     core::Mapping best_neighbour;
     core::Metrics best_metrics;
     double best_score = util::kInfinity;
     bool found = false;
-    for (core::Mapping& candidate : neighbours(problem, current)) {
-      const std::string sig = signature(candidate);
-      const core::Metrics m = core::evaluate(problem, candidate, false);
+    for (Neighbour& candidate : neighbour_moves(problem, current)) {
+      const std::string sig = signature(candidate.mapping);
+      const core::Metrics& m =
+          ev.evaluate_delta(candidate.mapping, candidate.touched());
       const double s = score(problem, m, goal, constraints, scale);
       // Aspiration: a tabu move is admissible when it beats the incumbent.
       const bool aspires =
@@ -92,14 +102,14 @@ TabuResult tabu_search(const core::Problem& problem, const core::Mapping& start,
       if (tabu.contains(sig) && !aspires) continue;
       if (s < best_score) {
         best_score = s;
-        best_neighbour = std::move(candidate);
+        best_neighbour = std::move(candidate.mapping);
         best_metrics = m;
         found = true;
       }
     }
     if (!found) break;  // every neighbour tabu: stuck
     current = std::move(best_neighbour);
-    metrics = best_metrics;
+    metrics = std::move(best_metrics);
     push_tabu(signature(current));
     ++result.moves;
     if (constraints.satisfied_by(metrics) &&
@@ -108,6 +118,7 @@ TabuResult tabu_search(const core::Problem& problem, const core::Mapping& start,
       result.value = goal_value(goal, metrics);
     }
   }
+  result.evals = ev.evals() - evals_before;
   return result;
 }
 

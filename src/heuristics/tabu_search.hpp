@@ -7,6 +7,7 @@
 /// climbing (cheap, myopic) and simulated annealing (stochastic) in the
 /// §6 heuristic ladder; deterministic given its options.
 
+#include <cstdint>
 #include <functional>
 
 #include "core/mapping.hpp"
@@ -23,13 +24,19 @@ struct TabuOptions {
   /// Polled every iteration; returning true ends the search with the best
   /// feasible incumbent so far (time budgets, cancellation). Null = never.
   std::function<bool()> should_stop;
+  /// Shared evaluation workspace; the search binds its own when null.
+  core::BatchEvaluator* evaluator = nullptr;
+  /// The search structurally validates `start` exactly once, up front (see
+  /// LocalSearchOptions::validate_start); false skips the re-validation.
+  bool validate_start = true;
 };
 
 /// Tabu outcome; `value` is +inf when no feasible state was ever seen.
 struct TabuResult {
   core::Mapping mapping;
   double value = 0.0;
-  std::size_t moves = 0;  ///< accepted (non-stuck) iterations
+  std::size_t moves = 0;    ///< accepted (non-stuck) iterations
+  std::uint64_t evals = 0;  ///< evaluations performed by this search
 };
 
 /// Runs tabu search from `start` (need not satisfy the constraints; only

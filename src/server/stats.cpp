@@ -1,11 +1,19 @@
 #include "server/stats.hpp"
 
+#include <cstdlib>
+
 #include "api/cache.hpp"
 
 namespace pipeopt::server {
 
 void ServerStats::record_result(const api::SolveResult& result) {
   if (result.was_cancelled()) ++cancelled_;
+  for (const auto& [key, value] : result.diagnostics) {
+    if (key == "evals") {
+      evals_ += std::strtoull(value.c_str(), nullptr, 10);
+      break;
+    }
+  }
   const std::string solver = result.solver.empty() ? "(none)" : result.solver;
   const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, count] : per_solver_) {
@@ -21,6 +29,7 @@ std::vector<std::pair<std::string, std::string>> ServerStats::snapshot() const {
   std::vector<std::pair<std::string, std::string>> fields;
   fields.emplace_back("requests", std::to_string(requests_.load()));
   fields.emplace_back("solves", std::to_string(solves_.load()));
+  fields.emplace_back("evals", std::to_string(evals_.load()));
   fields.emplace_back("sweeps", std::to_string(sweeps_.load()));
   fields.emplace_back("errors", std::to_string(errors_.load()));
   fields.emplace_back("cancelled", std::to_string(cancelled_.load()));

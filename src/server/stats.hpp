@@ -44,9 +44,11 @@ class ServerStats {
   /// One `{"type":"pareto"}` sweep accepted.
   void record_sweep() noexcept { ++sweeps_; }
 
-  /// One solve finished: bumps the producing solver's dispatch count and
-  /// the cancellation counter when the result carries the "cancelled"
-  /// diagnostic (expired deadline, fired token or vanished client alike).
+  /// One solve finished: bumps the producing solver's dispatch count, the
+  /// cancellation counter when the result carries the "cancelled"
+  /// diagnostic (expired deadline, fired token or vanished client alike),
+  /// and the cumulative evaluation counter from the "evals" diagnostic the
+  /// exact/heuristic adapters attach.
   void record_result(const api::SolveResult& result);
 
   /// One in-flight solve cancelled because its client disconnected.
@@ -58,10 +60,12 @@ class ServerStats {
   void attach_cache(const api::SolveCache* cache) noexcept { cache_ = cache; }
 
   /// Ordered wire fields for the stats response (decimal-string values):
-  /// requests, solves, sweeps, errors, cancelled, disconnect_cancels,
-  /// connections, then — when a cache is attached — cache_hits,
-  /// cache_misses, cache_evictions, cache_entries, then one
-  /// "solver.<name>" field per solver in first-dispatch order.
+  /// requests, solves, evals, sweeps, errors, cancelled,
+  /// disconnect_cancels, connections, then — when a cache is attached —
+  /// cache_hits, cache_misses, cache_evictions, cache_entries, then one
+  /// "solver.<name>" field per solver in first-dispatch order. `evals` is
+  /// the fleet-observable evaluation throughput: io::merge_stats_fields
+  /// sums it field-wise when the router merges shard snapshots.
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> snapshot() const;
 
   [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
@@ -69,6 +73,7 @@ class ServerStats {
   [[nodiscard]] std::uint64_t sweeps() const noexcept { return sweeps_; }
   [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
   [[nodiscard]] std::uint64_t cancelled() const noexcept { return cancelled_; }
+  [[nodiscard]] std::uint64_t evals() const noexcept { return evals_; }
   [[nodiscard]] std::uint64_t disconnect_cancels() const noexcept {
     return disconnect_cancels_;
   }
@@ -80,6 +85,7 @@ class ServerStats {
   std::atomic<std::uint64_t> solves_{0};
   std::atomic<std::uint64_t> sweeps_{0};
   std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> evals_{0};
   std::atomic<std::uint64_t> disconnect_cancels_{0};
   const api::SolveCache* cache_ = nullptr;  ///< set once at server start
   mutable std::mutex mutex_;  ///< guards per_solver_

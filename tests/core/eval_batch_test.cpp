@@ -1,0 +1,301 @@
+/// \file eval_batch_test.cpp
+/// Bit-exactness contract of core::BatchEvaluator: every number the SoA
+/// batch/delta hot path produces must be *bitwise* identical to the scalar
+/// `core::evaluate` object-graph walk — same doubles, not "close" doubles
+/// (FP addition is non-associative; the operation order is the spec).
+/// Randomized property tests sweep platform classes, both communication
+/// models, and degenerate shapes; every neighborhood move kind exercises the
+/// delta path against a full scalar re-evaluation.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/eval_batch.hpp"
+#include "core/evaluation.hpp"
+#include "core/mapping.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "exact/enumeration.hpp"
+#include "gen/random_instances.hpp"
+#include "heuristics/interval_greedy.hpp"
+#include "heuristics/neighborhood.hpp"
+#include "util/random.hpp"
+
+namespace pipeopt {
+namespace {
+
+using core::BatchEvaluator;
+using core::CommModel;
+using core::IntervalAssignment;
+using core::Mapping;
+using core::Metrics;
+using core::PlatformClass;
+
+/// Exact (==, not approximate) comparison of every field of two Metrics.
+/// EXPECT_EQ on doubles compares values bitwise-equivalently for the
+/// non-NaN numbers evaluation produces.
+void expect_bit_identical(const Metrics& scalar, const Metrics& batch,
+                          const char* context) {
+  ASSERT_EQ(scalar.per_app.size(), batch.per_app.size()) << context;
+  for (std::size_t a = 0; a < scalar.per_app.size(); ++a) {
+    EXPECT_EQ(scalar.per_app[a].period, batch.per_app[a].period)
+        << context << " app " << a;
+    EXPECT_EQ(scalar.per_app[a].latency, batch.per_app[a].latency)
+        << context << " app " << a;
+  }
+  EXPECT_EQ(scalar.max_weighted_period, batch.max_weighted_period) << context;
+  EXPECT_EQ(scalar.max_weighted_latency, batch.max_weighted_latency) << context;
+  EXPECT_EQ(scalar.energy, batch.energy) << context;
+}
+
+/// Random shape across all platform classes and both comm models; the seed
+/// picks the cell so the parameterized sweep covers the full cross product.
+gen::ProblemShape random_shape(util::Rng& rng) {
+  gen::ProblemShape shape;
+  shape.applications = 1 + rng.index(3);
+  shape.processors = 3 + rng.index(4);
+  shape.platform.modes = 1 + rng.index(3);
+  const std::array<PlatformClass, 3> classes{PlatformClass::FullyHomogeneous,
+                                             PlatformClass::CommHomogeneous,
+                                             PlatformClass::FullyHeterogeneous};
+  shape.platform_class = classes[rng.index(3)];
+  shape.comm = rng.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  shape.app.min_stages = 1;
+  shape.app.max_stages = 4;
+  return shape;
+}
+
+class EvalBatch : public ::testing::TestWithParam<int> {
+ protected:
+  util::Rng rng_{static_cast<std::uint64_t>(GetParam()) * 977 + 41};
+};
+
+TEST_P(EvalBatch, FullEvaluationMatchesScalarOnSampledMappings) {
+  const auto problem = gen::random_problem(rng_, random_shape(rng_));
+  BatchEvaluator evaluator(problem);
+
+  // Sample valid mappings (with mode variety) straight from the enumerator;
+  // the emitted spans are exactly the (app, first)-sorted order the span
+  // overload requires.
+  exact::EnumerationOptions options;
+  options.kind = exact::MappingKind::Interval;
+  options.enumerate_modes = true;
+  options.node_limit = 500'000;
+  std::size_t checked = 0;
+  try {
+    exact::enumerate_mappings(
+        problem, options, [&](std::span<const IntervalAssignment> ivs) {
+          if (checked >= 200) return;
+          ++checked;
+          const Mapping mapping(
+              std::vector<IntervalAssignment>(ivs.begin(), ivs.end()));
+          const Metrics scalar = core::evaluate(problem, mapping, false);
+          expect_bit_identical(scalar, evaluator.evaluate(mapping), "mapping");
+          expect_bit_identical(scalar, evaluator.evaluate(ivs), "span");
+        });
+  } catch (const exact::SearchLimitExceeded&) {
+    // Large space: the sampled prefix is plenty.
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(EvalBatch, DeltaMatchesFullOnEveryNeighbourMove) {
+  const auto problem = gen::random_problem(rng_, random_shape(rng_));
+  const auto start = heuristics::greedy_interval_mapping(problem);
+  ASSERT_TRUE(start.has_value());
+
+  BatchEvaluator evaluator(problem);
+  evaluator.bind_base(*start);
+
+  // Every move kind (split/merge/relocate/swap/mode) against its own
+  // declared touched set: delta must equal a from-scratch scalar pass.
+  const auto moves = heuristics::neighbour_moves(problem, *start);
+  for (const auto& move : moves) {
+    const Metrics scalar = core::evaluate(problem, move.mapping, false);
+    expect_bit_identical(scalar,
+                         evaluator.evaluate_delta(move.mapping, move.touched()),
+                         "delta");
+  }
+
+  // Accept one candidate the way the searches do — adopt its (copied) delta
+  // metrics without recomputing — and check deltas stay exact off the new
+  // base, including second-generation moves whose touched apps differ.
+  if (!moves.empty()) {
+    const auto& accepted = moves[moves.size() / 2];
+    const Metrics adopted =
+        evaluator.evaluate_delta(accepted.mapping, accepted.touched());
+    evaluator.adopt_base(adopted);
+    const auto second = heuristics::neighbour_moves(problem, accepted.mapping);
+    for (const auto& move : second) {
+      const Metrics scalar = core::evaluate(problem, move.mapping, false);
+      expect_bit_identical(
+          scalar, evaluator.evaluate_delta(move.mapping, move.touched()),
+          "delta-after-adopt");
+    }
+  }
+}
+
+TEST_P(EvalBatch, BatchMatchesSequentialEvaluation) {
+  const auto problem = gen::random_problem(rng_, random_shape(rng_));
+  const auto start = heuristics::greedy_interval_mapping(problem);
+  ASSERT_TRUE(start.has_value());
+
+  std::vector<Mapping> candidates;
+  candidates.push_back(*start);
+  for (auto& move : heuristics::neighbour_moves(problem, *start)) {
+    candidates.push_back(std::move(move.mapping));
+  }
+
+  BatchEvaluator evaluator(problem);
+  std::vector<Metrics> out;
+  evaluator.evaluate_batch(candidates, out);
+  ASSERT_EQ(out.size(), candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Metrics scalar = core::evaluate(problem, candidates[i], false);
+    expect_bit_identical(scalar, out[i], "batch");
+  }
+}
+
+TEST_P(EvalBatch, DegenerateShapesMatchScalar) {
+  // Single-stage applications and a single-processor platform: the smallest
+  // legal instances, where off-by-ones in prefix/boundary indexing surface.
+  gen::ProblemShape shape;
+  if (GetParam() % 2 == 0) {
+    shape.applications = 1;
+    shape.processors = 1;
+    shape.app.min_stages = 1;
+    shape.app.max_stages = 1;
+  } else {
+    shape.applications = 2;
+    shape.processors = 4;
+    shape.app.min_stages = 1;
+    shape.app.max_stages = 1;
+    shape.platform_class = PlatformClass::FullyHeterogeneous;
+  }
+  shape.platform.modes = 1 + rng_.index(2);
+  shape.comm = rng_.chance(0.5) ? CommModel::Overlap : CommModel::NoOverlap;
+  const auto problem = gen::random_problem(rng_, shape);
+  const auto start = heuristics::greedy_interval_mapping(problem);
+  ASSERT_TRUE(start.has_value());
+
+  BatchEvaluator evaluator(problem);
+  const Metrics scalar = core::evaluate(problem, *start, false);
+  expect_bit_identical(scalar, evaluator.evaluate(*start), "degenerate");
+
+  evaluator.bind_base(*start);
+  for (const auto& move : heuristics::neighbour_moves(problem, *start)) {
+    const Metrics full = core::evaluate(problem, move.mapping, false);
+    expect_bit_identical(full,
+                         evaluator.evaluate_delta(move.mapping, move.touched()),
+                         "degenerate-delta");
+  }
+}
+
+TEST_P(EvalBatch, BranchBoundSoaTablesMatchScalarTables) {
+  // The templated search with SoA lookups must reproduce the scalar-lookup
+  // variant exactly: value, mapping, and node/complete counters.
+  gen::ProblemShape shape = random_shape(rng_);
+  shape.applications = 1 + rng_.index(2);
+  shape.processors = 3 + rng_.index(2);
+  const auto problem = gen::random_problem(rng_, shape);
+
+  for (const auto kind :
+       {exact::MappingKind::Interval, exact::MappingKind::OneToOne}) {
+    const auto soa = exact::branch_bound_min_period(problem, kind);
+    const auto scalar = exact::branch_bound_min_period_scalar(problem, kind);
+    ASSERT_EQ(soa.has_value(), scalar.has_value());
+    if (!soa) continue;
+    EXPECT_EQ(soa->value, scalar->value);
+    EXPECT_EQ(soa->stats.nodes, scalar->stats.nodes);
+    EXPECT_EQ(soa->stats.complete, scalar->stats.complete);
+    EXPECT_EQ(soa->mapping.intervals().size(),
+              scalar->mapping.intervals().size());
+    for (std::size_t i = 0; i < soa->mapping.intervals().size(); ++i) {
+      const auto& a = soa->mapping.intervals()[i];
+      const auto& b = scalar->mapping.intervals()[i];
+      EXPECT_EQ(a.app, b.app);
+      EXPECT_EQ(a.first, b.first);
+      EXPECT_EQ(a.last, b.last);
+      EXPECT_EQ(a.proc, b.proc);
+      EXPECT_EQ(a.mode, b.mode);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EvalBatch, ::testing::Range(0, 20));
+
+TEST(EvalBatch, EvalsCounterCountsFullBatchDeltaAndBinds) {
+  util::Rng rng{7};
+  gen::ProblemShape shape;
+  shape.applications = 2;
+  shape.processors = 4;
+  const auto problem = gen::random_problem(rng, shape);
+  const auto start = heuristics::greedy_interval_mapping(problem);
+  ASSERT_TRUE(start.has_value());
+
+  BatchEvaluator evaluator(problem);
+  EXPECT_EQ(evaluator.evals(), 0u);
+  const Metrics first = evaluator.evaluate(*start);
+  EXPECT_EQ(evaluator.evals(), 1u);
+  evaluator.bind_base(*start);  // one full evaluation
+  EXPECT_EQ(evaluator.evals(), 2u);
+  evaluator.adopt_base(first);  // no recomputation, no eval counted
+  EXPECT_EQ(evaluator.evals(), 2u);
+
+  const auto moves = heuristics::neighbour_moves(problem, *start);
+  ASSERT_FALSE(moves.empty());
+  (void)evaluator.evaluate_delta(moves.front().mapping, moves.front().touched());
+  EXPECT_EQ(evaluator.evals(), 3u);
+
+  std::vector<Mapping> candidates{*start, moves.front().mapping};
+  std::vector<Metrics> out;
+  evaluator.evaluate_batch(candidates, out);
+  EXPECT_EQ(evaluator.evals(), 5u);
+}
+
+TEST(EvalBatch, RejectsMalformedSpansAndMissingBase) {
+  util::Rng rng{11};
+  gen::ProblemShape shape;
+  shape.applications = 2;
+  shape.processors = 4;
+  shape.app.min_stages = 2;
+  shape.app.max_stages = 2;
+  const auto problem = gen::random_problem(rng, shape);
+  const auto start = heuristics::greedy_interval_mapping(problem);
+  ASSERT_TRUE(start.has_value());
+  const auto& ivs = start->intervals();
+
+  BatchEvaluator evaluator(problem);
+
+  // Span covering only the first application: the second has no intervals.
+  std::vector<IntervalAssignment> partial;
+  for (const auto& iv : ivs) {
+    if (iv.app == 0) partial.push_back(iv);
+  }
+  EXPECT_THROW(
+      (void)evaluator.evaluate(std::span<const IntervalAssignment>(partial)),
+      std::invalid_argument);
+
+  // Applications out of order.
+  std::vector<IntervalAssignment> reversed(ivs.rbegin(), ivs.rend());
+  EXPECT_THROW(
+      (void)evaluator.evaluate(std::span<const IntervalAssignment>(reversed)),
+      std::invalid_argument);
+
+  // Delta evaluation before any base is bound.
+  const std::size_t touched = 0;
+  EXPECT_THROW((void)evaluator.evaluate_delta(*start, {&touched, 1}),
+               std::logic_error);
+
+  // adopt_base with metrics of the wrong arity.
+  Metrics wrong;
+  wrong.per_app.resize(problem.application_count() + 1);
+  EXPECT_THROW(evaluator.adopt_base(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipeopt

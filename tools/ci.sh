@@ -1,7 +1,10 @@
 #!/bin/sh
 # CI entry point: the tier-1 verify line (see ROADMAP.md) with warnings
 # promoted to errors, then the full ctest suite (unit + property tests and
-# the CLI exit-code smoke test, including solve-batch and pareto), then a
+# the CLI exit-code smoke test, including solve-batch and pareto), then an
+# eval-perf smoke stage (bench_eval_hot_path --quick: SoA batch/delta
+# evaluations bit-identity-gated against the scalar path, evals/sec and
+# nodes/sec written to BENCH_eval.json), then a
 # pipeopt-server smoke stage (live TCP server driven by the client
 # subcommand, responses diffed bit-identical against solve-batch --out,
 # plus one streamed Pareto sweep diffed against the CLI pareto --out
@@ -25,6 +28,20 @@ BUILD_DIR="${1:-build-ci}"
 cmake -B "$BUILD_DIR" -S . -DPIPEOPT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Eval-perf smoke: the evaluation hot path in quick mode. The bench
+# cross-checks every SoA batch/delta evaluation bit-identical against the
+# scalar core::evaluate path (exact double equality) and exits nonzero on
+# any divergence; the evals/sec and nodes/sec numbers land in
+# BENCH_eval.json for trend tracking. The >= 3x delta speedup gate is
+# enforced by full (non-quick) runs, where timings are stable.
+"$BUILD_DIR/bench_eval_hot_path" --quick --json "$BUILD_DIR/BENCH_eval.json" || {
+  echo "ci: eval hot-path bench failed (bit-identity or setup)" >&2; exit 1;
+}
+[ -s "$BUILD_DIR/BENCH_eval.json" ] || {
+  echo "ci: bench_eval_hot_path did not write BENCH_eval.json" >&2; exit 1;
+}
+echo "ci: eval smoke green ($(cat "$BUILD_DIR/BENCH_eval.json"))"
 
 # Server smoke: start pipeopt-server on an ephemeral port, drive it with
 # the client subcommand over a small Table 1-shaped manifest for every
@@ -250,7 +267,7 @@ if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - -o "${TMPDIR:-
   cmake -B "$BUILD_DIR-tsan" -S . -DPIPEOPT_WERROR=ON -DPIPEOPT_TSAN=ON
   cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" --target pipeopt_tests
   "$BUILD_DIR-tsan/pipeopt_tests" \
-      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*:Cache.*:Router.*:StatsMerge.*'
+      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*:Cache.*:Router.*:StatsMerge.*:EvalBatch.*:*/EvalBatch.*'
 else
   echo "ci: ThreadSanitizer unavailable, skipping the tsan pass" >&2
 fi
