@@ -1,8 +1,10 @@
 #include "api/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/timing.hpp"
 
 namespace pipeopt::api {
@@ -12,6 +14,23 @@ namespace {
 std::size_t resolve_jobs(std::size_t requested) {
   if (requested > 0) return requested;
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+/// Records the enqueue→pickup gap as the request's `queue_wait` span.
+/// Called by the job itself on the worker thread; a null trace costs one
+/// branch (the enqueue timestamp is only taken for traced requests).
+void record_queue_wait(obs::TraceContext* trace,
+                       std::chrono::steady_clock::time_point enqueued) {
+  if (trace == nullptr) return;
+  const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - enqueued);
+  trace->record("queue_wait", static_cast<std::uint64_t>(waited.count()));
+}
+
+std::chrono::steady_clock::time_point enqueue_stamp(
+    const obs::TraceContext* trace) {
+  return trace != nullptr ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
 }
 
 }  // namespace
@@ -95,18 +114,26 @@ void Executor::cache_store(const std::string& key, const SolveRequest& request,
 
 std::future<SolveResult> Executor::solve_async(core::Problem problem,
                                                SolveRequest request) {
+  obs::TraceContext* const trace = request.trace;
   // Cache fast path: a hit answers synchronously with the stored result —
   // no pool round trip, no solve.
   if (cache_usable(request)) {
-    std::string key = SolveCache::key(problem, request);
-    if (std::optional<SolveResult> hit = cache_->lookup(key)) {
+    std::string key;
+    std::optional<SolveResult> hit;
+    {
+      const obs::SpanTimer span(trace, "cache_lookup");
+      key = SolveCache::key(problem, request);
+      hit = cache_->lookup(key);
+    }
+    if (hit) {
       std::promise<SolveResult> ready;
       ready.set_value(std::move(*hit));
       return ready.get_future();
     }
     return enqueue(std::packaged_task<SolveResult()>(
         [this, problem = std::move(problem), request = std::move(request),
-         key = std::move(key)] {
+         key = std::move(key), trace, enqueued = enqueue_stamp(trace)] {
+          record_queue_wait(trace, enqueued);
           SolveResult result = registry_->solve(problem, request);
           cache_store(key, request, result);
           return result;
@@ -114,7 +141,10 @@ std::future<SolveResult> Executor::solve_async(core::Problem problem,
   }
   return enqueue(std::packaged_task<SolveResult()>(
       [registry = registry_, problem = std::move(problem),
-       request = std::move(request)] { return registry->solve(problem, request); }));
+       request = std::move(request), trace, enqueued = enqueue_stamp(trace)] {
+        record_queue_wait(trace, enqueued);
+        return registry->solve(problem, request);
+      }));
 }
 
 BatchResult Executor::solve_batch(std::span<const core::Problem> problems,
@@ -163,8 +193,14 @@ SolveResult Executor::execute_point(const SolvePlan& plan,
                                     const core::Problem& problem,
                                     const SolveRequest& point) {
   if (!cache_usable(point)) return plan.execute_for(point);
-  const std::string key = SolveCache::key(problem, point);
-  if (std::optional<SolveResult> hit = cache_->lookup(key)) return *hit;
+  std::string key;
+  std::optional<SolveResult> hit;
+  {
+    const obs::SpanTimer span(point.trace, "cache_lookup");
+    key = SolveCache::key(problem, point);
+    hit = cache_->lookup(key);
+  }
+  if (hit) return *hit;
   const SolveResult result = plan.execute_for(point);
   cache_store(key, point, result);
   return result;
@@ -184,8 +220,11 @@ ParetoFront Executor::sweep(const core::Problem& problem,
         std::vector<std::future<SolveResult>> futures;
         futures.reserve(requests.size());
         for (SolveRequest& point : requests) {
+          obs::TraceContext* const trace = point.trace;
           futures.push_back(enqueue(std::packaged_task<SolveResult()>(
-              [this, &plan, &problem, point = std::move(point)] {
+              [this, &plan, &problem, point = std::move(point), trace,
+               enqueued = enqueue_stamp(trace)] {
+                record_queue_wait(trace, enqueued);
                 return execute_point(plan, problem, point);
               })));
         }

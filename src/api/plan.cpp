@@ -7,6 +7,7 @@
 #include "api/adapters.hpp"
 #include "api/registry.hpp"
 #include "api/solver.hpp"
+#include "obs/trace.hpp"
 #include "util/numeric.hpp"
 #include "util/timing.hpp"
 
@@ -60,6 +61,11 @@ DispatchPlan::DispatchPlan(const SolverRegistry& registry, SolveRequest request)
 
 SolvePlan::SolvePlan(const DispatchPlan& dispatch, const core::Problem& problem)
     : request_(dispatch.request_), view_(&problem) {
+  // The bind phase span covers everything below — threshold validation,
+  // Eq. 6 weight resolution (stretch solo solves included) and capability
+  // filtering. Solo solves run with a null trace of their own, so their
+  // inner bind/solve time lands here, not as nested phases.
+  const obs::SpanTimer bind_span(request_.trace, "bind");
   if (!thresholds_match(request_.constraints, problem.application_count())) {
     failure_ = no_solver("expected constraint thresholds sized for " +
                          std::to_string(problem.application_count()) +
@@ -174,6 +180,9 @@ SolveResult SolvePlan::execute_for(const SolveRequest& sibling) const {
 
 SolveResult SolvePlan::run(const SolveRequest& planned,
                            util::CancelToken cancel) const {
+  // The solve phase span: the solver ladder itself (deadline arming and
+  // diagnostics stitching included, which cost nothing measurable).
+  const obs::SpanTimer solve_span(planned.trace, "solve");
   const util::Stopwatch watch;
   // Arm the request's wall-clock deadline now: every execution of a reused
   // plan gets its own full window, folded into the token the solvers poll.

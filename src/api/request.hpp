@@ -16,6 +16,10 @@
 #include "core/objectives.hpp"
 #include "util/cancel.hpp"
 
+namespace pipeopt::obs {
+class TraceContext;
+}  // namespace pipeopt::obs
+
 namespace pipeopt::api {
 
 /// Criterion to minimize (paper §3.4-3.5). Period and latency are the
@@ -110,6 +114,19 @@ struct SolveRequest {
   /// incumbent it found before the token fired (an interrupted exact
   /// search proves nothing, so its partial incumbent is withheld).
   util::CancelToken cancel;
+
+  /// \brief Optional observability hook (src/obs): the request's trace
+  /// context, or nullptr (the default) for no tracing.
+  ///
+  /// When set, the plan and executor record their phase spans
+  /// (`cache_lookup`, `queue_wait`, `bind`, `solve`) into it — never into
+  /// the result, so traced and untraced solves stay byte-identical on the
+  /// wire. Like `cancel`, this is transport state, not request identity:
+  /// it is excluded from the solve-cache key and from the wire form. The
+  /// pointee must outlive every execution of the request (the server keeps
+  /// it on the session stack until the future resolves). Sweep point
+  /// requests inherit the base request's context.
+  obs::TraceContext* trace = nullptr;
 };
 
 }  // namespace pipeopt::api

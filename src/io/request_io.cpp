@@ -92,6 +92,11 @@ struct SolveFieldReader {
       request.deadline_ms = parse_wire_number<std::uint64_t>(key, value, line_no);
     } else if (key == "warm_start") {
       request.warm_start = parse_wire_number<double>(key, value, line_no);
+    } else if (key == "trace") {
+      // Transport-level trace id (obs/trace.hpp), spliced in by a router so
+      // shard span logs share the fleet-wide id. Like `cancel` it is not
+      // request identity: the server peeks it straight off the raw fields,
+      // so the reader only has to accept the key. Never echoed back.
     } else if (key == "problem") {
       if (problem) throw ParseError(line_no, "duplicate instance field");
       try {

@@ -1,0 +1,239 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <thread>
+
+#include "io/json.hpp"
+#include "io/stats_io.hpp"
+#include "util/stats.hpp"
+
+namespace pipeopt::obs {
+
+namespace {
+
+/// Parses the "<prefix>.b<index>" tail of a bucket field; npos-style -1
+/// when `key` is not a bucket field of `prefix`.
+int bucket_suffix(const std::string& key, const std::string& prefix) {
+  const std::size_t base = prefix.size();
+  if (key.size() <= base + 2 || key.compare(0, base, prefix) != 0) return -1;
+  if (key[base] != '.' || key[base + 1] != 'b') return -1;
+  int index = 0;
+  for (std::size_t i = base + 2; i < key.size(); ++i) {
+    if (key[i] < '0' || key[i] > '9') return -1;
+    index = index * 10 + (key[i] - '0');
+  }
+  if (index < 0 || static_cast<std::size_t>(index) >=
+                       static_cast<int>(LatencyHistogram::kBuckets)) {
+    return -1;
+  }
+  return index;
+}
+
+bool ends_with(const std::string& text, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+double LatencyHistogram::bucket_upper_us(std::size_t i) noexcept {
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i
+}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t us) noexcept {
+  if (us == 0) return 0;
+  const auto width = static_cast<std::size_t>(std::bit_width(us));
+  return width < kBuckets ? width : kBuckets - 1;
+}
+
+LatencyHistogram::Stripe& LatencyHistogram::stripe_for_thread() noexcept {
+  // A thread sticks to one stripe for the histogram's lifetime; hashing the
+  // id spreads a pool's workers across the stripes.
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return stripes_[h % kStripes];
+}
+
+void LatencyHistogram::record_us(std::uint64_t us) noexcept {
+  Stripe& stripe = stripe_for_thread();
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  stripe.sum_us.fetch_add(us, std::memory_order_relaxed);
+  stripe.buckets[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  for (const Stripe& stripe : stripes_) {
+    snap.count += stripe.count.load(std::memory_order_relaxed);
+    snap.sum_us += stripe.sum_us.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      snap.buckets[i] += stripe.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+double LatencyHistogram::Snapshot::quantile_us(double q) const {
+  std::array<double, kBuckets> uppers;
+  for (std::size_t i = 0; i < kBuckets; ++i) uppers[i] = bucket_upper_us(i);
+  return util::weighted_quantile(buckets, uppers, /*lower0=*/0.0, q);
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(const std::string& name,
+                                                        Kind kind) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry->name == name && entry->kind == kind) return *entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::Counter: entry->counter = std::make_unique<Counter>(); break;
+    case Kind::Gauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case Kind::Histogram:
+      entry->histogram = std::make_unique<LatencyHistogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *find_or_create(name, Kind::Counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return *find_or_create(name, Kind::Gauge).gauge;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  return *find_or_create(name, Kind::Histogram).histogram;
+}
+
+MetricFields MetricsRegistry::snapshot() const {
+  // Copy the entry pointers under the lock, read the metrics outside it:
+  // entries are never removed, so the pointers stay valid.
+  std::vector<const Entry*> entries;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries.reserve(entries_.size());
+    for (const auto& entry : entries_) entries.push_back(entry.get());
+  }
+  MetricFields fields;
+  for (const Entry* entry : entries) {
+    switch (entry->kind) {
+      case Kind::Counter: {
+        const std::uint64_t value = entry->counter->value();
+        if (value > 0) {
+          fields.emplace_back(entry->name, std::to_string(value));
+        }
+        break;
+      }
+      case Kind::Gauge:
+        fields.emplace_back(entry->name,
+                            std::to_string(entry->gauge->value()));
+        break;
+      case Kind::Histogram: {
+        const LatencyHistogram::Snapshot snap = entry->histogram->snapshot();
+        if (snap.count == 0) break;
+        fields.emplace_back(entry->name + ".n", std::to_string(snap.count));
+        fields.emplace_back(entry->name + ".sum_us",
+                            std::to_string(snap.sum_us));
+        for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+          if (snap.buckets[i] == 0) continue;
+          fields.emplace_back(entry->name + ".b" + std::to_string(i),
+                              std::to_string(snap.buckets[i]));
+        }
+        break;
+      }
+    }
+  }
+  return fields;
+}
+
+bool is_derived_metric_field(const std::string& key) noexcept {
+  return ends_with(key, ".p50_us") || ends_with(key, ".p90_us") ||
+         ends_with(key, ".p99_us");
+}
+
+MetricFields with_quantiles(const MetricFields& summable) {
+  // A histogram group is identified by its "<name>.n" + "<name>.sum_us"
+  // pair; its "<name>.b<i>" bucket fields may sit anywhere in the list (a
+  // field-wise merge appends a shard's novel buckets at the tail, so
+  // groups are not necessarily contiguous). Buckets are therefore gathered
+  // by prefix over the whole list, and the derived fields are emitted
+  // right after the group's last field.
+  struct Group {
+    std::string prefix;
+    bool has_n = false, has_sum = false;
+    std::array<std::uint64_t, LatencyHistogram::kBuckets> buckets{};
+    std::size_t last_index = 0;
+  };
+  std::vector<Group> groups;
+  const auto group_for = [&](const std::string& prefix) -> Group& {
+    for (Group& group : groups) {
+      if (group.prefix == prefix) return group;
+    }
+    groups.push_back(Group{prefix, false, false, {}, 0});
+    return groups.back();
+  };
+  for (std::size_t i = 0; i < summable.size(); ++i) {
+    const std::string& key = summable[i].first;
+    if (ends_with(key, ".n")) {
+      Group& group = group_for(key.substr(0, key.size() - 2));
+      group.has_n = true;
+      group.last_index = std::max(group.last_index, i);
+    } else if (ends_with(key, ".sum_us")) {
+      Group& group = group_for(key.substr(0, key.size() - 7));
+      group.has_sum = true;
+      group.last_index = std::max(group.last_index, i);
+    } else if (const std::size_t dot_b = key.rfind(".b");
+               dot_b != std::string::npos && dot_b > 0) {
+      const std::string prefix = key.substr(0, dot_b);
+      const int index = bucket_suffix(key, prefix);
+      if (index >= 0) {
+        Group& group = group_for(prefix);
+        group.buckets[static_cast<std::size_t>(index)] +=
+            io::parse_wire_number<std::uint64_t>(key, summable[i].second, 1);
+        group.last_index = std::max(group.last_index, i);
+      }
+    }
+  }
+  MetricFields out;
+  out.reserve(summable.size() + groups.size() * 3);
+  for (std::size_t i = 0; i < summable.size(); ++i) {
+    out.push_back(summable[i]);
+    for (const Group& group : groups) {
+      if (group.last_index != i || !group.has_n || !group.has_sum) continue;
+      LatencyHistogram::Snapshot snap;
+      snap.buckets = group.buckets;
+      for (const std::uint64_t b : group.buckets) snap.count += b;
+      const auto derived = [&](const char* tag, double q) {
+        out.emplace_back(group.prefix + tag,
+                         io::format_double_exact(snap.quantile_us(q)));
+      };
+      derived(".p50_us", 0.50);
+      derived(".p90_us", 0.90);
+      derived(".p99_us", 0.99);
+    }
+  }
+  return out;
+}
+
+MetricFields merge_metrics_fields(const std::vector<MetricFields>& lines) {
+  std::vector<MetricFields> summable;
+  summable.reserve(lines.size());
+  for (const MetricFields& line : lines) {
+    MetricFields kept;
+    kept.reserve(line.size());
+    for (const auto& field : line) {
+      if (!is_derived_metric_field(field.first)) kept.push_back(field);
+    }
+    summable.push_back(std::move(kept));
+  }
+  return with_quantiles(io::merge_stats_fields(summable));
+}
+
+}  // namespace pipeopt::obs

@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file metrics.hpp
+/// The metrics half of the observability layer (src/obs): named counters,
+/// gauges and fixed-bucket log-scale latency histograms behind one
+/// `MetricsRegistry`, exposed over the wire by the `{"type":"metrics"}`
+/// request (docs/PROTOCOL.md).
+///
+/// Design constraints, in order:
+///
+///  * **Hot-path recording is lock-free.** `LatencyHistogram::record_us`
+///    and `Counter::add` touch striped relaxed atomics only — many session
+///    and worker threads record into one registry while others snapshot
+///    it. The registry's name→metric map takes a mutex on *creation* only;
+///    steady-state callers hold direct references.
+///  * **Snapshots are fleet-mergeable.** `snapshot()` returns ordered wire
+///    fields whose values are all decimal `uint64` counters, so
+///    `io::merge_stats_fields` sums them across a shard fleet and a
+///    histogram merges bucket-wise for free (its buckets are just fields).
+///    Quantiles are NOT part of the summable snapshot — they are *derived*
+///    fields (suffix `.p50_us`/`.p90_us`/`.p99_us`) appended by
+///    `with_quantiles` after any merge, and `merge_metrics_fields` strips
+///    them before summing so a merging tier can never add two medians.
+///  * **Absence is information.** A metric that was never recorded emits
+///    no fields at all (mirroring the stats line's cache-off rule): a
+///    cache-off fleet has no `phase.cache_lookup.*` fields, not zeros.
+///
+/// Histogram buckets are powers of two in microseconds: bucket 0 holds
+/// `0 µs`, bucket i≥1 holds `[2^(i-1), 2^i) µs`, and the last bucket
+/// absorbs everything above — 40 buckets span sub-microsecond to ~6 days,
+/// ~5% worst-case quantile error per decade, fixed memory. Quantile
+/// interpolation inside a bucket goes through `util::weighted_quantile`,
+/// the same rank convention as `util::Summary` (one home for the math).
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pipeopt::obs {
+
+/// Ordered wire fields, structurally identical to io::JsonFields.
+using MetricFields = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone event counter (lock-free).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins level (lock-free). Merged across a fleet by summing,
+/// which is the useful reading for the levels we expose (in-flight work).
+class Gauge {
+ public:
+  void set(std::uint64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed-bucket log2-scale latency histogram over microseconds, striped
+/// across cache lines so concurrent recorders do not contend.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  /// Upper bound of bucket `i` in µs (2^i; bucket 0's range is just {0}).
+  [[nodiscard]] static double bucket_upper_us(std::size_t i) noexcept;
+  /// The bucket `us` falls into.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t us) noexcept;
+
+  void record_us(std::uint64_t us) noexcept;
+
+  /// One coherent-enough view (stripes are summed field by field; a racing
+  /// record may straddle count/sum, which is fine for monitoring).
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum_us = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// q-quantile in µs via util::weighted_quantile over the buckets.
+    [[nodiscard]] double quantile_us(double q) const;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  /// One stripe per recorder group; alignas keeps stripes on distinct
+  /// cache lines so fetch_adds from different threads do not false-share.
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_us{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  static constexpr std::size_t kStripes = 8;
+
+  [[nodiscard]] Stripe& stripe_for_thread() noexcept;
+
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// Process-wide (or per-server — tests run several) registry of named
+/// metrics. References returned by the accessors are stable for the
+/// registry's lifetime (metrics are never removed).
+class MetricsRegistry {
+ public:
+  /// Find-or-create; creation order is snapshot emission order.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] LatencyHistogram& histogram(const std::string& name);
+
+  /// Ordered summable wire fields (see file comment): per counter `name`,
+  /// per gauge `name`, per histogram with at least one sample `name.n`,
+  /// `name.sum_us` and one `name.b<i>` per non-zero bucket. Never-recorded
+  /// histograms and zero counters emit nothing.
+  [[nodiscard]] MetricFields snapshot() const;
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, Kind kind);
+
+  mutable std::mutex mutex_;  ///< guards the entries vector, not the metrics
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// True for the derived (non-summable) quantile fields `with_quantiles`
+/// appends: keys ending in ".p50_us", ".p90_us" or ".p99_us".
+[[nodiscard]] bool is_derived_metric_field(const std::string& key) noexcept;
+
+/// Appends the derived p50/p90/p99 fields after each histogram group of
+/// `summable` (a group is the `name.n` / `name.sum_us` / `name.b<i>` run a
+/// snapshot or a field-wise merge produced). Input fields pass through
+/// untouched and in order.
+[[nodiscard]] MetricFields with_quantiles(const MetricFields& summable);
+
+/// Fleet merge of metrics field lists: strips derived quantile fields from
+/// every line, sums the rest via io::merge_stats_fields (histograms
+/// thereby merge bucket-wise), then re-derives the quantiles from the
+/// merged buckets. \throws io::ParseError on a non-numeric summable value.
+[[nodiscard]] MetricFields merge_metrics_fields(
+    const std::vector<MetricFields>& lines);
+
+}  // namespace pipeopt::obs

@@ -1,0 +1,100 @@
+#include "obs/trace.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "io/json.hpp"
+#include "util/fdio.hpp"
+
+namespace pipeopt::obs {
+
+namespace {
+
+/// splitmix64 — a cheap, well-mixed 64-bit permutation.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string generate_trace_id() {
+  // Process-unique without coordination: a per-process seed (pid + clock at
+  // first use) mixed with a monotone counter. Not cryptographic — ids only
+  // need to be distinct within a fleet's trace logs.
+  static const std::uint64_t seed =
+      mix64(static_cast<std::uint64_t>(::getpid()) ^
+            static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now().time_since_epoch().count())
+                << 17);
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t value =
+      mix64(seed ^ counter.fetch_add(1, std::memory_order_relaxed));
+  static const char* kHex = "0123456789abcdef";
+  std::string id(16, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    id[i] = kHex[(value >> (60 - 4 * i)) & 0xF];
+  }
+  return id;
+}
+
+TraceContext::TraceContext(std::string id, MetricsRegistry* registry)
+    : id_(id.empty() ? generate_trace_id() : std::move(id)),
+      registry_(registry) {}
+
+void TraceContext::record(const std::string& phase,
+                          std::uint64_t duration_us) {
+  if (registry_ != nullptr) {
+    registry_->histogram("phase." + phase).record_us(duration_us);
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, total] : spans_) {
+    if (name == phase) {
+      total += duration_us;
+      return;
+    }
+  }
+  spans_.emplace_back(phase, duration_us);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> TraceContext::spans()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+TraceLog::TraceLog(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot open trace log '" + path + "'");
+  }
+}
+
+TraceLog::~TraceLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TraceLog::write(
+    const TraceContext& context, const std::string& type,
+    const std::string& request_id, std::uint64_t total_us,
+    const std::vector<std::pair<std::string, std::string>>& extra) {
+  io::FlatJsonWriter out;
+  out.field("trace", context.id());
+  out.field("type", type);
+  if (!request_id.empty()) out.field("id", request_id);
+  out.field("total_us", std::to_string(total_us));
+  for (const auto& [phase, us] : context.spans()) {
+    out.field("span." + phase + "_us", std::to_string(us));
+  }
+  for (const auto& [key, value] : extra) out.field(key, value);
+  const std::string line = std::move(out).str();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  util::write_line(fd_, line);
+}
+
+}  // namespace pipeopt::obs

@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file trace.hpp
+/// The tracing half of the observability layer (src/obs): a request-scoped
+/// `TraceContext` that carries one trace id across tiers and aggregates
+/// the request's phase spans, RAII `SpanTimer`s that record into it, and a
+/// `TraceLog` that appends one JSONL line per completed request.
+///
+/// The phase vocabulary, tier by tier (docs/PROTOCOL.md):
+///
+///  * `parse`        — wire line → typed request (server session)
+///  * `cache_lookup` — solve-cache key + probe (executor, cache on only)
+///  * `queue_wait`   — enqueue → a pool worker picks the job up (executor)
+///  * `bind`         — per-instance plan bind, Eq. 6 weight resolution
+///                     included (SolvePlan constructor)
+///  * `solve`        — plan execution: the solver ladder itself
+///                     (SolvePlan::run)
+///  * `format`       — result → wire bytes + write (server session)
+///  * `relay`        — shard forward + response relay (router)
+///
+/// The id travels on the wire as the optional `"trace"` request field; the
+/// router generates one when absent and splices it into the forwarded
+/// line, so one id stitches client → router → shard and a fleet's trace
+/// logs join on it. Responses never carry the id — solve/pareto/stats
+/// bytes stay identical with tracing on or off.
+///
+/// A null `TraceContext*` disables recording at every site (the plan and
+/// executor instrumentation is span-scoped: no context, no clock reads on
+/// their paths beyond two steady_clock calls per request phase).
+/// `TraceContext::record` also feeds its registry's `phase.<name>`
+/// histogram, so fleet-level phase latency distributions exist even when
+/// no trace log is configured.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pipeopt::obs {
+
+/// A fresh 16-hex-char trace id (process-unique, seeded per process).
+[[nodiscard]] std::string generate_trace_id();
+
+/// One request's trace state: the id plus per-phase summed durations.
+/// Thread-safe — session and pool-worker threads record concurrently.
+class TraceContext {
+ public:
+  /// Uses `id` when non-empty, otherwise generates one. `registry` (may be
+  /// null) additionally receives every span in its `phase.<name>`
+  /// histogram.
+  explicit TraceContext(std::string id, MetricsRegistry* registry = nullptr);
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+
+  /// Adds `duration_us` to `phase`'s total (first-appearance order).
+  void record(const std::string& phase, std::uint64_t duration_us);
+
+  /// Summed duration per phase, in first-recorded order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> spans()
+      const;
+
+ private:
+  std::string id_;
+  MetricsRegistry* registry_;
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::uint64_t>> spans_;
+};
+
+/// RAII span: records the scope's wall time into the context on
+/// destruction. A null context makes construction and destruction no-ops.
+class SpanTimer {
+ public:
+  SpanTimer(TraceContext* context, const char* phase) noexcept
+      : context_(context), phase_(phase) {
+    if (context_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~SpanTimer() {
+    if (context_ == nullptr) return;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start_);
+    context_->record(phase_, static_cast<std::uint64_t>(elapsed.count()));
+  }
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  TraceContext* context_;
+  const char* phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Append-only JSONL span log shared by every session thread of one
+/// process. One line per completed request:
+/// `{"trace":...,"type":...,["id":...,]"total_us":...,
+///   "span.<phase>_us":...,...[,extra fields]}`.
+class TraceLog {
+ public:
+  /// Opens `path` for appending. \throws std::runtime_error when the file
+  /// cannot be opened.
+  explicit TraceLog(const std::string& path);
+  ~TraceLog();
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  /// Appends one span line for `context`. `request_id` is omitted when
+  /// empty; `extra` fields (e.g. the router's shard index) go last.
+  void write(const TraceContext& context, const std::string& type,
+             const std::string& request_id, std::uint64_t total_us,
+             const std::vector<std::pair<std::string, std::string>>& extra = {});
+
+ private:
+  std::mutex mutex_;
+  int fd_ = -1;
+};
+
+}  // namespace pipeopt::obs

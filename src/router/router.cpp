@@ -19,6 +19,7 @@
 #include "io/request_io.hpp"
 #include "io/result_io.hpp"
 #include "io/stats_io.hpp"
+#include "util/timing.hpp"
 
 namespace pipeopt::router {
 
@@ -117,6 +118,15 @@ std::size_t line_hash(const std::string& text) {
   return std::hash<std::string>{}(text);
 }
 
+/// `line` with `"trace":"<id>"` spliced in as the first field. Only called
+/// on lines that parsed (so byte 0 is '{'); the splice point right after
+/// the brace keeps every original byte — shard-side parsing is order-free.
+std::string splice_trace(const std::string& line, const std::string& id) {
+  std::string traced = line;
+  traced.insert(1, "\"trace\":\"" + id + "\",");
+  return traced;
+}
+
 }  // namespace
 
 Router::Router(RouterOptions options)
@@ -145,6 +155,9 @@ Router::Router(RouterOptions options)
       shard->port = address.port;
       shards_.push_back(std::move(shard));
     }
+  }
+  if (!options_.trace_log.empty()) {
+    trace_log_ = std::make_unique<obs::TraceLog>(options_.trace_log);
   }
   if (::pipe2(wake_pipe_, O_CLOEXEC) != 0) {
     throw std::runtime_error("pipeopt-router: cannot create wake pipe");
@@ -365,6 +378,10 @@ Router::Relay Router::handle_line(const std::string& line, Session& session,
     answer_stats(id, session.fd);
     return Relay::Done;
   }
+  if (parsed && type == "metrics") {
+    answer_metrics(id, session.fd);
+    return Relay::Done;
+  }
 
   // The routing key: canonical request bytes where the line parses (so
   // wire-presentation differences — field order, whitespace, an `id` —
@@ -386,7 +403,38 @@ Router::Relay Router::handle_line(const std::string& line, Session& session,
     } catch (const std::exception&) {
     }
   }
-  return forward_line(line, id, streamed, key_hash, session, input_buffered);
+  // The router's own phase is `relay`: forward plus response stream,
+  // recorded per solve/pareto line. With a trace log configured the
+  // request additionally carries a fleet-wide id — reused from the wire
+  // when the client sent one, generated and spliced into the forwarded
+  // bytes otherwise — so the router's span line and the shard's join on
+  // it. The splice happens after key_hash was computed, so sticky routing
+  // sees identical bytes with tracing on or off.
+  const bool traceable = parsed && (type == "solve" || type == "pareto");
+  if (trace_log_ != nullptr && traceable) {
+    std::string trace_id;
+    for (const auto& [key, value] : fields) {
+      if (key == "trace") trace_id = value;
+    }
+    const bool splice = trace_id.empty();
+    obs::TraceContext trace(std::move(trace_id), &metrics_);
+    const util::Stopwatch watch;
+    const Relay relay =
+        forward_line(splice ? splice_trace(line, trace.id()) : line, id,
+                     streamed, key_hash, session, input_buffered);
+    const auto total_us = static_cast<std::uint64_t>(watch.elapsed_micros());
+    trace.record("relay", total_us);
+    trace_log_->write(trace, type, id, total_us);
+    return relay;
+  }
+  const util::Stopwatch watch;
+  const Relay relay =
+      forward_line(line, id, streamed, key_hash, session, input_buffered);
+  if (traceable) {
+    metrics_.histogram("phase.relay")
+        .record_us(static_cast<std::uint64_t>(watch.elapsed_micros()));
+  }
+  return relay;
 }
 
 Router::Admit Router::acquire_slot(std::size_t key_hash,
@@ -603,6 +651,64 @@ Router::Relay Router::forward_line(const std::string& line,
   }
 }
 
+void Router::answer_metrics(const std::string& id, int out_fd) {
+  // Same fan-out shape as answer_stats, but the merge goes through
+  // obs::merge_metrics_fields: derived quantile fields are stripped from
+  // every shard snapshot, the summable counter/bucket fields sum, and the
+  // fleet quantiles are re-derived from the merged buckets — a merging
+  // tier never averages two medians. The router's own snapshot goes first
+  // so its `phase.relay` fields lead the merged block.
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints;
+  std::size_t up = 0;
+  std::vector<std::pair<bool, std::size_t>> liveness;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    for (const auto& shard : shards_) {
+      liveness.emplace_back(shard->healthy, shard->in_flight);
+      if (!shard->healthy) continue;
+      ++up;
+      endpoints.emplace_back(shard->host, shard->port);
+    }
+  }
+  std::vector<obs::MetricFields> snapshots;
+  snapshots.push_back(metrics_.snapshot());
+  for (const auto& [host, port] : endpoints) {
+    const int fd = connect_endpoint(host, port, options_.probe_timeout);
+    if (fd < 0) continue;
+    if (write_line(fd, "{\"type\":\"metrics\"}")) {
+      FdLineReader reader(fd);
+      std::string response;
+      if (reader.next_line(response) && response_type(response) == "metrics") {
+        try {
+          snapshots.push_back(io::parse_flat_json(response));
+        } catch (const io::ParseError&) {
+          // A torn shard line must not kill the whole answer.
+        }
+      }
+    }
+    ::close(fd);
+  }
+  obs::MetricFields merged;
+  try {
+    merged = obs::merge_metrics_fields(snapshots);
+  } catch (const std::exception&) {
+    merged.clear();
+  }
+
+  io::FlatJsonWriter out;
+  out.field("type", "metrics");
+  if (!id.empty()) out.field("id", id);
+  out.field("shards", std::to_string(shards_.size()));
+  out.field("shards_up", std::to_string(up));
+  for (std::size_t i = 0; i < liveness.size(); ++i) {
+    const std::string prefix = "shard." + std::to_string(i) + ".";
+    out.field(prefix + "up", liveness[i].first ? "1" : "0");
+    out.field(prefix + "in_flight", std::to_string(liveness[i].second));
+  }
+  for (const auto& [key, value] : merged) out.field(key, value);
+  write_line(out_fd, std::move(out).str());
+}
+
 void Router::answer_health(const std::string& id, int out_fd) {
   const double uptime = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - started_)
@@ -780,6 +886,11 @@ void Router::spawn_shard(std::size_t shard_index) {
     if (options_.spawn_cache_entries > 0) {
       args.push_back("--cache-entries");
       args.push_back(std::to_string(options_.spawn_cache_entries));
+    }
+    if (!options_.spawn_trace_log.empty()) {
+      args.push_back("--trace-log");
+      args.push_back(options_.spawn_trace_log + "." +
+                     std::to_string(shard_index) + ".jsonl");
     }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);

@@ -19,6 +19,17 @@
 ///    the router-level fields: shards, shards_up, routed, shed, retries,
 ///    restarts, shard_up_transitions, shard_down_transitions,
 ///    shard_lost_errors.
+///  * `{"type":"metrics"}` — fanned out likewise; the shard metric
+///    snapshots and the router's own (its `phase.relay` histogram) merge
+///    bucket-wise through `obs::merge_metrics_fields`, quantiles re-derived
+///    from the merged buckets, prefixed by per-shard liveness fields
+///    (`shard.<i>.up`, `shard.<i>.in_flight`) for the `pipeopt top` view.
+///
+/// Tracing (`--trace-log`): the router peeks each solve/pareto line's
+/// optional `"trace"` id, generates one when absent and splices it into the
+/// forwarded bytes, so the shard's span log and the router's share one id
+/// per request (obs/trace.hpp). Responses are relayed untouched — routed
+/// bytes stay identical with tracing on or off.
 ///
 /// Routing is sticky by request identity: a solve line hashes its
 /// canonical cache-key bytes (`io::format_solve_key` — already the
@@ -70,6 +81,8 @@
 #include <vector>
 
 #include "io/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fdio.hpp"
 
 namespace pipeopt::router {
@@ -107,6 +120,16 @@ struct RouterOptions {
   std::chrono::milliseconds probe_timeout{2000};
   /// listen(2) backlog of the front tier.
   int backlog = 128;
+  /// Span-log path of the router itself (`route --trace-log FILE`); empty
+  /// = tracing off. When set, every forwarded solve/pareto request appends
+  /// one JSONL line (its `relay` span plus the shard index), and the
+  /// router splices a generated `"trace"` id into forwarded lines that
+  /// carry none — see the file comment. Routed bytes are unchanged.
+  std::string trace_log{};
+  /// Spawn mode: per-shard span-log prefix; shard i logs to
+  /// `<prefix>.<i>.jsonl` (passed as the child's `serve --trace-log`).
+  /// Empty = shards run untraced.
+  std::string spawn_trace_log{};
 };
 
 /// Live view of one shard, for announcements, tests and the CLI.
@@ -165,6 +188,10 @@ class Router {
   [[nodiscard]] std::uint64_t up_transitions() const;
   [[nodiscard]] std::uint64_t down_transitions() const;
 
+  /// The router's own metric registry — what its `{"type":"metrics"}`
+  /// answer merges in ahead of the shard snapshots.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
  private:
   /// One backend shard. Endpoint, health and window state are guarded by
   /// `state_mutex_` (the endpoint moves when a spawned shard restarts).
@@ -216,6 +243,9 @@ class Router {
   bool ensure_conn(Session& session, std::size_t shard_index);
   /// `{"type":"stats"}`: fan out, merge, answer.
   void answer_stats(const std::string& id, int out_fd);
+  /// `{"type":"metrics"}`: fan out, bucket-wise merge with the router's
+  /// own snapshot, re-derive quantiles, answer (see the file comment).
+  void answer_metrics(const std::string& id, int out_fd);
   void answer_health(const std::string& id, int out_fd);
 
   void health_loop();
@@ -246,6 +276,9 @@ class Router {
 
   std::mutex sessions_mutex_;
   std::vector<std::unique_ptr<Session>> sessions_;
+
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceLog> trace_log_;  ///< null = tracing off
 
   std::atomic<std::uint64_t> routed_{0};
   std::atomic<std::uint64_t> shed_{0};

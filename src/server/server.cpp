@@ -8,8 +8,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <future>
 #include <optional>
 #include <stdexcept>
@@ -20,6 +22,7 @@
 #include "io/result_io.hpp"
 #include "util/cancel.hpp"
 #include "util/fdio.hpp"
+#include "util/timing.hpp"
 
 namespace pipeopt::server {
 
@@ -63,6 +66,14 @@ std::string peek_id(const io::JsonFields& fields) {
   return {};
 }
 
+/// The optional wire trace id ("" when the request is untraced).
+std::string peek_trace(const io::JsonFields& fields) {
+  for (const auto& [key, value] : fields) {
+    if (key == "trace") return value;
+  }
+  return {};
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
@@ -73,6 +84,9 @@ Server::Server(ServerOptions options)
   // Stats snapshots include the cache counters iff the cache exists, so a
   // cache-disabled server's stats line keeps its exact historical bytes.
   stats_.attach_cache(executor_.cache());
+  if (!options_.trace_log.empty()) {
+    trace_log_ = std::make_unique<obs::TraceLog>(options_.trace_log);
+  }
   if (::pipe(wake_pipe_) != 0) {
     throw std::runtime_error("pipeopt-server: cannot create wake pipe");
   }
@@ -221,9 +235,26 @@ void Server::session_loop(int in_fd, int out_fd, bool is_socket,
   }
 }
 
+void Server::record_result_metrics(const api::SolveResult& result) {
+  const std::string solver = result.solver.empty() ? "(none)" : result.solver;
+  const double wall_us = std::max(0.0, result.wall_seconds) * 1e6;
+  metrics_.histogram("solver." + solver + ".latency")
+      .record_us(static_cast<std::uint64_t>(wall_us));
+  for (const auto& [key, value] : result.diagnostics) {
+    if (key == "evals") {
+      metrics_.counter("solver." + solver + ".evals")
+          .add(std::strtoull(value.c_str(), nullptr, 10));
+      break;
+    }
+  }
+}
+
 void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
                          bool is_socket, bool input_buffered) {
   stats_.record_request();
+  // Zero point for the request's end-to-end latency histogram and its
+  // parse span (everything until the work is dispatched counts as parse).
+  const util::Stopwatch request_watch;
   io::JsonFields fields;
   try {
     fields = io::parse_flat_json(line);
@@ -271,6 +302,20 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
     write_line(out_fd, std::move(out).str());
     return;
   }
+  if (type == "metrics") {
+    // The registry snapshot: summable counter/gauge/bucket fields (what a
+    // router merges field-wise across the fleet) with the derived
+    // p50/p90/p99 fields appended per histogram.
+    metrics_.gauge("in_flight").set(executor_.pending());
+    io::FlatJsonWriter out;
+    out.field("type", "metrics");
+    if (!id.empty()) out.field("id", id);
+    for (const auto& [key, value] : obs::with_quantiles(metrics_.snapshot())) {
+      out.field(key, value);
+    }
+    write_line(out_fd, std::move(out).str());
+    return;
+  }
   if (type == "pareto") {
     std::optional<io::WireParetoRequest> wire;
     try {
@@ -295,6 +340,12 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
     // pool) while this thread keeps the disconnect watch.
     util::CancelSource source;
     wire->request.base.cancel = source.token();
+    // Everything up to the dispatch was parsing/validation; sweep point
+    // requests inherit the context, so their cache_lookup/queue_wait/
+    // bind/solve spans aggregate into this one trace.
+    obs::TraceContext trace(peek_trace(fields), &metrics_);
+    trace.record("parse", request_watch.elapsed_micros());
+    wire->request.base.trace = &trace;
     stats_.record_sweep();
     std::future<api::ParetoFront> future =
         std::async(std::launch::async, [this, w = std::move(*wire)] {
@@ -314,13 +365,21 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
     for (const api::SweepEvaluation& evaluation : front.evaluations) {
       stats_.record_dispatch();
       stats_.record_result(evaluation.result);
+      record_result_metrics(evaluation.result);
     }
-    for (const std::size_t index : front.front) {
-      const api::SweepEvaluation& evaluation = front.evaluations[index];
-      write_line(out_fd,
-                 io::format_front_point(evaluation.result, evaluation.bound, id));
+    {
+      const obs::SpanTimer format_span(&trace, "format");
+      for (const std::size_t index : front.front) {
+        const api::SweepEvaluation& evaluation = front.evaluations[index];
+        write_line(
+            out_fd,
+            io::format_front_point(evaluation.result, evaluation.bound, id));
+      }
+      write_line(out_fd, io::format_pareto_summary(front, id));
     }
-    write_line(out_fd, io::format_pareto_summary(front, id));
+    const std::uint64_t total_us = request_watch.elapsed_micros();
+    metrics_.histogram("request").record_us(total_us);
+    if (trace_log_) trace_log_->write(trace, "pareto", id, total_us);
     return;
   }
 
@@ -343,6 +402,11 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
   // inside the plan, and the disconnect watch fires this source.
   util::CancelSource source;
   wire->request.cancel = source.token();
+  // The context lives on this session stack until the future resolves —
+  // exactly the lifetime request.hpp's trace contract requires.
+  obs::TraceContext trace(peek_trace(fields), &metrics_);
+  trace.record("parse", request_watch.elapsed_micros());
+  wire->request.trace = &trace;
   stats_.record_dispatch();
   std::future<api::SolveResult> future = executor_.solve_async(
       std::move(wire->problem), std::move(wire->request));
@@ -355,7 +419,14 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
 
   const api::SolveResult result = future.get();
   stats_.record_result(result);
-  write_line(out_fd, io::format_result(result, id));
+  record_result_metrics(result);
+  {
+    const obs::SpanTimer format_span(&trace, "format");
+    write_line(out_fd, io::format_result(result, id));
+  }
+  const std::uint64_t total_us = request_watch.elapsed_micros();
+  metrics_.histogram("request").record_us(total_us);
+  if (trace_log_) trace_log_->write(trace, "solve", id, total_us);
 }
 
 bool Server::await_with_watch(

@@ -18,6 +18,10 @@
 ///    whole sweep; grid points ride the shared executor pool.
 ///  * `{"type":"stats"}` — answered with `{"type":"stats", ...}`: the
 ///    ServerStats counters plus the executor pool's size and occupancy.
+///  * `{"type":"metrics"}` — answered with `{"type":"metrics", ...}`: the
+///    server's obs::MetricsRegistry snapshot — request/phase/per-solver
+///    latency histograms as fleet-summable bucket fields, with derived
+///    p50/p90/p99 quantile fields appended (obs/metrics.hpp).
 ///  * `{"type":"health"}` — answered with `{"type":"health", ...}`: pid,
 ///    uptime and in-flight count, assembled in constant time (no pool
 ///    round trip, no per-solver scan) — the probe the router's health
@@ -63,6 +67,8 @@
 #include <vector>
 
 #include "api/executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/stats.hpp"
 #include "util/cancel.hpp"
 
@@ -86,6 +92,11 @@ struct ServerOptions {
   /// front tier multiplies connection bursts onto each shard, so the
   /// fan-in side raises it (`serve --backlog N`).
   int backlog = 64;
+  /// Span-log path (`serve --trace-log FILE`); empty = tracing off. When
+  /// set, every completed solve/pareto request appends one JSONL line with
+  /// its trace id and phase breakdown (obs/trace.hpp). Response bytes are
+  /// unchanged either way.
+  std::string trace_log{};
 };
 
 class Server {
@@ -124,6 +135,8 @@ class Server {
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] api::Executor& executor() noexcept { return executor_; }
+  /// The server's metric registry — what `{"type":"metrics"}` snapshots.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
 
  private:
   struct Session {
@@ -154,9 +167,16 @@ class Server {
   /// Joins sessions that have finished (`done` set); `all` joins the rest.
   void reap_sessions(bool all);
 
+  /// Records one finished solve into the metric registry: the per-solver
+  /// latency histogram (`solver.<name>.latency`, from the result's solve
+  /// wall) and evals counter, mirroring ServerStats's per-solver counts.
+  void record_result_metrics(const api::SolveResult& result);
+
   ServerOptions options_;
   api::Executor executor_;
   ServerStats stats_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceLog> trace_log_;  ///< null = tracing off
   /// Construction time — the zero point of the health response's uptime.
   std::chrono::steady_clock::time_point started_;
   std::uint16_t port_ = 0;

@@ -7,6 +7,26 @@
 
 namespace pipeopt::util {
 
+void Summary::add(double x) {
+  ++added_;
+  sorted_valid_ = false;
+  if (window_ == 0 || samples_.size() < window_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Ring overwrite: the slot cursor walks the buffer so the window always
+  // holds the most recent `window_` samples.
+  samples_[next_slot_] = x;
+  next_slot_ = (next_slot_ + 1) % window_;
+}
+
+void Summary::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
 double Summary::mean() const {
   if (samples_.empty()) throw std::logic_error("Summary::mean on empty set");
   return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
@@ -23,26 +43,34 @@ double Summary::stddev() const {
 
 double Summary::min() const {
   if (samples_.empty()) throw std::logic_error("Summary::min on empty set");
-  return *std::min_element(samples_.begin(), samples_.end());
+  ensure_sorted();
+  return sorted_.front();
 }
 
 double Summary::max() const {
   if (samples_.empty()) throw std::logic_error("Summary::max on empty set");
-  return *std::max_element(samples_.begin(), samples_.end());
+  ensure_sorted();
+  return sorted_.back();
 }
 
 double Summary::median() const { return quantile(0.5); }
 
-double Summary::quantile(double q) const {
-  if (samples_.empty()) throw std::logic_error("Summary::quantile on empty set");
+double Summary::sorted_quantile(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    throw std::logic_error("sorted_quantile on empty set");
+  }
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q outside [0,1]");
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Summary::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Summary::quantile on empty set");
+  ensure_sorted();
+  return sorted_quantile(sorted_, q);
 }
 
 double Summary::geomean() const {
@@ -53,6 +81,37 @@ double Summary::geomean() const {
     acc += std::log(x);
   }
   return std::exp(acc / static_cast<double>(samples_.size()));
+}
+
+double weighted_quantile(std::span<const std::uint64_t> counts,
+                         std::span<const double> uppers, double lower0,
+                         double q) {
+  if (counts.size() != uppers.size()) {
+    throw std::invalid_argument("weighted_quantile: counts/uppers size mismatch");
+  }
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q outside [0,1]");
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return lower0;
+  // Same rank convention as sorted_quantile: the target rank is
+  // q * (n - 1), counted in sample order; the bucket holding that rank is
+  // interpolated linearly across its width by the rank's position inside
+  // the bucket's run of samples.
+  const double pos = q * static_cast<double>(total - 1);
+  std::uint64_t before = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const auto first = static_cast<double>(before);
+    before += counts[i];
+    if (pos < static_cast<double>(before)) {
+      const double lower = (i == 0) ? lower0 : uppers[i - 1];
+      const double span = uppers[i] - lower;
+      const double frac =
+          (pos - first + 0.5) / static_cast<double>(counts[i]);
+      return lower + span * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return uppers.back();
 }
 
 PowerFit fit_power_law(const std::vector<double>& x, const std::vector<double>& y) {

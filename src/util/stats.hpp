@@ -3,19 +3,46 @@
 /// \file stats.hpp
 /// Summary statistics and log-log scaling fits used by the benchmark harness
 /// (runtime scaling exponents for the polynomial-vs-exponential evidence in
-/// the Table 1 / Table 2 reproductions).
+/// the Table 1 / Table 2 reproductions) and the observability layer
+/// (src/obs): this header is the one home of the quantile math, shared by
+/// `Summary::quantile` over raw samples and `weighted_quantile` over
+/// bucketed histogram counts.
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 namespace pipeopt::util {
 
 /// Accumulates samples and reports order statistics / moments.
+///
+/// Two modes:
+///  * unbounded (default) — every sample is kept, as before;
+///  * streaming ring-buffer (`Summary(window)`) — only the most recent
+///    `window` samples are kept, so a polling loop (`pipeopt top`, the
+///    client's `--poll-stats` sampler) can hold a rolling view at fixed
+///    memory.
+///
+/// Order statistics sort lazily: the first `quantile()`/`median()`/`min()`
+/// after an `add()` sorts once into a cached buffer, and every further
+/// query reuses it — a polling loop that queries several quantiles per
+/// tick no longer copies+sorts per call.
 class Summary {
  public:
-  void add(double x) { samples_.push_back(x); }
+  /// Unbounded mode: keeps every sample.
+  Summary() = default;
 
+  /// Streaming mode: ring buffer over the most recent `window` samples
+  /// (window 0 behaves like the unbounded mode).
+  explicit Summary(std::size_t window) : window_(window) {}
+
+  void add(double x);
+
+  /// Samples currently held (≤ window in streaming mode).
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  /// Lifetime samples ever added (== count() in unbounded mode).
+  [[nodiscard]] std::uint64_t total_added() const noexcept { return added_; }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
 
   [[nodiscard]] double mean() const;
@@ -28,10 +55,36 @@ class Summary {
   /// Geometric mean; all samples must be positive.
   [[nodiscard]] double geomean() const;
 
+  /// The shared interpolation core: the q-quantile of an already-sorted
+  /// sample set (linear interpolation between adjacent order statistics).
+  /// `sorted` must be non-empty and ascending. Exposed so other quantile
+  /// paths (the histogram math below) share one rank convention.
+  [[nodiscard]] static double sorted_quantile(std::span<const double> sorted,
+                                              double q);
+
  private:
-  // Kept unsorted; quantile copies and sorts on demand (bench-scale data).
-  std::vector<double> samples_;
+  /// Sorts into sorted_ when dirty (called by the order-statistic getters).
+  void ensure_sorted() const;
+
+  std::size_t window_ = 0;       ///< 0 = unbounded
+  std::size_t next_slot_ = 0;    ///< ring write cursor (streaming mode)
+  std::uint64_t added_ = 0;      ///< lifetime add() count
+  std::vector<double> samples_;  ///< insertion ring / append log
+  mutable std::vector<double> sorted_;  ///< lazy sorted cache
+  mutable bool sorted_valid_ = false;
 };
+
+/// The q-quantile of bucketed data: `counts[i]` samples fell into the
+/// half-open value range (`uppers[i-1]`, `uppers[i]`] (the range of
+/// bucket 0 starts at `lower0`). Linear interpolation inside the selected
+/// bucket, the same rank convention as `Summary::sorted_quantile` — this
+/// is the quantile path `obs::MetricsRegistry` histograms (and their
+/// fleet-merged bucket counts) resolve through. Returns `lower0` when
+/// every count is zero. \pre uppers.size() == counts.size(), uppers
+/// ascending, q in [0,1].
+[[nodiscard]] double weighted_quantile(std::span<const std::uint64_t> counts,
+                                       std::span<const double> uppers,
+                                       double lower0, double q);
 
 /// Least-squares fit of y = a * x^b, i.e. log y = log a + b log x.
 /// Returns {a, b, r2}. Requires all x, y > 0 and at least two points.

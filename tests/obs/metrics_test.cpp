@@ -1,0 +1,195 @@
+// The metrics half of src/obs: bucket math, concurrent striped recording,
+// snapshot field emission, quantile derivation, and the fleet merge that
+// sums histogram buckets through io::merge_stats_fields and re-derives
+// quantiles from the merged distribution.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace pipeopt::obs {
+namespace {
+
+std::string value_of(const MetricFields& fields, const std::string& key) {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+bool has_key(const MetricFields& fields, const std::string& key) {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+TEST(Metrics, BucketIndexIsLog2Microseconds) {
+  // Bucket 0 holds exactly 0 µs; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1024), 11u);
+  // The last bucket absorbs everything above its lower bound.
+  EXPECT_EQ(LatencyHistogram::bucket_index(~0ull),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(Metrics, BucketUppersArePowersOfTwo) {
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_upper_us(0), 1.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_upper_us(10), 1024.0);
+}
+
+TEST(Metrics, HistogramSnapshotSumsStripes) {
+  LatencyHistogram histogram;
+  // Concurrent recorders land on different stripes; the snapshot must sum
+  // them all regardless of which stripe each thread hashed to.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (std::size_t i = 0; i < kPerThread; ++i) histogram.record_us(100);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const LatencyHistogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum_us, kThreads * kPerThread * 100u);
+  EXPECT_EQ(snap.buckets[LatencyHistogram::bucket_index(100)],
+            kThreads * kPerThread);
+}
+
+TEST(Metrics, SnapshotQuantileInterpolates) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.record_us(10);  // bucket [8,16)
+  const auto snap = histogram.snapshot();
+  // Every quantile of a one-bucket distribution interpolates inside that
+  // bucket's range, [8,16) for 10 µs samples.
+  for (const double q : {0.0, 0.5, 0.9, 1.0}) {
+    EXPECT_GE(snap.quantile_us(q), 8.0);
+    EXPECT_LE(snap.quantile_us(q), 16.0);
+  }
+  EXPECT_LT(snap.quantile_us(0.1), snap.quantile_us(0.9));
+}
+
+TEST(Metrics, RegistrySnapshotEmitsOnlyTouchedMetrics) {
+  MetricsRegistry registry;
+  registry.counter("solves").add(3);
+  (void)registry.counter("never_incremented");
+  registry.gauge("in_flight").set(2);
+  (void)registry.histogram("untouched");
+  registry.histogram("latency").record_us(5);
+
+  const MetricFields fields = registry.snapshot();
+  EXPECT_EQ(value_of(fields, "solves"), "3");
+  EXPECT_EQ(value_of(fields, "in_flight"), "2");
+  EXPECT_EQ(value_of(fields, "latency.n"), "1");
+  EXPECT_EQ(value_of(fields, "latency.sum_us"), "5");
+  EXPECT_EQ(value_of(fields, "latency.b3"), "1");  // 5 µs -> [4,8)
+  // Absence is information: a zero counter and an empty histogram emit
+  // nothing (the stats line's cache-off rule).
+  EXPECT_FALSE(has_key(fields, "never_incremented"));
+  EXPECT_FALSE(has_key(fields, "untouched.n"));
+}
+
+TEST(Metrics, SnapshotOrderIsCreationOrder) {
+  MetricsRegistry registry;
+  registry.counter("b").add(1);
+  registry.counter("a").add(1);
+  const MetricFields fields = registry.snapshot();
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0].first, "b");
+  EXPECT_EQ(fields[1].first, "a");
+}
+
+TEST(Metrics, WithQuantilesAppendsDerivedFieldsPerGroup) {
+  MetricsRegistry registry;
+  registry.histogram("x").record_us(10);
+  registry.counter("after").add(7);
+  const MetricFields derived = with_quantiles(registry.snapshot());
+  EXPECT_TRUE(has_key(derived, "x.p50_us"));
+  EXPECT_TRUE(has_key(derived, "x.p90_us"));
+  EXPECT_TRUE(has_key(derived, "x.p99_us"));
+  // The derived fields sit right after their group, before later metrics.
+  std::size_t p99 = 0, after = 0;
+  for (std::size_t i = 0; i < derived.size(); ++i) {
+    if (derived[i].first == "x.p99_us") p99 = i;
+    if (derived[i].first == "after") after = i;
+  }
+  EXPECT_LT(p99, after);
+  EXPECT_TRUE(is_derived_metric_field("x.p50_us"));
+  EXPECT_FALSE(is_derived_metric_field("x.sum_us"));
+  EXPECT_FALSE(is_derived_metric_field("x.b3"));
+}
+
+TEST(Metrics, MergeSumsBucketsAndRederivesQuantiles) {
+  // Two "shards" record into the same logical histogram; the fleet merge
+  // must see the union distribution, not an average of medians.
+  MetricsRegistry a, b;
+  for (int i = 0; i < 100; ++i) a.histogram("lat").record_us(10);
+  for (int i = 0; i < 100; ++i) b.histogram("lat").record_us(1000);
+  const MetricFields merged =
+      merge_metrics_fields({with_quantiles(a.snapshot()),
+                            with_quantiles(b.snapshot())});
+  EXPECT_EQ(value_of(merged, "lat.n"), "200");
+  EXPECT_EQ(value_of(merged, "lat.sum_us"), "101000");
+  // p90 of the union lands in the slow shard's bucket [512,1024).
+  const double p90 = std::stod(value_of(merged, "lat.p90_us"));
+  EXPECT_GE(p90, 512.0);
+  EXPECT_LE(p90, 1024.0);
+  // Exactly one derived set survives the merge (stripped, then re-added).
+  std::size_t p50_fields = 0;
+  for (const auto& [key, value] : merged) {
+    if (key == "lat.p50_us") ++p50_fields;
+  }
+  EXPECT_EQ(p50_fields, 1u);
+}
+
+TEST(Metrics, MergeHandlesNonContiguousBucketFields) {
+  // merge_stats_fields appends first-seen fields at the END of the merged
+  // list, so a bucket only the second shard populated lands after other
+  // groups' fields. The quantile derivation must still gather the whole
+  // group — this is the shape a real fleet merge produces.
+  MetricFields one = {{"lat.n", "4"}, {"lat.sum_us", "40"}, {"lat.b4", "4"},
+                      {"other.n", "1"}, {"other.sum_us", "1"},
+                      {"other.b1", "1"}};
+  MetricFields two = {{"lat.n", "4"}, {"lat.sum_us", "4000"},
+                      {"lat.b10", "4"}};
+  const MetricFields merged = merge_metrics_fields({one, two});
+  EXPECT_EQ(value_of(merged, "lat.n"), "8");
+  EXPECT_EQ(value_of(merged, "lat.b4"), "4");
+  EXPECT_EQ(value_of(merged, "lat.b10"), "4");
+  // The union has half its mass in [8,16) and half in [512,1024): the
+  // median must interpolate across the gap, the p99 land in the top group.
+  const double p99 = std::stod(value_of(merged, "lat.p99_us"));
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_TRUE(has_key(merged, "other.p50_us"));
+}
+
+TEST(Metrics, MergeSkipsTypeAndId) {
+  const MetricFields line = {{"type", "metrics"}, {"id", "x"}, {"n", "2"}};
+  const MetricFields merged = merge_metrics_fields({line, line});
+  EXPECT_FALSE(has_key(merged, "type"));
+  EXPECT_FALSE(has_key(merged, "id"));
+  EXPECT_EQ(value_of(merged, "n"), "4");
+}
+
+TEST(Metrics, MergeThrowsOnNonNumericSummable) {
+  const MetricFields bad = {{"n", "not-a-number"}};
+  EXPECT_THROW((void)merge_metrics_fields({bad}), io::ParseError);
+}
+
+}  // namespace
+}  // namespace pipeopt::obs

@@ -1,0 +1,180 @@
+// The tracing half of src/obs: trace-id generation, per-request span
+// aggregation in TraceContext, RAII SpanTimer recording, the registry
+// feed that turns spans into phase.* histograms, and the JSONL span log.
+
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace pipeopt::obs {
+namespace {
+
+std::string value_of(const io::JsonFields& fields, const std::string& key) {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+/// A self-deleting temp path for span-log round trips.
+class TempPath {
+ public:
+  TempPath() {
+    char name[] = "/tmp/pipeopt_trace_XXXXXX";
+    const int fd = ::mkstemp(name);
+    if (fd >= 0) ::close(fd);
+    path_ = name;
+  }
+  ~TempPath() { std::remove(path_.c_str()); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Obs, TraceIdIsSixteenLowercaseHexChars) {
+  const std::string id = generate_trace_id();
+  ASSERT_EQ(id.size(), 16u);
+  for (const char c : id) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << id;
+  }
+}
+
+TEST(Obs, TraceIdsAreDistinct) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(generate_trace_id());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Obs, TraceContextKeepsGivenIdAndGeneratesWhenEmpty) {
+  const TraceContext given("deadbeefcafef00d", nullptr);
+  EXPECT_EQ(given.id(), "deadbeefcafef00d");
+  const TraceContext fresh("", nullptr);
+  EXPECT_EQ(fresh.id().size(), 16u);
+}
+
+TEST(Obs, RecordSumsRepeatedPhasesInFirstRecordedOrder) {
+  TraceContext trace("", nullptr);
+  trace.record("solve", 10);
+  trace.record("format", 3);
+  trace.record("solve", 5);  // a sweep solves many points; spans accumulate
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].first, "solve");
+  EXPECT_EQ(spans[0].second, 15u);
+  EXPECT_EQ(spans[1].first, "format");
+  EXPECT_EQ(spans[1].second, 3u);
+}
+
+TEST(Obs, RecordFeedsPhaseHistogramInRegistry) {
+  MetricsRegistry registry;
+  TraceContext trace("", &registry);
+  trace.record("solve", 100);
+  trace.record("solve", 100);
+  const MetricFields fields = registry.snapshot();
+  EXPECT_EQ(value_of(fields, "phase.solve.n"), "2");
+  EXPECT_EQ(value_of(fields, "phase.solve.sum_us"), "200");
+}
+
+TEST(Obs, SpanTimerRecordsOnDestruction) {
+  TraceContext trace("", nullptr);
+  {
+    const SpanTimer span(&trace, "bind");
+  }
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].first, "bind");
+}
+
+TEST(Obs, SpanTimerWithNullContextIsNoOp) {
+  // Untraced paths pass a null context; the timer must cost nothing and
+  // record nowhere.
+  const SpanTimer span(nullptr, "solve");
+}
+
+TEST(Obs, ConcurrentRecordsOnOneContextAreSummed) {
+  // Sweep workers record queue_wait/solve spans from the pool threads while
+  // the request thread owns the context.
+  TraceContext trace("", nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&trace] {
+      for (int i = 0; i < 100; ++i) trace.record("solve", 1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].second, 800u);
+}
+
+TEST(Obs, TraceLogWritesParseableSpanLine) {
+  const TempPath path;
+  {
+    TraceLog log(path.str());
+    TraceContext trace("0123456789abcdef", nullptr);
+    trace.record("parse", 2);
+    trace.record("solve", 40);
+    log.write(trace, "solve", "req-1", 50, {{"solver", "greedy"}});
+  }
+  std::ifstream in(path.str());
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  const io::JsonFields fields = io::parse_flat_json(line);
+  EXPECT_EQ(value_of(fields, "trace"), "0123456789abcdef");
+  EXPECT_EQ(value_of(fields, "type"), "solve");
+  EXPECT_EQ(value_of(fields, "id"), "req-1");
+  EXPECT_EQ(value_of(fields, "total_us"), "50");
+  EXPECT_EQ(value_of(fields, "span.parse_us"), "2");
+  EXPECT_EQ(value_of(fields, "span.solve_us"), "40");
+  EXPECT_EQ(value_of(fields, "solver"), "greedy");
+}
+
+TEST(Obs, TraceLogOmitsEmptyRequestId) {
+  const TempPath path;
+  {
+    TraceLog log(path.str());
+    const TraceContext trace("", nullptr);
+    log.write(trace, "pareto", "", 7);
+  }
+  std::ifstream in(path.str());
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  const io::JsonFields fields = io::parse_flat_json(line);
+  EXPECT_EQ(value_of(fields, "id"), "");
+  EXPECT_EQ(value_of(fields, "total_us"), "7");
+}
+
+TEST(Obs, TraceLogAppendsOneLinePerWrite) {
+  const TempPath path;
+  {
+    TraceLog log(path.str());
+    const TraceContext trace("", nullptr);
+    log.write(trace, "solve", "a", 1);
+    log.write(trace, "solve", "b", 2);
+  }
+  std::ifstream in(path.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(Obs, TraceLogThrowsWhenUnopenable) {
+  EXPECT_THROW(TraceLog("/nonexistent-dir/trace.jsonl"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pipeopt::obs

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
 
 namespace pipeopt::util {
 namespace {
@@ -50,6 +53,92 @@ TEST(Summary, QuantileRangeChecked) {
   s.add(1.0);
   EXPECT_THROW((void)s.quantile(-0.1), std::invalid_argument);
   EXPECT_THROW((void)s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Summary, StreamingWindowKeepsMostRecentSamples) {
+  Summary s(3);
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  // The ring holds only {3, 4, 5}; the lifetime count keeps growing.
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.total_added(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 4.0);
+}
+
+TEST(Summary, StreamingWindowZeroIsUnbounded) {
+  Summary s(0);
+  for (int i = 0; i < 10; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 10u);
+  EXPECT_EQ(s.total_added(), 10u);
+}
+
+TEST(Summary, TotalAddedMatchesCountInUnboundedMode) {
+  Summary s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_EQ(s.total_added(), s.count());
+}
+
+TEST(Summary, SortedCacheInvalidatesOnAdd) {
+  // The lazy sorted cache must refresh after interleaved add/query — a
+  // polling loop queries several quantiles per tick, then records more.
+  Summary s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 6.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Summary, SortedQuantileInterpolatesOrderStatistics) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Summary::sorted_quantile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Summary::sorted_quantile(sorted, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Summary::sorted_quantile(sorted, 0.5), 2.5);
+  EXPECT_THROW((void)Summary::sorted_quantile({}, 0.5), std::logic_error);
+  EXPECT_THROW((void)Summary::sorted_quantile(sorted, 1.5),
+               std::invalid_argument);
+}
+
+TEST(WeightedQuantile, EmptyCountsReturnLowerBound) {
+  const std::vector<std::uint64_t> counts{0, 0, 0};
+  const std::vector<double> uppers{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(weighted_quantile(counts, uppers, 0.0, 0.5), 0.0);
+}
+
+TEST(WeightedQuantile, ValidatesInput) {
+  const std::vector<std::uint64_t> counts{1, 1};
+  const std::vector<double> uppers{1.0};
+  EXPECT_THROW((void)weighted_quantile(counts, uppers, 0.0, 0.5),
+               std::invalid_argument);
+  const std::vector<double> ok{1.0, 2.0};
+  EXPECT_THROW((void)weighted_quantile(counts, ok, 0.0, -0.5),
+               std::invalid_argument);
+}
+
+TEST(WeightedQuantile, InterpolatesInsideSelectedBucket) {
+  // All mass in bucket (2, 4]: every quantile lands inside that bucket and
+  // grows with q (mid-rank interpolation across the bucket's sample run).
+  const std::vector<std::uint64_t> counts{0, 0, 10};
+  const std::vector<double> uppers{1.0, 2.0, 4.0};
+  const double p10 = weighted_quantile(counts, uppers, 0.0, 0.1);
+  const double p90 = weighted_quantile(counts, uppers, 0.0, 0.9);
+  EXPECT_GE(p10, 2.0);
+  EXPECT_LE(p90, 4.0);
+  EXPECT_LT(p10, p90);
+}
+
+TEST(WeightedQuantile, SplitsMassAcrossBuckets) {
+  // Half the mass in (0, 1], half in (2, 4]: the median sits at one
+  // bucket's edge region, the extreme quantiles in their own buckets.
+  const std::vector<std::uint64_t> counts{5, 0, 5};
+  const std::vector<double> uppers{1.0, 2.0, 4.0};
+  EXPECT_LE(weighted_quantile(counts, uppers, 0.0, 0.0), 1.0);
+  EXPECT_GE(weighted_quantile(counts, uppers, 0.0, 1.0), 2.0);
 }
 
 TEST(PowerFit, RecoversExactLaw) {

@@ -13,9 +13,13 @@
 # cache-on must match cache-off modulo wall_s, and cache_hits must be
 # nonzero), then a pipeopt-router smoke stage (route --spawn fleet:
 # byte-identity through the front tier, SIGKILL a shard under traffic and
-# assert the supervisor restarts it, SIGTERM drains), then a
+# assert the supervisor restarts it, SIGTERM drains), then an
+# observability smoke stage (a traced --spawn fleet: solve bytes
+# diff-identical to the obs-off baseline, span logs parse and cover every
+# phase, merged metrics carry fleet quantiles, pipeopt top renders, the
+# client's --poll-stats sampler writes timestamped samples), then a
 # ThreadSanitizer pass over the threaded executor/plan/sweep/server/cache/
-# router subsystems.
+# router/obs subsystems.
 #
 #   tools/ci.sh [build-dir]
 #
@@ -256,9 +260,118 @@ grep -q "drained" "$SMOKE_DIR/router.err" || {
 }
 echo "ci: router smoke green (3 objectives + 1 pareto bit-identical through the front tier; SIGKILL recovery restarts=$RESTARTS)"
 
+# Observability smoke: the same spawn-mode fleet shape, now fully traced
+# (--trace-log on the router, --shard-trace-log on the children). The
+# contract under test: observability changes NOTHING on the wire — solve
+# bytes diff-identical to the obs-off solve-batch baseline — while the
+# side channels fill up: the router's span log and both shard span logs
+# parse as flat JSONL, cover every phase (relay on the router; parse,
+# queue_wait, bind, solve, format on the shards — cache off, so no
+# cache_lookup), and share trace ids; {"type":"metrics"} through the
+# router returns fleet-merged histograms with derived quantiles; pipeopt
+# top renders one frame against the live fleet; and client --poll-stats
+# writes timestamped stats+metrics samples alongside a load run.
+"$BIN" route --spawn 2 --jobs 2 --health-interval-ms 100 \
+    --trace-log "$SMOKE_DIR/router_trace.jsonl" \
+    --shard-trace-log "$SMOKE_DIR/shard_trace" \
+    > "$SMOKE_DIR/obs_router.out" 2>"$SMOKE_DIR/obs_router.err" &
+OBS_PID=$!
+trap 'kill "$SERVER_PID" "$CACHE_PID" "$ROUTER_PID" "$OBS_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+OPORT=""
+i=0
+while [ $i -lt 100 ]; do
+  OPORT=$(sed -n 's/.*router listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SMOKE_DIR/obs_router.out")
+  [ -n "$OPORT" ] && break
+  i=$((i + 1)); sleep 0.1
+done
+[ -n "$OPORT" ] || { echo "ci: traced router never announced its port" >&2; exit 1; }
+
+"$BIN" client --port "$OPORT" --manifest "$SMOKE_DIR/batch.jsonl" \
+    --objective period --poll-stats 50 --poll-out "$SMOKE_DIR/poll.jsonl" \
+    > "$SMOKE_DIR/obs_routed.jsonl"
+sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/obs_routed.jsonl" > "$SMOKE_DIR/obs_routed.cmp"
+diff "$SMOKE_DIR/obs_routed.cmp" "$SMOKE_DIR/local.cmp" || {
+  echo "ci: solve bytes changed with tracing enabled" >&2; exit 1;
+}
+
+# Fleet-merged metrics: summable histogram fields plus derived quantiles.
+printf '{"type":"metrics"}\n' | "$BIN" client --port "$OPORT" - \
+    > "$SMOKE_DIR/fleet_metrics.jsonl"
+REQ_N=$(sed -n 's/.*"request\.n":"\([0-9]*\)".*/\1/p' "$SMOKE_DIR/fleet_metrics.jsonl")
+[ -n "$REQ_N" ] && [ "$REQ_N" -gt 0 ] || {
+  echo "ci: merged metrics missing a positive request.n (got '${REQ_N:-absent}')" >&2; exit 1;
+}
+grep -q '"request\.p50_us"' "$SMOKE_DIR/fleet_metrics.jsonl" &&
+grep -q '"request\.p99_us"' "$SMOKE_DIR/fleet_metrics.jsonl" || {
+  echo "ci: merged metrics missing derived quantile fields" >&2; exit 1;
+}
+grep -q '"shard\.0\.up":"1"' "$SMOKE_DIR/fleet_metrics.jsonl" &&
+grep -q '"shard\.1\.up":"1"' "$SMOKE_DIR/fleet_metrics.jsonl" || {
+  echo "ci: merged metrics missing per-shard liveness fields" >&2; exit 1;
+}
+
+# The top view renders one frame against the live fleet.
+"$BIN" top --port "$OPORT" --iterations 1 --no-clear > "$SMOKE_DIR/top.out" || {
+  echo "ci: pipeopt top failed against the live fleet" >&2; exit 1;
+}
+grep -q "pipeopt top" "$SMOKE_DIR/top.out" &&
+grep -q "shards 2/2" "$SMOKE_DIR/top.out" || {
+  echo "ci: pipeopt top did not render the fleet view" >&2; exit 1;
+}
+
+# The poll sampler wrote timestamped stats+metrics lines.
+[ -s "$SMOKE_DIR/poll.jsonl" ] || {
+  echo "ci: client --poll-stats wrote no samples" >&2; exit 1;
+}
+BAD=$(grep -cv '^{"t_ms":"[0-9]*","type":"\(stats\|metrics\)"' "$SMOKE_DIR/poll.jsonl" || true)
+[ "$BAD" = 0 ] || { echo "ci: poll log has $BAD malformed sample lines" >&2; exit 1; }
+
+# Drain the fleet BEFORE inspecting span logs: a shard appends its span
+# line after the response bytes, so only the reaped-children barrier
+# makes the logs complete.
+kill -TERM "$OBS_PID"
+wait "$OBS_PID" || { echo "ci: traced router did not drain cleanly on SIGTERM" >&2; exit 1; }
+
+# Span-log shape: every line of every log is flat JSONL with a 16-hex
+# trace id, and the fleet's logs jointly cover the full phase vocabulary.
+for LOG in "$SMOKE_DIR/router_trace.jsonl" \
+           "$SMOKE_DIR/shard_trace.0.jsonl" "$SMOKE_DIR/shard_trace.1.jsonl"; do
+  [ -s "$LOG" ] || [ "$LOG" != "$SMOKE_DIR/router_trace.jsonl" ] || {
+    echo "ci: $LOG is empty" >&2; exit 1;
+  }
+  if [ -s "$LOG" ]; then
+    BAD=$(grep -cv '^{"trace":"[0-9a-f]\{16\}",' "$LOG" || true)
+    [ "$BAD" = 0 ] || { echo "ci: $LOG has $BAD malformed span lines" >&2; exit 1; }
+  fi
+done
+grep -q '"span\.relay_us"' "$SMOKE_DIR/router_trace.jsonl" || {
+  echo "ci: router span log never recorded a relay span" >&2; exit 1;
+}
+cat "$SMOKE_DIR/shard_trace.0.jsonl" "$SMOKE_DIR/shard_trace.1.jsonl" \
+    2>/dev/null > "$SMOKE_DIR/shard_trace.all.jsonl"
+[ -s "$SMOKE_DIR/shard_trace.all.jsonl" ] || {
+  echo "ci: no shard ever wrote a span line" >&2; exit 1;
+}
+for PHASE in parse queue_wait bind solve format; do
+  grep -q "\"span\.${PHASE}_us\"" "$SMOKE_DIR/shard_trace.all.jsonl" || {
+    echo "ci: shard span logs never covered phase '$PHASE'" >&2; exit 1;
+  }
+done
+# One id stitches the tiers: every router-logged trace id reappears in
+# exactly one shard's log.
+while read -r TRACE_ID; do
+  grep -q "\"trace\":\"$TRACE_ID\"" "$SMOKE_DIR/shard_trace.all.jsonl" || {
+    echo "ci: trace id $TRACE_ID in the router log but no shard log" >&2; exit 1;
+  }
+done <<TRACE_IDS
+$(sed -n 's/^{"trace":"\([0-9a-f]\{16\}\)".*/\1/p' "$SMOKE_DIR/router_trace.jsonl")
+TRACE_IDS
+echo "ci: obs smoke green (traced fleet byte-identical; span logs cover all phases; request.n=$REQ_N)"
+
 # ThreadSanitizer build of the executor, plan, cancellation, server and
 # router tests — the code that actually runs worker pools, session threads
-# and the router's relay/health threads.
+# and the router's relay/health threads, plus the striped metric
+# registries and trace contexts they now record into.
 # Skipped (loudly) when the toolchain has no libtsan; everything above has
 # already gated the merge. The probe uses the same compiler CMake will
 # ($CXX when set), so probe and build cannot disagree.
@@ -267,7 +380,7 @@ if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - -o "${TMPDIR:-
   cmake -B "$BUILD_DIR-tsan" -S . -DPIPEOPT_WERROR=ON -DPIPEOPT_TSAN=ON
   cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" --target pipeopt_tests
   "$BUILD_DIR-tsan/pipeopt_tests" \
-      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*:Cache.*:Router.*:StatsMerge.*:EvalBatch.*:*/EvalBatch.*'
+      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*:Cache.*:Router.*:StatsMerge.*:EvalBatch.*:*/EvalBatch.*:Obs.*:Metrics.*'
 else
   echo "ci: ThreadSanitizer unavailable, skipping the tsan pass" >&2
 fi

@@ -101,14 +101,18 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/adapters.hpp"
@@ -124,7 +128,9 @@
 #include "sim/simulator.hpp"
 #include "util/fdio.hpp"
 #include "util/numeric.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/timing.hpp"
 
 namespace {
 
@@ -154,20 +160,29 @@ int usage() {
       "  min-energy T1,T2,...       alias: solve --objective energy\n"
       "  simulate <datasets>        execute the period-optimal mapping\n"
       "  serve [--host H] [--port N] [--jobs N] [--cache-entries N]\n"
-      "        [--backlog N] [--stdio]\n"
+      "        [--backlog N] [--trace-log F] [--stdio]\n"
       "                             JSONL-over-TCP solve service (no\n"
       "                             problem file; --port 0 = ephemeral;\n"
-      "                             --cache-entries N = solve cache on)\n"
+      "                             --cache-entries N = solve cache on;\n"
+      "                             --trace-log F = per-request span JSONL)\n"
       "  route (--shards H:P,... | --spawn N) [--host H] [--port N]\n"
       "        [--jobs N] [--cache-entries N] [--window N]\n"
-      "        [--health-interval-ms MS] [--backlog N]\n"
+      "        [--health-interval-ms MS] [--backlog N] [--trace-log F]\n"
+      "        [--shard-trace-log P]\n"
       "                             sharded front tier over N servers:\n"
       "                             sticky key-hash routing, health checks,\n"
       "                             restarts (--spawn), load shedding,\n"
-      "                             merged stats\n"
+      "                             merged stats + metrics, fleet tracing\n"
       "  client [--host H] --port N\n"
       "         (--manifest M [--pareto] [solve/sweep opts] | F | -)\n"
-      "                             send request lines, echo responses\n",
+      "         [--poll-stats MS --poll-out F]\n"
+      "                             send request lines, echo responses;\n"
+      "                             --poll-stats samples stats+metrics to\n"
+      "                             a JSONL file while the load runs\n"
+      "  top [--host H] --port N [--interval-ms MS] [--iterations N]\n"
+      "      [--no-clear]           live fleet view: per-shard liveness and\n"
+      "                             per-solver latency quantiles, refreshed\n"
+      "                             from stats+metrics every interval\n",
       stderr);
   return 2;
 }
@@ -564,7 +579,8 @@ int run_serve(const std::vector<std::string>& args) {
     if (flag == "--help") {
       std::fputs(
           "usage: pipeopt serve [--host H] [--port N] [--jobs N]\n"
-          "                     [--cache-entries N] [--backlog N] [--stdio]\n"
+          "                     [--cache-entries N] [--backlog N]\n"
+          "                     [--trace-log F] [--stdio]\n"
           "JSONL-over-TCP solve service over the api::Executor pool.\n"
           "  --host H    listen address (default 127.0.0.1)\n"
           "  --port N    listen port; 0 picks an ephemeral port (default),\n"
@@ -577,6 +593,10 @@ int run_serve(const std::vector<std::string>& args) {
           "              gain cache_hits/cache_misses/cache_evictions.\n"
           "  --backlog N listen(2) queue depth (default 64; raise it when\n"
           "              a router front tier multiplies connection bursts)\n"
+          "  --trace-log F\n"
+          "              append one JSONL span line per completed solve or\n"
+          "              pareto request (trace id + per-phase breakdown);\n"
+          "              responses stay byte-identical either way\n"
           "  --stdio     serve one session on stdin/stdout instead of TCP\n"
           "Protocol: one JSON object per line; see docs/PROTOCOL.md.\n"
           "SIGINT/SIGTERM drain in-flight solves, then exit 0.\n",
@@ -608,6 +628,9 @@ int run_serve(const std::vector<std::string>& args) {
       const auto backlog = parse_number<int>(args[++i]);
       if (!backlog || *backlog <= 0) return usage();
       options.backlog = *backlog;
+    } else if (flag == "--trace-log") {
+      if (i + 1 >= args.size()) return usage();
+      options.trace_log = args[++i];
     } else {
       return usage();
     }
@@ -671,6 +694,7 @@ int run_route(const std::vector<std::string>& args) {
           "                     [--host H] [--port N] [--jobs N]\n"
           "                     [--cache-entries N] [--window N]\n"
           "                     [--health-interval-ms MS] [--backlog N]\n"
+          "                     [--trace-log F] [--shard-trace-log P]\n"
           "Sharded front tier over N pipeopt servers: speaks the same\n"
           "protocol, routes each request to a shard by its canonical\n"
           "solve key (sticky: byte-equivalent requests share a shard, so\n"
@@ -690,6 +714,13 @@ int run_route(const std::vector<std::string>& args) {
           "  --health-interval-ms MS\n"
           "                    probe period (default 250)\n"
           "  --backlog N       front-tier listen(2) queue (default 128)\n"
+          "  --trace-log F     append one JSONL span line per forwarded\n"
+          "                    request (relay time + shared trace id; ids\n"
+          "                    are generated and spliced into forwarded\n"
+          "                    lines that carry none)\n"
+          "  --shard-trace-log P\n"
+          "                    spawn mode: shard i traces to P.<i>.jsonl;\n"
+          "                    its lines share the router's trace ids\n"
           "SIGINT/SIGTERM drain in-flight requests, then the shards.\n",
           stdout);
       return 0;
@@ -737,11 +768,20 @@ int run_route(const std::vector<std::string>& args) {
       const auto backlog = parse_number<int>(args[++i]);
       if (!backlog || *backlog <= 0) return usage();
       options.backlog = *backlog;
+    } else if (flag == "--trace-log") {
+      if (i + 1 >= args.size()) return usage();
+      options.trace_log = args[++i];
+    } else if (flag == "--shard-trace-log") {
+      if (i + 1 >= args.size()) return usage();
+      options.spawn_trace_log = args[++i];
     } else {
       return usage();
     }
   }
   if (options.shards.empty() == (options.spawn == 0)) return usage();
+  // Shard span logs ride the spawn arguments; endpoint-mode shards are
+  // configured by whoever started them.
+  if (!options.spawn_trace_log.empty() && options.spawn == 0) return usage();
   const std::string host = options.host;
   try {
     router::Router router(std::move(options));
@@ -836,6 +876,8 @@ int run_client(const std::vector<std::string>& args) {
   std::optional<std::uint16_t> port;
   std::string manifest, raw_file;
   bool pareto = false;
+  std::uint64_t poll_ms = 0;
+  std::string poll_out;
   std::vector<std::string> solve_args;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -851,6 +893,14 @@ int run_client(const std::vector<std::string>& args) {
       manifest = args[++i];
     } else if (flag == "--pareto") {
       pareto = true;  // manifest lines become {"type":"pareto"} sweeps
+    } else if (flag == "--poll-stats") {
+      if (i + 1 >= args.size()) return usage();
+      const auto interval = parse_number<std::uint64_t>(args[++i]);
+      if (!interval || *interval == 0) return usage();
+      poll_ms = *interval;
+    } else if (flag == "--poll-out") {
+      if (i + 1 >= args.size()) return usage();
+      poll_out = args[++i];
     } else if (!manifest.empty()) {
       solve_args.push_back(flag);  // shared solve flags for --manifest mode
     } else if (raw_file.empty()) {
@@ -861,6 +911,9 @@ int run_client(const std::vector<std::string>& args) {
   }
   if (!port || (manifest.empty() && raw_file.empty())) return usage();
   if (pareto && manifest.empty()) return usage();
+  // The sampler's lines must not interleave with the echoed responses, so
+  // polling requires an explicit output file.
+  if ((poll_ms > 0) != !poll_out.empty()) return usage();
 
   // Build the request lines before connecting: a usage error should not
   // show up server-side as half a session.
@@ -909,6 +962,52 @@ int run_client(const std::vector<std::string>& args) {
     return 3;
   }
 
+  // Stats/metrics sampler: its own connection, its own output file, so
+  // the periodic `{"type":"stats"}` / `{"type":"metrics"}` probes neither
+  // perturb the load connection's lock-step ordering nor interleave with
+  // the echoed responses. Each sampled line gains a leading "t_ms" field
+  // (milliseconds since the load run started) for time-series plotting.
+  std::atomic<bool> poll_stop{false};
+  std::thread poller;
+  if (poll_ms > 0) {
+    poller = std::thread([&poll_stop, poll_ms, poll_out, host,
+                          port = *port] {
+      std::ofstream out(poll_out, std::ios::trunc);
+      const util::Stopwatch elapsed;
+      while (!poll_stop.load(std::memory_order_relaxed)) {
+        const int poll_fd = connect_to(host, port);
+        if (poll_fd >= 0) {
+          util::FdLineReader poll_reader(poll_fd);
+          for (const char* probe :
+               {"{\"type\":\"stats\"}", "{\"type\":\"metrics\"}"}) {
+            std::string sample;
+            if (!util::write_line(poll_fd, probe) ||
+                !poll_reader.next_line(sample)) {
+              break;
+            }
+            const auto t_ms = static_cast<std::uint64_t>(
+                elapsed.elapsed_seconds() * 1000.0);
+            sample.insert(1, "\"t_ms\":\"" + std::to_string(t_ms) + "\",");
+            out << sample << '\n';
+          }
+          ::close(poll_fd);
+          out.flush();
+        }
+        // Sleep in short steps so the post-run join is snappy.
+        for (std::uint64_t waited = 0;
+             waited < poll_ms && !poll_stop.load(std::memory_order_relaxed);
+             waited += 20) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::min<std::uint64_t>(20, poll_ms - waited)));
+        }
+      }
+    });
+  }
+  const auto join_poller = [&poll_stop, &poller] {
+    poll_stop.store(true, std::memory_order_relaxed);
+    if (poller.joinable()) poller.join();
+  };
+
   // Lock-step request/response keeps the output aligned with the input
   // order (the server answers each connection's lines in order anyway).
   std::signal(SIGPIPE, SIG_IGN);  // a dying server is exit 3, not a kill
@@ -918,6 +1017,7 @@ int run_client(const std::vector<std::string>& args) {
     if (!util::write_line(fd, line)) {
       std::fprintf(stderr, "error: connection lost mid-request\n");
       ::close(fd);
+      join_poller();
       return 3;
     }
     // A pareto request streams result lines until its terminal summary (or
@@ -928,6 +1028,7 @@ int run_client(const std::vector<std::string>& args) {
       if (!reader.next_line(response)) {
         std::fprintf(stderr, "error: connection closed before a response\n");
         ::close(fd);
+        join_poller();
         return 3;
       }
       std::printf("%s\n", response.c_str());
@@ -936,7 +1037,224 @@ int run_client(const std::vector<std::string>& args) {
     }
   }
   ::close(fd);
+  join_poller();
   return worst;
+}
+
+/// First value for `key` in `fields`, or "" when absent.
+std::string field_value(const io::JsonFields& fields, const std::string& key) {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+/// Numeric field as double; 0.0 when absent or malformed (display-only).
+double field_number(const io::JsonFields& fields, const std::string& key) {
+  const std::string value = field_value(fields, key);
+  return value.empty() ? 0.0 : std::strtod(value.c_str(), nullptr);
+}
+
+/// A µs-valued field rendered as milliseconds with 2 decimals.
+std::string field_ms(const io::JsonFields& fields, const std::string& key) {
+  const std::string value = field_value(fields, key);
+  if (value.empty()) return "-";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.2f",
+                std::strtod(value.c_str(), nullptr) / 1000.0);
+  return buffer;
+}
+
+/// `pipeopt top`: a refreshing fleet view polled from a running server or
+/// router — stats counters, per-shard liveness (router), and the
+/// per-solver latency table with the fleet-merged p50/p90/p99 quantiles
+/// that `{"type":"metrics"}` derives from its histogram buckets.
+int run_top(const std::vector<std::string>& args) {
+  std::string host = "127.0.0.1";
+  std::optional<std::uint16_t> port;
+  std::uint64_t interval_ms = 1000;
+  std::uint64_t iterations = 0;  // 0 = until interrupted
+  bool clear = true;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--help") {
+      std::fputs(
+          "usage: pipeopt top [--host H] --port N [--interval-ms MS]\n"
+          "                   [--iterations N] [--no-clear]\n"
+          "Live fleet view against a pipeopt server or router: polls\n"
+          "{\"type\":\"stats\"} and {\"type\":\"metrics\"} every interval and\n"
+          "renders the fleet counters, per-shard liveness (router) and the\n"
+          "per-solver latency quantile table.\n"
+          "  --interval-ms MS  poll period (default 1000)\n"
+          "  --iterations N    render N frames then exit (default: forever)\n"
+          "  --no-clear        append frames instead of redrawing (logs)\n",
+          stdout);
+      return 0;
+    }
+    if (flag == "--host") {
+      if (i + 1 >= args.size()) return usage();
+      host = args[++i];
+    } else if (flag == "--port") {
+      if (i + 1 >= args.size()) return usage();
+      port = parse_number<std::uint16_t>(args[++i]);
+      if (!port) return usage();
+    } else if (flag == "--interval-ms") {
+      if (i + 1 >= args.size()) return usage();
+      const auto interval = parse_number<std::uint64_t>(args[++i]);
+      if (!interval || *interval == 0) return usage();
+      interval_ms = *interval;
+    } else if (flag == "--iterations") {
+      if (i + 1 >= args.size()) return usage();
+      const auto n = parse_number<std::uint64_t>(args[++i]);
+      if (!n) return usage();
+      iterations = *n;
+    } else if (flag == "--no-clear") {
+      clear = false;
+    } else {
+      return usage();
+    }
+  }
+  if (!port) return usage();
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Redraw only on an interactive screen; piped output gets appended
+  // frames regardless of --no-clear (ANSI codes in a log help nobody).
+  const bool redraw = clear && ::isatty(STDOUT_FILENO) == 1;
+  // Poll round-trip times through the streaming Summary window — the
+  // util::stats quantile path the metrics histograms share.
+  util::Summary rtt(32);
+  for (std::uint64_t tick = 0; iterations == 0 || tick < iterations; ++tick) {
+    const util::Stopwatch poll_watch;
+    io::JsonFields stats, metrics;
+    {
+      const int fd = connect_to(host, *port);
+      if (fd < 0) {
+        std::fprintf(stderr,
+                     "error: cannot connect to %s:%u: %s\n"
+                     "       is a pipeopt server (or router) listening there?\n",
+                     host.c_str(), *port, std::strerror(errno));
+        return 3;
+      }
+      util::FdLineReader reader(fd);
+      bool ok = true;
+      for (auto* slot : {&stats, &metrics}) {
+        const char* probe = slot == &stats ? "{\"type\":\"stats\"}"
+                                           : "{\"type\":\"metrics\"}";
+        std::string response;
+        if (!util::write_line(fd, probe) || !reader.next_line(response)) {
+          ok = false;
+          break;
+        }
+        try {
+          *slot = io::parse_flat_json(response);
+        } catch (const io::ParseError&) {
+          ok = false;
+        }
+      }
+      ::close(fd);
+      if (!ok) {
+        std::fprintf(stderr, "error: connection lost while polling\n");
+        return 3;
+      }
+    }
+    rtt.add(poll_watch.elapsed_seconds() * 1000.0);
+
+    std::string frame;
+    const auto line = [&frame](const std::string& text) {
+      frame += text;
+      frame += '\n';
+    };
+    {
+      char head[160];
+      std::snprintf(head, sizeof head,
+                    "pipeopt top - %s:%u  tick %llu  poll p50 %.1f ms",
+                    host.c_str(), *port, static_cast<unsigned long long>(tick),
+                    rtt.quantile(0.5));
+      line(head);
+    }
+    // Fleet counters: the router-level fields exist only through a router;
+    // a direct server shows its own stats line instead.
+    const std::string shards = field_value(stats, "shards");
+    std::string fleet = "requests " + field_value(stats, "requests") +
+                        "  solves " + field_value(stats, "solves") +
+                        "  errors " + field_value(stats, "errors");
+    if (!shards.empty()) {
+      fleet += "  routed " + field_value(stats, "routed") + "  shed " +
+               field_value(stats, "shed") + "  shards " +
+               field_value(stats, "shards_up") + "/" + shards;
+    } else {
+      fleet += "  jobs " + field_value(stats, "jobs") + "  pending " +
+               field_value(stats, "pending");
+    }
+    line(fleet);
+    if (field_number(metrics, "request.n") > 0) {
+      line("request latency ms: p50 " + field_ms(metrics, "request.p50_us") +
+           "  p90 " + field_ms(metrics, "request.p90_us") + "  p99 " +
+           field_ms(metrics, "request.p99_us"));
+    }
+    if (field_number(metrics, "phase.relay.n") > 0) {
+      line("relay latency ms:   p50 " +
+           field_ms(metrics, "phase.relay.p50_us") + "  p90 " +
+           field_ms(metrics, "phase.relay.p90_us") + "  p99 " +
+           field_ms(metrics, "phase.relay.p99_us"));
+    }
+    if (!shards.empty()) {
+      util::Table table({"shard", "up", "in_flight"});
+      for (std::size_t i = 0;; ++i) {
+        const std::string prefix = "shard." + std::to_string(i) + ".";
+        const std::string up = field_value(metrics, prefix + "up");
+        if (up.empty()) break;
+        table.add_row({std::to_string(i), up == "1" ? "up" : "DOWN",
+                       field_value(metrics, prefix + "in_flight")});
+      }
+      frame += table.render();
+    }
+    // Per-solver rows, discovered from the merged metric names: one
+    // `solver.<name>.latency.*` histogram group per solver seen fleetwide.
+    util::Table table(
+        {"solver", "solves", "evals", "mean ms", "p50", "p90", "p99"});
+    bool any_solver = false;
+    for (const auto& [key, value] : metrics) {
+      constexpr const char kPrefix[] = "solver.";
+      constexpr const char kSuffix[] = ".latency.n";
+      if (key.rfind(kPrefix, 0) != 0 || key.size() <= sizeof kPrefix - 1) {
+        continue;
+      }
+      if (key.size() < sizeof kSuffix ||
+          key.compare(key.size() - (sizeof kSuffix - 1), sizeof kSuffix - 1,
+                      kSuffix) != 0) {
+        continue;
+      }
+      const std::string name = key.substr(
+          sizeof kPrefix - 1, key.size() - sizeof kPrefix - sizeof kSuffix + 2);
+      const std::string histogram = std::string(kPrefix) + name + ".latency";
+      const double n = field_number(metrics, histogram + ".n");
+      if (n <= 0) continue;
+      any_solver = true;
+      char mean[32];
+      std::snprintf(mean, sizeof mean, "%.2f",
+                    field_number(metrics, histogram + ".sum_us") / n / 1000.0);
+      const std::string evals = field_value(metrics, kPrefix + name + ".evals");
+      table.add_row({name, value, evals.empty() ? "0" : evals, mean,
+                     field_ms(metrics, histogram + ".p50_us"),
+                     field_ms(metrics, histogram + ".p90_us"),
+                     field_ms(metrics, histogram + ".p99_us")});
+    }
+    if (any_solver) {
+      frame += table.render();
+    } else {
+      line("(no solves recorded yet)");
+    }
+
+    if (redraw) std::fputs("\x1b[2J\x1b[H", stdout);
+    std::fputs(frame.c_str(), stdout);
+    if (!redraw) std::fputs("\n", stdout);
+    std::fflush(stdout);
+    if (iterations == 0 || tick + 1 < iterations) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return 0;
 }
 
 int run_list_solvers(const core::Problem& problem) {
@@ -973,6 +1291,14 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "client") == 0) {
     try {
       return run_client(std::vector<std::string>(argv + 2, argv + argc));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "top") == 0) {
+    try {
+      return run_top(std::vector<std::string>(argv + 2, argv + argc));
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
