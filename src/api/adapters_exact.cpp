@@ -1,36 +1,30 @@
 /// \file adapters_exact.cpp
-/// Adapters over the exponential exact engines. These are the universal
-/// fallback of the dispatch order: applicable on every platform class, both
-/// communication models, any constraint shape — but bounded by the request's
-/// node budget. Blowing the budget returns SolveStatus::LimitExceeded, which
-/// auto-dispatch treats as "skip and degrade to the heuristic ladder".
+/// Adapters over the exact backends (api/exact_backend.hpp). These are the
+/// universal fallback of the dispatch order: applicable on every platform
+/// class, both communication models, any constraint shape — but bounded by
+/// the request's node budget. Blowing the budget returns
+/// SolveStatus::LimitExceeded, which auto-dispatch treats as "skip and
+/// degrade to the heuristic ladder".
+///
+/// Every backend gets the same wrapper: supports() becomes the capability
+/// predicate, minimize() runs under one try/catch that converts budget
+/// exhaustion and cancellation to their typed results, and successful
+/// results flow through `from_exact` so diagnostics are uniform across
+/// engines. Adding an exact engine means implementing ExactBackend — this
+/// file never changes again.
 
 #include "api/adapters.hpp"
 
 #include <memory>
 #include <string>
 
-#include "exact/branch_and_bound.hpp"
+#include "api/exact_backend.hpp"
 #include "exact/enumeration.hpp"
 #include "exact/exact_solvers.hpp"
 
 namespace pipeopt::api {
 
 namespace {
-
-exact::MappingKind to_exact_kind(MappingKind kind) {
-  return kind == MappingKind::OneToOne ? exact::MappingKind::OneToOne
-                                       : exact::MappingKind::Interval;
-}
-
-exact::Objective to_exact_objective(Objective objective) {
-  switch (objective) {
-    case Objective::Period: return exact::Objective::Period;
-    case Objective::Latency: return exact::Objective::Latency;
-    case Objective::Energy: return exact::Objective::Energy;
-  }
-  return exact::Objective::Period;
-}
 
 SolveResult limit_exceeded(std::uint64_t node_budget) {
   SolveResult result = detail::infeasible();
@@ -57,8 +51,9 @@ SolveResult from_exact(const core::Problem& problem, Objective objective,
       "mappings", std::to_string(exact_result->stats.complete));
   // Every complete mapping reached is one evaluation: per-leaf batch
   // evaluation in the enumerator, incremental finalized-max evaluation in
-  // branch-and-bound. Surfaced so ServerStats can aggregate fleet-wide
-  // evaluation throughput on the stats wire line.
+  // branch-and-bound, exact candidate re-evaluation in branch-and-cut.
+  // Surfaced so ServerStats can aggregate fleet-wide evaluation throughput
+  // on the stats wire line.
   result.diagnostics.emplace_back(
       "evals", std::to_string(exact_result->stats.complete));
   return result;
@@ -67,64 +62,27 @@ SolveResult from_exact(const core::Problem& problem, Objective objective,
 }  // namespace
 
 void register_exact_solvers(SolverRegistry& registry) {
-  // Branch-and-bound period minimization: bit-identical to enumeration but
-  // with admissible pruning, so it is tried first within the Exact tier.
-  registry.add(std::make_unique<LambdaSolver>(
-      SolverInfo{.name = "branch-and-bound",
-                 .summary = "pruned exact period search, any platform",
-                 .tier = CostTier::Exact,
-                 .rank = 0,
-                 .family = std::nullopt,
-                 .exact = true},
-      [](const core::Problem&, const SolveRequest& r) {
-        return r.objective == Objective::Period &&
-               detail::no_constraints(r.constraints);
-      },
-      [](const core::Problem& p, const SolveRequest& r) {
-        try {
-          // The warm-start hint prunes strictly-worse subtrees only, so the
-          // returned value/mapping equal an unhinted solve (request.hpp).
-          return from_exact(p, r.objective,
-                            exact::branch_bound_min_period(
-                                p, to_exact_kind(r.kind), r.node_budget,
-                                r.cancel, r.warm_start));
-        } catch (const exact::SearchCancelled&) {
-          return cancelled();
-        } catch (const exact::SearchLimitExceeded&) {
-          return limit_exceeded(r.node_budget);
-        }
-      }));
-
-  // Exhaustive enumeration: the optimality oracle. Handles every objective
-  // and constraint combination of the paper; speed modes are enumerated
-  // exactly when energy is involved (objective or budget), otherwise the §4
-  // max-speed normalization applies.
-  registry.add(std::make_unique<LambdaSolver>(
-      SolverInfo{.name = "exact-enumeration",
-                 .summary = "exhaustive search, any objective/constraints/platform",
-                 .tier = CostTier::Exact,
-                 .rank = 10,
-                 .family = std::nullopt,
-                 .exact = true},
-      [](const core::Problem&, const SolveRequest&) { return true; },
-      [](const core::Problem& p, const SolveRequest& r) {
-        exact::EnumerationOptions options;
-        options.kind = to_exact_kind(r.kind);
-        options.enumerate_modes = r.objective == Objective::Energy ||
-                                  r.constraints.energy_budget.has_value();
-        options.node_limit = r.node_budget;
-        options.cancel = r.cancel;
-        try {
-          return from_exact(p, r.objective,
-                            exact::exact_minimize(p, options,
-                                                  to_exact_objective(r.objective),
-                                                  r.constraints));
-        } catch (const exact::SearchCancelled&) {
-          return cancelled();
-        } catch (const exact::SearchLimitExceeded&) {
-          return limit_exceeded(r.node_budget);
-        }
-      }));
+  for (const ExactBackend* backend : exact_backends()) {
+    registry.add(std::make_unique<LambdaSolver>(
+        SolverInfo{.name = backend->info().name,
+                   .summary = backend->info().summary,
+                   .tier = CostTier::Exact,
+                   .rank = backend->info().rank,
+                   .family = std::nullopt,
+                   .exact = true},
+        [backend](const core::Problem& p, const SolveRequest& r) {
+          return backend->supports(p, r);
+        },
+        [backend](const core::Problem& p, const SolveRequest& r) {
+          try {
+            return from_exact(p, r.objective, backend->minimize(p, r));
+          } catch (const exact::SearchCancelled&) {
+            return cancelled();
+          } catch (const exact::SearchLimitExceeded&) {
+            return limit_exceeded(r.node_budget);
+          }
+        }));
+  }
 }
 
 }  // namespace pipeopt::api

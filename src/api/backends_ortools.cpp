@@ -1,0 +1,194 @@
+/// \file backends_ortools.cpp
+/// Optional OR-tools CP-SAT exact backend, compiled in only under the
+/// `PIPEOPT_WITH_ORTOOLS` configure option (OFF by default — the container
+/// toolchain has no OR-tools, and CI stays green without it).
+///
+/// CP-SAT reasons over integers, so every cost is scaled by `kScale` and
+/// rounded; the backend therefore registers with `bit_exact = false` and
+/// the cross-check harness compares it within tolerance, not by bits. The
+/// returned `value` is still computed by re-evaluating the decoded mapping
+/// through `core::evaluate`, so whatever mapping CP-SAT picks is reported
+/// at its true cost. Capability is limited to the cells whose costs are
+/// fully known per interval variable: uniform-bandwidth platforms,
+/// unconstrained single-objective requests.
+
+#include "api/exact_backend.hpp"
+
+#ifdef PIPEOPT_WITH_ORTOOLS
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "api/adapters.hpp"
+#include "core/evaluation.hpp"
+#include "ortools/sat/cp_model.h"
+
+namespace pipeopt::api {
+namespace {
+
+constexpr double kScale = 1e6;  ///< cost units per integer tick
+
+std::int64_t scaled(double v) {
+  return static_cast<std::int64_t>(std::llround(v * kScale));
+}
+
+struct Candidate {
+  std::size_t app, first, last, proc, mode;
+  double period_cost;   ///< cycle time of this interval (uniform platform)
+  double latency_cost;  ///< Eq. 5 contribution
+  double energy_cost;
+};
+
+class OrtoolsBackend final : public ExactBackend {
+ public:
+  OrtoolsBackend()
+      : ExactBackend({.name = "ortools-cpsat",
+                      .summary = "CP-SAT model (scaled integer costs)",
+                      .rank = 30,
+                      .bit_exact = false}) {}
+
+  bool supports(const core::Problem& problem,
+                const SolveRequest& r) const override {
+    return problem.platform().has_uniform_bandwidth() &&
+           detail::no_constraints(r.constraints);
+  }
+
+  std::optional<exact::ExactResult> minimize(
+      const core::Problem& problem, const SolveRequest& r) const override {
+    using operations_research::sat::CpModelBuilder;
+    using operations_research::sat::BoolVar;
+    using operations_research::sat::IntVar;
+    using operations_research::sat::LinearExpr;
+
+    const core::Platform& plat = problem.platform();
+    const bool one_to_one = r.kind == MappingKind::OneToOne;
+    const bool modes = r.objective == Objective::Energy;
+    const double b = plat.uniform_bandwidth();
+
+    std::vector<Candidate> candidates;
+    for (std::size_t a = 0; a < problem.application_count(); ++a) {
+      const core::Application& app = problem.application(a);
+      const std::size_t n = app.stage_count();
+      for (std::size_t f = 0; f < n; ++f) {
+        for (std::size_t l = f; l <= (one_to_one ? f : n - 1); ++l) {
+          for (std::size_t u = 0; u < plat.processor_count(); ++u) {
+            const std::size_t top = plat.processor(u).max_mode();
+            for (std::size_t m = modes ? 0 : top; m <= top; ++m) {
+              Candidate c{a, f, l, u, m, 0, 0, 0};
+              const double in = app.boundary_size(f) /
+                                (f == 0 ? plat.in_bandwidth(a, u) : b);
+              const double comp =
+                  app.total_compute(f, l) / plat.processor(u).speed(m);
+              const double out = app.boundary_size(l + 1) /
+                                 (l == n - 1 ? plat.out_bandwidth(a, u) : b);
+              c.period_cost = problem.comm_model() == core::CommModel::Overlap
+                                  ? std::max({in, comp, out})
+                                  : in + comp + out;
+              c.latency_cost = (f == 0 ? in : 0.0) + comp + out;
+              c.energy_cost = plat.processor_energy(u, m);
+              candidates.push_back(c);
+            }
+          }
+        }
+      }
+    }
+
+    CpModelBuilder model;
+    std::vector<BoolVar> x;
+    x.reserve(candidates.size());
+    for (std::size_t j = 0; j < candidates.size(); ++j)
+      x.push_back(model.NewBoolVar());
+
+    for (std::size_t a = 0; a < problem.application_count(); ++a) {
+      const std::size_t n = problem.application(a).stage_count();
+      for (std::size_t k = 0; k < n; ++k) {
+        std::vector<BoolVar> covering;
+        for (std::size_t j = 0; j < candidates.size(); ++j)
+          if (candidates[j].app == a && candidates[j].first <= k &&
+              k <= candidates[j].last)
+            covering.push_back(x[j]);
+        model.AddExactlyOne(covering);
+      }
+    }
+    for (std::size_t u = 0; u < plat.processor_count(); ++u) {
+      std::vector<BoolVar> on_u;
+      for (std::size_t j = 0; j < candidates.size(); ++j)
+        if (candidates[j].proc == u) on_u.push_back(x[j]);
+      model.AddAtMostOne(on_u);
+    }
+
+    if (r.objective == Objective::Energy) {
+      LinearExpr total;
+      for (std::size_t j = 0; j < candidates.size(); ++j)
+        total += LinearExpr::Term(x[j], scaled(candidates[j].energy_cost));
+      model.Minimize(total);
+    } else {
+      const IntVar obj = model.NewIntVar(
+          {0, std::numeric_limits<std::int64_t>::max() / 4});
+      for (std::size_t a = 0; a < problem.application_count(); ++a) {
+        const double w = problem.application(a).weight();
+        if (r.objective == Objective::Period) {
+          for (std::size_t j = 0; j < candidates.size(); ++j)
+            if (candidates[j].app == a)
+              model.AddGreaterOrEqual(
+                  obj, LinearExpr::Term(
+                           x[j], scaled(w * candidates[j].period_cost)));
+        } else {
+          LinearExpr lat;
+          for (std::size_t j = 0; j < candidates.size(); ++j)
+            if (candidates[j].app == a)
+              lat += LinearExpr::Term(x[j],
+                                      scaled(w * candidates[j].latency_cost));
+          model.AddGreaterOrEqual(obj, lat);
+        }
+      }
+      model.Minimize(obj);
+    }
+
+    const operations_research::sat::CpSolverResponse response =
+        Solve(model.Build());
+    if (response.status() != operations_research::sat::CpSolverStatus::OPTIMAL &&
+        response.status() != operations_research::sat::CpSolverStatus::FEASIBLE)
+      return std::nullopt;
+
+    std::vector<core::IntervalAssignment> intervals;
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (SolutionBooleanValue(response, x[j])) {
+        const Candidate& c = candidates[j];
+        intervals.push_back({c.app, c.first, c.last, c.proc, c.mode});
+      }
+    }
+    exact::ExactResult result;
+    result.mapping = core::Mapping(std::move(intervals));
+    const core::Metrics metrics = core::evaluate(problem, result.mapping);
+    result.value = r.objective == Objective::Period
+                       ? metrics.max_weighted_period
+                       : r.objective == Objective::Latency
+                             ? metrics.max_weighted_latency
+                             : metrics.energy;
+    result.stats.nodes = static_cast<std::uint64_t>(response.num_branches());
+    result.stats.complete = 1;
+    return result;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<ExactBackend> make_ortools_backend() {
+  return std::make_unique<OrtoolsBackend>();
+}
+}  // namespace detail
+
+}  // namespace pipeopt::api
+
+#else  // !PIPEOPT_WITH_ORTOOLS
+
+namespace pipeopt::api::detail {
+std::unique_ptr<ExactBackend> make_ortools_backend() { return nullptr; }
+}  // namespace pipeopt::api::detail
+
+#endif

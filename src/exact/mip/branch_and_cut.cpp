@@ -1,0 +1,170 @@
+#include "exact/mip/branch_and_cut.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "core/eval_batch.hpp"
+#include "core/evaluation.hpp"
+#include "exact/mip/formulation.hpp"
+#include "exact/mip/lp.hpp"
+
+namespace pipeopt::exact::mip {
+namespace {
+
+constexpr int kMaxSeparationRounds = 64;
+
+double objective_value(Objective objective, const core::Metrics& metrics) {
+  switch (objective) {
+    case Objective::Period: return metrics.max_weighted_period;
+    case Objective::Latency: return metrics.max_weighted_latency;
+    case Objective::Energy: return metrics.energy;
+  }
+  return 0.0;
+}
+
+/// Pruning margin: LP bounds discard a subtree only when they clear the
+/// incumbent by this much, so FP noise in the relaxation can never hide
+/// the true optimum. Candidates inside the margin are enumerated via
+/// no-good cuts instead.
+double prune_margin(double incumbent) {
+  return 1e-6 * (1.0 + std::abs(incumbent));
+}
+
+struct Node {
+  /// (x column, value) fixings accumulated along the DFS path.
+  std::vector<std::pair<std::size_t, int>> fixings;
+};
+
+Row fixing_row(std::size_t column, int value) {
+  Row row;
+  row.coeffs.emplace_back(column, 1.0);
+  if (value == 0) {
+    row.sense = RowSense::Le;
+    row.rhs = 0.0;
+  } else {
+    row.sense = RowSense::Ge;
+    row.rhs = 1.0;
+  }
+  return row;
+}
+
+}  // namespace
+
+std::optional<ExactResult> mip_minimize(const core::Problem& problem,
+                                        const MipOptions& options,
+                                        Objective objective,
+                                        const core::ConstraintSet& constraints) {
+  Formulation form(problem, objective, constraints, options.kind,
+                   options.enumerate_modes);
+  core::BatchEvaluator evaluator(problem);
+
+  std::vector<Row> pool;  // lazy linking rows + no-good cuts, globally valid
+  std::vector<Node> stack;
+  stack.push_back({});
+  std::optional<ExactResult> best;
+  EnumerationStats stats;
+
+  // Evaluates one integral candidate with the exact machinery, updates the
+  // incumbent, and excludes the point so the node can be re-solved.
+  auto take_candidate = [&](const std::vector<double>& solution) {
+    core::Mapping mapping = form.extract_mapping(solution);
+    ++stats.complete;
+    const core::Metrics& metrics = evaluator.evaluate(mapping);
+    if (constraints.satisfied_by(metrics)) {
+      const double value = objective_value(objective, metrics);
+      if (!best || value < best->value)
+        best = ExactResult{value, std::move(mapping), {}};
+    }
+    pool.push_back(form.no_good_cut(solution));
+  };
+
+  while (!stack.empty()) {
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    ++stats.nodes;
+    if (stats.nodes > options.node_limit) throw SearchLimitExceeded();
+    if (options.cancel.cancelled()) throw SearchCancelled();
+
+    LinearProgram lp = form.lp();
+    lp.rows.insert(lp.rows.end(), pool.begin(), pool.end());
+    for (const auto& [column, value] : node.fixings)
+      lp.rows.push_back(fixing_row(column, value));
+
+    LpSolution sol;
+    bool pruned = false;
+    for (int round = 0; round < kMaxSeparationRounds; ++round) {
+      sol = solve_lp(lp);
+      if (sol.status == LpStatus::Infeasible) {
+        pruned = true;  // phase-1 proof: no mapping in this subtree
+        break;
+      }
+      if (sol.status != LpStatus::Optimal) break;  // no usable bound
+      if (best && sol.objective >= best->value + prune_margin(best->value)) {
+        pruned = true;
+        break;
+      }
+      std::vector<Row> cuts = form.separate(sol.values);
+      if (cuts.empty()) break;
+      for (Row& cut : cuts) {
+        lp.rows.push_back(cut);
+        pool.push_back(std::move(cut));
+      }
+    }
+    if (pruned) continue;
+
+    if (sol.status == LpStatus::Optimal) {
+      const std::optional<std::size_t> frac = form.most_fractional(sol.values);
+      if (!frac) {
+        take_candidate(sol.values);
+        // Re-solve the same subproblem with the candidate excluded: any
+        // other integral point here has LP value >= this node's bound, so
+        // the loop terminates once the bound clears the pruning margin.
+        stack.push_back(std::move(node));
+        continue;
+      }
+      Node zero = node;
+      zero.fixings.emplace_back(*frac, 0);
+      Node one = std::move(node);
+      one.fixings.emplace_back(*frac, 1);
+      stack.push_back(std::move(zero));
+      stack.push_back(std::move(one));  // explored first: dive toward 1
+      continue;
+    }
+
+    // The relaxation gave no verdict (iteration limit / numerical noise).
+    // Never prune on that: branch on the lowest unfixed column so the
+    // subtree still gets enumerated, or — with everything fixed — decode
+    // the fixings directly and close the node exactly.
+    std::vector<char> fixed(form.x_count(), 0);
+    for (const auto& [column, value] : node.fixings) fixed[column] = 1;
+    std::size_t branch = form.x_count();
+    for (std::size_t j = 0; j < form.x_count(); ++j) {
+      if (!fixed[j]) {
+        branch = j;
+        break;
+      }
+    }
+    if (branch < form.x_count()) {
+      Node zero = node;
+      zero.fixings.emplace_back(branch, 0);
+      Node one = std::move(node);
+      one.fixings.emplace_back(branch, 1);
+      stack.push_back(std::move(zero));
+      stack.push_back(std::move(one));
+      continue;
+    }
+    std::vector<double> forced(lp.columns, 0.0);
+    for (const auto& [column, value] : node.fixings)
+      forced[column] = static_cast<double>(value);
+    core::Mapping candidate = form.extract_mapping(forced);
+    const bool valid = !candidate.validate(problem).has_value();
+    if (valid) take_candidate(forced);
+  }
+
+  if (!best) return std::nullopt;
+  best->stats = stats;
+  return best;
+}
+
+}  // namespace pipeopt::exact::mip

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file branch_and_cut.hpp
+/// Exact MIP solve of the interval-mapping problem: branch-and-cut over the
+/// LP relaxation built by exact/mip/formulation.hpp.
+///
+/// The driver is a DFS over binary fixings of the interval variables
+/// (dive-to-1 first, most-fractional branching), with two row generators:
+/// the formulation's lazy z linking rows (separated each node until the
+/// relaxation is cut-clean) and no-good cuts excluding each integral
+/// candidate once it has been evaluated exactly.
+///
+/// **Exactness contract** — how a floating-point LP yields bit-exact
+/// answers. LP numbers are only ever used as *bounds*: a node is pruned
+/// only when its relaxation value is at least `incumbent + 1e-6·(1 +
+/// |incumbent|)` (an over-margin no FP noise of this model's scale
+/// reaches), or when phase-1 simplex proves the node infeasible. Every
+/// integral candidate is decoded to a `core::Mapping` and re-evaluated
+/// through `core::BatchEvaluator` — bit-identical to `core::evaluate`, the
+/// same arbiter the enumeration and branch-and-bound backends use — and
+/// constraint acceptance uses the exact `core::ConstraintSet::satisfied_by`
+/// predicate, never the loosened LP rows. After a candidate is evaluated
+/// (accepted or not) a no-good cut removes exactly that point and the node
+/// is re-solved, so even candidates whose LP value ties within the pruning
+/// margin are enumerated rather than assumed away. The result is the same
+/// optimum, to the bit, that exhaustive enumeration returns.
+
+#include <optional>
+
+#include "core/objectives.hpp"
+#include "core/problem.hpp"
+#include "exact/enumeration.hpp"
+#include "exact/exact_solvers.hpp"
+
+namespace pipeopt::exact::mip {
+
+/// Branch-and-cut controls; mirrors exact::EnumerationOptions so the two
+/// engines are drop-in interchangeable behind the backend seam.
+struct MipOptions {
+  MappingKind kind = MappingKind::Interval;
+  /// Enumerate every speed mode per processor; when false the fastest mode
+  /// is used (the §4 normalization for performance-only problems).
+  bool enumerate_modes = false;
+  /// Upper bound on branch-and-cut nodes; exceeded -> SearchLimitExceeded.
+  std::uint64_t node_limit = 100'000'000;
+  /// Cooperative cancellation, polled at every node; fired -> SearchCancelled.
+  util::CancelToken cancel;
+};
+
+/// Minimizes `objective` over all mappings of the given kind subject to
+/// `constraints`. Same contract as `exact::exact_minimize`: std::nullopt
+/// when no feasible mapping exists, identical `value` and a mapping that
+/// re-evaluates to it. `stats.nodes` counts branch-and-cut nodes,
+/// `stats.complete` the integral candidates evaluated exactly.
+/// \throws SearchLimitExceeded past options.node_limit, SearchCancelled on
+/// a fired cancel token.
+[[nodiscard]] std::optional<ExactResult> mip_minimize(
+    const core::Problem& problem, const MipOptions& options,
+    Objective objective, const core::ConstraintSet& constraints = {});
+
+}  // namespace pipeopt::exact::mip

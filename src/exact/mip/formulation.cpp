@@ -1,0 +1,434 @@
+#include "exact/mip/formulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pipeopt::exact::mip {
+namespace {
+
+constexpr double kIntegralityTol = 1e-6;
+constexpr double kSeparationTol = 1e-7;
+
+/// Known cycle-time pieces of one candidate interval — the parts that do
+/// not depend on the neighbour intervals' processors. On uniform-bandwidth
+/// platforms that is everything (consecutive intervals always occupy
+/// distinct processors, so boundary i is crossed at the one capacity b);
+/// on fully heterogeneous platforms the internal pieces are carried by the
+/// z variables instead and contribute zero here.
+struct KnownPieces {
+  double in_comm = 0.0;
+  double compute = 0.0;
+  double out_comm = 0.0;
+
+  [[nodiscard]] double combined(core::CommModel model) const noexcept {
+    if (model == core::CommModel::NoOverlap)
+      return in_comm + compute + out_comm;
+    return std::max(in_comm, std::max(compute, out_comm));
+  }
+};
+
+KnownPieces known_pieces(const core::Problem& problem, const IntervalVar& v) {
+  const core::Application& app = problem.application(v.app);
+  const core::Platform& plat = problem.platform();
+  const std::size_t n = app.stage_count();
+  const bool uniform = plat.has_uniform_bandwidth();
+  KnownPieces pieces;
+  pieces.compute =
+      app.total_compute(v.first, v.last) / plat.processor(v.proc).speed(v.mode);
+  if (v.first == 0)
+    pieces.in_comm = app.boundary_size(0) / plat.in_bandwidth(v.app, v.proc);
+  else if (uniform)
+    pieces.in_comm = app.boundary_size(v.first) / plat.uniform_bandwidth();
+  if (v.last == n - 1)
+    pieces.out_comm = app.boundary_size(n) / plat.out_bandwidth(v.app, v.proc);
+  else if (uniform)
+    pieces.out_comm = app.boundary_size(v.last + 1) / plat.uniform_bandwidth();
+  return pieces;
+}
+
+/// This interval's additive contribution to Eq. 5 latency: compute + the
+/// produced-boundary transfer, plus the external input for the first
+/// interval. Internal in-comm is never part of latency (each internal
+/// boundary is counted once, as the producer's out piece).
+double latency_contribution(const core::Problem& problem, const IntervalVar& v) {
+  const KnownPieces pieces = known_pieces(problem, v);
+  return (v.first == 0 ? pieces.in_comm : 0.0) + pieces.compute +
+         pieces.out_comm;
+}
+
+double threshold_or_inf(const std::optional<core::Thresholds>& t,
+                        std::size_t a) {
+  if (!t || a >= t->size() || t->is_unconstrained(a))
+    return std::numeric_limits<double>::infinity();
+  return t->bound(a);
+}
+
+/// True when every processor can stand in for every other without changing a
+/// single evaluated double: identical speed ladders and static energy, one
+/// shared link capacity, and per-application external bandwidths equal across
+/// processors. Exact double comparisons — any difference, however small,
+/// disables the symmetry reduction rather than risking a non-representative
+/// drop.
+bool processors_interchangeable(const core::Problem& problem) {
+  const core::Platform& plat = problem.platform();
+  const std::size_t p = plat.processor_count();
+  if (p < 2) return false;
+  if (!plat.has_uniform_bandwidth()) return false;
+  const core::Processor& first = plat.processor(0);
+  for (std::size_t u = 1; u < p; ++u) {
+    const core::Processor& proc = plat.processor(u);
+    if (proc.speeds() != first.speeds()) return false;
+    if (proc.static_energy() != first.static_energy()) return false;
+  }
+  for (std::size_t a = 0; a < problem.application_count(); ++a) {
+    for (std::size_t u = 1; u < p; ++u) {
+      if (plat.in_bandwidth(a, u) != plat.in_bandwidth(a, 0)) return false;
+      if (plat.out_bandwidth(a, u) != plat.out_bandwidth(a, 0)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+double loosened_bound(double bound) noexcept {
+  return bound + 1e-7 * (1.0 + std::abs(bound));
+}
+
+Formulation::Formulation(const core::Problem& problem, Objective objective,
+                         const core::ConstraintSet& constraints,
+                         MappingKind kind, bool enumerate_modes)
+    : problem_(problem),
+      objective_(objective),
+      kind_(kind),
+      enumerate_modes_(enumerate_modes),
+      procs_interchangeable_(processors_interchangeable(problem)) {
+  needs_period_ =
+      objective == Objective::Period || constraints.period.has_value();
+  needs_latency_ =
+      objective == Objective::Latency || constraints.latency.has_value();
+
+  build_x_vars(constraints);
+  build_z_vars();
+
+  const std::size_t apps = problem_.application_count();
+  z_base_ = x_.size();
+  std::size_t next = z_base_ + z_.size();
+  if (needs_period_) {
+    period_col_ = next;
+    next += apps;
+  }
+  if (needs_latency_) {
+    latency_col_ = next;
+    next += apps;
+  }
+  if (objective_ != Objective::Energy) objective_col_ = next++;
+  lp_.columns = next;
+  lp_.objective.assign(lp_.columns, 0.0);
+  if (objective_ == Objective::Energy) {
+    const core::Platform& plat = problem_.platform();
+    for (std::size_t j = 0; j < x_.size(); ++j)
+      lp_.objective[j] = plat.processor_energy(x_[j].proc, x_[j].mode);
+  } else {
+    lp_.objective[objective_col_] = 1.0;
+  }
+
+  build_static_rows(constraints);
+  linking_emitted_.assign(z_.size(), 0);
+}
+
+void Formulation::build_x_vars(const core::ConstraintSet& constraints) {
+  const core::Platform& plat = problem_.platform();
+  const double energy_cap =
+      constraints.energy_budget
+          ? loosened_bound(*constraints.energy_budget)
+          : std::numeric_limits<double>::infinity();
+  std::size_t stage_prefix = 0;  ///< stages canonically before (a, f)
+  for (std::size_t a = 0; a < problem_.application_count(); ++a) {
+    const std::size_t n = problem_.application(a).stage_count();
+    const double period_cap =
+        loosened_bound(threshold_or_inf(constraints.period, a));
+    const double latency_cap =
+        loosened_bound(threshold_or_inf(constraints.latency, a));
+    for (std::size_t f = 0; f < n; ++f) {
+      const std::size_t last_max = kind_ == MappingKind::OneToOne ? f : n - 1;
+      // Symmetry reduction (see formulation.hpp): with interchangeable
+      // processors, the interval starting at stage (a, f) has at most
+      // stage_prefix + f intervals before it in canonical order, so
+      // relabeling by order of first use keeps its processor index within
+      // that prefix. Dropping higher indices removes permutation copies
+      // only, never a distinct mapping value.
+      const std::size_t proc_limit =
+          procs_interchangeable_
+              ? std::min(plat.processor_count() - 1, stage_prefix + f)
+              : plat.processor_count() - 1;
+      for (std::size_t l = f; l <= last_max; ++l) {
+        for (std::size_t u = 0; u <= proc_limit; ++u) {
+          const std::size_t top = plat.processor(u).max_mode();
+          const std::size_t lo = enumerate_modes_ ? 0 : top;
+          for (std::size_t m = lo; m <= top; ++m) {
+            IntervalVar v{a, f, l, u, m};
+            // Presolve: drop variables that no tolerance-feasible mapping
+            // can contain. Each test compares a lower bound on the
+            // variable's own contribution against the loosened cap, so a
+            // drop can never exclude an acceptable mapping.
+            if (plat.processor_energy(u, m) > energy_cap) continue;
+            if (known_pieces(problem_, v).combined(problem_.comm_model()) >
+                period_cap)
+              continue;
+            if (latency_contribution(problem_, v) > latency_cap) continue;
+            x_.push_back(v);
+          }
+        }
+      }
+    }
+    stage_prefix += n;
+  }
+}
+
+void Formulation::build_z_vars() {
+  const core::Platform& plat = problem_.platform();
+  if (plat.has_uniform_bandwidth()) return;
+  if (!needs_period_ && !needs_latency_) return;
+  const std::size_t p = plat.processor_count();
+  // Surviving end/start processors per (app, boundary), from the presolved
+  // x set: a pair variable only exists when both sides can happen.
+  for (std::size_t a = 0; a < problem_.application_count(); ++a) {
+    const core::Application& app = problem_.application(a);
+    for (std::size_t b = 1; b < app.stage_count(); ++b) {
+      if (app.boundary_size(b) <= 0.0) continue;
+      std::vector<std::vector<std::size_t>> ending(p), starting(p);
+      for (std::size_t j = 0; j < x_.size(); ++j) {
+        if (x_[j].app != a) continue;
+        if (x_[j].last + 1 == b) ending[x_[j].proc].push_back(j);
+        if (x_[j].first == b) starting[x_[j].proc].push_back(j);
+      }
+      for (std::size_t u = 0; u < p; ++u) {
+        if (ending[u].empty()) continue;
+        for (std::size_t v = 0; v < p; ++v) {
+          if (u == v || starting[v].empty()) continue;
+          z_.push_back(
+              {a, b, u, v, app.boundary_size(b) / plat.bandwidth(u, v)});
+          z_ending_.push_back(ending[u]);
+          z_starting_.push_back(starting[v]);
+        }
+      }
+    }
+  }
+}
+
+void Formulation::build_static_rows(const core::ConstraintSet& constraints) {
+  const core::Platform& plat = problem_.platform();
+  const std::size_t apps = problem_.application_count();
+  const bool no_overlap = problem_.comm_model() == core::CommModel::NoOverlap;
+
+  // Coverage: each stage of each application in exactly one chosen interval.
+  for (std::size_t a = 0; a < apps; ++a) {
+    const std::size_t n = problem_.application(a).stage_count();
+    for (std::size_t k = 0; k < n; ++k) {
+      Row row;
+      row.sense = RowSense::Eq;
+      row.rhs = 1.0;
+      for (std::size_t j = 0; j < x_.size(); ++j) {
+        if (x_[j].app == a && x_[j].first <= k && k <= x_[j].last)
+          row.coeffs.emplace_back(j, 1.0);
+      }
+      lp_.rows.push_back(std::move(row));
+    }
+  }
+
+  // Processor exclusivity: at most one interval per processor (§3.3).
+  for (std::size_t u = 0; u < plat.processor_count(); ++u) {
+    Row row;
+    row.sense = RowSense::Le;
+    row.rhs = 1.0;
+    for (std::size_t j = 0; j < x_.size(); ++j)
+      if (x_[j].proc == u) row.coeffs.emplace_back(j, 1.0);
+    if (!row.coeffs.empty()) lp_.rows.push_back(std::move(row));
+  }
+
+  // z lookup per (app, boundary, end proc) / (app, boundary, start proc),
+  // used to splice pair costs into the NoOverlap per-interval rows.
+  auto z_into = [&](std::size_t a, std::size_t b, std::size_t to) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < z_.size(); ++i)
+      if (z_[i].app == a && z_[i].boundary == b && z_[i].to == to)
+        out.push_back(i);
+    return out;
+  };
+  auto z_from = [&](std::size_t a, std::size_t b, std::size_t from) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < z_.size(); ++i)
+      if (z_[i].app == a && z_[i].boundary == b && z_[i].from == from)
+        out.push_back(i);
+    return out;
+  };
+
+  // Period cost rows (Eq. 3 / Eq. 4 pieces lower-bounding P_a).
+  if (needs_period_) {
+    for (std::size_t j = 0; j < x_.size(); ++j) {
+      const IntervalVar& v = x_[j];
+      const std::size_t n = problem_.application(v.app).stage_count();
+      const KnownPieces pieces = known_pieces(problem_, v);
+      Row row;
+      row.sense = RowSense::Ge;
+      row.rhs = 0.0;
+      row.coeffs.emplace_back(period_col_ + v.app, 1.0);
+      if (no_overlap) {
+        // P_a >= total cycle time of the chosen interval: the known pieces
+        // ride on x, the heterogeneous boundary pieces on the z indicators
+        // of the interval's own in/out boundaries.
+        const double known = pieces.combined(core::CommModel::NoOverlap);
+        if (known > 0.0) row.coeffs.emplace_back(j, -known);
+        if (v.first > 0)
+          for (std::size_t i : z_into(v.app, v.first, v.proc))
+            row.coeffs.emplace_back(z_base_ + i, -z_[i].cost);
+        if (v.last + 1 < n)
+          for (std::size_t i : z_from(v.app, v.last + 1, v.proc))
+            row.coeffs.emplace_back(z_base_ + i, -z_[i].cost);
+        if (row.coeffs.size() > 1) lp_.rows.push_back(std::move(row));
+      } else {
+        const double known = pieces.combined(core::CommModel::Overlap);
+        if (known > 0.0) {
+          row.coeffs.emplace_back(j, -known);
+          lp_.rows.push_back(std::move(row));
+        }
+      }
+    }
+    if (!no_overlap) {
+      // Overlap: each heterogeneous boundary transfer alone bounds P_a.
+      for (std::size_t i = 0; i < z_.size(); ++i) {
+        if (z_[i].cost <= 0.0) continue;
+        Row row;
+        row.sense = RowSense::Ge;
+        row.rhs = 0.0;
+        row.coeffs.emplace_back(period_col_ + z_[i].app, 1.0);
+        row.coeffs.emplace_back(z_base_ + i, -z_[i].cost);
+        lp_.rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  // Latency rows (Eq. 5): one per application.
+  if (needs_latency_) {
+    for (std::size_t a = 0; a < apps; ++a) {
+      Row row;
+      row.sense = RowSense::Ge;
+      row.rhs = 0.0;
+      row.coeffs.emplace_back(latency_col_ + a, 1.0);
+      for (std::size_t j = 0; j < x_.size(); ++j) {
+        if (x_[j].app != a) continue;
+        const double c = latency_contribution(problem_, x_[j]);
+        if (c > 0.0) row.coeffs.emplace_back(j, -c);
+      }
+      for (std::size_t i = 0; i < z_.size(); ++i) {
+        if (z_[i].app == a && z_[i].cost > 0.0)
+          row.coeffs.emplace_back(z_base_ + i, -z_[i].cost);
+      }
+      lp_.rows.push_back(std::move(row));
+    }
+  }
+
+  // Weighted objective rows T >= W_a · P_a (or L_a) — Eq. 6.
+  if (objective_ != Objective::Energy) {
+    const std::size_t base =
+        objective_ == Objective::Period ? period_col_ : latency_col_;
+    for (std::size_t a = 0; a < apps; ++a) {
+      Row row;
+      row.sense = RowSense::Ge;
+      row.rhs = 0.0;
+      row.coeffs.emplace_back(objective_col_, 1.0);
+      row.coeffs.emplace_back(base + a,
+                              -problem_.application(a).weight());
+      lp_.rows.push_back(std::move(row));
+    }
+  }
+
+  // Threshold rows, loosened so the LP never cuts a mapping the exact
+  // tolerance-band predicate would accept.
+  for (std::size_t a = 0; a < apps; ++a) {
+    const double pb = threshold_or_inf(constraints.period, a);
+    if (std::isfinite(pb))
+      lp_.rows.push_back(
+          {{{period_col_ + a, 1.0}}, RowSense::Le, loosened_bound(pb)});
+    const double lb = threshold_or_inf(constraints.latency, a);
+    if (std::isfinite(lb))
+      lp_.rows.push_back(
+          {{{latency_col_ + a, 1.0}}, RowSense::Le, loosened_bound(lb)});
+  }
+  if (constraints.energy_budget) {
+    Row row;
+    row.sense = RowSense::Le;
+    row.rhs = loosened_bound(*constraints.energy_budget);
+    for (std::size_t j = 0; j < x_.size(); ++j) {
+      const double e = plat.processor_energy(x_[j].proc, x_[j].mode);
+      if (e > 0.0) row.coeffs.emplace_back(j, e);
+    }
+    lp_.rows.push_back(std::move(row));
+  }
+}
+
+std::vector<Row> Formulation::separate(const std::vector<double>& solution) {
+  std::vector<Row> violated;
+  for (std::size_t i = 0; i < z_.size(); ++i) {
+    if (linking_emitted_[i]) continue;
+    double lhs = -1.0 - solution[z_base_ + i];
+    for (std::size_t j : z_ending_[i]) lhs += solution[j];
+    for (std::size_t j : z_starting_[i]) lhs += solution[j];
+    if (lhs <= kSeparationTol) continue;
+    Row row;  // z - Σ x_end - Σ x_start >= -1
+    row.sense = RowSense::Ge;
+    row.rhs = -1.0;
+    row.coeffs.emplace_back(z_base_ + i, 1.0);
+    for (std::size_t j : z_ending_[i]) row.coeffs.emplace_back(j, -1.0);
+    for (std::size_t j : z_starting_[i]) row.coeffs.emplace_back(j, -1.0);
+    violated.push_back(std::move(row));
+    linking_emitted_[i] = 1;
+  }
+  return violated;
+}
+
+std::optional<std::size_t> Formulation::most_fractional(
+    const std::vector<double>& solution) const {
+  std::optional<std::size_t> best;
+  double best_dist = kIntegralityTol;
+  for (std::size_t j = 0; j < x_.size(); ++j) {
+    const double dist = std::abs(solution[j] - std::round(solution[j]));
+    if (dist > best_dist) {
+      best = j;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+core::Mapping Formulation::extract_mapping(
+    const std::vector<double>& solution) const {
+  std::vector<core::IntervalAssignment> intervals;
+  for (std::size_t j = 0; j < x_.size(); ++j) {
+    if (solution[j] > 0.5) {
+      const IntervalVar& v = x_[j];
+      intervals.push_back({v.app, v.first, v.last, v.proc, v.mode});
+    }
+  }
+  return core::Mapping(std::move(intervals));
+}
+
+Row Formulation::no_good_cut(const std::vector<double>& solution) const {
+  Row row;
+  row.sense = RowSense::Ge;
+  double ones = 0.0;
+  for (std::size_t j = 0; j < x_.size(); ++j) {
+    if (solution[j] > 0.5) {
+      row.coeffs.emplace_back(j, -1.0);
+      ones += 1.0;
+    } else {
+      row.coeffs.emplace_back(j, 1.0);
+    }
+  }
+  row.rhs = 1.0 - ones;
+  return row;
+}
+
+}  // namespace pipeopt::exact::mip

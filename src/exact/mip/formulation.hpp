@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file formulation.hpp
+/// MIP formulation of the interval-mapping problem — the structurally
+/// independent model behind the `mip-branch-cut` exact backend.
+///
+/// Variables. One binary x_(a,f,l,u,m) per candidate interval: application
+/// a's stages [f, l] hosted by processor u in speed mode m (one-to-one
+/// mappings restrict to f = l; modes collapse to the fastest unless the
+/// problem's energy side requires enumerating them — the same §4
+/// normalization the enumeration engine applies). On fully heterogeneous
+/// platforms, a continuous z_(a,i,u,v) per internal boundary i carries the
+/// "interval ending at stage i-1 on u hands data to the interval starting at
+/// stage i on v" indicator; on uniform-bandwidth platforms every
+/// communication cost is already known per x variable (consecutive intervals
+/// always occupy distinct processors, and all links share one capacity b),
+/// so no pair variables exist at all. Continuous P_a / L_a carry each
+/// application's period / latency when referenced; T carries the weighted
+/// objective.
+///
+/// Rows. Coverage (each stage in exactly one chosen interval — which forces
+/// a consecutive-interval partition), processor capacity (Σ x per processor
+/// <= 1 — the exclusivity rule of §3.3), cost rows lower-bounding P_a / L_a
+/// by the Eq. 3/4/5 pieces (max pieces become one row each under Overlap,
+/// per-interval sums under NoOverlap), T >= W_a · P_a (Eq. 6), and threshold
+/// rows for the constrained criteria. The z linking rows
+/// z >= x_end + x_start - 1 are generated lazily by `separate` — they are
+/// the "cut" half of branch-and-cut — and z needs no upper bound: it only
+/// ever raises cost lower bounds, so the LP keeps it at the linking floor,
+/// which at integral x IS the exact crossing indicator.
+///
+/// Tolerances. Threshold rows are loosened by +1e-7·(1+|bound|) so the LP
+/// never cuts off a mapping that `core::ConstraintSet::satisfied_by` (which
+/// compares through util::approx_le) would accept; the branch-and-cut driver
+/// re-checks every integral candidate with the exact predicate, so loosening
+/// only ever widens the search, never the answer.
+///
+/// Symmetry. When every processor is provably interchangeable (identical
+/// speed ladders, static energy and bandwidth rows, compared as exact
+/// doubles), any mapping can be relabeled so that the interval whose first
+/// stage is the canonically j-th stage overall uses a processor index <= j —
+/// relabeling identical processors changes no evaluated double, so one
+/// representative per permutation class is enough. `build_x_vars` therefore
+/// drops x_(a,f,l,u,m) with u beyond that stage prefix, which collapses the
+/// p! copies of each optimum that no-good cuts would otherwise enumerate one
+/// by one on fully homogeneous platforms.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/objectives.hpp"
+#include "core/problem.hpp"
+#include "exact/exact_solvers.hpp"
+#include "exact/mip/lp.hpp"
+
+namespace pipeopt::exact::mip {
+
+/// One candidate interval variable x_(a,f,l,u,m).
+struct IntervalVar {
+  std::size_t app = 0;
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::size_t proc = 0;
+  std::size_t mode = 0;
+};
+
+/// Builds and owns the LP relaxation of one (problem, objective, constraint,
+/// kind) instance, plus the lazy-row separator and the integral-solution
+/// decoders the branch-and-cut driver needs.
+class Formulation {
+ public:
+  Formulation(const core::Problem& problem, Objective objective,
+              const core::ConstraintSet& constraints, MappingKind kind,
+              bool enumerate_modes);
+
+  /// Base relaxation: all static rows, no lazy rows. Callers copy this and
+  /// append the cut pool plus per-node fixing rows.
+  [[nodiscard]] const LinearProgram& lp() const noexcept { return lp_; }
+
+  /// The interval variables, aligned with columns [0, x_count()).
+  [[nodiscard]] const std::vector<IntervalVar>& x_vars() const noexcept {
+    return x_;
+  }
+  [[nodiscard]] std::size_t x_count() const noexcept { return x_.size(); }
+
+  /// Lazy separation: returns the z linking rows violated by `solution`
+  /// (each row emitted at most once over the Formulation's lifetime; rows
+  /// are globally valid, so callers keep them in a shared pool).
+  [[nodiscard]] std::vector<Row> separate(const std::vector<double>& solution);
+
+  /// Index of the most fractional x column, or nullopt when all x values
+  /// are integral (within tolerance) — the branching rule.
+  [[nodiscard]] std::optional<std::size_t> most_fractional(
+      const std::vector<double>& solution) const;
+
+  /// Decodes the x part of an integral solution into a Mapping.
+  [[nodiscard]] core::Mapping extract_mapping(
+      const std::vector<double>& solution) const;
+
+  /// No-good cut excluding exactly the x assignment of `solution`:
+  /// Σ_{x̂=0} x - Σ_{x̂=1} x >= 1 - |{x̂=1}|. Globally valid (the driver adds
+  /// it after evaluating a candidate exactly, whether accepted or rejected,
+  /// so the same integral point never resurfaces).
+  [[nodiscard]] Row no_good_cut(const std::vector<double>& solution) const;
+
+ private:
+  struct ZVar {
+    std::size_t app = 0;
+    std::size_t boundary = 0;  ///< internal boundary index i in [1, n-1]
+    std::size_t from = 0;      ///< processor ending at stage boundary-1
+    std::size_t to = 0;        ///< processor starting at stage boundary
+    double cost = 0.0;         ///< δ^i / bandwidth(from, to)
+  };
+
+  void build_x_vars(const core::ConstraintSet& constraints);
+  void build_z_vars();
+  void build_static_rows(const core::ConstraintSet& constraints);
+
+  const core::Problem& problem_;
+  Objective objective_;
+  MappingKind kind_;
+  bool enumerate_modes_;
+  bool needs_period_ = false;
+  bool needs_latency_ = false;
+  bool procs_interchangeable_ = false;  ///< enables the symmetry reduction
+
+  std::vector<IntervalVar> x_;
+  std::vector<ZVar> z_;
+  std::size_t z_base_ = 0;     ///< column of z_[0]
+  std::size_t period_col_ = 0; ///< column of P_0 (P_a at +a); valid iff needs_period_
+  std::size_t latency_col_ = 0;///< column of L_0; valid iff needs_latency_
+  std::size_t objective_col_ = 0;  ///< column of T; valid iff objective != Energy
+
+  /// Per z var: the x columns whose interval ends at stage boundary-1 on
+  /// `from` / starts at stage boundary on `to` — the linking-row operands.
+  std::vector<std::vector<std::size_t>> z_ending_;
+  std::vector<std::vector<std::size_t>> z_starting_;
+  std::vector<char> linking_emitted_;  ///< one flag per z var
+  LinearProgram lp_;
+};
+
+/// Loosened threshold used by the LP rows: bound + 1e-7·(1 + |bound|),
+/// strictly wider than the util::approx_le acceptance band.
+[[nodiscard]] double loosened_bound(double bound) noexcept;
+
+}  // namespace pipeopt::exact::mip

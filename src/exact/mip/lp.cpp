@@ -1,0 +1,261 @@
+#include "exact/mip/lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pipeopt::exact::mip {
+namespace {
+
+constexpr double kPivotTol = 1e-9;   // smallest usable pivot element
+constexpr double kCostTol = 1e-9;    // reduced-cost improvement threshold
+constexpr double kFeasTol = 1e-7;    // phase-1 residual counted as feasible
+
+/// Dense simplex tableau. Columns are [structural | slack/surplus |
+/// artificial], each row additionally carries its rhs; `basis[i]` names the
+/// column currently basic in row i. The cost row holds reduced costs and the
+/// negated objective value in its rhs slot.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp, std::size_t max_iterations)
+      : structural_(lp.columns), iterations_left_(max_iterations) {
+    const std::size_t m = lp.rows.size();
+    // Count auxiliary columns first so the width is known up front.
+    std::size_t slacks = 0;
+    std::size_t artificials = 0;
+    for (const Row& row : lp.rows) {
+      const bool flip = row.rhs < 0.0;
+      const RowSense sense = flip ? flipped(row.sense) : row.sense;
+      if (sense != RowSense::Eq) ++slacks;
+      if (sense != RowSense::Le) ++artificials;
+    }
+    width_ = structural_ + slacks + artificials;
+    first_artificial_ = structural_ + slacks;
+    rows_.assign(m, std::vector<double>(width_ + 1, 0.0));
+    basis_.assign(m, 0);
+    cost_.assign(width_ + 1, 0.0);
+
+    std::size_t next_slack = structural_;
+    std::size_t next_artificial = first_artificial_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const Row& row = lp.rows[i];
+      const bool flip = row.rhs < 0.0;
+      const double sign = flip ? -1.0 : 1.0;
+      const RowSense sense = flip ? flipped(row.sense) : row.sense;
+      std::vector<double>& out = rows_[i];
+      for (const auto& [col, coeff] : row.coeffs) out[col] += sign * coeff;
+      out[width_] = sign * row.rhs;
+      if (sense == RowSense::Le) {
+        out[next_slack] = 1.0;
+        basis_[i] = next_slack++;
+      } else if (sense == RowSense::Ge) {
+        out[next_slack++] = -1.0;
+        out[next_artificial] = 1.0;
+        basis_[i] = next_artificial++;
+      } else {
+        out[next_artificial] = 1.0;
+        basis_[i] = next_artificial++;
+      }
+    }
+  }
+
+  /// Phase 1: minimize the sum of artificials.
+  [[nodiscard]] LpStatus make_feasible() {
+    if (first_artificial_ == width_)  // all-slack start basis
+      return LpStatus::Optimal;
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (std::size_t j = first_artificial_; j < width_; ++j) cost_[j] = 1.0;
+    // Price out the artificial start basis.
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (basis_[i] >= first_artificial_) {
+        for (std::size_t j = 0; j <= width_; ++j) cost_[j] -= rows_[i][j];
+      }
+    }
+    // The phase-1 objective is bounded below by zero, so an "unbounded"
+    // verdict here can only be numerical noise; lump it with the iteration
+    // limit rather than ever mislabeling it infeasible.
+    if (!iterate(/*allow_artificial=*/true) || unbounded_)
+      return LpStatus::IterationLimit;
+    if (-cost_[width_] > kFeasTol) return LpStatus::Infeasible;
+    pivot_out_artificials();
+    return LpStatus::Optimal;
+  }
+
+  /// Phase 2: minimize the real objective (given per structural column).
+  /// Returns false on iteration exhaustion, sets `unbounded_` as found.
+  [[nodiscard]] bool optimize(const std::vector<double>& objective) {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (std::size_t j = 0; j < objective.size() && j < structural_; ++j)
+      cost_[j] = objective[j];
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const double c = basis_[i] < structural_ && basis_[i] < objective.size()
+                           ? objective[basis_[i]]
+                           : 0.0;
+      if (c != 0.0) {
+        for (std::size_t j = 0; j <= width_; ++j)
+          cost_[j] -= c * rows_[i][j];
+      }
+    }
+    return iterate(/*allow_artificial=*/false);
+  }
+
+  [[nodiscard]] bool unbounded() const { return unbounded_; }
+
+  [[nodiscard]] std::vector<double> solution() const {
+    std::vector<double> x(structural_, 0.0);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (basis_[i] < structural_)
+        x[basis_[i]] = std::max(0.0, rows_[i][width_]);
+    }
+    return x;
+  }
+
+ private:
+  static RowSense flipped(RowSense s) {
+    if (s == RowSense::Le) return RowSense::Ge;
+    if (s == RowSense::Ge) return RowSense::Le;
+    return RowSense::Eq;
+  }
+
+  /// Core pivot loop shared by both phases. Dantzig pricing for speed,
+  /// switching to Bland's rule (smallest improving index, smallest leaving
+  /// basis index) once the iteration count suggests degeneracy, which makes
+  /// termination certain. Returns false only on iteration exhaustion.
+  bool iterate(bool allow_artificial) {
+    const std::size_t limit =
+        allow_artificial ? width_ : first_artificial_;
+    std::size_t degenerate_guard = 4 * (rows_.size() + width_) + 64;
+    bool bland = false;
+    while (true) {
+      if (iterations_left_ == 0) return false;
+      --iterations_left_;
+      if (degenerate_guard == 0) bland = true;
+      if (degenerate_guard > 0) --degenerate_guard;
+
+      // Entering column: negative reduced cost improves a minimization.
+      std::size_t enter = width_;
+      double best = -kCostTol;
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (cost_[j] < best) {
+          enter = j;
+          best = cost_[j];
+          if (bland) break;
+        }
+      }
+      if (enter == width_) return true;  // optimal
+
+      // Ratio test: tightest row with a positive pivot element; ties go to
+      // the smallest basis index (Bland's leaving rule, always applied —
+      // it is cheap and only strengthens anti-cycling).
+      std::size_t leave = rows_.size();
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const double a = rows_[i][enter];
+        if (a <= kPivotTol) continue;
+        const double ratio = rows_[i][width_] / a;
+        if (ratio < best_ratio - kPivotTol ||
+            (ratio < best_ratio + kPivotTol && leave < rows_.size() &&
+             basis_[i] < basis_[leave])) {
+          leave = i;
+          best_ratio = ratio;
+        }
+      }
+      if (leave == rows_.size()) {
+        unbounded_ = true;
+        return true;
+      }
+      pivot(leave, enter);
+    }
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    std::vector<double>& pr = rows_[row];
+    const double inv = 1.0 / pr[col];
+    for (double& v : pr) v *= inv;
+    pr[col] = 1.0;  // kill roundoff on the pivot element itself
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i == row) continue;
+      eliminate(rows_[i], pr, col);
+    }
+    eliminate(cost_, pr, col);
+    basis_[row] = col;
+  }
+
+  static void eliminate(std::vector<double>& target,
+                        const std::vector<double>& pivot_row,
+                        std::size_t col) {
+    const double factor = target[col];
+    if (factor == 0.0) return;
+    for (std::size_t j = 0; j < target.size(); ++j)
+      target[j] -= factor * pivot_row[j];
+    target[col] = 0.0;
+  }
+
+  /// After phase 1, swap any artificial still basic (at zero level) for a
+  /// structural/slack column so phase 2 never re-grows the residual. A row
+  /// with no eligible pivot is redundant and simply keeps its zero-valued
+  /// artificial: harmless, since artificials are barred from entering later.
+  void pivot_out_artificials() {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (basis_[i] < first_artificial_) continue;
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (std::abs(rows_[i][j]) > kPivotTol) {
+          pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  std::size_t structural_ = 0;
+  std::size_t first_artificial_ = 0;
+  std::size_t width_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> cost_;
+  std::size_t iterations_left_ = 0;
+  bool unbounded_ = false;
+};
+
+}  // namespace
+
+const char* to_string(LpStatus s) noexcept {
+  switch (s) {
+    case LpStatus::Optimal: return "optimal";
+    case LpStatus::Infeasible: return "infeasible";
+    case LpStatus::Unbounded: return "unbounded";
+    case LpStatus::IterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+LpSolution solve_lp(const LinearProgram& lp, std::size_t max_iterations) {
+  if (max_iterations == 0)
+    max_iterations = 2000 + 40 * (lp.rows.size() + lp.columns);
+
+  LpSolution out;
+  Tableau tableau(lp, max_iterations);
+  const LpStatus phase1 = tableau.make_feasible();
+  if (phase1 != LpStatus::Optimal) {
+    out.status = phase1;
+    return out;
+  }
+  if (!tableau.optimize(lp.objective)) {
+    out.status = LpStatus::IterationLimit;
+    return out;
+  }
+  if (tableau.unbounded()) {
+    out.status = LpStatus::Unbounded;
+    return out;
+  }
+  out.status = LpStatus::Optimal;
+  out.values = tableau.solution();
+  double obj = 0.0;
+  for (std::size_t j = 0; j < lp.objective.size() && j < out.values.size();
+       ++j)
+    obj += lp.objective[j] * out.values[j];
+  out.objective = obj;
+  return out;
+}
+
+}  // namespace pipeopt::exact::mip

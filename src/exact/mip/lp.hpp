@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file lp.hpp
+/// A small dense linear-programming solver — the relaxation engine under
+/// the MIP exact backend (exact/mip/branch_and_cut.hpp).
+///
+/// Scope is deliberately narrow: minimize c·x over {x >= 0 : A x {<=,=,>=} b}
+/// with a few hundred rows and columns, the sizes the interval-mapping
+/// formulation produces for the instances the exact tier solves anyway.
+/// The implementation is the classic two-phase primal simplex on a dense
+/// tableau: phase 1 drives artificial variables out of an auxiliary
+/// objective (detecting infeasibility), phase 2 optimizes the real one.
+/// Dantzig pricing with an automatic switch to Bland's rule guards against
+/// cycling on degenerate bases; an iteration cap turns pathological cases
+/// into a typed `IterationLimit` instead of a hang (the branch-and-cut
+/// driver treats that as "no usable bound", never as proof).
+///
+/// The solver is float-honest, not exact: callers that need exactness
+/// (the MIP backend's optimality claim) must re-verify candidate solutions
+/// with exact arithmetic of their own — see branch_and_cut.cpp, which
+/// re-evaluates every integral candidate through core::BatchEvaluator and
+/// prunes only with a safety margin.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pipeopt::exact::mip {
+
+/// Row sense of one linear constraint.
+enum class RowSense { Le, Eq, Ge };
+
+/// One constraint: sum of coeffs·x {<=,=,>=} rhs. Column indices must be
+/// unique within a row and < LinearProgram::columns.
+struct Row {
+  std::vector<std::pair<std::size_t, double>> coeffs;
+  RowSense sense = RowSense::Le;
+  double rhs = 0.0;
+};
+
+/// min objective·x subject to rows, x >= 0 (every column non-negative).
+struct LinearProgram {
+  std::size_t columns = 0;
+  std::vector<double> objective;  ///< size `columns`; missing tail = 0
+  std::vector<Row> rows;
+};
+
+enum class LpStatus {
+  Optimal,         ///< solution attained
+  Infeasible,      ///< constraint system has no non-negative solution
+  Unbounded,       ///< objective unbounded below over the feasible region
+  IterationLimit,  ///< simplex hit its iteration cap before concluding
+};
+
+[[nodiscard]] const char* to_string(LpStatus s) noexcept;
+
+/// Solution of one solve_lp call. `values` is meaningful only for Optimal.
+struct LpSolution {
+  LpStatus status = LpStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> values;  ///< per column, size LinearProgram::columns
+};
+
+/// Solves the program; see file comment for the method and its guarantees.
+/// `max_iterations` of 0 picks an automatic cap scaled to the problem size.
+[[nodiscard]] LpSolution solve_lp(const LinearProgram& lp,
+                                  std::size_t max_iterations = 0);
+
+}  // namespace pipeopt::exact::mip

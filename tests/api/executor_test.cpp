@@ -17,34 +17,13 @@
 #include "api/registry.hpp"
 #include "gen/motivating_example.hpp"
 #include "gen/random_instances.hpp"
+#include "tests/support/grid_fixtures.hpp"
 #include "util/cancel.hpp"
 
 namespace pipeopt::api {
 namespace {
 
-/// The Table 1 grid shape: every platform column, alternating communication
-/// models, deterministic seeds.
-std::vector<core::Problem> table_grid(std::size_t per_class) {
-  std::vector<core::Problem> problems;
-  util::Rng rng(424242);
-  for (const core::PlatformClass cls :
-       {core::PlatformClass::FullyHomogeneous,
-        core::PlatformClass::CommHomogeneous,
-        core::PlatformClass::FullyHeterogeneous}) {
-    for (std::size_t i = 0; i < per_class; ++i) {
-      gen::ProblemShape shape;
-      shape.platform_class = cls;
-      shape.applications = 2;
-      shape.processors = 5;
-      shape.app.min_stages = 1;
-      shape.app.max_stages = 3;
-      shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
-                                : core::CommModel::NoOverlap;
-      problems.push_back(gen::random_problem(rng, shape));
-    }
-  }
-  return problems;
-}
+using testing_support::table_grid;
 
 void expect_same_result(const SolveResult& a, const SolveResult& b) {
   EXPECT_EQ(a.status, b.status);

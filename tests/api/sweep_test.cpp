@@ -18,6 +18,7 @@
 #include "gen/motivating_example.hpp"
 #include "gen/random_instances.hpp"
 #include "io/result_io.hpp"
+#include "tests/support/grid_fixtures.hpp"
 #include "util/cancel.hpp"
 
 namespace pipeopt::api {
@@ -38,29 +39,7 @@ std::string comparable(const SolveResult& result) {
   return io::format_result(result, "", /*include_wall=*/false);
 }
 
-/// The Table 1 grid shape: every platform column, alternating communication
-/// models, deterministic seeds (mirrors the executor/server tests).
-std::vector<core::Problem> table_grid(std::size_t per_class) {
-  std::vector<core::Problem> problems;
-  util::Rng rng(424242);
-  for (const core::PlatformClass cls :
-       {core::PlatformClass::FullyHomogeneous,
-        core::PlatformClass::CommHomogeneous,
-        core::PlatformClass::FullyHeterogeneous}) {
-    for (std::size_t i = 0; i < per_class; ++i) {
-      gen::ProblemShape shape;
-      shape.platform_class = cls;
-      shape.applications = 2;
-      shape.processors = 5;
-      shape.app.min_stages = 1;
-      shape.app.max_stages = 3;
-      shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
-                                : core::CommModel::NoOverlap;
-      problems.push_back(gen::random_problem(rng, shape));
-    }
-  }
-  return problems;
-}
+using testing_support::table_grid;
 
 TEST(Sweep, RejectsUnusableRequests) {
   // No grid at all.

@@ -1,0 +1,140 @@
+/// Direct unit tests of the MIP engine (exact/mip/branch_and_cut.hpp):
+/// known optima on handcrafted instances, infeasibility verdicts, budget
+/// and cancellation behavior, stats plausibility — the engine-level
+/// contract the backend seam relies on. Cross-backend agreement lives in
+/// backend_crosscheck_test.cpp.
+
+#include "exact/mip/branch_and_cut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/mapping.hpp"
+#include "exact/exact_solvers.hpp"
+#include "gen/motivating_example.hpp"
+
+namespace pipeopt::exact {
+namespace {
+
+/// Two identical one-stage apps on two identical processors: the optimum
+/// is forced (one app per processor at full speed), so every number is
+/// checkable by hand.
+core::Problem two_apps_two_procs() {
+  std::vector<core::Application> apps;
+  apps.emplace_back(0.0, std::vector<core::StageSpec>{{4.0, 0.0}}, 1.0, "A");
+  apps.emplace_back(0.0, std::vector<core::StageSpec>{{4.0, 0.0}}, 1.0, "B");
+  std::vector<core::Processor> procs(2, core::Processor({1.0, 2.0}, 0.5));
+  return core::Problem(std::move(apps),
+                       core::Platform(std::move(procs), 1.0));
+}
+
+TEST(MipBackend, SolvesHandcraftedPeriodInstance) {
+  const core::Problem problem = two_apps_two_procs();
+  const auto result =
+      mip::mip_minimize(problem, {}, Objective::Period);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, 2.0);  // 4 compute units at speed 2
+  EXPECT_EQ(result->mapping.validate(problem), std::nullopt);
+  EXPECT_EQ(result->mapping.interval_count(), 2u);
+  EXPECT_GE(result->stats.nodes, 1u);
+  EXPECT_GE(result->stats.complete, 1u);
+}
+
+TEST(MipBackend, EnumeratesModesForEnergy) {
+  // Energy minimum runs both processors at their slow mode: 2 x (0.5 + 1^2).
+  const core::Problem problem = two_apps_two_procs();
+  mip::MipOptions options;
+  options.enumerate_modes = true;
+  const auto result = mip::mip_minimize(problem, options, Objective::Energy);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, 3.0);
+  for (const core::IntervalAssignment& interval :
+       result->mapping.intervals())
+    EXPECT_EQ(interval.mode, 0u);
+}
+
+TEST(MipBackend, EnergyUnderTightPeriodBoundForcesFastMode) {
+  // Period <= 2 requires speed 2 on both processors: 2 x (0.5 + 2^2) = 9.
+  const core::Problem problem = two_apps_two_procs();
+  mip::MipOptions options;
+  options.enumerate_modes = true;
+  core::ConstraintSet cs;
+  cs.period = core::Thresholds::per_app({2.0, 2.0});
+  const auto result =
+      mip::mip_minimize(problem, options, Objective::Energy, cs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, 9.0);
+  const core::Metrics metrics = core::evaluate(problem, result->mapping);
+  EXPECT_TRUE(cs.satisfied_by(metrics));
+}
+
+TEST(MipBackend, ReportsInfeasibilityWhenProcessorsRunOut) {
+  // Three applications cannot share two processors (exclusivity, §3.3).
+  std::vector<core::Application> apps(
+      3, core::Application(0.0, {{1.0, 0.0}}, 1.0));
+  std::vector<core::Processor> procs(2, core::Processor({1.0}));
+  const core::Problem problem(std::move(apps),
+                              core::Platform(std::move(procs), 1.0));
+  EXPECT_EQ(mip::mip_minimize(problem, {}, Objective::Period), std::nullopt);
+}
+
+TEST(MipBackend, ReportsInfeasibilityUnderImpossibleThreshold) {
+  const core::Problem problem = two_apps_two_procs();
+  core::ConstraintSet cs;
+  cs.period = core::Thresholds::per_app({0.5, 0.5});  // best possible is 2
+  EXPECT_EQ(mip::mip_minimize(problem, {}, Objective::Energy, cs),
+            std::nullopt);
+}
+
+TEST(MipBackend, OneToOneRequiresEnoughProcessors) {
+  // The motivating example has more total stages than processors, so the
+  // one-to-one family is empty — engine must agree with enumeration's
+  // nullopt, not crash.
+  const core::Problem problem = gen::motivating_example();
+  if (problem.one_to_one_applicable()) GTEST_SKIP();
+  mip::MipOptions options;
+  options.kind = MappingKind::OneToOne;
+  EXPECT_EQ(mip::mip_minimize(problem, options, Objective::Period),
+            std::nullopt);
+}
+
+TEST(MipBackend, ThrowsOnExhaustedNodeBudget) {
+  const core::Problem problem = gen::motivating_example();
+  mip::MipOptions options;
+  options.node_limit = 1;
+  EXPECT_THROW((void)mip::mip_minimize(problem, options, Objective::Period),
+               SearchLimitExceeded);
+}
+
+TEST(MipBackend, ThrowsOnFiredCancelToken) {
+  const core::Problem problem = gen::motivating_example();
+  util::CancelSource source;
+  source.request_cancel();
+  mip::MipOptions options;
+  options.cancel = source.token();
+  EXPECT_THROW((void)mip::mip_minimize(problem, options, Objective::Period),
+               SearchCancelled);
+}
+
+TEST(MipBackend, MatchesEnumerationOnTheMotivatingExample) {
+  const core::Problem problem = gen::motivating_example();
+  for (const Objective objective :
+       {Objective::Period, Objective::Latency, Objective::Energy}) {
+    EnumerationOptions eopts;
+    eopts.enumerate_modes = objective == Objective::Energy;
+    mip::MipOptions mopts;
+    mopts.enumerate_modes = eopts.enumerate_modes;
+    const auto reference = exact_minimize(problem, eopts, objective);
+    const auto mip_result = mip::mip_minimize(problem, mopts, objective);
+    ASSERT_EQ(reference.has_value(), mip_result.has_value());
+    if (reference) {
+      EXPECT_EQ(reference->value, mip_result->value);  // bit-identical
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::exact

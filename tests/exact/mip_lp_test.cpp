@@ -1,0 +1,127 @@
+/// Unit tests of the dense two-phase simplex (exact/mip/lp.hpp): known
+/// optima, infeasibility and unboundedness detection, equality/>= handling,
+/// negative right-hand sides, and degenerate programs that exercise the
+/// anti-cycling path.
+
+#include "exact/mip/lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pipeopt::exact::mip {
+namespace {
+
+TEST(MipLp, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 — the classic
+  // Hillier/Lieberman example, optimum (2, 6) value 36 (minimize -obj).
+  LinearProgram lp;
+  lp.columns = 2;
+  lp.objective = {-3.0, -5.0};
+  lp.rows.push_back({{{0, 1.0}}, RowSense::Le, 4.0});
+  lp.rows.push_back({{{1, 2.0}}, RowSense::Le, 12.0});
+  lp.rows.push_back({{{0, 3.0}, {1, 2.0}}, RowSense::Le, 18.0});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-9);
+  EXPECT_NEAR(sol.values[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.values[1], 6.0, 1e-9);
+}
+
+TEST(MipLp, HandlesEqualityAndGeRows) {
+  // min x + 2y s.t. x + y = 10, x >= 3, y >= 2 -> (8, 2), value 12.
+  LinearProgram lp;
+  lp.columns = 2;
+  lp.objective = {1.0, 2.0};
+  lp.rows.push_back({{{0, 1.0}, {1, 1.0}}, RowSense::Eq, 10.0});
+  lp.rows.push_back({{{0, 1.0}}, RowSense::Ge, 3.0});
+  lp.rows.push_back({{{1, 1.0}}, RowSense::Ge, 2.0});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 12.0, 1e-9);
+  EXPECT_NEAR(sol.values[0], 8.0, 1e-9);
+  EXPECT_NEAR(sol.values[1], 2.0, 1e-9);
+}
+
+TEST(MipLp, NormalizesNegativeRhs) {
+  // -x <= -5 is x >= 5; min x -> 5.
+  LinearProgram lp;
+  lp.columns = 1;
+  lp.objective = {1.0};
+  lp.rows.push_back({{{0, -1.0}}, RowSense::Le, -5.0});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.values[0], 5.0, 1e-9);
+}
+
+TEST(MipLp, DetectsInfeasibility) {
+  // x <= 1 and x >= 2 cannot both hold.
+  LinearProgram lp;
+  lp.columns = 1;
+  lp.objective = {1.0};
+  lp.rows.push_back({{{0, 1.0}}, RowSense::Le, 1.0});
+  lp.rows.push_back({{{0, 1.0}}, RowSense::Ge, 2.0});
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Infeasible);
+}
+
+TEST(MipLp, DetectsUnboundedness) {
+  // min -x with only x >= 0: arbitrarily negative.
+  LinearProgram lp;
+  lp.columns = 1;
+  lp.objective = {-1.0};
+  lp.rows.push_back({{{0, 1.0}}, RowSense::Ge, 0.0});
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Unbounded);
+}
+
+TEST(MipLp, SurvivesDegeneratePivoting) {
+  // Beale's classic cycling example (Dantzig pricing cycles without an
+  // anti-cycling rule). Optimum value -0.05.
+  LinearProgram lp;
+  lp.columns = 4;
+  lp.objective = {-0.75, 150.0, -0.02, 6.0};
+  lp.rows.push_back(
+      {{{0, 0.25}, {1, -60.0}, {2, -0.04}, {3, 9.0}}, RowSense::Le, 0.0});
+  lp.rows.push_back(
+      {{{0, 0.5}, {1, -90.0}, {2, -0.02}, {3, 3.0}}, RowSense::Le, 0.0});
+  lp.rows.push_back({{{2, 1.0}}, RowSense::Le, 1.0});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-9);
+}
+
+TEST(MipLp, BindingConstraintsHoldAtOptimum) {
+  // Transportation-like program: the solution must satisfy every row.
+  LinearProgram lp;
+  lp.columns = 4;  // x00 x01 x10 x11
+  lp.objective = {4.0, 6.0, 5.0, 3.0};
+  lp.rows.push_back({{{0, 1.0}, {1, 1.0}}, RowSense::Eq, 1.0});
+  lp.rows.push_back({{{2, 1.0}, {3, 1.0}}, RowSense::Eq, 1.0});
+  lp.rows.push_back({{{0, 1.0}, {2, 1.0}}, RowSense::Le, 1.0});
+  lp.rows.push_back({{{1, 1.0}, {3, 1.0}}, RowSense::Le, 1.0});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 7.0, 1e-9);  // x00 = 1, x11 = 1
+  for (const Row& row : lp.rows) {
+    double lhs = 0.0;
+    for (const auto& [col, coeff] : row.coeffs) lhs += coeff * sol.values[col];
+    if (row.sense == RowSense::Le) {
+      EXPECT_LE(lhs, row.rhs + 1e-7);
+    } else if (row.sense == RowSense::Ge) {
+      EXPECT_GE(lhs, row.rhs - 1e-7);
+    } else {
+      EXPECT_NEAR(lhs, row.rhs, 1e-7);
+    }
+  }
+}
+
+TEST(MipLp, ReportsIterationLimit) {
+  LinearProgram lp;
+  lp.columns = 3;
+  lp.objective = {-1.0, -1.0, -1.0};
+  lp.rows.push_back({{{0, 1.0}, {1, 2.0}, {2, 1.0}}, RowSense::Le, 10.0});
+  lp.rows.push_back({{{0, 2.0}, {1, 1.0}, {2, 3.0}}, RowSense::Le, 15.0});
+  EXPECT_EQ(solve_lp(lp, 1).status, LpStatus::IterationLimit);
+}
+
+}  // namespace
+}  // namespace pipeopt::exact::mip

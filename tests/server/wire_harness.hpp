@@ -25,9 +25,13 @@
 #include "gen/random_instances.hpp"
 #include "io/result_io.hpp"
 #include "server/server.hpp"
+#include "tests/support/grid_fixtures.hpp"
 #include "util/fdio.hpp"
 
 namespace pipeopt::testing_wire {
+
+/// The Table 1/2 grid, shared with every other differential suite.
+using testing_support::table_grid;
 
 /// A listening server with its accept loop on a background thread.
 class TestServer {
@@ -108,30 +112,6 @@ class WireClient {
   bool connected_ = false;
   util::FdLineReader reader_;
 };
-
-/// The Table 1 grid shape: every platform column, alternating communication
-/// models, deterministic seeds (mirrors the executor tests).
-inline std::vector<core::Problem> table_grid(std::size_t per_class) {
-  std::vector<core::Problem> problems;
-  util::Rng rng(424242);
-  for (const core::PlatformClass cls :
-       {core::PlatformClass::FullyHomogeneous,
-        core::PlatformClass::CommHomogeneous,
-        core::PlatformClass::FullyHeterogeneous}) {
-    for (std::size_t i = 0; i < per_class; ++i) {
-      gen::ProblemShape shape;
-      shape.platform_class = cls;
-      shape.applications = 2;
-      shape.processors = 5;
-      shape.app.min_stages = 1;
-      shape.app.max_stages = 3;
-      shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
-                                : core::CommModel::NoOverlap;
-      problems.push_back(gen::random_problem(rng, shape));
-    }
-  }
-  return problems;
-}
 
 /// The PR 2 needle: a deterministically long branch-and-bound search (see
 /// executor_test.cpp for the calibration guard proving > 10^7 nodes).

@@ -1,0 +1,42 @@
+/// Shared Table 1/2 instance fixtures. The "grid" — every platform-class
+/// column, alternating communication models, deterministic seeds — used to
+/// be rebuilt locally by the executor, sweep, server and router suites;
+/// every differential test (backend cross-check, byte-identity through the
+/// wire tiers) now draws the identical instances from here, so "the grid"
+/// means one thing across the whole test tree.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gen/random_instances.hpp"
+#include "util/random.hpp"
+
+namespace pipeopt::testing_support {
+
+/// The Table 1 grid shape: every platform column, alternating communication
+/// models, deterministic seeds. `per_class` instances per platform class.
+inline std::vector<core::Problem> table_grid(std::size_t per_class) {
+  std::vector<core::Problem> problems;
+  util::Rng rng(424242);
+  for (const core::PlatformClass cls :
+       {core::PlatformClass::FullyHomogeneous,
+        core::PlatformClass::CommHomogeneous,
+        core::PlatformClass::FullyHeterogeneous}) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      gen::ProblemShape shape;
+      shape.platform_class = cls;
+      shape.applications = 2;
+      shape.processors = 5;
+      shape.app.min_stages = 1;
+      shape.app.max_stages = 3;
+      shape.comm = (i % 2 == 0) ? core::CommModel::Overlap
+                                : core::CommModel::NoOverlap;
+      problems.push_back(gen::random_problem(rng, shape));
+    }
+  }
+  return problems;
+}
+
+}  // namespace pipeopt::testing_support

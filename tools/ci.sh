@@ -19,7 +19,13 @@
 # phase, merged metrics carry fleet quantiles, pipeopt top renders, the
 # client's --poll-stats sampler writes timestamped samples), then a
 # ThreadSanitizer pass over the threaded executor/plan/sweep/server/cache/
-# router/obs subsystems.
+# router/obs subsystems plus the wire fuzz, then an ASan/UBSan pass over
+# the fuzz suites and the MIP engine.
+#
+# The ctest suite runs staged by label (tier1, then the exact-backend
+# crosscheck harness, then the fuzz slices), followed by a CLI-level
+# backend cross-check: every exact backend forced via `solve --solver`
+# must print the same optimum.
 #
 #   tools/ci.sh [build-dir]
 #
@@ -31,7 +37,52 @@ BUILD_DIR="${1:-build-ci}"
 
 cmake -B "$BUILD_DIR" -S . -DPIPEOPT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Staged test run, cheapest signal first. The labels partition the suite
+# (CMakeLists.txt discovers each slice with a disjoint gtest filter):
+#   tier1      everything but the differential/fuzz slices — the verify line
+#   crosscheck the exact-backend differential harness (includes the slow
+#              200-instance random sweep, labeled crosscheck;slow)
+#   fuzz       seeded property fuzz + wire-protocol robustness fuzz
+ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L crosscheck --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L fuzz --output-on-failure -j "$(nproc)"
+
+# Backend cross-check through the CLI: every exact backend this build
+# carries, forced by name via `solve --solver`, must print the same optimum
+# for one Table 1-shaped instance (an OR-tools build adds ortools-cpsat to
+# the list; the comparison is on the printed shortest-round-trip value, so
+# bit-exact backends must collide exactly).
+CROSS_DIR=$(mktemp -d "${TMPDIR:-/tmp}/pipeopt_crosscheck.XXXXXX")
+trap 'rm -rf "$CROSS_DIR"' EXIT
+cat > "$CROSS_DIR/cell.txt" <<'PROB'
+comm overlap
+bandwidth 2
+processor P1 static=0.5 speeds=3,6
+processor P2 static=1 speeds=6,8
+processor P3 static=0 speeds=1,6
+app A weight=1 input=1 stages=3:3,2:2,1:0
+app B weight=2 input=0 stages=4:1
+PROB
+BACKENDS="branch-and-bound exact-enumeration mip-branch-cut"
+if "$BUILD_DIR/pipeopt" "$CROSS_DIR/cell.txt" list-solvers | grep -q ortools-cpsat; then
+  BACKENDS="$BACKENDS ortools-cpsat"
+fi
+REFERENCE=""
+for BACKEND in $BACKENDS; do
+  VALUE=$("$BUILD_DIR/pipeopt" "$CROSS_DIR/cell.txt" solve --objective period \
+      --solver "$BACKEND" | sed -n 's/^min period = //p')
+  [ -n "$VALUE" ] || { echo "ci: $BACKEND produced no value" >&2; exit 1; }
+  if [ -z "$REFERENCE" ]; then
+    REFERENCE="$VALUE"
+  elif [ "$VALUE" != "$REFERENCE" ]; then
+    echo "ci: backend disagreement: $BACKEND=$VALUE, reference=$REFERENCE" >&2
+    exit 1
+  fi
+done
+rm -rf "$CROSS_DIR"
+trap - EXIT
+echo "ci: backend cross-check green ($BACKENDS agree on value=$REFERENCE)"
 
 # Eval-perf smoke: the evaluation hot path in quick mode. The bench
 # cross-checks every SoA batch/delta evaluation bit-identical against the
@@ -380,9 +431,24 @@ if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - -o "${TMPDIR:-
   cmake -B "$BUILD_DIR-tsan" -S . -DPIPEOPT_WERROR=ON -DPIPEOPT_TSAN=ON
   cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" --target pipeopt_tests
   "$BUILD_DIR-tsan/pipeopt_tests" \
-      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*:Cache.*:Router.*:StatsMerge.*:EvalBatch.*:*/EvalBatch.*:Obs.*:Metrics.*'
+      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*:Cache.*:Router.*:StatsMerge.*:EvalBatch.*:*/EvalBatch.*:Obs.*:Metrics.*:*WireFuzz*'
 else
   echo "ci: ThreadSanitizer unavailable, skipping the tsan pass" >&2
+fi
+
+# Address+UB sanitizer pass over the fuzz surfaces: the wire-protocol
+# robustness fuzz (truncations, byte mutations, duplicate/unknown fields)
+# and the solver-property fuzz, where a latent out-of-bounds or UB would
+# hide behind a benign-looking wrong answer. Probed like the tsan pass so
+# a toolchain without libasan skips loudly instead of failing the merge.
+if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=address,undefined -x c++ - -o "${TMPDIR:-/tmp}/pipeopt_asan_probe.$$" 2>/dev/null; then
+  rm -f "${TMPDIR:-/tmp}/pipeopt_asan_probe.$$"
+  cmake -B "$BUILD_DIR-asan" -S . -DPIPEOPT_WERROR=ON -DPIPEOPT_ASAN=ON
+  cmake --build "$BUILD_DIR-asan" -j "$(nproc)" --target pipeopt_tests
+  "$BUILD_DIR-asan/pipeopt_tests" \
+      --gtest_filter='*WireFuzz*:*PropertyFuzz*:*MappingFuzz*:MipLp.*:MipBackend.*'
+else
+  echo "ci: Address/UB sanitizer unavailable, skipping the asan pass" >&2
 fi
 
 echo "ci: all green"
