@@ -11,9 +11,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <functional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "io/request_io.hpp"
@@ -71,10 +74,35 @@ int connect_endpoint(const std::string& host, std::uint16_t port,
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
     return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINTR) {
+      ::close(fd);
+      return -1;
+    }
+    // A blocking connect interrupted by a signal keeps completing in the
+    // background; retrying connect() would yield EALREADY. Wait for
+    // writability and read the real outcome from SO_ERROR.
+    pollfd probe{fd, POLLOUT, 0};
+    for (;;) {
+      const int ready = ::poll(
+          &probe, 1,
+          timeout.count() > 0 ? static_cast<int>(timeout.count()) : -1);
+      if (ready > 0) break;
+      if (ready < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return -1;
+    }
+    int error = 0;
+    socklen_t error_len = sizeof error;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &error_len) != 0 ||
+        error != 0) {
+      ::close(fd);
+      return -1;
+    }
   }
   return fd;
 }
@@ -141,11 +169,27 @@ Router::Router(RouterOptions options)
   if (options_.window == 0) {
     throw std::runtime_error("pipeopt-router: --window must be positive");
   }
+  if (options_.breaker_threshold == 0 || options_.breaker_close_successes == 0) {
+    throw std::runtime_error(
+        "pipeopt-router: breaker threshold/close-successes must be positive");
+  }
+  if (!options_.fault_spec.empty()) {
+    const auto spec = net::parse_fault_spec(options_.fault_spec);
+    if (!spec) {
+      throw std::runtime_error("pipeopt-router: bad --fault-spec '" +
+                               options_.fault_spec +
+                               "' (want seed:prob:kind[,kind...])");
+    }
+    fault_ = std::make_unique<net::FaultInjector>(*spec);
+    front_hooks_ = &fault_->front_io();
+    relay_hooks_ = &fault_->relay_io();
+  }
   if (spawn_mode) {
     for (std::size_t i = 0; i < options_.spawn; ++i) {
       auto shard = std::make_unique<Shard>();
       shard->host = "127.0.0.1";
       shard->healthy = false;  // up once spawned and announced
+      shard->breaker = BreakerState::Open;
       shards_.push_back(std::move(shard));
     }
   } else {
@@ -182,7 +226,9 @@ std::vector<ShardInfo> Router::shard_infos() const {
   infos.reserve(shards_.size());
   for (const auto& shard : shards_) {
     infos.push_back(ShardInfo{shard->host, shard->port, shard->pid,
-                              shard->healthy, shard->in_flight});
+                              shard->healthy, shard->in_flight,
+                              shard->breaker, shard->up_transitions,
+                              shard->down_transitions});
   }
   return infos;
 }
@@ -254,6 +300,12 @@ void Router::serve() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (client < 0) continue;
+    if (fault_ && fault_->accept_should_close()) {
+      // Injected accept-then-close: the client sees its connection die
+      // before a byte moves, so a retry is always safe.
+      ::close(client);
+      continue;
+    }
     auto session = std::make_unique<Session>();
     Session* raw = session.get();
     raw->fd = client;
@@ -319,9 +371,13 @@ void Router::reap_sessions(bool all) {
 }
 
 void Router::session_loop(Session* session) {
-  FdLineReader reader(session->fd);
+  FdLineReader reader(session->fd, front_hooks_);
   std::string line;
   while (reader.next_line(line)) {
+    // A client stream that dies mid-line left a torn prefix, not a
+    // request: never forward it (the shard would execute a request the
+    // client never finished sending).
+    if (!reader.last_terminated()) break;
     if (line.empty() || line == "\r") continue;
     if (handle_line(line, *session, reader.buffered()) == Relay::ClientGone) {
       break;
@@ -348,6 +404,10 @@ void Router::session_loop(Session* session) {
 
 Router::Relay Router::handle_line(const std::string& line, Session& session,
                                   bool input_buffered) {
+  // Zero point of the request's relative deadline: the moment its line
+  // arrived (time spent in backpressure waits or retry backoff counts
+  // against it).
+  const util::Stopwatch arrival;
   io::JsonFields fields;
   bool parsed = true;
   try {
@@ -357,17 +417,21 @@ Router::Relay Router::handle_line(const std::string& line, Session& session,
   }
   std::string id;
   std::string type = "solve";
+  std::uint64_t deadline_ms = 0;
   if (parsed) {
     for (const auto& [key, value] : fields) {
       if (key == "id") id = value;
       if (key == "type") type = value;
+      if (key == "deadline_ms") {
+        deadline_ms = std::strtoull(value.c_str(), nullptr, 10);
+      }
     }
   }
   if (parsed && type == "ping") {
     io::FlatJsonWriter out;
     out.field("type", "pong");
     if (!id.empty()) out.field("id", id);
-    return write_line(session.fd, std::move(out).str()) ? Relay::Done
+    return send_front(session.fd, std::move(out).str()) ? Relay::Done
                                                         : Relay::ClientGone;
   }
   if (parsed && type == "health") {
@@ -421,15 +485,16 @@ Router::Relay Router::handle_line(const std::string& line, Session& session,
     const util::Stopwatch watch;
     const Relay relay =
         forward_line(splice ? splice_trace(line, trace.id()) : line, id,
-                     streamed, key_hash, session, input_buffered);
+                     streamed, key_hash, session, input_buffered, deadline_ms,
+                     arrival);
     const auto total_us = static_cast<std::uint64_t>(watch.elapsed_micros());
     trace.record("relay", total_us);
     trace_log_->write(trace, type, id, total_us);
     return relay;
   }
   const util::Stopwatch watch;
-  const Relay relay =
-      forward_line(line, id, streamed, key_hash, session, input_buffered);
+  const Relay relay = forward_line(line, id, streamed, key_hash, session,
+                                   input_buffered, deadline_ms, arrival);
   if (traceable) {
     metrics_.histogram("phase.relay")
         .record_us(static_cast<std::uint64_t>(watch.elapsed_micros()));
@@ -439,9 +504,19 @@ Router::Relay Router::handle_line(const std::string& line, Session& session,
 
 Router::Admit Router::acquire_slot(std::size_t key_hash,
                                    std::size_t& shard_index, int client_fd,
-                                   bool watching) {
+                                   bool watching,
+                                   const std::vector<bool>& tried,
+                                   std::uint64_t deadline_ms,
+                                   const util::Stopwatch& arrival) {
   std::unique_lock<std::mutex> lock(state_mutex_);
   for (;;) {
+    // Deadline-aware admission: a request whose relative deadline already
+    // elapsed (arrival-relative, so backpressure waits count) is shed
+    // typed instead of burning a shard slot on unwanted work.
+    if (deadline_ms > 0 &&
+        arrival.elapsed_seconds() * 1000.0 >= static_cast<double>(deadline_ms)) {
+      return Admit::Expired;
+    }
     const std::size_t n = shards_.size();
     std::size_t healthy = 0;
     std::size_t sticky = n;
@@ -450,21 +525,26 @@ Router::Admit Router::acquire_slot(std::size_t key_hash,
       const std::size_t i = (key_hash + k) % n;
       if (!shards_[i]->healthy) continue;
       ++healthy;
+      if (tried[i]) continue;  // already failed this request: fail over
       if (sticky == n) sticky = i;
       if (shards_[i]->in_flight < options_.window) any_free = true;
     }
     if (healthy == 0) return Admit::Unavailable;
+    if (sticky == n) return Admit::Exhausted;
     if (shards_[sticky]->in_flight < options_.window) {
       ++shards_[sticky]->in_flight;
       shard_index = sticky;
       return Admit::Ok;
     }
-    // Sticky target saturated. With the whole fleet saturated the request
-    // is shed now (queueing would just move the overload into the router);
-    // with room elsewhere it WAITS for its sticky shard instead of
-    // spilling — stickiness is what keeps the shard caches coherent, and
-    // a saturated-but-alive shard frees a slot soon.
-    if (!any_free) return Admit::Overloaded;
+    // Sticky target saturated. With the whole fleet saturated a
+    // deadline-less request is shed now (queueing would just move the
+    // overload into the router); one that carries a deadline told us how
+    // long it is willing to wait, so it queues until a slot frees or the
+    // loop top sheds it typed `expired`. With room elsewhere the request
+    // WAITS for its sticky shard instead of spilling — stickiness is what
+    // keeps the shard caches coherent, and a saturated-but-alive shard
+    // frees a slot soon.
+    if (!any_free && deadline_ms == 0) return Admit::Overloaded;
     state_changed_.wait_for(lock, kSlotWaitInterval);
     if (watching) {
       lock.unlock();
@@ -489,9 +569,15 @@ void Router::mark_down(std::size_t shard_index) {
   {
     const std::lock_guard<std::mutex> lock(state_mutex_);
     Shard& shard = *shards_[shard_index];
-    if (!shard.healthy) return;
+    shard.consecutive_ok = 0;
+    if (shard.breaker == BreakerState::Open) return;
+    // Only Closed→Open counts as a down transition: a half-open shard
+    // already left rotation when it opened (the flapping invariant the
+    // chaos tests assert — oscillating probes must not pump the counter).
+    if (shard.breaker == BreakerState::Closed) ++shard.down_transitions;
+    shard.breaker = BreakerState::Open;
     shard.healthy = false;
-    ++shard.down_transitions;
+    shard.opened_at = std::chrono::steady_clock::now();
   }
   // Waiters re-resolve their sticky target (or flip to Overloaded/
   // Unavailable) against the new fleet shape.
@@ -502,11 +588,66 @@ void Router::mark_up(std::size_t shard_index) {
   {
     const std::lock_guard<std::mutex> lock(state_mutex_);
     Shard& shard = *shards_[shard_index];
-    if (shard.healthy) return;
+    shard.strikes = 0;
+    shard.consecutive_ok = 0;
+    if (shard.breaker == BreakerState::Closed) return;
+    shard.breaker = BreakerState::Closed;
     shard.healthy = true;
     ++shard.up_transitions;
   }
   state_changed_.notify_all();
+}
+
+void Router::record_failure(std::size_t shard_index) {
+  bool flipped = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    Shard& shard = *shards_[shard_index];
+    shard.consecutive_ok = 0;
+    switch (shard.breaker) {
+      case BreakerState::Closed:
+        // Strikes survive isolated successes: only close_successes
+        // consecutive successes annul them (record_success), so an
+        // alternating accept/refuse shard still converges to Open.
+        if (++shard.strikes >= options_.breaker_threshold) {
+          shard.breaker = BreakerState::Open;
+          shard.healthy = false;
+          shard.opened_at = std::chrono::steady_clock::now();
+          ++shard.down_transitions;
+          flipped = true;
+        }
+        break;
+      case BreakerState::HalfOpen:
+        // Failed recovery probe: back to Open with a fresh cooldown. No
+        // down transition — the shard never re-entered rotation.
+        shard.breaker = BreakerState::Open;
+        shard.opened_at = std::chrono::steady_clock::now();
+        break;
+      case BreakerState::Open:
+        break;  // request-path stragglers; nothing new to learn
+    }
+  }
+  if (flipped) state_changed_.notify_all();
+}
+
+void Router::record_success(std::size_t shard_index) {
+  bool flipped = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    Shard& shard = *shards_[shard_index];
+    ++shard.consecutive_ok;
+    if (shard.consecutive_ok < options_.breaker_close_successes) return;
+    if (shard.breaker == BreakerState::Closed) {
+      shard.strikes = 0;  // a genuinely recovered shard sheds its history
+    } else {
+      shard.breaker = BreakerState::Closed;
+      shard.healthy = true;
+      shard.strikes = 0;
+      ++shard.up_transitions;
+      flipped = true;
+    }
+  }
+  if (flipped) state_changed_.notify_all();
 }
 
 bool Router::ensure_conn(Session& session, std::size_t shard_index) {
@@ -520,37 +661,92 @@ bool Router::ensure_conn(Session& session, std::size_t shard_index) {
     port = shards_[shard_index]->port;
   }
   if (port == 0) return false;  // spawn pending: no endpoint yet
+  if (fault_ && fault_->connect_should_refuse()) return false;
   const int fd = connect_endpoint(host, port, std::chrono::milliseconds(0));
   if (fd < 0) return false;
   conn.fd = fd;
-  conn.reader = std::make_unique<FdLineReader>(fd);
+  conn.reader = std::make_unique<FdLineReader>(fd, relay_hooks_);
   return true;
+}
+
+bool Router::send_front(int fd, std::string line) const {
+  return write_line(fd, std::move(line), front_hooks_);
 }
 
 Router::Relay Router::forward_line(const std::string& line,
                                    const std::string& id, bool streamed,
                                    std::size_t key_hash, Session& session,
-                                   bool input_buffered) {
-  // Each failover consumes one attempt; the +1 covers the stale-connection
-  // retry against the first shard. Exhaustion means every shard failed
-  // this request even though probes say some are up — answer typed, don't
-  // spin.
-  std::size_t attempts_left = shards_.size() + 1;
+                                   bool input_buffered,
+                                   std::uint64_t deadline_ms,
+                                   const util::Stopwatch& arrival) {
+  // The retry budget: each failover or stale-connection retry consumes
+  // one attempt. The default (retries == 0) keeps the historical budget
+  // of one attempt per shard plus one stale-connection retry; exhaustion
+  // means every option failed even though probes say shards are up —
+  // answer typed, don't spin. Backoff between attempts follows the shared
+  // RetryPolicy, seeded by the routing key so a replayed request replays
+  // its exact schedule.
+  const std::size_t max_attempts = options_.retries > 0
+                                       ? options_.retries + 1
+                                       : shards_.size() + 1;
+  util::RetryPolicy policy;
+  policy.retries = max_attempts - 1;
+  policy.backoff_ms =
+      static_cast<std::uint64_t>(options_.retry_backoff.count());
+  policy.seed = static_cast<std::uint64_t>(key_hash);
+  std::size_t attempt = 0;  // failures so far
+  // Shards that already failed this request on a fresh connection; the
+  // failover scan skips them so a striking-but-not-yet-open shard cannot
+  // eat the whole budget.
+  std::vector<bool> tried(shards_.size(), false);
   const auto respond_error = [&](const std::string& code,
                                  const std::string& message) {
     ++shed_;
-    return write_line(session.fd, io::format_error(message, id, code))
+    return send_front(session.fd, io::format_error(message, id, code))
                ? Relay::Done
                : Relay::ClientGone;
   };
+  // Counts one consumed attempt under `code`; returns false when the
+  // budget is exhausted (time to answer typed).
+  const auto count_retry = [&](const char* code) {
+    ++retries_;
+    metrics_.counter(std::string("retries_by_code.") + code).add(1);
+    ++attempt;
+    if (attempt >= max_attempts) return false;
+    const std::uint64_t delay = policy.delay_ms(attempt - 1);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    return true;
+  };
   for (;;) {
     std::size_t shard = 0;
-    switch (acquire_slot(key_hash, shard, session.fd, !input_buffered)) {
+    switch (acquire_slot(key_hash, shard, session.fd, !input_buffered, tried,
+                         deadline_ms, arrival)) {
       case Admit::Overloaded:
         return respond_error("overloaded",
                              "every shard is at its in-flight window");
       case Admit::Unavailable:
         return respond_error("unavailable", "no healthy shard available");
+      case Admit::Exhausted:
+        // Every shard failed this request once. Transient faults (a
+        // dropped accept, a stale pool entry) are exactly what the
+        // budget is for: while attempts remain, wipe the tried set and
+        // take another round — each failure already consumed an attempt
+        // and slept its backoff, so this cannot spin.
+        if (attempt < max_attempts) {
+          std::fill(tried.begin(), tried.end(), false);
+          continue;
+        }
+        return respond_error("unavailable", "request failed on every shard");
+      case Admit::Expired:
+        ++shed_expired_;
+        metrics_.counter("shed_expired").add(1);
+        return send_front(session.fd,
+                          io::format_error("deadline expired before dispatch",
+                                           id, "expired"))
+                   ? Relay::Done
+                   : Relay::ClientGone;
       case Admit::ClientGone:
         return Relay::ClientGone;
       case Admit::Ok:
@@ -559,7 +755,7 @@ Router::Relay Router::forward_line(const std::string& line,
 
     // A connection that existed before this attempt may be stale (the
     // shard restarted since); its failure earns one retry on a fresh
-    // connection to the SAME shard before the shard is condemned.
+    // connection to the SAME shard before the shard takes a strike.
     const bool reused = session.conns[shard].fd >= 0;
     const auto drop_conn = [&] {
       ShardConn& conn = session.conns[shard];
@@ -569,16 +765,16 @@ Router::Relay Router::forward_line(const std::string& line,
     };
     if (!ensure_conn(session, shard)) {
       release_slot(shard);
-      mark_down(shard);
-      ++retries_;
-      if (--attempts_left == 0) {
+      record_failure(shard);
+      tried[shard] = true;
+      if (!count_retry("connect")) {
         return respond_error("unavailable", "request failed on every shard");
       }
       continue;
     }
     ShardConn& conn = session.conns[shard];
 
-    bool shard_dead = !write_line(conn.fd, line);
+    bool shard_dead = !write_line(conn.fd, line, relay_hooks_);
     bool relayed_bytes = false;
     bool watching = !input_buffered;
     std::string response;
@@ -607,11 +803,13 @@ Router::Relay Router::forward_line(const std::string& line,
           }
         }
       }
-      if (!conn.reader->next_line(response)) {
+      if (!conn.reader->next_line(response) || !conn.reader->last_terminated()) {
+        // EOF, or a torn line: a response fragment must never reach the
+        // client as if it were a complete wire message.
         shard_dead = true;
         break;
       }
-      if (!write_line(session.fd, response)) {
+      if (!send_front(session.fd, response)) {
         drop_conn();  // mid-response client loss: cancel shard-side too
         release_slot(shard);
         return Relay::ClientGone;
@@ -622,19 +820,21 @@ Router::Relay Router::forward_line(const std::string& line,
         // error line: the response is complete.
         release_slot(shard);
         ++routed_;
+        record_success(shard);
         return Relay::Done;
       }
     }
 
     // The shard connection died. With response bytes already relayed the
     // request cannot be retried (the client would see a torn stream); a
-    // typed error closes the response instead.
+    // typed error closes the response instead — the client may re-send it
+    // under its own policy if (and only if) the request is idempotent.
     drop_conn();
     release_slot(shard);
     if (relayed_bytes) {
-      mark_down(shard);
+      record_failure(shard);
       ++shard_lost_errors_;
-      return write_line(session.fd,
+      return send_front(session.fd,
                         io::format_error("shard connection lost mid-response",
                                          id, "shard-lost"))
                  ? Relay::Done
@@ -642,10 +842,13 @@ Router::Relay Router::forward_line(const std::string& line,
     }
     // Nothing relayed: safe to resend. A reused connection's death is
     // first blamed on the connection (shard may have restarted behind
-    // it); a fresh connection's death condemns the shard.
-    if (!reused) mark_down(shard);
-    ++retries_;
-    if (--attempts_left == 0) {
+    // it); a fresh connection's death earns the shard a strike and takes
+    // it out of this request's scan.
+    if (!reused) {
+      record_failure(shard);
+      tried[shard] = true;
+    }
+    if (!count_retry("transport")) {
       return respond_error("unavailable", "request failed on every shard");
     }
   }
@@ -658,13 +861,19 @@ void Router::answer_metrics(const std::string& id, int out_fd) {
   // fleet quantiles are re-derived from the merged buckets — a merging
   // tier never averages two medians. The router's own snapshot goes first
   // so its `phase.relay` fields lead the merged block.
+  struct Liveness {
+    bool up;
+    std::size_t in_flight;
+    BreakerState breaker;
+  };
   std::vector<std::pair<std::string, std::uint16_t>> endpoints;
   std::size_t up = 0;
-  std::vector<std::pair<bool, std::size_t>> liveness;
+  std::vector<Liveness> liveness;
   {
     const std::lock_guard<std::mutex> lock(state_mutex_);
     for (const auto& shard : shards_) {
-      liveness.emplace_back(shard->healthy, shard->in_flight);
+      liveness.push_back(
+          Liveness{shard->healthy, shard->in_flight, shard->breaker});
       if (!shard->healthy) continue;
       ++up;
       endpoints.emplace_back(shard->host, shard->port);
@@ -702,11 +911,13 @@ void Router::answer_metrics(const std::string& id, int out_fd) {
   out.field("shards_up", std::to_string(up));
   for (std::size_t i = 0; i < liveness.size(); ++i) {
     const std::string prefix = "shard." + std::to_string(i) + ".";
-    out.field(prefix + "up", liveness[i].first ? "1" : "0");
-    out.field(prefix + "in_flight", std::to_string(liveness[i].second));
+    out.field(prefix + "up", liveness[i].up ? "1" : "0");
+    out.field(prefix + "in_flight", std::to_string(liveness[i].in_flight));
+    out.field(prefix + "breaker_state",
+              std::to_string(static_cast<int>(liveness[i].breaker)));
   }
   for (const auto& [key, value] : merged) out.field(key, value);
-  write_line(out_fd, std::move(out).str());
+  send_front(out_fd, std::move(out).str());
 }
 
 void Router::answer_health(const std::string& id, int out_fd) {
@@ -730,7 +941,7 @@ void Router::answer_health(const std::string& id, int out_fd) {
   out.field("in_flight", std::to_string(in_flight));
   out.field("shards", std::to_string(shards_.size()));
   out.field("shards_up", std::to_string(up));
-  write_line(out_fd, std::move(out).str());
+  send_front(out_fd, std::move(out).str());
 }
 
 void Router::answer_stats(const std::string& id, int out_fd) {
@@ -774,13 +985,14 @@ void Router::answer_stats(const std::string& id, int out_fd) {
   out.field("shards_up", std::to_string(up));
   out.field("routed", std::to_string(routed_.load()));
   out.field("shed", std::to_string(shed_.load()));
+  out.field("shed_expired", std::to_string(shed_expired_.load()));
   out.field("retries", std::to_string(retries_.load()));
   out.field("restarts", std::to_string(restarts_.load()));
   out.field("shard_up_transitions", std::to_string(up_transitions()));
   out.field("shard_down_transitions", std::to_string(down_transitions()));
   out.field("shard_lost_errors", std::to_string(shard_lost_errors_.load()));
   for (const auto& [key, value] : merged) out.field(key, value);
-  write_line(out_fd, std::move(out).str());
+  send_front(out_fd, std::move(out).str());
 }
 
 void Router::health_loop() {
@@ -839,24 +1051,41 @@ void Router::check_shards() {
       mark_down(i);
       continue;
     }
+    // An open breaker gates its recovery probes behind the cooldown;
+    // once it elapses the shard moves to HalfOpen and the probe outcome
+    // decides (breaker_close_successes successes close it,
+    // record_failure re-opens with a fresh cooldown).
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      Shard& shard = *shards_[i];
+      if (shard.breaker == BreakerState::Open) {
+        if (std::chrono::steady_clock::now() <
+            shard.opened_at + options_.breaker_cooldown) {
+          continue;
+        }
+        shard.breaker = BreakerState::HalfOpen;
+      }
+    }
     // The probe: connect, ping `{"type":"health"}`, expect the typed
     // answer within the probe timeout. The health handler is constant-time
-    // server-side, so a timeout means wedged, not busy.
+    // server-side, so a timeout means wedged, not busy. Probes use plain
+    // (un-hooked) IO on purpose: fault campaigns stay deterministic per
+    // request stream, and breaker state reflects the shard, not the shim.
     bool alive = false;
     const int fd = connect_endpoint(host, port, options_.probe_timeout);
     if (fd >= 0) {
       if (write_line(fd, "{\"type\":\"health\"}")) {
         FdLineReader reader(fd);
         std::string response;
-        alive = reader.next_line(response) &&
+        alive = reader.next_line(response) && reader.last_terminated() &&
                 response_type(response) == "health";
       }
       ::close(fd);
     }
     if (alive) {
-      mark_up(i);
+      record_success(i);
     } else {
-      mark_down(i);
+      record_failure(i);
     }
   }
 }
@@ -920,6 +1149,7 @@ void Router::spawn_shard(std::size_t shard_index) {
     }
     char chunk[256];
     const ssize_t n = ::read(announce[0], chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;  // interrupted, not EOF
     if (n <= 0) break;  // EOF: the child died before announcing
     buffered.append(chunk, static_cast<std::size_t>(n));
     std::size_t newline;
@@ -947,7 +1177,8 @@ void Router::spawn_shard(std::size_t shard_index) {
   if (!announced) {
     ::close(announce[0]);
     ::kill(pid, SIGKILL);
-    ::waitpid(pid, nullptr, 0);
+    while (::waitpid(pid, nullptr, 0) < 0 && errno == EINTR) {
+    }
     throw std::runtime_error("pipeopt-router: spawned shard " +
                              std::to_string(shard_index) +
                              " failed to announce a port");
@@ -993,7 +1224,10 @@ void Router::terminate_children() {
       shard->healthy = false;
     }
   }
-  for (const pid_t pid : pids) ::waitpid(pid, nullptr, 0);
+  for (const pid_t pid : pids) {
+    while (::waitpid(pid, nullptr, 0) < 0 && errno == EINTR) {
+    }
+  }
 }
 
 }  // namespace pipeopt::router

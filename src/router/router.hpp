@@ -16,14 +16,16 @@
 ///  * `{"type":"health"}` — router pid/uptime/in-flight plus shard counts.
 ///  * `{"type":"stats"}` — fanned out to every healthy shard; the shard
 ///    counters come back merged field-wise (io/stats_io.hpp), prefixed by
-///    the router-level fields: shards, shards_up, routed, shed, retries,
-///    restarts, shard_up_transitions, shard_down_transitions,
-///    shard_lost_errors.
+///    the router-level fields: shards, shards_up, routed, shed,
+///    shed_expired, retries, restarts, shard_up_transitions,
+///    shard_down_transitions, shard_lost_errors.
 ///  * `{"type":"metrics"}` — fanned out likewise; the shard metric
-///    snapshots and the router's own (its `phase.relay` histogram) merge
-///    bucket-wise through `obs::merge_metrics_fields`, quantiles re-derived
-///    from the merged buckets, prefixed by per-shard liveness fields
-///    (`shard.<i>.up`, `shard.<i>.in_flight`) for the `pipeopt top` view.
+///    snapshots and the router's own (its `phase.relay` histogram and the
+///    `retries_by_code.*` / `shed_expired` counters) merge bucket-wise
+///    through `obs::merge_metrics_fields`, quantiles re-derived from the
+///    merged buckets, prefixed by per-shard liveness fields
+///    (`shard.<i>.up`, `shard.<i>.in_flight`, `shard.<i>.breaker_state`)
+///    for the `pipeopt top` view.
 ///
 /// Tracing (`--trace-log`): the router peeks each solve/pareto line's
 /// optional `"trace"` id, generates one when absent and splices it into the
@@ -42,11 +44,26 @@
 ///
 /// Robustness:
 ///
-///  * A health thread probes every shard each `health_interval` with
-///    `{"type":"health"}`, marking shards in/out of rotation (a request
-///    whose sticky shard is down fails over to the next healthy one in
-///    hash order). In `--spawn` mode the probe loop also reaps dead
+///  * Each shard carries a circuit breaker (see docs/RESILIENCE.md).
+///    Failures — failed relay connects, connections that die before a
+///    response byte, failed health probes — add strikes; at
+///    `breaker_threshold` consecutive strikes the breaker opens and the
+///    shard leaves rotation. An open breaker admits only timed half-open
+///    health probes; `breaker_close_successes` consecutive successes
+///    close it. Hard evidence short-circuits the ladder: a reaped child
+///    opens the breaker at once, a spawn announce closes it. A request
+///    whose sticky shard is open fails over to the next closed shard in
+///    hash order. In `--spawn` mode the probe loop also reaps dead
 ///    children and restarts them on a fresh ephemeral port.
+///  * Failover is budgeted by a shared `util::RetryPolicy`
+///    (`--retries/--backoff-ms`; the default budget is one attempt per
+///    shard plus one stale-connection retry) with capped exponential
+///    backoff between attempts, each attempt targeting a shard not yet
+///    tried for this request.
+///  * Deadline-aware admission: a request whose relative `deadline_ms`
+///    has already elapsed by the time a slot frees is shed with a typed
+///    `{"type":"error","code":"expired"}` line instead of forwarded —
+///    work the client stopped waiting for never burns a shard slot.
 ///  * Each shard carries a bounded in-flight window. A request whose
 ///    sticky shard is saturated waits (backpressure — stickiness is worth
 ///    more than latency while any slot may free); when EVERY healthy
@@ -81,9 +98,12 @@
 #include <vector>
 
 #include "io/json.hpp"
+#include "net/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/fdio.hpp"
+#include "util/retry.hpp"
+#include "util/timing.hpp"
 
 namespace pipeopt::router {
 
@@ -130,6 +150,36 @@ struct RouterOptions {
   /// `<prefix>.<i>.jsonl` (passed as the child's `serve --trace-log`).
   /// Empty = shards run untraced.
   std::string spawn_trace_log{};
+  /// Extra forward attempts after the first per request (`route
+  /// --retries`); 0 = auto: one attempt per shard plus one
+  /// stale-connection retry (the historical failover budget).
+  std::size_t retries = 0;
+  /// Base backoff between failed forward attempts (`route --backoff-ms`);
+  /// doubles per attempt with deterministic jitter (util/retry.hpp), 0 =
+  /// no delay.
+  std::chrono::milliseconds retry_backoff{5};
+  /// Consecutive failures (strikes) that open a shard's circuit breaker.
+  std::size_t breaker_threshold = 3;
+  /// Consecutive successes that close an open/half-open breaker (and
+  /// clear accumulated strikes on a closed one).
+  std::size_t breaker_close_successes = 2;
+  /// Minimum time an open breaker holds before half-open probes resume
+  /// (`route --breaker-cooldown-ms`); 0 = probe at the next interval.
+  std::chrono::milliseconds breaker_cooldown{0};
+  /// Deterministic fault injection (`route --fault-spec seed:prob:kinds`,
+  /// net/fault.hpp grammar); empty = off. `close` drops freshly accepted
+  /// front connections, `refuse` fails relay connects, `truncate`/
+  /// `partial`/`delay` hook the front and relay read/write paths. Health
+  /// probes and stats fan-out stay un-hooked so fault campaigns are
+  /// deterministic per request stream.
+  std::string fault_spec{};
+};
+
+/// Circuit-breaker state of one shard (docs/RESILIENCE.md).
+enum class BreakerState {
+  Closed = 0,    ///< in rotation
+  HalfOpen = 1,  ///< out of rotation; probes may close it
+  Open = 2,      ///< out of rotation; probes gated by the cooldown
 };
 
 /// Live view of one shard, for announcements, tests and the CLI.
@@ -137,8 +187,11 @@ struct ShardInfo {
   std::string host;
   std::uint16_t port = 0;
   pid_t pid = -1;  ///< -1 in endpoint mode
-  bool healthy = false;
+  bool healthy = false;  ///< derived: breaker == Closed
   std::size_t in_flight = 0;
+  BreakerState breaker = BreakerState::Closed;
+  std::uint64_t up_transitions = 0;
+  std::uint64_t down_transitions = 0;
 };
 
 class Router {
@@ -180,6 +233,9 @@ class Router {
   // Router-level counters (the `stats` fields of the same name).
   [[nodiscard]] std::uint64_t routed() const noexcept { return routed_; }
   [[nodiscard]] std::uint64_t shed() const noexcept { return shed_; }
+  [[nodiscard]] std::uint64_t shed_expired() const noexcept {
+    return shed_expired_;
+  }
   [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
   [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
   [[nodiscard]] std::uint64_t shard_lost_errors() const noexcept {
@@ -192,6 +248,12 @@ class Router {
   /// answer merges in ahead of the shard snapshots.
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
 
+  /// The fault injector behind `--fault-spec`; nullptr when injection is
+  /// off (chaos tests assert on its injected() counters).
+  [[nodiscard]] net::FaultInjector* fault_injector() noexcept {
+    return fault_.get();
+  }
+
  private:
   /// One backend shard. Endpoint, health and window state are guarded by
   /// `state_mutex_` (the endpoint moves when a spawned shard restarts).
@@ -200,10 +262,17 @@ class Router {
     std::uint16_t port = 0;
     pid_t pid = -1;       ///< spawn mode only; -1 = no live child
     int stdout_fd = -1;   ///< spawn mode: the child's announce pipe
-    bool healthy = true;
+    bool healthy = true;  ///< derived: breaker == Closed (routing predicate)
     std::size_t in_flight = 0;
     std::uint64_t up_transitions = 0;
     std::uint64_t down_transitions = 0;
+    // Circuit breaker (docs/RESILIENCE.md). `strikes` counts failures not
+    // yet annulled by `breaker_close_successes` consecutive successes;
+    // `opened_at` gates half-open probes behind the cooldown.
+    BreakerState breaker = BreakerState::Closed;
+    std::size_t strikes = 0;
+    std::size_t consecutive_ok = 0;
+    std::chrono::steady_clock::time_point opened_at{};
   };
 
   /// One cached session→shard connection (its reader keeps the framing
@@ -221,7 +290,8 @@ class Router {
     std::vector<ShardConn> conns;  ///< one slot per shard, lazily opened
   };
 
-  enum class Admit { Ok, Overloaded, Unavailable, ClientGone };
+  enum class Admit { Ok, Overloaded, Unavailable, ClientGone, Expired,
+                     Exhausted };
   enum class Relay { Done, ClientGone };
 
   void session_loop(Session* session);
@@ -229,18 +299,35 @@ class Router {
   Relay handle_line(const std::string& line, Session& session,
                     bool input_buffered);
   /// Forwards one line to its sticky shard and relays the response
-  /// stream; implements retry, failover and shedding.
+  /// stream; implements the RetryPolicy-budgeted retry/failover scan,
+  /// deadline-aware admission and shedding. `deadline_ms` is the parsed
+  /// wire field (0 = none), measured from `arrival`.
   Relay forward_line(const std::string& line, const std::string& id,
                      bool streamed, std::size_t key_hash, Session& session,
-                     bool input_buffered);
+                     bool input_buffered, std::uint64_t deadline_ms,
+                     const util::Stopwatch& arrival);
   /// Sticky slot acquisition under backpressure (see file comment); while
-  /// waiting it keeps the client-disconnect watch (`watching`).
+  /// waiting it keeps the client-disconnect watch (`watching`) and the
+  /// request deadline. `tried` excludes shards that already failed this
+  /// request (Exhausted when every healthy shard is excluded).
   Admit acquire_slot(std::size_t key_hash, std::size_t& shard_index,
-                     int client_fd, bool watching);
+                     int client_fd, bool watching,
+                     const std::vector<bool>& tried,
+                     std::uint64_t deadline_ms,
+                     const util::Stopwatch& arrival);
   void release_slot(std::size_t shard_index);
+  /// Hard evidence the shard is gone (reaped child, lost endpoint):
+  /// opens the breaker immediately.
   void mark_down(std::size_t shard_index);
+  /// Hard evidence the shard is up (spawn announce): closes the breaker
+  /// immediately.
   void mark_up(std::size_t shard_index);
+  /// Graded breaker inputs (request-path failures, probe outcomes).
+  void record_failure(std::size_t shard_index);
+  void record_success(std::size_t shard_index);
   bool ensure_conn(Session& session, std::size_t shard_index);
+  /// Front-session write honoring the fault hooks.
+  bool send_front(int fd, std::string line) const;
   /// `{"type":"stats"}`: fan out, merge, answer.
   void answer_stats(const std::string& id, int out_fd);
   /// `{"type":"metrics"}`: fan out, bucket-wise merge with the router's
@@ -279,9 +366,13 @@ class Router {
 
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::TraceLog> trace_log_;  ///< null = tracing off
+  std::unique_ptr<net::FaultInjector> fault_;  ///< null = injection off
+  const util::IoHooks* front_hooks_ = nullptr;  ///< fault_'s front_io()
+  const util::IoHooks* relay_hooks_ = nullptr;  ///< fault_'s relay_io()
 
   std::atomic<std::uint64_t> routed_{0};
   std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> shed_expired_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> restarts_{0};
   std::atomic<std::uint64_t> shard_lost_errors_{0};

@@ -87,6 +87,16 @@ Server::Server(ServerOptions options)
   if (!options_.trace_log.empty()) {
     trace_log_ = std::make_unique<obs::TraceLog>(options_.trace_log);
   }
+  if (!options_.fault_spec.empty()) {
+    const auto spec = net::parse_fault_spec(options_.fault_spec);
+    if (!spec) {
+      throw std::runtime_error("pipeopt-server: bad --fault-spec '" +
+                               options_.fault_spec +
+                               "' (want seed:prob:kind[,kind...])");
+    }
+    fault_ = std::make_unique<net::FaultInjector>(*spec);
+    session_hooks_ = &fault_->front_io();
+  }
   if (::pipe(wake_pipe_) != 0) {
     throw std::runtime_error("pipeopt-server: cannot create wake pipe");
   }
@@ -146,6 +156,13 @@ void Server::serve() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
+    if (fault_ && fault_->accept_should_close()) {
+      // Injected accept-then-close: the peer sees its connection die
+      // before a byte moves — the request provably never executed, so a
+      // retrying client is always safe.
+      ::close(client);
+      continue;
+    }
     stats_.record_connection();
     auto session = std::make_unique<Session>();
     Session* raw = session.get();
@@ -216,9 +233,13 @@ void Server::reap_sessions(bool all) {
 
 void Server::session_loop(int in_fd, int out_fd, bool is_socket,
                           Session* session) {
-  FdLineReader reader(in_fd);
+  FdLineReader reader(in_fd, session_hooks_);
   std::string line;
   while (reader.next_line(line)) {
+    // A socket stream that dies mid-line left a torn prefix, not a
+    // request: never parse (let alone execute) it. Stdio keeps the
+    // historical final-unterminated-line behavior.
+    if (is_socket && !reader.last_terminated()) break;
     if (line.empty() || line == "\r") continue;
     handle_line(line, out_fd, in_fd, is_socket, reader.buffered());
     if (stopping_.load(std::memory_order_relaxed) && is_socket) break;
@@ -233,6 +254,10 @@ void Server::session_loop(int in_fd, int out_fd, bool is_socket,
     }
     session->done.store(true, std::memory_order_release);
   }
+}
+
+bool Server::send_line(int out_fd, std::string line) const {
+  return write_line(out_fd, std::move(line), session_hooks_);
 }
 
 void Server::record_result_metrics(const api::SolveResult& result) {
@@ -260,7 +285,7 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
     fields = io::parse_flat_json(line);
   } catch (const io::ParseError& e) {
     stats_.record_error();
-    write_line(out_fd, error_line("", e.what()));
+    send_line(out_fd, error_line("", e.what()));
     return;
   }
   const std::string id = peek_id(fields);
@@ -273,7 +298,7 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
     io::FlatJsonWriter out;
     out.field("type", "pong");
     if (!id.empty()) out.field("id", id);
-    write_line(out_fd, std::move(out).str());
+    send_line(out_fd, std::move(out).str());
     return;
   }
   if (type == "health") {
@@ -289,7 +314,7 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
     out.field("pid", std::to_string(::getpid()));
     out.field("uptime_s", io::format_double_exact(uptime));
     out.field("in_flight", std::to_string(executor_.pending()));
-    write_line(out_fd, std::move(out).str());
+    send_line(out_fd, std::move(out).str());
     return;
   }
   if (type == "stats") {
@@ -299,7 +324,7 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
     for (const auto& [key, value] : stats_.snapshot()) out.field(key, value);
     out.field("jobs", std::to_string(executor_.jobs()));
     out.field("pending", std::to_string(executor_.pending()));
-    write_line(out_fd, std::move(out).str());
+    send_line(out_fd, std::move(out).str());
     return;
   }
   if (type == "metrics") {
@@ -313,7 +338,7 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
     for (const auto& [key, value] : obs::with_quantiles(metrics_.snapshot())) {
       out.field(key, value);
     }
-    write_line(out_fd, std::move(out).str());
+    send_line(out_fd, std::move(out).str());
     return;
   }
   if (type == "pareto") {
@@ -322,7 +347,7 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
       wire = io::parse_pareto_request(fields);
     } catch (const io::ParseError& e) {
       stats_.record_error();
-      write_line(out_fd, error_line(id, e.what()));
+      send_line(out_fd, error_line(id, e.what()));
       return;
     }
     // Reject unusable sweeps before spawning any work (the driver would
@@ -330,7 +355,7 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
     if (const std::string error = api::validate_sweep(wire->request);
         !error.empty()) {
       stats_.record_error();
-      write_line(out_fd, error_line(id, error));
+      send_line(out_fd, error_line(id, error));
       return;
     }
 
@@ -371,11 +396,11 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
       const obs::SpanTimer format_span(&trace, "format");
       for (const std::size_t index : front.front) {
         const api::SweepEvaluation& evaluation = front.evaluations[index];
-        write_line(
+        send_line(
             out_fd,
             io::format_front_point(evaluation.result, evaluation.bound, id));
       }
-      write_line(out_fd, io::format_pareto_summary(front, id));
+      send_line(out_fd, io::format_pareto_summary(front, id));
     }
     const std::uint64_t total_us = request_watch.elapsed_micros();
     metrics_.histogram("request").record_us(total_us);
@@ -385,7 +410,7 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
 
   if (type != "solve") {
     stats_.record_error();
-    write_line(out_fd, error_line(id, "unknown request type '" + type + "'"));
+    send_line(out_fd, error_line(id, "unknown request type '" + type + "'"));
     return;
   }
 
@@ -394,7 +419,7 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
     wire = io::parse_solve_request(fields);
   } catch (const io::ParseError& e) {
     stats_.record_error();
-    write_line(out_fd, error_line(id, e.what()));
+    send_line(out_fd, error_line(id, e.what()));
     return;
   }
 
@@ -422,7 +447,7 @@ void Server::handle_line(const std::string& line, int out_fd, int watch_fd,
   record_result_metrics(result);
   {
     const obs::SpanTimer format_span(&trace, "format");
-    write_line(out_fd, io::format_result(result, id));
+    send_line(out_fd, io::format_result(result, id));
   }
   const std::uint64_t total_us = request_watch.elapsed_micros();
   metrics_.histogram("request").record_us(total_us);

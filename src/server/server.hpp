@@ -67,6 +67,7 @@
 #include <vector>
 
 #include "api/executor.hpp"
+#include "net/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "server/stats.hpp"
@@ -97,6 +98,12 @@ struct ServerOptions {
   /// its trace id and phase breakdown (obs/trace.hpp). Response bytes are
   /// unchanged either way.
   std::string trace_log{};
+  /// Deterministic fault injection (`serve --fault-spec seed:prob:kinds`,
+  /// net/fault.hpp grammar); empty = off. Applies to the session sockets:
+  /// `close` drops freshly accepted connections, `truncate`/`partial`/
+  /// `delay` hook the session read/write paths. Chaos testing only — the
+  /// flag is rejected at construction when malformed.
+  std::string fault_spec{};
 };
 
 class Server {
@@ -137,6 +144,11 @@ class Server {
   [[nodiscard]] api::Executor& executor() noexcept { return executor_; }
   /// The server's metric registry — what `{"type":"metrics"}` snapshots.
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// The fault injector behind `--fault-spec`; nullptr when injection is
+  /// off (chaos tests assert on its injected() counters).
+  [[nodiscard]] net::FaultInjector* fault_injector() noexcept {
+    return fault_.get();
+  }
 
  private:
   struct Session {
@@ -172,11 +184,17 @@ class Server {
   /// wall) and evals counter, mirroring ServerStats's per-solver counts.
   void record_result_metrics(const api::SolveResult& result);
 
+  /// Session-socket write that honors the fault hooks (all responses go
+  /// through here so injected truncation hits real traffic paths).
+  bool send_line(int out_fd, std::string line) const;
+
   ServerOptions options_;
   api::Executor executor_;
   ServerStats stats_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::TraceLog> trace_log_;  ///< null = tracing off
+  std::unique_ptr<net::FaultInjector> fault_;  ///< null = injection off
+  const util::IoHooks* session_hooks_ = nullptr;  ///< fault_'s front_io()
   /// Construction time — the zero point of the health response's uptime.
   std::chrono::steady_clock::time_point started_;
   std::uint16_t port_ = 0;

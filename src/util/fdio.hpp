@@ -10,16 +10,28 @@
 
 #include <cerrno>
 #include <cstddef>
+#include <functional>
 #include <string>
 
 namespace pipeopt::util {
+
+/// Optional replacements for the raw read/write syscalls underneath the
+/// framing layer. The fault-injection shim (src/net/fault.hpp) supplies a
+/// hooked pair to provoke truncation/partial-write/delay failures on
+/// exactly the code paths production traffic uses; passing nullptr (the
+/// default everywhere) costs nothing and keeps plain syscalls.
+struct IoHooks {
+  std::function<ssize_t(int fd, void* buf, std::size_t len)> read;
+  std::function<ssize_t(int fd, const void* buf, std::size_t len)> write;
+};
 
 /// Blocking buffered line reader. Reads are retried on EINTR; any other
 /// read failure (including a receive timeout on a socket) ends the stream
 /// like EOF.
 class FdLineReader {
  public:
-  explicit FdLineReader(int fd) : fd_(fd) {}
+  explicit FdLineReader(int fd, const IoHooks* hooks = nullptr)
+      : fd_(fd), hooks_(hooks) {}
 
   /// Next '\n'-terminated line (terminator stripped; a final unterminated
   /// line is returned too); false on end of stream with nothing pending.
@@ -29,10 +41,13 @@ class FdLineReader {
       if (newline != std::string::npos) {
         line.assign(buffer_, 0, newline);
         buffer_.erase(0, newline + 1);
+        last_terminated_ = true;
         return true;
       }
       char chunk[4096];
-      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      const ssize_t n = (hooks_ != nullptr && hooks_->read)
+                            ? hooks_->read(fd_, chunk, sizeof chunk)
+                            : ::read(fd_, chunk, sizeof chunk);
       if (n > 0) {
         buffer_.append(chunk, static_cast<std::size_t>(n));
         continue;
@@ -41,6 +56,7 @@ class FdLineReader {
       if (buffer_.empty()) return false;
       line = std::move(buffer_);
       buffer_.clear();
+      last_terminated_ = false;
       return true;
     }
   }
@@ -49,19 +65,33 @@ class FdLineReader {
   /// server: the client is pipelining, so it is demonstrably alive).
   [[nodiscard]] bool buffered() const noexcept { return !buffer_.empty(); }
 
+  /// Whether the line most recently returned by next_line carried its
+  /// '\n' frame. A false value means the stream died mid-line: the bytes
+  /// are a torn prefix, not a complete wire message, and relays/clients
+  /// must treat them as a transport failure rather than parse them.
+  [[nodiscard]] bool last_terminated() const noexcept {
+    return last_terminated_;
+  }
+
  private:
   int fd_;
+  const IoHooks* hooks_;
   std::string buffer_;
+  bool last_terminated_ = true;
 };
 
 /// Writes `line` plus the '\n' frame, retrying on EINTR and short writes;
 /// false when the peer is gone (for sockets, make sure SIGPIPE is ignored
 /// so a vanished reader surfaces here instead of killing the process).
-inline bool write_line(int fd, std::string line) {
+inline bool write_line(int fd, std::string line,
+                       const IoHooks* hooks = nullptr) {
   line += '\n';
   std::size_t off = 0;
   while (off < line.size()) {
-    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    const ssize_t n = (hooks != nullptr && hooks->write)
+                          ? hooks->write(fd, line.data() + off,
+                                         line.size() - off)
+                          : ::write(fd, line.data() + off, line.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

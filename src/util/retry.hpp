@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file retry.hpp
+/// Shared retry policy for wire clients: capped exponential backoff with
+/// deterministic jitter, plus the one retryability classification of
+/// typed error codes that `pipeopt client` and the router's failover scan
+/// both follow (documented in docs/PROTOCOL.md and docs/RESILIENCE.md).
+///
+/// The classification in one line: transport failures and the router's
+/// own `overloaded`/`unavailable` sheds are always safe to retry because
+/// the request provably never started executing; `shard-lost` (and any
+/// loss after response bytes arrived) means the request may have run, so
+/// it is retried only when the request is idempotent — same test the
+/// solve cache applies: no `deadline_ms`, no `time_budget_s`. Permanent
+/// errors (parse failures, `expired`) never retry.
+
+#include <cstdint>
+#include <string>
+
+namespace pipeopt::util {
+
+/// How a typed wire error code answers "is re-sending this request safe
+/// and potentially useful?".
+enum class Retryability {
+  No,            ///< permanent (parse error, expired deadline, unknown)
+  Always,        ///< request never executed; re-send is free
+  IfIdempotent,  ///< may have executed; re-send only deterministic requests
+};
+
+/// Maps a wire error `code` field to its retryability class. An empty
+/// code (plain parse/validation errors carry none) is permanent.
+[[nodiscard]] Retryability classify_error_code(const std::string& code);
+
+/// Capped exponential backoff with deterministic jitter. `delay_ms(k)`
+/// for attempt k (0-based count of failures so far) is drawn from
+/// [base/2, base] where base = min(backoff_ms << k, max_backoff_ms); the
+/// jitter is a pure function of (seed, attempt) so a fixed seed replays
+/// the exact schedule — the same property the fault shim relies on.
+struct RetryPolicy {
+  std::size_t retries = 0;          ///< extra attempts after the first
+  std::uint64_t backoff_ms = 50;    ///< base delay before attempt 1
+  std::uint64_t max_backoff_ms = 2000;
+  std::uint64_t seed = 0;           ///< jitter stream selector
+
+  [[nodiscard]] std::uint64_t delay_ms(std::size_t attempt) const;
+};
+
+}  // namespace pipeopt::util

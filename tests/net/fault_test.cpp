@@ -1,0 +1,146 @@
+/// net/fault.hpp: the fault-spec grammar, the determinism contract (the
+/// n-th decision at a site is a pure function of seed/site/kind/n), and
+/// each wire-visible fault shape over a real socketpair through the
+/// util/fdio.hpp framing layer — exactly how production traffic runs it.
+
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "util/fdio.hpp"
+
+namespace pipeopt::net {
+namespace {
+
+FaultSpec spec_of(std::uint64_t seed, double probability,
+                  std::initializer_list<FaultKind> kinds) {
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.probability = probability;
+  for (const FaultKind kind : kinds) {
+    spec.kinds[static_cast<std::size_t>(kind)] = true;
+  }
+  return spec;
+}
+
+/// A connected AF_UNIX stream pair; [0] writes, [1] reads in these tests.
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+};
+
+TEST(Fault, ParsesTheSpecGrammar) {
+  const auto spec = parse_fault_spec("7:0.25:close,truncate");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_DOUBLE_EQ(spec->probability, 0.25);
+  EXPECT_TRUE(spec->enabled(FaultKind::Close));
+  EXPECT_TRUE(spec->enabled(FaultKind::Truncate));
+  EXPECT_FALSE(spec->enabled(FaultKind::Refuse));
+  EXPECT_FALSE(spec->enabled(FaultKind::Partial));
+  EXPECT_FALSE(spec->enabled(FaultKind::Delay));
+
+  const auto all = parse_fault_spec("11:1:all");
+  ASSERT_TRUE(all.has_value());
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    EXPECT_TRUE(all->kinds[k]) << fault_kind_name(static_cast<FaultKind>(k));
+  }
+}
+
+TEST(Fault, RejectsMalformedSpecsLoudly) {
+  for (const char* bad :
+       {"", "7", "7:0.5", "x:0.5:close", "7:nope:close", "7:1.5:close",
+        "7:-0.1:close", "7:0.5:bogus", "7:0.5:", "7:0.5:close,,delay",
+        "7:0.5:close,bogus", ":0.5:close", "7::close"}) {
+    EXPECT_FALSE(parse_fault_spec(bad).has_value()) << "accepted: " << bad;
+  }
+}
+
+TEST(Fault, DecisionStreamsReplayExactlyForAFixedSeed) {
+  FaultInjector a(spec_of(99, 0.5, {FaultKind::Close, FaultKind::Refuse}));
+  FaultInjector b(spec_of(99, 0.5, {FaultKind::Close, FaultKind::Refuse}));
+  FaultInjector other(spec_of(100, 0.5, {FaultKind::Close, FaultKind::Refuse}));
+  bool seed_matters = false;
+  bool site_matters = false;
+  for (int i = 0; i < 200; ++i) {
+    const bool close = a.accept_should_close();
+    const bool refuse = a.connect_should_refuse();
+    EXPECT_EQ(close, b.accept_should_close()) << "draw " << i;
+    EXPECT_EQ(refuse, b.connect_should_refuse()) << "draw " << i;
+    seed_matters |= close != other.accept_should_close();
+    site_matters |= close != refuse;
+    (void)other.connect_should_refuse();  // keep other's streams in lockstep
+  }
+  EXPECT_TRUE(seed_matters) << "seed never changed a decision";
+  EXPECT_TRUE(site_matters) << "sites share one stream";
+}
+
+TEST(Fault, ProbabilityEndpointsAreNeverAndAlways) {
+  FaultInjector never(spec_of(5, 0.0, {FaultKind::Close}));
+  FaultInjector always(spec_of(5, 1.0, {FaultKind::Close}));
+  FaultInjector off(spec_of(5, 1.0, {FaultKind::Refuse}));  // kind not armed
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.accept_should_close());
+    EXPECT_TRUE(always.accept_should_close());
+    EXPECT_FALSE(off.accept_should_close());
+  }
+  EXPECT_EQ(never.injected_total(), 0u);
+  EXPECT_EQ(always.injected(FaultKind::Close), 100u);
+}
+
+TEST(Fault, TruncateDeliversATornPrefixThatCannotParse) {
+  SocketPair pair;
+  FaultInjector injector(spec_of(3, 1.0, {FaultKind::Truncate}));
+  const std::string line = R"({"type":"solve","id":"t1","problem":"x"})";
+  // The write fails loudly on the sender...
+  EXPECT_FALSE(util::write_line(pair.fds[0], line, &injector.front_io()));
+  EXPECT_GE(injector.injected(FaultKind::Truncate), 1u);
+  // ... and the peer sees at most a strict prefix of the payload (never a
+  // full frame something could execute), then EOF.
+  util::FdLineReader reader(pair.fds[1]);
+  std::string got;
+  if (reader.next_line(got)) {
+    EXPECT_FALSE(reader.last_terminated());
+    EXPECT_LT(got.size(), line.size());
+    EXPECT_EQ(line.compare(0, got.size(), got), 0) << got;
+    EXPECT_FALSE(reader.next_line(got));
+  }
+}
+
+TEST(Fault, PartialWritesAreHealedByTheFramingRetryLoop) {
+  SocketPair pair;
+  FaultInjector injector(spec_of(4, 1.0, {FaultKind::Partial}));
+  const std::string line = R"({"type":"ping","id":"p-partial"})";
+  EXPECT_TRUE(util::write_line(pair.fds[0], line, &injector.front_io()));
+  EXPECT_GE(injector.injected(FaultKind::Partial), 1u);
+  util::FdLineReader reader(pair.fds[1]);
+  std::string got;
+  ASSERT_TRUE(reader.next_line(got));
+  EXPECT_TRUE(reader.last_terminated());
+  EXPECT_EQ(got, line);
+}
+
+TEST(Fault, DelayOnlySlowsDeliveryWithoutCorruptingIt) {
+  SocketPair pair;
+  FaultInjector injector(spec_of(6, 1.0, {FaultKind::Delay}));
+  const std::string line = R"({"type":"ping","id":"p-delay"})";
+  EXPECT_TRUE(util::write_line(pair.fds[0], line, &injector.front_io()));
+  util::FdLineReader reader(pair.fds[1], &injector.front_io());
+  std::string got;
+  ASSERT_TRUE(reader.next_line(got));
+  EXPECT_TRUE(reader.last_terminated());
+  EXPECT_EQ(got, line);
+  EXPECT_GE(injector.injected(FaultKind::Delay), 2u);  // write + read side
+}
+
+}  // namespace
+}  // namespace pipeopt::net

@@ -21,36 +21,18 @@
 #include "io/request_io.hpp"
 #include "router/router.hpp"
 #include "server/server.hpp"
+#include "tests/router/fleet_harness.hpp"
 #include "tests/server/wire_harness.hpp"
 
 namespace pipeopt::router {
 namespace {
 
 using server::ServerOptions;
+using testing_fleet::TestRouter;
+using testing_fleet::has_key;
 using testing_wire::TestServer;
 using testing_wire::WireClient;
 using testing_wire::table_grid;
-
-/// A listening router with its accept loop on a background thread.
-class TestRouter {
- public:
-  explicit TestRouter(RouterOptions options) : router_(std::move(options)) {
-    port_ = router_.listen();
-    thread_ = std::thread([this] { router_.serve(); });
-  }
-
-  ~TestRouter() {
-    router_.shutdown();
-    if (thread_.joinable()) thread_.join();
-  }
-
-  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
-
- private:
-  Router router_;
-  std::uint16_t port_ = 0;
-  std::thread thread_;
-};
 
 class TempPath {
  public:
@@ -67,18 +49,10 @@ class TempPath {
   std::string path_;
 };
 
+/// First value for `key`, "" when absent (these assertions never need to
+/// tell the two apart).
 std::string value_of(const io::JsonFields& fields, const std::string& key) {
-  for (const auto& [k, v] : fields) {
-    if (k == key) return v;
-  }
-  return {};
-}
-
-bool has_key(const io::JsonFields& fields, const std::string& key) {
-  for (const auto& [k, v] : fields) {
-    if (k == key) return true;
-  }
-  return false;
+  return testing_fleet::value_of(fields, key).value_or("");
 }
 
 std::string with_trace(std::string line, const std::string& trace_id) {

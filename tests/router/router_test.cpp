@@ -28,6 +28,7 @@
 #include "io/result_io.hpp"
 #include "io/stats_io.hpp"
 #include "server/server.hpp"
+#include "tests/router/fleet_harness.hpp"
 #include "tests/server/wire_harness.hpp"
 
 namespace pipeopt::router {
@@ -35,67 +36,15 @@ namespace {
 
 using server::Server;
 using server::ServerOptions;
+using testing_fleet::TestFleet;
+using testing_fleet::TestRouter;
+using testing_fleet::value_of;
 using testing_wire::TestServer;
 using testing_wire::WireClient;
 using testing_wire::comparable;
 using testing_wire::needle_instance;
 using testing_wire::needle_request;
 using testing_wire::table_grid;
-
-/// A listening router with its accept loop on a background thread.
-class TestRouter {
- public:
-  explicit TestRouter(RouterOptions options) : router_(std::move(options)) {
-    port_ = router_.listen();
-    thread_ = std::thread([this] { router_.serve(); });
-  }
-
-  ~TestRouter() {
-    router_.shutdown();
-    if (thread_.joinable()) thread_.join();
-  }
-
-  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
-  [[nodiscard]] Router& router() noexcept { return router_; }
-
- private:
-  Router router_;
-  std::uint16_t port_ = 0;
-  std::thread thread_;
-};
-
-/// N in-process shard servers plus a router across them (endpoint mode —
-/// spawn mode forks real processes and is exercised by tools/ci.sh).
-class TestFleet {
- public:
-  explicit TestFleet(std::size_t shard_count, ServerOptions shard_options = {},
-                     RouterOptions router_options = {}) {
-    if (shard_options.jobs == 0) shard_options.jobs = 2;
-    for (std::size_t i = 0; i < shard_count; ++i) {
-      shards_.push_back(std::make_unique<TestServer>(shard_options));
-      router_options.shards.push_back(
-          ShardAddress{"127.0.0.1", shards_.back()->port()});
-    }
-    router_ = std::make_unique<TestRouter>(std::move(router_options));
-  }
-
-  [[nodiscard]] std::uint16_t port() const noexcept { return router_->port(); }
-  [[nodiscard]] Router& router() noexcept { return router_->router(); }
-  [[nodiscard]] TestServer& shard(std::size_t i) { return *shards_[i]; }
-  void kill_shard(std::size_t i) { shards_[i].reset(); }
-
- private:
-  std::vector<std::unique_ptr<TestServer>> shards_;
-  std::unique_ptr<TestRouter> router_;
-};
-
-std::optional<std::string> value_of(const io::JsonFields& fields,
-                                    const std::string& key) {
-  for (const auto& [k, v] : fields) {
-    if (k == key) return v;
-  }
-  return std::nullopt;
-}
 
 TEST(Router, ResponsesBitIdenticalToPerCallSolveOverTheGrid) {
   TestFleet fleet(3);
@@ -433,12 +382,17 @@ TEST(Router, DeadShardFailsOverWithoutLosingRequests) {
   fleet.kill_shard(0);
 
   // Every request still answers: requests stuck to the dead shard retry on
-  // a fresh connection, fail, and fail over to the live shard.
-  for (const core::Problem& problem : grid) {
-    client.send_line(io::format_solve_request(problem, api::SolveRequest{}));
-    const auto response = client.recv_line();
-    ASSERT_TRUE(response.has_value());
-    EXPECT_TRUE(io::parse_result_line(*response).result.solved()) << *response;
+  // a fresh connection, fail, and fail over to the live shard. Three
+  // passes push the dead shard's sticky keys past the breaker threshold
+  // (3 consecutive strikes) so the down transition is guaranteed.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const core::Problem& problem : grid) {
+      client.send_line(io::format_solve_request(problem, api::SolveRequest{}));
+      const auto response = client.recv_line();
+      ASSERT_TRUE(response.has_value());
+      EXPECT_TRUE(io::parse_result_line(*response).result.solved())
+          << *response;
+    }
   }
   EXPECT_GE(fleet.router().retries(), 1u);
   EXPECT_GE(fleet.router().down_transitions(), 1u);

@@ -1,0 +1,67 @@
+/// util/retry.hpp: the retryability classification both wire clients
+/// follow, and the capped deterministic backoff schedule.
+
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace pipeopt::util {
+namespace {
+
+TEST(Retry, ClassificationFollowsTheProtocolTable) {
+  // Never-started sheds re-send freely.
+  EXPECT_EQ(classify_error_code("overloaded"), Retryability::Always);
+  EXPECT_EQ(classify_error_code("unavailable"), Retryability::Always);
+  // The shard may have executed the request before dying.
+  EXPECT_EQ(classify_error_code("shard-lost"), Retryability::IfIdempotent);
+  // Permanent: parse/validation errors carry no code, an expired deadline
+  // only gets more expired, and unknown codes default to the safe side.
+  EXPECT_EQ(classify_error_code(""), Retryability::No);
+  EXPECT_EQ(classify_error_code("expired"), Retryability::No);
+  EXPECT_EQ(classify_error_code("not-a-real-code"), Retryability::No);
+}
+
+TEST(Retry, BackoffDoublesWithinJitterBandUntilTheCap) {
+  RetryPolicy policy;
+  policy.backoff_ms = 50;
+  policy.max_backoff_ms = 2000;
+  policy.seed = 7;
+  std::uint64_t base = 50;
+  for (std::size_t attempt = 0; attempt < 12; ++attempt) {
+    const std::uint64_t delay = policy.delay_ms(attempt);
+    EXPECT_GE(delay, base / 2) << "attempt " << attempt;
+    EXPECT_LE(delay, base) << "attempt " << attempt;
+    base = std::min<std::uint64_t>(base * 2, policy.max_backoff_ms);
+  }
+  // Deep attempts saturate at the cap's band, they never overflow past it.
+  EXPECT_LE(policy.delay_ms(60), policy.max_backoff_ms);
+  EXPECT_GE(policy.delay_ms(60), policy.max_backoff_ms / 2);
+}
+
+TEST(Retry, ScheduleIsAPureFunctionOfSeedAndAttempt) {
+  RetryPolicy a;
+  a.seed = 42;
+  RetryPolicy b;
+  b.seed = 42;
+  RetryPolicy c;
+  c.seed = 43;
+  bool diverged = false;
+  for (std::size_t attempt = 0; attempt < 16; ++attempt) {
+    EXPECT_EQ(a.delay_ms(attempt), b.delay_ms(attempt)) << attempt;
+    diverged |= a.delay_ms(attempt) != c.delay_ms(attempt);
+  }
+  EXPECT_TRUE(diverged) << "different seeds never jittered differently";
+}
+
+TEST(Retry, ZeroBackoffMeansNoSleepAtAll) {
+  RetryPolicy policy;
+  policy.backoff_ms = 0;
+  for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(policy.delay_ms(attempt), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pipeopt::util

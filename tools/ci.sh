@@ -18,9 +18,13 @@
 # diff-identical to the obs-off baseline, span logs parse and cover every
 # phase, merged metrics carry fleet quantiles, pipeopt top renders, the
 # client's --poll-stats sampler writes timestamped samples), then a
+# chaos smoke stage (a --fault-spec seeded campaign against the front
+# tier absorbed by client --retries: byte-identical to the clean
+# baseline, replayable under the same seed, plus a SIGKILL breaker pass
+# asserting the transition counters and breaker_state gauges), then a
 # ThreadSanitizer pass over the threaded executor/plan/sweep/server/cache/
-# router/obs subsystems plus the wire fuzz, then an ASan/UBSan pass over
-# the fuzz suites and the MIP engine.
+# router/obs/resilience subsystems plus the wire fuzz, then an ASan/UBSan
+# pass over the fuzz suites and the MIP engine.
 #
 # The ctest suite runs staged by label (tier1, then the exact-backend
 # crosscheck harness, then the fuzz slices), followed by a CLI-level
@@ -419,6 +423,110 @@ $(sed -n 's/^{"trace":"\([0-9a-f]\{16\}\)".*/\1/p' "$SMOKE_DIR/router_trace.json
 TRACE_IDS
 echo "ci: obs smoke green (traced fleet byte-identical; span logs cover all phases; request.n=$REQ_N)"
 
+# Chaos smoke: the front tier under a seeded fault campaign
+# (--fault-spec on the router: accepted connections close, frames
+# truncate or land in pieces, relay connects refuse, reads stall),
+# driven by a client with a retry budget. The contract under test
+# (docs/RESILIENCE.md): every admitted request still gets exactly one
+# response, the bytes match the fault-free solve-batch baseline modulo
+# wall_s, and the same seed replays the same campaign byte-for-byte.
+CHAOS_SPEC="13:0.25:close,truncate,partial,delay"
+chaos_campaign() { # $1 = campaign tag (a, b)
+  "$BIN" route --spawn 2 --jobs 2 --health-interval-ms 100 \
+      --fault-spec "$CHAOS_SPEC" --retries 8 --backoff-ms 5 \
+      > "$SMOKE_DIR/chaos_router.$1.out" 2>"$SMOKE_DIR/chaos_router.$1.err" &
+  CHAOS_PID=$!
+  CPORT=""
+  i=0
+  while [ $i -lt 100 ]; do
+    CPORT=$(sed -n 's/.*router listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "$SMOKE_DIR/chaos_router.$1.out")
+    [ -n "$CPORT" ] && break
+    i=$((i + 1)); sleep 0.1
+  done
+  [ -n "$CPORT" ] || { echo "ci: chaos router ($1) never announced its port" >&2; exit 1; }
+  "$BIN" client --port "$CPORT" --manifest "$SMOKE_DIR/batch.jsonl" \
+      --objective period --retries 25 --backoff-ms 5 \
+      > "$SMOKE_DIR/chaos.$1.jsonl" 2>"$SMOKE_DIR/chaos_client.$1.err" || {
+    echo "ci: chaos campaign ($1) exhausted the client retry budget" >&2
+    cat "$SMOKE_DIR/chaos_client.$1.err" >&2
+    exit 1
+  }
+  sed 's/,"wall_s":"[^"]*"//' "$SMOKE_DIR/chaos.$1.jsonl" > "$SMOKE_DIR/chaos.$1.cmp"
+  kill -TERM "$CHAOS_PID"
+  wait "$CHAOS_PID" || { echo "ci: chaos router ($1) did not drain cleanly" >&2; exit 1; }
+}
+trap 'kill "$SERVER_PID" "$CACHE_PID" "$ROUTER_PID" "$OBS_PID" "${CHAOS_PID:-}" "${BRK_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+chaos_campaign a
+diff "$SMOKE_DIR/chaos.a.cmp" "$SMOKE_DIR/local.cmp" || {
+  echo "ci: faulted campaign responses diverged from the clean baseline" >&2; exit 1;
+}
+# The client reports its retry accounting; the campaign must actually
+# have injected something the budget absorbed (fixed seed, so this is a
+# deterministic expectation, not a flake).
+grep -q 'retries used=' "$SMOKE_DIR/chaos_client.a.err" || {
+  echo "ci: chaos client never printed its retry summary" >&2; exit 1;
+}
+USED=$(sed -n 's/.*retries used=\([0-9]*\).*/\1/p' "$SMOKE_DIR/chaos_client.a.err")
+[ "${USED:-0}" -ge 1 ] || {
+  echo "ci: chaos campaign injected nothing the client had to retry (used='${USED:-absent}')" >&2
+  exit 1
+}
+chaos_campaign b
+diff "$SMOKE_DIR/chaos.a.cmp" "$SMOKE_DIR/chaos.b.cmp" || {
+  echo "ci: the same fault seed did not replay the same campaign" >&2; exit 1;
+}
+
+# Breaker pass: SIGKILL a shard under a fault-free router and assert the
+# circuit breaker opens (down transition), the supervisor's respawn
+# closes it again (up transition), and both surface through stats and
+# metrics alongside the failover's per-code retry counters.
+"$BIN" route --spawn 2 --jobs 2 --health-interval-ms 100 \
+    > "$SMOKE_DIR/brk_router.out" 2>"$SMOKE_DIR/brk_router.err" &
+BRK_PID=$!
+BPORT=""
+i=0
+while [ $i -lt 100 ]; do
+  BPORT=$(sed -n 's/.*router listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SMOKE_DIR/brk_router.out")
+  [ -n "$BPORT" ] && break
+  i=$((i + 1)); sleep 0.1
+done
+[ -n "$BPORT" ] || { echo "ci: breaker-pass router never announced its port" >&2; exit 1; }
+BRK_SHARD0=$(sed -n 's/.*shard 0 at [^ ]* pid \([0-9]*\).*/\1/p' "$SMOKE_DIR/brk_router.out")
+[ -n "$BRK_SHARD0" ] || { echo "ci: breaker-pass router never announced shard 0's pid" >&2; exit 1; }
+kill -KILL "$BRK_SHARD0"
+"$BIN" client --port "$BPORT" --manifest "$SMOKE_DIR/batch.jsonl" \
+    --objective period > /dev/null || {
+  echo "ci: traffic through the open-breaker failover path failed" >&2; exit 1;
+}
+DOWN=""; UPT=""
+i=0
+while [ $i -lt 100 ]; do
+  printf '{"type":"stats"}\n' | "$BIN" client --port "$BPORT" - \
+      > "$SMOKE_DIR/brk_stats.jsonl" 2>/dev/null || true
+  DOWN=$(sed -n 's/.*"shard_down_transitions":"\([0-9]*\)".*/\1/p' "$SMOKE_DIR/brk_stats.jsonl")
+  UPT=$(sed -n 's/.*"shard_up_transitions":"\([0-9]*\)".*/\1/p' "$SMOKE_DIR/brk_stats.jsonl")
+  SUP=$(sed -n 's/.*"shards_up":"\([0-9]*\)".*/\1/p' "$SMOKE_DIR/brk_stats.jsonl")
+  [ "${DOWN:-0}" -ge 1 ] && [ "${UPT:-0}" -ge 1 ] && [ "${SUP:-0}" = 2 ] && break
+  i=$((i + 1)); sleep 0.1
+done
+[ "${DOWN:-0}" -ge 1 ] && [ "${UPT:-0}" -ge 1 ] || {
+  echo "ci: breaker transitions never surfaced (down='${DOWN:-absent}', up='${UPT:-absent}')" >&2
+  exit 1
+}
+printf '{"type":"metrics"}\n' | "$BIN" client --port "$BPORT" - \
+    > "$SMOKE_DIR/brk_metrics.jsonl"
+grep -q '"shard\.0\.breaker_state":"0"' "$SMOKE_DIR/brk_metrics.jsonl" &&
+grep -q '"shard\.1\.breaker_state":"0"' "$SMOKE_DIR/brk_metrics.jsonl" || {
+  echo "ci: recovered fleet metrics missing closed breaker_state gauges" >&2; exit 1;
+}
+grep -q '"retries_by_code\.' "$SMOKE_DIR/brk_metrics.jsonl" || {
+  echo "ci: failover retries never surfaced in retries_by_code.*" >&2; exit 1;
+}
+kill -TERM "$BRK_PID"
+wait "$BRK_PID" || { echo "ci: breaker-pass router did not drain cleanly on SIGTERM" >&2; exit 1; }
+echo "ci: chaos smoke green (faulted campaign byte-identical and seed-replayable, retries used=${USED:-0}; breaker down=$DOWN up=$UPT)"
+
 # ThreadSanitizer build of the executor, plan, cancellation, server and
 # router tests — the code that actually runs worker pools, session threads
 # and the router's relay/health threads, plus the striped metric
@@ -431,7 +539,7 @@ if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - -o "${TMPDIR:-
   cmake -B "$BUILD_DIR-tsan" -S . -DPIPEOPT_WERROR=ON -DPIPEOPT_TSAN=ON
   cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" --target pipeopt_tests
   "$BUILD_DIR-tsan/pipeopt_tests" \
-      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*:Cache.*:Router.*:StatsMerge.*:EvalBatch.*:*/EvalBatch.*:Obs.*:Metrics.*:*WireFuzz*'
+      --gtest_filter='Executor.*:Plan.*:DispatchPlan.*:Server.*:Deadline.*:Cancel.*:Sweep.*:Cache.*:Router.*:StatsMerge.*:EvalBatch.*:*/EvalBatch.*:Obs.*:Metrics.*:*WireFuzz*:Chaos.*:Retry.*:Fault.*'
 else
   echo "ci: ThreadSanitizer unavailable, skipping the tsan pass" >&2
 fi

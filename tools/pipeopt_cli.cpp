@@ -84,7 +84,12 @@
 ///                                Lock-step send/receive; responses echo to
 ///                                stdout, and a pareto request drains its
 ///                                streamed front through the terminal
-///                                summary line
+///                                summary line. --retries N grants N extra
+///                                attempts per failure point (code-aware:
+///                                see docs/PROTOCOL.md's retryability
+///                                table) with --backoff-ms capped backoff;
+///                                retry counts per code print to stderr on
+///                                exit, and exit 3 means the budget is gone
 ///
 /// Exit codes: 0 solved, 1 infeasible (or search budget exhausted),
 /// 2 usage/parse errors (including unknown or inapplicable solver names),
@@ -97,6 +102,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -109,6 +115,8 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -128,6 +136,7 @@
 #include "sim/simulator.hpp"
 #include "util/fdio.hpp"
 #include "util/numeric.hpp"
+#include "util/retry.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timing.hpp"
@@ -160,23 +169,32 @@ int usage() {
       "  min-energy T1,T2,...       alias: solve --objective energy\n"
       "  simulate <datasets>        execute the period-optimal mapping\n"
       "  serve [--host H] [--port N] [--jobs N] [--cache-entries N]\n"
-      "        [--backlog N] [--trace-log F] [--stdio]\n"
+      "        [--backlog N] [--trace-log F] [--fault-spec S] [--stdio]\n"
       "                             JSONL-over-TCP solve service (no\n"
       "                             problem file; --port 0 = ephemeral;\n"
       "                             --cache-entries N = solve cache on;\n"
-      "                             --trace-log F = per-request span JSONL)\n"
+      "                             --trace-log F = per-request span JSONL;\n"
+      "                             --fault-spec seed:prob:kinds = seeded\n"
+      "                             fault injection, chaos testing only)\n"
       "  route (--shards H:P,... | --spawn N) [--host H] [--port N]\n"
       "        [--jobs N] [--cache-entries N] [--window N]\n"
       "        [--health-interval-ms MS] [--backlog N] [--trace-log F]\n"
-      "        [--shard-trace-log P]\n"
+      "        [--shard-trace-log P] [--retries N] [--backoff-ms MS]\n"
+      "        [--breaker-threshold N] [--breaker-cooldown-ms MS]\n"
+      "        [--fault-spec S]\n"
       "                             sharded front tier over N servers:\n"
       "                             sticky key-hash routing, health checks,\n"
-      "                             restarts (--spawn), load shedding,\n"
+      "                             restarts (--spawn), per-shard circuit\n"
+      "                             breakers, budgeted retry/failover,\n"
+      "                             deadline-aware shedding, load shedding,\n"
       "                             merged stats + metrics, fleet tracing\n"
       "  client [--host H] --port N\n"
       "         (--manifest M [--pareto] [solve/sweep opts] | F | -)\n"
+      "         [--retries N] [--backoff-ms MS]\n"
       "         [--poll-stats MS --poll-out F]\n"
       "                             send request lines, echo responses;\n"
+      "                             --retries = code-aware retry with capped\n"
+      "                             backoff (exit 3 only after the budget);\n"
       "                             --poll-stats samples stats+metrics to\n"
       "                             a JSONL file while the load runs\n"
       "  top [--host H] --port N [--interval-ms MS] [--iterations N]\n"
@@ -572,6 +590,10 @@ int run_solve_batch(const std::string& manifest_path,
 
 /// `pipeopt serve`: the long-lived JSONL solve service (src/server/).
 int run_serve(const std::vector<std::string>& args) {
+  // Process-wide, before any socket exists: a peer that vanishes must
+  // surface as a write error on every path (sessions, announce pipe),
+  // never as a SIGPIPE kill.
+  std::signal(SIGPIPE, SIG_IGN);
   server::ServerOptions options;
   bool stdio = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -580,7 +602,7 @@ int run_serve(const std::vector<std::string>& args) {
       std::fputs(
           "usage: pipeopt serve [--host H] [--port N] [--jobs N]\n"
           "                     [--cache-entries N] [--backlog N]\n"
-          "                     [--trace-log F] [--stdio]\n"
+          "                     [--trace-log F] [--fault-spec S] [--stdio]\n"
           "JSONL-over-TCP solve service over the api::Executor pool.\n"
           "  --host H    listen address (default 127.0.0.1)\n"
           "  --port N    listen port; 0 picks an ephemeral port (default),\n"
@@ -597,6 +619,11 @@ int run_serve(const std::vector<std::string>& args) {
           "              append one JSONL span line per completed solve or\n"
           "              pareto request (trace id + per-phase breakdown);\n"
           "              responses stay byte-identical either way\n"
+          "  --fault-spec S\n"
+          "              deterministic fault injection on session sockets,\n"
+          "              S = seed:prob:kind[,kind...] with kinds close,\n"
+          "              truncate, partial, delay, all (chaos testing;\n"
+          "              see docs/RESILIENCE.md)\n"
           "  --stdio     serve one session on stdin/stdout instead of TCP\n"
           "Protocol: one JSON object per line; see docs/PROTOCOL.md.\n"
           "SIGINT/SIGTERM drain in-flight solves, then exit 0.\n",
@@ -631,6 +658,9 @@ int run_serve(const std::vector<std::string>& args) {
     } else if (flag == "--trace-log") {
       if (i + 1 >= args.size()) return usage();
       options.trace_log = args[++i];
+    } else if (flag == "--fault-spec") {
+      if (i + 1 >= args.size()) return usage();
+      options.fault_spec = args[++i];
     } else {
       return usage();
     }
@@ -638,10 +668,6 @@ int run_serve(const std::vector<std::string>& args) {
   try {
     server::Server server(options);
     if (stdio) {
-      // A consumer that stops reading stdout must surface as a write
-      // error, not a SIGPIPE kill (TCP mode gets this from
-      // install_signal_handlers).
-      std::signal(SIGPIPE, SIG_IGN);
       server.serve_stream(STDIN_FILENO, STDOUT_FILENO);
       return 0;
     }
@@ -685,6 +711,9 @@ std::optional<std::vector<router::ShardAddress>> parse_shard_list(
 
 /// `pipeopt route`: the sharded front tier (src/router/).
 int run_route(const std::vector<std::string>& args) {
+  // Dead shards and vanished clients must surface as write errors on the
+  // relay/front sockets, never as a SIGPIPE kill.
+  std::signal(SIGPIPE, SIG_IGN);
   router::RouterOptions options;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -694,7 +723,11 @@ int run_route(const std::vector<std::string>& args) {
           "                     [--host H] [--port N] [--jobs N]\n"
           "                     [--cache-entries N] [--window N]\n"
           "                     [--health-interval-ms MS] [--backlog N]\n"
+          "                     [--retries N] [--backoff-ms MS]\n"
+          "                     [--breaker-threshold N]\n"
+          "                     [--breaker-cooldown-ms MS]\n"
           "                     [--trace-log F] [--shard-trace-log P]\n"
+          "                     [--fault-spec S]\n"
           "Sharded front tier over N pipeopt servers: speaks the same\n"
           "protocol, routes each request to a shard by its canonical\n"
           "solve key (sticky: byte-equivalent requests share a shard, so\n"
@@ -714,6 +747,19 @@ int run_route(const std::vector<std::string>& args) {
           "  --health-interval-ms MS\n"
           "                    probe period (default 250)\n"
           "  --backlog N       front-tier listen(2) queue (default 128)\n"
+          "  --retries N       per-request failover budget: N retries after\n"
+          "                    the first attempt (default 0 = one attempt\n"
+          "                    per shard); retried attempts back off with\n"
+          "                    deterministic jitter\n"
+          "  --backoff-ms MS   base retry backoff (default 5; doubles per\n"
+          "                    attempt, capped; 0 = no sleep)\n"
+          "  --breaker-threshold N\n"
+          "                    consecutive relay failures that open a\n"
+          "                    shard's circuit breaker (default 3)\n"
+          "  --breaker-cooldown-ms MS\n"
+          "                    how long an open breaker rests before a\n"
+          "                    half-open health probe may close it again\n"
+          "                    (default 0 = probe at the next interval)\n"
           "  --trace-log F     append one JSONL span line per forwarded\n"
           "                    request (relay time + shared trace id; ids\n"
           "                    are generated and spliced into forwarded\n"
@@ -721,6 +767,11 @@ int run_route(const std::vector<std::string>& args) {
           "  --shard-trace-log P\n"
           "                    spawn mode: shard i traces to P.<i>.jsonl;\n"
           "                    its lines share the router's trace ids\n"
+          "  --fault-spec S    deterministic fault injection on front and\n"
+          "                    relay sockets, S = seed:prob:kind[,kind...]\n"
+          "                    with kinds refuse, close, truncate, partial,\n"
+          "                    delay, all (chaos testing; health probes are\n"
+          "                    exempt; see docs/RESILIENCE.md)\n"
           "SIGINT/SIGTERM drain in-flight requests, then the shards.\n",
           stdout);
       return 0;
@@ -768,12 +819,35 @@ int run_route(const std::vector<std::string>& args) {
       const auto backlog = parse_number<int>(args[++i]);
       if (!backlog || *backlog <= 0) return usage();
       options.backlog = *backlog;
+    } else if (flag == "--retries") {
+      if (i + 1 >= args.size()) return usage();
+      const auto retries = parse_number<std::size_t>(args[++i]);
+      if (!retries) return usage();
+      options.retries = *retries;
+    } else if (flag == "--backoff-ms") {
+      if (i + 1 >= args.size()) return usage();
+      const auto backoff = parse_number<std::uint64_t>(args[++i]);
+      if (!backoff) return usage();
+      options.retry_backoff = std::chrono::milliseconds(*backoff);
+    } else if (flag == "--breaker-threshold") {
+      if (i + 1 >= args.size()) return usage();
+      const auto threshold = parse_number<std::size_t>(args[++i]);
+      if (!threshold || *threshold == 0) return usage();
+      options.breaker_threshold = *threshold;
+    } else if (flag == "--breaker-cooldown-ms") {
+      if (i + 1 >= args.size()) return usage();
+      const auto cooldown = parse_number<std::uint64_t>(args[++i]);
+      if (!cooldown) return usage();
+      options.breaker_cooldown = std::chrono::milliseconds(*cooldown);
     } else if (flag == "--trace-log") {
       if (i + 1 >= args.size()) return usage();
       options.trace_log = args[++i];
     } else if (flag == "--shard-trace-log") {
       if (i + 1 >= args.size()) return usage();
       options.spawn_trace_log = args[++i];
+    } else if (flag == "--fault-spec") {
+      if (i + 1 >= args.size()) return usage();
+      options.fault_spec = args[++i];
     } else {
       return usage();
     }
@@ -825,10 +899,31 @@ int connect_to(const std::string& host, std::uint16_t port) {
     return -1;
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    return -1;
+    bool connected = false;
+    if (errno == EINTR) {
+      // An interrupted connect(2) keeps going in the background; wait for
+      // writability and read the real outcome from SO_ERROR instead of
+      // reporting a spurious failure.
+      pollfd waiter{};
+      waiter.fd = fd;
+      waiter.events = POLLOUT;
+      while (::poll(&waiter, 1, -1) < 0 && errno == EINTR) {
+      }
+      int error = 0;
+      socklen_t error_len = sizeof error;
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &error_len) == 0 &&
+          error == 0) {
+        connected = true;
+      } else if (error != 0) {
+        errno = error;
+      }
+    }
+    if (!connected) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return -1;
+    }
   }
   return fd;
 }
@@ -872,12 +967,17 @@ std::string line_type(const std::string& line) {
 
 /// `pipeopt client`: scripted load generation against a running server.
 int run_client(const std::vector<std::string>& args) {
+  // Before any socket work: a server that dies mid-write must surface as
+  // a write error (exit 3 or a budgeted retry), not a SIGPIPE kill.
+  std::signal(SIGPIPE, SIG_IGN);
   std::string host = "127.0.0.1";
   std::optional<std::uint16_t> port;
   std::string manifest, raw_file;
   bool pareto = false;
   std::uint64_t poll_ms = 0;
   std::string poll_out;
+  std::size_t retries = 0;
+  std::uint64_t backoff_ms = 50;
   std::vector<std::string> solve_args;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -901,6 +1001,16 @@ int run_client(const std::vector<std::string>& args) {
     } else if (flag == "--poll-out") {
       if (i + 1 >= args.size()) return usage();
       poll_out = args[++i];
+    } else if (flag == "--retries") {
+      if (i + 1 >= args.size()) return usage();
+      const auto budget = parse_number<std::size_t>(args[++i]);
+      if (!budget) return usage();
+      retries = *budget;
+    } else if (flag == "--backoff-ms") {
+      if (i + 1 >= args.size()) return usage();
+      const auto backoff = parse_number<std::uint64_t>(args[++i]);
+      if (!backoff) return usage();
+      backoff_ms = *backoff;
     } else if (!manifest.empty()) {
       solve_args.push_back(flag);  // shared solve flags for --manifest mode
     } else if (raw_file.empty()) {
@@ -953,13 +1063,45 @@ int run_client(const std::vector<std::string>& args) {
     }
   }
 
-  const int fd = connect_to(host, *port);
-  if (fd < 0) {
-    std::fprintf(stderr,
-                 "error: cannot connect to %s:%u: %s\n"
-                 "       is a pipeopt server (or router) listening there?\n",
-                 host.c_str(), *port, std::strerror(errno));
-    return 3;
+  // Retry machinery (util/retry.hpp): `--retries N` grants N extra
+  // attempts per failure point — the initial connect, and each request
+  // line — with capped exponential backoff between attempts. The
+  // per-code tally feeds the exit summary.
+  util::RetryPolicy policy;
+  policy.retries = retries;
+  policy.backoff_ms = backoff_ms;
+  std::map<std::string, std::uint64_t> retry_counts;
+  std::uint64_t retries_used = 0;
+  const auto print_retry_summary = [&] {
+    if (retries == 0) return;  // --retries off: byte-identical stderr
+    std::string breakdown;
+    for (const auto& [code, count] : retry_counts) {
+      breakdown += ' ' + code + '=' + std::to_string(count);
+    }
+    std::fprintf(stderr, "pipeopt-client: retries used=%llu budget=%zu%s\n",
+                 static_cast<unsigned long long>(retries_used), retries,
+                 breakdown.c_str());
+  };
+
+  int fd = -1;
+  for (std::size_t attempt = 0;; ++attempt) {
+    fd = connect_to(host, *port);
+    if (fd >= 0) break;
+    if (attempt >= retries) {
+      std::fprintf(
+          stderr,
+          "error: cannot connect to %s:%u: %s\n"
+          "       is a pipeopt server (or router) listening there?\n",
+          host.c_str(), *port, std::strerror(errno));
+      print_retry_summary();
+      return 3;
+    }
+    ++retries_used;
+    ++retry_counts["connect"];
+    const std::uint64_t delay = policy.delay_ms(attempt);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
   }
 
   // Stats/metrics sampler: its own connection, its own output file, so
@@ -1010,34 +1152,135 @@ int run_client(const std::vector<std::string>& args) {
 
   // Lock-step request/response keeps the output aligned with the input
   // order (the server answers each connection's lines in order anyway).
-  std::signal(SIGPIPE, SIG_IGN);  // a dying server is exit 3, not a kill
+  // Each line's responses are buffered and echoed only once the attempt
+  // is accepted, so a retried request never leaks a half-streamed or
+  // torn answer to stdout.
   int worst = 0;
-  util::FdLineReader reader(fd);
-  for (const std::string& line : lines) {
-    if (!util::write_line(fd, line)) {
-      std::fprintf(stderr, "error: connection lost mid-request\n");
-      ::close(fd);
-      join_poller();
-      return 3;
+  auto reader = std::make_unique<util::FdLineReader>(fd);
+  const auto drop_connection = [&] {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    reader.reset();
+  };
+  const auto echo = [&](const std::vector<std::string>& responses) {
+    for (const std::string& response : responses) {
+      std::printf("%s\n", response.c_str());
+      worst = std::max(worst, response_exit_code(response));
     }
+  };
+  const auto fail = [&](const std::string& message) {
+    std::fprintf(stderr, "error: %s\n", message.c_str());
+    drop_connection();
+    join_poller();
+    print_retry_summary();
+    return 3;
+  };
+
+  for (const std::string& line : lines) {
     // A pareto request streams result lines until its terminal summary (or
     // an error); everything else answers with exactly one line.
     const bool streamed = line_type(line) == "pareto";
-    for (;;) {
-      std::string response;
-      if (!reader.next_line(response)) {
-        std::fprintf(stderr, "error: connection closed before a response\n");
-        ::close(fd);
-        join_poller();
-        return 3;
+    // Budgeted wall-clock fields make a retried execution observable
+    // (the rerun races a different remaining budget), so only requests
+    // without them may be replayed after work possibly started.
+    bool idempotent = true;
+    try {
+      for (const auto& [key, value] : io::parse_flat_json(line)) {
+        if (key == "deadline_ms" || key == "time_budget_s") idempotent = false;
       }
-      std::printf("%s\n", response.c_str());
-      worst = std::max(worst, response_exit_code(response));
-      if (!streamed || line_type(response) != "result") break;
+    } catch (const std::exception&) {
+    }
+    std::size_t attempt = 0;
+    // Spends one retry from the line's budget (tallying it under `code`)
+    // and sleeps the backoff; false = budget exhausted, caller gives up.
+    const auto budget_retry = [&](const std::string& code) -> bool {
+      if (attempt >= retries) return false;
+      ++attempt;
+      ++retries_used;
+      ++retry_counts[code];
+      const std::uint64_t delay = policy.delay_ms(attempt - 1);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+      return true;
+    };
+
+    bool delivered = false;
+    while (!delivered) {
+      if (fd < 0) {
+        fd = connect_to(host, *port);
+        if (fd < 0) {
+          const int saved = errno;
+          if (budget_retry("connect")) continue;
+          return fail("cannot connect to " + host + ":" +
+                      std::to_string(*port) + ": " + std::strerror(saved));
+        }
+        reader = std::make_unique<util::FdLineReader>(fd);
+      }
+      if (!util::write_line(fd, line)) {
+        drop_connection();
+        if (budget_retry("transport")) continue;
+        return fail("connection lost mid-request");
+      }
+      std::vector<std::string> responses;
+      bool complete = false;
+      bool torn = false;
+      for (;;) {
+        std::string response;
+        if (!reader->next_line(response)) break;
+        if (!reader->last_terminated()) {
+          torn = true;  // a truncated frame is transport loss, not an answer
+          break;
+        }
+        responses.push_back(std::move(response));
+        if (!streamed || line_type(responses.back()) != "result") {
+          complete = true;
+          break;
+        }
+      }
+      if (!complete) {
+        drop_connection();
+        // Loss before the first response byte cannot have echoed anything
+        // and retries unconditionally; loss mid-response means the server
+        // may have done (and streamed) work, so only idempotent requests
+        // replay.
+        const bool pre_response = responses.empty() && !torn;
+        if ((pre_response || idempotent) &&
+            budget_retry(pre_response ? "transport" : "mid-response")) {
+          continue;
+        }
+        echo(responses);
+        return fail("connection closed before a response");
+      }
+      // A typed retryable error (docs/PROTOCOL.md retryability table) is
+      // retried on the still-live connection — but only as the first
+      // response line; once results streamed, the work happened.
+      if (responses.size() == 1) {
+        std::string type = "result", code;
+        try {
+          for (const auto& [key, value] :
+               io::parse_flat_json(responses.front())) {
+            if (key == "type") type = value;
+            if (key == "code") code = value;
+          }
+        } catch (const std::exception&) {
+        }
+        if (type == "error") {
+          const util::Retryability retryable = util::classify_error_code(code);
+          if ((retryable == util::Retryability::Always ||
+               (retryable == util::Retryability::IfIdempotent && idempotent)) &&
+              budget_retry(code)) {
+            continue;
+          }
+        }
+      }
+      echo(responses);
+      delivered = true;
     }
   }
-  ::close(fd);
+  drop_connection();
   join_poller();
+  print_retry_summary();
   return worst;
 }
 
